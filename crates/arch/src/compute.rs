@@ -1,0 +1,312 @@
+//! Per-DPU compute timing model.
+//!
+//! UPMEM DPUs are 32-bit in-order cores with a 14-stage pipeline and up to
+//! 24 hardware threads (tasklets); with ≥11 active tasklets the pipeline
+//! retires one instruction per cycle, so DPU-level throughput is well
+//! approximated by *total instructions / frequency*. Crucially, the DPU has
+//! **no native 32-bit multiplier**: multiplication is emulated in software
+//! (§VI-B of the paper attributes MLP/NTT's large compute fraction to this),
+//! which this model captures with a per-multiply instruction cost.
+//!
+//! The paper's Fig 15 asks what PIMnet buys when the PIM compute is much
+//! faster (HBM-PIM, GDDR6-AiM with ~180× UPMEM throughput, next-gen DPUs);
+//! [`ComputePreset`] provides those device models.
+
+use std::fmt;
+
+use pim_sim::{Cycles, Frequency, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Instruction-count summary of a per-DPU kernel (or kernel phase).
+///
+/// Counts are *totals across all tasklets of one DPU*. The model converts
+/// them to cycles through [`DpuModel::compute_time`].
+///
+/// # Example
+///
+/// ```
+/// use pim_arch::{DpuModel, OpCounts};
+///
+/// // One MLP layer slice: 1024 multiply-accumulates on one DPU.
+/// let ops = OpCounts::new().with_muls(1024).with_adds(1024).with_loads(2048);
+/// let t = DpuModel::upmem().compute_time(&ops);
+/// assert!(t.as_us() > 150.0); // multiplies dominate: 64 cycles each
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Integer/float additions, subtractions, comparisons (single-issue ops).
+    pub adds: u64,
+    /// 32-bit multiplications (software-emulated on UPMEM).
+    pub muls: u64,
+    /// WRAM loads.
+    pub loads: u64,
+    /// WRAM stores.
+    pub stores: u64,
+    /// Any other single-cycle instructions (address math, branches, ...).
+    pub other: u64,
+}
+
+impl OpCounts {
+    /// An empty (zero-work) kernel.
+    #[must_use]
+    pub fn new() -> Self {
+        OpCounts::default()
+    }
+
+    /// Sets the addition count.
+    #[must_use]
+    pub fn with_adds(mut self, n: u64) -> Self {
+        self.adds = n;
+        self
+    }
+
+    /// Sets the multiplication count.
+    #[must_use]
+    pub fn with_muls(mut self, n: u64) -> Self {
+        self.muls = n;
+        self
+    }
+
+    /// Sets the load count.
+    #[must_use]
+    pub fn with_loads(mut self, n: u64) -> Self {
+        self.loads = n;
+        self
+    }
+
+    /// Sets the store count.
+    #[must_use]
+    pub fn with_stores(mut self, n: u64) -> Self {
+        self.stores = n;
+        self
+    }
+
+    /// Sets the other-instruction count.
+    #[must_use]
+    pub fn with_other(mut self, n: u64) -> Self {
+        self.other = n;
+        self
+    }
+
+    /// Element-wise sum of two kernels.
+    #[must_use]
+    pub fn merged(self, rhs: OpCounts) -> OpCounts {
+        OpCounts {
+            adds: self.adds + rhs.adds,
+            muls: self.muls + rhs.muls,
+            loads: self.loads + rhs.loads,
+            stores: self.stores + rhs.stores,
+            other: self.other + rhs.other,
+        }
+    }
+
+    /// Kernel scaled by an iteration count.
+    #[must_use]
+    pub fn repeated(self, n: u64) -> OpCounts {
+        OpCounts {
+            adds: self.adds * n,
+            muls: self.muls * n,
+            loads: self.loads * n,
+            stores: self.stores * n,
+            other: self.other * n,
+        }
+    }
+
+    /// Arithmetic operations (adds + muls) — the numerator of arithmetic
+    /// intensity in the roofline models.
+    #[must_use]
+    pub fn arithmetic_ops(&self) -> u64 {
+        self.adds + self.muls
+    }
+}
+
+/// Which commercial PIM device a [`DpuModel`] imitates (paper Fig 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComputePreset {
+    /// UPMEM DPU: 350 MHz, software-emulated multiply (the baseline).
+    UpmemDpu,
+    /// Samsung HBM-PIM (FIMDRAM): hardware FP16 MACs; modeled as ~120× UPMEM
+    /// effective multiply-accumulate throughput.
+    HbmPim,
+    /// SK hynix GDDR6-AiM: 1 TFLOPS MAC; the paper cites ~180× UPMEM compute
+    /// throughput \[39\].
+    Gddr6Aim,
+    /// Next-generation UPMEM DPU (5–8 TFLOPS/chip, native FP); modeled as
+    /// 1000× UPMEM.
+    NextGenDpu,
+}
+
+impl fmt::Display for ComputePreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComputePreset::UpmemDpu => "UPMEM DPU",
+            ComputePreset::HbmPim => "HBM-PIM",
+            ComputePreset::Gddr6Aim => "GDDR6-AiM",
+            ComputePreset::NextGenDpu => "next-gen DPU",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Timing model of one DPU (one PIM bank's compute unit).
+///
+/// `throughput_scale` divides the instruction count before converting to
+/// cycles; it is 1 for the UPMEM DPU and >1 for the fixed-function PIM
+/// devices of Fig 15 whose MAC arrays retire many operations per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DpuModel {
+    /// Core clock (350 MHz for UPMEM).
+    pub frequency: Frequency,
+    /// Hardware thread count (24 tasklets on UPMEM). Informational: the
+    /// pipeline model assumes enough tasklets to saturate issue.
+    pub tasklets: u32,
+    /// Pipeline cost of an add-class instruction, in cycles.
+    pub add_cycles: u64,
+    /// Effective pipeline cost of a (software-emulated) 32-bit multiply,
+    /// in cycles, including operand staging.
+    pub mul_cycles: u64,
+    /// Pipeline cost of a WRAM load/store, in cycles.
+    pub mem_cycles: u64,
+    /// Operations retired per issued "instruction slot" (SIMD/MAC-array
+    /// factor); 1 for UPMEM.
+    pub throughput_scale: u64,
+    /// Which device this models.
+    pub preset: ComputePreset,
+}
+
+impl DpuModel {
+    /// The UPMEM DPU model: 350 MHz, 24 tasklets, and a 64-cycle effective
+    /// 32-bit multiply (the software `__mulsi3` shift-add loop plus operand
+    /// staging; PrIM \[39\] reports 30-90 cycles depending on operand width).
+    #[must_use]
+    pub fn upmem() -> Self {
+        DpuModel {
+            frequency: Frequency::mhz(350),
+            tasklets: 24,
+            add_cycles: 1,
+            mul_cycles: 64,
+            mem_cycles: 1,
+            throughput_scale: 1,
+            preset: ComputePreset::UpmemDpu,
+        }
+    }
+
+    /// Builds the model for an alternative PIM device (paper Fig 15).
+    #[must_use]
+    pub fn preset(preset: ComputePreset) -> Self {
+        let upmem = DpuModel::upmem();
+        match preset {
+            ComputePreset::UpmemDpu => upmem,
+            ComputePreset::HbmPim => DpuModel {
+                mul_cycles: 1,
+                throughput_scale: 120,
+                preset,
+                ..upmem
+            },
+            ComputePreset::Gddr6Aim => DpuModel {
+                mul_cycles: 1,
+                throughput_scale: 180,
+                preset,
+                ..upmem
+            },
+            ComputePreset::NextGenDpu => DpuModel {
+                mul_cycles: 1,
+                throughput_scale: 1000,
+                preset,
+                ..upmem
+            },
+        }
+    }
+
+    /// Total pipeline cycles for a kernel on this DPU.
+    #[must_use]
+    pub fn compute_cycles(&self, ops: &OpCounts) -> Cycles {
+        let raw = ops.adds * self.add_cycles
+            + ops.muls * self.mul_cycles
+            + (ops.loads + ops.stores) * self.mem_cycles
+            + ops.other;
+        Cycles::new(raw.div_ceil(self.throughput_scale))
+    }
+
+    /// Wall-clock time for a kernel on this DPU.
+    #[must_use]
+    pub fn compute_time(&self, ops: &OpCounts) -> SimTime {
+        self.frequency.cycles_to_time(self.compute_cycles(ops))
+    }
+
+    /// Peak arithmetic throughput of one DPU in operations per second
+    /// (add-class ops; the roofline ceiling).
+    #[must_use]
+    pub fn peak_ops_per_sec(&self) -> f64 {
+        self.frequency.as_hz() as f64 * self.throughput_scale as f64 / self.add_cycles as f64
+    }
+}
+
+impl Default for DpuModel {
+    fn default() -> Self {
+        DpuModel::upmem()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upmem_multiply_is_expensive() {
+        let m = DpuModel::upmem();
+        let add_only = OpCounts::new().with_adds(1000);
+        let mul_only = OpCounts::new().with_muls(1000);
+        assert_eq!(m.compute_cycles(&add_only), Cycles::new(1000));
+        assert_eq!(m.compute_cycles(&mul_only), Cycles::new(64_000));
+        assert!(m.compute_time(&mul_only) > m.compute_time(&add_only) * 20);
+    }
+
+    #[test]
+    fn aim_is_about_180x_upmem_on_macs() {
+        let upmem = DpuModel::upmem();
+        let aim = DpuModel::preset(ComputePreset::Gddr6Aim);
+        let macs = OpCounts::new().with_muls(100_000).with_adds(100_000);
+        let ratio = upmem
+            .compute_time(&macs)
+            .ratio(aim.compute_time(&macs));
+        // 65 cycles/MAC on UPMEM vs 2/180 cycles/MAC on AiM >> 180x raw;
+        // what matters for Fig 15 is "two to three orders of magnitude".
+        assert!(ratio > 180.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn op_counts_merge_and_repeat() {
+        let a = OpCounts::new().with_adds(1).with_muls(2).with_loads(3);
+        let b = OpCounts::new().with_adds(10).with_stores(5).with_other(7);
+        let m = a.merged(b);
+        assert_eq!((m.adds, m.muls, m.loads, m.stores, m.other), (11, 2, 3, 5, 7));
+        let r = a.repeated(4);
+        assert_eq!((r.adds, r.muls, r.loads), (4, 8, 12));
+        assert_eq!(m.arithmetic_ops(), 13);
+    }
+
+    #[test]
+    fn throughput_scale_divides_rounding_up() {
+        let m = DpuModel::preset(ComputePreset::HbmPim);
+        let ops = OpCounts::new().with_adds(121);
+        assert_eq!(m.compute_cycles(&ops), Cycles::new(2)); // ceil(121/120)
+    }
+
+    #[test]
+    fn peak_ops_per_sec_upmem() {
+        let m = DpuModel::upmem();
+        assert_eq!(m.peak_ops_per_sec(), 350e6);
+    }
+
+    #[test]
+    fn zero_work_takes_zero_time() {
+        let m = DpuModel::upmem();
+        assert_eq!(m.compute_time(&OpCounts::new()), SimTime::ZERO);
+    }
+
+    #[test]
+    fn preset_display() {
+        assert_eq!(ComputePreset::Gddr6Aim.to_string(), "GDDR6-AiM");
+    }
+}

@@ -1,0 +1,143 @@
+//! Whole-system configuration presets (paper Tables II and VI).
+
+use pim_sim::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+use crate::compute::{ComputePreset, DpuModel};
+use crate::geometry::PimGeometry;
+use crate::hostlink::HostLink;
+use crate::memory::{DmaModel, MemoryParams};
+
+/// Complete description of a PIM system's compute/memory substrate.
+///
+/// The network fabric (tier bandwidths, topologies) is configured separately
+/// in the `pimnet` crate; `SystemConfig` is everything *except* the
+/// interconnect, i.e. what both PIMnet and every baseline share.
+///
+/// # Example
+///
+/// ```
+/// use pim_arch::{ComputePreset, SystemConfig};
+///
+/// // Fig 15: the paper's system, but with GDDR6-AiM-class compute.
+/// let cfg = SystemConfig::paper().with_compute(ComputePreset::Gddr6Aim);
+/// assert_eq!(cfg.dpu.throughput_scale, 180);
+/// assert_eq!(cfg.geometry.total_dpus(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Packaging hierarchy (banks/chips/ranks/channels).
+    pub geometry: PimGeometry,
+    /// Per-DPU compute model.
+    pub dpu: DpuModel,
+    /// Per-bank memory capacities.
+    pub memory: MemoryParams,
+    /// Per-bank MRAM↔WRAM DMA engine.
+    pub dma: DmaModel,
+    /// Host↔PIM path (per channel).
+    pub host: HostLink,
+    /// Buffer-chip ↔ PIM-chip aggregate bandwidth within one rank
+    /// (19.2 GB/s, from DIMM-Link \[89\]); used by the DIMM-Link and
+    /// NDPBridge comparison backends.
+    pub buffer_chip_bw: Bandwidth,
+}
+
+impl SystemConfig {
+    /// The paper's simulated evaluation system (Table VI): 256 DPUs on one
+    /// DDR4-2400 channel, 350 MHz DPUs, measured host bandwidths.
+    #[must_use]
+    pub fn paper() -> Self {
+        SystemConfig {
+            geometry: PimGeometry::paper(),
+            dpu: DpuModel::upmem(),
+            memory: MemoryParams::upmem(),
+            dma: DmaModel::upmem(),
+            host: HostLink::paper(),
+            buffer_chip_bw: Bandwidth::gbps(19.2),
+        }
+    }
+
+    /// The real UPMEM server of Table II (2560 DPUs over 10 channels), for
+    /// the characterization-style experiments.
+    #[must_use]
+    pub fn upmem_server() -> Self {
+        SystemConfig {
+            geometry: PimGeometry::upmem_server(),
+            ..SystemConfig::paper()
+        }
+    }
+
+    /// The paper system scaled down/up to `n` DPUs on one channel (weak
+    /// scaling sweeps, Figs 3 and 12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two in `1..=256`.
+    #[must_use]
+    pub fn paper_scaled(n: u32) -> Self {
+        SystemConfig {
+            geometry: PimGeometry::paper_scaled(n),
+            ..SystemConfig::paper()
+        }
+    }
+
+    /// Replaces the geometry.
+    #[must_use]
+    pub fn with_geometry(mut self, geometry: PimGeometry) -> Self {
+        self.geometry = geometry;
+        self
+    }
+
+    /// Replaces the DPU compute model with a device preset (Fig 15).
+    #[must_use]
+    pub fn with_compute(mut self, preset: ComputePreset) -> Self {
+        self.dpu = DpuModel::preset(preset);
+        self
+    }
+
+    /// Replaces the host link model.
+    #[must_use]
+    pub fn with_host(mut self, host: HostLink) -> Self {
+        self.host = host;
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_is_the_table_vi_system() {
+        let c = SystemConfig::paper();
+        assert_eq!(c.geometry.total_dpus(), 256);
+        assert_eq!(c.geometry.ranks_per_channel, 4);
+        assert_eq!(c.buffer_chip_bw.as_gbps(), 19.2);
+        assert_eq!(c.dpu.preset, ComputePreset::UpmemDpu);
+    }
+
+    #[test]
+    fn upmem_server_preset_is_table_ii_scale() {
+        assert_eq!(SystemConfig::upmem_server().geometry.total_dpus(), 2560);
+    }
+
+    #[test]
+    fn builder_methods_replace_fields() {
+        let c = SystemConfig::paper()
+            .with_geometry(PimGeometry::paper_scaled(64))
+            .with_compute(ComputePreset::NextGenDpu);
+        assert_eq!(c.geometry.total_dpus(), 64);
+        assert_eq!(c.dpu.throughput_scale, 1000);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(SystemConfig::default(), SystemConfig::paper());
+    }
+}

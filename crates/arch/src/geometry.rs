@@ -1,0 +1,386 @@
+//! The DRAM packaging hierarchy: banks → chips → ranks → channels.
+//!
+//! PIMnet's multi-tier design mirrors this hierarchy exactly (inter-bank,
+//! inter-chip, inter-rank networks), so everything above this module is
+//! phrased in terms of [`PimGeometry`] coordinates.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Global, linear identifier of a DPU (equivalently: of a PIM bank, since
+/// each bank hosts exactly one DPU).
+///
+/// IDs enumerate banks in packaging order: all banks of chip 0 of rank 0 of
+/// channel 0 first, then chip 1, and so on. [`PimGeometry::coord`] converts
+/// to a structured coordinate.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DpuId(pub u32);
+
+impl DpuId {
+    /// The raw linear index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DPU{}", self.0)
+    }
+}
+
+/// Structured coordinate of a DPU within the packaging hierarchy.
+///
+/// All fields are indices *within the parent level*: `bank` is the bank index
+/// within its chip, `chip` within its rank, `rank` within its channel.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DpuCoord {
+    /// Memory channel index within the system.
+    pub channel: u32,
+    /// Rank (DIMM) index within the channel.
+    pub rank: u32,
+    /// DRAM chip index within the rank.
+    pub chip: u32,
+    /// Bank index within the chip.
+    pub bank: u32,
+}
+
+impl fmt::Display for DpuCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/r{}/c{}/b{}",
+            self.channel, self.rank, self.chip, self.bank
+        )
+    }
+}
+
+/// Shape of a PIM system: how many banks per chip, chips per rank, ranks per
+/// channel, and channels in the system.
+///
+/// The paper's evaluation configuration (§III-B, Table VI) is 8 banks/chip ×
+/// 8 chips/rank × 4 ranks/channel × 1 channel = 256 DPUs, available as
+/// [`PimGeometry::paper`].
+///
+/// # Example
+///
+/// ```
+/// use pim_arch::{DpuId, PimGeometry};
+///
+/// let g = PimGeometry::paper();
+/// let c = g.coord(DpuId(200));
+/// assert_eq!((c.rank, c.chip, c.bank), (3, 1, 0));
+/// assert_eq!(g.id(c), DpuId(200));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PimGeometry {
+    /// PIM banks (= DPUs) per DRAM chip.
+    pub banks_per_chip: u32,
+    /// DRAM chips per rank.
+    pub chips_per_rank: u32,
+    /// Ranks (DIMMs) per memory channel.
+    pub ranks_per_channel: u32,
+    /// Memory channels in the system.
+    pub channels: u32,
+}
+
+impl PimGeometry {
+    /// Creates a geometry, validating that every level is non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(
+        banks_per_chip: u32,
+        chips_per_rank: u32,
+        ranks_per_channel: u32,
+        channels: u32,
+    ) -> Self {
+        let g = PimGeometry {
+            banks_per_chip,
+            chips_per_rank,
+            ranks_per_channel,
+            channels,
+        };
+        assert!(
+            banks_per_chip > 0 && chips_per_rank > 0 && ranks_per_channel > 0 && channels > 0,
+            "PimGeometry::new: all dimensions must be non-zero, got {g:?}"
+        );
+        g
+    }
+
+    /// The paper's evaluation geometry: 8 banks/chip, 8 chips/rank,
+    /// 4 ranks/channel, 1 channel (256 DPUs).
+    #[must_use]
+    pub fn paper() -> Self {
+        PimGeometry::new(8, 8, 4, 1)
+    }
+
+    /// The real UPMEM server of Table II: 2560 DPUs across 20 PIM DIMMs.
+    /// Modeled as 8 banks/chip × 16 chips/rank × 2 ranks/channel ×
+    /// 10 channels.
+    #[must_use]
+    pub fn upmem_server() -> Self {
+        PimGeometry::new(8, 16, 2, 10)
+    }
+
+    /// A geometry spanning `n` DPUs on a single chain of the paper's shape,
+    /// used for the weak-scaling sweeps (8 → 16 → ... → 256 DPUs). Fills
+    /// banks first, then chips, then ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two between 1 and 256.
+    #[must_use]
+    pub fn paper_scaled(n: u32) -> Self {
+        assert!(
+            n.is_power_of_two() && (1..=256).contains(&n),
+            "paper_scaled: DPU count must be a power of two in 1..=256, got {n}"
+        );
+        let banks = n.min(8);
+        let chips = (n / banks).min(8);
+        let ranks = n / (banks * chips);
+        PimGeometry::new(banks, chips.max(1), ranks.max(1), 1)
+    }
+
+    /// DPUs per rank.
+    #[must_use]
+    pub fn dpus_per_rank(&self) -> u32 {
+        self.banks_per_chip * self.chips_per_rank
+    }
+
+    /// DPUs per memory channel.
+    #[must_use]
+    pub fn dpus_per_channel(&self) -> u32 {
+        self.dpus_per_rank() * self.ranks_per_channel
+    }
+
+    /// Total DPUs in the system.
+    #[must_use]
+    pub fn total_dpus(&self) -> u32 {
+        self.dpus_per_channel() * self.channels
+    }
+
+    /// Total DRAM chips in the system.
+    #[must_use]
+    pub fn total_chips(&self) -> u32 {
+        self.chips_per_rank * self.ranks_per_channel * self.channels
+    }
+
+    /// Total ranks in the system.
+    #[must_use]
+    pub fn total_ranks(&self) -> u32 {
+        self.ranks_per_channel * self.channels
+    }
+
+    /// Converts a global DPU id to a structured coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this geometry.
+    #[must_use]
+    pub fn coord(&self, id: DpuId) -> DpuCoord {
+        assert!(
+            id.0 < self.total_dpus(),
+            "DpuId {id} out of range for geometry with {} DPUs",
+            self.total_dpus()
+        );
+        let mut rest = id.0;
+        let bank = rest % self.banks_per_chip;
+        rest /= self.banks_per_chip;
+        let chip = rest % self.chips_per_rank;
+        rest /= self.chips_per_rank;
+        let rank = rest % self.ranks_per_channel;
+        let channel = rest / self.ranks_per_channel;
+        DpuCoord {
+            channel,
+            rank,
+            chip,
+            bank,
+        }
+    }
+
+    /// Converts a structured coordinate back to a global DPU id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate component is out of range.
+    #[must_use]
+    pub fn id(&self, c: DpuCoord) -> DpuId {
+        assert!(
+            c.bank < self.banks_per_chip
+                && c.chip < self.chips_per_rank
+                && c.rank < self.ranks_per_channel
+                && c.channel < self.channels,
+            "coordinate {c} out of range for {self:?}"
+        );
+        DpuId(
+            ((c.channel * self.ranks_per_channel + c.rank) * self.chips_per_rank + c.chip)
+                * self.banks_per_chip
+                + c.bank,
+        )
+    }
+
+    /// Iterates over every DPU id in the system, in linear order.
+    pub fn dpus(&self) -> impl Iterator<Item = DpuId> {
+        (0..self.total_dpus()).map(DpuId)
+    }
+
+    /// True iff the two DPUs sit on the same DRAM chip.
+    #[must_use]
+    pub fn same_chip(&self, a: DpuId, b: DpuId) -> bool {
+        let (ca, cb) = (self.coord(a), self.coord(b));
+        (ca.channel, ca.rank, ca.chip) == (cb.channel, cb.rank, cb.chip)
+    }
+
+    /// True iff the two DPUs sit on the same rank (DIMM).
+    #[must_use]
+    pub fn same_rank(&self, a: DpuId, b: DpuId) -> bool {
+        let (ca, cb) = (self.coord(a), self.coord(b));
+        (ca.channel, ca.rank) == (cb.channel, cb.rank)
+    }
+
+    /// True iff the two DPUs share a memory channel (the scope PIMnet can
+    /// connect; anything beyond still goes through the host).
+    #[must_use]
+    pub fn same_channel(&self, a: DpuId, b: DpuId) -> bool {
+        self.coord(a).channel == self.coord(b).channel
+    }
+}
+
+impl Default for PimGeometry {
+    fn default() -> Self {
+        PimGeometry::paper()
+    }
+}
+
+impl fmt::Display for PimGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} banks/chip x {} chips/rank x {} ranks/ch x {} ch ({} DPUs)",
+            self.banks_per_chip,
+            self.chips_per_rank,
+            self.ranks_per_channel,
+            self.channels,
+            self.total_dpus()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_counts() {
+        let g = PimGeometry::paper();
+        assert_eq!(g.total_dpus(), 256);
+        assert_eq!(g.dpus_per_rank(), 64);
+        assert_eq!(g.dpus_per_channel(), 256);
+        assert_eq!(g.total_chips(), 32);
+        assert_eq!(g.total_ranks(), 4);
+    }
+
+    #[test]
+    fn upmem_server_matches_table_ii() {
+        let g = PimGeometry::upmem_server();
+        assert_eq!(g.total_dpus(), 2560);
+        assert_eq!(g.total_ranks(), 20);
+    }
+
+    #[test]
+    fn coord_id_roundtrip_everywhere() {
+        let g = PimGeometry::new(3, 5, 2, 2);
+        for id in g.dpus() {
+            assert_eq!(g.id(g.coord(id)), id);
+        }
+    }
+
+    #[test]
+    fn linear_order_fills_banks_first() {
+        let g = PimGeometry::paper();
+        assert_eq!(
+            g.coord(DpuId(0)),
+            DpuCoord {
+                channel: 0,
+                rank: 0,
+                chip: 0,
+                bank: 0
+            }
+        );
+        assert_eq!(g.coord(DpuId(7)).bank, 7);
+        assert_eq!(g.coord(DpuId(8)), DpuCoord {
+            channel: 0,
+            rank: 0,
+            chip: 1,
+            bank: 0
+        });
+        assert_eq!(g.coord(DpuId(64)).rank, 1);
+        assert_eq!(g.coord(DpuId(255)), DpuCoord {
+            channel: 0,
+            rank: 3,
+            chip: 7,
+            bank: 7
+        });
+    }
+
+    #[test]
+    fn scoping_predicates() {
+        let g = PimGeometry::paper();
+        assert!(g.same_chip(DpuId(0), DpuId(7)));
+        assert!(!g.same_chip(DpuId(0), DpuId(8)));
+        assert!(g.same_rank(DpuId(0), DpuId(63)));
+        assert!(!g.same_rank(DpuId(0), DpuId(64)));
+        assert!(g.same_channel(DpuId(0), DpuId(255)));
+    }
+
+    #[test]
+    fn paper_scaled_shapes() {
+        assert_eq!(PimGeometry::paper_scaled(8).total_dpus(), 8);
+        assert_eq!(PimGeometry::paper_scaled(8).banks_per_chip, 8);
+        let g64 = PimGeometry::paper_scaled(64);
+        assert_eq!((g64.banks_per_chip, g64.chips_per_rank, g64.ranks_per_channel), (8, 8, 1));
+        let g256 = PimGeometry::paper_scaled(256);
+        assert_eq!(g256, PimGeometry::paper());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_id_panics() {
+        let g = PimGeometry::paper();
+        let _ = g.coord(DpuId(256));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        let _ = PimGeometry::new(0, 8, 4, 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            PimGeometry::paper().to_string(),
+            "8 banks/chip x 8 chips/rank x 4 ranks/ch x 1 ch (256 DPUs)"
+        );
+        assert_eq!(DpuId(3).to_string(), "DPU3");
+        assert_eq!(
+            DpuCoord {
+                channel: 0,
+                rank: 1,
+                chip: 2,
+                bank: 3
+            }
+            .to_string(),
+            "ch0/r1/c2/b3"
+        );
+    }
+}

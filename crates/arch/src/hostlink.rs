@@ -1,0 +1,165 @@
+//! The host↔PIM communication path that baseline collectives traverse.
+//!
+//! In commodity PIM, a DPU can only reach another DPU through the host CPU:
+//! the host reads the data over the DDR interface, optionally computes
+//! (e.g., the reduction of an AllReduce), and writes results back. This
+//! module models that path with the bandwidths measured on real UPMEM
+//! hardware by Gómez-Luna et al. \[39\] and quoted in the paper's Table VI,
+//! plus the host software overhead per UPMEM API call that PID-Comm \[67\]
+//! identified (and that the paper's "Software (Ideal)" comparison sets to
+//! zero).
+
+use pim_sim::{Bandwidth, Bytes, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Bandwidths and software overheads of the host↔PIM path (per memory
+/// channel).
+///
+/// # Example
+///
+/// ```
+/// use pim_arch::HostLink;
+/// use pim_sim::Bytes;
+///
+/// let host = HostLink::paper();
+/// // Gathering 8 MiB of partial sums from the PIM side takes ~1.8 ms of
+/// // pure serialization on the 4.74 GB/s PIM->CPU path.
+/// let t = host.pim_to_cpu.transfer_time(Bytes::mib(8));
+/// assert!((t.as_ms() - 1.77).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HostLink {
+    /// PIM → CPU gather bandwidth (4.74 GB/s measured \[39\]).
+    pub pim_to_cpu: Bandwidth,
+    /// CPU → PIM scatter bandwidth (6.68 GB/s measured \[39\]).
+    pub cpu_to_pim: Bandwidth,
+    /// CPU → PIM broadcast bandwidth when the same data goes to every rank
+    /// (16.88 GB/s measured \[39\]).
+    pub cpu_broadcast: Bandwidth,
+    /// Host-side reduction throughput (memory-bound elementwise sum on the
+    /// Xeon host).
+    pub host_reduce_bw: Bandwidth,
+    /// Host software overhead per UPMEM API transfer call (buffer
+    /// marshalling, rank launch). The paper's baseline pays this; the
+    /// idealized software backend sets it to zero.
+    pub per_call_overhead: SimTime,
+    /// Fixed host software overhead per *DPU buffer* touched by a transfer
+    /// call (descriptor setup). Zero in the idealized software model.
+    pub per_dpu_overhead: SimTime,
+    /// Throughput of the host-side data *marshalling* pass: the UPMEM SDK
+    /// reorders every DPU's buffer in host memory before/after the DMA,
+    /// which PID-Comm \[67\] identified as the dominant collective cost.
+    /// Applied to every byte whose per-DPU layout differs between host and
+    /// PIM (gathers, scatters of distinct data). Effectively infinite in
+    /// the idealized software model.
+    pub marshal_bw: Bandwidth,
+    /// Kernel-launch overhead when the host must relaunch PIM kernels around
+    /// a collective.
+    pub launch_overhead: SimTime,
+}
+
+impl HostLink {
+    /// The paper's Table VI host path.
+    #[must_use]
+    pub fn paper() -> Self {
+        HostLink {
+            pim_to_cpu: Bandwidth::gbps(4.74),
+            cpu_to_pim: Bandwidth::gbps(6.68),
+            cpu_broadcast: Bandwidth::gbps(16.88),
+            host_reduce_bw: Bandwidth::gbps(25.6),
+            per_call_overhead: SimTime::from_us(25),
+            per_dpu_overhead: SimTime::from_us(2),
+            marshal_bw: Bandwidth::gbps(1.2),
+            launch_overhead: SimTime::from_us(50),
+        }
+    }
+
+    /// Host-side marshalling time for `bytes` of per-DPU-reordered data.
+    #[must_use]
+    pub fn marshal_time(&self, bytes: Bytes) -> SimTime {
+        self.marshal_bw.transfer_time(bytes)
+    }
+
+    /// The same link with *all* software overheads removed — the paper's
+    /// "Software (Ideal)" model (an idealized PID-Comm).
+    #[must_use]
+    pub fn ideal(self) -> Self {
+        HostLink {
+            per_call_overhead: SimTime::ZERO,
+            per_dpu_overhead: SimTime::ZERO,
+            launch_overhead: SimTime::ZERO,
+            host_reduce_bw: Bandwidth::gbps(1_000.0), // reduction is free
+            marshal_bw: Bandwidth::gbps(1_000.0),     // no rearrangement cost
+            ..self
+        }
+    }
+
+    /// Time for the host to gather `bytes` from the PIM side of one channel
+    /// (serialization only; add overheads separately).
+    #[must_use]
+    pub fn gather_time(&self, bytes: Bytes) -> SimTime {
+        self.pim_to_cpu.transfer_time(bytes)
+    }
+
+    /// Time for the host to scatter `bytes` of distinct data to the PIM side.
+    #[must_use]
+    pub fn scatter_time(&self, bytes: Bytes) -> SimTime {
+        self.cpu_to_pim.transfer_time(bytes)
+    }
+
+    /// Time for the host to broadcast `bytes` of identical data to all ranks.
+    #[must_use]
+    pub fn broadcast_time(&self, bytes: Bytes) -> SimTime {
+        self.cpu_broadcast.transfer_time(bytes)
+    }
+
+    /// Time for the host CPU to reduce `bytes` of gathered partial data.
+    #[must_use]
+    pub fn reduce_time(&self, bytes: Bytes) -> SimTime {
+        self.host_reduce_bw.transfer_time(bytes)
+    }
+}
+
+impl Default for HostLink {
+    fn default() -> Self {
+        HostLink::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bandwidths_match_table_vi() {
+        let h = HostLink::paper();
+        assert_eq!(h.pim_to_cpu.as_gbps(), 4.74);
+        assert_eq!(h.cpu_to_pim.as_gbps(), 6.68);
+        assert_eq!(h.cpu_broadcast.as_gbps(), 16.88);
+    }
+
+    #[test]
+    fn ideal_removes_overheads_only() {
+        let h = HostLink::paper().ideal();
+        assert_eq!(h.per_call_overhead, SimTime::ZERO);
+        assert_eq!(h.per_dpu_overhead, SimTime::ZERO);
+        assert!(h.marshal_time(Bytes::mib(8)) < HostLink::paper().marshal_time(Bytes::mib(8)) / 100);
+        assert_eq!(h.launch_overhead, SimTime::ZERO);
+        // Link bandwidths are physics, not software; they stay.
+        assert_eq!(h.pim_to_cpu, HostLink::paper().pim_to_cpu);
+    }
+
+    #[test]
+    fn broadcast_beats_scatter_for_same_bytes() {
+        let h = HostLink::paper();
+        let b = Bytes::mib(1);
+        assert!(h.broadcast_time(b) < h.scatter_time(b));
+    }
+
+    #[test]
+    fn gather_is_the_slowest_direction() {
+        let h = HostLink::paper();
+        let b = Bytes::mib(1);
+        assert!(h.gather_time(b) > h.scatter_time(b));
+    }
+}

@@ -1,0 +1,49 @@
+//! UPMEM-like processing-in-memory (PIM) architecture model.
+//!
+//! This crate models the *compute* and *memory* side of a bank-level PIM
+//! system in the style of the UPMEM DPU architecture the PIMnet paper builds
+//! on (Devaux, Hot Chips 2019):
+//!
+//! * [`geometry::PimGeometry`] — the packaging hierarchy: banks within a
+//!   chip, chips within a rank, ranks within a memory channel, channels in
+//!   the system, with typed coordinates and global [`geometry::DpuId`]s;
+//! * [`compute::DpuModel`] — a per-DPU timing model (350 MHz, 24 hardware
+//!   tasklets, software-emulated 32-bit multiplication) plus presets for the
+//!   alternative PIM devices of the paper's Fig 15 (HBM-PIM, GDDR6-AiM,
+//!   next-generation DPUs);
+//! * [`memory`] — WRAM/IRAM/MRAM capacities and the MRAM↔WRAM DMA engine;
+//! * [`hostlink::HostLink`] — the measured host↔PIM bandwidths of the
+//!   paper's Table VI (4.74 / 6.68 / 16.88 GB/s) and the host software
+//!   overhead that baseline collectives pay per API call;
+//! * [`config::SystemConfig`] — presets assembling all of the above for the
+//!   paper's simulated system (Table VI) and the real UPMEM server
+//!   (Table II).
+//!
+//! The interconnect itself (the paper's contribution) lives in the `pimnet`
+//! crate; this crate is the substrate it runs on.
+//!
+//! # Example
+//!
+//! ```
+//! use pim_arch::SystemConfig;
+//!
+//! // The paper's evaluation system: 256 DPUs on one memory channel.
+//! let cfg = SystemConfig::paper();
+//! assert_eq!(cfg.geometry.total_dpus(), 256);
+//! assert_eq!(cfg.dpu.frequency.as_hz(), 350_000_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compute;
+pub mod config;
+pub mod geometry;
+pub mod hostlink;
+pub mod memory;
+
+pub use compute::{ComputePreset, DpuModel, OpCounts};
+pub use config::SystemConfig;
+pub use geometry::{DpuCoord, DpuId, PimGeometry};
+pub use hostlink::HostLink;
+pub use memory::{DmaModel, MemoryParams};

@@ -1,0 +1,163 @@
+//! Per-bank memory resources (MRAM, WRAM, IRAM) and the MRAM↔WRAM DMA.
+//!
+//! Each UPMEM PIM bank pairs a DPU with a 64 MiB DRAM bank (MRAM), a 64 KiB
+//! software-managed scratchpad (WRAM) and a 24 KiB instruction memory
+//! (IRAM). Only WRAM-resident data can feed the pipeline; a per-bank DMA
+//! engine moves data between MRAM and WRAM.
+//!
+//! For PIMnet this matters because collective payloads are sourced from and
+//! sunk into WRAM (§V-D): when a collective's working set exceeds the WRAM
+//! budget, the overflow must be staged through MRAM, which the paper reports
+//! as the `Mem` component of Fig 11's communication-time breakdown.
+
+use pim_sim::{Bandwidth, Bytes, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Capacities of one PIM bank's memories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemoryParams {
+    /// Main DRAM bank (MRAM): 64 MiB on UPMEM.
+    pub mram: Bytes,
+    /// Software-managed scratchpad (WRAM): 64 KiB on UPMEM.
+    pub wram: Bytes,
+    /// Instruction memory (IRAM): 24 KiB on UPMEM.
+    pub iram: Bytes,
+    /// WRAM reserved for the kernel's own stack/locals; the remainder is the
+    /// collective staging budget.
+    pub wram_reserved: Bytes,
+}
+
+impl MemoryParams {
+    /// The UPMEM bank memory configuration.
+    #[must_use]
+    pub fn upmem() -> Self {
+        MemoryParams {
+            mram: Bytes::mib(64),
+            wram: Bytes::kib(64),
+            iram: Bytes::kib(24),
+            wram_reserved: Bytes::kib(16),
+        }
+    }
+
+    /// WRAM bytes available for staging collective payloads.
+    #[must_use]
+    pub fn wram_for_collectives(&self) -> Bytes {
+        self.wram.saturating_sub(self.wram_reserved)
+    }
+
+    /// How many bytes of a `payload` overflow the WRAM staging budget and
+    /// must round-trip through MRAM.
+    #[must_use]
+    pub fn wram_overflow(&self, payload: Bytes) -> Bytes {
+        payload.saturating_sub(self.wram_for_collectives())
+    }
+}
+
+impl Default for MemoryParams {
+    fn default() -> Self {
+        MemoryParams::upmem()
+    }
+}
+
+/// Timing model of the per-bank MRAM↔WRAM DMA engine.
+///
+/// Gómez-Luna et al. \[39\] measured ~628 MB/s sustained for large MRAM→WRAM
+/// transfers on real hardware; that is the default here.
+///
+/// # Example
+///
+/// ```
+/// use pim_arch::DmaModel;
+/// use pim_sim::Bytes;
+///
+/// let dma = DmaModel::upmem();
+/// let t = dma.transfer_time(Bytes::kib(48));
+/// assert!(t.as_us() > 70.0 && t.as_us() < 90.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DmaModel {
+    /// Sustained MRAM↔WRAM bandwidth of one bank's DMA engine.
+    pub bandwidth: Bandwidth,
+    /// Fixed per-transfer setup cost (descriptor programming).
+    pub setup: SimTime,
+    /// Largest single DMA transfer (2 KiB on UPMEM); longer moves are split
+    /// and each split pays `setup`.
+    pub max_transfer: Bytes,
+}
+
+impl DmaModel {
+    /// The UPMEM DMA engine: 628 MB/s sustained, 2 KiB max transfer, ~0.1 µs
+    /// setup per descriptor.
+    #[must_use]
+    pub fn upmem() -> Self {
+        DmaModel {
+            bandwidth: Bandwidth::mbps(628.0),
+            setup: SimTime::from_ns(100),
+            max_transfer: Bytes::kib(2),
+        }
+    }
+
+    /// Time to move `bytes` between MRAM and WRAM (either direction),
+    /// including per-descriptor setup for each `max_transfer` split.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: Bytes) -> SimTime {
+        if bytes.is_zero() {
+            return SimTime::ZERO;
+        }
+        let descriptors = bytes.div_ceil(self.max_transfer);
+        self.bandwidth.transfer_time(bytes) + self.setup * descriptors
+    }
+}
+
+impl Default for DmaModel {
+    fn default() -> Self {
+        DmaModel::upmem()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upmem_capacities() {
+        let m = MemoryParams::upmem();
+        assert_eq!(m.mram, Bytes::mib(64));
+        assert_eq!(m.wram, Bytes::kib(64));
+        assert_eq!(m.iram, Bytes::kib(24));
+        assert_eq!(m.wram_for_collectives(), Bytes::kib(48));
+    }
+
+    #[test]
+    fn overflow_accounting() {
+        let m = MemoryParams::upmem();
+        assert_eq!(m.wram_overflow(Bytes::kib(32)), Bytes::ZERO);
+        assert_eq!(m.wram_overflow(Bytes::kib(48)), Bytes::ZERO);
+        assert_eq!(m.wram_overflow(Bytes::kib(64)), Bytes::kib(16));
+    }
+
+    #[test]
+    fn dma_zero_bytes_is_free() {
+        assert_eq!(DmaModel::upmem().transfer_time(Bytes::ZERO), SimTime::ZERO);
+    }
+
+    #[test]
+    fn dma_splits_pay_setup() {
+        let dma = DmaModel::upmem();
+        // 4 KiB = two 2 KiB descriptors -> 2 setups.
+        let t = dma.transfer_time(Bytes::kib(4));
+        let serialization = dma.bandwidth.transfer_time(Bytes::kib(4));
+        assert_eq!(t, serialization + dma.setup * 2);
+    }
+
+    #[test]
+    fn dma_monotone_in_bytes() {
+        let dma = DmaModel::upmem();
+        let mut prev = SimTime::ZERO;
+        for kib in [1u64, 2, 4, 8, 16, 32, 64] {
+            let t = dma.transfer_time(Bytes::kib(kib));
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+}

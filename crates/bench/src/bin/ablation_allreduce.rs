@@ -1,0 +1,77 @@
+//! Ablation study of PIMnet's AllReduce design choices (DESIGN.md):
+//!
+//! * **bidirectional bank ring** — uses all four Table IV channels; the
+//!   ablated unidirectional ring halves inter-bank bandwidth;
+//! * **broadcast-based inter-rank reduction** — one bus pass both reduces
+//!   and redistributes; the ablated scatter+AllGather pays the bus twice.
+
+use pim_arch::geometry::PimGeometry;
+use pim_sim::SimTime;
+use pimnet::schedule::{AllReduceOptions, CommSchedule};
+use pimnet::timing::TimingModel;
+use pimnet_bench::{us, Table};
+
+fn main() {
+    let g = PimGeometry::paper();
+    let m = TimingModel::paper();
+    let variants = [
+        ("paper (bidir + broadcast)", AllReduceOptions::default()),
+        (
+            "unidirectional ring",
+            AllReduceOptions {
+                bidirectional_ring: false,
+                ..AllReduceOptions::default()
+            },
+        ),
+        (
+            "scatter+AG inter-rank",
+            AllReduceOptions {
+                rank_broadcast: false,
+                ..AllReduceOptions::default()
+            },
+        ),
+        (
+            "both ablated",
+            AllReduceOptions {
+                bidirectional_ring: false,
+                rank_broadcast: false,
+            },
+        ),
+    ];
+
+    let mut t = Table::new(
+        "AllReduce design ablations (32 KB/DPU, 256 DPUs)",
+        &["variant", "inter-bank", "inter-chip", "inter-rank", "total", "vs paper"],
+    );
+    let baseline = {
+        let s = CommSchedule::build_allreduce_with(&g, 8192, 4, variants[0].1).unwrap();
+        m.time_schedule(&s, SimTime::ZERO).total()
+    };
+    for (name, opts) in variants {
+        let s = CommSchedule::build_allreduce_with(&g, 8192, 4, opts).unwrap();
+        pimnet::schedule::validate::validate(&s).expect("valid");
+        let b = m.time_schedule(&s, SimTime::ZERO);
+        t.row([
+            name.to_string(),
+            us(b.inter_bank),
+            us(b.inter_chip),
+            us(b.inter_rank),
+            us(b.total()),
+            format!("{:.2}x", b.total().ratio(baseline)),
+        ]);
+    }
+    // A different *algorithm* entirely: textbook recursive halving-doubling
+    // (2 log N steps) — fast on fat networks, wrong for this fabric.
+    let hd = pimnet::schedule::halving::build_halving_doubling(&g, 8192, 4).unwrap();
+    pimnet::schedule::validate::validate(&hd).expect("valid");
+    let b = m.time_schedule(&hd, SimTime::ZERO);
+    t.row([
+        "halving-doubling (16 steps)".to_string(),
+        us(b.inter_bank),
+        us(b.inter_chip),
+        us(b.inter_rank),
+        us(b.total()),
+        format!("{:.2}x", b.total().ratio(baseline)),
+    ]);
+    t.emit("ablation_allreduce");
+}

@@ -1,0 +1,51 @@
+//! Extension beyond the paper: communication *energy* of PIMnet vs the
+//! host path, from the per-byte data-movement model in `pimnet::energy`.
+//! (The paper reports hardware power only; this answers the obvious
+//! follow-up question.)
+
+use pim_arch::PimGeometry;
+use pim_sim::Bytes;
+use pimnet::collective::CollectiveKind;
+use pimnet::energy::EnergyModel;
+use pimnet::schedule::CommSchedule;
+use pimnet_bench::Table;
+
+fn main() {
+    let g = PimGeometry::paper();
+    let e = EnergyModel::default_45nm();
+    let mut t = Table::new(
+        "Extension: collective communication energy, PIMnet vs host path (256 DPUs)",
+        &[
+            "collective", "KB/DPU", "PIMnet (uJ)", "bank/chip/rank (uJ)", "host path (uJ)",
+            "saving",
+        ],
+    );
+    for kind in [
+        CollectiveKind::AllReduce,
+        CollectiveKind::ReduceScatter,
+        CollectiveKind::AllToAll,
+    ] {
+        for kb in [8u64, 32, 128] {
+            let elems = (kb * 1024 / 4) as usize;
+            let s = CommSchedule::build(kind, &g, elems, 4).unwrap();
+            let pim = e.schedule_energy_uj(&s);
+            let (b, c, r) = e.breakdown_uj(&s);
+            let up = Bytes::kib(kb) * 256;
+            let down = match kind {
+                CollectiveKind::AllReduce => Bytes::kib(kb),
+                CollectiveKind::ReduceScatter => Bytes::kib(kb),
+                _ => up,
+            };
+            let host = e.host_energy_uj(up, down);
+            t.row([
+                kind.abbrev().to_string(),
+                kb.to_string(),
+                format!("{pim:.1}"),
+                format!("{b:.1}/{c:.1}/{r:.1}"),
+                format!("{host:.1}"),
+                format!("{:.1}x", host / pim),
+            ]);
+        }
+    }
+    t.emit("energy_extension");
+}

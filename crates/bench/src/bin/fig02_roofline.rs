@@ -1,0 +1,95 @@
+//! Fig 2: roofline models showing the potential of a dedicated PIM
+//! interconnect.
+//!
+//! (a) classic roofline (identical memory slope for every implementation);
+//! (b) communication roofline: attainable throughput vs *communication
+//! arithmetic intensity*, with one slope per collective implementation.
+//! The paper's headline: PIMnet reaches ≈8× the compute throughput of
+//! Software (Ideal) in the communication-bound region.
+
+use pim_arch::SystemConfig;
+use pim_sim::Bytes;
+use pimnet::backends::{BaselineHostBackend, PimnetBackend, SoftwareIdealBackend};
+use pimnet::collective::{CollectiveKind, CollectiveSpec};
+use pimnet::roofline::{
+    algorithmic_bytes, compute_roofline, effective_collective_bandwidth, Roofline,
+};
+use pimnet::FabricConfig;
+use pimnet_bench::Table;
+
+fn main() {
+    let sys = SystemConfig::paper();
+    let fabric = FabricConfig::paper();
+    let spec = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(32));
+
+    let classic = compute_roofline(&sys);
+    println!(
+        "classic roofline: peak {:.1} GOPS, internal BW {:.1} GB/s, knee {:.2} ops/B\n",
+        classic.peak_ops_per_sec / 1e9,
+        classic.bandwidth / 1e9,
+        classic.knee()
+    );
+
+    // Communication rooflines: Baseline, Max DRAM BW (19.2 GB/s ideal DDR),
+    // Software (Ideal), PIMnet.
+    let base_bw =
+        effective_collective_bandwidth(&BaselineHostBackend::new(sys), &spec).expect("baseline");
+    let ideal_bw = effective_collective_bandwidth(&SoftwareIdealBackend::new(sys), &spec)
+        .expect("software-ideal");
+    let pim_bw =
+        effective_collective_bandwidth(&PimnetBackend::new(sys, fabric), &spec).expect("pimnet");
+    // "Max DRAM BW" assumes the full DDR bandwidth moves collective data.
+    let total = algorithmic_bytes(&spec, sys.geometry.dpus_per_channel());
+    let max_dram_bw = total.as_u64() as f64 / sys.buffer_chip_bw.transfer_time(total).as_secs_f64();
+
+    let models = [
+        ("Baseline PIM", base_bw),
+        ("Max DRAM BW", max_dram_bw),
+        ("Software (Ideal)", ideal_bw),
+        ("PIMnet", pim_bw),
+    ];
+
+    let mut t = Table::new(
+        "Fig 2(b): communication roofline (attainable GOPS vs comm. arithmetic intensity)",
+        &[
+            "ops/byte",
+            "Baseline PIM",
+            "Max DRAM BW",
+            "Software (Ideal)",
+            "PIMnet",
+        ],
+    );
+    let mut ai = 0.0625f64;
+    while ai <= 16_384.0 {
+        let mut row = vec![format!("{ai:.4}")];
+        for (_, bw) in models {
+            let r = Roofline {
+                peak_ops_per_sec: classic.peak_ops_per_sec,
+                bandwidth: bw,
+            };
+            row.push(format!("{:.3}", r.attainable(ai) / 1e9));
+        }
+        t.row(row);
+        ai *= 4.0;
+    }
+    t.emit("fig02_roofline");
+
+    let mut s = Table::new(
+        "Fig 2(b): effective collective bandwidth (slopes)",
+        &["model", "GB/s", "vs Software (Ideal)"],
+    );
+    for (name, bw) in models {
+        s.row([
+            name.to_string(),
+            format!("{:.2}", bw / 1e9),
+            format!("{:.2}x", bw / ideal_bw),
+        ]);
+    }
+    s.emit("fig02_slopes");
+
+    println!(
+        "PIMnet vs Software (Ideal) compute-throughput gain in the \
+         communication-bound region: {:.1}x (paper: ~8x)",
+        pim_bw / ideal_bw
+    );
+}

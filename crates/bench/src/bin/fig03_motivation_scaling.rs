@@ -1,0 +1,56 @@
+//! Fig 3: weak-scaling of AllReduce and All-to-All across PIM
+//! implementations (8 → 256 DPUs, 32 KB per DPU), normalized to the
+//! baseline system at 8 PIM banks.
+//!
+//! Normalized performance = (n / 8) × t_baseline(8) / t(n): with weak
+//! scaling the delivered work grows with n, so a flat line means perfect
+//! scalability.
+
+use pim_arch::SystemConfig;
+use pim_sim::Bytes;
+use pimnet::backends::{BaselineHostBackend, CollectiveBackend, PimnetBackend, SoftwareIdealBackend};
+use pimnet::collective::{CollectiveKind, CollectiveSpec};
+use pimnet::FabricConfig;
+use pimnet_bench::Table;
+
+fn main() {
+    for kind in [CollectiveKind::AllReduce, CollectiveKind::AllToAll] {
+        let spec = CollectiveSpec::new(kind, Bytes::kib(32));
+        let base8 = BaselineHostBackend::new(SystemConfig::paper_scaled(8))
+            .collective(&spec)
+            .expect("baseline@8")
+            .total();
+
+        let mut t = Table::new(
+            &format!("Fig 3: {kind} weak scaling (normalized to Baseline @ 8 DPUs)"),
+            &["DPUs", "Baseline", "Software (Ideal)", "PIMnet"],
+        );
+        for n in [8u32, 16, 32, 64, 128, 256] {
+            let sys = SystemConfig::paper_scaled(n);
+            let norm = |total: pim_sim::SimTime| {
+                format!("{:.2}", (f64::from(n) / 8.0) * base8.as_secs_f64() / total.as_secs_f64())
+            };
+            let b = BaselineHostBackend::new(sys).collective(&spec).unwrap().total();
+            let s = SoftwareIdealBackend::new(sys).collective(&spec).unwrap().total();
+            let p = PimnetBackend::new(sys, FabricConfig::paper())
+                .collective(&spec)
+                .unwrap()
+                .total();
+            t.row([n.to_string(), norm(b), norm(s), norm(p)]);
+        }
+        t.emit(&format!("fig03_{}", kind.abbrev().to_lowercase()));
+    }
+
+    // The headline number: PIMnet vs baseline on collectives at 256 DPUs.
+    let spec = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(32));
+    let sys = SystemConfig::paper();
+    let b = BaselineHostBackend::new(sys).collective(&spec).unwrap().total();
+    let p = PimnetBackend::new(sys, FabricConfig::paper())
+        .collective(&spec)
+        .unwrap()
+        .total();
+    println!(
+        "AllReduce @ 256 DPUs: baseline {b}, PIMnet {p} -> {:.1}x (paper: up to 85x)",
+        b.ratio(p)
+    );
+}

@@ -1,0 +1,65 @@
+//! Fig 13: credit-based flow control vs PIM-controlled traffic scheduling,
+//! on the cycle-level network simulator.
+//!
+//! As in the paper's Booksim experiment, per-DPU compute-finish times are
+//! jittered (the paper fed real UPMEM measurements; we draw from a seeded
+//! ±10 % distribution): under credit-based flow control each DPU injects
+//! the moment it finishes, under PIM control everything waits for the
+//! READY/START barrier after the last DPU. Expectation (paper): AllReduce
+//! within ~1 %, All-to-All ~18.7 % *faster* under PIM control because the
+//! dynamic network contends at the inter-chip crossbar.
+
+use pim_arch::geometry::PimGeometry;
+use pim_noc::{simulate_credit, simulate_scheduled, NocConfig};
+use pim_sim::SimTime;
+use pimnet::collective::CollectiveKind;
+use pimnet::schedule::CommSchedule;
+use pimnet_bench::{us, Table};
+use rand::{Rng, SeedableRng};
+
+fn ready_times(n: u32, mean_us: f64, jitter: f64, seed: u64) -> Vec<SimTime> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let f = 1.0 + rng.gen_range(-jitter..=jitter);
+            SimTime::from_secs_f64(mean_us * 1e-6 * f)
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = NocConfig::paper();
+    let mut t = Table::new(
+        "Fig 13: credit-based vs PIM-controlled completion time (us)",
+        &[
+            "collective", "DPUs", "KB/DPU", "credit", "scheduled", "PIM-control gain",
+        ],
+    );
+
+    for (kind, n, elems) in [
+        (CollectiveKind::AllReduce, 64u32, 2048usize),
+        (CollectiveKind::AllReduce, 64, 8192),
+        (CollectiveKind::AllToAll, 64, 2048),
+        (CollectiveKind::AllToAll, 64, 8192),
+    ] {
+        let g = PimGeometry::paper_scaled(n);
+        let s = CommSchedule::build(kind, &g, elems, 4).expect("schedule");
+        let ready = ready_times(n, 50.0, 0.10, 0xF16_13);
+        let credit = simulate_credit(&s, &ready, &cfg);
+        let sched = simulate_scheduled(&s, &ready, &cfg);
+        let gain = 1.0 - sched.completion.as_secs_f64() / credit.completion.as_secs_f64();
+        t.row([
+            kind.to_string(),
+            n.to_string(),
+            (elems * 4 / 1024).to_string(),
+            us(credit.completion),
+            us(sched.completion),
+            format!("{:+.1}%", gain * 100.0),
+        ]);
+    }
+    t.emit("fig13_flow_control");
+    println!(
+        "Paper: AllReduce within ~1% of each other; All-to-All 18.7% faster \
+         under PIM control (crossbar contention under credit-based wormhole)."
+    );
+}

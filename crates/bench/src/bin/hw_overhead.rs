@@ -1,0 +1,58 @@
+//! §VI-B "Hardware Overhead of PIMnet": the analytical substitute for the
+//! paper's Verilog + OpenROAD (45 nm, 3 metal layers) synthesis.
+
+use pim_sim::SimTime;
+use pimnet::hwcost::HwCostModel;
+use pimnet::sync::{SyncModel, SyncScope};
+use pimnet_bench::Table;
+
+fn main() {
+    let m = HwCostModel::nangate45();
+    let stop = m.pimnet_stop();
+    let router = m.ring_router();
+    let switch = m.interchip_switch();
+
+    let mut t = Table::new(
+        "Hardware overhead (45 nm analytical model)",
+        &["block", "area (mm^2)", "power (mW)"],
+    );
+    t.row([
+        "PIMnet stop".to_string(),
+        format!("{:.5}", stop.area_mm2),
+        format!("{:.3}", stop.power_mw),
+    ]);
+    t.row([
+        "ring NoC router".to_string(),
+        format!("{:.5}", router.area_mm2),
+        format!("{:.3}", router.power_mw),
+    ]);
+    t.row([
+        "inter-chip 8x8 switch".to_string(),
+        format!("{:.5}", switch.area_mm2),
+        format!("{:.3}", switch.power_mw),
+    ]);
+    t.emit("hw_overhead");
+
+    println!(
+        "PIMnet stop vs PIM bank: {:.3}% area (paper: 0.09%), {:.2}% power (paper: 1.6%)",
+        m.stop_area_overhead() * 100.0,
+        m.stop_power_overhead() * 100.0
+    );
+    println!(
+        "PIMnet stop vs ring router: {:.0}x smaller (paper: >60x)",
+        m.stop_vs_router_ratio()
+    );
+    println!(
+        "inter-chip switch: {:.3} mm^2 / {:.0} mW (paper: 0.013 mm^2, 17 mW)",
+        switch.area_mm2, switch.power_mw
+    );
+
+    let sync = SyncModel::default();
+    let worst = sync.one_way(SyncScope::Channel);
+    println!(
+        "READY/START worst-case propagation: {worst} (~{} DPU cycles; paper: ~15 ns / ~6 cycles); \
+         full barrier {}",
+        worst.as_ns() / 2.857,
+        sync.barrier(SyncScope::Channel, SimTime::ZERO)
+    );
+}

@@ -1,0 +1,59 @@
+//! Table IV: the three PIMnet network tiers, their physical channels,
+//! widths and bandwidths — printed from the live configuration with the
+//! derived §IV-B aggregates self-checked.
+
+use pim_arch::PimGeometry;
+use pimnet::FabricConfig;
+use pimnet_bench::Table;
+
+fn main() {
+    let f = FabricConfig::paper();
+    let g = PimGeometry::paper();
+
+    let mut t = Table::new(
+        "Table IV: PIMnet network hierarchy",
+        &["tier", "physical channel", "#ch", "width", "GB/s per ch", "topology", "router"],
+    );
+    t.row([
+        "inter-bank",
+        "bank I/O bus",
+        "4",
+        "16 b",
+        &format!("{:.2}", f.bank_channel_bw.as_gbps()),
+        "ring",
+        "PIMnet stop",
+    ]);
+    t.row([
+        "inter-chip",
+        "DQ pins",
+        "2",
+        "4 b",
+        &format!("{:.2}", f.chip_channel_bw.as_gbps()),
+        "crossbar",
+        "buffer chip",
+    ]);
+    t.row([
+        "inter-rank",
+        "DDR bus",
+        "1 (half-duplex)",
+        "64 b",
+        &format!("{:.1}", f.rank_bus_bw.as_gbps()),
+        "bus",
+        "buffer chip",
+    ]);
+    t.emit("table04_tiers");
+
+    // §IV-B derived aggregates, asserted as printed.
+    let bisection = f.inter_bank_bisection_per_chip();
+    assert_eq!(bisection.as_gbps(), 2.8);
+    println!("inter-bank bisection per chip: {bisection} (paper: 2.8 GB/s)");
+    let per_rank_chips = f.bank_channel_bw.aggregate(4).aggregate(8);
+    assert_eq!(per_rank_chips.as_gbps(), 22.4);
+    println!("inter-bank bisection per rank (8 chips): {per_rank_chips} (paper: 22.4 GB/s)");
+    let rank_agg = f.aggregate_ring_bandwidth(&PimGeometry::new(8, 8, 1, 1));
+    assert_eq!(rank_agg.as_gbps(), 179.2);
+    println!(
+        "aggregated send+receive ring bandwidth per 64-DPU rank: {rank_agg} (paper: 179.2 GB/s)"
+    );
+    println!("system: {g}");
+}

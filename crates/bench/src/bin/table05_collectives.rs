@@ -1,0 +1,46 @@
+//! Table V: how each collective maps onto the PIMnet tiers — derived from
+//! the actual compiled schedules, not hard-coded strings.
+
+use pim_arch::PimGeometry;
+use pim_sim::SimTime;
+use pimnet::collective::CollectiveKind;
+use pimnet::schedule::{CommSchedule, PhaseLabel};
+use pimnet::timing::TimingModel;
+use pimnet_bench::{us, Table};
+
+fn tier_word(kind: CollectiveKind, label: PhaseLabel) -> &'static str {
+    match (label, kind) {
+        (PhaseLabel::Local, _) => "Local",
+        (PhaseLabel::InterBank, _) => "Ring(inter-bank)",
+        (PhaseLabel::InterChip, CollectiveKind::AllToAll) => "Permutation(inter-chip)",
+        (PhaseLabel::InterChip, _) => "Ring(inter-chip)",
+        (PhaseLabel::InterRank, CollectiveKind::AllToAll) => "Unicast(inter-rank)",
+        (PhaseLabel::InterRank, _) => "Broadcast(inter-rank)",
+    }
+}
+
+fn main() {
+    let g = PimGeometry::paper();
+    let timing = TimingModel::paper();
+    let mut t = Table::new(
+        "Table V: collective primitives on PIMnet (from compiled schedules)",
+        &["collective", "tier sequence", "steps", "wire bytes", "time @32KB/DPU"],
+    );
+    for kind in CollectiveKind::ALL {
+        let s = CommSchedule::build(kind, &g, 8192, 4).expect("schedule");
+        let seq: Vec<&str> = s
+            .phases
+            .iter()
+            .filter(|p| p.label != PhaseLabel::Local)
+            .map(|p| tier_word(kind, p.label))
+            .collect();
+        t.row([
+            kind.to_string(),
+            seq.join(" -> "),
+            s.step_count().to_string(),
+            s.total_wire_bytes().to_string(),
+            us(timing.time_schedule(&s, SimTime::ZERO).total()),
+        ]);
+    }
+    t.emit("table05_collectives");
+}

@@ -1,0 +1,318 @@
+//! Subcommand implementations.
+
+use pim_arch::SystemConfig;
+use pim_sim::{Bytes, SimTime};
+use pimnet::api::PimnetSystem;
+use pimnet::backends::BackendKind;
+use pimnet::collective::{CollectiveKind, CollectiveSpec};
+use pimnet::schedule::CommSchedule;
+use pimnet::FabricConfig;
+
+use crate::args::Flags;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+pimnet-cli — PIMnet (HPCA 2025) simulator CLI
+
+USAGE:
+  pimnet-cli collective --kind <coll> --kb <n> [--dpus <n>] [--backend B|S|N|D|P|all]
+  pimnet-cli workload   --name <BFS|CC|MLP|GEMV|EMB_Synth|EMB_RM1..3|NTT|SpMV|Join>
+                    [--backend B|S|N|D|P|all]
+  pimnet-cli suite
+  pimnet-cli schedule   --kind <coll> [--dpus <n>] [--elems <n>]
+  pimnet-cli noc        --kind <coll> [--dpus <n>] [--elems <n>] [--jitter-us <f>]
+
+  <coll> = allreduce | reducescatter | allgather | a2a | broadcast | reduce | gather";
+
+/// Dispatches a parsed command line.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("no command given".into());
+    };
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "collective" => collective(&flags),
+        "workload" => workload(&flags),
+        "suite" => suite(),
+        "schedule" => schedule(&flags),
+        "noc" => noc(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn parse_kind(s: &str) -> Result<CollectiveKind, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "allreduce" | "ar" => CollectiveKind::AllReduce,
+        "reducescatter" | "rs" => CollectiveKind::ReduceScatter,
+        "allgather" | "ag" => CollectiveKind::AllGather,
+        "a2a" | "alltoall" | "all-to-all" => CollectiveKind::AllToAll,
+        "broadcast" | "bc" => CollectiveKind::Broadcast,
+        "reduce" | "rd" => CollectiveKind::Reduce,
+        "gather" | "ga" => CollectiveKind::Gather,
+        other => return Err(format!("unknown collective '{other}'")),
+    })
+}
+
+fn parse_backends(s: &str) -> Result<Vec<BackendKind>, String> {
+    if s.eq_ignore_ascii_case("all") {
+        return Ok(BackendKind::ALL.to_vec());
+    }
+    s.chars()
+        .map(|c| match c.to_ascii_uppercase() {
+            'B' => Ok(BackendKind::Baseline),
+            'S' => Ok(BackendKind::SoftwareIdeal),
+            'N' => Ok(BackendKind::NdpBridge),
+            'D' => Ok(BackendKind::DimmLink),
+            'P' => Ok(BackendKind::Pimnet),
+            other => Err(format!("unknown backend key '{other}' (use B/S/N/D/P)")),
+        })
+        .collect()
+}
+
+fn system_for(dpus: u32) -> Result<PimnetSystem, String> {
+    if !(dpus.is_power_of_two() && (1..=256).contains(&dpus)) {
+        return Err(format!("--dpus must be a power of two in 1..=256, got {dpus}"));
+    }
+    Ok(PimnetSystem::new(
+        SystemConfig::paper_scaled(dpus),
+        FabricConfig::paper(),
+    ))
+}
+
+fn warn_unknown(flags: &Flags, known: &[&str]) {
+    for k in flags.keys() {
+        if !known.contains(&k) {
+            eprintln!("warning: ignoring unknown flag --{k}");
+        }
+    }
+}
+
+fn collective(flags: &Flags) -> Result<(), String> {
+    warn_unknown(flags, &["kind", "kb", "dpus", "backend"]);
+    let kind = parse_kind(flags.require("kind")?)?;
+    let kb: u64 = flags.num_or("kb", 32)?;
+    let dpus: u32 = flags.num_or("dpus", 256)?;
+    let backends = parse_backends(flags.get_or("backend", "all"))?;
+    let sys = system_for(dpus)?;
+    let spec = CollectiveSpec::new(kind, Bytes::kib(kb));
+
+    println!("{kind}, {kb} KiB/DPU, {dpus} DPUs:");
+    let mut baseline = None;
+    for bk in backends {
+        let backend = sys.backend(bk);
+        match backend.collective(&spec) {
+            Ok(r) => {
+                if bk == BackendKind::Baseline {
+                    baseline = Some(r.total());
+                }
+                let vs = baseline
+                    .map(|b| format!("  ({:.2}x vs baseline)", b.ratio(r.total())))
+                    .unwrap_or_default();
+                println!("  {:<18} {}{vs}", bk.to_string(), r);
+            }
+            Err(e) => println!("  {:<18} unsupported: {e}", bk.to_string()),
+        }
+    }
+    Ok(())
+}
+
+fn find_workload(name: &str) -> Option<Box<dyn pim_workloads::Workload>> {
+    pim_workloads::paper_suite()
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+}
+
+fn workload(flags: &Flags) -> Result<(), String> {
+    warn_unknown(flags, &["name", "backend"]);
+    let name = flags.require("name")?;
+    let w = find_workload(name).ok_or_else(|| format!("unknown workload '{name}'"))?;
+    let backends = parse_backends(flags.get_or("backend", "all"))?;
+    let sys = SystemConfig::paper();
+    let pimnet = PimnetSystem::paper();
+    let program = w.program(&sys);
+    println!(
+        "{} ({} phases, {} of collective payload per DPU):",
+        w.name(),
+        program.phases.len(),
+        program.total_collective_bytes()
+    );
+    for bk in backends {
+        let backend = pimnet.backend(bk);
+        if !program.collective_kinds().iter().all(|&k| backend.supports(k)) {
+            println!("  {:<18} unsupported collective", bk.to_string());
+            continue;
+        }
+        let r = pim_workloads::program::run_program(&program, &sys, backend.as_ref())
+            .map_err(|e| e.to_string())?;
+        println!("  {:<18} {}", bk.to_string(), r);
+    }
+    Ok(())
+}
+
+fn suite() -> Result<(), String> {
+    let sys = SystemConfig::paper();
+    let pimnet = PimnetSystem::paper();
+    let base = pimnet.backend(BackendKind::Baseline);
+    let pim = pimnet.backend(BackendKind::Pimnet);
+    println!("workload suite, PIMnet vs baseline (256 DPUs):");
+    for w in pim_workloads::paper_suite() {
+        let program = w.program(&sys);
+        let b = pim_workloads::program::run_program(&program, &sys, base.as_ref())
+            .map_err(|e| e.to_string())?;
+        let p = pim_workloads::program::run_program(&program, &sys, pim.as_ref())
+            .map_err(|e| e.to_string())?;
+        println!(
+            "  {:<10} baseline {:>12}  pimnet {:>12}  speedup {:>7.2}x",
+            w.name(),
+            b.total().to_string(),
+            p.total().to_string(),
+            b.total().ratio(p.total())
+        );
+    }
+    Ok(())
+}
+
+fn schedule(flags: &Flags) -> Result<(), String> {
+    warn_unknown(flags, &["kind", "dpus", "elems", "timeline"]);
+    let kind = parse_kind(flags.require("kind")?)?;
+    let dpus: u32 = flags.num_or("dpus", 256)?;
+    let elems: usize = flags.num_or("elems", 8192)?;
+    let sys = system_for(dpus)?;
+    let s = CommSchedule::build(kind, &sys.system().geometry, elems, 4)
+        .map_err(|e| e.to_string())?;
+    let report = pimnet::schedule::validate::validate(&s).map_err(|e| e.to_string())?;
+    println!(
+        "{kind} on {dpus} DPUs, {elems} elements/DPU: {} phases, {} steps, \
+         {} transfers, {} on the wire",
+        s.phases.len(),
+        s.step_count(),
+        s.transfer_count(),
+        s.total_wire_bytes()
+    );
+    for (i, phase) in s.phases.iter().enumerate() {
+        println!(
+            "  phase {i}: {:<11} {} steps{}",
+            phase.label.to_string(),
+            phase.steps.len(),
+            if phase.multiplexed { "  (WAIT-multiplexed)" } else { "" }
+        );
+    }
+    println!(
+        "validation: max sharing ring={} chip={} bus={}",
+        report.max_ring_sharing, report.max_chip_sharing, report.max_bus_sharing
+    );
+    let compiled = pimnet::isa::compile(&s).map_err(|e| e.to_string())?;
+    println!(
+        "offload: {} PIM instructions across {dpus} DPUs ({} per DPU)",
+        compiled.instruction_count(),
+        compiled.instruction_count() / dpus as usize
+    );
+    let energy = pimnet::energy::EnergyModel::default_45nm();
+    println!(
+        "energy: {:.2} uJ over PIMnet (per-tier {:?})",
+        energy.schedule_energy_uj(&s),
+        energy.breakdown_uj(&s)
+    );
+    if let Ok(path) = flags.require("timeline") {
+        let timeline =
+            pimnet::timeline::Timeline::build(&s, &pimnet::timing::TimingModel::paper());
+        std::fs::write(path, timeline.to_csv()).map_err(|e| e.to_string())?;
+        println!(
+            "timeline: {} transfer windows ending at {} -> {path}",
+            timeline.windows.len(),
+            timeline.end
+        );
+    }
+    Ok(())
+}
+
+fn noc(flags: &Flags) -> Result<(), String> {
+    warn_unknown(flags, &["kind", "dpus", "elems", "jitter-us"]);
+    let kind = parse_kind(flags.get_or("kind", "a2a"))?;
+    let dpus: u32 = flags.num_or("dpus", 64)?;
+    let elems: usize = flags.num_or("elems", 2048)?;
+    let jitter_us: f64 = flags.num_or("jitter-us", 40.0)?;
+    let sys = system_for(dpus)?;
+    let s = CommSchedule::build(kind, &sys.system().geometry, elems, 4)
+        .map_err(|e| e.to_string())?;
+    let cfg = pim_noc::NocConfig::paper();
+    let ready: Vec<SimTime> = (0..u64::from(dpus))
+        .map(|i| {
+            let f = 0.9 + 0.2 * ((i.wrapping_mul(2_654_435_761) % 1_000) as f64 / 1_000.0);
+            SimTime::from_secs_f64(jitter_us * 1e-6 * f)
+        })
+        .collect();
+    let credit = pim_noc::simulate_credit(&s, &ready, &cfg);
+    let sched = pim_noc::simulate_scheduled(&s, &ready, &cfg);
+    println!("{kind} on {dpus} DPUs, {elems} elements/DPU, ±10% jitter around {jitter_us} us:");
+    println!("  credit-based : {credit}");
+    println!(
+        "                 p50 latency {}, p99 {}, busiest link {:.1}% utilized",
+        credit.p50_latency,
+        credit.p99_latency,
+        credit.max_link_utilization * 100.0
+    );
+    println!("  PIM-control  : {sched}");
+    let gain = 1.0 - sched.completion.as_secs_f64() / credit.completion.as_secs_f64();
+    println!("  PIM control changes completion by {:+.1}%", gain * 100.0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<(), String> {
+        dispatch(&args.iter().map(|s| (*s).to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn kind_parsing() {
+        assert_eq!(parse_kind("AllReduce").unwrap(), CollectiveKind::AllReduce);
+        assert_eq!(parse_kind("a2a").unwrap(), CollectiveKind::AllToAll);
+        assert!(parse_kind("nope").is_err());
+    }
+
+    #[test]
+    fn backend_parsing() {
+        assert_eq!(parse_backends("all").unwrap().len(), 5);
+        assert_eq!(
+            parse_backends("BP").unwrap(),
+            vec![BackendKind::Baseline, BackendKind::Pimnet]
+        );
+        assert!(parse_backends("X").is_err());
+    }
+
+    #[test]
+    fn collective_command_runs() {
+        run(&["collective", "--kind", "allreduce", "--kb", "4", "--dpus", "64", "--backend", "BP"])
+            .unwrap();
+    }
+
+    #[test]
+    fn schedule_command_runs() {
+        run(&["schedule", "--kind", "rs", "--dpus", "32", "--elems", "256"]).unwrap();
+    }
+
+    #[test]
+    fn noc_command_runs() {
+        run(&["noc", "--kind", "ar", "--dpus", "16", "--elems", "256"]).unwrap();
+    }
+
+    #[test]
+    fn bad_input_is_reported() {
+        assert!(run(&["collective"]).is_err()); // missing --kind
+        assert!(run(&["collective", "--kind", "ar", "--dpus", "100"]).is_err());
+        assert!(run(&["frobnicate"]).is_err());
+        assert!(run(&["workload", "--name", "nope"]).is_err());
+    }
+
+    #[test]
+    fn help_prints() {
+        run(&["help"]).unwrap();
+    }
+}

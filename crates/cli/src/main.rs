@@ -1,0 +1,27 @@
+//! `pimnet` — command-line front end for the PIMnet simulator.
+//!
+//! ```text
+//! pimnet-cli collective --kind allreduce --kb 32 [--dpus 256] [--backend P]
+//! pimnet-cli workload   --name CC [--backend P]
+//! pimnet-cli suite                        # every workload x every backend
+//! pimnet-cli schedule   --kind a2a --dpus 64 --elems 1024
+//! pimnet-cli noc        --kind a2a --dpus 64 --elems 2048 [--jitter-us 40]
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

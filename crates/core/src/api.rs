@@ -1,0 +1,248 @@
+//! High-level convenience API — the `PIMnet_AllReduce()`-style entry point
+//! of the paper's Fig 5(b).
+//!
+//! The programmer never sees address generation or traffic scheduling
+//! (§V-D): [`PimnetSystem`] wraps a system + fabric pair and exposes one
+//! call per collective, plus the comparison backends for evaluation work.
+
+use pim_arch::geometry::DpuId;
+use pim_arch::SystemConfig;
+use pim_sim::Bytes;
+
+use crate::backends::{
+    all_backends, BackendKind, BaselineHostBackend, CollectiveBackend, PimnetBackend,
+    SoftwareIdealBackend,
+};
+use crate::collective::{CollectiveKind, CollectiveSpec};
+use crate::error::PimnetError;
+use crate::exec::{Element, ExecMachine, ReduceOp};
+use crate::fabric::FabricConfig;
+use crate::schedule::CommSchedule;
+use crate::timing::CommBreakdown;
+
+/// A PIM system with PIMnet attached: the library's front door.
+///
+/// # Example
+///
+/// ```
+/// use pim_sim::Bytes;
+/// use pimnet::api::PimnetSystem;
+/// use pimnet::collective::CollectiveKind;
+/// use pimnet::exec::ReduceOp;
+///
+/// let sys = PimnetSystem::paper();
+///
+/// // Functionally execute an AllReduce on real vectors (and time it).
+/// let (machine, time) = sys.execute(
+///     CollectiveKind::AllReduce,
+///     ReduceOp::Sum,
+///     |id| vec![u64::from(id.0); 64],
+/// )?;
+/// let expected: u64 = (0..256).sum();
+/// assert!(machine
+///     .buffer(pim_arch::geometry::DpuId(0))[..64]
+///     .iter()
+///     .all(|&x| x == expected));
+/// assert!(time.total().as_us() < 100.0);
+/// # Ok::<(), pimnet::PimnetError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PimnetSystem {
+    system: SystemConfig,
+    fabric: FabricConfig,
+}
+
+impl PimnetSystem {
+    /// Creates a system with PIMnet attached.
+    #[must_use]
+    pub fn new(system: SystemConfig, fabric: FabricConfig) -> Self {
+        PimnetSystem { system, fabric }
+    }
+
+    /// The paper's evaluation system (256 DPUs, Table IV fabric).
+    #[must_use]
+    pub fn paper() -> Self {
+        PimnetSystem::new(SystemConfig::paper(), FabricConfig::paper())
+    }
+
+    /// The system configuration.
+    #[must_use]
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// The fabric configuration.
+    #[must_use]
+    pub fn fabric(&self) -> &FabricConfig {
+        &self.fabric
+    }
+
+    /// The PIMnet backend for this system.
+    #[must_use]
+    pub fn pimnet(&self) -> PimnetBackend {
+        PimnetBackend::new(self.system, self.fabric)
+    }
+
+    /// Every comparison backend (B, S, N, D, P) for this system.
+    #[must_use]
+    pub fn backends(&self) -> Vec<Box<dyn CollectiveBackend>> {
+        all_backends(self.system, self.fabric)
+    }
+
+    /// One backend by its Fig 10 key.
+    #[must_use]
+    pub fn backend(&self, kind: BackendKind) -> Box<dyn CollectiveBackend> {
+        match kind {
+            BackendKind::Pimnet => Box::new(self.pimnet()),
+            BackendKind::Baseline => Box::new(BaselineHostBackend::new(self.system)),
+            BackendKind::SoftwareIdeal => Box::new(SoftwareIdealBackend::new(self.system)),
+            BackendKind::DimmLink => Box::new(crate::backends::DimmLinkBackend::new(
+                self.system,
+                self.fabric,
+            )),
+            BackendKind::NdpBridge => {
+                Box::new(crate::backends::NdpBridgeBackend::new(self.system))
+            }
+        }
+    }
+
+    /// Times a PIMnet collective with `bytes` per DPU.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule build/validation errors.
+    pub fn collective(
+        &self,
+        kind: CollectiveKind,
+        bytes: Bytes,
+    ) -> Result<CommBreakdown, PimnetError> {
+        self.pimnet().collective(&CollectiveSpec::new(kind, bytes))
+    }
+
+    /// Times the same collective through the host (baseline PIM).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn baseline_collective(
+        &self,
+        kind: CollectiveKind,
+        bytes: Bytes,
+    ) -> Result<CommBreakdown, PimnetError> {
+        BaselineHostBackend::new(self.system).collective(&CollectiveSpec::new(kind, bytes))
+    }
+
+    /// Compiles the PIMnet schedule for a collective.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule build/validation errors.
+    pub fn schedule(
+        &self,
+        kind: CollectiveKind,
+        bytes: Bytes,
+    ) -> Result<CommSchedule, PimnetError> {
+        self.pimnet().schedule(&CollectiveSpec::new(kind, bytes))
+    }
+
+    /// Compiles a collective all the way to its offloaded form: per-DPU
+    /// instruction streams plus switch configurations (paper Fig 5(c)/(d)),
+    /// exactly what the host would push alongside the PIM kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule build/validation errors.
+    pub fn compile(
+        &self,
+        kind: CollectiveKind,
+        bytes: Bytes,
+    ) -> Result<crate::isa::CompiledCollective, PimnetError> {
+        let schedule = self.schedule(kind, bytes)?;
+        crate::isa::compile(&schedule)
+    }
+
+    /// Functionally executes a collective on real data *and* times it.
+    ///
+    /// `init(id)` provides each DPU's contribution as a vector of elements;
+    /// the element width is `size_of::<T>()`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule build/validation errors.
+    pub fn execute<T: Element>(
+        &self,
+        kind: CollectiveKind,
+        op: ReduceOp,
+        mut init: impl FnMut(DpuId) -> Vec<T>,
+    ) -> Result<(ExecMachine<T>, CommBreakdown), PimnetError> {
+        // Probe the contribution length from the first DPU.
+        let first = init(DpuId(0));
+        let elems = first.len();
+        let elem_bytes = std::mem::size_of::<T>() as u32;
+        let spec = CollectiveSpec::new(kind, Bytes::new(elems as u64 * u64::from(elem_bytes)))
+            .with_elem_bytes(elem_bytes);
+        let schedule = self.pimnet().schedule(&spec)?;
+        let mut machine = ExecMachine::init(&schedule, |id| {
+            if id == DpuId(0) {
+                first.clone()
+            } else {
+                init(id)
+            }
+        });
+        machine.run(&schedule, op);
+        let breakdown = self
+            .pimnet()
+            .timing()
+            .time_schedule(&schedule, spec.skew);
+        Ok((machine, breakdown))
+    }
+}
+
+impl Default for PimnetSystem {
+    fn default() -> Self {
+        PimnetSystem::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_system_wires_everything_together() {
+        let sys = PimnetSystem::paper();
+        assert_eq!(sys.system().geometry.total_dpus(), 256);
+        assert_eq!(sys.backends().len(), 5);
+    }
+
+    #[test]
+    fn collective_and_schedule_agree() {
+        let sys = PimnetSystem::paper();
+        let t = sys
+            .collective(CollectiveKind::AllReduce, Bytes::kib(8))
+            .unwrap();
+        let s = sys.schedule(CollectiveKind::AllReduce, Bytes::kib(8)).unwrap();
+        assert_eq!(s.elems_per_node, 2048);
+        assert!(t.total() > pim_sim::SimTime::ZERO);
+    }
+
+    #[test]
+    fn execute_runs_and_times() {
+        let sys = PimnetSystem::paper();
+        let (m, t) = sys
+            .execute(CollectiveKind::AllReduce, ReduceOp::Max, |id| {
+                vec![u32::from(id.0); 32]
+            })
+            .unwrap();
+        assert!(m.buffer(DpuId(9))[..32].iter().all(|&x| x == 255));
+        assert!(t.total() > pim_sim::SimTime::ZERO);
+    }
+
+    #[test]
+    fn backend_lookup_by_kind() {
+        let sys = PimnetSystem::paper();
+        for kind in BackendKind::ALL {
+            assert_eq!(sys.backend(kind).kind(), kind);
+        }
+    }
+}

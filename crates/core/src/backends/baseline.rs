@@ -1,0 +1,212 @@
+//! The baseline PIM backend: collectives through the host CPU.
+//!
+//! This is how commodity PIM works today (paper Fig 5(a), SimplePIM \[16\]):
+//! the host gathers every DPU's buffer over the DDR channel, computes any
+//! reduction on the CPU, and pushes results back. On top of the raw link
+//! times, the UPMEM SDK pays software costs that PID-Comm \[67\] identified
+//! as dominant: a fixed cost per transfer call and a per-DPU-buffer
+//! marshalling cost (the host reorders each DPU's data in its own memory
+//! before/after the DMA). The "Software (Ideal)" backend is this same model
+//! with those costs zeroed.
+
+use pim_sim::{Bytes, SimTime};
+
+use pim_arch::SystemConfig;
+
+use crate::backends::{ensure_single_channel, BackendKind, CollectiveBackend};
+use crate::collective::{CollectiveKind, CollectiveSpec};
+use crate::error::PimnetError;
+use crate::timing::CommBreakdown;
+
+/// Host-mediated collectives with UPMEM-API software overheads.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineHostBackend {
+    system: SystemConfig,
+}
+
+impl BaselineHostBackend {
+    /// Creates the backend for a system.
+    #[must_use]
+    pub fn new(system: SystemConfig) -> Self {
+        BaselineHostBackend { system }
+    }
+
+    /// The system this backend runs on.
+    #[must_use]
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    fn dpus(&self) -> u64 {
+        u64::from(self.system.geometry.dpus_per_channel())
+    }
+
+    fn ranks(&self) -> u64 {
+        u64::from(self.system.geometry.ranks_per_channel)
+    }
+
+    /// Software overhead of one host transfer direction touching `dpus`
+    /// distinct DPU buffers carrying `bytes` in total: per-rank call cost,
+    /// per-DPU descriptor cost, and the byte-proportional marshalling pass
+    /// that reorders every DPU's buffer in host memory (PID-Comm's
+    /// dominant cost).
+    fn sw_overhead(&self, dpus: u64, bytes: Bytes) -> SimTime {
+        let h = &self.system.host;
+        h.per_call_overhead * self.ranks() + h.per_dpu_overhead * dpus + h.marshal_time(bytes)
+    }
+}
+
+impl CollectiveBackend for BaselineHostBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Baseline
+    }
+
+    fn name(&self) -> &'static str {
+        "baseline-host"
+    }
+
+    fn dpus_per_channel(&self) -> u32 {
+        self.system.geometry.dpus_per_channel()
+    }
+
+    fn collective(&self, spec: &CollectiveSpec) -> Result<CommBreakdown, PimnetError> {
+        ensure_single_channel(&self.system, "baseline-host")?;
+        let h = &self.system.host;
+        let p = self.dpus();
+        let m = spec.bytes_per_dpu;
+        let total = m * p;
+
+        let host = match spec.kind {
+            CollectiveKind::AllReduce => {
+                h.gather_time(total)
+                    + h.reduce_time(total)
+                    + h.broadcast_time(m)
+                    + self.sw_overhead(p, total) // gather side marshals every buffer
+                    + h.per_call_overhead // single broadcast call
+                    + h.launch_overhead * 2
+            }
+            CollectiveKind::ReduceScatter => {
+                h.gather_time(total)
+                    + h.reduce_time(total)
+                    + h.scatter_time(m)
+                    + self.sw_overhead(p, total)
+                    + self.sw_overhead(p, m) // scatter marshals one piece per DPU
+                    + h.launch_overhead * 2
+            }
+            CollectiveKind::AllGather => {
+                h.gather_time(total)
+                    + h.broadcast_time(total)
+                    + self.sw_overhead(p, total)
+                    + h.per_call_overhead
+                    + h.launch_overhead * 2
+            }
+            CollectiveKind::AllToAll => {
+                h.gather_time(total)
+                    + h.reduce_time(total) // host-side chunk reshuffle pass
+                    + h.scatter_time(total)
+                    + self.sw_overhead(p, total) * 2
+                    + h.launch_overhead * 2
+            }
+            CollectiveKind::Broadcast => {
+                h.gather_time(m) // root -> host
+                    + h.broadcast_time(m)
+                    + self.sw_overhead(1, m)
+                    + h.per_call_overhead
+                    + h.launch_overhead * 2
+            }
+            CollectiveKind::Reduce => {
+                h.gather_time(total)
+                    + h.reduce_time(total)
+                    + h.scatter_time(m) // host -> root
+                    + self.sw_overhead(p, total)
+                    + self.sw_overhead(1, m)
+                    + h.launch_overhead * 2
+            }
+            CollectiveKind::Gather => {
+                h.gather_time(total)
+                    + h.scatter_time(total) // host -> root, all pieces
+                    + self.sw_overhead(p, total)
+                    + self.sw_overhead(1, total)
+                    + h.launch_overhead * 2
+            }
+        };
+
+        Ok(CommBreakdown {
+            host,
+            sync: spec.skew,
+            ..CommBreakdown::zero()
+        })
+    }
+}
+
+/// Bytes the host moves up (PIM→CPU) for a collective — exposed for the
+/// roofline and multi-channel models.
+#[must_use]
+pub fn host_upward_bytes(kind: CollectiveKind, bytes_per_dpu: Bytes, dpus: u64) -> Bytes {
+    match kind {
+        CollectiveKind::Broadcast => bytes_per_dpu,
+        _ => bytes_per_dpu * dpus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::SoftwareIdealBackend;
+
+    fn spec(kind: CollectiveKind) -> CollectiveSpec {
+        CollectiveSpec::new(kind, Bytes::kib(32))
+    }
+
+    #[test]
+    fn baseline_allreduce_is_milliseconds_at_paper_scale() {
+        let b = BaselineHostBackend::new(SystemConfig::paper());
+        let t = b.collective(&spec(CollectiveKind::AllReduce)).unwrap().total();
+        assert!(t.as_ms() > 2.0, "baseline AR too fast: {t}");
+        assert!(t.as_ms() < 20.0, "baseline AR unreasonably slow: {t}");
+    }
+
+    #[test]
+    fn ideal_software_strips_overheads_but_keeps_link_time() {
+        let base = BaselineHostBackend::new(SystemConfig::paper());
+        let ideal = SoftwareIdealBackend::new(SystemConfig::paper());
+        let s = spec(CollectiveKind::AllReduce);
+        let tb = base.collective(&s).unwrap().total();
+        let ti = ideal.collective(&s).unwrap().total();
+        assert!(ti < tb);
+        // The serialization floor remains: 8 MiB over 4.74 GB/s is ~1.8 ms.
+        assert!(ti.as_ms() > 1.5, "ideal software below the link floor: {ti}");
+    }
+
+    #[test]
+    fn everything_lands_in_the_host_bucket() {
+        let b = BaselineHostBackend::new(SystemConfig::paper());
+        let r = b.collective(&spec(CollectiveKind::AllToAll)).unwrap();
+        assert_eq!(r.inter_bank, SimTime::ZERO);
+        assert_eq!(r.inter_chip, SimTime::ZERO);
+        assert_eq!(r.inter_rank, SimTime::ZERO);
+        assert_eq!(r.host, r.total());
+    }
+
+    #[test]
+    fn alltoall_costs_both_directions() {
+        let b = BaselineHostBackend::new(SystemConfig::paper());
+        let a2a = b.collective(&spec(CollectiveKind::AllToAll)).unwrap().total();
+        let ag = b.collective(&spec(CollectiveKind::AllGather)).unwrap().total();
+        // A2A scatters the full volume at 6.68 GB/s; AG broadcasts it at
+        // 16.88 GB/s, so A2A must be slower.
+        assert!(a2a > ag);
+    }
+
+    #[test]
+    fn upward_bytes_helper() {
+        assert_eq!(
+            host_upward_bytes(CollectiveKind::AllReduce, Bytes::kib(1), 256),
+            Bytes::kib(256)
+        );
+        assert_eq!(
+            host_upward_bytes(CollectiveKind::Broadcast, Bytes::kib(1), 256),
+            Bytes::kib(1)
+        );
+    }
+}

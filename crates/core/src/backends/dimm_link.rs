@@ -1,0 +1,204 @@
+//! The DIMM-Link comparison backend \[89\].
+//!
+//! DIMM-Link adds dedicated point-to-point links between DIMMs and performs
+//! collective *operations* in the DIMM's buffer chip (Table I). Following
+//! the paper's fair-comparison rules: the inter-rank links get the same
+//! global bandwidth as PIMnet's bus, bridge overheads are ignored, and each
+//! rank runs its local collective in parallel in its own buffer chip.
+//!
+//! What DIMM-Link fundamentally lacks (and what Fig 11 charges it for) is
+//! *bank-level* parallelism: every bank's payload funnels through the
+//! rank's single 19.2 GB/s DRAM interface — once up to the buffer chip,
+//! once through the buffer chip's rearrange/reduce pass, and once back down
+//! to each individual bank — while PIMnet's 64 ring stops move
+//! 179.2 GB/s in parallel. DIMM-Link also has no WRAM datapath (PIMnet adds
+//! one, §V-A), so payloads must be DMA-staged between WRAM and MRAM before
+//! the buffer chip can see them (the `Mem` bucket).
+
+use pim_sim::{Bandwidth, Bytes, SimTime};
+
+use pim_arch::SystemConfig;
+
+use crate::backends::{ensure_single_channel, BackendKind, CollectiveBackend};
+use crate::collective::{CollectiveKind, CollectiveSpec};
+use crate::error::PimnetError;
+use crate::fabric::FabricConfig;
+use crate::timing::CommBreakdown;
+
+/// Rank-local collectives in the buffer chip + dedicated inter-rank links.
+#[derive(Debug, Clone, Copy)]
+pub struct DimmLinkBackend {
+    system: SystemConfig,
+    /// Inter-rank link bandwidth (kept equal to PIMnet's bus, per §VI-A).
+    link: Bandwidth,
+}
+
+impl DimmLinkBackend {
+    /// Creates the backend; the inter-rank links inherit PIMnet's global
+    /// bandwidth from `fabric` to keep the comparison fair.
+    #[must_use]
+    pub fn new(system: SystemConfig, fabric: FabricConfig) -> Self {
+        DimmLinkBackend {
+            system,
+            link: fabric.rank_bus_bw,
+        }
+    }
+
+    fn funnel(&self, bytes: Bytes) -> SimTime {
+        self.system.buffer_chip_bw.transfer_time(bytes)
+    }
+
+    /// Mean hop count of uniform traffic on an R-node bidirectional ring.
+    fn mean_ring_hops(r: u64) -> f64 {
+        if r <= 1 {
+            return 0.0;
+        }
+        let sum: u64 = (1..r).map(|d| d.min(r - d)).sum();
+        sum as f64 / (r - 1) as f64
+    }
+
+    /// Time for `bytes` of uniformly-distributed cross-rank traffic over
+    /// the R dedicated links.
+    fn cross_rank_time(&self, bytes: Bytes) -> SimTime {
+        let r = u64::from(self.system.geometry.ranks_per_channel);
+        if r <= 1 || bytes.is_zero() {
+            return SimTime::ZERO;
+        }
+        let hops = Self::mean_ring_hops(r);
+        let effective = Bandwidth::bytes_per_sec(
+            (self.link.as_bytes_per_sec() as f64 * r as f64 / hops) as u64,
+        );
+        effective.transfer_time(bytes)
+    }
+
+    /// WRAM↔MRAM staging: DIMM-Link transfers source MRAM, not WRAM.
+    fn staging(&self, payload: Bytes) -> SimTime {
+        self.system.dma.transfer_time(payload) * 2
+    }
+}
+
+impl CollectiveBackend for DimmLinkBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::DimmLink
+    }
+
+    fn name(&self) -> &'static str {
+        "dimm-link"
+    }
+
+    fn dpus_per_channel(&self) -> u32 {
+        self.system.geometry.dpus_per_channel()
+    }
+
+    fn collective(&self, spec: &CollectiveSpec) -> Result<CommBreakdown, PimnetError> {
+        ensure_single_channel(&self.system, "dimm-link")?;
+        let g = &self.system.geometry;
+        let m = spec.bytes_per_dpu;
+        let per_rank = u64::from(g.dpus_per_rank());
+        let ranks = u64::from(g.ranks_per_channel);
+        let rank_data = m * per_rank;
+        let total = m * per_rank * ranks;
+
+        let mut b = CommBreakdown {
+            sync: spec.skew,
+            mem: self.staging(m),
+            ..CommBreakdown::zero()
+        };
+
+        match spec.kind {
+            CollectiveKind::AllReduce => {
+                // up + reduce pass + per-bank write-back, per rank in parallel.
+                b.inter_chip = self.funnel(rank_data) * 2 + self.funnel(rank_data);
+                // Ring AllReduce of the rank-reduced vector m.
+                b.inter_rank =
+                    self.link.transfer_time(m / ranks * (ranks - 1)) * 2;
+            }
+            CollectiveKind::ReduceScatter => {
+                b.inter_chip = self.funnel(rank_data) * 2 + self.funnel(m);
+                b.inter_rank = self.link.transfer_time(m / ranks * (ranks - 1));
+            }
+            CollectiveKind::AllGather => {
+                b.inter_chip = self.funnel(rank_data) + self.funnel(total);
+                b.inter_rank = self
+                    .link
+                    .transfer_time(rank_data * (ranks.saturating_sub(1)));
+            }
+            CollectiveKind::AllToAll => {
+                // up + rearrange + down, plus the cross-rank fraction over
+                // the links.
+                b.inter_chip = self.funnel(rank_data) * 3;
+                let cross = if ranks > 1 {
+                    total / ranks * (ranks - 1)
+                } else {
+                    Bytes::ZERO
+                };
+                b.inter_rank = self.cross_rank_time(cross);
+            }
+            CollectiveKind::Broadcast => {
+                b.inter_chip = self.funnel(m) + self.funnel(rank_data);
+                b.inter_rank = self.link.transfer_time(m);
+            }
+            CollectiveKind::Reduce => {
+                b.inter_chip = self.funnel(rank_data) * 2 + self.funnel(m);
+                b.inter_rank = self.link.transfer_time(m / ranks * (ranks - 1));
+            }
+            CollectiveKind::Gather => {
+                b.inter_chip = self.funnel(rank_data) + self.funnel(total);
+                b.inter_rank = self
+                    .link
+                    .transfer_time(rank_data * (ranks.saturating_sub(1)));
+            }
+        }
+        Ok(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend() -> DimmLinkBackend {
+        DimmLinkBackend::new(SystemConfig::paper(), FabricConfig::paper())
+    }
+
+    fn spec(kind: CollectiveKind) -> CollectiveSpec {
+        CollectiveSpec::new(kind, Bytes::kib(32))
+    }
+
+    #[test]
+    fn allreduce_is_hundreds_of_microseconds() {
+        let t = backend()
+            .collective(&spec(CollectiveKind::AllReduce))
+            .unwrap()
+            .total();
+        assert!(
+            (200.0..900.0).contains(&t.as_us()),
+            "DIMM-Link AR = {t}, outside the expected band"
+        );
+    }
+
+    #[test]
+    fn funnel_dominates_the_breakdown() {
+        let b = backend().collective(&spec(CollectiveKind::AllReduce)).unwrap();
+        assert!(b.inter_chip > b.inter_rank);
+        assert!(b.mem > SimTime::ZERO, "MRAM staging must be charged");
+        assert_eq!(b.host, SimTime::ZERO);
+    }
+
+    #[test]
+    fn mean_ring_hops_values() {
+        assert_eq!(DimmLinkBackend::mean_ring_hops(1), 0.0);
+        assert_eq!(DimmLinkBackend::mean_ring_hops(2), 1.0);
+        // R=4: distances {1,2,1} -> mean 4/3.
+        assert!((DimmLinkBackend::mean_ring_hops(4) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_rank_has_no_link_traffic() {
+        let system = SystemConfig::paper()
+            .with_geometry(pim_arch::PimGeometry::new(8, 8, 1, 1));
+        let b = DimmLinkBackend::new(system, FabricConfig::paper());
+        let r = b.collective(&spec(CollectiveKind::AllReduce)).unwrap();
+        assert_eq!(r.inter_rank, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,295 @@
+//! Collective-communication backends: PIMnet and the paper's comparison
+//! systems.
+//!
+//! The evaluation (Figs 10–12) compares five ways of moving the same
+//! collective traffic:
+//!
+//! | key | backend | inter-PIM data path |
+//! |-----|---------|---------------------|
+//! | `B` | [`BaselineHostBackend`] | UPMEM API through the host CPU, with per-call and per-DPU-buffer software overheads |
+//! | `S` | [`SoftwareIdealBackend`] | the same transfers with *zero* host software cost (idealized PID-Comm) |
+//! | `N` | [`NdpBridgeBackend`] | hardware bridges to the buffer chip; inter-rank hops still cross the host; no in-network reduction |
+//! | `D` | [`DimmLinkBackend`] | rank-local collectives in the buffer chip + dedicated inter-rank links |
+//! | `P` | [`PimnetBackend`] | the PIMnet fabric: direct bank/chip/rank tiers, statically scheduled |
+//!
+//! All five implement [`CollectiveBackend`], so workloads and figures can be
+//! swept across them uniformly. The compute side is identical by
+//! construction (the paper's fair-comparison rule): only communication
+//! differs.
+
+mod baseline;
+mod dimm_link;
+mod multichannel;
+mod ndp_bridge;
+mod pimnet_backend;
+
+pub use baseline::{host_upward_bytes, BaselineHostBackend};
+pub use dimm_link::DimmLinkBackend;
+pub use multichannel::multi_channel_collective;
+pub use ndp_bridge::NdpBridgeBackend;
+pub use pimnet_backend::PimnetBackend;
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use pim_arch::SystemConfig;
+
+use crate::collective::{CollectiveKind, CollectiveSpec};
+use crate::error::PimnetError;
+use crate::fabric::FabricConfig;
+use crate::timing::CommBreakdown;
+
+/// The one-letter keys the paper uses in Fig 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// Baseline PIM (host-mediated collectives).
+    Baseline,
+    /// Idealized software collectives (PID-Comm with zero host overhead).
+    SoftwareIdeal,
+    /// NDPBridge.
+    NdpBridge,
+    /// DIMM-Link.
+    DimmLink,
+    /// PIMnet (this work).
+    Pimnet,
+}
+
+impl BackendKind {
+    /// All backends in the paper's Fig 10 order (B, S, N, D, P).
+    pub const ALL: [BackendKind; 5] = [
+        BackendKind::Baseline,
+        BackendKind::SoftwareIdeal,
+        BackendKind::NdpBridge,
+        BackendKind::DimmLink,
+        BackendKind::Pimnet,
+    ];
+
+    /// The paper's one-letter key.
+    #[must_use]
+    pub fn key(self) -> char {
+        match self {
+            BackendKind::Baseline => 'B',
+            BackendKind::SoftwareIdeal => 'S',
+            BackendKind::NdpBridge => 'N',
+            BackendKind::DimmLink => 'D',
+            BackendKind::Pimnet => 'P',
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BackendKind::Baseline => "Baseline PIM",
+            BackendKind::SoftwareIdeal => "Software (Ideal)",
+            BackendKind::NdpBridge => "NDPBridge",
+            BackendKind::DimmLink => "DIMM-Link",
+            BackendKind::Pimnet => "PIMnet",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A way of executing collective communication on a PIM system.
+///
+/// Implementations time collectives; the compute phases of a workload are
+/// identical across backends and are timed by the workload runner.
+pub trait CollectiveBackend {
+    /// The backend's Fig 10 identity.
+    fn kind(&self) -> BackendKind;
+
+    /// Short stable name (used in error messages and reports).
+    fn name(&self) -> &'static str;
+
+    /// DPUs participating per memory channel on this backend's system.
+    fn dpus_per_channel(&self) -> u32;
+
+    /// Whether this backend can execute `kind` at all (NDPBridge has no
+    /// in-network reduction, so no AllReduce/ReduceScatter/Reduce).
+    fn supports(&self, kind: CollectiveKind) -> bool {
+        let _ = kind;
+        true
+    }
+
+    /// Times one collective.
+    ///
+    /// # Errors
+    ///
+    /// [`PimnetError::UnsupportedCollective`] when `supports` is false;
+    /// backend-specific geometry/message errors otherwise.
+    fn collective(&self, spec: &CollectiveSpec) -> Result<CommBreakdown, PimnetError>;
+}
+
+/// Builds every backend for a system/fabric pair, in Fig 10 order.
+#[must_use]
+pub fn all_backends(
+    system: SystemConfig,
+    fabric: FabricConfig,
+) -> Vec<Box<dyn CollectiveBackend>> {
+    vec![
+        Box::new(BaselineHostBackend::new(system)),
+        Box::new(SoftwareIdealBackend::new(system)),
+        Box::new(NdpBridgeBackend::new(system)),
+        Box::new(DimmLinkBackend::new(system, fabric)),
+        Box::new(PimnetBackend::new(system, fabric)),
+    ]
+}
+
+/// The paper's "Software (Ideal)" backend: the baseline transfers with all
+/// host software overheads removed (an idealized PID-Comm \[67\]).
+#[derive(Debug, Clone, Copy)]
+pub struct SoftwareIdealBackend {
+    inner: BaselineHostBackend,
+}
+
+impl SoftwareIdealBackend {
+    /// Creates the ideal-software backend for a system.
+    #[must_use]
+    pub fn new(system: SystemConfig) -> Self {
+        let ideal = system.with_host(system.host.ideal());
+        SoftwareIdealBackend {
+            inner: BaselineHostBackend::new(ideal),
+        }
+    }
+}
+
+impl CollectiveBackend for SoftwareIdealBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::SoftwareIdeal
+    }
+
+    fn name(&self) -> &'static str {
+        "software-ideal"
+    }
+
+    fn dpus_per_channel(&self) -> u32 {
+        self.inner.dpus_per_channel()
+    }
+
+    fn collective(&self, spec: &CollectiveSpec) -> Result<CommBreakdown, PimnetError> {
+        self.inner.collective(spec)
+    }
+}
+
+pub(crate) fn ensure_single_channel(
+    system: &SystemConfig,
+    backend: &'static str,
+) -> Result<(), PimnetError> {
+    if system.geometry.channels != 1 {
+        return Err(PimnetError::InvalidGeometry {
+            geometry: system.geometry,
+            reason: format!(
+                "backend {backend} times one memory channel; use \
+                 backends::multi_channel_collective for multi-channel systems"
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::Bytes;
+
+    fn spec(kind: CollectiveKind) -> CollectiveSpec {
+        CollectiveSpec::new(kind, Bytes::kib(32))
+    }
+
+    #[test]
+    fn backend_ordering_matches_fig10() {
+        let keys: String = BackendKind::ALL.iter().map(|b| b.key()).collect();
+        assert_eq!(keys, "BSNDP");
+    }
+
+    #[test]
+    fn the_headline_result_holds_for_allreduce() {
+        // Fig 3/12: P < D < S < B for AllReduce at the paper scale.
+        let backends = all_backends(SystemConfig::paper(), FabricConfig::paper());
+        let s = spec(CollectiveKind::AllReduce);
+        let t = |k: BackendKind| {
+            backends
+                .iter()
+                .find(|b| b.kind() == k)
+                .unwrap()
+                .collective(&s)
+                .unwrap()
+                .total()
+        };
+        let (b, sw, d, p) = (
+            t(BackendKind::Baseline),
+            t(BackendKind::SoftwareIdeal),
+            t(BackendKind::DimmLink),
+            t(BackendKind::Pimnet),
+        );
+        assert!(p < d, "PIMnet ({p}) should beat DIMM-Link ({d})");
+        assert!(d < sw, "DIMM-Link ({d}) should beat ideal software ({sw})");
+        assert!(sw < b, "ideal software ({sw}) should beat baseline ({b})");
+        // The paper reports up to ~85x over the baseline on collectives.
+        let speedup = b.ratio(p);
+        assert!(
+            speedup > 20.0,
+            "PIMnet vs baseline speedup only {speedup:.1}x"
+        );
+    }
+
+    #[test]
+    fn ndp_bridge_rejects_reductions() {
+        let backends = all_backends(SystemConfig::paper(), FabricConfig::paper());
+        let n = backends
+            .iter()
+            .find(|b| b.kind() == BackendKind::NdpBridge)
+            .unwrap();
+        assert!(matches!(
+            n.collective(&spec(CollectiveKind::AllReduce)),
+            Err(PimnetError::UnsupportedCollective { .. })
+        ));
+        assert!(n.collective(&spec(CollectiveKind::AllToAll)).is_ok());
+    }
+
+    #[test]
+    fn every_backend_times_every_supported_collective() {
+        let backends = all_backends(SystemConfig::paper(), FabricConfig::paper());
+        for b in &backends {
+            for kind in CollectiveKind::ALL {
+                if !b.supports(kind) {
+                    continue;
+                }
+                let breakdown = b
+                    .collective(&spec(kind))
+                    .unwrap_or_else(|e| panic!("{} / {kind}: {e}", b.name()));
+                assert!(
+                    breakdown.total() > pim_sim::SimTime::ZERO,
+                    "{} / {kind}: zero time",
+                    b.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_gap_is_smaller_than_allreduce_gap() {
+        // §III-B / Fig 3: All-to-All is globally bus-bound, so PIMnet's
+        // advantage over ideal software is much smaller than for AllReduce.
+        let backends = all_backends(SystemConfig::paper(), FabricConfig::paper());
+        let t = |k: BackendKind, c: CollectiveKind| {
+            backends
+                .iter()
+                .find(|b| b.kind() == k)
+                .unwrap()
+                .collective(&spec(c))
+                .unwrap()
+                .total()
+        };
+        let ar_gain = t(BackendKind::SoftwareIdeal, CollectiveKind::AllReduce)
+            .ratio(t(BackendKind::Pimnet, CollectiveKind::AllReduce));
+        let a2a_gain = t(BackendKind::SoftwareIdeal, CollectiveKind::AllToAll)
+            .ratio(t(BackendKind::Pimnet, CollectiveKind::AllToAll));
+        assert!(
+            ar_gain > a2a_gain,
+            "AR gain {ar_gain:.1}x should exceed A2A gain {a2a_gain:.1}x"
+        );
+        assert!(a2a_gain > 1.0);
+    }
+}

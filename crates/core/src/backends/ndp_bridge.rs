@@ -1,0 +1,158 @@
+//! The NDPBridge comparison backend \[85\].
+//!
+//! NDPBridge adds hardware "bridges" across the DRAM hierarchy so banks can
+//! exchange messages through the buffer chip without host software, but —
+//! per the paper's Table I — inter-rank traffic still crosses the host CPU,
+//! and the network performs no collective *operations* (no in-network
+//! reduction), so AllReduce/ReduceScatter/Reduce are unsupported and the
+//! paper compares against it only for All-to-All.
+
+use pim_sim::{Bytes, SimTime};
+
+use pim_arch::SystemConfig;
+
+use crate::backends::{ensure_single_channel, BackendKind, CollectiveBackend};
+use crate::collective::{CollectiveKind, CollectiveSpec};
+use crate::error::PimnetError;
+use crate::timing::CommBreakdown;
+
+/// Hardware bridges to the buffer chip; host-mediated inter-rank hops; no
+/// reductions.
+#[derive(Debug, Clone, Copy)]
+pub struct NdpBridgeBackend {
+    system: SystemConfig,
+}
+
+impl NdpBridgeBackend {
+    /// Creates the backend for a system.
+    #[must_use]
+    pub fn new(system: SystemConfig) -> Self {
+        NdpBridgeBackend { system }
+    }
+
+    fn funnel(&self, bytes: Bytes) -> SimTime {
+        self.system.buffer_chip_bw.transfer_time(bytes)
+    }
+
+    /// Cross-rank bytes travel PIM→CPU and CPU→PIM, with no software
+    /// overhead (the bridges are hardware).
+    fn host_hop(&self, bytes: Bytes) -> SimTime {
+        self.system.host.gather_time(bytes) + self.system.host.scatter_time(bytes)
+    }
+
+    fn staging(&self, payload: Bytes) -> SimTime {
+        self.system.dma.transfer_time(payload) * 2
+    }
+}
+
+impl CollectiveBackend for NdpBridgeBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::NdpBridge
+    }
+
+    fn name(&self) -> &'static str {
+        "ndp-bridge"
+    }
+
+    fn dpus_per_channel(&self) -> u32 {
+        self.system.geometry.dpus_per_channel()
+    }
+
+    fn supports(&self, kind: CollectiveKind) -> bool {
+        !kind.reduces()
+    }
+
+    fn collective(&self, spec: &CollectiveSpec) -> Result<CommBreakdown, PimnetError> {
+        if !self.supports(spec.kind) {
+            return Err(PimnetError::UnsupportedCollective {
+                kind: spec.kind,
+                backend: "ndp-bridge",
+            });
+        }
+        ensure_single_channel(&self.system, "ndp-bridge")?;
+        let g = &self.system.geometry;
+        let m = spec.bytes_per_dpu;
+        let per_rank = u64::from(g.dpus_per_rank());
+        let ranks = u64::from(g.ranks_per_channel);
+        let rank_data = m * per_rank;
+        let total = rank_data * ranks;
+        let cross = if ranks > 1 {
+            total / ranks * (ranks - 1)
+        } else {
+            Bytes::ZERO
+        };
+
+        let mut b = CommBreakdown {
+            sync: spec.skew,
+            mem: self.staging(m),
+            ..CommBreakdown::zero()
+        };
+        match spec.kind {
+            CollectiveKind::AllToAll => {
+                // Rank-local exchange through the bridges (up + rearrange +
+                // down), plus cross-rank bytes through the host.
+                b.inter_chip = self.funnel(rank_data) * 3;
+                b.host = self.host_hop(cross);
+            }
+            CollectiveKind::AllGather => {
+                b.inter_chip = self.funnel(rank_data) + self.funnel(total);
+                b.host = self.system.host.gather_time(cross)
+                    + self.system.host.broadcast_time(total);
+            }
+            CollectiveKind::Broadcast => {
+                b.inter_chip = self.funnel(m) + self.funnel(rank_data);
+                b.host = self.system.host.broadcast_time(m);
+            }
+            CollectiveKind::Gather => {
+                b.inter_chip = self.funnel(rank_data) + self.funnel(total);
+                b.host = self.system.host.gather_time(cross)
+                    + self.system.host.scatter_time(cross);
+            }
+            CollectiveKind::AllReduce | CollectiveKind::ReduceScatter | CollectiveKind::Reduce => {
+                unreachable!("rejected by supports()")
+            }
+        }
+        Ok(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reductions_are_rejected() {
+        let b = NdpBridgeBackend::new(SystemConfig::paper());
+        for kind in [
+            CollectiveKind::AllReduce,
+            CollectiveKind::ReduceScatter,
+            CollectiveKind::Reduce,
+        ] {
+            assert!(!b.supports(kind));
+            assert!(matches!(
+                b.collective(&CollectiveSpec::new(kind, Bytes::kib(1))),
+                Err(PimnetError::UnsupportedCollective { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn alltoall_pays_the_host_for_cross_rank_traffic() {
+        let b = NdpBridgeBackend::new(SystemConfig::paper());
+        let r = b
+            .collective(&CollectiveSpec::new(CollectiveKind::AllToAll, Bytes::kib(32)))
+            .unwrap();
+        assert!(r.host > r.inter_chip, "host hop should dominate: {r}");
+    }
+
+    #[test]
+    fn single_rank_alltoall_never_touches_the_host() {
+        let system = SystemConfig::paper()
+            .with_geometry(pim_arch::PimGeometry::new(8, 8, 1, 1));
+        let b = NdpBridgeBackend::new(system);
+        let r = b
+            .collective(&CollectiveSpec::new(CollectiveKind::AllToAll, Bytes::kib(32)))
+            .unwrap();
+        assert_eq!(r.host, SimTime::ZERO);
+    }
+}

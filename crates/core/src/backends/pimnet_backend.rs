@@ -1,0 +1,117 @@
+//! The PIMnet backend: schedule + validate + time.
+
+use pim_arch::SystemConfig;
+
+use crate::backends::{ensure_single_channel, BackendKind, CollectiveBackend};
+use crate::collective::CollectiveSpec;
+use crate::error::PimnetError;
+use crate::fabric::FabricConfig;
+use crate::schedule::{validate, CommSchedule};
+use crate::timing::{CommBreakdown, TimingModel};
+
+/// Collectives executed over the PIMnet fabric.
+///
+/// Each call compiles the static schedule for the requested collective
+/// (the paper's host-side compilation step), validates it, and times it
+/// with the analytic model. The host is never involved in the data path,
+/// so the `host` bucket of the result is always zero.
+#[derive(Debug, Clone, Copy)]
+pub struct PimnetBackend {
+    timing: TimingModel,
+}
+
+impl PimnetBackend {
+    /// Creates the backend for a system/fabric pair.
+    #[must_use]
+    pub fn new(system: SystemConfig, fabric: FabricConfig) -> Self {
+        PimnetBackend {
+            timing: TimingModel::new(fabric, system),
+        }
+    }
+
+    /// The paper's configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        PimnetBackend::new(SystemConfig::paper(), FabricConfig::paper())
+    }
+
+    /// The underlying timing model (fabric + system).
+    #[must_use]
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// Compiles (and validates) the schedule this backend would execute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule build and validation errors.
+    pub fn schedule(&self, spec: &CollectiveSpec) -> Result<CommSchedule, PimnetError> {
+        let schedule = CommSchedule::build(
+            spec.kind,
+            &self.timing.system.geometry,
+            spec.elems_per_dpu(),
+            spec.elem_bytes,
+        )?;
+        validate::validate(&schedule)?;
+        Ok(schedule)
+    }
+}
+
+impl CollectiveBackend for PimnetBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Pimnet
+    }
+
+    fn name(&self) -> &'static str {
+        "pimnet"
+    }
+
+    fn dpus_per_channel(&self) -> u32 {
+        self.timing.system.geometry.dpus_per_channel()
+    }
+
+    fn collective(&self, spec: &CollectiveSpec) -> Result<CommBreakdown, PimnetError> {
+        ensure_single_channel(&self.timing.system, "pimnet")?;
+        let schedule = self.schedule(spec)?;
+        Ok(self.timing.time_schedule(&schedule, spec.skew))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::CollectiveKind;
+    use pim_sim::{Bytes, SimTime};
+
+    #[test]
+    fn host_bucket_is_always_zero() {
+        let b = PimnetBackend::paper();
+        for kind in CollectiveKind::ALL {
+            let spec = CollectiveSpec::new(kind, Bytes::kib(8));
+            let r = b.collective(&spec).unwrap();
+            assert_eq!(r.host, SimTime::ZERO, "{kind}");
+        }
+    }
+
+    #[test]
+    fn allreduce_breakdown_touches_all_three_tiers() {
+        let b = PimnetBackend::paper();
+        let r = b
+            .collective(&CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(32)))
+            .unwrap();
+        assert!(r.inter_bank > SimTime::ZERO);
+        assert!(r.inter_chip > SimTime::ZERO);
+        assert!(r.inter_rank > SimTime::ZERO);
+        assert!(r.sync > SimTime::ZERO);
+    }
+
+    #[test]
+    fn schedule_accessor_matches_collective_timing() {
+        let b = PimnetBackend::paper();
+        let spec = CollectiveSpec::new(CollectiveKind::ReduceScatter, Bytes::kib(16));
+        let s = b.schedule(&spec).unwrap();
+        let direct = b.timing().time_schedule(&s, spec.skew);
+        assert_eq!(direct, b.collective(&spec).unwrap());
+    }
+}

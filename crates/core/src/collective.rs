@@ -1,0 +1,168 @@
+//! Collective communication vocabulary: kinds, reduction operators, specs.
+
+use std::fmt;
+
+use pim_sim::{Bytes, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The collective communication patterns PIMnet implements (paper Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CollectiveKind {
+    /// Every node contributes a vector; each node ends with a distinct,
+    /// fully-reduced 1/N piece.
+    ReduceScatter,
+    /// Every node contributes a piece; each node ends with the concatenation
+    /// of all pieces.
+    AllGather,
+    /// Every node contributes a vector; every node ends with the elementwise
+    /// reduction (ReduceScatter ∘ AllGather).
+    AllReduce,
+    /// Every pair of nodes exchanges a distinct chunk (matrix transpose of
+    /// the data distribution).
+    AllToAll,
+    /// One root's vector is replicated to every node.
+    Broadcast,
+    /// Every node's vector is reduced into a single root node.
+    Reduce,
+    /// Every node's piece is concatenated at a single root node.
+    Gather,
+}
+
+impl CollectiveKind {
+    /// All kinds, in a stable order (useful for exhaustive tests/benches).
+    pub const ALL: [CollectiveKind; 7] = [
+        CollectiveKind::ReduceScatter,
+        CollectiveKind::AllGather,
+        CollectiveKind::AllReduce,
+        CollectiveKind::AllToAll,
+        CollectiveKind::Broadcast,
+        CollectiveKind::Reduce,
+        CollectiveKind::Gather,
+    ];
+
+    /// Whether the collective performs a reduction (needs compute at the
+    /// receiving PIM bank — the "collective operation" row of Table I).
+    #[must_use]
+    pub fn reduces(self) -> bool {
+        matches!(
+            self,
+            CollectiveKind::ReduceScatter | CollectiveKind::AllReduce | CollectiveKind::Reduce
+        )
+    }
+
+    /// The short form used in the paper's workload table (Table VII).
+    #[must_use]
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            CollectiveKind::ReduceScatter => "RS",
+            CollectiveKind::AllGather => "AG",
+            CollectiveKind::AllReduce => "AR",
+            CollectiveKind::AllToAll => "A2A",
+            CollectiveKind::Broadcast => "BC",
+            CollectiveKind::Reduce => "RD",
+            CollectiveKind::Gather => "GA",
+        }
+    }
+}
+
+impl fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CollectiveKind::ReduceScatter => "ReduceScatter",
+            CollectiveKind::AllGather => "AllGather",
+            CollectiveKind::AllReduce => "AllReduce",
+            CollectiveKind::AllToAll => "All-to-All",
+            CollectiveKind::Broadcast => "Broadcast",
+            CollectiveKind::Reduce => "Reduce",
+            CollectiveKind::Gather => "Gather",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fully-specified collective operation, ready to be scheduled and timed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CollectiveSpec {
+    /// Which collective.
+    pub kind: CollectiveKind,
+    /// Payload contributed per DPU. For AllReduce this is the vector length;
+    /// for All-to-All the total of all chunks a node sends.
+    pub bytes_per_dpu: Bytes,
+    /// Element width in bytes (4 for the paper's 32-bit workloads).
+    pub elem_bytes: u32,
+    /// Compute skew between the earliest- and latest-finishing DPU entering
+    /// the collective (feeds the READY/START barrier; Fig 13).
+    pub skew: SimTime,
+}
+
+impl CollectiveSpec {
+    /// Creates a spec with 4-byte elements and zero skew.
+    #[must_use]
+    pub fn new(kind: CollectiveKind, bytes_per_dpu: Bytes) -> Self {
+        CollectiveSpec {
+            kind,
+            bytes_per_dpu,
+            elem_bytes: 4,
+            skew: SimTime::ZERO,
+        }
+    }
+
+    /// Sets the element width.
+    #[must_use]
+    pub fn with_elem_bytes(mut self, elem_bytes: u32) -> Self {
+        self.elem_bytes = elem_bytes;
+        self
+    }
+
+    /// Sets the compute skew.
+    #[must_use]
+    pub fn with_skew(mut self, skew: SimTime) -> Self {
+        self.skew = skew;
+        self
+    }
+
+    /// Number of elements each DPU contributes (rounded up to cover
+    /// `bytes_per_dpu`).
+    #[must_use]
+    pub fn elems_per_dpu(&self) -> usize {
+        (self.bytes_per_dpu.as_u64().div_ceil(u64::from(self.elem_bytes))) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_kinds() {
+        assert!(CollectiveKind::AllReduce.reduces());
+        assert!(CollectiveKind::ReduceScatter.reduces());
+        assert!(CollectiveKind::Reduce.reduces());
+        assert!(!CollectiveKind::AllGather.reduces());
+        assert!(!CollectiveKind::AllToAll.reduces());
+        assert!(!CollectiveKind::Broadcast.reduces());
+        assert!(!CollectiveKind::Gather.reduces());
+    }
+
+    #[test]
+    fn abbrevs_match_table_vii() {
+        assert_eq!(CollectiveKind::ReduceScatter.abbrev(), "RS");
+        assert_eq!(CollectiveKind::AllReduce.abbrev(), "AR");
+        assert_eq!(CollectiveKind::AllToAll.abbrev(), "A2A");
+    }
+
+    #[test]
+    fn spec_elem_count_rounds_up() {
+        let s = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::new(10));
+        assert_eq!(s.elems_per_dpu(), 3); // ceil(10/4)
+        let s = s.with_elem_bytes(8);
+        assert_eq!(s.elems_per_dpu(), 2);
+    }
+
+    #[test]
+    fn all_lists_every_kind_once() {
+        let mut kinds = CollectiveKind::ALL.to_vec();
+        kinds.dedup();
+        assert_eq!(kinds.len(), 7);
+    }
+}

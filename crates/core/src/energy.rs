@@ -1,0 +1,152 @@
+//! Communication energy model — an *extension* beyond the paper's
+//! evaluation (which reports only hardware power), answering the natural
+//! follow-up: how much energy does skipping the host round-trip save?
+//!
+//! The model is a per-byte energy table per data path, with defaults from
+//! the DRAM-interface literature: on-chip wire movement is cheap
+//! (~1 pJ/B-equivalent per hop), chip-to-buffer DQ signaling costs more,
+//! and the full off-DIMM DDR hop to the host costs the most — plus the
+//! host-side DRAM write/read that host-mediated collectives pay twice.
+
+use pim_sim::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::schedule::{CommSchedule, PhaseLabel};
+use crate::topology::Resource;
+
+/// Per-byte energy costs (picojoules per byte).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// One hop over an intra-chip ring segment.
+    pub ring_pj_per_byte: f64,
+    /// One traversal of a chip's DQ channel (to/from the buffer chip).
+    pub dq_pj_per_byte: f64,
+    /// One traversal of the inter-rank DDR bus.
+    pub bus_pj_per_byte: f64,
+    /// One full host hop: DDR channel + host memory write + read back.
+    pub host_pj_per_byte: f64,
+}
+
+impl EnergyModel {
+    /// Literature-derived defaults (45 nm-era DRAM interfaces).
+    #[must_use]
+    pub fn default_45nm() -> Self {
+        EnergyModel {
+            ring_pj_per_byte: 1.0,
+            dq_pj_per_byte: 8.0,
+            bus_pj_per_byte: 20.0,
+            host_pj_per_byte: 60.0,
+        }
+    }
+
+    fn resource_cost(&self, r: &Resource) -> f64 {
+        match r {
+            Resource::RingSegment { .. } => self.ring_pj_per_byte,
+            Resource::ChipTx { .. } | Resource::ChipRx { .. } => self.dq_pj_per_byte,
+            Resource::RankBus { .. } => self.bus_pj_per_byte,
+        }
+    }
+
+    /// Energy of executing a PIMnet schedule, in microjoules: every
+    /// transfer pays each traversed resource per byte.
+    #[must_use]
+    pub fn schedule_energy_uj(&self, schedule: &CommSchedule) -> f64 {
+        let mut pj = 0.0;
+        for phase in &schedule.phases {
+            for step in &phase.steps {
+                for t in &step.transfers {
+                    let bytes = t.bytes(schedule.elem_bytes).as_u64() as f64;
+                    for r in &t.resources {
+                        pj += bytes * self.resource_cost(r);
+                    }
+                }
+            }
+        }
+        pj / 1e6
+    }
+
+    /// Energy of moving the same collective through the host, in
+    /// microjoules: `up` bytes PIM→CPU and `down` bytes CPU→PIM, each a
+    /// full host hop.
+    #[must_use]
+    pub fn host_energy_uj(&self, up: Bytes, down: Bytes) -> f64 {
+        (up.as_u64() + down.as_u64()) as f64 * self.host_pj_per_byte / 1e6
+    }
+
+    /// Per-tier energy breakdown of a schedule, microjoules, in
+    /// (inter-bank, inter-chip, inter-rank) order.
+    #[must_use]
+    pub fn breakdown_uj(&self, schedule: &CommSchedule) -> (f64, f64, f64) {
+        let (mut bank, mut chip, mut rank) = (0.0, 0.0, 0.0);
+        for phase in &schedule.phases {
+            for step in &phase.steps {
+                for t in &step.transfers {
+                    let bytes = t.bytes(schedule.elem_bytes).as_u64() as f64;
+                    let pj: f64 = t.resources.iter().map(|r| bytes * self.resource_cost(r)).sum();
+                    match phase.label {
+                        PhaseLabel::InterBank | PhaseLabel::Local => bank += pj,
+                        PhaseLabel::InterChip => chip += pj,
+                        PhaseLabel::InterRank => rank += pj,
+                    }
+                }
+            }
+        }
+        (bank / 1e6, chip / 1e6, rank / 1e6)
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::default_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::{CollectiveKind, CollectiveSpec};
+    use pim_arch::geometry::PimGeometry;
+
+    fn ar_schedule() -> CommSchedule {
+        CommSchedule::build(CollectiveKind::AllReduce, &PimGeometry::paper(), 8192, 4).unwrap()
+    }
+
+    #[test]
+    fn pimnet_saves_energy_over_the_host() {
+        let e = EnergyModel::default_45nm();
+        let s = ar_schedule();
+        let pim = e.schedule_energy_uj(&s);
+        // Baseline AllReduce: 8 MiB up, 32 KiB broadcast down.
+        let spec = CollectiveSpec::new(CollectiveKind::AllReduce, pim_sim::Bytes::kib(32));
+        let up = crate::backends::host_upward_bytes(spec.kind, spec.bytes_per_dpu, 256);
+        let host = e.host_energy_uj(up, pim_sim::Bytes::kib(32));
+        assert!(
+            pim < host / 2.0,
+            "PIMnet {pim:.1} uJ should be well under host {host:.1} uJ"
+        );
+    }
+
+    #[test]
+    fn breakdown_sums_to_the_total() {
+        let e = EnergyModel::default_45nm();
+        let s = ar_schedule();
+        let (b, c, r) = e.breakdown_uj(&s);
+        let total = e.schedule_energy_uj(&s);
+        assert!((b + c + r - total).abs() < 1e-9);
+        assert!(b > 0.0 && c > 0.0 && r > 0.0);
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_payload() {
+        let e = EnergyModel::default_45nm();
+        let g = PimGeometry::paper();
+        let small = e.schedule_energy_uj(
+            &CommSchedule::build(CollectiveKind::AllReduce, &g, 2048, 4).unwrap(),
+        );
+        let large = e.schedule_energy_uj(
+            &CommSchedule::build(CollectiveKind::AllReduce, &g, 8192, 4).unwrap(),
+        );
+        let ratio = large / small;
+        assert!((3.9..4.1).contains(&ratio), "{ratio}");
+    }
+}

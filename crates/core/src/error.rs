@@ -1,0 +1,90 @@
+//! Error type for the PIMnet public API.
+
+use std::error::Error;
+use std::fmt;
+
+use pim_arch::geometry::PimGeometry;
+
+use crate::collective::CollectiveKind;
+
+/// Errors returned by PIMnet's public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PimnetError {
+    /// The requested collective is not supported by the selected backend
+    /// (e.g., NDPBridge has no in-network reduction, so no AllReduce).
+    UnsupportedCollective {
+        /// The collective that was requested.
+        kind: CollectiveKind,
+        /// The backend that rejected it.
+        backend: &'static str,
+    },
+    /// The geometry violates a requirement of the schedule builder (e.g.,
+    /// All-to-All pairwise exchange needs power-of-two dimensions).
+    InvalidGeometry {
+        /// The offending geometry.
+        geometry: PimGeometry,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The message is malformed for the collective (e.g., zero element size).
+    InvalidMessage {
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A schedule failed static validation — this indicates a bug in a
+    /// schedule builder and is surfaced rather than silently mistimed.
+    ScheduleInvalid {
+        /// Validator diagnostic.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PimnetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PimnetError::UnsupportedCollective { kind, backend } => {
+                write!(f, "collective {kind} is not supported by backend {backend}")
+            }
+            PimnetError::InvalidGeometry { geometry, reason } => {
+                write!(f, "invalid geometry {geometry}: {reason}")
+            }
+            PimnetError::InvalidMessage { reason } => {
+                write!(f, "invalid message: {reason}")
+            }
+            PimnetError::ScheduleInvalid { reason } => {
+                write!(f, "schedule failed validation: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for PimnetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_complete() {
+        let e = PimnetError::UnsupportedCollective {
+            kind: CollectiveKind::AllReduce,
+            backend: "ndp-bridge",
+        };
+        assert_eq!(
+            e.to_string(),
+            "collective AllReduce is not supported by backend ndp-bridge"
+        );
+
+        let e = PimnetError::InvalidMessage {
+            reason: "zero element size".into(),
+        };
+        assert!(e.to_string().contains("zero element size"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PimnetError>();
+    }
+}

@@ -1,0 +1,163 @@
+//! PIMnet fabric parameters — the paper's Table IV.
+//!
+//! | tier       | physical channel | # ch | width | GB/s per ch | topology |
+//! |------------|------------------|------|-------|-------------|----------|
+//! | inter-bank | bank I/O bus     | 4    | 16 b  | 0.7         | ring     |
+//! | inter-chip | DQ pins          | 2    | 4 b   | 1.05        | crossbar |
+//! | inter-rank | DDR bus          | 1    | 64 b  | 16.8        | bus      |
+//!
+//! The configuration is one possible implementation (§IV-B); the sweep
+//! experiments of Fig 14 vary these bandwidths, which is why they are plain
+//! data here rather than constants.
+
+use pim_sim::{Bandwidth, SimTime};
+use serde::{Deserialize, Serialize};
+
+use pim_arch::geometry::PimGeometry;
+
+/// Bandwidths and latencies of the three PIMnet tiers.
+///
+/// # Example
+///
+/// ```
+/// use pimnet::FabricConfig;
+/// use pim_arch::geometry::PimGeometry;
+///
+/// let f = FabricConfig::paper();
+/// // §IV-B: 2.8 GB/s inter-bank bisection per chip, and 179.2 GB/s of
+/// // aggregated send+receive bandwidth per 64-DPU rank.
+/// assert_eq!(f.inter_bank_bisection_per_chip().as_gbps(), 2.8);
+/// let rank_agg = f.aggregate_ring_bandwidth(&PimGeometry::paper());
+/// assert_eq!(rank_agg.as_gbps(), 179.2 * 4.0); // 4 ranks in the system
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// Bandwidth of one inter-bank ring channel (16-bit slice of the bank
+    /// I/O bus). Each bank has four: in/out × east/west.
+    pub bank_channel_bw: Bandwidth,
+    /// Inter-bank channels per bank (4 in Table IV: one per direction per
+    /// in/out port).
+    pub bank_channels: u32,
+    /// Bandwidth of one inter-chip channel (4 DQ pins); each chip has one
+    /// send and one receive channel to the buffer-chip crossbar.
+    pub chip_channel_bw: Bandwidth,
+    /// Inter-chip channels per chip (2 in Table IV: send + receive).
+    pub chip_channels: u32,
+    /// Bandwidth of the shared, half-duplex inter-rank DDR bus.
+    pub rank_bus_bw: Bandwidth,
+    /// Per-hop propagation/mux latency through a PIMnet stop or switch.
+    pub hop_latency: SimTime,
+    /// Worst-case propagation of the READY/START synchronization signals
+    /// across the whole PIMnet (≈15 ns, §VI-B "Hardware Overhead").
+    pub sync_propagation: SimTime,
+}
+
+impl FabricConfig {
+    /// The paper's Table IV fabric.
+    #[must_use]
+    pub fn paper() -> Self {
+        FabricConfig {
+            bank_channel_bw: Bandwidth::gbps(0.7),
+            bank_channels: 4,
+            chip_channel_bw: Bandwidth::gbps(1.05),
+            chip_channels: 2,
+            rank_bus_bw: Bandwidth::gbps(16.8),
+            hop_latency: SimTime::from_ns(1),
+            sync_propagation: SimTime::from_ns(15),
+        }
+    }
+
+    /// Replaces the inter-bank channel bandwidth (Fig 14(a) sweep).
+    #[must_use]
+    pub fn with_bank_channel_bw(mut self, bw: Bandwidth) -> Self {
+        self.bank_channel_bw = bw;
+        self
+    }
+
+    /// Replaces the inter-chip channel bandwidth (Fig 14(b) sweep).
+    #[must_use]
+    pub fn with_chip_channel_bw(mut self, bw: Bandwidth) -> Self {
+        self.chip_channel_bw = bw;
+        self
+    }
+
+    /// Replaces the inter-rank bus bandwidth (Fig 14(b) sweep).
+    #[must_use]
+    pub fn with_rank_bus_bw(mut self, bw: Bandwidth) -> Self {
+        self.rank_bus_bw = bw;
+        self
+    }
+
+    /// Bandwidth of one ring segment in one direction (= one bank channel).
+    #[must_use]
+    pub fn ring_segment_bw(&self) -> Bandwidth {
+        self.bank_channel_bw
+    }
+
+    /// Per-bank injection bandwidth on the ring: one channel per direction.
+    #[must_use]
+    pub fn ring_injection_bw(&self) -> Bandwidth {
+        self.bank_channel_bw.aggregate(u64::from(self.bank_channels) / 2)
+    }
+
+    /// Inter-bank bisection bandwidth of one chip's ring: two segments cut,
+    /// two directions each.
+    #[must_use]
+    pub fn inter_bank_bisection_per_chip(&self) -> Bandwidth {
+        self.bank_channel_bw.aggregate(4)
+    }
+
+    /// Aggregate send+receive ring bandwidth across all banks of the system
+    /// (the "PIM bandwidth parallelism" PIMnet exploits; 179.2 GB/s per
+    /// 64-DPU rank in the paper).
+    #[must_use]
+    pub fn aggregate_ring_bandwidth(&self, geometry: &PimGeometry) -> Bandwidth {
+        self.bank_channel_bw
+            .aggregate(u64::from(self.bank_channels))
+            .aggregate(u64::from(geometry.total_dpus()))
+    }
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table_iv() {
+        let f = FabricConfig::paper();
+        assert_eq!(f.bank_channel_bw.as_gbps(), 0.7);
+        assert_eq!(f.bank_channels, 4);
+        assert_eq!(f.chip_channel_bw.as_gbps(), 1.05);
+        assert_eq!(f.chip_channels, 2);
+        assert_eq!(f.rank_bus_bw.as_gbps(), 16.8);
+        assert_eq!(f.sync_propagation, SimTime::from_ns(15));
+    }
+
+    #[test]
+    fn derived_bandwidths_match_section_iv_b() {
+        let f = FabricConfig::paper();
+        assert_eq!(f.inter_bank_bisection_per_chip().as_gbps(), 2.8);
+        assert_eq!(f.ring_injection_bw().as_gbps(), 1.4);
+        // 2.8 GB/s per bank x 64 banks = 179.2 GB/s per rank.
+        let per_rank = f.aggregate_ring_bandwidth(&PimGeometry::new(8, 8, 1, 1));
+        assert_eq!(per_rank.as_gbps(), 179.2);
+    }
+
+    #[test]
+    fn sweep_builders_replace_one_field() {
+        let f = FabricConfig::paper().with_bank_channel_bw(Bandwidth::gbps(0.1));
+        assert_eq!(f.bank_channel_bw.as_gbps(), 0.1);
+        assert_eq!(f.chip_channel_bw.as_gbps(), 1.05);
+        let f = f
+            .with_chip_channel_bw(Bandwidth::gbps(2.0))
+            .with_rank_bus_bw(Bandwidth::gbps(8.4));
+        assert_eq!(f.chip_channel_bw.as_gbps(), 2.0);
+        assert_eq!(f.rank_bus_bw.as_gbps(), 8.4);
+    }
+}

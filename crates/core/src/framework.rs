@@ -1,0 +1,416 @@
+//! A SimplePIM-style programming framework on top of PIMnet.
+//!
+//! The paper positions PIMnet beneath software frameworks like
+//! SimplePIM \[16\]: the programmer sees *one gigantic PIM* — distributed
+//! vectors with `map` for local compute and collective methods for
+//! communication — and never the banks, rings or switch schedules. This
+//! module provides exactly that veneer:
+//!
+//! * [`PimRuntime`] owns a system + collective backend and a simulated
+//!   clock: every operation advances the clock by its modeled cost, so a
+//!   whole application's time falls out of just *using* the API;
+//! * [`PimVector`] is a vector sharded one-slice-per-DPU; its collective
+//!   methods really move the data (through [`crate::exec`]) *and* charge
+//!   the backend's communication time.
+//!
+//! # Example
+//!
+//! ```
+//! use pim_arch::OpCounts;
+//! use pimnet::exec::ReduceOp;
+//! use pimnet::framework::PimRuntime;
+//!
+//! let mut rt = PimRuntime::paper();
+//! // 256 DPUs x 1024 elements, scattered from the host.
+//! let host_data: Vec<u64> = (0..256 * 1024).collect();
+//! let mut v = rt.scatter(&host_data);
+//!
+//! // Local compute on every shard (really applied, and timed).
+//! v.map(&mut rt, OpCounts::new().with_adds(1), |shard| {
+//!     for x in shard.iter_mut() {
+//!         *x += 1;
+//!     }
+//! });
+//!
+//! // A real AllReduce over PIMnet.
+//! v.all_reduce(&mut rt, ReduceOp::Sum)?;
+//! assert!(rt.elapsed().as_ms() < 10.0);
+//! # Ok::<(), pimnet::PimnetError>(())
+//! ```
+
+use pim_arch::geometry::DpuId;
+use pim_arch::OpCounts;
+use pim_sim::{Bytes, SimTime};
+
+use crate::api::PimnetSystem;
+use crate::backends::{BackendKind, CollectiveBackend};
+use crate::collective::{CollectiveKind, CollectiveSpec};
+use crate::error::PimnetError;
+use crate::exec::{Element, ExecMachine, ReduceOp};
+use crate::schedule::CommSchedule;
+
+/// The framework's handle to a PIM machine: configuration, collective
+/// backend, and the running simulated clock.
+pub struct PimRuntime {
+    system: PimnetSystem,
+    backend: Box<dyn CollectiveBackend>,
+    clock: SimTime,
+}
+
+impl PimRuntime {
+    /// A runtime over the paper's 256-DPU system with PIMnet.
+    #[must_use]
+    pub fn paper() -> Self {
+        PimRuntime::new(PimnetSystem::paper(), BackendKind::Pimnet)
+    }
+
+    /// A runtime over `system` using the given collective backend (e.g.
+    /// [`BackendKind::Baseline`] to see what the same program costs through
+    /// the host).
+    #[must_use]
+    pub fn new(system: PimnetSystem, backend: BackendKind) -> Self {
+        PimRuntime {
+            backend: system.backend(backend),
+            system,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// Number of DPUs the runtime shards over.
+    #[must_use]
+    pub fn dpus(&self) -> u32 {
+        self.system.system().geometry.total_dpus()
+    }
+
+    /// Total simulated time consumed so far.
+    #[must_use]
+    pub fn elapsed(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Scatters host data across the DPUs (near-equal contiguous shards),
+    /// charging the host→PIM transfer.
+    #[must_use]
+    pub fn scatter<T: Element>(&mut self, data: &[T]) -> PimVector<T> {
+        let n = self.dpus() as usize;
+        let spans = crate::schedule::split_elems(data.len(), n);
+        let shards = spans
+            .iter()
+            .map(|s| data[s.range()].to_vec())
+            .collect();
+        let bytes = Bytes::new((data.len() * std::mem::size_of::<T>()) as u64);
+        self.clock += self.system.system().host.scatter_time(bytes);
+        PimVector { shards }
+    }
+
+    /// Gathers a vector back to the host, charging the PIM→host transfer.
+    #[must_use]
+    pub fn gather<T: Element>(&mut self, v: &PimVector<T>) -> Vec<T> {
+        let total: usize = v.shards.iter().map(Vec::len).sum();
+        let bytes = Bytes::new((total * std::mem::size_of::<T>()) as u64);
+        self.clock += self.system.system().host.gather_time(bytes);
+        v.shards.iter().flatten().copied().collect()
+    }
+
+    fn charge_collective(
+        &mut self,
+        kind: CollectiveKind,
+        bytes_per_dpu: Bytes,
+        elem_bytes: u32,
+    ) -> Result<(), PimnetError> {
+        let spec = CollectiveSpec::new(kind, bytes_per_dpu).with_elem_bytes(elem_bytes);
+        self.clock += self.backend.collective(&spec)?.total();
+        Ok(())
+    }
+
+    fn schedule_for<T>(
+        &self,
+        kind: CollectiveKind,
+        elems: usize,
+    ) -> Result<CommSchedule, PimnetError> {
+        CommSchedule::build(
+            kind,
+            &self.system.system().geometry,
+            elems,
+            std::mem::size_of::<T>() as u32,
+        )
+    }
+}
+
+impl std::fmt::Debug for PimRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PimRuntime")
+            .field("dpus", &self.dpus())
+            .field("backend", &self.backend.name())
+            .field("elapsed", &self.clock)
+            .finish()
+    }
+}
+
+/// A vector sharded one-slice-per-DPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PimVector<T> {
+    shards: Vec<Vec<T>>,
+}
+
+impl<T: Element> PimVector<T> {
+    /// Builds a vector directly from per-DPU shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard count differs from the runtime's DPU count.
+    #[must_use]
+    pub fn from_shards(rt: &PimRuntime, shards: Vec<Vec<T>>) -> Self {
+        assert_eq!(
+            shards.len(),
+            rt.dpus() as usize,
+            "one shard per DPU required"
+        );
+        PimVector { shards }
+    }
+
+    /// One DPU's shard.
+    #[must_use]
+    pub fn shard(&self, id: DpuId) -> &[T] {
+        &self.shards[id.index()]
+    }
+
+    /// Total elements across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// True iff every shard is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Applies `f` to every shard (the PIM kernel), charging
+    /// `cost_per_elem` instructions per element through the DPU model.
+    pub fn map(&mut self, rt: &mut PimRuntime, cost_per_elem: OpCounts, f: impl Fn(&mut [T])) {
+        let mut worst = SimTime::ZERO;
+        for shard in &mut self.shards {
+            f(shard);
+            let ops = cost_per_elem.repeated(shard.len() as u64);
+            worst = worst.max(rt.system.system().dpu.compute_time(&ops));
+        }
+        rt.clock += worst;
+    }
+
+    fn uniform_len(&self) -> Result<usize, PimnetError> {
+        let n = self.shards[0].len();
+        if self.shards.iter().any(|s| s.len() != n) {
+            return Err(PimnetError::InvalidMessage {
+                reason: "collective requires equal shard lengths".into(),
+            });
+        }
+        Ok(n)
+    }
+
+    fn per_dpu_bytes(elems: usize) -> Bytes {
+        Bytes::new((elems * std::mem::size_of::<T>()) as u64)
+    }
+
+    fn run_schedule(&self, schedule: &CommSchedule, op: ReduceOp) -> ExecMachine<T> {
+        let mut m = ExecMachine::init(schedule, |id| self.shards[id.index()].clone());
+        m.run(schedule, op);
+        m
+    }
+
+    /// In-place AllReduce: every shard becomes the elementwise reduction of
+    /// all shards. Runs the real schedule and charges its time.
+    ///
+    /// # Errors
+    ///
+    /// Shards must have equal lengths; schedule errors propagate.
+    pub fn all_reduce(&mut self, rt: &mut PimRuntime, op: ReduceOp) -> Result<(), PimnetError> {
+        let n = self.uniform_len()?;
+        let schedule = rt.schedule_for::<T>(CollectiveKind::AllReduce, n)?;
+        let m = self.run_schedule(&schedule, op);
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.copy_from_slice(&m.buffer(DpuId(i as u32))[..n]);
+        }
+        rt.charge_collective(CollectiveKind::AllReduce, Self::per_dpu_bytes(n), elem::<T>())
+    }
+
+    /// In-place ReduceScatter: every shard becomes its fully-reduced,
+    /// exclusive piece (shard lengths become `n / DPUs`-ish).
+    ///
+    /// # Errors
+    ///
+    /// Shards must have equal lengths; schedule errors propagate.
+    pub fn reduce_scatter(
+        &mut self,
+        rt: &mut PimRuntime,
+        op: ReduceOp,
+    ) -> Result<(), PimnetError> {
+        let n = self.uniform_len()?;
+        let schedule = rt.schedule_for::<T>(CollectiveKind::ReduceScatter, n)?;
+        let m = self.run_schedule(&schedule, op);
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            *shard = m.result(&schedule, DpuId(i as u32));
+        }
+        rt.charge_collective(
+            CollectiveKind::ReduceScatter,
+            Self::per_dpu_bytes(n),
+            elem::<T>(),
+        )
+    }
+
+    /// In-place AllGather: every shard becomes the concatenation of all
+    /// shards.
+    ///
+    /// # Errors
+    ///
+    /// Shards must have equal lengths; schedule errors propagate.
+    pub fn all_gather(&mut self, rt: &mut PimRuntime) -> Result<(), PimnetError> {
+        let n = self.uniform_len()?;
+        let schedule = rt.schedule_for::<T>(CollectiveKind::AllGather, n)?;
+        let m = self.run_schedule(&schedule, ReduceOp::Sum);
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            *shard = m.result(&schedule, DpuId(i as u32));
+        }
+        rt.charge_collective(CollectiveKind::AllGather, Self::per_dpu_bytes(n), elem::<T>())
+    }
+
+    /// In-place All-to-All transpose: shard `i`'s chunk `j` moves to shard
+    /// `j`'s chunk `i` (chunk = shard length / DPUs).
+    ///
+    /// # Errors
+    ///
+    /// Shards must have equal lengths divisible by the DPU count; schedule
+    /// errors propagate.
+    pub fn all_to_all(&mut self, rt: &mut PimRuntime) -> Result<(), PimnetError> {
+        let n = self.uniform_len()?;
+        if n % rt.dpus() as usize != 0 {
+            return Err(PimnetError::InvalidMessage {
+                reason: "all_to_all requires shard length divisible by the DPU count".into(),
+            });
+        }
+        let schedule = rt.schedule_for::<T>(CollectiveKind::AllToAll, n)?;
+        let m = self.run_schedule(&schedule, ReduceOp::Sum);
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            *shard = m.result(&schedule, DpuId(i as u32));
+        }
+        rt.charge_collective(CollectiveKind::AllToAll, Self::per_dpu_bytes(n), elem::<T>())
+    }
+}
+
+fn elem<T>() -> u32 {
+    std::mem::size_of::<T>() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_arch::SystemConfig;
+    use crate::fabric::FabricConfig;
+    use pim_arch::PimGeometry;
+
+    fn small_rt(backend: BackendKind) -> PimRuntime {
+        let sys = PimnetSystem::new(
+            SystemConfig::paper().with_geometry(PimGeometry::paper_scaled(16)),
+            FabricConfig::paper(),
+        );
+        PimRuntime::new(sys, backend)
+    }
+
+    #[test]
+    fn scatter_map_allreduce_gather_roundtrip() {
+        let mut rt = small_rt(BackendKind::Pimnet);
+        let data: Vec<u64> = (0..16 * 32).collect();
+        let mut v = rt.scatter(&data);
+        assert_eq!(v.len(), data.len());
+        v.map(&mut rt, OpCounts::new().with_adds(1), |s| {
+            for x in s.iter_mut() {
+                *x = 1;
+            }
+        });
+        v.all_reduce(&mut rt, ReduceOp::Sum).unwrap();
+        // Every shard element is now the DPU count.
+        for i in 0..16 {
+            assert!(v.shard(DpuId(i)).iter().all(|&x| x == 16));
+        }
+        let back = rt.gather(&v);
+        assert_eq!(back.len(), data.len());
+        assert!(rt.elapsed() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn reduce_scatter_pieces_tile_the_vector() {
+        let mut rt = small_rt(BackendKind::Pimnet);
+        let data: Vec<u64> = vec![1; 16 * 64];
+        let mut v = rt.scatter(&data);
+        v.reduce_scatter(&mut rt, ReduceOp::Sum).unwrap();
+        // Total piece elements = one shard's worth; every element = 16.
+        assert_eq!(v.len(), 64);
+        for i in 0..16 {
+            assert!(v.shard(DpuId(i)).iter().all(|&x| x == 16));
+        }
+    }
+
+    #[test]
+    fn all_gather_replicates() {
+        let mut rt = small_rt(BackendKind::Pimnet);
+        let data: Vec<u32> = (0..16 * 4).collect();
+        let mut v = rt.scatter(&data);
+        v.all_gather(&mut rt).unwrap();
+        for i in 0..16 {
+            assert_eq!(v.shard(DpuId(i)), data.as_slice(), "DPU{i}");
+        }
+    }
+
+    #[test]
+    fn all_to_all_transposes() {
+        let mut rt = small_rt(BackendKind::Pimnet);
+        // Shard i holds 16 chunks of one element: value = i*100 + j.
+        let shards: Vec<Vec<u64>> = (0..16u64)
+            .map(|i| (0..16).map(|j| i * 100 + j).collect())
+            .collect();
+        let mut v = PimVector::from_shards(&rt, shards);
+        v.all_to_all(&mut rt).unwrap();
+        for j in 0..16u64 {
+            let expect: Vec<u64> = (0..16).map(|i| i * 100 + j).collect();
+            assert_eq!(v.shard(DpuId(j as u32)), expect.as_slice(), "DPU{j}");
+        }
+    }
+
+    #[test]
+    fn the_same_program_costs_more_through_the_host() {
+        let run = |backend| {
+            let mut rt = small_rt(backend);
+            let data: Vec<u64> = vec![7; 16 * 2048];
+            let mut v = rt.scatter(&data);
+            v.all_reduce(&mut rt, ReduceOp::Sum).unwrap();
+            rt.elapsed()
+        };
+        assert!(run(BackendKind::Baseline) > run(BackendKind::Pimnet));
+    }
+
+    #[test]
+    fn unequal_shards_are_rejected() {
+        let rt = small_rt(BackendKind::Pimnet);
+        let mut shards = vec![vec![0u64; 8]; 16];
+        shards[3].push(1);
+        let mut v = PimVector::from_shards(&rt, shards);
+        let mut rt = small_rt(BackendKind::Pimnet);
+        assert!(matches!(
+            v.all_reduce(&mut rt, ReduceOp::Sum),
+            Err(PimnetError::InvalidMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn map_charges_the_worst_shard() {
+        let mut rt = small_rt(BackendKind::Pimnet);
+        let data: Vec<u64> = (0..16 * 100).collect();
+        let mut v = rt.scatter(&data);
+        let before = rt.elapsed();
+        v.map(&mut rt, OpCounts::new().with_muls(10), |_| {});
+        // 100 elems x 10 muls x 64 cycles at 350 MHz ~= 183 us.
+        let delta = rt.elapsed() - before;
+        assert!((150.0..250.0).contains(&delta.as_us()), "{delta}");
+    }
+}

@@ -1,0 +1,537 @@
+//! The PIM instruction offload layer (paper Fig 5(c)/(d)).
+//!
+//! PIMnet collectives are not host calls: invoking `PIMnet_ReduceScatter()`
+//! compiles a *sequence of PIM instructions* that is offloaded to every
+//! DPU alongside the kernel, plus memory-mapped *switch configurations*
+//! for the inter-chip/inter-rank switches (Fig 8). At run time the DPU
+//! executes `POLL` (READY/START barrier), then per scheduled slot `SEND`s
+//! spans out of its PIMnet-stop ports and `RECV`s (optionally reducing)
+//! into WRAM, with `WAIT` aligning it to its compile-time slot.
+//!
+//! This module performs that compilation from a [`CommSchedule`] and
+//! provides [`IsaMachine`], an interpreter that executes the per-DPU
+//! programs against the switch plan. A property test in this module (and
+//! integration tests) prove the interpreter reaches exactly the same
+//! buffers as the span-level executor [`crate::exec::ExecMachine`] — i.e.
+//! the compiled instruction streams really implement the collective.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use pim_arch::geometry::DpuId;
+
+use crate::error::PimnetError;
+use crate::exec::{Element, ReduceOp};
+use crate::schedule::{CommSchedule, Span};
+use crate::topology::{Direction, Resource};
+
+/// A PIMnet-stop port a `SEND`/`RECV` names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Port {
+    /// Eastbound ring channel.
+    RingEast,
+    /// Westbound ring channel.
+    RingWest,
+    /// The chip's DQ channel towards the buffer-chip switch (inter-chip
+    /// and inter-rank traffic both leave through it).
+    Dq,
+    /// Local WRAM-to-WRAM move (no fabric).
+    Local,
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Port::RingEast => "E",
+            Port::RingWest => "W",
+            Port::Dq => "DQ",
+            Port::Local => "L",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One offloaded PIM instruction (Fig 5(c)).
+///
+/// `slot` is the compile-time schedule slot the WAIT phase aligns to: in
+/// hardware it is a timing offset from Algorithm 1; in the interpreter it
+/// is an explicit rendezvous index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PimInstr {
+    /// Raise READY, wait for START (once, before the collective).
+    Poll,
+    /// Send `span` out of `port` during `slot`.
+    Send {
+        /// Scheduled slot (WAIT target).
+        slot: u32,
+        /// PIMnet-stop port.
+        port: Port,
+        /// WRAM span streamed out.
+        span: Span,
+    },
+    /// Receive into `span` from `port` during `slot`, overwriting.
+    Recv {
+        /// Scheduled slot (WAIT target).
+        slot: u32,
+        /// PIMnet-stop port.
+        port: Port,
+        /// WRAM span written.
+        span: Span,
+    },
+    /// Receive into `span` from `port` during `slot`, reducing into the
+    /// existing WRAM contents (the collective *operation* of Table I).
+    RecvReduce {
+        /// Scheduled slot (WAIT target).
+        slot: u32,
+        /// PIMnet-stop port.
+        port: Port,
+        /// WRAM span reduced into.
+        span: Span,
+    },
+    /// Local WRAM copy during `slot` (e.g. All-to-All's own chunk).
+    Copy {
+        /// Scheduled slot.
+        slot: u32,
+        /// Source span.
+        src: Span,
+        /// Destination span.
+        dst: Span,
+    },
+}
+
+impl PimInstr {
+    fn slot(&self) -> u32 {
+        match *self {
+            PimInstr::Poll => 0,
+            PimInstr::Send { slot, .. }
+            | PimInstr::Recv { slot, .. }
+            | PimInstr::RecvReduce { slot, .. }
+            | PimInstr::Copy { slot, .. } => slot,
+        }
+    }
+}
+
+/// The instruction stream offloaded to one DPU.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DpuProgram {
+    /// Instructions in execution order (slot-monotonic after `Poll`).
+    pub instrs: Vec<PimInstr>,
+}
+
+impl DpuProgram {
+    /// Number of fabric sends in the program.
+    #[must_use]
+    pub fn sends(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i, PimInstr::Send { .. }))
+            .count()
+    }
+}
+
+/// Per-slot switch configuration: which receivers each sending (DPU, port)
+/// reaches — the memory-mapped state of the inter-chip/inter-rank switches
+/// (Fig 8) plus the ring's implicit neighbour wiring.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SwitchPlan {
+    // (src, port, slot) -> destination set of each successive send (a
+    // source may issue several scheduled sends on one port in one slot,
+    // e.g. ReduceScatter's per-rank quarters). Serialized as an entry
+    // list, since JSON map keys must be strings.
+    #[serde(with = "route_entries")]
+    routes: HashMap<(u32, Port, u32), Vec<Vec<DpuId>>>,
+    slots: u32,
+}
+
+mod route_entries {
+    use super::{DpuId, HashMap, Port};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    type Routes = HashMap<(u32, Port, u32), Vec<Vec<DpuId>>>;
+
+    pub fn serialize<S: Serializer>(routes: &Routes, s: S) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<(&(u32, Port, u32), &Vec<Vec<DpuId>>)> = routes.iter().collect();
+        entries.sort_by_key(|(k, _)| **k);
+        entries.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Routes, D::Error> {
+        let entries: Vec<((u32, Port, u32), Vec<Vec<DpuId>>)> = Vec::deserialize(d)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+impl SwitchPlan {
+    /// Receivers of the `seq`-th send from `src` on `port` during `slot`.
+    #[must_use]
+    pub fn route(&self, src: DpuId, port: Port, slot: u32, seq: usize) -> &[DpuId] {
+        self.routes
+            .get(&(src.0, port, slot))
+            .and_then(|v| v.get(seq))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Total schedule slots.
+    #[must_use]
+    pub fn slots(&self) -> u32 {
+        self.slots
+    }
+}
+
+/// A compiled collective: one program per DPU plus the switch plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompiledCollective {
+    /// Per-DPU instruction streams, indexed by linear DPU id.
+    pub programs: Vec<DpuProgram>,
+    /// Switch/ring routing per slot.
+    pub plan: SwitchPlan,
+    /// Per-node buffer length in elements (same layout as the schedule).
+    pub buffer_len: usize,
+}
+
+impl CompiledCollective {
+    /// Total offloaded instructions across all DPUs.
+    #[must_use]
+    pub fn instruction_count(&self) -> usize {
+        self.programs.iter().map(|p| p.instrs.len()).sum()
+    }
+}
+
+/// Which port a transfer leaves through, from its first fabric resource.
+fn send_port(resources: &[Resource]) -> Port {
+    match resources.first() {
+        None => Port::Local,
+        Some(Resource::RingSegment { dir, .. }) => match dir {
+            Direction::East => Port::RingEast,
+            Direction::West => Port::RingWest,
+        },
+        Some(_) => Port::Dq,
+    }
+}
+
+/// Which port a transfer arrives through at the destination.
+fn recv_port(resources: &[Resource]) -> Port {
+    match resources.last() {
+        None => Port::Local,
+        Some(Resource::RingSegment { dir, .. }) => match dir {
+            // Arriving on an eastbound segment means it enters the west port,
+            // but the ISA names the *channel*, so keep the direction name.
+            Direction::East => Port::RingEast,
+            Direction::West => Port::RingWest,
+        },
+        Some(_) => Port::Dq,
+    }
+}
+
+/// Compiles a schedule into per-DPU instruction streams and a switch plan
+/// (the paper's host-side compilation of `PIMnet_AllReduce()` et al.).
+///
+/// # Errors
+///
+/// Returns [`PimnetError::ScheduleInvalid`] if the schedule fails static
+/// validation first — never compile an invalid schedule.
+pub fn compile(schedule: &CommSchedule) -> Result<CompiledCollective, PimnetError> {
+    crate::schedule::validate::validate(schedule)?;
+    let n = schedule.geometry.total_dpus() as usize;
+    let mut programs = vec![DpuProgram::default(); n];
+    for p in &mut programs {
+        p.instrs.push(PimInstr::Poll);
+    }
+    let mut plan = SwitchPlan::default();
+
+    let mut slot: u32 = 0;
+    for phase in &schedule.phases {
+        for step in &phase.steps {
+            // Iterate senders in DPU order: the interpreter's wires deliver
+            // payloads in sender order, so receive instructions must be
+            // emitted in the same order for FIFO pairing to be exact.
+            let mut ordered: Vec<&crate::schedule::Transfer> = step.transfers.iter().collect();
+            ordered.sort_by_key(|t| t.src);
+            for t in ordered {
+                if t.is_local() {
+                    programs[t.src.index()].instrs.push(PimInstr::Copy {
+                        slot,
+                        src: t.src_span,
+                        dst: t.dst_span,
+                    });
+                    continue;
+                }
+                let sport = send_port(&t.resources);
+                programs[t.src.index()].instrs.push(PimInstr::Send {
+                    slot,
+                    port: sport,
+                    span: t.src_span,
+                });
+                plan.routes
+                    .entry((t.src.0, sport, slot))
+                    .or_default()
+                    .push(t.dsts.clone());
+                let rport = recv_port(&t.resources);
+                for &dst in &t.dsts {
+                    let instr = if t.combine {
+                        PimInstr::RecvReduce {
+                            slot,
+                            port: rport,
+                            span: t.dst_span,
+                        }
+                    } else {
+                        PimInstr::Recv {
+                            slot,
+                            port: rport,
+                            span: t.dst_span,
+                        }
+                    };
+                    programs[dst.index()].instrs.push(instr);
+                }
+            }
+            slot += 1;
+        }
+    }
+    plan.slots = slot;
+    Ok(CompiledCollective {
+        programs,
+        plan,
+        buffer_len: schedule.buffer_len,
+    })
+}
+
+/// Interprets compiled collectives against per-DPU WRAM buffers.
+///
+/// Execution is slot-synchronous, exactly like the hardware's WAIT-aligned
+/// slots: within a slot all sends read the pre-slot WRAM state, then all
+/// receives apply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsaMachine<T> {
+    buffers: Vec<Vec<T>>,
+}
+
+impl<T: Element> IsaMachine<T> {
+    /// Creates the machine; `init` provides each DPU's initial WRAM
+    /// contents (resized to the compiled buffer length).
+    #[must_use]
+    pub fn init(compiled: &CompiledCollective, mut init: impl FnMut(DpuId) -> Vec<T>) -> Self {
+        let buffers = (0..compiled.programs.len())
+            .map(|i| {
+                let mut b = init(DpuId(i as u32));
+                b.resize(compiled.buffer_len, T::default());
+                b
+            })
+            .collect();
+        IsaMachine { buffers }
+    }
+
+    /// Runs every DPU's program to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Recv` has no matching routed `Send` in its slot —
+    /// which would mean the compiler and switch plan disagree (a bug, not
+    /// an input error).
+    pub fn run(&mut self, compiled: &CompiledCollective, op: ReduceOp) {
+        let n = self.buffers.len();
+        let mut pc = vec![0usize; n]; // skip Poll below
+        for p in &mut pc {
+            *p = 1;
+        }
+        for slot in 0..compiled.plan.slots() {
+            // 1. Collect sends of this slot (snapshot semantics).
+            // key: (dst, recv port) -> FIFO of payload spans.
+            let mut wires: HashMap<(u32, Port), Vec<Vec<T>>> = HashMap::new();
+            let mut local: Vec<(usize, Span, Vec<T>)> = Vec::new();
+            for (dpu, prog) in compiled.programs.iter().enumerate() {
+                let mut i = pc[dpu];
+                let mut send_seq: HashMap<Port, usize> = HashMap::new();
+                while i < prog.instrs.len() && prog.instrs[i].slot() == slot {
+                    match prog.instrs[i] {
+                        PimInstr::Send { port, span, .. } => {
+                            let seq = send_seq.entry(port).or_insert(0);
+                            let payload = self.buffers[dpu][span.range()].to_vec();
+                            for &dst in
+                                compiled.plan.route(DpuId(dpu as u32), port, slot, *seq)
+                            {
+                                wires.entry((dst.0, port)).or_default().push(payload.clone());
+                            }
+                            *seq += 1;
+                        }
+                        PimInstr::Copy { src, dst, .. } => {
+                            let payload = self.buffers[dpu][src.range()].to_vec();
+                            local.push((dpu, dst, payload));
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            // 2. Apply local copies.
+            for (dpu, dst, payload) in local {
+                self.buffers[dpu][dst.start..dst.start + payload.len()]
+                    .copy_from_slice(&payload);
+            }
+            // 3. Deliver receives in program order per DPU.
+            for (dpu, prog) in compiled.programs.iter().enumerate() {
+                let mut i = pc[dpu];
+                while i < prog.instrs.len() && prog.instrs[i].slot() == slot {
+                    match prog.instrs[i] {
+                        PimInstr::Recv { port, span, .. } => {
+                            let payload = take_wire(&mut wires, dpu as u32, port);
+                            self.buffers[dpu][span.start..span.start + payload.len()]
+                                .copy_from_slice(&payload);
+                        }
+                        PimInstr::RecvReduce { port, span, .. } => {
+                            let payload = take_wire(&mut wires, dpu as u32, port);
+                            let buf = &mut self.buffers[dpu];
+                            for (k, v) in payload.into_iter().enumerate() {
+                                buf[span.start + k] = T::reduce(op, buf[span.start + k], v);
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                pc[dpu] = i;
+            }
+            assert!(
+                wires.values().all(Vec::is_empty),
+                "undelivered payloads in slot {slot}: switch plan routed a send \
+                 no Recv consumed"
+            );
+        }
+    }
+
+    /// A DPU's WRAM buffer after execution.
+    #[must_use]
+    pub fn buffer(&self, id: DpuId) -> &[T] {
+        &self.buffers[id.index()]
+    }
+}
+
+fn take_wire<T>(wires: &mut HashMap<(u32, Port), Vec<Vec<T>>>, dpu: u32, port: Port) -> Vec<T> {
+    let q = wires
+        .get_mut(&(dpu, port))
+        .unwrap_or_else(|| panic!("DPU{dpu}: Recv on {port} with no routed Send"));
+    assert!(!q.is_empty(), "DPU{dpu}: Recv on {port} underflow");
+    q.remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::CollectiveKind;
+    use crate::exec::{run_collective, ExecMachine};
+    use pim_arch::geometry::PimGeometry;
+    use proptest::prelude::*;
+
+    fn build(kind: CollectiveKind, n: u32, elems: usize) -> CommSchedule {
+        CommSchedule::build(kind, &PimGeometry::paper_scaled(n), elems, 4).unwrap()
+    }
+
+    fn input(id: DpuId, elems: usize) -> Vec<u64> {
+        (0..elems)
+            .map(|e| u64::from(id.0 + 1) * 10_000 + e as u64)
+            .collect()
+    }
+
+    fn assert_isa_matches_exec(kind: CollectiveKind, n: u32, elems: usize) {
+        let s = build(kind, n, elems);
+        let compiled = compile(&s).expect("compile");
+        // Seed the ISA machine with the span executor's *initial* buffers,
+        // so both see identical input placement (piece offsets for
+        // AllGather/Gather, offset 0 otherwise).
+        let initial = ExecMachine::<u64>::init(&s, |i| input(i, elems));
+        let mut isa = IsaMachine::init(&compiled, |id| initial.buffer(id).to_vec());
+        isa.run(&compiled, ReduceOp::Sum);
+        let exec = run_collective(&s, ReduceOp::Sum, |i| input(i, elems)).unwrap();
+        for id in s.participants() {
+            assert_eq!(isa.buffer(id), exec.buffer(id), "{kind} node {id}");
+        }
+    }
+
+    #[test]
+    fn compiled_allreduce_matches_span_executor() {
+        assert_isa_matches_exec(CollectiveKind::AllReduce, 64, 256);
+        assert_isa_matches_exec(CollectiveKind::AllReduce, 256, 64);
+    }
+
+    #[test]
+    fn compiled_reduce_scatter_and_gather_match() {
+        assert_isa_matches_exec(CollectiveKind::ReduceScatter, 64, 520);
+        assert_isa_matches_exec(CollectiveKind::AllGather, 16, 24);
+        assert_isa_matches_exec(CollectiveKind::Gather, 32, 5);
+    }
+
+    #[test]
+    fn compiled_alltoall_and_broadcast_match() {
+        assert_isa_matches_exec(CollectiveKind::AllToAll, 64, 128);
+        assert_isa_matches_exec(CollectiveKind::Broadcast, 64, 77);
+        assert_isa_matches_exec(CollectiveKind::Reduce, 64, 40);
+    }
+
+    #[test]
+    fn every_program_begins_with_poll() {
+        let s = build(CollectiveKind::AllReduce, 64, 256);
+        let compiled = compile(&s).unwrap();
+        for p in &compiled.programs {
+            assert_eq!(p.instrs.first(), Some(&PimInstr::Poll));
+        }
+    }
+
+    #[test]
+    fn slots_are_monotonic_within_each_program() {
+        let s = build(CollectiveKind::AllToAll, 16, 64);
+        let compiled = compile(&s).unwrap();
+        for p in &compiled.programs {
+            let slots: Vec<u32> = p.instrs.iter().map(PimInstr::slot).collect();
+            assert!(slots.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn instruction_counts_scale_with_steps_not_bytes() {
+        let g = PimGeometry::paper_scaled(64);
+        let small = compile(&CommSchedule::build(CollectiveKind::AllReduce, &g, 128, 4).unwrap())
+            .unwrap()
+            .instruction_count();
+        let large = compile(&CommSchedule::build(CollectiveKind::AllReduce, &g, 8192, 4).unwrap())
+            .unwrap()
+            .instruction_count();
+        assert_eq!(small, large, "offload size must not depend on payload");
+    }
+
+    #[test]
+    fn corrupted_schedule_refuses_to_compile() {
+        let mut s = build(CollectiveKind::AllReduce, 8, 64);
+        for phase in &mut s.phases {
+            for step in &mut phase.steps {
+                if let Some(t) = step.transfers.first_mut() {
+                    t.src_span = Span::new(s.buffer_len, 4);
+                    t.dst_span = t.src_span;
+                }
+            }
+        }
+        assert!(matches!(
+            compile(&s),
+            Err(PimnetError::ScheduleInvalid { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn isa_equivalence_holds_for_arbitrary_shapes(
+            n_exp in 0u32..=6,
+            elems in 1usize..128,
+        ) {
+            let n = 1u32 << n_exp;
+            let s = build(CollectiveKind::AllReduce, n, elems);
+            let compiled = compile(&s).unwrap();
+            let mut isa = IsaMachine::init(&compiled, |id| input(id, elems));
+            isa.run(&compiled, ReduceOp::Sum);
+            let exec = run_collective(&s, ReduceOp::Sum, |id| input(id, elems)).unwrap();
+            for id in s.participants() {
+                prop_assert_eq!(isa.buffer(id), exec.buffer(id));
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! # PIMnet — a PIM-controlled interconnection network for collective communication
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (*PIMnet: A Domain-Specific Network for Efficient Collective Communication
+//! in Scalable PIM*, HPCA 2025): a multi-tier interconnect that lets
+//! bank-level PIM compute units talk to each other directly instead of
+//! round-tripping through the host CPU.
+//!
+//! The three tiers mirror the DRAM packaging hierarchy (paper §IV-B,
+//! Table IV):
+//!
+//! * **inter-bank** — a bidirectional ring over the chip's internal I/O bus
+//!   (four 16-bit, 0.7 GB/s channels per bank), with a bufferless,
+//!   arbitration-free *PIMnet stop* at every bank;
+//! * **inter-chip** — the chip's DQ pins, split into one 1.05 GB/s send and
+//!   one 1.05 GB/s receive channel, meeting in an 8×8 crossbar on the DIMM
+//!   buffer chip;
+//! * **inter-rank** — the existing multi-drop DDR bus (16.8 GB/s,
+//!   half-duplex), used as a scheduled broadcast medium.
+//!
+//! Because collective traffic is *deterministic* (source, destination and
+//! size are known before the kernel launches), PIMnet needs no routing, no
+//! buffering and no arbitration: communication is compiled to a static
+//! [`schedule::CommSchedule`] whose contention-freedom is machine-checkable
+//! ([`schedule::validate`]), timed analytically ([`timing`]), and executable
+//! on real data ([`exec`]).
+//!
+//! Comparison systems from the paper's evaluation (baseline host-mediated
+//! collectives, the idealized software stack, DIMM-Link, NDPBridge) live in
+//! [`backends`] behind a single [`backends::CollectiveBackend`] trait.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pimnet::api::PimnetSystem;
+//! use pimnet::collective::CollectiveKind;
+//! use pim_sim::Bytes;
+//!
+//! // The paper's 256-DPU system, with PIMnet attached.
+//! let sys = PimnetSystem::paper();
+//!
+//! // Time a 32 KiB-per-DPU AllReduce over PIMnet.
+//! let report = sys.collective(CollectiveKind::AllReduce, Bytes::kib(32))?;
+//! assert!(report.total().as_us() < 500.0);
+//!
+//! // The same collective through the host takes milliseconds.
+//! let base = sys.baseline_collective(CollectiveKind::AllReduce, Bytes::kib(32))?;
+//! assert!(base.total() > report.total() * 10);
+//! # Ok::<(), pimnet::PimnetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod backends;
+pub mod collective;
+pub mod energy;
+mod error;
+pub mod exec;
+pub mod fabric;
+pub mod framework;
+pub mod hwcost;
+pub mod isa;
+pub mod roofline;
+pub mod schedule;
+pub mod sync;
+pub mod timeline;
+pub mod timing;
+pub mod topology;
+
+pub use api::PimnetSystem;
+pub use collective::{CollectiveKind, CollectiveSpec};
+pub use error::PimnetError;
+pub use fabric::FabricConfig;
+pub use timing::CommBreakdown;

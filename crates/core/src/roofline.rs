@@ -1,0 +1,155 @@
+//! Roofline models (paper §III-A, Fig 2).
+//!
+//! Two variants:
+//!
+//! * the **classic roofline** \[87\]: attainable throughput =
+//!   `min(peak, AI × memory-bandwidth)` with AI in ops per byte of local
+//!   memory traffic — identical for every backend, since PIM internal
+//!   bandwidth does not depend on the interconnect;
+//! * the **communication roofline** \[14\]: the x-axis becomes
+//!   *communication arithmetic intensity* (ops per byte sent over the
+//!   network) and the slope becomes the *effective collective bandwidth* of
+//!   a backend — which is where PIMnet's ~8× advantage over idealized
+//!   software shows up as a much steeper slope.
+
+use pim_sim::Bytes;
+use serde::{Deserialize, Serialize};
+
+use pim_arch::SystemConfig;
+
+use crate::backends::CollectiveBackend;
+use crate::collective::CollectiveSpec;
+use crate::error::PimnetError;
+
+/// A single roofline: a peak and a slope.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Compute ceiling, in operations per second (whole system).
+    pub peak_ops_per_sec: f64,
+    /// Bandwidth slope, in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl Roofline {
+    /// Attainable throughput at arithmetic intensity `ai` (ops/byte).
+    #[must_use]
+    pub fn attainable(&self, ai: f64) -> f64 {
+        (ai * self.bandwidth).min(self.peak_ops_per_sec)
+    }
+
+    /// The knee: the intensity beyond which the workload is compute-bound.
+    #[must_use]
+    pub fn knee(&self) -> f64 {
+        self.peak_ops_per_sec / self.bandwidth
+    }
+}
+
+/// The classic roofline of a PIM system: peak = ΣDPU throughput, slope =
+/// aggregate internal (MRAM↔WRAM DMA) bandwidth.
+#[must_use]
+pub fn compute_roofline(system: &SystemConfig) -> Roofline {
+    let dpus = f64::from(system.geometry.total_dpus());
+    Roofline {
+        peak_ops_per_sec: system.dpu.peak_ops_per_sec() * dpus,
+        bandwidth: system.dma.bandwidth.as_bytes_per_sec() as f64 * dpus,
+    }
+}
+
+/// Effective collective bandwidth of a backend: algorithmic bytes (one
+/// contribution per DPU) divided by the measured collective time.
+///
+/// # Errors
+///
+/// Propagates the backend's errors.
+pub fn effective_collective_bandwidth(
+    backend: &dyn CollectiveBackend,
+    spec: &CollectiveSpec,
+) -> Result<f64, PimnetError> {
+    let t = backend.collective(spec)?.total();
+    let algorithmic = algorithmic_bytes(spec, backend.dpus_per_channel());
+    Ok(algorithmic.as_u64() as f64 / t.as_secs_f64())
+}
+
+/// The communication roofline of a backend: classic peak, collective-
+/// bandwidth slope.
+///
+/// # Errors
+///
+/// Propagates the backend's errors.
+pub fn communication_roofline(
+    system: &SystemConfig,
+    backend: &dyn CollectiveBackend,
+    spec: &CollectiveSpec,
+) -> Result<Roofline, PimnetError> {
+    Ok(Roofline {
+        peak_ops_per_sec: compute_roofline(system).peak_ops_per_sec,
+        bandwidth: effective_collective_bandwidth(backend, spec)?,
+    })
+}
+
+/// Bytes the collective logically exchanges (each DPU contributes its
+/// payload once).
+#[must_use]
+pub fn algorithmic_bytes(spec: &CollectiveSpec, dpus: u32) -> Bytes {
+    spec.bytes_per_dpu * u64::from(dpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::{BackendKind, PimnetBackend, SoftwareIdealBackend};
+    use crate::collective::CollectiveKind;
+    use crate::fabric::FabricConfig;
+
+    #[test]
+    fn roofline_shape() {
+        let r = Roofline {
+            peak_ops_per_sec: 100.0,
+            bandwidth: 10.0,
+        };
+        assert_eq!(r.knee(), 10.0);
+        assert_eq!(r.attainable(1.0), 10.0); // bandwidth-bound
+        assert_eq!(r.attainable(100.0), 100.0); // compute-bound
+    }
+
+    #[test]
+    fn paper_system_peak() {
+        let r = compute_roofline(&SystemConfig::paper());
+        // 256 DPUs x 350 MHz = 89.6 GOPS.
+        assert_eq!(r.peak_ops_per_sec, 256.0 * 350e6);
+        assert!(r.knee() > 0.0);
+    }
+
+    #[test]
+    fn pimnet_slope_is_much_steeper_than_software() {
+        // Fig 2: PIMnet reaches ~8x the compute throughput of Software
+        // (Ideal) in the communication-bound region.
+        let spec = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(32));
+        let p = PimnetBackend::new(SystemConfig::paper(), FabricConfig::paper());
+        let s = SoftwareIdealBackend::new(SystemConfig::paper());
+        let bw_p = effective_collective_bandwidth(&p, &spec).unwrap();
+        let bw_s = effective_collective_bandwidth(&s, &spec).unwrap();
+        let ratio = bw_p / bw_s;
+        assert!(
+            ratio > 5.0,
+            "PIMnet/software collective bandwidth ratio only {ratio:.1}"
+        );
+        assert_eq!(p.kind(), BackendKind::Pimnet);
+    }
+
+    #[test]
+    fn communication_roofline_is_consistent() {
+        let spec = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(32));
+        let sys = SystemConfig::paper();
+        let p = PimnetBackend::new(sys, FabricConfig::paper());
+        let r = communication_roofline(&sys, &p, &spec).unwrap();
+        assert_eq!(r.peak_ops_per_sec, compute_roofline(&sys).peak_ops_per_sec);
+        assert!(r.bandwidth > 0.0);
+    }
+
+    #[test]
+    fn algorithmic_bytes_scale_with_dpus() {
+        let spec = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(1));
+        assert_eq!(algorithmic_bytes(&spec, 256), Bytes::kib(256));
+    }
+}

@@ -1,0 +1,237 @@
+//! Algorithm 1: per-bank address generation and timing offsets for
+//! AllReduce.
+//!
+//! Because the host is not involved during PIMnet communication, every PIM
+//! bank must know, *before the kernel launches*, (a) the local WRAM address
+//! of the data it sends in each phase and (b) the time offset at which each
+//! phase begins — communication is self-timed after the single READY/START
+//! barrier. This module reproduces the paper's Algorithm 1 verbatim for the
+//! logical unidirectional ring: the hierarchical schedule builders in this
+//! crate generalize it (bidirectional bank rings), but Algorithm 1 remains
+//! the programmer-visible contract and is what the host-side "compiler"
+//! hands to each DPU.
+
+use pim_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use pim_arch::geometry::{DpuId, PimGeometry};
+
+/// Durations of the six AllReduce tiers, in schedule order
+/// (`RS_bank → RS_chip → RS_rank → AG_rank → AG_chip → AG_bank`).
+///
+/// With the paper's broadcast-based inter-rank reduction, `ag_rank` is zero
+/// (one bus pass reduces *and* redistributes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TierTimes {
+    /// Inter-bank ReduceScatter duration (`T_RS_B`).
+    pub rs_bank: SimTime,
+    /// Inter-chip ReduceScatter duration (`T_RS_C`).
+    pub rs_chip: SimTime,
+    /// Inter-rank reduction duration (`T_RS_R`).
+    pub rs_rank: SimTime,
+    /// Inter-rank AllGather duration (`T_AG_R`; zero for broadcast-based
+    /// reduction).
+    pub ag_rank: SimTime,
+    /// Inter-chip AllGather duration (`T_AG_C`).
+    pub ag_chip: SimTime,
+    /// Inter-bank AllGather duration (`T_AG_B`).
+    pub ag_bank: SimTime,
+}
+
+impl TierTimes {
+    /// End-to-end AllReduce duration.
+    #[must_use]
+    pub fn total(&self) -> SimTime {
+        self.rs_bank + self.rs_chip + self.rs_rank + self.ag_rank + self.ag_chip + self.ag_bank
+    }
+}
+
+/// The `(offset, start_address)` pair Algorithm 1 returns for one phase on
+/// one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct PhaseAddr {
+    /// When the phase begins, relative to START.
+    pub offset: SimTime,
+    /// Element index of the first chunk this bank sends in the phase.
+    pub start_addr: usize,
+}
+
+/// Everything one bank needs to run an AllReduce without the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BankAddressInfo {
+    /// The bank this information is compiled for.
+    pub bank: DpuId,
+    /// Inter-bank ReduceScatter phase.
+    pub rs_bank: PhaseAddr,
+    /// Inter-chip ReduceScatter phase.
+    pub rs_chip: PhaseAddr,
+    /// Inter-rank reduction phase.
+    pub rs_rank: PhaseAddr,
+    /// Inter-chip AllGather phase.
+    pub ag_chip: PhaseAddr,
+    /// Inter-bank AllGather phase.
+    pub ag_bank: PhaseAddr,
+}
+
+/// The compiled Algorithm 1 output for a whole AllReduce.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllReduceAddressPlan {
+    /// Geometry the plan was compiled for.
+    pub geometry: PimGeometry,
+    /// Vector length per node, in elements (`D` in Algorithm 1).
+    pub elems: usize,
+    /// Tier durations used for the offsets.
+    pub times: TierTimes,
+    /// Per-bank addresses, indexed by linear DPU id.
+    pub banks: Vec<BankAddressInfo>,
+}
+
+impl AllReduceAddressPlan {
+    /// Compiles Algorithm 1 for every bank.
+    ///
+    /// `Schedule_AllReduce(domain, phase)` of the paper computes, for each
+    /// `(domain, phase)` pair, a time offset (a prefix sum of earlier tier
+    /// durations) and a start address derived from the bank/chip/rank IDs.
+    #[must_use]
+    pub fn compile(geometry: &PimGeometry, elems: usize, times: TierTimes) -> Self {
+        let nb = geometry.banks_per_chip as usize;
+        let nc = geometry.chips_per_rank as usize;
+        let nr = geometry.ranks_per_channel as usize;
+        let banks = geometry
+            .dpus()
+            .map(|id| {
+                let c = geometry.coord(id);
+                let (ib, ic, ir) = (c.bank as usize, c.chip as usize, c.rank as usize);
+                let _ = ir;
+                // domain == bank, phase == RS: offset 0, Addr_s = D/N_B * I_B.
+                let rs_bank = PhaseAddr {
+                    offset: SimTime::ZERO,
+                    start_addr: elems / nb * ib,
+                };
+                // domain == chip, phase == RS: starts after the bank RS; the
+                // bank owns chunk (I_B + 1) % N_B, and sends its I_C-th
+                // sub-chunk of it.
+                let owned_bank = elems / nb * ((ib + 1) % nb);
+                let rs_chip = PhaseAddr {
+                    offset: times.rs_bank,
+                    start_addr: owned_bank + elems / (nb * nc) * ic,
+                };
+                // domain == rank, phase == RS: starts after the chip RS; the
+                // bank owns sub-chunk (I_C + 1) % N_C and broadcasts it.
+                let owned_chip = owned_bank + elems / (nb * nc) * ((ic + 1) % nc);
+                let rs_rank = PhaseAddr {
+                    offset: times.rs_bank + times.rs_chip,
+                    start_addr: owned_chip,
+                };
+                let _ = nr;
+                // domain == chip, phase == AG.
+                let ag_chip = PhaseAddr {
+                    offset: times.rs_bank + times.rs_chip + times.rs_rank + times.ag_rank,
+                    start_addr: owned_chip,
+                };
+                // domain == bank, phase == AG: Algorithm 1's published case:
+                // offset = T_RS_B + T_RS_C + T_RS_R + T_AG_R + T_AG_C,
+                // Addr_s = D/N_B * ((I_B + N_B - 1) % N_B) — one chunk
+                // "behind" the owned chunk, i.e. the chunk just received.
+                let ag_bank = PhaseAddr {
+                    offset: times.rs_bank
+                        + times.rs_chip
+                        + times.rs_rank
+                        + times.ag_rank
+                        + times.ag_chip,
+                    start_addr: elems / nb * ((ib + nb - 1) % nb),
+                };
+                BankAddressInfo {
+                    bank: id,
+                    rs_bank,
+                    rs_chip,
+                    rs_rank,
+                    ag_chip,
+                    ag_bank,
+                }
+            })
+            .collect();
+        AllReduceAddressPlan {
+            geometry: *geometry,
+            elems,
+            times,
+            banks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times() -> TierTimes {
+        TierTimes {
+            rs_bank: SimTime::from_us(20),
+            rs_chip: SimTime::from_us(27),
+            rs_rank: SimTime::from_us(8),
+            ag_rank: SimTime::ZERO,
+            ag_chip: SimTime::from_us(27),
+            ag_bank: SimTime::from_us(20),
+        }
+    }
+
+    #[test]
+    fn offsets_are_prefix_sums_of_tier_times() {
+        let g = PimGeometry::paper();
+        let plan = AllReduceAddressPlan::compile(&g, 8192, times());
+        let b = &plan.banks[37];
+        assert_eq!(b.rs_bank.offset, SimTime::ZERO);
+        assert_eq!(b.rs_chip.offset, SimTime::from_us(20));
+        assert_eq!(b.rs_rank.offset, SimTime::from_us(47));
+        assert_eq!(b.ag_chip.offset, SimTime::from_us(55));
+        assert_eq!(b.ag_bank.offset, SimTime::from_us(82));
+        assert_eq!(plan.times.total(), SimTime::from_us(102));
+    }
+
+    #[test]
+    fn rs_bank_addresses_tile_the_vector() {
+        let g = PimGeometry::paper();
+        let elems = 8192;
+        let plan = AllReduceAddressPlan::compile(&g, elems, times());
+        // Within one chip, the 8 banks start at 8 distinct, evenly spaced
+        // addresses (Fig 9(a)).
+        let starts: Vec<usize> = (0..8)
+            .map(|b| plan.banks[b].rs_bank.start_addr)
+            .collect();
+        assert_eq!(starts, vec![0, 1024, 2048, 3072, 4096, 5120, 6144, 7168]);
+    }
+
+    #[test]
+    fn ag_bank_address_is_one_chunk_behind_ownership() {
+        let g = PimGeometry::paper();
+        let elems = 8192;
+        let plan = AllReduceAddressPlan::compile(&g, elems, times());
+        // Bank 0 owns chunk 1 after RS; in AG it first forwards chunk
+        // (0 + 8 - 1) % 8 = 7.
+        assert_eq!(plan.banks[0].ag_bank.start_addr, elems / 8 * 7);
+    }
+
+    #[test]
+    fn chip_phase_addresses_nest_inside_bank_chunks() {
+        let g = PimGeometry::paper();
+        let elems = 8192;
+        let plan = AllReduceAddressPlan::compile(&g, elems, times());
+        for id in g.dpus().take(64) {
+            let c = g.coord(id);
+            let b = &plan.banks[id.index()];
+            let owned = elems / 8 * ((c.bank as usize + 1) % 8);
+            assert!(b.rs_chip.start_addr >= owned);
+            assert!(b.rs_chip.start_addr < owned + elems / 8);
+        }
+    }
+
+    #[test]
+    fn same_position_banks_of_different_ranks_share_addresses() {
+        // The inter-rank broadcast pairs twin banks; their addresses match.
+        let g = PimGeometry::paper();
+        let plan = AllReduceAddressPlan::compile(&g, 4096, times());
+        let a = &plan.banks[DpuId(5).index()]; // rank 0
+        let b = &plan.banks[DpuId(5 + 64).index()]; // rank 1, same (chip, bank)
+        assert_eq!(a.rs_rank.start_addr, b.rs_rank.start_addr);
+    }
+}

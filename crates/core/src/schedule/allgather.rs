@@ -1,0 +1,260 @@
+//! AllGather schedule builder (Table V:
+//! `Broadcast(inter-rank) → Ring(inter-chip) → Ring(inter-bank)`).
+//!
+//! Every node contributes `n` elements; the per-node buffer holds all
+//! `N × n` elements, with node `i`'s contribution pre-placed at piece `i`
+//! (pieces are laid out in linear DPU order). The rank-level broadcast runs
+//! *first* — while the data is still one piece per bank — then ring
+//! AllGathers fan the accumulated piece-sets out across chips and banks.
+
+use pim_arch::geometry::{DpuCoord, DpuId, PimGeometry};
+
+use crate::collective::CollectiveKind;
+use crate::topology::{rank_path, ring_path, Direction};
+
+use super::{chip_ring_path, CommSchedule, CommStep, Phase, PhaseLabel, Span, Transfer};
+
+pub(super) fn build(geometry: &PimGeometry, elems: usize, elem_bytes: u32) -> CommSchedule {
+    let (banks, chips, ranks) = (
+        geometry.banks_per_chip,
+        geometry.chips_per_rank,
+        geometry.ranks_per_channel,
+    );
+    let total = geometry.total_dpus() as usize;
+    let buffer_len = total * elems;
+    let piece = |id: DpuId| Span::new(id.index() * elems, elems);
+    let mut phases = Vec::new();
+
+    // ---- Phase 1: inter-rank broadcast of each bank's own piece. ----
+    // After this phase, bank (r, c, b) holds the pieces of every rank's
+    // (c, b) twin: {piece(r'', c, b) for all r''}.
+    if ranks > 1 {
+        let mut steps = Vec::new();
+        for src_rank in 0..ranks {
+            let mut transfers = Vec::new();
+            for chip in 0..chips {
+                for bank in 0..banks {
+                    let src = geometry.id(DpuCoord {
+                        channel: 0,
+                        rank: src_rank,
+                        chip,
+                        bank,
+                    });
+                    let dsts: Vec<DpuId> = (0..ranks)
+                        .filter(|&r| r != src_rank)
+                        .map(|r| {
+                            geometry.id(DpuCoord {
+                                channel: 0,
+                                rank: r,
+                                chip,
+                                bank,
+                            })
+                        })
+                        .collect();
+                    transfers.push(Transfer {
+                        src,
+                        dsts: dsts.clone(),
+                        src_span: piece(src),
+                        dst_span: piece(src),
+                        combine: false,
+                        resources: rank_path(geometry, src, &dsts),
+                    });
+                }
+            }
+            steps.push(CommStep::new(transfers));
+        }
+        phases.push(Phase::new(PhaseLabel::InterRank, steps, true));
+    }
+
+    // The set of pieces a bank at (chip, bank) holds after phase 1: the
+    // pieces of every rank's (chip, bank) twin.
+    let column = |chip: u32, bank: u32| -> Vec<Span> {
+        (0..ranks)
+            .map(|r| {
+                piece(geometry.id(DpuCoord {
+                    channel: 0,
+                    rank: r,
+                    chip,
+                    bank,
+                }))
+            })
+            .collect()
+    };
+
+    // ---- Phase 2: inter-chip ring AllGather of piece-sets. ----
+    // Node (r, c, b) circulates its R-piece set around the chip ring; after
+    // C-1 steps every bank holds {piece(r'', c'', b)} for all r'', c''.
+    if chips > 1 {
+        let mut steps: Vec<Vec<Transfer>> = vec![Vec::new(); chips as usize - 1];
+        for rank in 0..ranks {
+            for bank in 0..banks {
+                let nodes: Vec<DpuId> = (0..chips)
+                    .map(|chip| {
+                        geometry.id(DpuCoord {
+                            channel: 0,
+                            rank,
+                            chip,
+                            bank,
+                        })
+                    })
+                    .collect();
+                // cur[i] = index of the piece-set node i forwards this step.
+                let mut cur: Vec<u32> = (0..chips).collect();
+                for step in steps.iter_mut() {
+                    let mut next_cur = cur.clone();
+                    for (i, &node) in nodes.iter().enumerate() {
+                        let dst_i = (i + 1) % chips as usize;
+                        let dst = nodes[dst_i];
+                        for span in column(cur[i], bank) {
+                            step.push(Transfer {
+                                src: node,
+                                dsts: vec![dst],
+                                src_span: span,
+                                dst_span: span,
+                                combine: false,
+                                resources: chip_ring_path(geometry, node, dst),
+                            });
+                        }
+                        next_cur[dst_i] = cur[i];
+                    }
+                    cur = next_cur;
+                }
+            }
+        }
+        phases.push(Phase::new(
+            PhaseLabel::InterChip,
+            steps.into_iter().map(CommStep::new).collect(),
+            true,
+        ));
+    }
+
+    // ---- Phase 3: inter-bank ring AllGather of piece-sets. ----
+    // Node (r, c, b) circulates its R·C-piece set (everything with bank
+    // index b) around the bank ring. Sets are split across the two ring
+    // directions to use all four bank channels.
+    if banks > 1 {
+        let mut steps: Vec<Vec<Transfer>> = vec![Vec::new(); banks as usize - 1];
+        for rank in 0..ranks {
+            for chip in 0..chips {
+                for (h, dir) in [(0usize, Direction::East), (1usize, Direction::West)] {
+                    let mut nodes: Vec<DpuId> = (0..banks)
+                        .map(|bank| {
+                            geometry.id(DpuCoord {
+                                channel: 0,
+                                rank,
+                                chip,
+                                bank,
+                            })
+                        })
+                        .collect();
+                    if dir == Direction::West {
+                        nodes.reverse();
+                    }
+                    // Piece-set of logical node i: all pieces with that bank
+                    // index, halved by direction.
+                    let set_of = |node: DpuId| -> Vec<Span> {
+                        let b = geometry.coord(node).bank;
+                        let mut spans = Vec::new();
+                        for r in 0..ranks {
+                            for c in 0..chips {
+                                spans.push(piece(geometry.id(DpuCoord {
+                                    channel: 0,
+                                    rank: r,
+                                    chip: c,
+                                    bank: b,
+                                })));
+                            }
+                        }
+                        let mid = spans.len() / 2;
+                        if h == 0 {
+                            spans.truncate(mid.max(1));
+                        } else {
+                            spans.drain(..mid.max(1));
+                        }
+                        spans
+                    };
+                    let mut cur: Vec<DpuId> = nodes.clone();
+                    for step in steps.iter_mut() {
+                        let mut next_cur = cur.clone();
+                        for (i, &node) in nodes.iter().enumerate() {
+                            let dst_i = (i + 1) % banks as usize;
+                            let dst = nodes[dst_i];
+                            for span in set_of(cur[i]) {
+                                step.push(Transfer {
+                                    src: node,
+                                    dsts: vec![dst],
+                                    src_span: span,
+                                    dst_span: span,
+                                    combine: false,
+                                    resources: ring_path(geometry, node, dst, dir),
+                                });
+                            }
+                            next_cur[dst_i] = cur[i];
+                        }
+                        cur = next_cur;
+                    }
+                }
+            }
+        }
+        phases.push(Phase::new(
+            PhaseLabel::InterBank,
+            steps.into_iter().map(CommStep::new).collect(),
+            false,
+        ));
+    }
+
+    phases.retain(|p| !p.steps.is_empty());
+    let full = Span::new(0, buffer_len);
+    CommSchedule {
+        kind: CollectiveKind::AllGather,
+        geometry: *geometry,
+        elems_per_node: elems,
+        elem_bytes,
+        buffer_len,
+        result_spans: vec![vec![full]; total],
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_order_matches_table_v() {
+        let g = PimGeometry::paper();
+        let s = build(&g, 16, 4);
+        let labels: Vec<PhaseLabel> = s.phases.iter().map(|p| p.label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                PhaseLabel::InterRank,
+                PhaseLabel::InterChip,
+                PhaseLabel::InterBank,
+            ]
+        );
+    }
+
+    #[test]
+    fn buffer_holds_all_pieces() {
+        let g = PimGeometry::paper_scaled(16);
+        let s = build(&g, 8, 4);
+        assert_eq!(s.buffer_len, 16 * 8);
+        assert_eq!(s.result_spans[0], vec![Span::new(0, 128)]);
+    }
+
+    #[test]
+    fn single_rank_skips_bus() {
+        let g = PimGeometry::new(8, 8, 1, 1);
+        let s = build(&g, 8, 4);
+        assert!(s.phases.iter().all(|p| p.label != PhaseLabel::InterRank));
+    }
+
+    #[test]
+    fn wire_bytes_grow_linearly_with_piece_size() {
+        let g = PimGeometry::paper_scaled(32);
+        let a = build(&g, 64, 4).total_wire_bytes().as_u64();
+        let b = build(&g, 128, 4).total_wire_bytes().as_u64();
+        assert_eq!(b, a * 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! All-to-All schedule builder (Table V: `Ring(inter-bank) →
+//! Permutation(inter-chip) → Unicast(inter-rank)`).
+//!
+//! The builder uses the paper's *pairwise* exchange (§V-D, Fig 8): at step
+//! `d` node `i` swaps chunks with node `i ⊕ d`, so data never needs an
+//! intermediate staging location. XOR pairing partitions the steps cleanly
+//! by tier — `d < B` stays on the bank ring, `B ≤ d < B·C` crosses the
+//! inter-chip crossbar in a contention-free permutation (every chip talks
+//! to exactly one other chip), and `d ≥ B·C` crosses the rank bus as
+//! scheduled unicasts.
+//!
+//! The per-node buffer is `2n` elements: the *in* region (`n` elements,
+//! chunk `j` destined to node `j`) followed by the *out* region (`n`
+//! elements, chunk `j` received from node `j`).
+
+use pim_arch::geometry::{DpuId, PimGeometry};
+
+use crate::collective::CollectiveKind;
+use crate::error::PimnetError;
+use crate::topology::{chip_path, rank_path, ring_path, shorter_direction};
+
+use super::{CommSchedule, CommStep, Phase, PhaseLabel, Span, Transfer};
+
+pub(super) fn build(
+    geometry: &PimGeometry,
+    elems: usize,
+    elem_bytes: u32,
+) -> Result<CommSchedule, PimnetError> {
+    let (banks, chips, ranks) = (
+        geometry.banks_per_chip,
+        geometry.chips_per_rank,
+        geometry.ranks_per_channel,
+    );
+    if !(banks.is_power_of_two() && chips.is_power_of_two() && ranks.is_power_of_two()) {
+        return Err(PimnetError::InvalidGeometry {
+            geometry: *geometry,
+            reason: "All-to-All pairwise exchange needs power-of-two banks/chips/ranks".into(),
+        });
+    }
+    let total = geometry.total_dpus() as usize;
+    // Pairwise swaps need uniform chunks; round the per-peer chunk up and
+    // pad the buffer (the trailing padding elements are defaulted/ignored).
+    let chunk = elems.div_ceil(total).max(1);
+    let padded = chunk * total;
+    let in_chunks: Vec<Span> = (0..total).map(|j| Span::new(j * chunk, chunk)).collect();
+    let out = |j: usize| in_chunks[j].offset(padded);
+
+    // Local phase: every node keeps its own chunk.
+    let local = Phase::new(
+        PhaseLabel::Local,
+        vec![CommStep::new(
+            (0..total)
+                .map(|i| Transfer {
+                    src: DpuId(i as u32),
+                    dsts: vec![DpuId(i as u32)],
+                    src_span: in_chunks[i],
+                    dst_span: out(i),
+                    combine: false,
+                    resources: vec![],
+                })
+                .collect(),
+        )],
+        false,
+    );
+
+    let step_for = |d: usize| -> CommStep {
+        let mut transfers = Vec::with_capacity(total);
+        for i in 0..total {
+            let p = i ^ d;
+            let src = DpuId(i as u32);
+            let dst = DpuId(p as u32);
+            let resources = if geometry.same_chip(src, dst) {
+                let (a, b) = (geometry.coord(src).bank, geometry.coord(dst).bank);
+                ring_path(geometry, src, dst, shorter_direction(banks, a, b))
+            } else if geometry.same_rank(src, dst) {
+                chip_path(geometry, src, dst)
+            } else {
+                rank_path(geometry, src, &[dst])
+            };
+            transfers.push(Transfer {
+                src,
+                dsts: vec![dst],
+                src_span: in_chunks[p],
+                dst_span: out(i),
+                combine: false,
+                resources,
+            });
+        }
+        CommStep::new(transfers)
+    };
+
+    let bank_span = banks as usize;
+    let chip_span = (banks * chips) as usize;
+    let mut phases = vec![local];
+    if banks > 1 {
+        phases.push(Phase::new(
+            PhaseLabel::InterBank,
+            (1..bank_span).map(step_for).collect(),
+            true,
+        ));
+    }
+    if chips > 1 {
+        phases.push(Phase::new(
+            PhaseLabel::InterChip,
+            (bank_span..chip_span).map(step_for).collect(),
+            true,
+        ));
+    }
+    if ranks > 1 {
+        phases.push(Phase::new(
+            PhaseLabel::InterRank,
+            (chip_span..total).map(step_for).collect(),
+            true,
+        ));
+    }
+
+    phases.retain(|p| !p.steps.is_empty());
+    Ok(CommSchedule {
+        kind: CollectiveKind::AllToAll,
+        geometry: *geometry,
+        elems_per_node: padded,
+        elem_bytes,
+        buffer_len: 2 * padded,
+        result_spans: (0..total)
+            .map(|_| vec![Span::new(padded, padded)])
+            .collect(),
+        phases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Resource;
+    use std::collections::HashSet;
+
+    #[test]
+    fn step_counts_partition_by_tier() {
+        let g = PimGeometry::paper();
+        let s = build(&g, 2560, 4).unwrap();
+        // local + 3 tiers
+        assert_eq!(s.phases.len(), 4);
+        assert_eq!(s.phases[1].steps.len(), 7); // d in 1..8
+        assert_eq!(s.phases[2].steps.len(), 56); // d in 8..64
+        assert_eq!(s.phases[3].steps.len(), 192); // d in 64..256
+    }
+
+    #[test]
+    fn every_step_is_a_perfect_matching() {
+        let g = PimGeometry::paper_scaled(16);
+        let s = build(&g, 160, 4).unwrap();
+        for phase in &s.phases[1..] {
+            for step in &phase.steps {
+                let mut seen = HashSet::new();
+                for t in &step.transfers {
+                    assert_eq!(t.dsts.len(), 1);
+                    assert!(seen.insert(t.src), "duplicate sender");
+                }
+                assert_eq!(seen.len(), 16);
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_swap_symmetrically() {
+        let g = PimGeometry::paper_scaled(8);
+        let s = build(&g, 64, 4).unwrap();
+        for phase in &s.phases[1..] {
+            for step in &phase.steps {
+                for t in &step.transfers {
+                    // The partner transfer in the same step goes the other way.
+                    let back = step
+                        .transfers
+                        .iter()
+                        .find(|u| u.src == t.dsts[0] && u.dsts[0] == t.src);
+                    assert!(back.is_some(), "pairwise exchange is not symmetric");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inter_chip_steps_form_chip_permutations() {
+        let g = PimGeometry::paper_scaled(64); // 8 banks x 8 chips x 1 rank
+        let s = build(&g, 64 * 8, 4).unwrap();
+        let inter_chip = &s.phases[2];
+        for step in &inter_chip.steps {
+            // Each chip's Tx channel pairs with exactly one Rx chip.
+            let mut tx_to_rx: std::collections::HashMap<u32, HashSet<u32>> =
+                std::collections::HashMap::new();
+            for t in &step.transfers {
+                let mut tx = None;
+                let mut rx = None;
+                for r in &t.resources {
+                    match r {
+                        Resource::ChipTx { chip } => tx = Some(chip.chip),
+                        Resource::ChipRx { chip } => rx = Some(chip.chip),
+                        other => panic!("unexpected resource {other} in inter-chip step"),
+                    }
+                }
+                tx_to_rx.entry(tx.unwrap()).or_default().insert(rx.unwrap());
+            }
+            for (_, rxs) in tx_to_rx {
+                assert_eq!(rxs.len(), 1, "a chip sends to two chips in one step");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_dims() {
+        let g = PimGeometry::new(3, 8, 4, 1);
+        assert!(matches!(
+            build(&g, 96, 4),
+            Err(PimnetError::InvalidGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn out_region_is_the_result() {
+        let g = PimGeometry::paper_scaled(8);
+        let s = build(&g, 64, 4).unwrap();
+        assert_eq!(s.buffer_len, 128);
+        assert_eq!(s.result_spans[3], vec![Span::new(64, 64)]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Recursive halving–doubling AllReduce — an *alternative* scheduler used
+//! as an ablation against the paper's hierarchical ring (Table V).
+//!
+//! Halving–doubling finishes in `2·log₂(N)` steps instead of the ring's
+//! `O(N)` and is the textbook choice on fat networks. On PIMnet's fabric
+//! it is the wrong choice, and building it makes the reason measurable:
+//! its early steps exchange *half the vector* between bank-level partners
+//! over the shared intra-chip ring segments (multi-hop, time-multiplexed),
+//! and its late steps throw large halves across the rank bus **before**
+//! any hierarchical reduction has shrunk them. The `ablation_allreduce`
+//! binary prints the comparison.
+
+use pim_arch::geometry::{DpuId, PimGeometry};
+
+use crate::collective::CollectiveKind;
+use crate::topology::{chip_path, rank_path, ring_path, shorter_direction};
+
+use super::{CommSchedule, CommStep, Phase, PhaseLabel, Span, Transfer};
+use crate::error::PimnetError;
+
+/// Builds a recursive halving–doubling AllReduce over all DPUs.
+///
+/// # Errors
+///
+/// [`PimnetError::InvalidGeometry`] unless every dimension is a power of
+/// two (XOR pairing) on a single channel.
+pub fn build_halving_doubling(
+    geometry: &PimGeometry,
+    elems: usize,
+    elem_bytes: u32,
+) -> Result<CommSchedule, PimnetError> {
+    if geometry.channels != 1
+        || !geometry.banks_per_chip.is_power_of_two()
+        || !geometry.chips_per_rank.is_power_of_two()
+        || !geometry.ranks_per_channel.is_power_of_two()
+    {
+        return Err(PimnetError::InvalidGeometry {
+            geometry: *geometry,
+            reason: "halving-doubling needs power-of-two dimensions on one channel".into(),
+        });
+    }
+    let total = geometry.total_dpus() as usize;
+    let stages = total.trailing_zeros();
+
+    let path = |src: DpuId, dst: DpuId| {
+        if geometry.same_chip(src, dst) {
+            let (a, b) = (geometry.coord(src).bank, geometry.coord(dst).bank);
+            ring_path(
+                geometry,
+                src,
+                dst,
+                shorter_direction(geometry.banks_per_chip, a, b),
+            )
+        } else if geometry.same_rank(src, dst) {
+            chip_path(geometry, src, dst)
+        } else {
+            rank_path(geometry, src, &[dst])
+        }
+    };
+    let label_for = |distance: usize| {
+        if distance < geometry.banks_per_chip as usize {
+            PhaseLabel::InterBank
+        } else if distance < (geometry.banks_per_chip * geometry.chips_per_rank) as usize {
+            PhaseLabel::InterChip
+        } else {
+            PhaseLabel::InterRank
+        }
+    };
+
+    // Working span per node; halves on every reduce-scatter stage.
+    let mut span: Vec<Span> = vec![Span::new(0, elems); total];
+    let mut phases: Vec<Phase> = Vec::new();
+    let push_step = |phases: &mut Vec<Phase>, label: PhaseLabel, transfers: Vec<Transfer>| {
+        // One step per stage; group stages of the same tier into one phase
+        // for breakdown purposes.
+        match phases.last_mut() {
+            Some(p) if p.label == label => p.steps.push(CommStep::new(transfers)),
+            _ => phases.push(Phase::new(label, vec![CommStep::new(transfers)], true)),
+        }
+    };
+
+    // ---- Reduce-scatter by recursive halving. ----
+    for k in 0..stages {
+        let d = 1usize << k;
+        let label = label_for(d);
+        let mut transfers = Vec::with_capacity(total);
+        for i in 0..total {
+            let p = i ^ d;
+            let halves = span[i].split(2);
+            // The lower-id partner keeps the low half; it *sends* the high
+            // half to the partner (which reduces it), and vice versa.
+            let send = if i < p { halves[1] } else { halves[0] };
+            transfers.push(Transfer {
+                src: DpuId(i as u32),
+                dsts: vec![DpuId(p as u32)],
+                src_span: send,
+                dst_span: send,
+                combine: true,
+                resources: path(DpuId(i as u32), DpuId(p as u32)),
+            });
+        }
+        for i in 0..total {
+            let halves = span[i].split(2);
+            span[i] = if i < (i ^ d) { halves[0] } else { halves[1] };
+        }
+        push_step(&mut phases, label, transfers);
+    }
+
+    // ---- All-gather by recursive doubling (reverse order). ----
+    for k in (0..stages).rev() {
+        let d = 1usize << k;
+        let label = label_for(d);
+        let mut transfers = Vec::with_capacity(total);
+        for i in 0..total {
+            let p = i ^ d;
+            transfers.push(Transfer {
+                src: DpuId(i as u32),
+                dsts: vec![DpuId(p as u32)],
+                src_span: span[i],
+                dst_span: span[i],
+                combine: false,
+                resources: path(DpuId(i as u32), DpuId(p as u32)),
+            });
+        }
+        let before = span.clone();
+        for i in 0..total {
+            let p = i ^ d;
+            // After the exchange both partners hold the union of their
+            // *pre-stage* spans (adjacent siblings at this level).
+            let (lo, hi) = if before[i].start < before[p].start {
+                (before[i], before[p])
+            } else {
+                (before[p], before[i])
+            };
+            debug_assert_eq!(lo.end(), hi.start);
+            span[i] = Span::new(lo.start, lo.len + hi.len);
+        }
+        push_step(&mut phases, label, transfers);
+    }
+
+    phases.retain(|p| !p.steps.is_empty());
+    Ok(CommSchedule {
+        kind: CollectiveKind::AllReduce,
+        geometry: *geometry,
+        elems_per_node: elems,
+        elem_bytes,
+        buffer_len: elems,
+        result_spans: vec![vec![Span::new(0, elems)]; total],
+        phases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_collective, ReduceOp};
+    use crate::schedule::validate::validate;
+    use crate::timing::TimingModel;
+    use pim_sim::SimTime;
+
+    #[test]
+    fn halving_doubling_is_functionally_an_allreduce() {
+        for n in [8u32, 64, 256] {
+            let g = PimGeometry::paper_scaled(n);
+            let elems = 512usize;
+            let s = build_halving_doubling(&g, elems, 4).unwrap();
+            validate(&s).unwrap();
+            let m = run_collective(&s, ReduceOp::Sum, |id| {
+                vec![u64::from(id.0) + 1; elems]
+            })
+            .unwrap();
+            let expected: u64 = (1..=u64::from(n)).sum();
+            for id in s.participants() {
+                assert!(
+                    m.result(&s, id).iter().all(|&x| x == expected),
+                    "n={n} node {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn has_logarithmic_step_count() {
+        let g = PimGeometry::paper();
+        let s = build_halving_doubling(&g, 8192, 4).unwrap();
+        assert_eq!(s.step_count(), 16); // 2 * log2(256)
+    }
+
+    #[test]
+    fn the_hierarchical_ring_beats_it_on_this_fabric() {
+        // The ablation claim: fewer steps do not help when the early steps
+        // saturate the shared ring segments and the late steps flood the
+        // bus with unreduced halves.
+        let g = PimGeometry::paper();
+        let m = TimingModel::paper();
+        let ring = CommSchedule::build(CollectiveKind::AllReduce, &g, 8192, 4).unwrap();
+        let hd = build_halving_doubling(&g, 8192, 4).unwrap();
+        let t_ring = m.time_schedule(&ring, SimTime::ZERO).total();
+        let t_hd = m.time_schedule(&hd, SimTime::ZERO).total();
+        assert!(
+            t_ring < t_hd,
+            "hierarchical ring ({t_ring}) should beat halving-doubling ({t_hd})"
+        );
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let g = PimGeometry::new(3, 2, 1, 1);
+        assert!(build_halving_doubling(&g, 64, 4).is_err());
+    }
+
+    #[test]
+    fn single_node_is_a_noop() {
+        let g = PimGeometry::paper_scaled(1);
+        let s = build_halving_doubling(&g, 64, 4).unwrap();
+        assert_eq!(s.step_count(), 0);
+    }
+}

@@ -1,0 +1,478 @@
+//! Static communication schedules — PIMnet's replacement for routing,
+//! buffering and arbitration.
+//!
+//! A [`CommSchedule`] is the compiled form of one collective operation:
+//! an ordered list of [`Phase`]s (one per network tier the collective
+//! touches), each a list of [`CommStep`]s, each a set of [`Transfer`]s that
+//! run concurrently. Because the traffic pattern of a collective is known
+//! before the PIM kernel launches (paper §IV), the schedule is computed
+//! offline — on the host, at "compile" time — and the hardware merely plays
+//! it back: this is what lets the PIMnet stop omit input buffers,
+//! arbitration, and routing logic entirely.
+//!
+//! Builders for each collective live in the submodules and follow the
+//! paper's Table V tier algorithms:
+//!
+//! | collective     | inter-bank | inter-chip   | inter-rank |
+//! |----------------|-----------|---------------|------------|
+//! | ReduceScatter  | ring      | ring          | broadcast  |
+//! | AllGather      | ring      | ring          | broadcast  |
+//! | AllReduce      | ring      | ring          | broadcast  |
+//! | All-to-All     | ring      | permutation   | unicast    |
+//! | Broadcast      | ring      | ring          | broadcast  |
+//!
+//! Schedules are *functional* objects as well as timing objects: every
+//! transfer names the element ranges it moves, so [`crate::exec`] can run a
+//! schedule on real data and tests can assert collective semantics
+//! end-to-end.
+
+mod address;
+mod allgather;
+mod allreduce;
+mod alltoall;
+mod broadcast;
+pub mod halving;
+mod ring;
+pub mod validate;
+
+pub use address::{AllReduceAddressPlan, BankAddressInfo, PhaseAddr, TierTimes};
+pub use allreduce::AllReduceOptions;
+pub use ring::{ring_all_gather, ring_reduce_scatter};
+
+use std::fmt;
+
+use pim_sim::Bytes;
+use serde::{Deserialize, Serialize};
+
+use pim_arch::geometry::{DpuId, PimGeometry};
+
+use crate::collective::CollectiveKind;
+use crate::error::PimnetError;
+use crate::topology::Resource;
+
+/// A contiguous range of elements within a node's communication buffer.
+///
+/// (A `Copy` stand-in for `Range<usize>`, which is not `Copy`.)
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Span {
+    /// First element index.
+    pub start: usize,
+    /// Number of elements.
+    pub len: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    #[must_use]
+    pub const fn new(start: usize, len: usize) -> Self {
+        Span { start, len }
+    }
+
+    /// One-past-the-end element index.
+    #[must_use]
+    pub const fn end(self) -> usize {
+        self.start + self.len
+    }
+
+    /// True iff the span covers no elements.
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// The span as a `std::ops::Range` for indexing.
+    #[must_use]
+    pub fn range(self) -> std::ops::Range<usize> {
+        self.start..self.end()
+    }
+
+    /// The span shifted right by `offset` elements.
+    #[must_use]
+    pub fn offset(self, offset: usize) -> Span {
+        Span::new(self.start + offset, self.len)
+    }
+
+    /// Splits the span into `k` contiguous, near-equal pieces (earlier
+    /// pieces get the remainder; pieces may be empty when `k > len`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    #[must_use]
+    pub fn split(self, k: usize) -> Vec<Span> {
+        assert!(k > 0, "Span::split: zero pieces");
+        let base = self.len / k;
+        let extra = self.len % k;
+        let mut out = Vec::with_capacity(k);
+        let mut start = self.start;
+        for i in 0..k {
+            let len = base + usize::from(i < extra);
+            out.push(Span::new(start, len));
+            start += len;
+        }
+        out
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{})", self.start, self.end())
+    }
+}
+
+/// One scheduled data movement: `src` sends `src_span` of its buffer to
+/// every node in `dsts` (more than one destination = a bus broadcast),
+/// landing at `dst_span`, optionally combined (reduced) with the
+/// destination's existing data.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Sending DPU.
+    pub src: DpuId,
+    /// Receiving DPU(s); more than one only on the broadcast-capable
+    /// inter-rank bus.
+    pub dsts: Vec<DpuId>,
+    /// Element range read at the source.
+    pub src_span: Span,
+    /// Element range written at every destination.
+    pub dst_span: Span,
+    /// `true`: destination reduces the payload into `dst_span`;
+    /// `false`: destination overwrites `dst_span`.
+    pub combine: bool,
+    /// Every fabric resource this transfer occupies for its duration
+    /// (bufferless stops mean multi-hop transfers hold their whole path).
+    pub resources: Vec<Resource>,
+}
+
+impl Transfer {
+    /// Wire bytes moved by this transfer (per destination; the bus delivers
+    /// broadcasts in a single serialization).
+    #[must_use]
+    pub fn bytes(&self, elem_bytes: u32) -> Bytes {
+        Bytes::new(self.src_span.len as u64 * u64::from(elem_bytes))
+    }
+
+    /// True for purely local movements (no fabric resources), e.g. the
+    /// "own chunk" copy of an All-to-All.
+    #[must_use]
+    pub fn is_local(&self) -> bool {
+        self.resources.is_empty()
+    }
+}
+
+/// A set of transfers that run concurrently; the step completes when the
+/// slowest finishes.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CommStep {
+    /// The concurrent transfers.
+    pub transfers: Vec<Transfer>,
+}
+
+impl CommStep {
+    /// Creates a step, dropping empty (zero-length) transfers.
+    #[must_use]
+    pub fn new(transfers: Vec<Transfer>) -> Self {
+        CommStep {
+            transfers: transfers
+                .into_iter()
+                .filter(|t| !t.src_span.is_empty())
+                .collect(),
+        }
+    }
+
+    /// True iff the step moves no data.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.transfers.is_empty()
+    }
+}
+
+/// Which tier (and so which bucket of the paper's Fig 11 breakdown) a phase
+/// belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PhaseLabel {
+    /// Local (in-WRAM) data movement; free in the network model.
+    Local,
+    /// Inter-bank ring traffic.
+    InterBank,
+    /// Inter-chip crossbar traffic.
+    InterChip,
+    /// Inter-rank bus traffic.
+    InterRank,
+}
+
+impl fmt::Display for PhaseLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PhaseLabel::Local => "local",
+            PhaseLabel::InterBank => "inter-bank",
+            PhaseLabel::InterChip => "inter-chip",
+            PhaseLabel::InterRank => "inter-rank",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A run of steps on one tier.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Tier attribution for timing breakdowns.
+    pub label: PhaseLabel,
+    /// The steps, executed in order.
+    pub steps: Vec<CommStep>,
+    /// `true` when the schedule deliberately time-multiplexes shared
+    /// resources within a step (the paper's WAIT-phase slot scheduling on
+    /// the DQ channels and the bus); `false` when every resource in a step
+    /// carries a single flow (the validator enforces this for ring phases).
+    pub multiplexed: bool,
+}
+
+impl Phase {
+    /// Creates a phase, dropping empty steps.
+    #[must_use]
+    pub fn new(label: PhaseLabel, steps: Vec<CommStep>, multiplexed: bool) -> Self {
+        Phase {
+            label,
+            steps: steps.into_iter().filter(|s| !s.is_empty()).collect(),
+            multiplexed,
+        }
+    }
+}
+
+/// A compiled collective: the complete, statically-scheduled communication
+/// plan for one collective operation on one geometry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommSchedule {
+    /// The collective this schedule implements.
+    pub kind: CollectiveKind,
+    /// The geometry it was compiled for.
+    pub geometry: PimGeometry,
+    /// Elements contributed per node.
+    pub elems_per_node: usize,
+    /// Element width in bytes.
+    pub elem_bytes: u32,
+    /// Per-node communication buffer length in elements (layout depends on
+    /// the collective: `n` for AllReduce/ReduceScatter/Broadcast, `2n` for
+    /// All-to-All (in + out regions), `N·n` for AllGather/Gather).
+    pub buffer_len: usize,
+    /// Where each node's *result* lives in its buffer after execution.
+    pub result_spans: Vec<Vec<Span>>,
+    /// The phases, executed in order.
+    pub phases: Vec<Phase>,
+}
+
+impl CommSchedule {
+    /// Compiles a collective for a geometry.
+    ///
+    /// This is the library's analogue of the paper's host-side "compilation"
+    /// step (§V-D): given the pattern, the node count and the topology, it
+    /// produces every address and every scheduled movement.
+    ///
+    /// # Errors
+    ///
+    /// * [`PimnetError::InvalidGeometry`] — the geometry spans multiple
+    ///   memory channels (PIMnet connects one channel; callers split
+    ///   multi-channel collectives per channel and reduce through the host),
+    ///   or All-to-All is requested on non-power-of-two dimensions.
+    /// * [`PimnetError::InvalidMessage`] — zero-sized elements.
+    pub fn build(
+        kind: CollectiveKind,
+        geometry: &PimGeometry,
+        elems_per_node: usize,
+        elem_bytes: u32,
+    ) -> Result<CommSchedule, PimnetError> {
+        if geometry.channels != 1 {
+            return Err(PimnetError::InvalidGeometry {
+                geometry: *geometry,
+                reason: "PIMnet schedules span a single memory channel; \
+                         build one schedule per channel"
+                    .into(),
+            });
+        }
+        if elem_bytes == 0 {
+            return Err(PimnetError::InvalidMessage {
+                reason: "zero element size".into(),
+            });
+        }
+        let schedule = match kind {
+            CollectiveKind::AllReduce => {
+                allreduce::build(geometry, elems_per_node, elem_bytes, /*scatter=*/ false)
+            }
+            CollectiveKind::ReduceScatter => {
+                allreduce::build(geometry, elems_per_node, elem_bytes, /*scatter=*/ true)
+            }
+            CollectiveKind::AllGather => allgather::build(geometry, elems_per_node, elem_bytes),
+            CollectiveKind::AllToAll => alltoall::build(geometry, elems_per_node, elem_bytes)?,
+            CollectiveKind::Broadcast => {
+                broadcast::build_broadcast(geometry, elems_per_node, elem_bytes)
+            }
+            CollectiveKind::Reduce => broadcast::build_reduce(geometry, elems_per_node, elem_bytes),
+            CollectiveKind::Gather => broadcast::build_gather(geometry, elems_per_node, elem_bytes),
+        };
+        Ok(schedule)
+    }
+
+    /// Compiles an AllReduce with explicit design choices (ablations of
+    /// the bidirectional bank ring and the broadcast-based inter-rank
+    /// reduction; see [`AllReduceOptions`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CommSchedule::build`].
+    pub fn build_allreduce_with(
+        geometry: &PimGeometry,
+        elems_per_node: usize,
+        elem_bytes: u32,
+        opts: AllReduceOptions,
+    ) -> Result<CommSchedule, PimnetError> {
+        if geometry.channels != 1 {
+            return Err(PimnetError::InvalidGeometry {
+                geometry: *geometry,
+                reason: "PIMnet schedules span a single memory channel".into(),
+            });
+        }
+        if elem_bytes == 0 {
+            return Err(PimnetError::InvalidMessage {
+                reason: "zero element size".into(),
+            });
+        }
+        Ok(allreduce::build_with(
+            geometry,
+            elems_per_node,
+            elem_bytes,
+            false,
+            opts,
+        ))
+    }
+
+    /// Total bytes serialized onto fabric resources (bus broadcasts counted
+    /// once, as the hardware sends them).
+    #[must_use]
+    pub fn total_wire_bytes(&self) -> Bytes {
+        self.phases
+            .iter()
+            .flat_map(|p| &p.steps)
+            .flat_map(|s| &s.transfers)
+            .filter(|t| !t.is_local())
+            .map(|t| t.bytes(self.elem_bytes))
+            .sum()
+    }
+
+    /// Number of non-local transfers across all steps.
+    #[must_use]
+    pub fn transfer_count(&self) -> usize {
+        self.phases
+            .iter()
+            .flat_map(|p| &p.steps)
+            .map(|s| s.transfers.iter().filter(|t| !t.is_local()).count())
+            .sum()
+    }
+
+    /// Number of steps across all phases.
+    #[must_use]
+    pub fn step_count(&self) -> usize {
+        self.phases.iter().map(|p| p.steps.len()).sum()
+    }
+
+    /// All participating DPUs (every DPU of the single channel).
+    pub fn participants(&self) -> impl Iterator<Item = DpuId> {
+        self.geometry.dpus()
+    }
+}
+
+/// Splits `n` elements into `k` near-equal contiguous spans starting at 0.
+#[must_use]
+pub fn split_elems(n: usize, k: usize) -> Vec<Span> {
+    Span::new(0, n).split(k)
+}
+
+/// Resources for one hop of a logical inter-chip ring (an adjacency the
+/// buffer-chip crossbar is configured into): the source chip's DQ send
+/// channel and the destination chip's DQ receive channel.
+pub(crate) fn chip_ring_path(
+    geometry: &PimGeometry,
+    src: DpuId,
+    dst: DpuId,
+) -> Vec<Resource> {
+    crate::topology::chip_path(geometry, src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_split_covers_exactly() {
+        let s = Span::new(10, 23);
+        let parts = s.split(4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0], Span::new(10, 6));
+        assert_eq!(parts[1], Span::new(16, 6));
+        assert_eq!(parts[2], Span::new(22, 6));
+        assert_eq!(parts[3], Span::new(28, 5));
+        assert_eq!(parts.iter().map(|p| p.len).sum::<usize>(), 23);
+        assert_eq!(parts.last().unwrap().end(), s.end());
+    }
+
+    #[test]
+    fn span_split_smaller_than_k_yields_empties() {
+        let parts = Span::new(0, 2).split(4);
+        assert_eq!(parts.iter().filter(|p| p.is_empty()).count(), 2);
+        assert_eq!(parts.iter().map(|p| p.len).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn span_helpers() {
+        let s = Span::new(4, 4);
+        assert_eq!(s.end(), 8);
+        assert_eq!(s.range(), 4..8);
+        assert_eq!(s.offset(10), Span::new(14, 4));
+        assert_eq!(s.to_string(), "[4..8)");
+        assert!(!s.is_empty());
+        assert!(Span::new(9, 0).is_empty());
+    }
+
+    #[test]
+    fn comm_step_drops_empty_transfers() {
+        let t = Transfer {
+            src: DpuId(0),
+            dsts: vec![DpuId(1)],
+            src_span: Span::new(0, 0),
+            dst_span: Span::new(0, 0),
+            combine: false,
+            resources: vec![],
+        };
+        let step = CommStep::new(vec![t]);
+        assert!(step.is_empty());
+    }
+
+    #[test]
+    fn build_rejects_multichannel_geometry() {
+        let g = PimGeometry::new(8, 8, 4, 2);
+        let err = CommSchedule::build(CollectiveKind::AllReduce, &g, 64, 4).unwrap_err();
+        assert!(matches!(err, PimnetError::InvalidGeometry { .. }));
+    }
+
+    #[test]
+    fn build_rejects_zero_elem_bytes() {
+        let g = PimGeometry::paper();
+        let err = CommSchedule::build(CollectiveKind::AllReduce, &g, 64, 0).unwrap_err();
+        assert!(matches!(err, PimnetError::InvalidMessage { .. }));
+    }
+
+    #[test]
+    fn transfer_bytes_scale_with_elem_width() {
+        let t = Transfer {
+            src: DpuId(0),
+            dsts: vec![DpuId(1)],
+            src_span: Span::new(0, 10),
+            dst_span: Span::new(0, 10),
+            combine: true,
+            resources: vec![],
+        };
+        assert_eq!(t.bytes(4), Bytes::new(40));
+        assert_eq!(t.bytes(8), Bytes::new(80));
+        assert!(t.is_local());
+    }
+}

@@ -1,0 +1,212 @@
+//! Logical-ring ReduceScatter / AllGather step generators.
+//!
+//! These are the building blocks of every hierarchical collective in
+//! Table V: the same ring algorithm runs over the physical inter-bank ring
+//! (adjacent banks) and over the inter-chip crossbar configured as a
+//! logical ring. The generators are *symbolic* — they produce
+//! [`Transfer`]s with element spans and resource paths; execution and
+//! timing happen elsewhere.
+
+use pim_arch::geometry::DpuId;
+
+use crate::topology::Resource;
+
+use super::{Span, Transfer};
+
+/// Generates the steps of a ring ReduceScatter among `nodes` over `chunks`.
+///
+/// `chunks[j]` is the buffer span of logical chunk `j`; `nodes` are ordered
+/// along the logical ring (node `i` sends to node `(i+1) % k`). `path(src,
+/// dst)` yields the fabric resources of one adjacent hop.
+///
+/// Returns one transfer list per ring step (`k - 1` steps) and the
+/// *ownership* vector: after the last step, `nodes[i]` holds chunk
+/// `owners[i] = (i + 1) % k`, fully reduced across all `k` nodes.
+///
+/// # Panics
+///
+/// Panics if `nodes` and `chunks` have different lengths or are empty.
+///
+/// # Example
+///
+/// ```
+/// use pim_arch::geometry::DpuId;
+/// use pimnet::schedule::{ring_reduce_scatter, Span};
+///
+/// let nodes = [DpuId(0), DpuId(1), DpuId(2), DpuId(3)];
+/// let chunks = Span::new(0, 16).split(4);
+/// let (steps, owners) = ring_reduce_scatter(&nodes, &chunks, |_, _| vec![]);
+/// assert_eq!(steps.len(), 3);
+/// assert_eq!(owners, vec![1, 2, 3, 0]);
+/// ```
+pub fn ring_reduce_scatter(
+    nodes: &[DpuId],
+    chunks: &[Span],
+    mut path: impl FnMut(DpuId, DpuId) -> Vec<Resource>,
+) -> (Vec<Vec<Transfer>>, Vec<usize>) {
+    let k = nodes.len();
+    assert_eq!(k, chunks.len(), "ring_reduce_scatter: nodes/chunks mismatch");
+    assert!(k > 0, "ring_reduce_scatter: empty ring");
+    let mut steps = Vec::with_capacity(k.saturating_sub(1));
+    for s in 0..k - 1 {
+        let mut transfers = Vec::with_capacity(k);
+        for i in 0..k {
+            let chunk = (i + k - s) % k;
+            let dst = (i + 1) % k;
+            transfers.push(Transfer {
+                src: nodes[i],
+                dsts: vec![nodes[dst]],
+                src_span: chunks[chunk],
+                dst_span: chunks[chunk],
+                combine: true,
+                resources: path(nodes[i], nodes[dst]),
+            });
+        }
+        steps.push(transfers);
+    }
+    let owners = (0..k).map(|i| (i + 1) % k).collect();
+    (steps, owners)
+}
+
+/// Generates the steps of a ring AllGather among `nodes` over `chunks`,
+/// where `nodes[i]` initially holds chunk `owners[i]` (typically the output
+/// of [`ring_reduce_scatter`]). After `k - 1` steps every node holds every
+/// chunk.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree or the ring is empty.
+pub fn ring_all_gather(
+    nodes: &[DpuId],
+    chunks: &[Span],
+    owners: &[usize],
+    mut path: impl FnMut(DpuId, DpuId) -> Vec<Resource>,
+) -> Vec<Vec<Transfer>> {
+    let k = nodes.len();
+    assert_eq!(k, chunks.len(), "ring_all_gather: nodes/chunks mismatch");
+    assert_eq!(k, owners.len(), "ring_all_gather: nodes/owners mismatch");
+    assert!(k > 0, "ring_all_gather: empty ring");
+    let mut cur = owners.to_vec();
+    let mut steps = Vec::with_capacity(k.saturating_sub(1));
+    for _ in 0..k - 1 {
+        let mut transfers = Vec::with_capacity(k);
+        let mut next_cur = cur.clone();
+        for i in 0..k {
+            let dst = (i + 1) % k;
+            transfers.push(Transfer {
+                src: nodes[i],
+                dsts: vec![nodes[dst]],
+                src_span: chunks[cur[i]],
+                dst_span: chunks[cur[i]],
+                combine: false,
+                resources: path(nodes[i], nodes[dst]),
+            });
+            next_cur[dst] = cur[i];
+        }
+        cur = next_cur;
+        steps.push(transfers);
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn nodes(k: u32) -> Vec<DpuId> {
+        (0..k).map(DpuId).collect()
+    }
+
+    #[test]
+    fn rs_step_and_owner_structure() {
+        let n = nodes(4);
+        let chunks = Span::new(0, 16).split(4);
+        let (steps, owners) = ring_reduce_scatter(&n, &chunks, |_, _| vec![]);
+        assert_eq!(steps.len(), 3);
+        assert_eq!(owners, vec![1, 2, 3, 0]);
+        // Every step has one send per node and everything reduces.
+        for step in &steps {
+            assert_eq!(step.len(), 4);
+            assert!(step.iter().all(|t| t.combine));
+            // Each node sends exactly once and receives exactly once.
+            let srcs: HashSet<_> = step.iter().map(|t| t.src).collect();
+            let dsts: HashSet<_> = step.iter().map(|t| t.dsts[0]).collect();
+            assert_eq!(srcs.len(), 4);
+            assert_eq!(dsts.len(), 4);
+        }
+    }
+
+    #[test]
+    fn rs_chunk_reaches_owner_fully_reduced() {
+        // Symbolically accumulate contributions per (node, chunk) and check
+        // the ownership claim: owner ends with all k contributions.
+        let k = 5;
+        let n = nodes(k as u32);
+        let chunks = Span::new(0, 25).split(k);
+        let (steps, owners) = ring_reduce_scatter(&n, &chunks, |_, _| vec![]);
+        // contributions[node][chunk] = set of original contributors folded in.
+        let mut contrib: Vec<Vec<HashSet<usize>>> = (0..k)
+            .map(|i| (0..k).map(|_| HashSet::from([i])).collect())
+            .collect();
+        for step in &steps {
+            let snapshot = contrib.clone();
+            for t in step {
+                let chunk = chunks.iter().position(|c| *c == t.src_span).unwrap();
+                let src = t.src.index();
+                let dst = t.dsts[0].index();
+                let incoming = snapshot[src][chunk].clone();
+                contrib[dst][chunk].extend(incoming);
+            }
+        }
+        for (i, &own) in owners.iter().enumerate() {
+            assert_eq!(contrib[i][own].len(), k, "node {i} chunk {own} incomplete");
+        }
+    }
+
+    #[test]
+    fn ag_distributes_every_chunk_everywhere() {
+        let k = 6;
+        let n = nodes(k as u32);
+        let chunks = Span::new(0, 36).split(k);
+        let owners: Vec<usize> = (0..k).map(|i| (i + 1) % k).collect();
+        let steps = ring_all_gather(&n, &chunks, &owners, |_, _| vec![]);
+        assert_eq!(steps.len(), k - 1);
+        // Track which chunks each node holds.
+        let mut holds: Vec<HashSet<usize>> = owners.iter().map(|&o| HashSet::from([o])).collect();
+        for step in &steps {
+            let snapshot = holds.clone();
+            for t in step {
+                assert!(!t.combine);
+                let chunk = chunks.iter().position(|c| *c == t.src_span).unwrap();
+                assert!(
+                    snapshot[t.src.index()].contains(&chunk),
+                    "node sent a chunk it does not hold"
+                );
+                holds[t.dsts[0].index()].insert(chunk);
+            }
+        }
+        for h in &holds {
+            assert_eq!(h.len(), k, "a node is missing chunks after AllGather");
+        }
+    }
+
+    #[test]
+    fn single_node_ring_is_trivial() {
+        let n = nodes(1);
+        let chunks = vec![Span::new(0, 8)];
+        let (steps, owners) = ring_reduce_scatter(&n, &chunks, |_, _| vec![]);
+        assert!(steps.is_empty());
+        assert_eq!(owners, vec![0]);
+        let steps = ring_all_gather(&n, &chunks, &owners, |_, _| vec![]);
+        assert!(steps.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_lengths_panic() {
+        let n = nodes(3);
+        let chunks = Span::new(0, 8).split(2);
+        let _ = ring_reduce_scatter(&n, &chunks, |_, _| vec![]);
+    }
+}

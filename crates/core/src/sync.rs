@@ -1,0 +1,119 @@
+//! READY/START synchronization (paper §IV-C, Fig 5(d)).
+//!
+//! Before a collective begins, every participating DPU raises READY to its
+//! chip's control interface; READY signals aggregate up the hierarchy
+//! (chip → inter-chip switch → inter-rank switch) and a START signal
+//! propagates back down. Because PIMnet's data movement is statically
+//! scheduled, this is the *only* dynamic synchronization in the network;
+//! the paper estimates its worst-case propagation at ≈15 ns (≈6 DPU
+//! cycles).
+//!
+//! The model also accounts for *compute skew*: START fires only after the
+//! **last** DPU is ready, so PIMnet pays `max(finish) − earliest possible
+//! start`, whereas a dynamically flow-controlled network would let early
+//! DPUs inject immediately (the trade-off quantified in Fig 13).
+
+use pim_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::fabric::FabricConfig;
+
+/// How far a collective's participants extend across the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SyncScope {
+    /// All participants share one DRAM chip (READY stops at the chip's
+    /// control interface).
+    Chip,
+    /// Participants span chips of one rank (READY reaches the inter-chip
+    /// switch on the buffer chip).
+    Rank,
+    /// Participants span ranks of one channel (READY reaches the inter-rank
+    /// switch — the worst case).
+    Channel,
+}
+
+/// Timing model of the READY/START barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SyncModel {
+    /// One-way worst-case propagation across the whole PIMnet (channel
+    /// scope); narrower scopes pay a proportional fraction.
+    pub propagation: SimTime,
+}
+
+impl SyncModel {
+    /// Builds the model from a fabric configuration (15 ns worst case in
+    /// the paper).
+    #[must_use]
+    pub fn from_fabric(fabric: &FabricConfig) -> Self {
+        SyncModel {
+            propagation: fabric.sync_propagation,
+        }
+    }
+
+    /// One-way READY aggregation latency for a scope.
+    #[must_use]
+    pub fn one_way(&self, scope: SyncScope) -> SimTime {
+        // READY crosses: bank->chip control (1/3 of the way), chip->buffer
+        // chip (2/3), buffer->inter-rank switch (full path).
+        match scope {
+            SyncScope::Chip => self.propagation / 3,
+            SyncScope::Rank => (self.propagation * 2) / 3,
+            SyncScope::Channel => self.propagation,
+        }
+    }
+
+    /// Full barrier cost: READY up, START down, plus the compute `skew`
+    /// (time between the first and last participant becoming ready).
+    #[must_use]
+    pub fn barrier(&self, scope: SyncScope, skew: SimTime) -> SimTime {
+        self.one_way(scope) * 2 + skew
+    }
+}
+
+impl Default for SyncModel {
+    fn default() -> Self {
+        SyncModel::from_fabric(&FabricConfig::paper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_scope_is_the_paper_worst_case() {
+        let m = SyncModel::default();
+        assert_eq!(m.one_way(SyncScope::Channel), SimTime::from_ns(15));
+        // Barrier with no skew: 30 ns round trip.
+        assert_eq!(
+            m.barrier(SyncScope::Channel, SimTime::ZERO),
+            SimTime::from_ns(30)
+        );
+    }
+
+    #[test]
+    fn narrower_scopes_are_cheaper() {
+        let m = SyncModel::default();
+        assert!(m.one_way(SyncScope::Chip) < m.one_way(SyncScope::Rank));
+        assert!(m.one_way(SyncScope::Rank) < m.one_way(SyncScope::Channel));
+    }
+
+    #[test]
+    fn skew_adds_linearly() {
+        let m = SyncModel::default();
+        let skew = SimTime::from_us(3);
+        assert_eq!(
+            m.barrier(SyncScope::Chip, skew),
+            m.barrier(SyncScope::Chip, SimTime::ZERO) + skew
+        );
+    }
+
+    #[test]
+    fn sync_is_negligible_vs_small_collectives() {
+        // §VI-B: even a 1 KB AllReduce across 256 DPUs takes >1000 DPU
+        // cycles (~2.9 us); the 30 ns barrier is relatively small.
+        let m = SyncModel::default();
+        let barrier = m.barrier(SyncScope::Channel, SimTime::ZERO);
+        assert!(barrier.as_ns() / 2_857.0 < 0.02);
+    }
+}

@@ -1,0 +1,175 @@
+//! Schedule timelines — per-transfer start/end instants, Gantt-style.
+//!
+//! The analytic [`crate::timing`] model collapses a schedule to bucket
+//! durations; this module keeps the structure: every step's absolute start
+//! offset (what the WAIT phase counts down to on the real hardware —
+//! Algorithm 1's `offset` generalized beyond AllReduce) and every
+//! transfer's window within it. Useful for visualizing schedules, for
+//! debugging builders, and as the host-side artifact a real deployment
+//! would ship next to the instruction streams.
+
+use pim_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use pim_arch::geometry::DpuId;
+
+use crate::schedule::{CommSchedule, PhaseLabel};
+use crate::sync::SyncModel;
+use crate::timing::TimingModel;
+
+/// One transfer's window in the timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferWindow {
+    /// Phase index within the schedule.
+    pub phase: usize,
+    /// Tier of that phase.
+    pub label: PhaseLabel,
+    /// Step index within the phase.
+    pub step: usize,
+    /// Sender.
+    pub src: DpuId,
+    /// Receivers.
+    pub dsts: Vec<DpuId>,
+    /// Bytes on the wire.
+    pub bytes: u64,
+    /// Absolute start (after the READY/START barrier).
+    pub start: SimTime,
+    /// Absolute end of this transfer's serialization through its slowest
+    /// resource (transfers sharing WAIT-multiplexed resources may overlap
+    /// in this window; the *step* end is exact, the per-transfer end is
+    /// its stand-alone serialization).
+    pub end: SimTime,
+}
+
+/// A schedule's full timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// The READY/START barrier cost preceding step 0.
+    pub sync: SimTime,
+    /// Every transfer window, in schedule order.
+    pub windows: Vec<TransferWindow>,
+    /// Completion time (equals the timing model's network + sync time).
+    pub end: SimTime,
+}
+
+impl Timeline {
+    /// Builds the timeline of `schedule` under `timing`.
+    #[must_use]
+    pub fn build(schedule: &CommSchedule, timing: &TimingModel) -> Timeline {
+        let sync = SyncModel::from_fabric(&timing.fabric)
+            .barrier(timing.scope_of(schedule), SimTime::ZERO);
+        let mut cursor = sync;
+        let mut windows = Vec::new();
+        for (pi, phase) in schedule.phases.iter().enumerate() {
+            for (si, step) in phase.steps.iter().enumerate() {
+                let step_time = timing.step_time(schedule, step);
+                for t in &step.transfers {
+                    if t.is_local() {
+                        continue;
+                    }
+                    let bytes = t.bytes(schedule.elem_bytes);
+                    // Stand-alone serialization through the slowest hop.
+                    let dur = t
+                        .resources
+                        .iter()
+                        .map(|r| r.bandwidth(&timing.fabric).transfer_time(bytes))
+                        .max()
+                        .unwrap_or(SimTime::ZERO);
+                    windows.push(TransferWindow {
+                        phase: pi,
+                        label: phase.label,
+                        step: si,
+                        src: t.src,
+                        dsts: t.dsts.clone(),
+                        bytes: bytes.as_u64(),
+                        start: cursor,
+                        end: (cursor + dur).min(cursor + step_time),
+                    });
+                }
+                cursor += step_time;
+            }
+        }
+        Timeline {
+            sync,
+            windows,
+            end: cursor,
+        }
+    }
+
+    /// Renders a CSV (one row per window) for plotting.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("phase,tier,step,src,dsts,bytes,start_ns,end_ns\n");
+        for w in &self.windows {
+            let dsts = w
+                .dsts
+                .iter()
+                .map(|d| d.0.to_string())
+                .collect::<Vec<_>>()
+                .join("|");
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{:.1},{:.1}\n",
+                w.phase,
+                w.label,
+                w.step,
+                w.src.0,
+                dsts,
+                w.bytes,
+                w.start.as_ns(),
+                w.end.as_ns()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::CollectiveKind;
+    use pim_arch::geometry::PimGeometry;
+
+    fn timeline(kind: CollectiveKind, n: u32, elems: usize) -> (CommSchedule, Timeline) {
+        let s = CommSchedule::build(kind, &PimGeometry::paper_scaled(n), elems, 4).unwrap();
+        let t = Timeline::build(&s, &TimingModel::paper());
+        (s, t)
+    }
+
+    #[test]
+    fn end_matches_the_timing_model() {
+        let (s, t) = timeline(CollectiveKind::AllReduce, 64, 2048);
+        let b = TimingModel::paper().time_schedule(&s, SimTime::ZERO);
+        assert_eq!(t.end, b.total() - b.mem);
+    }
+
+    #[test]
+    fn windows_are_ordered_and_contained() {
+        let (_, t) = timeline(CollectiveKind::AllToAll, 16, 256);
+        assert!(!t.windows.is_empty());
+        for w in &t.windows {
+            assert!(w.start >= t.sync);
+            assert!(w.end <= t.end);
+            assert!(w.start <= w.end);
+        }
+        // Starts are non-decreasing in schedule order.
+        assert!(t.windows.windows(2).all(|p| p[0].start <= p[1].start));
+    }
+
+    #[test]
+    fn steps_of_one_ring_phase_abut() {
+        let (_, t) = timeline(CollectiveKind::AllReduce, 8, 1024);
+        // Single chip: every step's transfers share a start; consecutive
+        // steps start where the previous ended (ring steps are uniform).
+        let starts: Vec<SimTime> = t.windows.iter().map(|w| w.start).collect();
+        let distinct: std::collections::BTreeSet<_> = starts.iter().collect();
+        assert_eq!(distinct.len(), 14); // 7 RS + 7 AG steps
+    }
+
+    #[test]
+    fn csv_has_one_row_per_window() {
+        let (_, t) = timeline(CollectiveKind::ReduceScatter, 16, 128);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), t.windows.len() + 1);
+        assert!(csv.starts_with("phase,tier,step"));
+    }
+}

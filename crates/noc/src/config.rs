@@ -1,0 +1,145 @@
+//! NoC simulation parameters.
+
+use pim_sim::{Frequency, SimTime};
+use serde::{Deserialize, Serialize};
+
+use pimnet::topology::Resource;
+use pimnet::FabricConfig;
+
+/// Link widths and buffering of the cycle-level network.
+///
+/// The network runs on a single clock (the DPU's 350 MHz); per-link widths
+/// are chosen so that `width × clock` equals the Table IV bandwidths:
+/// 2 B/cycle ring segments (0.7 GB/s), 3 B/cycle DQ channels (1.05 GB/s),
+/// 48 B/cycle bus (16.8 GB/s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Network clock.
+    pub clock: Frequency,
+    /// Ring-segment width in bytes per cycle.
+    pub ring_bpc: u64,
+    /// DQ (chip send/receive) channel width in bytes per cycle.
+    pub dq_bpc: u64,
+    /// Inter-rank bus width in bytes per cycle.
+    pub bus_bpc: u64,
+    /// Input-buffer capacity per link, in bytes (credit pool).
+    pub buffer_bytes: u64,
+    /// Virtual-channel escape: a wormhole that moves no byte for this many
+    /// consecutive cycles yields its link to the next queued packet
+    /// (without this, mixed multi-hop ring traffic can deadlock — the
+    /// problem VCs solve in real credit-based routers).
+    pub preempt_after: u32,
+    /// Hard cap on simulated cycles (deadlock/runaway guard).
+    pub max_cycles: u64,
+}
+
+impl NocConfig {
+    /// The paper's Table IV fabric at 350 MHz.
+    #[must_use]
+    pub fn paper() -> Self {
+        NocConfig {
+            clock: Frequency::mhz(350),
+            ring_bpc: 2,
+            dq_bpc: 3,
+            bus_bpc: 48,
+            buffer_bytes: 64,
+            preempt_after: 8,
+            max_cycles: 200_000_000,
+        }
+    }
+
+    /// Bytes per cycle of one resource.
+    #[must_use]
+    pub fn capacity(&self, r: &Resource) -> u64 {
+        match r {
+            Resource::RingSegment { .. } => self.ring_bpc,
+            Resource::ChipTx { .. } | Resource::ChipRx { .. } => self.dq_bpc,
+            Resource::RankBus { .. } => self.bus_bpc,
+        }
+    }
+
+    /// Converts a cycle count to simulated time.
+    #[must_use]
+    pub fn cycles_to_time(&self, cycles: u64) -> SimTime {
+        self.clock.cycles_to_time(pim_sim::Cycles::new(cycles))
+    }
+
+    /// Converts a time to whole network cycles (rounded up).
+    #[must_use]
+    pub fn time_to_cycles(&self, t: SimTime) -> u64 {
+        let c = self.clock.time_to_cycles(t).as_u64();
+        if self.cycles_to_time(c) < t {
+            c + 1
+        } else {
+            c
+        }
+    }
+
+    /// The analytic fabric this cycle network corresponds to (for
+    /// apples-to-apples scheduled playback).
+    #[must_use]
+    pub fn fabric(&self) -> FabricConfig {
+        let hz = self.clock.as_hz() as f64;
+        FabricConfig::paper()
+            .with_bank_channel_bw(pim_sim::Bandwidth::bytes_per_sec(
+                (self.ring_bpc as f64 * hz) as u64,
+            ))
+            .with_chip_channel_bw(pim_sim::Bandwidth::bytes_per_sec(
+                (self.dq_bpc as f64 * hz) as u64,
+            ))
+            .with_rank_bus_bw(pim_sim::Bandwidth::bytes_per_sec(
+                (self.bus_bpc as f64 * hz) as u64,
+            ))
+    }
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimnet::topology::{ChipLoc, Direction};
+
+    #[test]
+    fn paper_widths_match_table_iv_bandwidths() {
+        let c = NocConfig::paper();
+        // 2 B x 350 MHz = 0.7 GB/s, 3 B = 1.05 GB/s, 48 B = 16.8 GB/s.
+        assert_eq!(c.fabric().bank_channel_bw.as_gbps(), 0.7);
+        assert_eq!(c.fabric().chip_channel_bw.as_gbps(), 1.05);
+        assert_eq!(c.fabric().rank_bus_bw.as_gbps(), 16.8);
+    }
+
+    #[test]
+    fn capacities_by_resource() {
+        let c = NocConfig::paper();
+        let chip = ChipLoc {
+            channel: 0,
+            rank: 0,
+            chip: 0,
+        };
+        assert_eq!(
+            c.capacity(&Resource::RingSegment {
+                chip,
+                from_bank: 0,
+                dir: Direction::East
+            }),
+            2
+        );
+        assert_eq!(c.capacity(&Resource::ChipTx { chip }), 3);
+        assert_eq!(c.capacity(&Resource::RankBus { channel: 0 }), 48);
+    }
+
+    #[test]
+    fn cycle_time_roundtrip() {
+        let c = NocConfig::paper();
+        let t = c.cycles_to_time(350);
+        assert_eq!(t, SimTime::from_ns(1000));
+        assert_eq!(c.time_to_cycles(t), 350);
+        // Rounding up: 1 ps needs one whole cycle.
+        assert_eq!(c.time_to_cycles(SimTime::from_ps(1)), 1);
+    }
+}

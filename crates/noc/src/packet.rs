@@ -1,0 +1,181 @@
+//! Traffic generation: a [`pimnet::schedule::CommSchedule`] becomes a list
+//! of dependent packets.
+//!
+//! Each non-local transfer becomes one packet per destination (a dynamic
+//! network has no multicast, so a bus broadcast is replayed as unicasts —
+//! one of the costs credit-based flow control pays against PIMnet's
+//! switch-configured multicast). A packet carries the *collective
+//! algorithm's* data dependencies: a node cannot forward a ring chunk it
+//! has not finished receiving, so the packet for step `s` depends on the
+//! node's packets of step `s-1` (and on all its packets of earlier phases).
+
+use pim_arch::geometry::DpuId;
+use pimnet::schedule::CommSchedule;
+use pimnet::topology::Resource;
+
+/// One unicast message in the cycle-level network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Dense packet id (index into the packet list).
+    pub id: usize,
+    /// Sending node.
+    pub src: DpuId,
+    /// Receiving node.
+    pub dst: DpuId,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Links traversed, in order.
+    pub path: Vec<Resource>,
+    /// Position in the collective: (phase index, step index).
+    pub stage: (usize, usize),
+    /// Packet ids that must be *delivered* before this packet may inject
+    /// (the sender's own sends/receives of the previous step/phase).
+    pub deps: Vec<usize>,
+}
+
+/// Expands a schedule into dependent unicast packets.
+///
+/// Local (resource-less) transfers move no network bytes and are skipped;
+/// dependencies skip over them too.
+#[must_use]
+pub fn packets_from_schedule(schedule: &CommSchedule) -> Vec<Packet> {
+    let mut packets: Vec<Packet> = Vec::new();
+    // Per node: packet ids of the most recent stage the node participated in.
+    let nodes = schedule.geometry.total_dpus() as usize;
+    let mut last_stage: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+
+    for (pi, phase) in schedule.phases.iter().enumerate() {
+        for (si, step) in phase.steps.iter().enumerate() {
+            let mut this_stage: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+            for t in &step.transfers {
+                if t.is_local() {
+                    continue;
+                }
+                let bytes = t.bytes(schedule.elem_bytes).as_u64();
+                for &dst in &t.dsts {
+                    let id = packets.len();
+                    // The sender's and receiver's packets from the previous
+                    // stage gate this one (chunk hand-off dependency).
+                    let mut deps = last_stage[t.src.index()].clone();
+                    deps.extend_from_slice(&last_stage[dst.index()]);
+                    deps.sort_unstable();
+                    deps.dedup();
+                    packets.push(Packet {
+                        id,
+                        src: t.src,
+                        dst,
+                        bytes,
+                        path: unicast_path(&t.resources, dst, schedule),
+                        stage: (pi, si),
+                        deps,
+                    });
+                    this_stage[t.src.index()].push(id);
+                    this_stage[dst.index()].push(id);
+                }
+            }
+            for (node, ids) in this_stage.into_iter().enumerate() {
+                if !ids.is_empty() {
+                    last_stage[node] = ids;
+                }
+            }
+        }
+    }
+    packets
+}
+
+/// For a (possibly multicast) resource path, the linear chain of hops one
+/// unicast copy to `dst` traverses: everything except the other
+/// destinations' receive channels.
+fn unicast_path(resources: &[Resource], dst: DpuId, schedule: &CommSchedule) -> Vec<Resource> {
+    let dst_chip = pimnet::topology::ChipLoc::of(schedule.geometry.coord(dst));
+    resources
+        .iter()
+        .filter(|r| match r {
+            Resource::ChipRx { chip } => *chip == dst_chip,
+            _ => true,
+        })
+        .copied()
+        .collect()
+}
+
+/// Total bytes injected by a packet list.
+#[must_use]
+pub fn total_bytes(packets: &[Packet]) -> u64 {
+    packets.iter().map(|p| p.bytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_arch::geometry::PimGeometry;
+    use pimnet::collective::CollectiveKind;
+
+    fn schedule(kind: CollectiveKind, n: u32, elems: usize) -> CommSchedule {
+        CommSchedule::build(kind, &PimGeometry::paper_scaled(n), elems, 4).unwrap()
+    }
+
+    #[test]
+    fn broadcasts_expand_to_unicasts() {
+        // 256 DPUs AllReduce: the inter-rank phase broadcasts to 3 ranks,
+        // so the packet count there is 3x the transfer count.
+        let s = schedule(CollectiveKind::AllReduce, 256, 4096);
+        let packets = packets_from_schedule(&s);
+        let rank_packets = packets
+            .iter()
+            .filter(|p| {
+                p.path
+                    .iter()
+                    .any(|r| matches!(r, Resource::RankBus { .. }))
+            })
+            .count();
+        // 256 banks x 2 halves x 3 destinations.
+        assert_eq!(rank_packets, 256 * 2 * 3);
+        // Each bus packet's path is a clean 3-hop chain (tx, bus, rx).
+        for p in packets.iter().filter(|p| {
+            p.path
+                .iter()
+                .any(|r| matches!(r, Resource::RankBus { .. }))
+        }) {
+            assert_eq!(p.path.len(), 3);
+        }
+    }
+
+    #[test]
+    fn ring_steps_chain_dependencies() {
+        let s = schedule(CollectiveKind::AllReduce, 8, 64);
+        let packets = packets_from_schedule(&s);
+        // Step 0 packets have no deps; later steps depend on earlier ones.
+        let first: Vec<_> = packets.iter().filter(|p| p.stage == (0, 0)).collect();
+        assert!(first.iter().all(|p| p.deps.is_empty()));
+        let second: Vec<_> = packets.iter().filter(|p| p.stage == (0, 1)).collect();
+        assert!(!second.is_empty());
+        assert!(second.iter().all(|p| !p.deps.is_empty()));
+    }
+
+    #[test]
+    fn alltoall_packets_have_no_cross_step_data_deps_within_a_node_pairing() {
+        // All-to-All chunks are independent, but our conservative model
+        // still chains a node's steps (it cannot inject two chunks at once
+        // through one ring port anyway). Just verify packet integrity.
+        let s = schedule(CollectiveKind::AllToAll, 16, 64);
+        let packets = packets_from_schedule(&s);
+        assert!(!packets.is_empty());
+        for p in &packets {
+            assert!(p.bytes > 0);
+            assert!(!p.path.is_empty());
+            assert_ne!(p.src, p.dst);
+            for &d in &p.deps {
+                assert!(d < p.id, "dependency on a later packet");
+            }
+        }
+    }
+
+    #[test]
+    fn total_bytes_matches_schedule_wire_bytes_for_unicast_only() {
+        // For a single-rank geometry there are no broadcasts, so packet
+        // bytes equal schedule wire bytes exactly.
+        let s = schedule(CollectiveKind::AllReduce, 64, 512);
+        let packets = packets_from_schedule(&s);
+        assert_eq!(total_bytes(&packets), s.total_wire_bytes().as_u64());
+    }
+}

@@ -1,0 +1,86 @@
+//! Simulation results.
+
+use std::fmt;
+
+use pim_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one network simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocReport {
+    /// End-to-end completion time (last byte delivered), including the
+    /// compute-ready offsets.
+    pub completion: SimTime,
+    /// Simulated network cycles.
+    pub cycles: u64,
+    /// Packets delivered.
+    pub packets: usize,
+    /// Total bytes injected into the network.
+    pub injected_bytes: u64,
+    /// Contention cost of dynamic flow control, in packet-cycles: cycles a
+    /// packet spent queued behind a busy link plus cycles an allocated link
+    /// could not move a byte (head-of-line blocking / exhausted credits).
+    /// Zero under static scheduling, by construction.
+    pub stall_cycles: u64,
+    /// Median packet latency (release → last byte delivered). Zero in
+    /// scheduled mode, where per-packet latencies are not simulated.
+    pub p50_latency: SimTime,
+    /// 99th-percentile packet latency; zero in scheduled mode.
+    pub p99_latency: SimTime,
+    /// Busy fraction of the most-utilized link over the run ([0, 1]);
+    /// zero in scheduled mode.
+    pub max_link_utilization: f64,
+}
+
+impl NocReport {
+    /// Mean injected bandwidth over the whole run, bytes per cycle.
+    #[must_use]
+    pub fn mean_bytes_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.injected_bytes as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for NocReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} cycles, {} packets, {} B, {} stall cycles)",
+            self.completion, self.cycles, self.packets, self.injected_bytes, self.stall_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, bytes: u64) -> NocReport {
+        NocReport {
+            completion: SimTime::from_us(1),
+            cycles,
+            packets: 2,
+            injected_bytes: bytes,
+            stall_cycles: 0,
+            p50_latency: SimTime::ZERO,
+            p99_latency: SimTime::ZERO,
+            max_link_utilization: 0.0,
+        }
+    }
+
+    #[test]
+    fn mean_bandwidth() {
+        let r = report(100, 400);
+        assert_eq!(r.mean_bytes_per_cycle(), 4.0);
+        assert!(r.to_string().contains("100 cycles"));
+    }
+
+    #[test]
+    fn zero_cycles_is_safe() {
+        let r = report(0, 0);
+        assert_eq!(r.mean_bytes_per_cycle(), 0.0);
+    }
+}

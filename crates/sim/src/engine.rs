@@ -1,0 +1,261 @@
+//! A deterministic discrete-event simulation engine.
+//!
+//! Events are closures scheduled at absolute [`SimTime`] instants. Two events
+//! scheduled for the same instant fire in the order they were scheduled
+//! (FIFO), which makes runs exactly reproducible.
+//!
+//! The engine is generic over a *world* type `W` that holds all mutable
+//! simulation state; events receive `&mut W` plus `&mut Engine<W>` so they
+//! can schedule follow-up events.
+//!
+//! # Example
+//!
+//! ```
+//! use pim_sim::{Engine, SimTime};
+//!
+//! let mut engine = Engine::new();
+//! engine.schedule(SimTime::from_ns(10), |count: &mut u32, eng| {
+//!     *count += 1;
+//!     // chain another event 5 ns later
+//!     eng.schedule_in(SimTime::from_ns(5), |count, _| *count += 10);
+//! });
+//! let mut count = 0;
+//! engine.run(&mut count);
+//! assert_eq!(count, 11);
+//! assert_eq!(engine.now(), SimTime::from_ns(15));
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+type Action<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    action: Action<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<W> Eq for Scheduled<W> {}
+
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Discrete-event simulation engine over a world type `W`.
+///
+/// See the [module documentation](self) for an example.
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an empty engine at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            executed: 0,
+            queue: BinaryHeap::new(),
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last dispatched event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    #[must_use]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time (causality violation).
+    pub fn schedule<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "Engine::schedule: event at {at} is in the past (now = {})",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            time: at,
+            seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedules `action` `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimTime, action: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        let at = self.now + delay;
+        self.schedule(at, action);
+    }
+
+    /// Dispatches the single earliest pending event. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        self.now = ev.time;
+        self.executed += 1;
+        (ev.action)(world, self);
+        true
+    }
+
+    /// Runs until no events remain; returns the final simulated time.
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        while self.step(world) {}
+        self.now
+    }
+
+    /// Runs until either no events remain or the next event would fire after
+    /// `deadline`; events exactly at the deadline are dispatched. Returns the
+    /// final simulated time.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> SimTime {
+        while let Some(head) = self.queue.peek() {
+            if head.time > deadline {
+                break;
+            }
+            self.step(world);
+        }
+        self.now
+    }
+}
+
+impl<W> std::fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        engine.schedule(SimTime::from_ns(30), |log, _| log.push(3));
+        engine.schedule(SimTime::from_ns(10), |log, _| log.push(1));
+        engine.schedule(SimTime::from_ns(20), |log, _| log.push(2));
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(engine.now(), SimTime::from_ns(30));
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        for i in 0..16 {
+            engine.schedule(SimTime::from_ns(5), move |log, _| log.push(i));
+        }
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_events_advance_time() {
+        let mut engine: Engine<u64> = Engine::new();
+        fn tick(count: &mut u64, eng: &mut Engine<u64>) {
+            *count += 1;
+            if *count < 5 {
+                eng.schedule_in(SimTime::from_ns(7), tick);
+            }
+        }
+        engine.schedule(SimTime::ZERO, tick);
+        let mut count = 0;
+        let end = engine.run(&mut count);
+        assert_eq!(count, 5);
+        assert_eq!(end, SimTime::from_ns(28));
+        assert_eq!(engine.events_executed(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut engine: Engine<()> = Engine::new();
+        engine.schedule(SimTime::from_ns(10), |_, eng| {
+            eng.schedule(SimTime::from_ns(5), |_, _| {});
+        });
+        engine.run(&mut ());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        for t in [5u64, 10, 15, 20] {
+            engine.schedule(SimTime::from_ns(t), move |log, _| log.push(t));
+        }
+        let mut log = Vec::new();
+        engine.run_until(&mut log, SimTime::from_ns(12));
+        assert_eq!(log, vec![5, 10]);
+        assert_eq!(engine.pending(), 2);
+        engine.run(&mut log);
+        assert_eq!(log, vec![5, 10, 15, 20]);
+    }
+
+    #[test]
+    fn step_on_empty_queue_returns_false() {
+        let mut engine: Engine<()> = Engine::new();
+        assert!(!engine.step(&mut ()));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let engine: Engine<()> = Engine::new();
+        assert!(format!("{engine:?}").contains("Engine"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Deterministic simulation kernel for the PIMnet reproduction.
+//!
+//! This crate is the bottom of the workspace's crate graph. It provides:
+//!
+//! * strongly-typed physical units ([`Bytes`], [`Bandwidth`], [`Frequency`],
+//!   [`Cycles`]) whose arithmetic is exact integer math,
+//! * a picosecond-resolution simulated clock ([`SimTime`]),
+//! * a deterministic discrete-event engine ([`engine::Engine`]) with
+//!   strictly-ordered event dispatch,
+//! * small statistics helpers ([`stats`]).
+//!
+//! Everything above (the architecture model, PIMnet itself, the NoC
+//! simulator, the workloads) is built on these types, so simulation results
+//! are reproducible bit-for-bit across platforms and runs.
+//!
+//! # Example
+//!
+//! ```
+//! use pim_sim::{Bandwidth, Bytes, SimTime};
+//!
+//! // How long does it take to push a 32 KiB message through a 0.7 GB/s
+//! // PIMnet inter-bank channel?
+//! let t = Bandwidth::gbps(0.7).transfer_time(Bytes::kib(32));
+//! assert_eq!(t, SimTime::from_ps(46_811_429));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod stats;
+mod time;
+mod units;
+
+pub use engine::Engine;
+pub use time::SimTime;
+pub use units::{Bandwidth, Bytes, Cycles, Frequency};

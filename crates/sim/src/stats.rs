@@ -1,0 +1,273 @@
+//! Small statistics helpers used by the simulators and the bench harness.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimTime;
+
+/// Online accumulator for a stream of `f64` samples (count, mean, min, max).
+///
+/// # Example
+///
+/// ```
+/// use pim_sim::stats::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     acc.add(x);
+/// }
+/// assert_eq!(acc.count(), 3);
+/// assert_eq!(acc.mean(), 2.0);
+/// assert_eq!(acc.min(), Some(1.0));
+/// assert_eq!(acc.max(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Accumulator {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Accumulator {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the samples; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+impl Extend<f64> for Accumulator {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = Accumulator::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+impl fmt::Display for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            write!(f, "n=0")
+        } else {
+            write!(
+                f,
+                "n={} mean={:.4} min={:.4} max={:.4}",
+                self.count, self.mean(), self.min, self.max
+            )
+        }
+    }
+}
+
+/// Fixed-bucket histogram of [`SimTime`] samples (e.g., packet latencies).
+///
+/// Buckets are uniform in `bucket_width`; samples beyond the last bucket land
+/// in an overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    bucket_width: SimTime,
+    buckets: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum_ps: u128,
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram with `buckets` uniform buckets of `bucket_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero or `buckets` is zero.
+    #[must_use]
+    pub fn new(bucket_width: SimTime, buckets: usize) -> Self {
+        assert!(bucket_width > SimTime::ZERO, "zero bucket width");
+        assert!(buckets > 0, "zero bucket count");
+        LatencyHistogram {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+            sum_ps: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimTime) {
+        self.total += 1;
+        self.sum_ps += latency.as_ps() as u128;
+        let idx = (latency.as_ps() / self.bucket_width.as_ps()) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total number of samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency; zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> SimTime {
+        if self.total == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime::from_ps(u64::try_from(self.sum_ps / self.total as u128).unwrap_or(u64::MAX))
+        }
+    }
+
+    /// Count in bucket `i` (buckets beyond the configured range return the
+    /// overflow count only for `i == bucket_count()`).
+    #[must_use]
+    pub fn bucket(&self, i: usize) -> u64 {
+        if i < self.buckets.len() {
+            self.buckets[i]
+        } else {
+            self.overflow
+        }
+    }
+
+    /// Number of regular (non-overflow) buckets.
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Approximate `p`-quantile (0.0..=1.0) using bucket upper bounds.
+    /// Returns zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> SimTime {
+        assert!((0.0..=1.0).contains(&p), "quantile out of range: {p}");
+        if self.total == 0 {
+            return SimTime::ZERO;
+        }
+        let target = (p * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.bucket_width * (i as u64 + 1);
+            }
+        }
+        SimTime::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_basics() {
+        let acc: Accumulator = [4.0, 8.0].into_iter().collect();
+        assert_eq!(acc.count(), 2);
+        assert_eq!(acc.sum(), 12.0);
+        assert_eq!(acc.mean(), 6.0);
+        assert_eq!(acc.min(), Some(4.0));
+        assert_eq!(acc.max(), Some(8.0));
+    }
+
+    #[test]
+    fn empty_accumulator_is_well_behaved() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.min(), None);
+        assert_eq!(acc.max(), None);
+        assert_eq!(acc.to_string(), "n=0");
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = LatencyHistogram::new(SimTime::from_ns(10), 4);
+        h.record(SimTime::from_ns(5)); // bucket 0
+        h.record(SimTime::from_ns(15)); // bucket 1
+        h.record(SimTime::from_ns(39)); // bucket 3
+        h.record(SimTime::from_ns(100)); // overflow
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(3), 1);
+        assert_eq!(h.bucket(4), 1); // overflow
+    }
+
+    #[test]
+    fn histogram_mean_and_quantile() {
+        let mut h = LatencyHistogram::new(SimTime::from_ns(10), 10);
+        for ns in [10u64, 20, 30, 40] {
+            h.record(SimTime::from_ns(ns));
+        }
+        assert_eq!(h.mean(), SimTime::from_ns(25));
+        assert_eq!(h.quantile(0.5), SimTime::from_ns(30));
+        assert_eq!(h.quantile(1.0), SimTime::from_ns(50));
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = LatencyHistogram::new(SimTime::from_ns(1), 1);
+        assert_eq!(h.quantile(0.99), SimTime::ZERO);
+        assert_eq!(h.mean(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,547 @@
+//! Strongly-typed physical units: data sizes, bandwidths, frequencies, cycles.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimTime;
+
+/// A data size in bytes.
+///
+/// Constructors are provided for the binary multiples used throughout the
+/// paper (WRAM is 64 KiB, MRAM is 64 MiB, collective messages are given in
+/// KB).
+///
+/// # Example
+///
+/// ```
+/// use pim_sim::Bytes;
+///
+/// let wram = Bytes::kib(64);
+/// let msg = Bytes::kib(32);
+/// assert!(msg < wram);
+/// assert_eq!((msg * 2).as_u64(), wram.as_u64());
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a size from a raw byte count.
+    #[must_use]
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// `n` kibibytes (1024 B).
+    #[must_use]
+    pub const fn kib(n: u64) -> Self {
+        Bytes(n * 1024)
+    }
+
+    /// `n` mebibytes (1024 KiB).
+    #[must_use]
+    pub const fn mib(n: u64) -> Self {
+        Bytes(n * 1024 * 1024)
+    }
+
+    /// `n` gibibytes (1024 MiB).
+    #[must_use]
+    pub const fn gib(n: u64) -> Self {
+        Bytes(n * 1024 * 1024 * 1024)
+    }
+
+    /// Raw byte count.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// This size in (fractional) kibibytes.
+    #[must_use]
+    pub fn as_kib(self) -> f64 {
+        self.0 as f64 / 1024.0
+    }
+
+    /// This size in (fractional) mebibytes.
+    #[must_use]
+    pub fn as_mib(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// True iff this is exactly zero bytes.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Division rounding up: the number of `chunk`-sized pieces needed to
+    /// cover `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    #[must_use]
+    pub fn div_ceil(self, chunk: Bytes) -> u64 {
+        assert!(!chunk.is_zero(), "Bytes::div_ceil: zero chunk size");
+        self.0.div_ceil(chunk.0)
+    }
+
+    /// Saturating subtraction: clamps at zero.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two sizes.
+    #[must_use]
+    pub fn max(self, other: Bytes) -> Bytes {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two sizes.
+    #[must_use]
+    pub fn min(self, other: Bytes) -> Bytes {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.checked_add(rhs.0).expect("Bytes addition overflow"))
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Bytes subtraction underflow"),
+        )
+    }
+}
+
+impl Mul<u64> for Bytes {
+    type Output = Bytes;
+
+    fn mul(self, rhs: u64) -> Bytes {
+        Bytes(
+            self.0
+                .checked_mul(rhs)
+                .expect("Bytes multiplication overflow"),
+        )
+    }
+}
+
+impl Div<u64> for Bytes {
+    type Output = Bytes;
+
+    fn div(self, rhs: u64) -> Bytes {
+        Bytes(self.0 / rhs)
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b < 1024 {
+            write!(f, "{b} B")
+        } else if b < 1024 * 1024 {
+            write!(f, "{:.2} KiB", self.as_kib())
+        } else if b < 1024 * 1024 * 1024 {
+            write!(f, "{:.2} MiB", self.as_mib())
+        } else {
+            write!(f, "{:.2} GiB", b as f64 / (1024.0 * 1024.0 * 1024.0))
+        }
+    }
+}
+
+/// A transfer rate in bytes per second.
+///
+/// The paper quotes all bandwidths in decimal GB/s (10^9 bytes/s); the
+/// [`Bandwidth::gbps`] constructor follows that convention.
+///
+/// # Example
+///
+/// ```
+/// use pim_sim::{Bandwidth, Bytes};
+///
+/// // Table IV: one inter-bank PIMnet channel is 0.7 GB/s.
+/// let ch = Bandwidth::gbps(0.7);
+/// let t = ch.transfer_time(Bytes::kib(4));
+/// assert!((t.as_us() - 5.851).abs() < 0.01);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// Zero bandwidth (an unusable link; transfers over it panic).
+    pub const ZERO: Bandwidth = Bandwidth(0);
+
+    /// Creates a bandwidth from raw bytes per second.
+    #[must_use]
+    pub const fn bytes_per_sec(bps: u64) -> Self {
+        Bandwidth(bps)
+    }
+
+    /// Creates a bandwidth from decimal gigabytes per second (the paper's
+    /// unit), rounding to the nearest byte/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is negative or not finite.
+    #[must_use]
+    pub fn gbps(gbps: f64) -> Self {
+        assert!(
+            gbps >= 0.0 && gbps.is_finite(),
+            "Bandwidth::gbps: invalid value {gbps}"
+        );
+        Bandwidth((gbps * 1e9).round() as u64)
+    }
+
+    /// Creates a bandwidth from decimal megabytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbps` is negative or not finite.
+    #[must_use]
+    pub fn mbps(mbps: f64) -> Self {
+        assert!(
+            mbps >= 0.0 && mbps.is_finite(),
+            "Bandwidth::mbps: invalid value {mbps}"
+        );
+        Bandwidth((mbps * 1e6).round() as u64)
+    }
+
+    /// Raw bytes per second.
+    #[must_use]
+    pub const fn as_bytes_per_sec(self) -> u64 {
+        self.0
+    }
+
+    /// This bandwidth in (fractional) decimal GB/s.
+    #[must_use]
+    pub fn as_gbps(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True iff the link carries no bandwidth.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Serialization time for `bytes` at this rate, rounded up to the next
+    /// picosecond. Exact integer arithmetic (u128 intermediate), so results
+    /// are deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is zero and `bytes` is non-zero.
+    #[must_use]
+    pub fn transfer_time(self, bytes: Bytes) -> SimTime {
+        if bytes.is_zero() {
+            return SimTime::ZERO;
+        }
+        assert!(
+            !self.is_zero(),
+            "Bandwidth::transfer_time: transfer over a zero-bandwidth link"
+        );
+        let ps = (bytes.as_u64() as u128 * 1_000_000_000_000u128).div_ceil(self.0 as u128);
+        SimTime::from_ps(u64::try_from(ps).expect("transfer time overflow"))
+    }
+
+    /// The bandwidth split evenly over `n` shares (used when a physical bus
+    /// is time-multiplexed between `n` concurrent users).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn split(self, n: u64) -> Bandwidth {
+        assert!(n > 0, "Bandwidth::split: zero shares");
+        Bandwidth(self.0 / n)
+    }
+
+    /// Aggregate of `n` identical links.
+    #[must_use]
+    pub fn aggregate(self, n: u64) -> Bandwidth {
+        Bandwidth(
+            self.0
+                .checked_mul(n)
+                .expect("Bandwidth aggregation overflow"),
+        )
+    }
+
+    /// The smaller of two bandwidths (bottleneck of a two-stage pipe).
+    #[must_use]
+    pub fn min(self, other: Bandwidth) -> Bandwidth {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} GB/s", self.as_gbps())
+    }
+}
+
+/// A clock frequency in hertz.
+///
+/// # Example
+///
+/// ```
+/// use pim_sim::{Cycles, Frequency};
+///
+/// // UPMEM DPUs run at 350 MHz.
+/// let f = Frequency::mhz(350);
+/// let t = f.cycles_to_time(Cycles::new(350_000_000));
+/// assert_eq!(t.as_secs_f64(), 1.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Frequency(u64);
+
+impl Frequency {
+    /// Creates a frequency from raw hertz.
+    #[must_use]
+    pub const fn hz(hz: u64) -> Self {
+        Frequency(hz)
+    }
+
+    /// Creates a frequency from megahertz.
+    #[must_use]
+    pub const fn mhz(mhz: u64) -> Self {
+        Frequency(mhz * 1_000_000)
+    }
+
+    /// Creates a frequency from gigahertz.
+    #[must_use]
+    pub const fn ghz(ghz: u64) -> Self {
+        Frequency(ghz * 1_000_000_000)
+    }
+
+    /// Raw hertz.
+    #[must_use]
+    pub const fn as_hz(self) -> u64 {
+        self.0
+    }
+
+    /// Duration of one clock cycle, rounded up to the next picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[must_use]
+    pub fn cycle_time(self) -> SimTime {
+        self.cycles_to_time(Cycles::new(1))
+    }
+
+    /// Duration of `cycles` clock cycles, rounded up to the next picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[must_use]
+    pub fn cycles_to_time(self, cycles: Cycles) -> SimTime {
+        assert!(self.0 > 0, "Frequency::cycles_to_time: zero frequency");
+        let ps = (cycles.as_u64() as u128 * 1_000_000_000_000u128).div_ceil(self.0 as u128);
+        SimTime::from_ps(u64::try_from(ps).expect("cycle time overflow"))
+    }
+
+    /// Number of whole cycles elapsed in `time` (rounded down).
+    #[must_use]
+    pub fn time_to_cycles(self, time: SimTime) -> Cycles {
+        let cycles = time.as_ps() as u128 * self.0 as u128 / 1_000_000_000_000u128;
+        Cycles::new(u64::try_from(cycles).expect("cycle count overflow"))
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3} GHz", self.0 as f64 / 1e9)
+        } else {
+            write!(f, "{:.1} MHz", self.0 as f64 / 1e6)
+        }
+    }
+}
+
+/// A count of clock cycles (frequency-agnostic).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    #[must_use]
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// Raw cycle count.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.checked_add(rhs.0).expect("Cycles addition overflow"))
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(
+            self.0
+                .checked_mul(rhs)
+                .expect("Cycles multiplication overflow"),
+        )
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_constructors() {
+        assert_eq!(Bytes::kib(64).as_u64(), 65_536);
+        assert_eq!(Bytes::mib(64).as_u64(), 67_108_864);
+        assert_eq!(Bytes::gib(1).as_u64(), 1 << 30);
+    }
+
+    #[test]
+    fn byte_arithmetic() {
+        assert_eq!(Bytes::new(10) + Bytes::new(5), Bytes::new(15));
+        assert_eq!(Bytes::new(10) - Bytes::new(5), Bytes::new(5));
+        assert_eq!(Bytes::new(10) * 3, Bytes::new(30));
+        assert_eq!(Bytes::new(10) / 4, Bytes::new(2));
+        assert_eq!(Bytes::new(10).div_ceil(Bytes::new(4)), 3);
+        assert_eq!(Bytes::new(3).saturating_sub(Bytes::new(5)), Bytes::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_transfer_time_exact() {
+        // 1 GB/s moves 1000 bytes in exactly 1 us.
+        let bw = Bandwidth::gbps(1.0);
+        assert_eq!(bw.transfer_time(Bytes::new(1000)), SimTime::from_us(1));
+        // Zero bytes is free even over a zero-bandwidth link.
+        assert_eq!(Bandwidth::ZERO.transfer_time(Bytes::ZERO), SimTime::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_transfer_time_rounds_up() {
+        // 3 bytes at 1 GB/s = 3 ns exactly; 1 byte at 3 GB/s rounds up.
+        let t = Bandwidth::bytes_per_sec(3_000_000_000).transfer_time(Bytes::new(1));
+        assert_eq!(t.as_ps(), 334); // ceil(1e12 / 3e9)
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-bandwidth")]
+    fn zero_bandwidth_transfer_panics() {
+        let _ = Bandwidth::ZERO.transfer_time(Bytes::new(1));
+    }
+
+    #[test]
+    fn bandwidth_split_and_aggregate() {
+        let bw = Bandwidth::gbps(16.8);
+        assert_eq!(bw.split(4).as_bytes_per_sec(), 4_200_000_000);
+        assert_eq!(Bandwidth::gbps(0.7).aggregate(4).as_gbps(), 2.8);
+        assert_eq!(bw.min(Bandwidth::gbps(1.0)), Bandwidth::gbps(1.0));
+    }
+
+    #[test]
+    fn frequency_cycle_math() {
+        let f = Frequency::mhz(350);
+        // One 350 MHz cycle is 2857.142... ns -> rounded up to 2858 ps? No:
+        // 1e12 / 350e6 = 2857.142 ps -> ceil = 2858.
+        assert_eq!(f.cycle_time().as_ps(), 2858);
+        assert_eq!(
+            f.time_to_cycles(SimTime::from_secs_f64(1.0)),
+            Cycles::new(350_000_000)
+        );
+    }
+
+    #[test]
+    fn roundtrip_cycles_time() {
+        let f = Frequency::ghz(4);
+        let c = Cycles::new(123_456);
+        let t = f.cycles_to_time(c);
+        assert_eq!(f.time_to_cycles(t), c);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Bytes::kib(32).to_string(), "32.00 KiB");
+        assert_eq!(Bandwidth::gbps(0.7).to_string(), "0.700 GB/s");
+        assert_eq!(Frequency::mhz(350).to_string(), "350.0 MHz");
+        assert_eq!(Cycles::new(7).to_string(), "7 cycles");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the unit types — the arithmetic everything else
+//! stands on.
+
+use pim_sim::{Bandwidth, Bytes, Cycles, Frequency, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn transfer_time_is_monotone_in_bytes(
+        bw_mbps in 1.0f64..100_000.0,
+        a in 0u64..1 << 40,
+        b in 0u64..1 << 40,
+    ) {
+        let bw = Bandwidth::mbps(bw_mbps);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bw.transfer_time(Bytes::new(lo)) <= bw.transfer_time(Bytes::new(hi)));
+    }
+
+    #[test]
+    fn transfer_time_is_antitone_in_bandwidth(
+        bytes in 1u64..1 << 40,
+        a_mbps in 1.0f64..100_000.0,
+        b_mbps in 1.0f64..100_000.0,
+    ) {
+        let (slow, fast) = if a_mbps <= b_mbps { (a_mbps, b_mbps) } else { (b_mbps, a_mbps) };
+        let t_slow = Bandwidth::mbps(slow).transfer_time(Bytes::new(bytes));
+        let t_fast = Bandwidth::mbps(fast).transfer_time(Bytes::new(bytes));
+        prop_assert!(t_fast <= t_slow);
+    }
+
+    #[test]
+    fn transfer_time_never_undershoots_the_exact_value(
+        bytes in 1u64..1 << 40,
+        bps in 1u64..1 << 40,
+    ) {
+        // ceil rounding: time * bw >= bytes, and the undershoot of one less
+        // picosecond would be too small.
+        let bw = Bandwidth::bytes_per_sec(bps);
+        let t = bw.transfer_time(Bytes::new(bytes));
+        let moved = t.as_ps() as u128 * bps as u128 / 1_000_000_000_000u128;
+        prop_assert!(moved >= bytes as u128 || t.as_ps() == 0);
+    }
+
+    #[test]
+    fn split_then_aggregate_never_gains_bandwidth(
+        bps in 1u64..1 << 50,
+        n in 1u64..1000,
+    ) {
+        let bw = Bandwidth::bytes_per_sec(bps);
+        prop_assert!(bw.split(n).aggregate(n).as_bytes_per_sec() <= bps);
+    }
+
+    #[test]
+    fn cycles_roundtrip_through_time(
+        mhz in 1u64..10_000,
+        cycles in 0u64..1 << 40,
+    ) {
+        let f = Frequency::mhz(mhz);
+        let c = Cycles::new(cycles);
+        prop_assert_eq!(f.time_to_cycles(f.cycles_to_time(c)), c);
+    }
+
+    #[test]
+    fn simtime_addition_is_commutative_and_associative(
+        a in 0u64..1 << 50,
+        b in 0u64..1 << 50,
+        c in 0u64..1 << 50,
+    ) {
+        let (x, y, z) = (SimTime::from_ps(a), SimTime::from_ps(b), SimTime::from_ps(c));
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!((x + y) + z, x + (y + z));
+    }
+
+    #[test]
+    fn ratio_is_inverse_consistent(a in 1u64..1 << 50, b in 1u64..1 << 50) {
+        let (x, y) = (SimTime::from_ps(a), SimTime::from_ps(b));
+        let r = x.ratio(y) * y.ratio(x);
+        prop_assert!((r - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn div_ceil_covers(bytes in 1u64..1 << 50, chunk in 1u64..1 << 20) {
+        let n = Bytes::new(bytes).div_ceil(Bytes::new(chunk));
+        prop_assert!(n * chunk >= bytes);
+        prop_assert!((n - 1) * chunk < bytes);
+    }
+}
+
+#[test]
+fn engine_event_order_is_total_under_interleaving() {
+    // Schedule events from inside events; the dispatch order must follow
+    // (time, insertion) no matter how they were created.
+    use pim_sim::Engine;
+    let mut engine: Engine<Vec<(u64, u32)>> = Engine::new();
+    for i in 0..8u32 {
+        engine.schedule(SimTime::from_ns(10), move |log: &mut Vec<(u64, u32)>, eng| {
+            log.push((10, i));
+            eng.schedule_in(SimTime::from_ns(u64::from(8 - i)), move |log, _| {
+                log.push((10 + u64::from(8 - i), i));
+            });
+        });
+    }
+    let mut log = Vec::new();
+    engine.run(&mut log);
+    // First wave in insertion order.
+    assert_eq!(
+        log[..8].iter().map(|&(_, i)| i).collect::<Vec<_>>(),
+        (0..8).collect::<Vec<_>>()
+    );
+    // Second wave in time order (reverse insertion, since delay = 8 - i).
+    assert_eq!(
+        log[8..].iter().map(|&(_, i)| i).collect::<Vec<_>>(),
+        (0..8).rev().collect::<Vec<_>>()
+    );
+    // Times are globally non-decreasing.
+    assert!(log.windows(2).all(|w| w[0].0 <= w[1].0));
+}

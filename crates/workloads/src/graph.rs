@@ -1,0 +1,280 @@
+//! Synthetic graphs and the real traversals that shape BFS/CC phases.
+//!
+//! The paper evaluates BFS and CC on `log-gowalla` (the Gowalla social
+//! network: ~197 k vertices, ~950 k undirected edges). The dataset itself
+//! is not redistributable here, so [`Graph::log_gowalla`] generates a
+//! seeded preferential-attachment graph at the same scale — power-law
+//! degrees and small-world diameter, which is what determines the BFS
+//! level structure and CC iteration count that drive communication volume.
+
+use std::sync::OnceLock;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// An undirected graph in CSR form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    edges: Vec<u32>,
+}
+
+/// Per-BFS-level statistics (sizes drive per-iteration compute/comm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LevelStats {
+    /// Vertices in the frontier entering this level.
+    pub frontier: usize,
+    /// Edges scanned expanding that frontier.
+    pub edges_scanned: usize,
+}
+
+impl Graph {
+    /// Builds a graph from an undirected edge list (duplicates and
+    /// self-loops are dropped).
+    #[must_use]
+    pub fn from_edges(n: usize, list: &[(u32, u32)]) -> Self {
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(list.len() * 2);
+        for &(a, b) in list {
+            if a != b {
+                pairs.push((a, b));
+                pairs.push((b, a));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut offsets = vec![0usize; n + 1];
+        for &(a, _) in &pairs {
+            offsets[a as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let edges = pairs.into_iter().map(|(_, b)| b).collect();
+        Graph { offsets, edges }
+    }
+
+    /// Seeded preferential-attachment generator: `n` vertices, about
+    /// `n × m` undirected edges, power-law degree distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `m == 0`.
+    #[must_use]
+    pub fn power_law(n: usize, m: usize, seed: u64) -> Self {
+        assert!(n >= 2 && m >= 1, "power_law: degenerate parameters");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut list: Vec<(u32, u32)> = Vec::with_capacity(n * m);
+        // Endpoint pool for degree-proportional sampling.
+        let mut pool: Vec<u32> = vec![0, 1];
+        list.push((0, 1));
+        for v in 2..n as u32 {
+            let attach = m.min(v as usize);
+            for _ in 0..attach {
+                // 80% preferential, 20% uniform — keeps one giant component
+                // plus a heavy tail, like real social graphs.
+                let t = if rng.gen_bool(0.8) {
+                    pool[rng.gen_range(0..pool.len())]
+                } else {
+                    rng.gen_range(0..v)
+                };
+                if t != v {
+                    list.push((v, t));
+                    pool.push(v);
+                    pool.push(t);
+                }
+            }
+        }
+        Graph::from_edges(n, &list)
+    }
+
+    /// The log-gowalla-scale graph used by the paper's BFS/CC experiments
+    /// (cached globally; generation is seeded and deterministic).
+    #[must_use]
+    pub fn log_gowalla() -> &'static Graph {
+        static CACHE: OnceLock<Graph> = OnceLock::new();
+        CACHE.get_or_init(|| Graph::power_law(196_591, 5, 0x60A1_1A))
+    }
+
+    /// Vertex count.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Directed edge count (2× the undirected count).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Neighbours of `v`.
+    #[must_use]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.edges[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    #[must_use]
+    pub fn degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// The highest-degree vertex (the BFS source the workloads use).
+    #[must_use]
+    pub fn hub(&self) -> u32 {
+        (0..self.vertex_count() as u32)
+            .max_by_key(|&v| self.degree(v))
+            .unwrap_or(0)
+    }
+
+    /// Breadth-first search from `src`: distance per vertex (`u32::MAX` if
+    /// unreachable) plus per-level statistics.
+    #[must_use]
+    pub fn bfs(&self, src: u32) -> (Vec<u32>, Vec<LevelStats>) {
+        let n = self.vertex_count();
+        let mut dist = vec![u32::MAX; n];
+        dist[src as usize] = 0;
+        let mut frontier = vec![src];
+        let mut levels = Vec::new();
+        let mut depth = 0u32;
+        while !frontier.is_empty() {
+            let mut stats = LevelStats {
+                frontier: frontier.len(),
+                edges_scanned: 0,
+            };
+            let mut next = Vec::new();
+            for &v in &frontier {
+                stats.edges_scanned += self.degree(v);
+                for &w in self.neighbors(v) {
+                    if dist[w as usize] == u32::MAX {
+                        dist[w as usize] = depth + 1;
+                        next.push(w);
+                    }
+                }
+            }
+            levels.push(stats);
+            frontier = next;
+            depth += 1;
+        }
+        (dist, levels)
+    }
+
+    /// Connected components by synchronous label propagation (min-label):
+    /// returns the labels and the number of sweeps until stable — the same
+    /// iteration count the PIM implementation's AllReduce loop runs.
+    #[must_use]
+    pub fn connected_components(&self) -> (Vec<u32>, usize) {
+        let n = self.vertex_count();
+        let mut labels: Vec<u32> = (0..n as u32).collect();
+        let mut iterations = 0;
+        loop {
+            iterations += 1;
+            let mut changed = false;
+            let prev = labels.clone();
+            for v in 0..n as u32 {
+                let mut best = prev[v as usize];
+                for &w in self.neighbors(v) {
+                    best = best.min(prev[w as usize]);
+                }
+                if best < labels[v as usize] {
+                    labels[v as usize] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        (labels, iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Graph {
+        Graph::power_law(2_000, 5, 7)
+    }
+
+    #[test]
+    fn csr_is_consistent() {
+        let g = small();
+        assert_eq!(g.vertex_count(), 2_000);
+        // Every edge appears in both directions.
+        for v in 0..g.vertex_count() as u32 {
+            for &w in g.neighbors(v) {
+                assert!(g.neighbors(w).contains(&v), "asymmetric edge {v}-{w}");
+            }
+        }
+    }
+
+    #[test]
+    fn power_law_has_hubs() {
+        let g = small();
+        let max_deg = g.degree(g.hub());
+        let avg = g.edge_count() as f64 / g.vertex_count() as f64;
+        assert!(
+            max_deg as f64 > avg * 10.0,
+            "no hub: max {max_deg}, avg {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn bfs_levels_cover_the_reachable_set() {
+        let g = small();
+        let (dist, levels) = g.bfs(g.hub());
+        let reached = dist.iter().filter(|&&d| d != u32::MAX).count();
+        let level_total: usize = levels.iter().map(|l| l.frontier).sum();
+        assert_eq!(reached, level_total);
+        // Small-world: a hub-rooted BFS finishes in a few levels.
+        assert!(levels.len() <= 12, "diameter too large: {}", levels.len());
+        // Distances are consistent with levels.
+        for (d, l) in levels.iter().enumerate() {
+            assert_eq!(
+                dist.iter().filter(|&&x| x == d as u32).count(),
+                l.frontier
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_from_isolated_region_is_fine() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let (dist, levels) = g.bfs(0);
+        assert_eq!(dist[1], 1);
+        assert_eq!(dist[2], u32::MAX);
+        assert_eq!(levels.len(), 2);
+    }
+
+    #[test]
+    fn cc_labels_match_bfs_reachability() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (labels, iters) = g.connected_components();
+        assert!(iters >= 1);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_eq!(labels[5], 5);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = Graph::power_law(500, 4, 42);
+        let b = Graph::power_law(500, 4, 42);
+        assert_eq!(a, b);
+        let c = Graph::power_law(500, 4, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn log_gowalla_scale_matches_the_dataset() {
+        let g = Graph::log_gowalla();
+        assert_eq!(g.vertex_count(), 196_591);
+        let undirected = g.edge_count() / 2;
+        assert!(
+            (800_000..1_200_000).contains(&undirected),
+            "undirected edges {undirected} not at gowalla scale"
+        );
+    }
+}

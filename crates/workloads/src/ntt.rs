@@ -1,0 +1,381 @@
+//! Number Theoretic Transform over the Goldilocks prime, plus the 2D-NTT
+//! PIM workload (paper §II-C, Table VII).
+//!
+//! The math is real: an iterative Cooley–Tukey NTT modulo
+//! `p = 2^64 − 2^32 + 1`, whose multiplicative group contains roots of
+//! unity of every power-of-two order up to `2^32` — the workhorse prime of
+//! modern FHE implementations. Property tests check the transform against
+//! the naive DFT and the convolution theorem.
+//!
+//! The workload follows the paper's 2D decomposition of `N = 2^16`
+//! (Bailey's algorithm \[12\]): 256 column-wise 256-point NTTs, a twiddle
+//! multiplication, an **All-to-All transpose** between the PIM banks, and
+//! 256 row-wise 256-point NTTs.
+
+use pim_sim::Bytes;
+
+use pim_arch::{OpCounts, SystemConfig};
+use pimnet::collective::CollectiveKind;
+
+use crate::program::{Phase, Program, Workload};
+
+/// The Goldilocks prime `2^64 − 2^32 + 1`.
+pub const P: u64 = 0xFFFF_FFFF_0000_0001;
+
+/// A generator of the multiplicative group of `Z_P` (order `P − 1`).
+const GENERATOR: u64 = 7;
+
+/// Modular addition in `Z_P`.
+#[must_use]
+pub fn add(a: u64, b: u64) -> u64 {
+    let (s, over) = a.overflowing_add(b);
+    let mut s = s;
+    if over || s >= P {
+        s = s.wrapping_sub(P);
+    }
+    s
+}
+
+/// Modular subtraction in `Z_P`.
+#[must_use]
+pub fn sub(a: u64, b: u64) -> u64 {
+    if a >= b {
+        a - b
+    } else {
+        a.wrapping_sub(b).wrapping_add(P)
+    }
+}
+
+/// Modular multiplication in `Z_P` (via 128-bit widening).
+#[must_use]
+pub fn mul(a: u64, b: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(P)) as u64
+}
+
+/// Modular exponentiation in `Z_P`.
+#[must_use]
+pub fn pow(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul(acc, base);
+        }
+        base = mul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse in `Z_P` (Fermat).
+#[must_use]
+pub fn inv(a: u64) -> u64 {
+    pow(a, P - 2)
+}
+
+/// A primitive `n`-th root of unity in `Z_P`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or exceeds `2^32`.
+#[must_use]
+pub fn root_of_unity(n: u64) -> u64 {
+    assert!(n.is_power_of_two() && n <= 1 << 32, "no 2^k root for n={n}");
+    pow(GENERATOR, (P - 1) / n)
+}
+
+/// In-place iterative (decimation-in-time) NTT.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn ntt(a: &mut [u64]) {
+    transform(a, root_of_unity(a.len() as u64));
+}
+
+/// In-place inverse NTT.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn intt(a: &mut [u64]) {
+    let n = a.len() as u64;
+    transform(a, inv(root_of_unity(n)));
+    let scale = inv(n % P);
+    for x in a.iter_mut() {
+        *x = mul(*x, scale);
+    }
+}
+
+fn transform(a: &mut [u64], omega: u64) {
+    let n = a.len();
+    assert!(n.is_power_of_two(), "NTT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            a.swap(i, j);
+        }
+    }
+    // Cooley–Tukey butterflies.
+    let mut len = 2;
+    while len <= n {
+        let w_len = pow(omega, (n / len) as u64);
+        for start in (0..n).step_by(len) {
+            let mut w = 1u64;
+            for k in 0..len / 2 {
+                let u = a[start + k];
+                let v = mul(a[start + k + len / 2], w);
+                a[start + k] = add(u, v);
+                a[start + k + len / 2] = sub(u, v);
+                w = mul(w, w_len);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive `O(n²)` DFT over `Z_P` — the property-test oracle.
+#[must_use]
+pub fn naive_dft(a: &[u64]) -> Vec<u64> {
+    let n = a.len() as u64;
+    let omega = root_of_unity(n);
+    (0..n)
+        .map(|k| {
+            let mut acc = 0u64;
+            for (j, &x) in a.iter().enumerate() {
+                acc = add(acc, mul(x, pow(omega, k * j as u64)));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Cyclic (positive-wrapped) convolution via the transform.
+#[must_use]
+pub fn convolve(a: &[u64], b: &[u64]) -> Vec<u64> {
+    assert_eq!(a.len(), b.len());
+    let mut fa = a.to_vec();
+    let mut fb = b.to_vec();
+    ntt(&mut fa);
+    ntt(&mut fb);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = mul(*x, *y);
+    }
+    intt(&mut fa);
+    fa
+}
+
+/// Naive cyclic convolution — the oracle.
+#[must_use]
+pub fn naive_convolve(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let n = a.len();
+    let mut out = vec![0u64; n];
+    for i in 0..n {
+        for j in 0..n {
+            out[(i + j) % n] = add(out[(i + j) % n], mul(a[i], b[j]));
+        }
+    }
+    out
+}
+
+/// Full-size 2D NTT (Bailey): columns, twiddles, transpose, rows. Produces
+/// the standard NTT of the length-`rows*cols` input (in transposed order,
+/// which we undo before returning).
+#[must_use]
+pub fn ntt_2d(a: &[u64], rows: usize, cols: usize) -> Vec<u64> {
+    assert_eq!(a.len(), rows * cols);
+    let n = a.len() as u64;
+    let omega = root_of_unity(n);
+    // Column NTTs (stride `cols` vectors of length `rows`).
+    let mut m: Vec<u64> = a.to_vec();
+    for c in 0..cols {
+        let mut col: Vec<u64> = (0..rows).map(|r| m[r * cols + c]).collect();
+        ntt(&mut col);
+        for (r, v) in col.into_iter().enumerate() {
+            m[r * cols + c] = v;
+        }
+    }
+    // Twiddle factors omega^(r*c).
+    for r in 0..rows {
+        for c in 0..cols {
+            m[r * cols + c] = mul(m[r * cols + c], pow(omega, (r * c) as u64));
+        }
+    }
+    // Row NTTs.
+    for r in 0..rows {
+        ntt(&mut m[r * cols..(r + 1) * cols]);
+    }
+    // Result element (k1, k2) = X[k2*rows + k1]: un-transpose.
+    let mut out = vec![0u64; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = m[r * cols + c];
+        }
+    }
+    out
+}
+
+/// The paper's NTT workload: 2D NTT of `N = 2^16` with an All-to-All
+/// transpose between the two compute steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NttWorkload {
+    /// Total transform size (2^16 in the paper).
+    pub n: usize,
+}
+
+impl NttWorkload {
+    /// The paper configuration (`N = 2^16`, 256×256 decomposition).
+    #[must_use]
+    pub fn paper() -> Self {
+        NttWorkload { n: 1 << 16 }
+    }
+
+    fn side(&self) -> usize {
+        1 << (self.n.trailing_zeros() / 2)
+    }
+}
+
+impl Workload for NttWorkload {
+    fn name(&self) -> &str {
+        "NTT"
+    }
+
+    fn comm_pattern(&self) -> CollectiveKind {
+        CollectiveKind::AllToAll
+    }
+
+    fn program(&self, system: &SystemConfig) -> Program {
+        let p = u64::from(system.geometry.dpus_per_channel());
+        let side = self.side() as u64; // 256 NTTs of `side` points per step
+        let ntts_per_dpu = side.div_ceil(p);
+        // One `side`-point NTT: (side/2)·log2(side) butterflies; each is one
+        // 64-bit modular multiply (~4 emulated 32-bit multiplies + reduction
+        // adds) plus two modular add/subs, all on WRAM-resident data.
+        let butterflies = ntts_per_dpu * (side / 2) * u64::from(side.trailing_zeros());
+        let step = OpCounts::new()
+            .with_muls(butterflies * 4)
+            .with_adds(butterflies * 6)
+            .with_loads(butterflies * 2)
+            .with_stores(butterflies * 2);
+        // Twiddle multiplication between the steps.
+        let twiddle = OpCounts::new()
+            .with_muls(ntts_per_dpu * side * 4)
+            .with_loads(ntts_per_dpu * side)
+            .with_stores(ntts_per_dpu * side);
+        // The transpose: every coefficient (8 B) changes bank.
+        let a2a_bytes = Bytes::new(self.n as u64 * 8 / p);
+        Program::new(vec![
+            Phase::compute(step),
+            Phase::compute(twiddle),
+            Phase::Collective {
+                kind: CollectiveKind::AllToAll,
+                bytes_per_dpu: a2a_bytes,
+                elem_bytes: 8,
+            },
+            Phase::compute(step),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn field_ops_basics() {
+        assert_eq!(add(P - 1, 1), 0);
+        assert_eq!(sub(0, 1), P - 1);
+        assert_eq!(mul(P - 1, P - 1), 1); // (-1)^2
+        assert_eq!(mul(inv(12345), 12345), 1);
+        // 2^64 mod (2^64 - 2^32 + 1) = 2^32 - 1.
+        assert_eq!(pow(2, 64), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn roots_have_the_right_order() {
+        for k in [2u64, 4, 256, 65_536] {
+            let w = root_of_unity(k);
+            assert_eq!(pow(w, k), 1, "w^{k} != 1");
+            assert_ne!(pow(w, k / 2), 1, "w has order < {k}");
+        }
+    }
+
+    #[test]
+    fn ntt_matches_naive_dft() {
+        let a: Vec<u64> = (0..64u64).map(|i| i * i + 17).collect();
+        let mut fast = a.clone();
+        ntt(&mut fast);
+        assert_eq!(fast, naive_dft(&a));
+    }
+
+    #[test]
+    fn intt_inverts_ntt() {
+        let a: Vec<u64> = (0..256u64).map(|i| pow(GENERATOR, i)).collect();
+        let mut x = a.clone();
+        ntt(&mut x);
+        intt(&mut x);
+        assert_eq!(x, a);
+    }
+
+    #[test]
+    fn ntt_2d_equals_1d() {
+        let a: Vec<u64> = (0..1024u64).map(|i| mul(i, i + 3)).collect();
+        let mut flat = a.clone();
+        ntt(&mut flat);
+        assert_eq!(ntt_2d(&a, 32, 32), flat);
+    }
+
+    #[test]
+    fn workload_shape() {
+        let w = NttWorkload::paper();
+        let p = w.program(&SystemConfig::paper());
+        assert_eq!(p.collective_kinds(), vec![CollectiveKind::AllToAll]);
+        // 2^16 x 8 B / 256 DPUs = 2 KiB per DPU.
+        assert_eq!(p.total_collective_bytes(), Bytes::kib(2));
+        assert_eq!(p.phases.len(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn convolution_theorem_holds(
+            a in prop::collection::vec(0u64..P, 32),
+            b in prop::collection::vec(0u64..P, 32),
+        ) {
+            prop_assert_eq!(convolve(&a, &b), naive_convolve(&a, &b));
+        }
+
+        #[test]
+        fn transform_roundtrips(
+            a in prop::collection::vec(0u64..P, 1usize..=128)
+        ) {
+            let n = a.len().next_power_of_two();
+            let mut padded = a.clone();
+            padded.resize(n, 0);
+            let orig = padded.clone();
+            ntt(&mut padded);
+            intt(&mut padded);
+            prop_assert_eq!(padded, orig);
+        }
+
+        #[test]
+        fn ntt_is_linear(
+            a in prop::collection::vec(0u64..P, 16),
+            b in prop::collection::vec(0u64..P, 16),
+        ) {
+            let mut fa = a.clone();
+            let mut fb = b.clone();
+            let mut fsum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| add(x, y)).collect();
+            ntt(&mut fa);
+            ntt(&mut fb);
+            ntt(&mut fsum);
+            let sum_f: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| add(x, y)).collect();
+            prop_assert_eq!(fsum, sum_f);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Workload programs: alternating compute and collective phases, and the
+//! runner that times them on a system + backend pair.
+
+use std::fmt;
+
+use pim_sim::{Bytes, SimTime};
+use serde::{Deserialize, Serialize};
+
+use pim_arch::{OpCounts, SystemConfig};
+use pimnet::backends::CollectiveBackend;
+use pimnet::collective::{CollectiveKind, CollectiveSpec};
+use pimnet::timing::CommBreakdown;
+use pimnet::PimnetError;
+
+/// One phase of a workload's execution on the PIM side.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Every DPU runs a kernel with (mean) per-DPU instruction counts;
+    /// `imbalance` is the fractional spread between the mean and the
+    /// slowest DPU, which the next collective pays as synchronization skew.
+    Compute {
+        /// Mean per-DPU instruction counts.
+        per_dpu: OpCounts,
+        /// `(max − mean) / mean` finish-time spread across DPUs.
+        imbalance: f64,
+    },
+    /// A collective over all DPUs of the channel.
+    Collective {
+        /// Which collective.
+        kind: CollectiveKind,
+        /// Payload per DPU.
+        bytes_per_dpu: Bytes,
+        /// Element width in bytes.
+        elem_bytes: u32,
+    },
+}
+
+impl Phase {
+    /// A compute phase with the suite's default 5 % imbalance.
+    #[must_use]
+    pub fn compute(per_dpu: OpCounts) -> Self {
+        Phase::Compute {
+            per_dpu,
+            imbalance: 0.05,
+        }
+    }
+
+    /// A collective phase with 4-byte elements.
+    #[must_use]
+    pub fn collective(kind: CollectiveKind, bytes_per_dpu: Bytes) -> Self {
+        Phase::Collective {
+            kind,
+            bytes_per_dpu,
+            elem_bytes: 4,
+        }
+    }
+}
+
+/// A compiled workload: the phase sequence one end-to-end run executes.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Phases, in execution order.
+    pub phases: Vec<Phase>,
+}
+
+impl Program {
+    /// Creates a program from phases.
+    #[must_use]
+    pub fn new(phases: Vec<Phase>) -> Self {
+        Program { phases }
+    }
+
+    /// The distinct collective kinds this program uses.
+    #[must_use]
+    pub fn collective_kinds(&self) -> Vec<CollectiveKind> {
+        let mut kinds: Vec<CollectiveKind> = self
+            .phases
+            .iter()
+            .filter_map(|p| match p {
+                Phase::Collective { kind, .. } => Some(*kind),
+                Phase::Compute { .. } => None,
+            })
+            .collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        kinds
+    }
+
+    /// Total bytes per DPU sent through collectives.
+    #[must_use]
+    pub fn total_collective_bytes(&self) -> Bytes {
+        self.phases
+            .iter()
+            .map(|p| match p {
+                Phase::Collective { bytes_per_dpu, .. } => *bytes_per_dpu,
+                Phase::Compute { .. } => Bytes::ZERO,
+            })
+            .sum()
+    }
+}
+
+/// A workload that can compile itself for a system.
+pub trait Workload {
+    /// Stable display name (matches the paper's Fig 10 labels).
+    fn name(&self) -> &str;
+
+    /// The dominant collective (the paper's Table VII "Comm." column).
+    fn comm_pattern(&self) -> CollectiveKind;
+
+    /// Compiles the workload for a system (geometry-aware partitioning).
+    fn program(&self, system: &SystemConfig) -> Program;
+}
+
+/// Timing outcome of one program on one backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Total DPU compute time (identical across backends).
+    pub compute: SimTime,
+    /// Accumulated communication breakdown.
+    pub comm: CommBreakdown,
+    /// Number of phases executed.
+    pub phases: usize,
+}
+
+impl ExecutionReport {
+    /// End-to-end execution time.
+    #[must_use]
+    pub fn total(&self) -> SimTime {
+        self.compute + self.comm.total()
+    }
+
+    /// Fraction of time spent communicating (the paper quotes e.g. 83 %
+    /// for CC on the baseline).
+    #[must_use]
+    pub fn comm_fraction(&self) -> f64 {
+        self.comm.total().ratio(self.total())
+    }
+}
+
+impl fmt::Display for ExecutionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {} (compute {}, comm {} = {:.1}%)",
+            self.total(),
+            self.compute,
+            self.comm.total(),
+            self.comm_fraction() * 100.0
+        )
+    }
+}
+
+/// Times a program on a system with one collective backend.
+///
+/// Compute phases go through the DPU model; each collective inherits the
+/// preceding compute phase's imbalance as synchronization skew.
+///
+/// # Errors
+///
+/// Propagates backend errors (e.g., unsupported collectives).
+pub fn run_program(
+    program: &Program,
+    system: &SystemConfig,
+    backend: &dyn CollectiveBackend,
+) -> Result<ExecutionReport, PimnetError> {
+    let mut report = ExecutionReport::default();
+    let mut pending_skew = SimTime::ZERO;
+    for phase in &program.phases {
+        report.phases += 1;
+        match phase {
+            Phase::Compute { per_dpu, imbalance } => {
+                // Every backend waits for the slowest DPU before it can
+                // communicate, so the straggler time is compute, not
+                // synchronization; only residual jitter (the spread right
+                // at the barrier, ~10% of the imbalance) lands in the
+                // collective's sync bucket.
+                let mean = system.dpu.compute_time(per_dpu);
+                let max = SimTime::from_secs_f64(mean.as_secs_f64() * (1.0 + imbalance));
+                report.compute += max;
+                pending_skew = SimTime::from_secs_f64(mean.as_secs_f64() * imbalance * 0.1);
+            }
+            Phase::Collective {
+                kind,
+                bytes_per_dpu,
+                elem_bytes,
+            } => {
+                let spec = CollectiveSpec::new(*kind, *bytes_per_dpu)
+                    .with_elem_bytes(*elem_bytes)
+                    .with_skew(pending_skew);
+                report.comm = report.comm + backend.collective(&spec)?;
+                pending_skew = SimTime::ZERO;
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimnet::backends::{BaselineHostBackend, PimnetBackend};
+
+    fn toy_program() -> Program {
+        Program::new(vec![
+            Phase::compute(OpCounts::new().with_adds(100_000).with_muls(10_000)),
+            Phase::collective(CollectiveKind::AllReduce, Bytes::kib(8)),
+            Phase::compute(OpCounts::new().with_adds(50_000)),
+            Phase::collective(CollectiveKind::ReduceScatter, Bytes::kib(4)),
+        ])
+    }
+
+    #[test]
+    fn compute_is_backend_invariant() {
+        let sys = SystemConfig::paper();
+        let p = toy_program();
+        let a = run_program(&p, &sys, &PimnetBackend::paper()).unwrap();
+        let b = run_program(&p, &sys, &BaselineHostBackend::new(sys)).unwrap();
+        assert_eq!(a.compute, b.compute);
+        assert!(a.comm.total() < b.comm.total());
+    }
+
+    #[test]
+    fn skew_feeds_the_following_collective() {
+        let sys = SystemConfig::paper();
+        let heavy = Program::new(vec![
+            Phase::Compute {
+                per_dpu: OpCounts::new().with_muls(10_000_000),
+                imbalance: 0.5,
+            },
+            Phase::collective(CollectiveKind::AllReduce, Bytes::kib(1)),
+        ]);
+        let light = Program::new(vec![
+            Phase::Compute {
+                per_dpu: OpCounts::new().with_muls(10_000_000),
+                imbalance: 0.0,
+            },
+            Phase::collective(CollectiveKind::AllReduce, Bytes::kib(1)),
+        ]);
+        let h = run_program(&heavy, &sys, &PimnetBackend::paper()).unwrap();
+        let l = run_program(&light, &sys, &PimnetBackend::paper()).unwrap();
+        // Residual jitter feeds the barrier; the straggler tail itself is
+        // accounted as compute (every backend waits for the slowest DPU).
+        assert!(h.comm.sync > l.comm.sync);
+        assert!(h.compute > l.compute);
+    }
+
+    #[test]
+    fn report_accounting() {
+        let sys = SystemConfig::paper();
+        let r = run_program(&toy_program(), &sys, &PimnetBackend::paper()).unwrap();
+        assert_eq!(r.phases, 4);
+        assert!(r.total() >= r.compute);
+        assert!((0.0..=1.0).contains(&r.comm_fraction()));
+        assert!(r.to_string().contains("comm"));
+    }
+
+    #[test]
+    fn program_introspection() {
+        let p = toy_program();
+        assert_eq!(
+            p.collective_kinds(),
+            vec![CollectiveKind::ReduceScatter, CollectiveKind::AllReduce]
+        );
+        assert_eq!(p.total_collective_bytes(), Bytes::kib(12));
+    }
+}

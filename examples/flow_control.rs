@@ -1,0 +1,41 @@
+//! Dynamic vs PIM-controlled flow control on the cycle-level network — a
+//! hands-on version of the paper's Fig 13 experiment.
+//!
+//! ```sh
+//! cargo run --release --example flow_control
+//! ```
+
+use pim_sim::SimTime;
+use pimnet_suite::arch::PimGeometry;
+use pimnet_suite::net::collective::CollectiveKind;
+use pimnet_suite::net::schedule::CommSchedule;
+use pimnet_suite::noc::{simulate_credit, simulate_scheduled, NocConfig};
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let cfg = NocConfig::paper();
+    let n = 64u32;
+    let geometry = PimGeometry::paper_scaled(n);
+
+    // Per-DPU compute-finish jitter, as the paper fed from real UPMEM runs.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let ready: Vec<SimTime> = (0..n)
+        .map(|_| SimTime::from_secs_f64(40e-6 * (1.0 + rng.gen_range(-0.1..=0.1))))
+        .collect();
+
+    for kind in [CollectiveKind::AllReduce, CollectiveKind::AllToAll] {
+        let schedule = CommSchedule::build(kind, &geometry, 4096, 4).expect("schedule");
+        let credit = simulate_credit(&schedule, &ready, &cfg);
+        let sched = simulate_scheduled(&schedule, &ready, &cfg);
+        println!("{kind} over {n} DPUs (16 KiB per DPU):");
+        println!("  credit-based flow control : {credit}");
+        println!("  PIM-controlled scheduling : {sched}");
+        let gain = 1.0 - sched.completion.as_secs_f64() / credit.completion.as_secs_f64();
+        println!("  PIM control changes completion by {:+.1}%\n", gain * 100.0);
+    }
+    println!(
+        "Neighbour-only AllReduce barely notices flow control; All-to-All's \
+         convergent traffic contends at the crossbar under dynamic wormhole \
+         routing, which static scheduling avoids (paper: 18.7%)."
+    );
+}

@@ -1,0 +1,62 @@
+//! Multi-tenant PIM (Fig 17): two tenants spatially mapped onto disjoint
+//! ranks. Host-based communication shares one DDR path; PIMnet's bank and
+//! chip tiers are physically private per tenant, so collective bandwidth
+//! stays isolated.
+//!
+//! ```sh
+//! cargo run --example multi_tenant
+//! ```
+
+use pim_sim::{Bandwidth, Bytes};
+use pimnet_suite::arch::{HostLink, PimGeometry, SystemConfig};
+use pimnet_suite::net::backends::{BaselineHostBackend, CollectiveBackend, PimnetBackend};
+use pimnet_suite::net::collective::{CollectiveKind, CollectiveSpec};
+use pimnet_suite::net::FabricConfig;
+
+fn main() {
+    // Each tenant owns 2 of the channel's 4 ranks: 128 DPUs.
+    let tenant = SystemConfig::paper().with_geometry(PimGeometry::new(8, 8, 2, 1));
+    let spec = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(32));
+
+    let base_alone = BaselineHostBackend::new(tenant).collective(&spec).unwrap().total();
+    let pim_alone = PimnetBackend::new(tenant, FabricConfig::paper())
+        .collective(&spec)
+        .unwrap()
+        .total();
+
+    // Co-tenancy: the host path is time-shared; for PIMnet only the
+    // inter-rank bus is.
+    let shared_host = HostLink {
+        pim_to_cpu: tenant.host.pim_to_cpu.split(2),
+        cpu_to_pim: tenant.host.cpu_to_pim.split(2),
+        cpu_broadcast: tenant.host.cpu_broadcast.split(2),
+        host_reduce_bw: tenant.host.host_reduce_bw.split(2),
+        marshal_bw: tenant.host.marshal_bw.split(2),
+        ..tenant.host
+    };
+    let base_shared = BaselineHostBackend::new(tenant.with_host(shared_host))
+        .collective(&spec)
+        .unwrap()
+        .total();
+    let pim_shared = PimnetBackend::new(
+        tenant,
+        FabricConfig::paper().with_rank_bus_bw(Bandwidth::gbps(16.8).split(2)),
+    )
+    .collective(&spec)
+    .unwrap()
+    .total();
+
+    println!("per-tenant 32 KiB/DPU AllReduce (128-DPU tenant):");
+    println!(
+        "  host-based: alone {base_alone}, with co-tenant {base_shared} \
+         ({:.2}x slowdown)",
+        base_shared.ratio(base_alone)
+    );
+    println!(
+        "  PIMnet:     alone {pim_alone}, with co-tenant {pim_shared} \
+         ({:.2}x slowdown)",
+        pim_shared.ratio(pim_alone)
+    );
+    println!("\nPIMnet gives each tenant bandwidth isolation: the rings and");
+    println!("crossbars it uses are physically inside the tenant's own ranks.");
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the PIMnet reproduction workspace.
+//!
+//! This crate re-exports the public surface of every member crate so that the
+//! examples under `examples/` and the integration tests under `tests/` can use
+//! a single dependency. Library users should depend on the individual crates
+//! ([`pimnet`], [`pim_arch`], [`pim_workloads`], ...) directly.
+
+pub use pim_arch as arch;
+pub use pim_noc as noc;
+pub use pim_sim as sim;
+pub use pim_workloads as workloads;
+pub use pimnet as net;

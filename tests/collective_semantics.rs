@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: collective *semantics* hold end-to-end —
+//! schedules compiled by `pimnet`, validated, and executed on real data —
+//! including property tests over arbitrary geometries and payloads.
+
+use pim_arch::geometry::{DpuId, PimGeometry};
+use pimnet_suite::net::collective::CollectiveKind;
+use pimnet_suite::net::exec::{run_collective, ReduceOp};
+use pimnet_suite::net::schedule::{validate, CommSchedule};
+use proptest::prelude::*;
+
+fn input(id: DpuId, elems: usize, salt: u64) -> Vec<u64> {
+    (0..elems)
+        .map(|e| (u64::from(id.0) + 1)
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(e as u64)
+            .wrapping_add(salt))
+        .collect()
+}
+
+/// AllReduce followed by nothing == ReduceScatter followed by AllGather of
+/// the pieces: the composition law the paper's Table V builds on.
+#[test]
+fn allreduce_equals_reduce_scatter_plus_gather_of_pieces() {
+    let g = PimGeometry::paper_scaled(64);
+    let elems = 512usize;
+    let ar = CommSchedule::build(CollectiveKind::AllReduce, &g, elems, 4).unwrap();
+    let rs = CommSchedule::build(CollectiveKind::ReduceScatter, &g, elems, 4).unwrap();
+
+    let mar = run_collective(&ar, ReduceOp::Sum, |id| input(id, elems, 0)).unwrap();
+    let mrs = run_collective(&rs, ReduceOp::Sum, |id| input(id, elems, 0)).unwrap();
+
+    // Stitch the RS pieces back together and compare to any AR node.
+    let reference = mar.result(&ar, DpuId(0));
+    let mut stitched = vec![0u64; elems];
+    for id in rs.participants() {
+        for span in &rs.result_spans[id.index()] {
+            stitched[span.range()].copy_from_slice(&mrs.buffer(id)[span.range()]);
+        }
+    }
+    assert_eq!(stitched, reference);
+}
+
+#[test]
+fn gather_then_broadcast_equals_allgather() {
+    let g = PimGeometry::paper_scaled(16);
+    let elems = 24usize;
+    let ag = CommSchedule::build(CollectiveKind::AllGather, &g, elems, 4).unwrap();
+    let gather = CommSchedule::build(CollectiveKind::Gather, &g, elems, 4).unwrap();
+
+    let mag = run_collective(&ag, ReduceOp::Sum, |id| input(id, elems, 7)).unwrap();
+    let mg = run_collective(&gather, ReduceOp::Sum, |id| input(id, elems, 7)).unwrap();
+
+    // The gather root's buffer equals every AG participant's result.
+    let root_view = mg.result(&gather, DpuId(0));
+    for id in ag.participants() {
+        assert_eq!(mag.result(&ag, id), root_view, "node {id}");
+    }
+}
+
+#[test]
+fn alltoall_is_an_involution() {
+    // Applying the transpose twice returns every chunk home.
+    let g = PimGeometry::paper_scaled(32);
+    let elems = 32 * 4usize;
+    let s = CommSchedule::build(CollectiveKind::AllToAll, &g, elems, 4).unwrap();
+    let m1 = run_collective(&s, ReduceOp::Sum, |id| input(id, elems, 3)).unwrap();
+    // Feed the out-region back in as the second round's input.
+    let m2 = run_collective(&s, ReduceOp::Sum, |id| m1.result(&s, id)).unwrap();
+    for id in s.participants() {
+        assert_eq!(m2.result(&s, id), input(id, elems, 3), "node {id}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every collective validates and executes correctly for arbitrary
+    /// power-of-two system sizes and payload lengths.
+    #[test]
+    fn collectives_hold_for_arbitrary_shapes(
+        n_exp in 0u32..=8,
+        elems in 1usize..300,
+        salt in any::<u64>(),
+    ) {
+        let n = 1u32 << n_exp;
+        let g = PimGeometry::paper_scaled(n);
+        // AllReduce: everyone gets the elementwise wrapping sum.
+        let s = CommSchedule::build(CollectiveKind::AllReduce, &g, elems, 4).unwrap();
+        validate::validate(&s).unwrap();
+        let m = run_collective(&s, ReduceOp::Sum, |id| input(id, elems, salt)).unwrap();
+        let expected: Vec<u64> = (0..elems)
+            .map(|e| {
+                (0..n)
+                    .map(|i| input(DpuId(i), elems, salt)[e])
+                    .fold(0u64, u64::wrapping_add)
+            })
+            .collect();
+        for id in s.participants() {
+            prop_assert_eq!(m.result(&s, id), expected.clone());
+        }
+    }
+
+    /// ReduceScatter pieces tile the vector exactly and carry the sum.
+    #[test]
+    fn reduce_scatter_partition_property(
+        n_exp in 0u32..=8,
+        elems in 1usize..300,
+    ) {
+        let n = 1u32 << n_exp;
+        let g = PimGeometry::paper_scaled(n);
+        let s = CommSchedule::build(CollectiveKind::ReduceScatter, &g, elems, 4).unwrap();
+        let spans: Vec<_> = s.result_spans.iter().flatten().collect();
+        let covered: usize = spans.iter().map(|sp| sp.len).sum();
+        prop_assert_eq!(covered, elems);
+        let mut seen = vec![false; elems];
+        for sp in spans {
+            for i in sp.range() {
+                prop_assert!(!seen[i], "element {} owned twice", i);
+                seen[i] = true;
+            }
+        }
+    }
+
+    /// Max- and min-reductions agree with the scalar fold.
+    #[test]
+    fn reduce_ops_agree_with_fold(
+        n_exp in 1u32..=6,
+        elems in 1usize..64,
+        op_is_max in any::<bool>(),
+    ) {
+        let n = 1u32 << n_exp;
+        let g = PimGeometry::paper_scaled(n);
+        let s = CommSchedule::build(CollectiveKind::AllReduce, &g, elems, 4).unwrap();
+        let op = if op_is_max { ReduceOp::Max } else { ReduceOp::Min };
+        let m = run_collective(&s, op, |id| input(id, elems, 1)).unwrap();
+        let expected: Vec<u64> = (0..elems)
+            .map(|e| {
+                let vals = (0..n).map(|i| input(DpuId(i), elems, 1)[e]);
+                if op_is_max { vals.max() } else { vals.min() }.unwrap()
+            })
+            .collect();
+        prop_assert_eq!(m.result(&s, DpuId(0)), expected);
+    }
+}

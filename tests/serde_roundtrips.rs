@@ -1,0 +1,73 @@
+//! Serde roundtrips: every data structure a downstream tool would persist
+//! (configs, schedules, compiled programs, reports) must survive
+//! JSON serialization byte-exactly.
+
+use pim_arch::{PimGeometry, SystemConfig};
+use pimnet_suite::net::collective::{CollectiveKind, CollectiveSpec};
+use pimnet_suite::net::isa::compile;
+use pimnet_suite::net::schedule::CommSchedule;
+use pimnet_suite::net::timing::TimingModel;
+use pimnet_suite::net::FabricConfig;
+
+fn roundtrip<T>(value: &T)
+where
+    T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    let back: T = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(&back, value);
+}
+
+#[test]
+fn configs_roundtrip() {
+    roundtrip(&SystemConfig::paper());
+    roundtrip(&SystemConfig::upmem_server());
+    roundtrip(&FabricConfig::paper());
+    roundtrip(&PimGeometry::paper());
+    roundtrip(&CollectiveSpec::new(
+        CollectiveKind::AllToAll,
+        pim_sim::Bytes::kib(32),
+    ));
+}
+
+#[test]
+fn schedules_roundtrip() {
+    for kind in [CollectiveKind::AllReduce, CollectiveKind::AllToAll] {
+        let s = CommSchedule::build(kind, &PimGeometry::paper_scaled(16), 64, 4).unwrap();
+        roundtrip(&s);
+    }
+}
+
+#[test]
+fn compiled_programs_roundtrip() {
+    let s = CommSchedule::build(
+        CollectiveKind::AllReduce,
+        &PimGeometry::paper_scaled(16),
+        64,
+        4,
+    )
+    .unwrap();
+    roundtrip(&compile(&s).unwrap());
+}
+
+#[test]
+fn timing_breakdowns_roundtrip() {
+    let s = CommSchedule::build(CollectiveKind::AllReduce, &PimGeometry::paper(), 1024, 4)
+        .unwrap();
+    let b = TimingModel::paper().time_schedule(&s, pim_sim::SimTime::ZERO);
+    roundtrip(&b);
+}
+
+#[test]
+fn deserialized_schedule_still_validates_and_times_identically() {
+    let s = CommSchedule::build(CollectiveKind::ReduceScatter, &PimGeometry::paper(), 2048, 4)
+        .unwrap();
+    let json = serde_json::to_string(&s).unwrap();
+    let back: CommSchedule = serde_json::from_str(&json).unwrap();
+    pimnet_suite::net::schedule::validate::validate(&back).unwrap();
+    let m = TimingModel::paper();
+    assert_eq!(
+        m.time_schedule(&s, pim_sim::SimTime::ZERO),
+        m.time_schedule(&back, pim_sim::SimTime::ZERO)
+    );
+}

@@ -1,0 +1,173 @@
+//! Failure injection: systematically corrupt valid schedules and check
+//! that the static validator (or, where the corruption is semantic rather
+//! than structural, the functional executor) catches every mutation class.
+
+use pim_arch::geometry::{DpuId, PimGeometry};
+use pimnet_suite::net::collective::CollectiveKind;
+use pimnet_suite::net::exec::{run_collective, ReduceOp};
+use pimnet_suite::net::schedule::{validate::validate, CommSchedule, Span};
+use pimnet_suite::net::topology::Resource;
+
+fn base_schedule() -> CommSchedule {
+    CommSchedule::build(
+        CollectiveKind::AllReduce,
+        &PimGeometry::paper_scaled(64),
+        256,
+        4,
+    )
+    .unwrap()
+}
+
+/// Finds the first non-local transfer and applies `f` to it.
+fn corrupt(s: &mut CommSchedule, f: impl FnOnce(&mut pimnet_suite::net::schedule::Transfer)) {
+    for phase in &mut s.phases {
+        for step in &mut phase.steps {
+            if let Some(t) = step.transfers.iter_mut().find(|t| !t.is_local()) {
+                f(t);
+                return;
+            }
+        }
+    }
+    panic!("no transfer to corrupt");
+}
+
+#[test]
+fn out_of_bounds_span_is_caught() {
+    let mut s = base_schedule();
+    let len = s.buffer_len;
+    corrupt(&mut s, |t| {
+        t.src_span = Span::new(len, 8);
+        t.dst_span = t.src_span;
+    });
+    assert!(validate(&s).is_err());
+}
+
+#[test]
+fn mismatched_span_lengths_are_caught() {
+    let mut s = base_schedule();
+    corrupt(&mut s, |t| {
+        t.dst_span = Span::new(t.dst_span.start, t.dst_span.len + 1)
+    });
+    assert!(validate(&s).is_err());
+}
+
+#[test]
+fn empty_destination_is_caught() {
+    let mut s = base_schedule();
+    corrupt(&mut s, |t| t.dsts.clear());
+    assert!(validate(&s).is_err());
+}
+
+#[test]
+fn self_send_over_the_fabric_is_caught() {
+    let mut s = base_schedule();
+    corrupt(&mut s, |t| t.dsts = vec![t.src]);
+    assert!(validate(&s).is_err());
+}
+
+#[test]
+fn wrong_tier_resources_are_caught() {
+    // A same-chip transfer claiming the rank bus must be rejected.
+    let mut s = base_schedule();
+    corrupt(&mut s, |t| {
+        t.resources = vec![Resource::RankBus { channel: 0 }];
+    });
+    assert!(validate(&s).is_err());
+}
+
+#[test]
+fn stripped_dq_endpoint_is_caught() {
+    // Find a cross-rank transfer (needs a multi-rank geometry) and drop
+    // its source Tx channel.
+    let mut s = CommSchedule::build(
+        CollectiveKind::AllReduce,
+        &PimGeometry::paper(),
+        256,
+        4,
+    )
+    .unwrap();
+    let mut hit = false;
+    for phase in &mut s.phases {
+        for step in &mut phase.steps {
+            for t in &mut step.transfers {
+                if t.resources
+                    .iter()
+                    .any(|r| matches!(r, Resource::RankBus { .. }))
+                {
+                    t.resources
+                        .retain(|r| !matches!(r, Resource::ChipTx { .. }));
+                    hit = true;
+                    break;
+                }
+            }
+        }
+    }
+    assert!(hit, "no cross-rank transfer found");
+    assert!(validate(&s).is_err());
+}
+
+#[test]
+fn duplicated_ring_flow_in_exclusive_phase_is_caught() {
+    // Duplicate a transfer inside the (non-multiplexed) bank phase with a
+    // different destination: two flows on one bufferless segment.
+    let mut s = base_schedule();
+    let phase = s
+        .phases
+        .iter_mut()
+        .find(|p| !p.multiplexed)
+        .expect("a ring phase");
+    let step = &mut phase.steps[0];
+    let mut dup = step.transfers[0].clone();
+    // Same resources, different flow identity.
+    dup.src = step.transfers[1].src;
+    step.transfers.push(dup);
+    assert!(validate(&s).is_err());
+}
+
+#[test]
+fn dropping_a_transfer_breaks_semantics_not_structure() {
+    // Removing one reduce hop leaves a structurally valid but semantically
+    // wrong schedule — the functional layer must expose it.
+    let mut s = base_schedule();
+    let phase = &mut s.phases[0];
+    let removed = phase.steps[0].transfers.remove(0);
+    assert!(
+        validate(&s).is_ok(),
+        "structure alone cannot see a missing transfer"
+    );
+    let n = s.geometry.total_dpus();
+    let m = run_collective(&s, ReduceOp::Sum, |id| vec![u64::from(id.0) + 1; 256]).unwrap();
+    let expected: u64 = (1..=u64::from(n)).sum();
+    let wrong = s
+        .participants()
+        .any(|id| m.result(&s, id).iter().any(|&x| x != expected));
+    assert!(
+        wrong,
+        "dropping {removed:?} should corrupt at least one node's result"
+    );
+}
+
+#[test]
+fn flipping_combine_off_breaks_the_reduction() {
+    let mut s = base_schedule();
+    corrupt(&mut s, |t| t.combine = false);
+    assert!(validate(&s).is_ok(), "combine=false is structurally legal");
+    let m = run_collective(&s, ReduceOp::Sum, |id| vec![u64::from(id.0) + 1; 256]).unwrap();
+    let expected: u64 = (1..=64).sum();
+    let wrong = s
+        .participants()
+        .any(|id| m.result(&s, id).iter().any(|&x| x != expected));
+    assert!(wrong, "overwriting instead of reducing must corrupt the sum");
+}
+
+#[test]
+fn the_uncorrupted_schedule_passes_everything() {
+    let s = base_schedule();
+    validate(&s).unwrap();
+    let m = run_collective(&s, ReduceOp::Sum, |id| vec![u64::from(id.0) + 1; 256]).unwrap();
+    let expected: u64 = (1..=64).sum();
+    for id in s.participants() {
+        assert!(m.result(&s, id).iter().all(|&x| x == expected));
+    }
+    let _ = DpuId(0);
+}
