@@ -15,7 +15,6 @@
 use std::fmt;
 
 use pim_sim::{Cycles, Frequency, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Instruction-count summary of a per-DPU kernel (or kernel phase).
 ///
@@ -32,7 +31,7 @@ use serde::{Deserialize, Serialize};
 /// let t = DpuModel::upmem().compute_time(&ops);
 /// assert!(t.as_us() > 150.0); // multiplies dominate: 64 cycles each
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct OpCounts {
     /// Integer/float additions, subtractions, comparisons (single-issue ops).
     pub adds: u64,
@@ -121,7 +120,7 @@ impl OpCounts {
 }
 
 /// Which commercial PIM device a [`DpuModel`] imitates (paper Fig 15).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ComputePreset {
     /// UPMEM DPU: 350 MHz, software-emulated multiply (the baseline).
     UpmemDpu,
@@ -153,7 +152,7 @@ impl fmt::Display for ComputePreset {
 /// `throughput_scale` divides the instruction count before converting to
 /// cycles; it is 1 for the UPMEM DPU and >1 for the fixed-function PIM
 /// devices of Fig 15 whose MAC arrays retire many operations per cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DpuModel {
     /// Core clock (350 MHz for UPMEM).
     pub frequency: Frequency,

@@ -1,7 +1,6 @@
 //! Whole-system configuration presets (paper Tables II and VI).
 
 use pim_sim::Bandwidth;
-use serde::{Deserialize, Serialize};
 
 use crate::compute::{ComputePreset, DpuModel};
 use crate::geometry::PimGeometry;
@@ -24,7 +23,7 @@ use crate::memory::{DmaModel, MemoryParams};
 /// assert_eq!(cfg.dpu.throughput_scale, 180);
 /// assert_eq!(cfg.geometry.total_dpus(), 256);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
     /// Packaging hierarchy (banks/chips/ranks/channels).
     pub geometry: PimGeometry,

@@ -6,7 +6,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Global, linear identifier of a DPU (equivalently: of a PIM bank, since
 /// each bank hosts exactly one DPU).
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// channel 0 first, then chip 1, and so on. [`PimGeometry::coord`] converts
 /// to a structured coordinate.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default
 )]
 pub struct DpuId(pub u32);
 
@@ -38,7 +37,7 @@ impl fmt::Display for DpuId {
 /// All fields are indices *within the parent level*: `bank` is the bank index
 /// within its chip, `chip` within its rank, `rank` within its channel.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default
 )]
 pub struct DpuCoord {
     /// Memory channel index within the system.
@@ -78,7 +77,7 @@ impl fmt::Display for DpuCoord {
 /// assert_eq!((c.rank, c.chip, c.bank), (3, 1, 0));
 /// assert_eq!(g.id(c), DpuId(200));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PimGeometry {
     /// PIM banks (= DPUs) per DRAM chip.
     pub banks_per_chip: u32,

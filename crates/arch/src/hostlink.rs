@@ -10,7 +10,6 @@
 //! zero).
 
 use pim_sim::{Bandwidth, Bytes, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Bandwidths and software overheads of the host↔PIM path (per memory
 /// channel).
@@ -27,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// let t = host.pim_to_cpu.transfer_time(Bytes::mib(8));
 /// assert!((t.as_ms() - 1.77).abs() < 0.02);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HostLink {
     /// PIM → CPU gather bandwidth (4.74 GB/s measured \[39\]).
     pub pim_to_cpu: Bandwidth,

@@ -11,10 +11,9 @@
 //! as the `Mem` component of Fig 11's communication-time breakdown.
 
 use pim_sim::{Bandwidth, Bytes, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Capacities of one PIM bank's memories.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemoryParams {
     /// Main DRAM bank (MRAM): 64 MiB on UPMEM.
     pub mram: Bytes,
@@ -74,7 +73,7 @@ impl Default for MemoryParams {
 /// let t = dma.transfer_time(Bytes::kib(48));
 /// assert!(t.as_us() > 70.0 && t.as_us() < 90.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DmaModel {
     /// Sustained MRAM↔WRAM bandwidth of one bank's DMA engine.
     pub bandwidth: Bandwidth,

@@ -1,9 +1,5 @@
-//! Criterion benches: collective timing-model evaluation and functional
+//! Micro-benchmarks: collective timing-model evaluation and functional
 //! execution throughput.
-
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use pim_arch::geometry::DpuId;
 use pim_arch::SystemConfig;
@@ -12,27 +8,25 @@ use pimnet::backends::{BaselineHostBackend, CollectiveBackend, PimnetBackend};
 use pimnet::collective::{CollectiveKind, CollectiveSpec};
 use pimnet::exec::{ExecMachine, ReduceOp};
 use pimnet::FabricConfig;
+use pimnet_bench::bench;
 
-fn timing_models(c: &mut Criterion) {
-    let mut g = c.benchmark_group("collective-timing");
-    g.sample_size(10).measurement_time(Duration::from_secs(2));
+fn timing_models() {
     let pim = PimnetBackend::paper();
     let base = BaselineHostBackend::new(SystemConfig::paper());
     for kind in [CollectiveKind::AllReduce, CollectiveKind::AllToAll] {
         let spec = CollectiveSpec::new(kind, Bytes::kib(32));
-        g.bench_with_input(BenchmarkId::new("pimnet", kind.abbrev()), &spec, |b, s| {
-            b.iter(|| pim.collective(s).unwrap())
+        bench(&format!("collective-timing/pimnet/{}", kind.abbrev()), 100, || {
+            pim.collective(&spec).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("baseline", kind.abbrev()), &spec, |b, s| {
-            b.iter(|| base.collective(s).unwrap())
-        });
+        bench(
+            &format!("collective-timing/baseline/{}", kind.abbrev()),
+            100,
+            || base.collective(&spec).unwrap(),
+        );
     }
-    g.finish();
 }
 
-fn functional_execution(c: &mut Criterion) {
-    let mut g = c.benchmark_group("functional-exec");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+fn functional_execution() {
     let pim = PimnetBackend::new(SystemConfig::paper(), FabricConfig::paper());
     for (kind, elems) in [
         (CollectiveKind::AllReduce, 1024usize),
@@ -41,17 +35,15 @@ fn functional_execution(c: &mut Criterion) {
     ] {
         let spec = CollectiveSpec::new(kind, Bytes::new(elems as u64 * 4));
         let schedule = pim.schedule(&spec).unwrap();
-        g.bench_function(BenchmarkId::new("run", kind.abbrev()), |b| {
-            b.iter(|| {
-                let mut m =
-                    ExecMachine::init(&schedule, |id: DpuId| vec![u64::from(id.0); elems]);
-                m.run(&schedule, ReduceOp::Sum);
-                m
-            })
+        bench(&format!("functional-exec/run/{}", kind.abbrev()), 10, || {
+            let mut m = ExecMachine::init(&schedule, |id: DpuId| vec![u64::from(id.0); elems]);
+            m.run(&schedule, ReduceOp::Sum);
+            m
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, timing_models, functional_execution);
-criterion_main!(benches);
+fn main() {
+    timing_models();
+    functional_execution();
+}

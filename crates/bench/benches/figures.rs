@@ -1,9 +1,5 @@
-//! Criterion benches: reduced-size versions of the figure pipelines, so a
+//! Micro-benchmarks: reduced-size versions of the figure pipelines, so a
 //! regression in any layer shows up in `cargo bench`.
-
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
 
 use pim_arch::SystemConfig;
 use pim_sim::Bytes;
@@ -11,43 +7,34 @@ use pimnet::backends::all_backends;
 use pimnet::collective::{CollectiveKind, CollectiveSpec};
 use pimnet::roofline::{compute_roofline, effective_collective_bandwidth};
 use pimnet::FabricConfig;
+use pimnet_bench::bench;
 
-fn fig12_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10).measurement_time(Duration::from_secs(5));
-    g.bench_function("fig12-mini-sweep", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f64;
-            for n in [8u32, 32, 128] {
-                let sys = SystemConfig::paper_scaled(n);
-                let backends = all_backends(sys, FabricConfig::paper());
-                let spec = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(8));
-                for backend in &backends {
-                    if backend.supports(spec.kind) {
-                        acc += backend.collective(&spec).unwrap().total().as_secs_f64();
-                    }
-                }
-            }
-            acc
-        })
-    });
-    g.bench_function("fig02-rooflines", |b| {
-        b.iter(|| {
-            let sys = SystemConfig::paper();
-            let spec = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(32));
+fn main() {
+    bench("figures/fig12-mini-sweep", 50, || {
+        let mut acc = 0.0f64;
+        for n in [8u32, 32, 128] {
+            let sys = SystemConfig::paper_scaled(n);
             let backends = all_backends(sys, FabricConfig::paper());
-            let peak = compute_roofline(&sys).peak_ops_per_sec;
-            let mut acc = peak;
+            let spec = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(8));
             for backend in &backends {
                 if backend.supports(spec.kind) {
-                    acc += effective_collective_bandwidth(backend.as_ref(), &spec).unwrap();
+                    acc += backend.collective(&spec).unwrap().total().as_secs_f64();
                 }
             }
-            acc
-        })
+        }
+        acc
     });
-    g.finish();
+    bench("figures/fig02-rooflines", 50, || {
+        let sys = SystemConfig::paper();
+        let spec = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(32));
+        let backends = all_backends(sys, FabricConfig::paper());
+        let peak = compute_roofline(&sys).peak_ops_per_sec;
+        let mut acc = peak;
+        for backend in &backends {
+            if backend.supports(spec.kind) {
+                acc += effective_collective_bandwidth(backend.as_ref(), &spec).unwrap();
+            }
+        }
+        acc
+    });
 }
-
-criterion_group!(benches, fig12_sweep);
-criterion_main!(benches);

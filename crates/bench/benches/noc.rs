@@ -1,19 +1,14 @@
-//! Criterion benches: cycle-level NoC simulation throughput (the Fig 13
+//! Micro-benchmarks: cycle-level NoC simulation throughput (the Fig 13
 //! substrate).
-
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use pim_arch::geometry::PimGeometry;
 use pim_noc::{simulate_credit, simulate_scheduled, NocConfig};
 use pim_sim::SimTime;
 use pimnet::collective::CollectiveKind;
 use pimnet::schedule::CommSchedule;
+use pimnet_bench::bench;
 
-fn noc_modes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("noc");
-    g.sample_size(10).measurement_time(Duration::from_secs(5));
+fn main() {
     let cfg = NocConfig::paper();
     for (kind, n, elems) in [
         (CollectiveKind::AllReduce, 16u32, 512usize),
@@ -22,15 +17,11 @@ fn noc_modes(c: &mut Criterion) {
         let geo = PimGeometry::paper_scaled(n);
         let s = CommSchedule::build(kind, &geo, elems, 4).unwrap();
         let ready = vec![SimTime::ZERO; n as usize];
-        g.bench_function(BenchmarkId::new("credit", kind.abbrev()), |b| {
-            b.iter(|| simulate_credit(&s, &ready, &cfg))
+        bench(&format!("noc/credit/{}", kind.abbrev()), 10, || {
+            simulate_credit(&s, &ready, &cfg)
         });
-        g.bench_function(BenchmarkId::new("scheduled", kind.abbrev()), |b| {
-            b.iter(|| simulate_scheduled(&s, &ready, &cfg))
+        bench(&format!("noc/scheduled/{}", kind.abbrev()), 10, || {
+            simulate_scheduled(&s, &ready, &cfg)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, noc_modes);
-criterion_main!(benches);

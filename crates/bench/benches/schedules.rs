@@ -1,17 +1,12 @@
-//! Criterion benches: schedule compilation and validation — the "host-side
+//! Micro-benchmarks: schedule compilation and validation — the "host-side
 //! compile step" whose cost a PIMnet deployment pays per collective shape.
-
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use pim_arch::geometry::PimGeometry;
 use pimnet::collective::CollectiveKind;
 use pimnet::schedule::{validate, CommSchedule};
+use pimnet_bench::bench;
 
-fn build_schedules(c: &mut Criterion) {
-    let mut g = c.benchmark_group("schedule-build");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+fn main() {
     let geo = PimGeometry::paper();
     for kind in [
         CollectiveKind::AllReduce,
@@ -19,25 +14,16 @@ fn build_schedules(c: &mut Criterion) {
         CollectiveKind::AllGather,
         CollectiveKind::AllToAll,
     ] {
-        g.bench_function(BenchmarkId::new("256dpu", kind.abbrev()), |b| {
-            b.iter(|| CommSchedule::build(kind, &geo, 8192, 4).unwrap())
+        bench(&format!("schedule-build/256dpu/{}", kind.abbrev()), 20, || {
+            CommSchedule::build(kind, &geo, 8192, 4).unwrap()
         });
     }
-    g.finish();
-}
-
-fn validate_schedules(c: &mut Criterion) {
-    let mut g = c.benchmark_group("schedule-validate");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
-    let geo = PimGeometry::paper();
     for kind in [CollectiveKind::AllReduce, CollectiveKind::AllToAll] {
         let s = CommSchedule::build(kind, &geo, 8192, 4).unwrap();
-        g.bench_function(BenchmarkId::new("256dpu", kind.abbrev()), |b| {
-            b.iter(|| validate::validate(&s).unwrap())
-        });
+        bench(
+            &format!("schedule-validate/256dpu/{}", kind.abbrev()),
+            20,
+            || validate::validate(&s).unwrap(),
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, build_schedules, validate_schedules);
-criterion_main!(benches);

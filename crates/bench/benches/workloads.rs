@@ -1,48 +1,35 @@
-//! Criterion benches: the functional workload substrates (real NTT math,
+//! Micro-benchmarks: the functional workload substrates (real NTT math,
 //! real graph traversal) and end-to-end program timing.
-
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use pim_arch::SystemConfig;
 use pim_workloads::graph::Graph;
 use pim_workloads::program::run_program;
 use pim_workloads::{mlp::Mlp, ntt, spmv::Spmv, Workload};
 use pimnet::backends::PimnetBackend;
+use pimnet_bench::bench;
 
-fn ntt_math(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ntt");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+fn ntt_math() {
     for log_n in [10usize, 12] {
         let n = 1usize << log_n;
         let data: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
-        g.bench_function(BenchmarkId::new("forward", n), |b| {
-            b.iter(|| {
-                let mut x = data.clone();
-                ntt::ntt(&mut x);
-                x
-            })
+        bench(&format!("ntt/forward/{n}"), 50, || {
+            let mut x = data.clone();
+            ntt::ntt(&mut x);
+            x
         });
     }
     let side = 64;
     let data: Vec<u64> = (0..(side * side) as u64).collect();
-    g.bench_function("2d-4096", |b| b.iter(|| ntt::ntt_2d(&data, side, side)));
-    g.finish();
+    bench("ntt/2d-4096", 20, || ntt::ntt_2d(&data, side, side));
 }
 
-fn graph_traversal(c: &mut Criterion) {
-    let mut g = c.benchmark_group("graph");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+fn graph_traversal() {
     let graph = Graph::power_law(20_000, 5, 11);
-    g.bench_function("bfs-20k", |b| b.iter(|| graph.bfs(graph.hub())));
-    g.bench_function("cc-20k", |b| b.iter(|| graph.connected_components()));
-    g.finish();
+    bench("graph/bfs-20k", 20, || graph.bfs(graph.hub()));
+    bench("graph/cc-20k", 20, || graph.connected_components());
 }
 
-fn program_timing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("program");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+fn program_timing() {
     let sys = SystemConfig::paper();
     let pim = PimnetBackend::paper();
     for w in [
@@ -50,12 +37,14 @@ fn program_timing(c: &mut Criterion) {
         Box::new(Spmv::paper()),
     ] {
         let program = w.program(&sys);
-        g.bench_function(BenchmarkId::new("pimnet", w.name()), |b| {
-            b.iter(|| run_program(&program, &sys, &pim).unwrap())
+        bench(&format!("program/pimnet/{}", w.name()), 20, || {
+            run_program(&program, &sys, &pim).unwrap()
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, ntt_math, graph_traversal, program_timing);
-criterion_main!(benches);
+fn main() {
+    ntt_math();
+    graph_traversal();
+    program_timing();
+}

@@ -15,10 +15,10 @@ use pim_sim::SimTime;
 use pimnet::collective::CollectiveKind;
 use pimnet::schedule::CommSchedule;
 use pimnet_bench::{us, Table};
-use rand::{Rng, SeedableRng};
+use pim_sim::rng::SimRng;
 
 fn ready_times(n: u32, mean_us: f64, jitter: f64, seed: u64) -> Vec<SimTime> {
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             let f = 1.0 + rng.gen_range(-jitter..=jitter);
@@ -44,7 +44,7 @@ fn main() {
     ] {
         let g = PimGeometry::paper_scaled(n);
         let s = CommSchedule::build(kind, &g, elems, 4).expect("schedule");
-        let ready = ready_times(n, 50.0, 0.10, 0xF16_13);
+        let ready = ready_times(n, 50.0, 0.10, 0x000F_1613);
         let credit = simulate_credit(&s, &ready, &cfg);
         let sched = simulate_scheduled(&s, &ready, &cfg);
         let gain = 1.0 - sched.completion.as_secs_f64() / credit.completion.as_secs_f64();

@@ -99,6 +99,25 @@ impl Table {
     }
 }
 
+/// Minimal wall-clock micro-benchmark runner for the `benches/` harnesses.
+///
+/// Runs `f` for a couple of warm-up iterations, then measures `iters`
+/// timed iterations and prints the mean per-iteration time. The closure's
+/// return value is folded into a black-box sink so the optimizer cannot
+/// delete the work.
+pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    assert!(iters > 0, "bench: zero iterations");
+    for _ in 0..2.min(iters) {
+        std::hint::black_box(f());
+    }
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per_iter = start.elapsed().as_secs_f64() / f64::from(iters);
+    println!("{name:<40} {:>12.3} us/iter  ({iters} iters)", per_iter * 1e6);
+}
+
 /// Where CSV outputs land (`$PIMNET_RESULTS_DIR` or `./results`).
 #[must_use]
 pub fn results_dir() -> PathBuf {

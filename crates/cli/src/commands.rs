@@ -21,8 +21,15 @@ USAGE:
   pimnet-cli suite
   pimnet-cli schedule   --kind <coll> [--dpus <n>] [--elems <n>]
   pimnet-cli noc        --kind <coll> [--dpus <n>] [--elems <n>] [--jitter-us <f>]
+                    [--fault-seed <n>] [--fault-config <path>]
+  pimnet-cli faults     --kind <coll> [--dpus <n>] [--elems <n>]
+                    [--fault-seed <n>] [--fault-config <path>]
+                    [--ber <f>] [--straggler-prob <f>] [--dead <i,j,..>]
 
-  <coll> = allreduce | reducescatter | allgather | a2a | broadcast | reduce | gather";
+  <coll> = allreduce | reducescatter | allgather | a2a | broadcast | reduce | gather
+
+  Fault configs are key=value files (see pim-faults); --fault-seed overrides
+  the file's seed, and --ber/--straggler-prob/--dead override its rates.";
 
 /// Dispatches a parsed command line.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -36,6 +43,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "suite" => suite(),
         "schedule" => schedule(&flags),
         "noc" => noc(&flags),
+        "faults" => faults(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -81,6 +89,52 @@ fn system_for(dpus: u32) -> Result<PimnetSystem, String> {
         SystemConfig::paper_scaled(dpus),
         FabricConfig::paper(),
     ))
+}
+
+/// Builds the fault scenario shared by the `noc` and `faults` commands:
+/// `--fault-config` loads a key=value file, `--fault-seed` overrides its
+/// seed, and the remaining flags override individual rates. With none of
+/// them given the injector is inactive (zero overhead everywhere).
+fn fault_injector(flags: &Flags) -> Result<pim_faults::FaultInjector, String> {
+    let mut cfg = match flags.require("fault-config") {
+        Ok(path) => pim_faults::FaultConfig::from_file(std::path::Path::new(path))?,
+        Err(_) => pim_faults::FaultConfig::none(),
+    };
+    if let Ok(seed) = flags.require("fault-seed") {
+        cfg.seed = seed
+            .parse()
+            .map_err(|_| format!("flag --fault-seed: '{seed}' is not a valid u64"))?;
+    }
+    if let Ok(ber) = flags.require("ber") {
+        cfg.transient_ber = ber
+            .parse()
+            .ok()
+            .filter(|p| (0.0..=1.0).contains(p))
+            .ok_or_else(|| format!("flag --ber: '{ber}' is not a probability"))?;
+    }
+    if let Ok(p) = flags.require("straggler-prob") {
+        cfg.straggler_prob = p
+            .parse()
+            .ok()
+            .filter(|p| (0.0..=1.0).contains(p))
+            .ok_or_else(|| format!("flag --straggler-prob: '{p}' is not a probability"))?;
+        if cfg.straggler_max_ns == 0 {
+            cfg.straggler_max_ns = 50_000;
+        }
+    }
+    if let Ok(list) = flags.require("dead") {
+        cfg.dead_dpus = list
+            .split(',')
+            .map(|d| {
+                d.trim()
+                    .parse()
+                    .map_err(|_| format!("flag --dead: '{d}' is not a DPU id"))
+            })
+            .collect::<Result<Vec<u32>, String>>()?;
+        cfg.dead_dpus.sort_unstable();
+        cfg.dead_dpus.dedup();
+    }
+    Ok(pim_faults::FaultInjector::new(cfg))
 }
 
 fn warn_unknown(flags: &Flags, known: &[&str]) {
@@ -231,11 +285,15 @@ fn schedule(flags: &Flags) -> Result<(), String> {
 }
 
 fn noc(flags: &Flags) -> Result<(), String> {
-    warn_unknown(flags, &["kind", "dpus", "elems", "jitter-us"]);
+    warn_unknown(
+        flags,
+        &["kind", "dpus", "elems", "jitter-us", "fault-seed", "fault-config"],
+    );
     let kind = parse_kind(flags.get_or("kind", "a2a"))?;
     let dpus: u32 = flags.num_or("dpus", 64)?;
     let elems: usize = flags.num_or("elems", 2048)?;
     let jitter_us: f64 = flags.num_or("jitter-us", 40.0)?;
+    let injector = fault_injector(flags)?;
     let sys = system_for(dpus)?;
     let s = CommSchedule::build(kind, &sys.system().geometry, elems, 4)
         .map_err(|e| e.to_string())?;
@@ -246,7 +304,8 @@ fn noc(flags: &Flags) -> Result<(), String> {
             SimTime::from_secs_f64(jitter_us * 1e-6 * f)
         })
         .collect();
-    let credit = pim_noc::simulate_credit(&s, &ready, &cfg);
+    let credit = pim_noc::simulate_credit_faulty(&s, &ready, &cfg, &injector)
+        .map_err(|e| e.to_string())?;
     let sched = pim_noc::simulate_scheduled(&s, &ready, &cfg);
     println!("{kind} on {dpus} DPUs, {elems} elements/DPU, ±10% jitter around {jitter_us} us:");
     println!("  credit-based : {credit}");
@@ -259,6 +318,117 @@ fn noc(flags: &Flags) -> Result<(), String> {
     println!("  PIM-control  : {sched}");
     let gain = 1.0 - sched.completion.as_secs_f64() / credit.completion.as_secs_f64();
     println!("  PIM control changes completion by {:+.1}%", gain * 100.0);
+    Ok(())
+}
+
+fn faults(flags: &Flags) -> Result<(), String> {
+    warn_unknown(
+        flags,
+        &[
+            "kind",
+            "dpus",
+            "elems",
+            "fault-seed",
+            "fault-config",
+            "ber",
+            "straggler-prob",
+            "dead",
+        ],
+    );
+    let kind = parse_kind(flags.get_or("kind", "allreduce"))?;
+    let dpus: u32 = flags.num_or("dpus", 64)?;
+    let elems: usize = flags.num_or("elems", 1024)?;
+    let injector = fault_injector(flags)?;
+    let sys = system_for(dpus)?;
+    let cfg = injector.config();
+    println!(
+        "{kind} on {dpus} DPUs, {elems} elements/DPU; faults: seed {}, BER {}, \
+         straggler p={} (<= {} ns), {} dead DPU(s)",
+        cfg.seed,
+        cfg.transient_ber,
+        cfg.straggler_prob,
+        cfg.straggler_max_ns,
+        cfg.dead_dpus.len()
+    );
+
+    // 1. Degrade the plan around hard-dead DPUs.
+    let plan = pimnet::resilience::plan_degraded(
+        kind,
+        &sys.system().geometry,
+        elems,
+        4,
+        &injector,
+        sys.system(),
+    )
+    .map_err(|e| e.to_string())?;
+    for e in plan.error_trail() {
+        println!("  degradation: {e}");
+    }
+    let schedule = match &plan {
+        pimnet::resilience::DegradedPlan::Full(s) => {
+            println!("  plan: full ({} DPUs participate)", s.geometry.total_dpus());
+            s
+        }
+        pimnet::resilience::DegradedPlan::Shrunk {
+            schedule, excluded, ..
+        } => {
+            println!(
+                "  plan: shrunk to {} alive DPUs ({} excluded: {excluded:?})",
+                schedule.geometry.total_dpus(),
+                excluded.len()
+            );
+            schedule
+        }
+        pimnet::resilience::DegradedPlan::HostFallback {
+            breakdown, excluded, ..
+        } => {
+            println!(
+                "  plan: host fallback ({} DPUs excluded), baseline collective takes {}",
+                excluded.len(),
+                breakdown.total()
+            );
+            return Ok(());
+        }
+    };
+
+    // 2. Time the degraded schedule under transients and stragglers. The
+    //    shrunk schedule speaks *logical* ids (all alive by construction),
+    //    so the physical dead set no longer applies to it.
+    let injector = pim_faults::FaultInjector::new(pim_faults::FaultConfig {
+        dead_dpus: Vec::new(),
+        ..injector.config().clone()
+    });
+    let timing = pimnet::timing::TimingModel::paper();
+    let clean = pimnet::timeline::Timeline::build(schedule, &timing);
+    let faulty = pimnet::timeline::Timeline::build_with_faults(schedule, &timing, &injector)
+        .map_err(|e| e.to_string())?;
+    let stretch = faulty.end.as_secs_f64() / clean.end.as_secs_f64();
+    println!(
+        "  timing: fault-free {} -> under faults {}  ({:.2}x)",
+        clean.end, faulty.end, stretch
+    );
+
+    // 3. Execute it functionally: CRC-detected corruption, retries, and a
+    //    bit-identical check against the clean run.
+    let init = |id: pim_arch::geometry::DpuId| vec![u64::from(id.0); elems];
+    let mut clean_m = pimnet::exec::ExecMachine::init(schedule, init);
+    clean_m.run(schedule, pimnet::exec::ReduceOp::Sum);
+    let mut faulty_m = pimnet::exec::ExecMachine::init(schedule, init);
+    let stats = faulty_m
+        .run_with_faults(schedule, pimnet::exec::ReduceOp::Sum, &injector)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "  exec: {} transfers, {} CRC checks, {} corrupted, {} retries; \
+         result bit-identical to fault-free run: {}",
+        stats.transfers,
+        stats.crc_checks,
+        stats.corrupted,
+        stats.retries,
+        clean_m == faulty_m
+    );
+    if clean_m != faulty_m {
+        return Err("faulty run diverged from the clean run".into());
+    }
     Ok(())
 }
 
@@ -301,6 +471,47 @@ mod tests {
     #[test]
     fn noc_command_runs() {
         run(&["noc", "--kind", "ar", "--dpus", "16", "--elems", "256"]).unwrap();
+    }
+
+    #[test]
+    fn noc_command_accepts_fault_flags() {
+        run(&["noc", "--kind", "ar", "--dpus", "8", "--elems", "128", "--fault-seed", "7"])
+            .unwrap();
+    }
+
+    #[test]
+    fn faults_command_runs_clean_and_faulty() {
+        run(&["faults", "--kind", "ar", "--dpus", "16", "--elems", "128"]).unwrap();
+        run(&[
+            "faults",
+            "--kind",
+            "ar",
+            "--dpus",
+            "16",
+            "--elems",
+            "128",
+            "--fault-seed",
+            "42",
+            "--ber",
+            "0.05",
+            "--straggler-prob",
+            "0.25",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn faults_command_degrades_around_dead_dpus() {
+        run(&[
+            "faults", "--kind", "ar", "--dpus", "16", "--elems", "64", "--dead", "1,4,9",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn faults_command_rejects_bad_probabilities() {
+        assert!(run(&["faults", "--kind", "ar", "--ber", "1.5"]).is_err());
+        assert!(run(&["faults", "--kind", "ar", "--dead", "x"]).is_err());
     }
 
     #[test]

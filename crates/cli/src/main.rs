@@ -6,6 +6,10 @@
 //! pimnet-cli suite                        # every workload x every backend
 //! pimnet-cli schedule   --kind a2a --dpus 64 --elems 1024
 //! pimnet-cli noc        --kind a2a --dpus 64 --elems 2048 [--jitter-us 40]
+//!                       [--fault-seed 7] [--fault-config faults.cfg]
+//! pimnet-cli faults     --kind allreduce --dpus 64 --elems 1024
+//!                       [--fault-seed 7] [--fault-config faults.cfg]
+//!                       [--ber 0.01] [--straggler-prob 0.2] [--dead 3,17]
 //! ```
 
 use std::process::ExitCode;

@@ -231,7 +231,7 @@ mod tests {
         let sys = PimnetSystem::paper();
         let (m, t) = sys
             .execute(CollectiveKind::AllReduce, ReduceOp::Max, |id| {
-                vec![u32::from(id.0); 32]
+                vec![id.0; 32]
             })
             .unwrap();
         assert!(m.buffer(DpuId(9))[..32].iter().all(|&x| x == 255));

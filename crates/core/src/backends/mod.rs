@@ -31,7 +31,6 @@ pub use pimnet_backend::PimnetBackend;
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use pim_arch::SystemConfig;
 
@@ -41,7 +40,7 @@ use crate::fabric::FabricConfig;
 use crate::timing::CommBreakdown;
 
 /// The one-letter keys the paper uses in Fig 10.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BackendKind {
     /// Baseline PIM (host-mediated collectives).
     Baseline,

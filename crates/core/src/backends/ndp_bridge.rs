@@ -109,7 +109,13 @@ impl CollectiveBackend for NdpBridgeBackend {
                     + self.system.host.scatter_time(cross);
             }
             CollectiveKind::AllReduce | CollectiveKind::ReduceScatter | CollectiveKind::Reduce => {
-                unreachable!("rejected by supports()")
+                // Already rejected by the supports() gate above; keep the
+                // typed error rather than a panic in case a future edit
+                // lets a reduction slip past it.
+                return Err(PimnetError::UnsupportedCollective {
+                    kind: spec.kind,
+                    backend: "ndp-bridge",
+                });
             }
         }
         Ok(b)

@@ -3,10 +3,9 @@
 use std::fmt;
 
 use pim_sim::{Bytes, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// The collective communication patterns PIMnet implements (paper Table V).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CollectiveKind {
     /// Every node contributes a vector; each node ends with a distinct,
     /// fully-reduced 1/N piece.
@@ -81,7 +80,7 @@ impl fmt::Display for CollectiveKind {
 }
 
 /// A fully-specified collective operation, ready to be scheduled and timed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CollectiveSpec {
     /// Which collective.
     pub kind: CollectiveKind,

@@ -9,13 +9,12 @@
 //! host-side DRAM write/read that host-mediated collectives pay twice.
 
 use pim_sim::Bytes;
-use serde::{Deserialize, Serialize};
 
 use crate::schedule::{CommSchedule, PhaseLabel};
 use crate::topology::Resource;
 
 /// Per-byte energy costs (picojoules per byte).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// One hop over an intra-chip ring segment.
     pub ring_pj_per_byte: f64,

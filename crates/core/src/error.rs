@@ -38,6 +38,34 @@ pub enum PimnetError {
         /// Validator diagnostic.
         reason: String,
     },
+    /// A transfer stayed corrupted through its whole bounded-retry budget
+    /// (every attempt failed its CRC check).
+    TransferFailed {
+        /// Phase index within the schedule.
+        phase: usize,
+        /// Step index within the phase.
+        step: usize,
+        /// Transfer index within the step.
+        transfer: usize,
+        /// Attempts made (the original send plus every retry).
+        attempts: u32,
+    },
+    /// The READY/START barrier did not close before the watchdog fired —
+    /// either participants are hard-dead and will never raise READY, or a
+    /// straggler overran the timeout.
+    SyncTimeout {
+        /// Watchdog timeout that expired, in nanoseconds.
+        timeout_ns: u64,
+        /// Participants that never raised READY (empty when a straggler,
+        /// rather than a dead node, blew the deadline).
+        missing: Vec<u32>,
+    },
+    /// The collective's plan names a hard-dead DPU; the schedule must be
+    /// rebuilt around it (see `resilience`).
+    DeadDpu {
+        /// The dead participant.
+        dpu: u32,
+    },
 }
 
 impl fmt::Display for PimnetError {
@@ -54,6 +82,33 @@ impl fmt::Display for PimnetError {
             }
             PimnetError::ScheduleInvalid { reason } => {
                 write!(f, "schedule failed validation: {reason}")
+            }
+            PimnetError::TransferFailed {
+                phase,
+                step,
+                transfer,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "transfer {transfer} of phase {phase} step {step} failed \
+                     CRC on all {attempts} attempts"
+                )
+            }
+            PimnetError::SyncTimeout { timeout_ns, missing } => {
+                if missing.is_empty() {
+                    write!(f, "READY/START barrier timed out after {timeout_ns} ns")
+                } else {
+                    write!(
+                        f,
+                        "READY/START barrier timed out after {timeout_ns} ns; \
+                         {} participant(s) never raised READY: {missing:?}",
+                        missing.len()
+                    )
+                }
+            }
+            PimnetError::DeadDpu { dpu } => {
+                write!(f, "collective plan includes hard-dead DPU{dpu}")
             }
         }
     }

@@ -13,7 +13,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use pim_arch::geometry::DpuId;
 
@@ -21,7 +20,7 @@ use crate::error::PimnetError;
 use crate::schedule::CommSchedule;
 
 /// Reduction operators supported by the PIM banks' collective kernels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ReduceOp {
     /// Elementwise sum (wrapping for integers, so tests stay exact).
     #[default]
@@ -52,6 +51,12 @@ pub trait Element: Copy + Default + PartialEq + fmt::Debug + 'static {
     /// Applies `op` to two elements.
     #[must_use]
     fn reduce(op: ReduceOp, a: Self, b: Self) -> Self;
+
+    /// The element's wire representation, as raw bits — what the fault
+    /// layer's per-transfer CRC is computed over. Must be injective for
+    /// the type's value domain (floats use their IEEE bit pattern).
+    #[must_use]
+    fn wire_bits(self) -> u64;
 }
 
 macro_rules! impl_element_int {
@@ -63,6 +68,10 @@ macro_rules! impl_element_int {
                     ReduceOp::Max => a.max(b),
                     ReduceOp::Min => a.min(b),
                 }
+            }
+
+            fn wire_bits(self) -> u64 {
+                self as u64
             }
         }
     )*};
@@ -78,12 +87,30 @@ macro_rules! impl_element_float {
                     ReduceOp::Min => a.min(b),
                 }
             }
+
+            fn wire_bits(self) -> u64 {
+                self.to_bits() as u64
+            }
         }
     )*};
 }
 
 impl_element_int!(u8, u16, u32, u64, i8, i16, i32, i64);
 impl_element_float!(f32, f64);
+
+/// Counters describing what the fault layer did during one
+/// [`ExecMachine::run_with_faults`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Non-local transfers executed.
+    pub transfers: u64,
+    /// CRC verifications performed (one per attempt).
+    pub crc_checks: u64,
+    /// Attempts the receiver's CRC rejected.
+    pub corrupted: u64,
+    /// Re-sends performed (equals `corrupted` on a successful run).
+    pub retries: u64,
+}
 
 /// Per-node buffers executing a schedule.
 ///
@@ -162,6 +189,111 @@ impl<T: Element> ExecMachine<T> {
                     }
                 }
             }
+        }
+    }
+
+    /// Runs the schedule under a fault scenario: every non-local transfer
+    /// is serialized to its wire image, CRC-checked at the receiver, and
+    /// re-sent (up to the configured retry budget) whenever the injector
+    /// corrupts an attempt.
+    ///
+    /// Because corrupted attempts are always *detected* (the CRC catches
+    /// the injected flip) and the clean re-send carries the original
+    /// payload, a successful faulty run leaves the buffers **bit-identical**
+    /// to [`run`](Self::run) — the property `tests/fault_resilience.rs`
+    /// pins down. With an inactive injector this delegates to `run`
+    /// directly and performs no CRC work at all.
+    ///
+    /// # Errors
+    ///
+    /// * [`PimnetError::DeadDpu`] if a participant is hard-dead (the
+    ///   schedule should have been degraded first — see `resilience`);
+    /// * [`PimnetError::TransferFailed`] if a transfer stays corrupted
+    ///   through its whole retry budget.
+    pub fn run_with_faults(
+        &mut self,
+        schedule: &CommSchedule,
+        op: ReduceOp,
+        injector: &pim_faults::FaultInjector,
+    ) -> Result<FaultStats, PimnetError> {
+        if !injector.is_active() {
+            self.run(schedule, op);
+            return Ok(FaultStats::default());
+        }
+        if let Some(dead) = schedule.participants().find(|id| injector.is_dead(id.0)) {
+            return Err(PimnetError::DeadDpu { dpu: dead.0 });
+        }
+        let mut stats = FaultStats::default();
+        for (pi, phase) in schedule.phases.iter().enumerate() {
+            for (si, step) in phase.steps.iter().enumerate() {
+                let mut deliveries: Vec<(DpuId, usize, Vec<T>, bool)> = Vec::new();
+                for (ti, t) in step.transfers.iter().enumerate() {
+                    let payload = self.buffers[t.src.index()][t.src_span.range()].to_vec();
+                    if !t.is_local() {
+                        stats.transfers += 1;
+                        self.transmit(&payload, (pi, si, ti), injector, &mut stats)?;
+                    }
+                    for &dst in &t.dsts {
+                        deliveries.push((dst, t.dst_span.start, payload.clone(), t.combine));
+                    }
+                }
+                for (dst, start, payload, combine) in deliveries {
+                    let buf = &mut self.buffers[dst.index()];
+                    if combine {
+                        for (i, v) in payload.into_iter().enumerate() {
+                            buf[start + i] = T::reduce(op, buf[start + i], v);
+                        }
+                    } else {
+                        buf[start..start + payload.len()].copy_from_slice(&payload);
+                    }
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Models one transfer crossing the wire: serialize, corrupt per the
+    /// injector, CRC-check, retry. Returns once an attempt arrives clean.
+    fn transmit(
+        &self,
+        payload: &[T],
+        (pi, si, ti): (usize, usize, usize),
+        injector: &pim_faults::FaultInjector,
+        stats: &mut FaultStats,
+    ) -> Result<(), PimnetError> {
+        let wire: Vec<u8> = payload
+            .iter()
+            .flat_map(|e| e.wire_bits().to_le_bytes())
+            .collect();
+        let sent_crc = pim_faults::crc32(&wire);
+        let mut attempt = 0u32;
+        loop {
+            stats.crc_checks += 1;
+            let corrupted = !wire.is_empty()
+                && injector.transient_corrupts(pi as u64, si as u64, ti as u64, attempt);
+            let received_crc = if corrupted {
+                let (byte, bit) =
+                    injector.flip_position(pi as u64, si as u64, ti as u64, attempt, wire.len());
+                let mut damaged = wire.clone();
+                damaged[byte] ^= 1 << bit;
+                pim_faults::crc32(&damaged)
+            } else {
+                sent_crc
+            };
+            if received_crc == sent_crc {
+                return Ok(());
+            }
+            stats.corrupted += 1;
+            if attempt >= injector.config().max_retries {
+                return Err(PimnetError::TransferFailed {
+                    phase: pi,
+                    step: si,
+                    transfer: ti,
+                    attempts: attempt + 1,
+                });
+            }
+            attempt += 1;
+            stats.retries += 1;
         }
     }
 
@@ -372,5 +504,70 @@ mod tests {
         let s = build(CollectiveKind::AllReduce, 1, 8);
         let m = run_collective(&s, ReduceOp::Sum, |id| input(id, 8)).unwrap();
         assert_eq!(m.result(&s, DpuId(0)), input(DpuId(0), 8));
+    }
+
+    #[test]
+    fn faulty_run_is_bit_identical_to_clean_run() {
+        use pim_faults::{FaultConfig, FaultInjector};
+        let elems = 64;
+        let s = build(CollectiveKind::AllReduce, 32, elems);
+        let mut clean = ExecMachine::init(&s, |id| input(id, elems));
+        clean.run(&s, ReduceOp::Sum);
+        let inj = FaultInjector::new(
+            FaultConfig {
+                transient_ber: 0.2,
+                // Generous budget: at BER 0.2 a 16-deep retry chain fails
+                // with probability ~1e-12 per transfer, so the run always
+                // completes and we can compare buffers.
+                max_retries: 16,
+                ..FaultConfig::none()
+            }
+            .with_seed(99),
+        );
+        let mut faulty = ExecMachine::init(&s, |id| input(id, elems));
+        let stats = faulty.run_with_faults(&s, ReduceOp::Sum, &inj).unwrap();
+        assert!(stats.corrupted > 0, "BER 0.2 should corrupt something");
+        assert_eq!(stats.retries, stats.corrupted);
+        assert_eq!(faulty, clean);
+    }
+
+    #[test]
+    fn inactive_injector_performs_no_crc_work() {
+        use pim_faults::FaultInjector;
+        let s = build(CollectiveKind::AllReduce, 8, 16);
+        let mut m = ExecMachine::init(&s, |id| input(id, 16));
+        let stats = m.run_with_faults(&s, ReduceOp::Sum, &FaultInjector::none()).unwrap();
+        assert_eq!(stats, FaultStats::default());
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_a_typed_error() {
+        use pim_faults::{FaultConfig, FaultInjector};
+        let s = build(CollectiveKind::AllReduce, 8, 16);
+        let inj = FaultInjector::new(FaultConfig {
+            transient_ber: 1.0, // every attempt corrupted
+            max_retries: 2,
+            ..FaultConfig::none()
+        });
+        let mut m = ExecMachine::init(&s, |id| input(id, 16));
+        match m.run_with_faults(&s, ReduceOp::Sum, &inj) {
+            Err(PimnetError::TransferFailed { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected TransferFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_participant_is_refused_up_front() {
+        use pim_faults::{FaultConfig, FaultInjector};
+        let s = build(CollectiveKind::AllReduce, 8, 16);
+        let inj = FaultInjector::new(FaultConfig {
+            dead_dpus: vec![5],
+            ..FaultConfig::none()
+        });
+        let mut m = ExecMachine::init(&s, |id| input(id, 16));
+        assert_eq!(
+            m.run_with_faults(&s, ReduceOp::Sum, &inj),
+            Err(PimnetError::DeadDpu { dpu: 5 })
+        );
     }
 }

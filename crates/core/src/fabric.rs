@@ -11,7 +11,6 @@
 //! data here rather than constants.
 
 use pim_sim::{Bandwidth, SimTime};
-use serde::{Deserialize, Serialize};
 
 use pim_arch::geometry::PimGeometry;
 
@@ -30,7 +29,7 @@ use pim_arch::geometry::PimGeometry;
 /// let rank_agg = f.aggregate_ring_bandwidth(&PimGeometry::paper());
 /// assert_eq!(rank_agg.as_gbps(), 179.2 * 4.0); // 4 ranks in the system
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FabricConfig {
     /// Bandwidth of one inter-bank ring channel (16-bit slice of the bank
     /// I/O bus). Each bank has four: in/out × east/west.

@@ -98,7 +98,7 @@ impl PimRuntime {
             .iter()
             .map(|s| data[s.range()].to_vec())
             .collect();
-        let bytes = Bytes::new((data.len() * std::mem::size_of::<T>()) as u64);
+        let bytes = Bytes::new(std::mem::size_of_val(data) as u64);
         self.clock += self.system.system().host.scatter_time(bytes);
         PimVector { shards }
     }

@@ -13,10 +13,9 @@
 //! * inter-chip/inter-rank switch ≈ **0.013 mm²**, ≈ **17 mW** — negligible
 //!   next to the buffer chip.
 
-use serde::{Deserialize, Serialize};
 
 /// Area/power of one hardware block.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HwCost {
     /// Silicon area in mm² (45 nm, 3 metal layers).
     pub area_mm2: f64,
@@ -25,7 +24,7 @@ pub struct HwCost {
 }
 
 /// Gate-level cost model at 45 nm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HwCostModel {
     /// Area of one NAND2-equivalent gate, µm² (Nangate45 ≈ 0.8 µm²).
     pub gate_area_um2: f64,
@@ -53,7 +52,7 @@ impl HwCostModel {
         }
     }
 
-    fn from_gates(&self, gates: u32) -> HwCost {
+    fn cost_of_gates(&self, gates: u32) -> HwCost {
         HwCost {
             area_mm2: f64::from(gates) * self.gate_area_um2 / 1e6,
             power_mw: f64::from(gates) * self.gate_power_uw / 1e3,
@@ -68,7 +67,7 @@ impl HwCostModel {
         let mux_gates = 4 * 16 * 4; // 4 channels x 16 bits x 2:1 mux/demux
         let datapath_gates = 100; // WRAM tap enable + PIMnet_en gating
         let control_gates = 150; // READY/START handshake logic
-        self.from_gates(mux_gates + datapath_gates + control_gates)
+        self.cost_of_gates(mux_gates + datapath_gates + control_gates)
     }
 
     /// A conventional 3-port ring NoC router with credit-based flow
@@ -85,7 +84,7 @@ impl HwCostModel {
         let alloc_gates = 6_000; // VC + switch allocators
         let fc_gates = 1_500; // credit counters
         let pipeline_gates = 8_000; // stage registers + route computation
-        self.from_gates(buffer_gates + xbar_gates + alloc_gates + fc_gates + pipeline_gates)
+        self.cost_of_gates(buffer_gates + xbar_gates + alloc_gates + fc_gates + pipeline_gates)
     }
 
     /// The 8×8 inter-chip crossbar switch plus its control unit on the
@@ -94,7 +93,7 @@ impl HwCostModel {
     pub fn interchip_switch(&self) -> HwCost {
         let xbar_gates = 8 * 8 * 4 * 12 * 4; // 8x8 x 4-bit channels
         let control_gates = 4_000; // memory-mapped config + READY aggregation
-        self.from_gates(xbar_gates + control_gates)
+        self.cost_of_gates(xbar_gates + control_gates)
     }
 
     /// Area overhead of one PIMnet stop relative to a PIM bank (the paper's

@@ -62,6 +62,7 @@ pub mod fabric;
 pub mod framework;
 pub mod hwcost;
 pub mod isa;
+pub mod resilience;
 pub mod roofline;
 pub mod schedule;
 pub mod sync;

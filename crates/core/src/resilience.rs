@@ -1,0 +1,296 @@
+//! Graceful degradation around hard-dead DPUs.
+//!
+//! PIMnet's schedules are compiled for a fixed geometry, so a dead bank is
+//! not a runtime hiccup — it invalidates the plan. This module rebuilds
+//! the plan instead of panicking, in three tiers:
+//!
+//! 1. **Full** — no participant is dead; the original schedule stands and
+//!    the fault-free path pays nothing.
+//! 2. **Shrunk** — the collective is re-planned on the largest
+//!    power-of-two subset of alive DPUs (PIMnet's ring/exchange builders
+//!    need power-of-two dimensions), with a logical→physical map so the
+//!    caller can place data on the surviving banks. Alive DPUs beyond the
+//!    power-of-two cut are *sacrificed* (they sit the collective out) and
+//!    reported alongside the dead ones.
+//! 3. **Host fallback** — when no PIMnet geometry survives (every DPU
+//!    dead but one, or the shrunk build itself fails), the collective is
+//!    handed to the host-staged baseline backend, which needs no
+//!    inter-DPU network at all.
+//!
+//! Whatever happens, the caller gets a typed error trail — one
+//! [`PimnetError::DeadDpu`] per excluded node plus any build failure —
+//! instead of a panic, so a long-running experiment can log the
+//! degradation and keep going.
+
+use pim_arch::geometry::PimGeometry;
+use pim_arch::SystemConfig;
+use pim_faults::FaultInjector;
+use pim_sim::Bytes;
+
+use crate::backends::{BaselineHostBackend, CollectiveBackend};
+use crate::collective::{CollectiveKind, CollectiveSpec};
+use crate::error::PimnetError;
+use crate::schedule::CommSchedule;
+use crate::timing::CommBreakdown;
+
+/// How a collective survived its dead DPUs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradedPlan {
+    /// No participant is dead; the original schedule stands.
+    Full(CommSchedule),
+    /// Re-planned on the largest power-of-two alive subset.
+    Shrunk {
+        /// The degraded schedule (over logical DPU ids `0..n`).
+        schedule: CommSchedule,
+        /// Logical id → physical alive DPU id.
+        logical_to_physical: Vec<u32>,
+        /// Physical DPUs excluded from the collective: the dead ones plus
+        /// any alive nodes sacrificed to reach a power-of-two count.
+        excluded: Vec<u32>,
+        /// One typed error per dead participant.
+        error_trail: Vec<PimnetError>,
+    },
+    /// No viable PIMnet geometry; the host-staged baseline carries it.
+    HostFallback {
+        /// Timing of the collective through the baseline backend.
+        breakdown: CommBreakdown,
+        /// Physical DPUs excluded from PIM-side participation.
+        excluded: Vec<u32>,
+        /// Dead-DPU trail plus the error that forced the fallback.
+        error_trail: Vec<PimnetError>,
+    },
+}
+
+impl DegradedPlan {
+    /// The surviving schedule, if the plan still runs on PIMnet.
+    #[must_use]
+    pub fn schedule(&self) -> Option<&CommSchedule> {
+        match self {
+            DegradedPlan::Full(s) | DegradedPlan::Shrunk { schedule: s, .. } => Some(s),
+            DegradedPlan::HostFallback { .. } => None,
+        }
+    }
+
+    /// The accumulated error trail (empty for [`DegradedPlan::Full`]).
+    #[must_use]
+    pub fn error_trail(&self) -> &[PimnetError] {
+        match self {
+            DegradedPlan::Full(_) => &[],
+            DegradedPlan::Shrunk { error_trail, .. }
+            | DegradedPlan::HostFallback { error_trail, .. } => error_trail,
+        }
+    }
+}
+
+/// Plans `kind` over `geometry` under the injector's dead-DPU set.
+///
+/// `system` parameterizes the host-fallback timing; it should describe the
+/// same machine as `geometry`.
+///
+/// # Errors
+///
+/// * Propagates schedule-build errors when *no* DPU is dead (nothing to
+///   degrade around — the request itself is wrong);
+/// * [`PimnetError::InvalidGeometry`] when every DPU is dead, so not even
+///   the host fallback has a data source.
+pub fn plan_degraded(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    injector: &FaultInjector,
+    system: &SystemConfig,
+) -> Result<DegradedPlan, PimnetError> {
+    let n = geometry.total_dpus();
+    let dead: Vec<u32> = (0..n).filter(|&d| injector.is_dead(d)).collect();
+    if dead.is_empty() {
+        return Ok(DegradedPlan::Full(CommSchedule::build(
+            kind,
+            geometry,
+            elems_per_node,
+            elem_bytes,
+        )?));
+    }
+    let mut error_trail: Vec<PimnetError> = dead
+        .iter()
+        .map(|&dpu| PimnetError::DeadDpu { dpu })
+        .collect();
+    let alive: Vec<u32> = (0..n).filter(|&d| !injector.is_dead(d)).collect();
+    if alive.is_empty() {
+        return Err(PimnetError::InvalidGeometry {
+            geometry: *geometry,
+            reason: format!("all {n} DPUs are dead"),
+        });
+    }
+    // PIMnet's builders need power-of-two dimensions; keep the largest
+    // power-of-two prefix of the alive set (capped at the scaling model's
+    // 256-DPU ceiling) and sacrifice the rest.
+    let shrunk_n = prev_power_of_two(alive.len() as u32).min(256);
+    if shrunk_n >= 2 {
+        let shrunk_geometry = PimGeometry::paper_scaled(shrunk_n);
+        match CommSchedule::build(kind, &shrunk_geometry, elems_per_node, elem_bytes) {
+            Ok(schedule) => {
+                let logical_to_physical: Vec<u32> =
+                    alive[..shrunk_n as usize].to_vec();
+                let mut excluded = dead;
+                excluded.extend_from_slice(&alive[shrunk_n as usize..]);
+                excluded.sort_unstable();
+                return Ok(DegradedPlan::Shrunk {
+                    schedule,
+                    logical_to_physical,
+                    excluded,
+                    error_trail,
+                });
+            }
+            Err(e) => error_trail.push(e),
+        }
+    }
+    // Host fallback: the CPU gathers from / scatters to the alive DPUs
+    // over the DDR bus, so no inter-DPU geometry constraint applies.
+    let spec = CollectiveSpec::new(
+        kind,
+        Bytes::new(elems_per_node as u64 * u64::from(elem_bytes)),
+    )
+    .with_elem_bytes(elem_bytes);
+    let breakdown = BaselineHostBackend::new(*system).collective(&spec)?;
+    let mut excluded = dead;
+    excluded.sort_unstable();
+    Ok(DegradedPlan::HostFallback {
+        breakdown,
+        excluded,
+        error_trail,
+    })
+}
+
+/// Largest power of two `<= x` (x > 0).
+fn prev_power_of_two(x: u32) -> u32 {
+    debug_assert!(x > 0);
+    1 << (31 - x.leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_collective, ReduceOp};
+    use pim_faults::FaultConfig;
+
+    fn injector(dead: Vec<u32>) -> FaultInjector {
+        FaultInjector::new(FaultConfig {
+            dead_dpus: dead,
+            ..FaultConfig::none()
+        })
+    }
+
+    #[test]
+    fn no_dead_dpus_yields_the_full_plan() {
+        let g = PimGeometry::paper_scaled(16);
+        let plan = plan_degraded(
+            CollectiveKind::AllReduce,
+            &g,
+            64,
+            4,
+            &FaultInjector::none(),
+            &SystemConfig::paper_scaled(16),
+        )
+        .unwrap();
+        match &plan {
+            DegradedPlan::Full(s) => assert_eq!(s.geometry.total_dpus(), 16),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert!(plan.error_trail().is_empty());
+    }
+
+    #[test]
+    fn dead_dpus_shrink_to_the_alive_power_of_two() {
+        let g = PimGeometry::paper_scaled(16);
+        // 3 dead => 13 alive => schedule over 8.
+        let plan = plan_degraded(
+            CollectiveKind::AllReduce,
+            &g,
+            64,
+            4,
+            &injector(vec![0, 5, 9]),
+            &SystemConfig::paper_scaled(16),
+        )
+        .unwrap();
+        match plan {
+            DegradedPlan::Shrunk {
+                schedule,
+                logical_to_physical,
+                excluded,
+                error_trail,
+            } => {
+                assert_eq!(schedule.geometry.total_dpus(), 8);
+                assert_eq!(logical_to_physical.len(), 8);
+                assert!(logical_to_physical.iter().all(|d| ![0, 5, 9].contains(d)));
+                // 3 dead + 5 sacrificed alive = 8 excluded.
+                assert_eq!(excluded.len(), 8);
+                assert!(excluded.windows(2).all(|w| w[0] < w[1]));
+                assert_eq!(error_trail.len(), 3);
+                assert!(error_trail
+                    .iter()
+                    .all(|e| matches!(e, PimnetError::DeadDpu { .. })));
+                // The degraded schedule really runs.
+                let m = run_collective(&schedule, ReduceOp::Sum, |id| {
+                    vec![u64::from(id.0); 64]
+                })
+                .unwrap();
+                assert_eq!(m.nodes(), 8);
+            }
+            other => panic!("expected Shrunk, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn near_total_death_falls_back_to_the_host() {
+        let g = PimGeometry::paper_scaled(8);
+        // 7 of 8 dead: one alive DPU is no network at all.
+        let plan = plan_degraded(
+            CollectiveKind::AllReduce,
+            &g,
+            64,
+            4,
+            &injector((1..8).collect()),
+            &SystemConfig::paper_scaled(8),
+        )
+        .unwrap();
+        match plan {
+            DegradedPlan::HostFallback {
+                breakdown,
+                excluded,
+                error_trail,
+            } => {
+                assert!(breakdown.total() > pim_sim::SimTime::ZERO);
+                assert!(breakdown.host > pim_sim::SimTime::ZERO);
+                assert_eq!(excluded, (1..8).collect::<Vec<u32>>());
+                assert_eq!(error_trail.len(), 7);
+            }
+            other => panic!("expected HostFallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn total_death_is_a_typed_error() {
+        let g = PimGeometry::paper_scaled(4);
+        let err = plan_degraded(
+            CollectiveKind::AllReduce,
+            &g,
+            16,
+            4,
+            &injector((0..4).collect()),
+            &SystemConfig::paper_scaled(4),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PimnetError::InvalidGeometry { .. }));
+    }
+
+    #[test]
+    fn prev_power_of_two_is_exact() {
+        assert_eq!(prev_power_of_two(1), 1);
+        assert_eq!(prev_power_of_two(2), 2);
+        assert_eq!(prev_power_of_two(3), 2);
+        assert_eq!(prev_power_of_two(13), 8);
+        assert_eq!(prev_power_of_two(256), 256);
+        assert_eq!(prev_power_of_two(300), 256);
+    }
+}

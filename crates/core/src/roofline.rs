@@ -13,7 +13,6 @@
 //!   software shows up as a much steeper slope.
 
 use pim_sim::Bytes;
-use serde::{Deserialize, Serialize};
 
 use pim_arch::SystemConfig;
 
@@ -22,7 +21,7 @@ use crate::collective::CollectiveSpec;
 use crate::error::PimnetError;
 
 /// A single roofline: a peak and a slope.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Roofline {
     /// Compute ceiling, in operations per second (whole system).
     pub peak_ops_per_sec: f64,

@@ -12,7 +12,6 @@
 //! hands to each DPU.
 
 use pim_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use pim_arch::geometry::{DpuId, PimGeometry};
 
@@ -21,7 +20,7 @@ use pim_arch::geometry::{DpuId, PimGeometry};
 ///
 /// With the paper's broadcast-based inter-rank reduction, `ag_rank` is zero
 /// (one bus pass reduces *and* redistributes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct TierTimes {
     /// Inter-bank ReduceScatter duration (`T_RS_B`).
     pub rs_bank: SimTime,
@@ -48,7 +47,7 @@ impl TierTimes {
 
 /// The `(offset, start_address)` pair Algorithm 1 returns for one phase on
 /// one bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct PhaseAddr {
     /// When the phase begins, relative to START.
     pub offset: SimTime,
@@ -57,7 +56,7 @@ pub struct PhaseAddr {
 }
 
 /// Everything one bank needs to run an AllReduce without the host.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BankAddressInfo {
     /// The bank this information is compiled for.
     pub bank: DpuId,
@@ -74,7 +73,7 @@ pub struct BankAddressInfo {
 }
 
 /// The compiled Algorithm 1 output for a whole AllReduce.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllReduceAddressPlan {
     /// Geometry the plan was compiled for.
     pub geometry: PimGeometry,

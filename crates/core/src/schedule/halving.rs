@@ -84,9 +84,9 @@ pub fn build_halving_doubling(
         let d = 1usize << k;
         let label = label_for(d);
         let mut transfers = Vec::with_capacity(total);
-        for i in 0..total {
+        for (i, s) in span.iter().enumerate() {
             let p = i ^ d;
-            let halves = span[i].split(2);
+            let halves = s.split(2);
             // The lower-id partner keeps the low half; it *sends* the high
             // half to the partner (which reduces it), and vice versa.
             let send = if i < p { halves[1] } else { halves[0] };
@@ -99,9 +99,9 @@ pub fn build_halving_doubling(
                 resources: path(DpuId(i as u32), DpuId(p as u32)),
             });
         }
-        for i in 0..total {
-            let halves = span[i].split(2);
-            span[i] = if i < (i ^ d) { halves[0] } else { halves[1] };
+        for (i, s) in span.iter_mut().enumerate() {
+            let halves = s.split(2);
+            *s = if i < (i ^ d) { halves[0] } else { halves[1] };
         }
         push_step(&mut phases, label, transfers);
     }
@@ -111,13 +111,13 @@ pub fn build_halving_doubling(
         let d = 1usize << k;
         let label = label_for(d);
         let mut transfers = Vec::with_capacity(total);
-        for i in 0..total {
+        for (i, &s) in span.iter().enumerate() {
             let p = i ^ d;
             transfers.push(Transfer {
                 src: DpuId(i as u32),
                 dsts: vec![DpuId(p as u32)],
-                src_span: span[i],
-                dst_span: span[i],
+                src_span: s,
+                dst_span: s,
                 combine: false,
                 resources: path(DpuId(i as u32), DpuId(p as u32)),
             });

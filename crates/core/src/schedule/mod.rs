@@ -42,7 +42,6 @@ pub use ring::{ring_all_gather, ring_reduce_scatter};
 use std::fmt;
 
 use pim_sim::Bytes;
-use serde::{Deserialize, Serialize};
 
 use pim_arch::geometry::{DpuId, PimGeometry};
 
@@ -54,7 +53,7 @@ use crate::topology::Resource;
 ///
 /// (A `Copy` stand-in for `Range<usize>`, which is not `Copy`.)
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default
 )]
 pub struct Span {
     /// First element index.
@@ -126,7 +125,7 @@ impl fmt::Display for Span {
 /// every node in `dsts` (more than one destination = a bus broadcast),
 /// landing at `dst_span`, optionally combined (reduced) with the
 /// destination's existing data.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Transfer {
     /// Sending DPU.
     pub src: DpuId,
@@ -163,7 +162,7 @@ impl Transfer {
 
 /// A set of transfers that run concurrently; the step completes when the
 /// slowest finishes.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CommStep {
     /// The concurrent transfers.
     pub transfers: Vec<Transfer>,
@@ -190,7 +189,7 @@ impl CommStep {
 
 /// Which tier (and so which bucket of the paper's Fig 11 breakdown) a phase
 /// belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PhaseLabel {
     /// Local (in-WRAM) data movement; free in the network model.
     Local,
@@ -215,7 +214,7 @@ impl fmt::Display for PhaseLabel {
 }
 
 /// A run of steps on one tier.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Phase {
     /// Tier attribution for timing breakdowns.
     pub label: PhaseLabel,
@@ -242,7 +241,7 @@ impl Phase {
 
 /// A compiled collective: the complete, statically-scheduled communication
 /// plan for one collective operation on one geometry.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommSchedule {
     /// The collective this schedule implements.
     pub kind: CollectiveKind,

@@ -18,7 +18,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::PimnetError;
 use crate::topology::{ChipLoc, Resource};
@@ -26,7 +25,7 @@ use crate::topology::{ChipLoc, Resource};
 use super::{CommSchedule, Transfer};
 
 /// Result of a successful validation, with contention metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ValidationReport {
     /// Steps examined.
     pub steps: usize,

@@ -13,13 +13,15 @@
 //! start`, whereas a dynamically flow-controlled network would let early
 //! DPUs inject immediately (the trade-off quantified in Fig 13).
 
+use pim_arch::geometry::DpuId;
+use pim_faults::FaultInjector;
 use pim_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
+use crate::error::PimnetError;
 use crate::fabric::FabricConfig;
 
 /// How far a collective's participants extend across the hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SyncScope {
     /// All participants share one DRAM chip (READY stops at the chip's
     /// control interface).
@@ -33,7 +35,7 @@ pub enum SyncScope {
 }
 
 /// Timing model of the READY/START barrier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SyncModel {
     /// One-way worst-case propagation across the whole PIMnet (channel
     /// scope); narrower scopes pay a proportional fraction.
@@ -67,6 +69,53 @@ impl SyncModel {
     #[must_use]
     pub fn barrier(&self, scope: SyncScope, skew: SimTime) -> SimTime {
         self.one_way(scope) * 2 + skew
+    }
+
+    /// The barrier under a fault scenario, guarded by a watchdog.
+    ///
+    /// Stragglers stretch the effective skew (START fires only after the
+    /// *last* participant raises READY); hard-dead participants never
+    /// raise READY at all, so the watchdog is the only way out. `epoch`
+    /// identifies the barrier instance so each collective re-rolls its
+    /// stragglers.
+    ///
+    /// # Errors
+    ///
+    /// [`PimnetError::SyncTimeout`] when a dead participant means the
+    /// barrier can never close, or when the straggler-stretched skew
+    /// overruns the configured watchdog timeout.
+    pub fn barrier_with_faults(
+        &self,
+        scope: SyncScope,
+        skew: SimTime,
+        participants: impl Iterator<Item = DpuId>,
+        injector: &FaultInjector,
+        epoch: u64,
+    ) -> Result<SimTime, PimnetError> {
+        if !injector.is_active() {
+            return Ok(self.barrier(scope, skew));
+        }
+        let timeout_ns = injector.config().watchdog_timeout_ns;
+        let mut missing = Vec::new();
+        let mut straggle_ns = 0u64;
+        for id in participants {
+            if injector.is_dead(id.0) {
+                missing.push(id.0);
+            } else {
+                straggle_ns = straggle_ns.max(injector.straggler_delay_ns(id.0, epoch));
+            }
+        }
+        if !missing.is_empty() {
+            return Err(PimnetError::SyncTimeout { timeout_ns, missing });
+        }
+        let total = self.barrier(scope, skew + SimTime::from_ns(straggle_ns));
+        if total > SimTime::from_ns(timeout_ns) {
+            return Err(PimnetError::SyncTimeout {
+                timeout_ns,
+                missing: Vec::new(),
+            });
+        }
+        Ok(total)
     }
 }
 
@@ -106,6 +155,84 @@ mod tests {
             m.barrier(SyncScope::Chip, skew),
             m.barrier(SyncScope::Chip, SimTime::ZERO) + skew
         );
+    }
+
+    #[test]
+    fn faulty_barrier_matches_clean_when_inactive() {
+        use pim_faults::FaultInjector;
+        let m = SyncModel::default();
+        let ids = (0..8).map(DpuId);
+        let t = m
+            .barrier_with_faults(SyncScope::Chip, SimTime::ZERO, ids, &FaultInjector::none(), 0)
+            .unwrap();
+        assert_eq!(t, m.barrier(SyncScope::Chip, SimTime::ZERO));
+    }
+
+    #[test]
+    fn stragglers_stretch_the_barrier() {
+        use pim_faults::{FaultConfig, FaultInjector};
+        let m = SyncModel::default();
+        let inj = FaultInjector::new(
+            FaultConfig {
+                straggler_prob: 1.0,
+                straggler_max_ns: 500,
+                ..FaultConfig::none()
+            }
+            .with_seed(4),
+        );
+        let clean = m.barrier(SyncScope::Chip, SimTime::ZERO);
+        let faulty = m
+            .barrier_with_faults(SyncScope::Chip, SimTime::ZERO, (0..8).map(DpuId), &inj, 0)
+            .unwrap();
+        assert!(faulty > clean);
+        assert!(faulty <= clean + SimTime::from_ns(500));
+        // Deterministic for the seed/epoch.
+        let again = m
+            .barrier_with_faults(SyncScope::Chip, SimTime::ZERO, (0..8).map(DpuId), &inj, 0)
+            .unwrap();
+        assert_eq!(faulty, again);
+    }
+
+    #[test]
+    fn dead_participants_trip_the_watchdog() {
+        use pim_faults::{FaultConfig, FaultInjector};
+        let m = SyncModel::default();
+        let inj = FaultInjector::new(FaultConfig {
+            dead_dpus: vec![3, 6],
+            ..FaultConfig::none()
+        });
+        let err = m
+            .barrier_with_faults(SyncScope::Chip, SimTime::ZERO, (0..8).map(DpuId), &inj, 0)
+            .unwrap_err();
+        match err {
+            PimnetError::SyncTimeout { missing, .. } => assert_eq!(missing, vec![3, 6]),
+            other => panic!("expected SyncTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn straggler_overrun_trips_the_watchdog_without_missing_nodes() {
+        use pim_faults::{FaultConfig, FaultInjector};
+        let m = SyncModel::default();
+        let inj = FaultInjector::new(
+            FaultConfig {
+                straggler_prob: 1.0,
+                straggler_max_ns: 1_000,
+                watchdog_timeout_ns: 10, // tighter than any straggler
+                ..FaultConfig::none()
+            }
+            .with_seed(4),
+        );
+        let err = m
+            .barrier_with_faults(SyncScope::Chip, SimTime::ZERO, (0..8).map(DpuId), &inj, 0)
+            .unwrap_err();
+        match err {
+            PimnetError::SyncTimeout { missing, timeout_ns } => {
+                assert!(missing.is_empty());
+                assert_eq!(timeout_ns, 10);
+            }
+            other => panic!("expected SyncTimeout, got {other:?}"),
+        }
     }
 
     #[test]

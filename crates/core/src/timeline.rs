@@ -8,17 +8,18 @@
 //! debugging builders, and as the host-side artifact a real deployment
 //! would ship next to the instruction streams.
 
+use pim_faults::FaultInjector;
 use pim_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use pim_arch::geometry::DpuId;
 
+use crate::error::PimnetError;
 use crate::schedule::{CommSchedule, PhaseLabel};
 use crate::sync::SyncModel;
 use crate::timing::TimingModel;
 
 /// One transfer's window in the timeline.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransferWindow {
     /// Phase index within the schedule.
     pub phase: usize,
@@ -42,7 +43,7 @@ pub struct TransferWindow {
 }
 
 /// A schedule's full timeline.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Timeline {
     /// The READY/START barrier cost preceding step 0.
     pub sync: SimTime,
@@ -94,6 +95,99 @@ impl Timeline {
             windows,
             end: cursor,
         }
+    }
+
+    /// Builds the timeline under a fault scenario.
+    ///
+    /// Three fault effects show up in the timing:
+    ///
+    /// * **stragglers** stretch the READY/START barrier by the worst
+    ///   straggler's delay (START waits for the last READY);
+    /// * **transient CRC failures** serialize retries into the step:
+    ///   a transfer corrupted `k` times occupies its resources for
+    ///   `k + 1` serializations plus the exponential backoff between
+    ///   re-sends, and the step ends when its worst transfer chain does;
+    /// * **dead DPUs** make the plan untimeable — the caller must degrade
+    ///   the schedule first (`resilience`).
+    ///
+    /// With an inactive injector this is exactly [`Timeline::build`] —
+    /// the fault-free path costs nothing and changes nothing.
+    ///
+    /// # Errors
+    ///
+    /// * [`PimnetError::DeadDpu`] if a participant is hard-dead;
+    /// * [`PimnetError::TransferFailed`] if a transfer's retry budget is
+    ///   exhausted at the configured error rate.
+    pub fn build_with_faults(
+        schedule: &CommSchedule,
+        timing: &TimingModel,
+        injector: &FaultInjector,
+    ) -> Result<Timeline, PimnetError> {
+        if !injector.is_active() {
+            return Ok(Timeline::build(schedule, timing));
+        }
+        if let Some(dead) = schedule.participants().find(|id| injector.is_dead(id.0)) {
+            return Err(PimnetError::DeadDpu { dpu: dead.0 });
+        }
+        let straggle_ns = schedule
+            .participants()
+            .map(|id| injector.straggler_delay_ns(id.0, 0))
+            .max()
+            .unwrap_or(0);
+        let sync = SyncModel::from_fabric(&timing.fabric).barrier(
+            timing.scope_of(schedule),
+            SimTime::from_ns(straggle_ns),
+        );
+        let mut cursor = sync;
+        let mut windows = Vec::new();
+        for (pi, phase) in schedule.phases.iter().enumerate() {
+            for (si, step) in phase.steps.iter().enumerate() {
+                let base = timing.step_time(schedule, step);
+                // The step ends when its slowest retry chain does.
+                let mut stretch = SimTime::ZERO;
+                for (ti, t) in step.transfers.iter().enumerate() {
+                    if t.is_local() {
+                        continue;
+                    }
+                    let corrupted = injector
+                        .attempts_before_success(pi as u64, si as u64, ti as u64)
+                        .ok_or(PimnetError::TransferFailed {
+                            phase: pi,
+                            step: si,
+                            transfer: ti,
+                            attempts: injector.config().max_retries + 1,
+                        })?;
+                    let bytes = t.bytes(schedule.elem_bytes);
+                    let dur = t
+                        .resources
+                        .iter()
+                        .map(|r| r.bandwidth(&timing.fabric).transfer_time(bytes))
+                        .max()
+                        .unwrap_or(SimTime::ZERO);
+                    let backoff = SimTime::from_ns(injector.total_backoff_ns(corrupted));
+                    let extra = dur * u64::from(corrupted) + backoff;
+                    stretch = stretch.max(extra);
+                    let step_end_bound = cursor + base + extra;
+                    windows.push(TransferWindow {
+                        phase: pi,
+                        label: phase.label,
+                        step: si,
+                        src: t.src,
+                        dsts: t.dsts.clone(),
+                        bytes: bytes.as_u64(),
+                        start: cursor,
+                        end: (cursor + dur * u64::from(corrupted + 1) + backoff)
+                            .min(step_end_bound),
+                    });
+                }
+                cursor += base + stretch;
+            }
+        }
+        Ok(Timeline {
+            sync,
+            windows,
+            end: cursor,
+        })
     }
 
     /// Renders a CSV (one row per window) for plotting.
@@ -163,6 +257,70 @@ mod tests {
         let starts: Vec<SimTime> = t.windows.iter().map(|w| w.start).collect();
         let distinct: std::collections::BTreeSet<_> = starts.iter().collect();
         assert_eq!(distinct.len(), 14); // 7 RS + 7 AG steps
+    }
+
+    #[test]
+    fn inactive_faults_reproduce_the_plain_timeline_exactly() {
+        use pim_faults::FaultInjector;
+        let (s, plain) = timeline(CollectiveKind::AllReduce, 32, 512);
+        let faulty =
+            Timeline::build_with_faults(&s, &TimingModel::paper(), &FaultInjector::none())
+                .unwrap();
+        assert_eq!(faulty, plain);
+    }
+
+    #[test]
+    fn transient_errors_stretch_the_timeline_deterministically() {
+        use pim_faults::{FaultConfig, FaultInjector};
+        let (s, plain) = timeline(CollectiveKind::AllReduce, 32, 512);
+        let inj = FaultInjector::new(
+            FaultConfig {
+                transient_ber: 0.2,
+                max_retries: 8,
+                ..FaultConfig::none()
+            }
+            .with_seed(21),
+        );
+        let m = TimingModel::paper();
+        let a = Timeline::build_with_faults(&s, &m, &inj).unwrap();
+        let b = Timeline::build_with_faults(&s, &m, &inj).unwrap();
+        assert_eq!(a, b, "same seed must give the same timeline");
+        assert!(a.end > plain.end, "retries must cost time");
+        assert_eq!(a.windows.len(), plain.windows.len());
+        for w in &a.windows {
+            assert!(w.start >= a.sync && w.end <= a.end && w.start <= w.end);
+        }
+    }
+
+    #[test]
+    fn stragglers_stretch_only_the_barrier() {
+        use pim_faults::{FaultConfig, FaultInjector};
+        let (s, plain) = timeline(CollectiveKind::AllReduce, 32, 512);
+        let inj = FaultInjector::new(
+            FaultConfig {
+                straggler_prob: 1.0,
+                straggler_max_ns: 900,
+                ..FaultConfig::none()
+            }
+            .with_seed(8),
+        );
+        let t = Timeline::build_with_faults(&s, &TimingModel::paper(), &inj).unwrap();
+        assert!(t.sync > plain.sync);
+        assert_eq!(t.end - t.sync, plain.end - plain.sync);
+    }
+
+    #[test]
+    fn dead_dpu_refuses_to_time() {
+        use pim_faults::{FaultConfig, FaultInjector};
+        let (s, _) = timeline(CollectiveKind::AllReduce, 8, 64);
+        let inj = FaultInjector::new(FaultConfig {
+            dead_dpus: vec![1],
+            ..FaultConfig::none()
+        });
+        assert_eq!(
+            Timeline::build_with_faults(&s, &TimingModel::paper(), &inj),
+            Err(PimnetError::DeadDpu { dpu: 1 })
+        );
     }
 
     #[test]

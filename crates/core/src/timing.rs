@@ -20,7 +20,6 @@ use std::iter::Sum;
 use std::ops::Add;
 
 use pim_sim::{Bytes, SimTime};
-use serde::{Deserialize, Serialize};
 
 use pim_arch::SystemConfig;
 
@@ -30,7 +29,7 @@ use crate::sync::{SyncModel, SyncScope};
 use crate::topology::Resource;
 
 /// Where the time of one collective went (the paper's Fig 11 buckets).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CommBreakdown {
     /// READY/START barrier plus compute skew.
     pub sync: SimTime,

@@ -11,7 +11,6 @@
 use std::fmt;
 
 use pim_sim::Bandwidth;
-use serde::{Deserialize, Serialize};
 
 use pim_arch::geometry::{DpuCoord, DpuId, PimGeometry};
 
@@ -19,7 +18,7 @@ use crate::fabric::FabricConfig;
 
 /// Direction of travel on an inter-bank ring.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash
 )]
 pub enum Direction {
     /// Towards increasing bank index (wrapping).
@@ -59,7 +58,7 @@ impl fmt::Display for Direction {
 
 /// Location of a DRAM chip within the system.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash
 )]
 pub struct ChipLoc {
     /// Memory channel index.
@@ -94,7 +93,7 @@ impl fmt::Display for ChipLoc {
 /// (PIMnet stops are bufferless, so a multi-hop ring transfer holds all its
 /// segments cut-through).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash
 )]
 pub enum Resource {
     /// The ring segment leaving bank `from_bank` of chip `chip` in

@@ -1,0 +1,215 @@
+//! Fault-model configuration, including the `key = value` file format the
+//! CLI's `--fault-config` flag reads.
+
+use std::fmt;
+use std::path::Path;
+
+/// Complete description of a fault scenario.
+///
+/// The default ([`FaultConfig::none`]) injects nothing; every consumer is
+/// required to keep that path byte-identical to the fault-unaware code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Master seed; every fault decision hashes this with the event's
+    /// coordinates.
+    pub seed: u64,
+    /// Probability that one transfer *attempt* is corrupted on the wire
+    /// and caught by the per-transfer CRC (per step-transfer, per attempt).
+    pub transient_ber: f64,
+    /// Probability that a DPU straggles into a given READY/START barrier.
+    pub straggler_prob: f64,
+    /// Worst-case extra compute time of a straggler, in nanoseconds; the
+    /// actual delay is drawn uniformly from `1..=straggler_max_ns`.
+    pub straggler_max_ns: u64,
+    /// Hard-dead DPUs (never raise READY, never source or sink a
+    /// transfer). Sorted, deduplicated on parse.
+    pub dead_dpus: Vec<u32>,
+    /// Bounded retry budget per transfer; attempt 0 plus `max_retries`
+    /// re-sends before the step is declared failed.
+    pub max_retries: u32,
+    /// Base retry backoff in nanoseconds; attempt `k`'s re-send waits
+    /// `retry_backoff_ns << (k - 1)` (exponential).
+    pub retry_backoff_ns: u64,
+    /// READY/START watchdog: if the barrier has not closed after this many
+    /// nanoseconds (dead participant), the collective aborts with
+    /// `SyncTimeout` instead of hanging.
+    pub watchdog_timeout_ns: u64,
+}
+
+impl FaultConfig {
+    /// The fault-free configuration: nothing injected, generous budgets.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultConfig {
+            seed: 0,
+            transient_ber: 0.0,
+            straggler_prob: 0.0,
+            straggler_max_ns: 0,
+            dead_dpus: Vec::new(),
+            max_retries: 3,
+            retry_backoff_ns: 100,
+            watchdog_timeout_ns: 1_000_000, // 1 ms
+        }
+    }
+
+    /// Returns the same config with a different master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// `true` if this scenario can inject anything at all. Consumers use
+    /// this to take the zero-overhead fault-free path.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.transient_ber > 0.0
+            || (self.straggler_prob > 0.0 && self.straggler_max_ns > 0)
+            || !self.dead_dpus.is_empty()
+    }
+
+    /// Parses the `key = value` file format (see [`FaultConfig::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the file on I/O failure, or the offending
+    /// line on parse failure.
+    pub fn from_file(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read fault config {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses a fault scenario from `key = value` lines.
+    ///
+    /// Blank lines and `#` comments are ignored. Recognized keys match the
+    /// struct fields; `dead_dpus` is a comma-separated id list:
+    ///
+    /// ```text
+    /// # one flipped bit per ~100 transfers, two dead nodes
+    /// seed = 42
+    /// transient_ber = 0.01
+    /// straggler_prob = 0.05
+    /// straggler_max_ns = 2000
+    /// dead_dpus = 3, 17
+    /// max_retries = 3
+    /// retry_backoff_ns = 100
+    /// watchdog_timeout_ns = 1000000
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for unknown keys,
+    /// missing `=`, or unparseable values.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut cfg = FaultConfig::none();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`, got `{raw}`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |e: &dyn fmt::Display| format!("line {}: bad value for {key}: {e}", lineno + 1);
+            match key {
+                "seed" => cfg.seed = value.parse().map_err(|e| bad(&e))?,
+                "transient_ber" => cfg.transient_ber = parse_prob(value).map_err(|e| bad(&e))?,
+                "straggler_prob" => cfg.straggler_prob = parse_prob(value).map_err(|e| bad(&e))?,
+                "straggler_max_ns" => cfg.straggler_max_ns = value.parse().map_err(|e| bad(&e))?,
+                "dead_dpus" => {
+                    let mut ids = Vec::new();
+                    for part in value.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                        ids.push(part.parse::<u32>().map_err(|e| bad(&e))?);
+                    }
+                    ids.sort_unstable();
+                    ids.dedup();
+                    cfg.dead_dpus = ids;
+                }
+                "max_retries" => cfg.max_retries = value.parse().map_err(|e| bad(&e))?,
+                "retry_backoff_ns" => cfg.retry_backoff_ns = value.parse().map_err(|e| bad(&e))?,
+                "watchdog_timeout_ns" => {
+                    cfg.watchdog_timeout_ns = value.parse().map_err(|e| bad(&e))?;
+                }
+                _ => return Err(format!("line {}: unknown key `{key}`", lineno + 1)),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+fn parse_prob(s: &str) -> Result<f64, String> {
+    let p: f64 = s.parse().map_err(|e| format!("{e}"))?;
+    if (0.0..=1.0).contains(&p) {
+        Ok(p)
+    } else {
+        Err(format!("probability {p} not in [0, 1]"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive() {
+        assert!(!FaultConfig::none().is_active());
+        assert!(!FaultConfig::default().is_active());
+    }
+
+    #[test]
+    fn any_knob_activates() {
+        let base = FaultConfig::none();
+        assert!(FaultConfig { transient_ber: 0.1, ..base.clone() }.is_active());
+        assert!(FaultConfig {
+            straggler_prob: 0.1,
+            straggler_max_ns: 10,
+            ..base.clone()
+        }
+        .is_active());
+        assert!(FaultConfig { dead_dpus: vec![3], ..base }.is_active());
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let cfg = FaultConfig::parse(
+            "# comment\n\
+             seed = 42\n\
+             transient_ber = 0.01\n\
+             straggler_prob = 0.05  # inline comment\n\
+             straggler_max_ns = 2000\n\
+             dead_dpus = 17, 3, 17\n\
+             max_retries = 5\n\
+             retry_backoff_ns = 250\n\
+             watchdog_timeout_ns = 9000\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.seed, 42);
+        assert!((cfg.transient_ber - 0.01).abs() < 1e-12);
+        assert_eq!(cfg.dead_dpus, vec![3, 17]); // sorted, deduped
+        assert_eq!(cfg.max_retries, 5);
+        assert_eq!(cfg.retry_backoff_ns, 250);
+        assert_eq!(cfg.watchdog_timeout_ns, 9000);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(FaultConfig::parse("nonsense").is_err());
+        assert!(FaultConfig::parse("mystery_key = 3").is_err());
+        assert!(FaultConfig::parse("transient_ber = 1.5").is_err());
+        assert!(FaultConfig::parse("dead_dpus = 1, x").is_err());
+    }
+
+    #[test]
+    fn empty_parses_to_none() {
+        assert_eq!(FaultConfig::parse("").unwrap(), FaultConfig::none());
+        assert_eq!(FaultConfig::parse("\n# only comments\n").unwrap(), FaultConfig::none());
+    }
+}

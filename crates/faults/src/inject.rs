@@ -1,0 +1,284 @@
+//! The fault decision oracle.
+//!
+//! Every method is a pure function of `(config.seed, event coordinates)`:
+//! the injector holds no mutable state, so consumers may query it in any
+//! order — per-transfer in schedule order, per-packet in simulation order,
+//! or in parallel — and always see the same fault pattern for a seed.
+
+use pim_sim::rng::hash_coords;
+
+use crate::config::FaultConfig;
+
+/// Domain-separation tags so the same coordinates never collide across
+/// fault classes.
+const TAG_TRANSIENT: u64 = 0x7472_616E; // "tran"
+const TAG_STRAGGLER: u64 = 0x7374_7261; // "stra"
+const TAG_FLIP: u64 = 0x666C_6970; // "flip"
+
+/// Converts a hash to a uniform probability in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Stateless fault oracle over a [`FaultConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+}
+
+impl FaultInjector {
+    /// Wraps a configuration.
+    #[must_use]
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultInjector { cfg }
+    }
+
+    /// The fault-free injector (nothing ever fires).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultInjector::new(FaultConfig::none())
+    }
+
+    /// The underlying configuration.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// `true` if any fault class can fire. The fault-free fast paths key
+    /// off this.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.cfg.is_active()
+    }
+
+    /// Is this DPU hard-dead (never raises READY, never transfers)?
+    #[must_use]
+    pub fn is_dead(&self, dpu: u32) -> bool {
+        self.cfg.dead_dpus.binary_search(&dpu).is_ok()
+    }
+
+    /// Does attempt `attempt` of transfer `(phase, step, transfer)` get
+    /// corrupted on the wire (and caught by the CRC)?
+    #[must_use]
+    pub fn transient_corrupts(&self, phase: u64, step: u64, transfer: u64, attempt: u32) -> bool {
+        if self.cfg.transient_ber <= 0.0 {
+            return false;
+        }
+        let h = hash_coords(
+            self.cfg.seed,
+            &[TAG_TRANSIENT, phase, step, transfer, u64::from(attempt)],
+        );
+        unit(h) < self.cfg.transient_ber
+    }
+
+    /// Which bit of an `n_bytes`-byte wire image flips when
+    /// [`transient_corrupts`](Self::transient_corrupts) fires. Returns
+    /// `(byte_index, bit_index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bytes` is zero.
+    #[must_use]
+    pub fn flip_position(
+        &self,
+        phase: u64,
+        step: u64,
+        transfer: u64,
+        attempt: u32,
+        n_bytes: usize,
+    ) -> (usize, u32) {
+        assert!(n_bytes > 0, "flip_position: empty payload");
+        let h = hash_coords(
+            self.cfg.seed,
+            &[TAG_FLIP, phase, step, transfer, u64::from(attempt)],
+        );
+        ((h as usize >> 3) % n_bytes, (h & 0x7) as u32)
+    }
+
+    /// Number of corrupted attempts before transfer `(phase, step,
+    /// transfer)` goes through clean, capped at the retry budget.
+    ///
+    /// Returns `None` if every allowed attempt (the original plus
+    /// `max_retries` re-sends) is corrupted — the transfer fails.
+    #[must_use]
+    pub fn attempts_before_success(&self, phase: u64, step: u64, transfer: u64) -> Option<u32> {
+        (0..=self.cfg.max_retries)
+            .find(|&attempt| !self.transient_corrupts(phase, step, transfer, attempt))
+    }
+
+    /// Extra nanoseconds DPU `dpu` straggles past the compute deadline for
+    /// barrier `epoch` (0 for non-stragglers and dead nodes — a dead node
+    /// is not *late*, it is absent, which the watchdog handles).
+    #[must_use]
+    pub fn straggler_delay_ns(&self, dpu: u32, epoch: u64) -> u64 {
+        if self.cfg.straggler_prob <= 0.0 || self.cfg.straggler_max_ns == 0 || self.is_dead(dpu) {
+            return 0;
+        }
+        let h = hash_coords(self.cfg.seed, &[TAG_STRAGGLER, u64::from(dpu), epoch]);
+        if unit(h) >= self.cfg.straggler_prob {
+            return 0;
+        }
+        // Reuse the decision hash's high bits for the magnitude so one
+        // lookup decides both; +1 keeps the delay nonzero.
+        1 + hash_coords(h, &[1]) % self.cfg.straggler_max_ns
+    }
+
+    /// Exponential backoff before re-send `attempt` (1-based), in
+    /// nanoseconds: `retry_backoff_ns << (attempt - 1)`, saturating.
+    #[must_use]
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        self.cfg
+            .retry_backoff_ns
+            .checked_shl(attempt - 1)
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Total backoff spent reaching a clean send after `corrupted`
+    /// corrupted attempts (the sum of the per-re-send backoffs).
+    #[must_use]
+    pub fn total_backoff_ns(&self, corrupted: u32) -> u64 {
+        (1..=corrupted).fold(0u64, |acc, a| acc.saturating_add(self.backoff_ns(a)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy(seed: u64, ber: f64) -> FaultInjector {
+        FaultInjector::new(FaultConfig {
+            transient_ber: ber,
+            ..FaultConfig::none()
+        }
+        .with_seed(seed))
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_order_free() {
+        let a = lossy(9, 0.3);
+        let b = lossy(9, 0.3);
+        // Query b in reverse order; answers must match a's.
+        let fwd: Vec<bool> = (0..100)
+            .map(|i| a.transient_corrupts(1, i, 0, 0))
+            .collect();
+        let rev: Vec<bool> = (0..100)
+            .rev()
+            .map(|i| b.transient_corrupts(1, i, 0, 0))
+            .collect();
+        assert_eq!(fwd, rev.into_iter().rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeds_change_the_pattern() {
+        let a = lossy(1, 0.3);
+        let b = lossy(2, 0.3);
+        let pa: Vec<bool> = (0..200).map(|i| a.transient_corrupts(0, i, 0, 0)).collect();
+        let pb: Vec<bool> = (0..200).map(|i| b.transient_corrupts(0, i, 0, 0)).collect();
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn corruption_rate_tracks_ber() {
+        let inj = lossy(5, 0.2);
+        let hits = (0..10_000)
+            .filter(|&i| inj.transient_corrupts(0, i, 0, 0))
+            .count();
+        assert!((1_500..2_500).contains(&hits), "p=0.2 gave {hits}/10000");
+    }
+
+    #[test]
+    fn zero_ber_never_fires() {
+        let inj = lossy(5, 0.0);
+        assert!((0..1000).all(|i| !inj.transient_corrupts(0, i, 0, 0)));
+        assert_eq!(inj.attempts_before_success(0, 0, 0), Some(0));
+    }
+
+    #[test]
+    fn attempts_respect_the_budget() {
+        // BER 1.0: every attempt corrupted, so the transfer always fails.
+        let inj = lossy(3, 1.0);
+        assert_eq!(inj.attempts_before_success(0, 0, 0), None);
+        // Moderate BER: success always within budget + 1 attempts.
+        let inj = lossy(3, 0.4);
+        for t in 0..200 {
+            if let Some(a) = inj.attempts_before_success(0, 0, t) {
+                assert!(a <= inj.config().max_retries);
+                assert!(!inj.transient_corrupts(0, 0, t, a));
+                for early in 0..a {
+                    assert!(inj.transient_corrupts(0, 0, t, early));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_set_is_exact() {
+        let inj = FaultInjector::new(FaultConfig {
+            dead_dpus: vec![2, 40, 7],
+            ..FaultConfig::none()
+        });
+        // Note: parse() sorts, but direct construction must too for
+        // binary_search. The constructor contract is "sorted"; mimic it.
+        let inj = FaultInjector::new(FaultConfig {
+            dead_dpus: {
+                let mut d = inj.config().dead_dpus.clone();
+                d.sort_unstable();
+                d
+            },
+            ..inj.config().clone()
+        });
+        assert!(inj.is_dead(2) && inj.is_dead(7) && inj.is_dead(40));
+        assert!(!inj.is_dead(0) && !inj.is_dead(41));
+    }
+
+    #[test]
+    fn straggler_delays_are_bounded_and_deterministic() {
+        let inj = FaultInjector::new(FaultConfig {
+            straggler_prob: 0.5,
+            straggler_max_ns: 100,
+            ..FaultConfig::none()
+        }
+        .with_seed(11));
+        let mut fired = 0;
+        for dpu in 0..1000 {
+            let d = inj.straggler_delay_ns(dpu, 0);
+            assert!(d <= 100);
+            assert_eq!(d, inj.straggler_delay_ns(dpu, 0));
+            if d > 0 {
+                fired += 1;
+            }
+        }
+        assert!((300..700).contains(&fired), "p=0.5 fired {fired}/1000");
+        // Different epochs re-roll.
+        let per_epoch: Vec<u64> = (0..8).map(|e| inj.straggler_delay_ns(7, e)).collect();
+        assert!(per_epoch.iter().collect::<std::collections::BTreeSet<_>>().len() > 1);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_saturating() {
+        let inj = FaultInjector::new(FaultConfig {
+            retry_backoff_ns: 100,
+            ..FaultConfig::none()
+        });
+        assert_eq!(inj.backoff_ns(0), 0);
+        assert_eq!(inj.backoff_ns(1), 100);
+        assert_eq!(inj.backoff_ns(2), 200);
+        assert_eq!(inj.backoff_ns(3), 400);
+        assert_eq!(inj.total_backoff_ns(3), 700);
+        assert_eq!(inj.backoff_ns(200), u64::MAX);
+    }
+
+    #[test]
+    fn flip_positions_are_in_range() {
+        let inj = lossy(13, 1.0);
+        for t in 0..100 {
+            let (byte, bit) = inj.flip_position(0, 0, t, 0, 33);
+            assert!(byte < 33);
+            assert!(bit < 8);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Deterministic fault injection for the PIMnet reproduction.
+//!
+//! Real PIM deployments see three classes of trouble the paper's clean-room
+//! evaluation abstracts away:
+//!
+//! * **transient link/DQ errors** — a bit flips on a bank-to-bank hop and
+//!   the per-transfer CRC catches it, forcing a retry of that schedule
+//!   step's transfer;
+//! * **compute stragglers** — a DPU finishes its kernel late, stretching
+//!   the READY/START barrier (paper §IV-C) that gates every collective;
+//! * **hard-dead DPUs/banks** — a node never raises READY at all, and the
+//!   collective must be re-planned around it or handed back to the host.
+//!
+//! This crate is the *decision layer* for all three: given a seed and a
+//! [`FaultConfig`], a [`FaultInjector`] answers "is this transfer attempt
+//! corrupted?", "how late is this DPU?", "is this DPU dead?" — nothing
+//! more. The sim/core/noc crates own the *consequences* (retry timing,
+//! barrier stretch, degraded schedules).
+//!
+//! Every decision is a pure function of the seed and the event's stable
+//! coordinates (phase, step, transfer, attempt, DPU id) via
+//! [`pim_sim::rng::hash_coords`], never of traversal order. Two runs with
+//! the same seed and config make byte-identical decisions, which is what
+//! makes fault runs replayable and the resilience tests exact.
+//!
+//! # Example
+//!
+//! ```
+//! use pim_faults::{FaultConfig, FaultInjector};
+//!
+//! let cfg = FaultConfig { transient_ber: 0.5, ..FaultConfig::none() };
+//! let a = FaultInjector::new(cfg.clone().with_seed(7));
+//! let b = FaultInjector::new(cfg.with_seed(7));
+//! // Same seed, same coordinates => same decision.
+//! assert_eq!(
+//!     a.transient_corrupts(0, 3, 1, 0),
+//!     b.transient_corrupts(0, 3, 1, 0),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod crc;
+pub mod inject;
+
+pub use config::FaultConfig;
+pub use crc::{crc32, Crc32};
+pub use inject::FaultInjector;

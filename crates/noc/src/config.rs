@@ -1,7 +1,6 @@
 //! NoC simulation parameters.
 
 use pim_sim::{Frequency, SimTime};
-use serde::{Deserialize, Serialize};
 
 use pimnet::topology::Resource;
 use pimnet::FabricConfig;
@@ -12,7 +11,7 @@ use pimnet::FabricConfig;
 /// are chosen so that `width × clock` equals the Table IV bandwidths:
 /// 2 B/cycle ring segments (0.7 GB/s), 3 B/cycle DQ channels (1.05 GB/s),
 /// 48 B/cycle bus (16.8 GB/s).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NocConfig {
     /// Network clock.
     pub clock: Frequency,

@@ -54,6 +54,60 @@ pub fn simulate_credit(schedule: &CommSchedule, ready: &[SimTime], cfg: &NocConf
     simulate_credit_packets(&packets, ready, cfg)
 }
 
+/// Runs the credit-based simulation of `schedule`'s traffic under a fault
+/// scenario.
+///
+/// Faults enter the cycle model in two ways:
+///
+/// * **stragglers** push back the affected DPUs' injection-ready times
+///   (a dynamic network has no barrier, so only the straggler's own
+///   packets — and whatever depends on them — are delayed, which is
+///   precisely the flow-control advantage Fig 13 quantifies);
+/// * **transient CRC failures** replay the corrupted packet over the same
+///   links via [`crate::packet::inject_retransmissions`], consuming real
+///   wire time and back-pressuring everything queued behind it.
+///
+/// With an inactive injector this is exactly [`simulate_credit`]. The
+/// simulation stays fully deterministic for a seed.
+///
+/// # Errors
+///
+/// * [`pimnet::PimnetError::DeadDpu`] if a participant is hard-dead;
+/// * [`pimnet::PimnetError::TransferFailed`] if a packet exhausts its
+///   retry budget.
+///
+/// # Panics
+///
+/// Panics if `ready` is shorter than the DPU count, or if the simulation
+/// exceeds `cfg.max_cycles` (deadlock guard).
+pub fn simulate_credit_faulty(
+    schedule: &CommSchedule,
+    ready: &[SimTime],
+    cfg: &NocConfig,
+    injector: &pim_faults::FaultInjector,
+) -> Result<NocReport, pimnet::PimnetError> {
+    if !injector.is_active() {
+        return Ok(simulate_credit(schedule, ready, cfg));
+    }
+    let nodes = schedule.geometry.total_dpus() as usize;
+    assert!(
+        ready.len() >= nodes,
+        "ready times: got {}, need {nodes}",
+        ready.len()
+    );
+    if let Some(dead) = schedule.participants().find(|id| injector.is_dead(id.0)) {
+        return Err(pimnet::PimnetError::DeadDpu { dpu: dead.0 });
+    }
+    let stretched: Vec<SimTime> = ready
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| t + SimTime::from_ns(injector.straggler_delay_ns(i as u32, 0)))
+        .collect();
+    let packets =
+        crate::packet::inject_retransmissions(&packets_from_schedule(schedule), injector)?;
+    Ok(simulate_credit_packets(&packets, &stretched, cfg))
+}
+
 /// Runs the credit-based simulation on an explicit packet list (used both
 /// by [`simulate_credit`] and by the synthetic traffic patterns of
 /// [`crate::traffic`]).
@@ -352,5 +406,70 @@ mod tests {
         let a = simulate_credit(&s, &zeros(16), &cfg);
         let b = simulate_credit(&s, &zeros(16), &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inactive_injector_reproduces_the_fault_free_report() {
+        use pim_faults::FaultInjector;
+        let s = schedule(CollectiveKind::AllReduce, 8, 512);
+        let cfg = NocConfig::paper();
+        let clean = simulate_credit(&s, &zeros(8), &cfg);
+        let faulty = simulate_credit_faulty(&s, &zeros(8), &cfg, &FaultInjector::none()).unwrap();
+        assert_eq!(clean, faulty);
+    }
+
+    #[test]
+    fn retransmissions_cost_cycles_and_bytes_deterministically() {
+        use pim_faults::{FaultConfig, FaultInjector};
+        let s = schedule(CollectiveKind::AllReduce, 8, 512);
+        let cfg = NocConfig::paper();
+        let clean = simulate_credit(&s, &zeros(8), &cfg);
+        let inj = FaultInjector::new(
+            FaultConfig {
+                transient_ber: 0.2,
+                max_retries: 16,
+                ..FaultConfig::none()
+            }
+            .with_seed(9),
+        );
+        let a = simulate_credit_faulty(&s, &zeros(8), &cfg, &inj).unwrap();
+        let b = simulate_credit_faulty(&s, &zeros(8), &cfg, &inj).unwrap();
+        assert_eq!(a, b, "same seed must simulate identically");
+        assert!(a.injected_bytes > clean.injected_bytes, "retries add wire bytes");
+        assert!(a.completion >= clean.completion, "retries cannot speed things up");
+    }
+
+    #[test]
+    fn a_straggler_delays_only_its_dependents() {
+        use pim_faults::{FaultConfig, FaultInjector};
+        let s = schedule(CollectiveKind::AllReduce, 8, 512);
+        let cfg = NocConfig::paper();
+        let clean = simulate_credit(&s, &zeros(8), &cfg);
+        let inj = FaultInjector::new(
+            FaultConfig {
+                straggler_prob: 0.5,
+                straggler_max_ns: 80_000,
+                ..FaultConfig::none()
+            }
+            .with_seed(11),
+        );
+        let slow = simulate_credit_faulty(&s, &zeros(8), &cfg, &inj).unwrap();
+        // Same traffic, later finish: stragglers delay injection, not bytes.
+        assert_eq!(slow.injected_bytes, clean.injected_bytes);
+        assert!(slow.completion > clean.completion);
+    }
+
+    #[test]
+    fn dead_participants_are_refused_up_front() {
+        use pim_faults::{FaultConfig, FaultInjector};
+        let s = schedule(CollectiveKind::AllReduce, 8, 512);
+        let inj = FaultInjector::new(FaultConfig {
+            dead_dpus: vec![3],
+            ..FaultConfig::none()
+        });
+        assert!(matches!(
+            simulate_credit_faulty(&s, &zeros(8), &NocConfig::paper(), &inj),
+            Err(pimnet::PimnetError::DeadDpu { dpu: 3 })
+        ));
     }
 }

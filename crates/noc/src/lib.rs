@@ -33,6 +33,7 @@ pub mod scheduled;
 pub mod traffic;
 
 pub use config::NocConfig;
-pub use credit::{simulate_credit, simulate_credit_packets};
+pub use credit::{simulate_credit, simulate_credit_faulty, simulate_credit_packets};
+pub use packet::inject_retransmissions;
 pub use report::NocReport;
 pub use scheduled::simulate_scheduled;

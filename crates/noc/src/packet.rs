@@ -98,6 +98,68 @@ fn unicast_path(resources: &[Resource], dst: DpuId, schedule: &CommSchedule) -> 
         .collect()
 }
 
+/// Expands a packet list with CRC-retry retransmissions under a fault
+/// scenario.
+///
+/// A packet whose attempt `k` the injector corrupts is re-sent: the retry
+/// is a fresh packet over the same path that can only inject once the
+/// corrupted attempt finished occupying the wire (a dependency on the
+/// previous attempt), so retries consume real link time in the credit
+/// simulation. Everything that depended on the original packet is
+/// repointed to the *final* attempt — downstream steps wait for clean
+/// data, exactly like the functional executor's CRC gate.
+///
+/// The injector's decision coordinates are `(phase, step, packet id)`, so
+/// the expansion is independent of iteration order and identical across
+/// runs for a seed. With an inactive injector the input list is returned
+/// unchanged (zero overhead).
+///
+/// # Errors
+///
+/// [`pimnet::PimnetError::TransferFailed`] when a packet stays corrupted
+/// through its whole retry budget.
+pub fn inject_retransmissions(
+    packets: &[Packet],
+    injector: &pim_faults::FaultInjector,
+) -> Result<Vec<Packet>, pimnet::PimnetError> {
+    if !injector.is_active() {
+        return Ok(packets.to_vec());
+    }
+    let mut out: Vec<Packet> = Vec::with_capacity(packets.len());
+    // Original id -> id of its final (clean) attempt.
+    let mut final_attempt: Vec<usize> = Vec::with_capacity(packets.len());
+    for p in packets {
+        let corrupted = injector
+            .attempts_before_success(p.stage.0 as u64, p.stage.1 as u64, p.id as u64)
+            .ok_or(pimnet::PimnetError::TransferFailed {
+                phase: p.stage.0,
+                step: p.stage.1,
+                transfer: p.id,
+                attempts: injector.config().max_retries + 1,
+            })?;
+        // Dependencies were expressed against original ids; repoint them
+        // at the dependees' final attempts (all earlier in `out`).
+        let deps: Vec<usize> = p.deps.iter().map(|&d| final_attempt[d]).collect();
+        let mut last = out.len();
+        out.push(Packet {
+            id: last,
+            deps,
+            ..p.clone()
+        });
+        for _ in 0..corrupted {
+            let id = out.len();
+            out.push(Packet {
+                id,
+                deps: vec![last],
+                ..p.clone()
+            });
+            last = id;
+        }
+        final_attempt.push(last);
+    }
+    Ok(out)
+}
+
 /// Total bytes injected by a packet list.
 #[must_use]
 pub fn total_bytes(packets: &[Packet]) -> u64 {
@@ -168,6 +230,60 @@ mod tests {
                 assert!(d < p.id, "dependency on a later packet");
             }
         }
+    }
+
+    #[test]
+    fn retransmission_expansion_is_deterministic_and_chains_attempts() {
+        use pim_faults::{FaultConfig, FaultInjector};
+        let s = schedule(CollectiveKind::AllReduce, 8, 64);
+        let packets = packets_from_schedule(&s);
+        let inj = FaultInjector::new(
+            FaultConfig {
+                transient_ber: 0.3,
+                max_retries: 16,
+                ..FaultConfig::none()
+            }
+            .with_seed(5),
+        );
+        let a = inject_retransmissions(&packets, &inj).unwrap();
+        let b = inject_retransmissions(&packets, &inj).unwrap();
+        assert_eq!(a, b, "same seed must expand identically");
+        assert!(a.len() > packets.len(), "BER 0.3 should add retries");
+        // Ids are dense and deps point backwards.
+        for (i, p) in a.iter().enumerate() {
+            assert_eq!(p.id, i);
+            assert!(p.deps.iter().all(|&d| d < i));
+        }
+        // A retry differs from its predecessor only in id and deps.
+        let retries = a.len() - packets.len();
+        assert!(retries > 0);
+        // Total wire traffic grows by exactly the retry packets' bytes.
+        assert!(total_bytes(&a) > total_bytes(&packets));
+    }
+
+    #[test]
+    fn inactive_injector_returns_the_original_list() {
+        use pim_faults::FaultInjector;
+        let s = schedule(CollectiveKind::AllReduce, 8, 64);
+        let packets = packets_from_schedule(&s);
+        let out = inject_retransmissions(&packets, &FaultInjector::none()).unwrap();
+        assert_eq!(out, packets);
+    }
+
+    #[test]
+    fn hopeless_error_rate_is_a_typed_failure() {
+        use pim_faults::{FaultConfig, FaultInjector};
+        let s = schedule(CollectiveKind::AllReduce, 8, 64);
+        let packets = packets_from_schedule(&s);
+        let inj = FaultInjector::new(FaultConfig {
+            transient_ber: 1.0,
+            max_retries: 2,
+            ..FaultConfig::none()
+        });
+        assert!(matches!(
+            inject_retransmissions(&packets, &inj),
+            Err(pimnet::PimnetError::TransferFailed { .. })
+        ));
     }
 
     #[test]

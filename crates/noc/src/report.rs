@@ -3,10 +3,9 @@
 use std::fmt;
 
 use pim_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of one network simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NocReport {
     /// End-to-end completion time (last byte delivered), including the
     /// compute-ready offsets.

@@ -7,8 +7,7 @@
 //! compares against, and they stress the simulator far harder than
 //! collective traffic does.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use pim_sim::rng::SimRng;
 
 use pim_arch::geometry::{DpuId, PimGeometry};
 use pimnet::topology::{chip_path, rank_path, ring_path, shorter_direction};
@@ -42,7 +41,7 @@ impl Pattern {
         src: u32,
         total: u32,
         geometry: &PimGeometry,
-        rng: &mut ChaCha8Rng,
+        rng: &mut SimRng,
     ) -> u32 {
         match self {
             Pattern::UniformRandom => {
@@ -97,7 +96,7 @@ pub fn synthetic_packets(
         total.is_power_of_two() && total >= 2,
         "synthetic traffic needs a power-of-two node count >= 2"
     );
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let mut packets = Vec::with_capacity(total as usize * packets_per_node);
     for round in 0..packets_per_node {
         for src in 0..total {

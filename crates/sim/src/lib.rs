@@ -28,10 +28,12 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod rng;
 pub mod stats;
 mod time;
 mod units;
 
 pub use engine::Engine;
+pub use rng::SimRng;
 pub use time::SimTime;
 pub use units::{Bandwidth, Bytes, Cycles, Frequency};

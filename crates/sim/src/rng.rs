@@ -1,0 +1,269 @@
+//! Seeded, deterministic random number generation for the whole workspace.
+//!
+//! Every source of randomness in the reproduction — synthetic traffic
+//! destinations, workload data generators, compute-time jitter, and the
+//! fault-injection layer — flows through [`SimRng`], so any run is exactly
+//! reproducible from its seed, bit-for-bit across platforms. The generator
+//! is xoshiro256** (Blackman & Vigna) seeded through SplitMix64, which is
+//! the standard way to expand a 64-bit seed into the 256-bit state.
+//!
+//! The API mirrors the subset of the `rand` crate the workspace used
+//! before it was vendored out (`seed_from_u64`, `gen_range`, `gen_bool`),
+//! so call sites read the same.
+//!
+//! # Example
+//!
+//! ```
+//! use pim_sim::rng::SimRng;
+//!
+//! let mut a = SimRng::seed_from_u64(7);
+//! let mut b = SimRng::seed_from_u64(7);
+//! assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+//! ```
+
+/// SplitMix64 step — used for seeding and for stateless per-event hashing.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless hash of a list of event coordinates into a uniform `u64`.
+///
+/// The fault-injection layer uses this to make per-event decisions that
+/// depend only on the seed and the event's stable identity — never on the
+/// order events are visited — which is what makes fault runs replayable.
+#[must_use]
+pub fn hash_coords(seed: u64, coords: &[u64]) -> u64 {
+    let mut h = splitmix64(seed ^ 0xA076_1D64_78BD_642F);
+    for &c in coords {
+        h = splitmix64(h ^ c);
+    }
+    h
+}
+
+/// A deterministic xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed (SplitMix64 state expansion).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *slot = splitmix64(x);
+        }
+        // All-zero state is the one forbidden state of xoshiro.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SimRng { s }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in a range, like `rand::Rng::gen_range`.
+    ///
+    /// Supported range types: `Range`/`RangeInclusive` over the unsigned
+    /// and signed integer widths and `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`, like `rand::Rng::gen_bool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        // Compare against p scaled to the full 64-bit range; exact for the
+        // p = 0 and p = 1 endpoints.
+        if p >= 1.0 {
+            return true;
+        }
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` below `bound` via Lemire's multiply-shift with
+    /// rejection (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "SimRng::below: zero bound");
+        // Rejection zone keeps the mapping exactly uniform.
+        let zone = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let lo = m as u64;
+            if lo >= zone || zone == 0 {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Ranges [`SimRng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample(self, rng: &mut SimRng) -> T;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut SimRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                if span > u128::from(u64::MAX) {
+                    // Only reachable for the full u64/i64 domain.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, rng: &mut SimRng) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample(self, rng: &mut SimRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + rng.gen_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&y));
+            let f = rng.gen_range(-0.25f64..=0.25);
+            assert!((-0.25..=0.25).contains(&f));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn range_covers_every_value() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all of 0..8 drawn: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_endpoints_and_rate() {
+        let mut rng = SimRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    fn hash_coords_is_order_sensitive_and_stable() {
+        let a = hash_coords(5, &[1, 2, 3]);
+        assert_eq!(a, hash_coords(5, &[1, 2, 3]));
+        assert_ne!(a, hash_coords(5, &[3, 2, 1]));
+        assert_ne!(a, hash_coords(6, &[1, 2, 3]));
+    }
+
+    #[test]
+    fn mean_is_near_the_middle() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_f64()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SimRng::seed_from_u64(0);
+        let _ = rng.gen_range(5u32..5);
+    }
+}

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::SimTime;
 
@@ -22,7 +21,7 @@ use crate::SimTime;
 /// assert_eq!(acc.min(), Some(1.0));
 /// assert_eq!(acc.max(), Some(3.0));
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Accumulator {
     count: u64,
     sum: f64,
@@ -119,7 +118,7 @@ impl fmt::Display for Accumulator {
 ///
 /// Buckets are uniform in `bucket_width`; samples beyond the last bucket land
 /// in an overflow bucket.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     bucket_width: SimTime,
     buckets: Vec<u64>,

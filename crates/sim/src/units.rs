@@ -4,7 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
 
 use crate::SimTime;
 
@@ -25,7 +24,7 @@ use crate::SimTime;
 /// assert_eq!((msg * 2).as_u64(), wram.as_u64());
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default
 )]
 pub struct Bytes(u64);
 
@@ -203,7 +202,7 @@ impl fmt::Display for Bytes {
 /// assert!((t.as_us() - 5.851).abs() < 0.01);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default
 )]
 pub struct Bandwidth(u64);
 
@@ -336,7 +335,7 @@ impl fmt::Display for Bandwidth {
 /// assert_eq!(t.as_secs_f64(), 1.0);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default
 )]
 pub struct Frequency(u64);
 
@@ -407,7 +406,7 @@ impl fmt::Display for Frequency {
 
 /// A count of clock cycles (frequency-agnostic).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default
 )]
 pub struct Cycles(u64);
 

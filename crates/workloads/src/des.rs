@@ -13,8 +13,7 @@
 //! faithful summary of the event-driven execution.
 
 use pim_sim::{Engine, SimTime};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use pim_sim::rng::SimRng;
 
 use pim_arch::SystemConfig;
 use pimnet::backends::CollectiveBackend;
@@ -66,7 +65,7 @@ pub fn run_program_des(
     seed: u64,
 ) -> Result<DesReport, PimnetError> {
     let dpus = system.geometry.dpus_per_channel();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
 
     // Pre-compute every collective's duration (they are state-independent).
     let mut comm_times = Vec::new();

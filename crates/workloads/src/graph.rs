@@ -9,8 +9,7 @@
 
 use std::sync::OnceLock;
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use pim_sim::rng::SimRng;
 
 /// An undirected graph in CSR form.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,7 +61,7 @@ impl Graph {
     #[must_use]
     pub fn power_law(n: usize, m: usize, seed: u64) -> Self {
         assert!(n >= 2 && m >= 1, "power_law: degenerate parameters");
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let mut list: Vec<(u32, u32)> = Vec::with_capacity(n * m);
         // Endpoint pool for degree-proportional sampling.
         let mut pool: Vec<u32> = vec![0, 1];
@@ -92,7 +91,7 @@ impl Graph {
     #[must_use]
     pub fn log_gowalla() -> &'static Graph {
         static CACHE: OnceLock<Graph> = OnceLock::new();
-        CACHE.get_or_init(|| Graph::power_law(196_591, 5, 0x60A1_1A))
+        CACHE.get_or_init(|| Graph::power_law(196_591, 5, 0x0060_A11A))
     }
 
     /// Vertex count.

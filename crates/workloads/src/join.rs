@@ -9,8 +9,7 @@
 use std::collections::HashMap;
 
 use pim_sim::Bytes;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use pim_sim::rng::SimRng;
 
 use pim_arch::{OpCounts, SystemConfig};
 use pimnet::collective::CollectiveKind;
@@ -24,7 +23,7 @@ pub type Relation = Vec<(u64, u64)>;
 /// spaces produce more matches and more skew).
 #[must_use]
 pub fn random_relation(tuples: usize, key_space: u64, seed: u64) -> Relation {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     (0..tuples)
         .map(|i| (rng.gen_range(0..key_space), i as u64))
         .collect()

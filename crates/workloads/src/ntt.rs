@@ -285,7 +285,7 @@ impl Workload for NttWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pim_sim::rng::SimRng;
 
     #[test]
     fn field_ops_basics() {
@@ -341,33 +341,42 @@ mod tests {
         assert_eq!(p.phases.len(), 4);
     }
 
-    proptest! {
-        #[test]
-        fn convolution_theorem_holds(
-            a in prop::collection::vec(0u64..P, 32),
-            b in prop::collection::vec(0u64..P, 32),
-        ) {
-            prop_assert_eq!(convolve(&a, &b), naive_convolve(&a, &b));
-        }
+    fn field_vec(rng: &mut SimRng, len: usize) -> Vec<u64> {
+        (0..len).map(|_| rng.gen_range(0..P)).collect()
+    }
 
-        #[test]
-        fn transform_roundtrips(
-            a in prop::collection::vec(0u64..P, 1usize..=128)
-        ) {
+    #[test]
+    fn convolution_theorem_holds() {
+        let mut rng = SimRng::seed_from_u64(0xC0_4401);
+        for _ in 0..16 {
+            let a = field_vec(&mut rng, 32);
+            let b = field_vec(&mut rng, 32);
+            assert_eq!(convolve(&a, &b), naive_convolve(&a, &b));
+        }
+    }
+
+    #[test]
+    fn transform_roundtrips() {
+        let mut rng = SimRng::seed_from_u64(0xC0_4402);
+        for _ in 0..32 {
+            let len = rng.gen_range(1usize..=128);
+            let a = field_vec(&mut rng, len);
             let n = a.len().next_power_of_two();
             let mut padded = a.clone();
             padded.resize(n, 0);
             let orig = padded.clone();
             ntt(&mut padded);
             intt(&mut padded);
-            prop_assert_eq!(padded, orig);
+            assert_eq!(padded, orig);
         }
+    }
 
-        #[test]
-        fn ntt_is_linear(
-            a in prop::collection::vec(0u64..P, 16),
-            b in prop::collection::vec(0u64..P, 16),
-        ) {
+    #[test]
+    fn ntt_is_linear() {
+        let mut rng = SimRng::seed_from_u64(0xC0_4403);
+        for _ in 0..16 {
+            let a = field_vec(&mut rng, 16);
+            let b = field_vec(&mut rng, 16);
             let mut fa = a.clone();
             let mut fb = b.clone();
             let mut fsum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| add(x, y)).collect();
@@ -375,7 +384,7 @@ mod tests {
             ntt(&mut fb);
             ntt(&mut fsum);
             let sum_f: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| add(x, y)).collect();
-            prop_assert_eq!(fsum, sum_f);
+            assert_eq!(fsum, sum_f);
         }
     }
 }

@@ -4,7 +4,6 @@
 use std::fmt;
 
 use pim_sim::{Bytes, SimTime};
-use serde::{Deserialize, Serialize};
 
 use pim_arch::{OpCounts, SystemConfig};
 use pimnet::backends::CollectiveBackend;
@@ -13,7 +12,7 @@ use pimnet::timing::CommBreakdown;
 use pimnet::PimnetError;
 
 /// One phase of a workload's execution on the PIM side.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Phase {
     /// Every DPU runs a kernel with (mean) per-DPU instruction counts;
     /// `imbalance` is the fractional spread between the mean and the
@@ -57,7 +56,7 @@ impl Phase {
 }
 
 /// A compiled workload: the phase sequence one end-to-end run executes.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Program {
     /// Phases, in execution order.
     pub phases: Vec<Phase>,
@@ -112,7 +111,7 @@ pub trait Workload {
 }
 
 /// Timing outcome of one program on one backend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExecutionReport {
     /// Total DPU compute time (identical across backends).
     pub compute: SimTime,

@@ -7,8 +7,7 @@
 //! reports 2.43× from doing that merge over PIMnet instead of the host.
 
 use pim_sim::Bytes;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use pim_sim::rng::SimRng;
 
 use pim_arch::{OpCounts, SystemConfig};
 use pimnet::collective::CollectiveKind;
@@ -28,7 +27,7 @@ impl CooMatrix {
     /// Seeded random sparse matrix with about `nnz` non-zeros.
     #[must_use]
     pub fn random(n: usize, nnz: usize, seed: u64) -> Self {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let entries = (0..nnz)
             .map(|_| {
                 (

@@ -10,7 +10,7 @@ use pimnet_suite::arch::PimGeometry;
 use pimnet_suite::net::collective::CollectiveKind;
 use pimnet_suite::net::schedule::CommSchedule;
 use pimnet_suite::noc::{simulate_credit, simulate_scheduled, NocConfig};
-use rand::{Rng, SeedableRng};
+use pim_sim::rng::SimRng;
 
 fn main() {
     let cfg = NocConfig::paper();
@@ -18,7 +18,7 @@ fn main() {
     let geometry = PimGeometry::paper_scaled(n);
 
     // Per-DPU compute-finish jitter, as the paper fed from real UPMEM runs.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = SimRng::seed_from_u64(42);
     let ready: Vec<SimTime> = (0..n)
         .map(|_| SimTime::from_secs_f64(40e-6 * (1.0 + rng.gen_range(-0.1..=0.1))))
         .collect();

@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Execute the compiled form and check it against the span executor.
     let input = |id: DpuId| vec![u64::from(id.0) + 1; elems];
     let mut isa = IsaMachine::init(&compiled, input);
-    isa.run(&compiled, ReduceOp::Sum);
+    isa.run(&compiled, ReduceOp::Sum)?;
     let reference = run_collective(&schedule, ReduceOp::Sum, input)?;
     for id in schedule.participants() {
         assert_eq!(isa.buffer(id), reference.buffer(id));

@@ -6,6 +6,7 @@
 //! ([`pimnet`], [`pim_arch`], [`pim_workloads`], ...) directly.
 
 pub use pim_arch as arch;
+pub use pim_faults as faults;
 pub use pim_noc as noc;
 pub use pim_sim as sim;
 pub use pim_workloads as workloads;

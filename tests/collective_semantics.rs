@@ -6,7 +6,7 @@ use pim_arch::geometry::{DpuId, PimGeometry};
 use pimnet_suite::net::collective::CollectiveKind;
 use pimnet_suite::net::exec::{run_collective, ReduceOp};
 use pimnet_suite::net::schedule::{validate, CommSchedule};
-use proptest::prelude::*;
+use pim_sim::SimRng;
 
 fn input(id: DpuId, elems: usize, salt: u64) -> Vec<u64> {
     (0..elems)
@@ -71,17 +71,15 @@ fn alltoall_is_an_involution() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every collective validates and executes correctly for arbitrary
-    /// power-of-two system sizes and payload lengths.
-    #[test]
-    fn collectives_hold_for_arbitrary_shapes(
-        n_exp in 0u32..=8,
-        elems in 1usize..300,
-        salt in any::<u64>(),
-    ) {
+/// Every collective validates and executes correctly for arbitrary
+/// power-of-two system sizes and payload lengths.
+#[test]
+fn collectives_hold_for_arbitrary_shapes() {
+    let mut rng = SimRng::seed_from_u64(0xC011_0001);
+    for _ in 0..24 {
+        let n_exp = rng.gen_range(0u32..=8);
+        let elems = rng.gen_range(1usize..300);
+        let salt = rng.next_u64();
         let n = 1u32 << n_exp;
         let g = PimGeometry::paper_scaled(n);
         // AllReduce: everyone gets the elementwise wrapping sum.
@@ -96,38 +94,42 @@ proptest! {
             })
             .collect();
         for id in s.participants() {
-            prop_assert_eq!(m.result(&s, id), expected.clone());
+            assert_eq!(m.result(&s, id), expected.clone());
         }
     }
+}
 
-    /// ReduceScatter pieces tile the vector exactly and carry the sum.
-    #[test]
-    fn reduce_scatter_partition_property(
-        n_exp in 0u32..=8,
-        elems in 1usize..300,
-    ) {
+/// ReduceScatter pieces tile the vector exactly and carry the sum.
+#[test]
+fn reduce_scatter_partition_property() {
+    let mut rng = SimRng::seed_from_u64(0xC011_0002);
+    for _ in 0..24 {
+        let n_exp = rng.gen_range(0u32..=8);
+        let elems = rng.gen_range(1usize..300);
         let n = 1u32 << n_exp;
         let g = PimGeometry::paper_scaled(n);
         let s = CommSchedule::build(CollectiveKind::ReduceScatter, &g, elems, 4).unwrap();
         let spans: Vec<_> = s.result_spans.iter().flatten().collect();
         let covered: usize = spans.iter().map(|sp| sp.len).sum();
-        prop_assert_eq!(covered, elems);
+        assert_eq!(covered, elems);
         let mut seen = vec![false; elems];
         for sp in spans {
             for i in sp.range() {
-                prop_assert!(!seen[i], "element {} owned twice", i);
+                assert!(!seen[i], "element {} owned twice", i);
                 seen[i] = true;
             }
         }
     }
+}
 
-    /// Max- and min-reductions agree with the scalar fold.
-    #[test]
-    fn reduce_ops_agree_with_fold(
-        n_exp in 1u32..=6,
-        elems in 1usize..64,
-        op_is_max in any::<bool>(),
-    ) {
+/// Max- and min-reductions agree with the scalar fold.
+#[test]
+fn reduce_ops_agree_with_fold() {
+    let mut rng = SimRng::seed_from_u64(0xC011_0003);
+    for _ in 0..24 {
+        let n_exp = rng.gen_range(1u32..=6);
+        let elems = rng.gen_range(1usize..64);
+        let op_is_max = rng.gen_bool(0.5);
         let n = 1u32 << n_exp;
         let g = PimGeometry::paper_scaled(n);
         let s = CommSchedule::build(CollectiveKind::AllReduce, &g, elems, 4).unwrap();
@@ -139,6 +141,6 @@ proptest! {
                 if op_is_max { vals.max() } else { vals.min() }.unwrap()
             })
             .collect();
-        prop_assert_eq!(m.result(&s, DpuId(0)), expected);
+        assert_eq!(m.result(&s, DpuId(0)), expected);
     }
 }

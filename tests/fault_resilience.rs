@@ -1,0 +1,219 @@
+//! Cross-crate fault-injection properties.
+//!
+//! The contract of the fault layer, pinned end-to-end:
+//!
+//! 1. **Bit-identical recovery** — a fault-injected run that succeeds
+//!    (every corrupted transfer retried within budget) leaves exactly the
+//!    buffers of a fault-free run. CRC detection plus retry is *lossless*.
+//! 2. **Seeded determinism** — the same seed reproduces the same corrupted
+//!    transfers, the same retry counts, the same stretched timeline, and
+//!    the same NoC report, run after run.
+//! 3. **Zero overhead when disabled** — an inactive injector takes the
+//!    exact fault-free code paths: no CRC work, byte-identical outputs.
+//! 4. **Typed failures** — exhausted retry budgets, dead DPUs and blown
+//!    watchdogs surface as [`pimnet::PimnetError`] values, never panics.
+
+use pimnet_suite::arch::geometry::{DpuId, PimGeometry};
+use pimnet_suite::arch::SystemConfig;
+use pimnet_suite::faults::{FaultConfig, FaultInjector};
+use pimnet_suite::net::collective::CollectiveKind;
+use pimnet_suite::net::exec::{ExecMachine, ReduceOp};
+use pimnet_suite::net::resilience::{plan_degraded, DegradedPlan};
+use pimnet_suite::net::schedule::CommSchedule;
+use pimnet_suite::net::timeline::Timeline;
+use pimnet_suite::net::timing::TimingModel;
+use pimnet_suite::net::PimnetError;
+use pimnet_suite::noc::{simulate_credit, simulate_credit_faulty, NocConfig};
+use pimnet_suite::sim::SimTime;
+
+const KINDS: [CollectiveKind; 4] = [
+    CollectiveKind::AllReduce,
+    CollectiveKind::ReduceScatter,
+    CollectiveKind::AllGather,
+    CollectiveKind::AllToAll,
+];
+
+fn schedule(kind: CollectiveKind, n: u32, elems: usize) -> CommSchedule {
+    CommSchedule::build(kind, &PimGeometry::paper_scaled(n), elems, 4).unwrap()
+}
+
+fn noisy(seed: u64) -> FaultInjector {
+    // BER 0.15 with a 16-retry budget: corruption is everywhere, but the
+    // chance of one transfer failing 17 straight attempts is ~6e-15.
+    FaultInjector::new(
+        FaultConfig {
+            transient_ber: 0.15,
+            straggler_prob: 0.3,
+            straggler_max_ns: 40_000,
+            max_retries: 16,
+            ..FaultConfig::none()
+        }
+        .with_seed(seed),
+    )
+}
+
+fn input(id: DpuId, elems: usize) -> Vec<u64> {
+    (0..elems).map(|e| u64::from(id.0) * 1_000 + e as u64).collect()
+}
+
+#[test]
+fn faulty_execution_is_bit_identical_to_fault_free_execution() {
+    for kind in KINDS {
+        for seed in [1u64, 77, 0xDEAD] {
+            let s = schedule(kind, 16, 96);
+            let mut clean = ExecMachine::init(&s, |id| input(id, 96));
+            clean.run(&s, ReduceOp::Sum);
+            let mut faulty = ExecMachine::init(&s, |id| input(id, 96));
+            let stats = faulty
+                .run_with_faults(&s, ReduceOp::Sum, &noisy(seed))
+                .expect("retry budget is ample");
+            assert!(stats.corrupted > 0, "{kind} seed {seed}: BER 0.15 must corrupt");
+            assert_eq!(clean, faulty, "{kind} seed {seed}: buffers diverged");
+        }
+    }
+}
+
+#[test]
+fn identical_seeds_give_identical_stats_timing_and_noc_reports() {
+    let s = schedule(CollectiveKind::AllReduce, 32, 128);
+    let timing = TimingModel::paper();
+    let noc_cfg = NocConfig::paper();
+    let ready = vec![SimTime::ZERO; 32];
+    let inj = noisy(0x5EED);
+
+    let mut m1 = ExecMachine::init(&s, |id| input(id, 128));
+    let mut m2 = ExecMachine::init(&s, |id| input(id, 128));
+    let s1 = m1.run_with_faults(&s, ReduceOp::Sum, &inj).unwrap();
+    let s2 = m2.run_with_faults(&s, ReduceOp::Sum, &inj).unwrap();
+    assert_eq!(s1, s2);
+    assert_eq!(m1, m2);
+
+    let t1 = Timeline::build_with_faults(&s, &timing, &inj).unwrap();
+    let t2 = Timeline::build_with_faults(&s, &timing, &inj).unwrap();
+    assert_eq!(t1.end, t2.end);
+    assert_eq!(t1.windows, t2.windows);
+
+    let n1 = simulate_credit_faulty(&s, &ready, &noc_cfg, &inj).unwrap();
+    let n2 = simulate_credit_faulty(&s, &ready, &noc_cfg, &inj).unwrap();
+    assert_eq!(n1, n2);
+
+    // A different seed draws a different fault pattern (with these rates,
+    // collision of every decision is effectively impossible).
+    let other = Timeline::build_with_faults(&s, &timing, &noisy(0x5EED + 1)).unwrap();
+    assert_ne!(t1.end, other.end, "different seeds should differ");
+}
+
+#[test]
+fn disabled_faults_are_byte_identical_to_the_fault_free_path() {
+    let off = FaultInjector::none();
+    assert!(!off.is_active());
+    for kind in KINDS {
+        let s = schedule(kind, 16, 64);
+
+        let mut clean = ExecMachine::init(&s, |id| input(id, 64));
+        clean.run(&s, ReduceOp::Sum);
+        let mut gated = ExecMachine::init(&s, |id| input(id, 64));
+        let stats = gated.run_with_faults(&s, ReduceOp::Sum, &off).unwrap();
+        assert_eq!(clean, gated, "{kind}: disabled faults changed the result");
+        assert_eq!(stats.crc_checks, 0, "{kind}: inactive injector did CRC work");
+
+        let timing = TimingModel::paper();
+        let t_clean = Timeline::build(&s, &timing);
+        let t_gated = Timeline::build_with_faults(&s, &timing, &off).unwrap();
+        assert_eq!(t_clean, t_gated, "{kind}: disabled faults changed the timeline");
+
+        let ready = vec![SimTime::ZERO; 16];
+        let cfg = NocConfig::paper();
+        assert_eq!(
+            simulate_credit(&s, &ready, &cfg),
+            simulate_credit_faulty(&s, &ready, &cfg, &off).unwrap(),
+            "{kind}: disabled faults changed the NoC report"
+        );
+    }
+}
+
+#[test]
+fn fault_timing_stretches_but_never_shrinks() {
+    let timing = TimingModel::paper();
+    for kind in KINDS {
+        let s = schedule(kind, 16, 128);
+        let clean = Timeline::build(&s, &timing);
+        let faulty = Timeline::build_with_faults(&s, &timing, &noisy(3)).unwrap();
+        assert!(
+            faulty.end > clean.end,
+            "{kind}: BER 0.15 + stragglers must cost time"
+        );
+    }
+}
+
+#[test]
+fn exhausted_retries_dead_dpus_and_watchdogs_are_typed_errors() {
+    let s = schedule(CollectiveKind::AllReduce, 8, 32);
+
+    let hopeless = FaultInjector::new(FaultConfig {
+        transient_ber: 1.0,
+        max_retries: 2,
+        ..FaultConfig::none()
+    });
+    let mut m = ExecMachine::init(&s, |id| input(id, 32));
+    assert!(matches!(
+        m.run_with_faults(&s, ReduceOp::Sum, &hopeless),
+        Err(PimnetError::TransferFailed { attempts: 3, .. })
+    ));
+
+    let dead = FaultInjector::new(FaultConfig {
+        dead_dpus: vec![5],
+        ..FaultConfig::none()
+    });
+    let mut m = ExecMachine::init(&s, |id| input(id, 32));
+    assert!(matches!(
+        m.run_with_faults(&s, ReduceOp::Sum, &dead),
+        Err(PimnetError::DeadDpu { dpu: 5 })
+    ));
+    assert!(matches!(
+        Timeline::build_with_faults(&s, &TimingModel::paper(), &dead),
+        Err(PimnetError::DeadDpu { dpu: 5 })
+    ));
+}
+
+#[test]
+fn degraded_plans_still_compute_the_right_answer() {
+    // Kill 5 of 32 DPUs: the plan shrinks to 16 logical nodes mapped onto
+    // alive physical ids, and the shrunk AllReduce still sums correctly.
+    let g = PimGeometry::paper_scaled(32);
+    let inj = FaultInjector::new(FaultConfig {
+        dead_dpus: vec![0, 7, 9, 20, 31],
+        ..FaultConfig::none()
+    });
+    let plan = plan_degraded(
+        CollectiveKind::AllReduce,
+        &g,
+        48,
+        4,
+        &inj,
+        &SystemConfig::paper_scaled(32),
+    )
+    .unwrap();
+    let DegradedPlan::Shrunk {
+        schedule,
+        logical_to_physical,
+        excluded,
+        error_trail,
+    } = plan
+    else {
+        panic!("expected a shrunk plan");
+    };
+    assert_eq!(schedule.geometry.total_dpus(), 16);
+    assert_eq!(error_trail.len(), 5);
+    assert!(logical_to_physical.iter().all(|p| !excluded.contains(p)));
+
+    // Logical node i carries physical node logical_to_physical[i]'s data.
+    let mut m = ExecMachine::init(&schedule, |id| {
+        vec![u64::from(logical_to_physical[id.index()]); 48]
+    });
+    m.run(&schedule, ReduceOp::Sum);
+    let expected: u64 = logical_to_physical.iter().map(|&p| u64::from(p)).sum();
+    for id in schedule.participants() {
+        assert!(m.buffer(id)[..48].iter().all(|&v| v == expected));
+    }
+}

@@ -26,7 +26,7 @@ fn compiled_collectives_match_the_executor_at_paper_scale() {
         let reference = run_collective(&s, ReduceOp::Sum, init).unwrap();
         let initial = pimnet_suite::net::exec::ExecMachine::<u32>::init(&s, init);
         let mut isa = IsaMachine::init(&compiled, |id| initial.buffer(id).to_vec());
-        isa.run(&compiled, ReduceOp::Sum);
+        isa.run(&compiled, ReduceOp::Sum).expect("isa run");
         for id in s.participants() {
             assert_eq!(isa.buffer(id), reference.buffer(id), "{kind} node {id}");
         }
