@@ -109,6 +109,9 @@ fn main() {
         .expect("at least one DPU alive");
         let (tier, participants) = match &plan {
             DegradedPlan::Full(s) => ("full", s.geometry.total_dpus()),
+            DegradedPlan::Repaired { schedule, .. } => {
+                ("repaired", schedule.geometry.total_dpus())
+            }
             DegradedPlan::Shrunk { schedule, .. } => ("shrunk", schedule.geometry.total_dpus()),
             DegradedPlan::HostFallback { .. } => ("host fallback", 0),
         };

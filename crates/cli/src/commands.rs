@@ -25,11 +25,18 @@ USAGE:
   pimnet-cli faults     --kind <coll> [--dpus <n>] [--elems <n>]
                     [--fault-seed <n>] [--fault-config <path>]
                     [--ber <f>] [--straggler-prob <f>] [--dead <i,j,..>]
+                    [--perm-faults <tok,..>]
+  pimnet-cli repair     --kind <coll> [--dpus <n>] [--elems <n>]
+                    [--perm-faults <tok,..>] [--fault-seed <n>]
+                    [--fault-config <path>]
 
   <coll> = allreduce | reducescatter | allgather | a2a | broadcast | reduce | gather
 
   Fault configs are key=value files (see pim-faults); --fault-seed overrides
-  the file's seed, and --ber/--straggler-prob/--dead override its rates.";
+  the file's seed, and --ber/--straggler-prob/--dead override its rates.
+  --perm-faults names permanent fabric faults inline: ring segments as
+  r<rank>c<chip>b<bank><E|W>, crossbar ports as r<rank>c<chip><tx|rx>, and
+  whole ranks as rank<N> (e.g. --perm-faults r0c1b3E,r0c2tx,rank1).";
 
 /// Dispatches a parsed command line.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -44,6 +51,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "schedule" => schedule(&flags),
         "noc" => noc(&flags),
         "faults" => faults(&flags),
+        "repair" => repair(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -133,6 +141,11 @@ fn fault_injector(flags: &Flags) -> Result<pim_faults::FaultInjector, String> {
             .collect::<Result<Vec<u32>, String>>()?;
         cfg.dead_dpus.sort_unstable();
         cfg.dead_dpus.dedup();
+    }
+    if let Ok(tokens) = flags.require("perm-faults") {
+        let set = pim_faults::PermanentFaultSet::parse_tokens(tokens)
+            .map_err(|e| format!("flag --perm-faults: {e}"))?;
+        cfg.permanent.merge(&set);
     }
     Ok(pim_faults::FaultInjector::new(cfg))
 }
@@ -333,6 +346,7 @@ fn faults(flags: &Flags) -> Result<(), String> {
             "ber",
             "straggler-prob",
             "dead",
+            "perm-faults",
         ],
     );
     let kind = parse_kind(flags.get_or("kind", "allreduce"))?;
@@ -368,6 +382,17 @@ fn faults(flags: &Flags) -> Result<(), String> {
         pimnet::resilience::DegradedPlan::Full(s) => {
             println!("  plan: full ({} DPUs participate)", s.geometry.total_dpus());
             s
+        }
+        pimnet::resilience::DegradedPlan::Repaired { schedule, report } => {
+            println!(
+                "  plan: repaired around permanent faults ({} rerouted, {} remapped, \
+                 +{} hops, +{} steps)",
+                report.rerouted_transfers,
+                report.remapped_transfers,
+                report.extra_hops,
+                report.extra_steps
+            );
+            schedule
         }
         pimnet::resilience::DegradedPlan::Shrunk {
             schedule, excluded, ..
@@ -428,6 +453,78 @@ fn faults(flags: &Flags) -> Result<(), String> {
     );
     if clean_m != faulty_m {
         return Err("faulty run diverged from the clean run".into());
+    }
+    Ok(())
+}
+
+fn repair(flags: &Flags) -> Result<(), String> {
+    warn_unknown(
+        flags,
+        &["kind", "dpus", "elems", "perm-faults", "fault-seed", "fault-config"],
+    );
+    let kind = parse_kind(flags.get_or("kind", "allreduce"))?;
+    let dpus: u32 = flags.num_or("dpus", 64)?;
+    let elems: usize = flags.num_or("elems", 1024)?;
+    let injector = fault_injector(flags)?;
+    let sys = system_for(dpus)?;
+    let g = sys.system().geometry;
+    let faults =
+        injector.permanent_faults(g.ranks_per_channel, g.chips_per_rank, g.banks_per_chip);
+    println!("{kind} on {dpus} DPUs, {elems} elements/DPU");
+    println!("permanent faults: {faults}");
+    let unusable = pimnet::schedule::repair::unusable_dpus(&g, &faults);
+    if !unusable.is_empty() {
+        println!(
+            "  {} DPU(s) unreachable even by repair: {unusable:?}",
+            unusable.len()
+        );
+    }
+    let s = CommSchedule::build(kind, &g, elems, 4).map_err(|e| e.to_string())?;
+    let timing = pimnet::timing::TimingModel::paper();
+    match pimnet::timeline::Timeline::build_repaired(&s, &timing, &faults) {
+        Ok((timeline, report)) => {
+            println!(
+                "  repair: {} rerouted (+{} hops), {} remapped to buddy ports, \
+                 +{} serialization steps",
+                report.rerouted_transfers,
+                report.extra_hops,
+                report.remapped_transfers,
+                report.extra_steps
+            );
+            let clean = pimnet::timeline::Timeline::build(&s, &timing);
+            println!(
+                "  timing: fault-free {} -> repaired {}  ({:.2}x)",
+                clean.end,
+                timeline.end,
+                timeline.end.as_secs_f64() / clean.end.as_secs_f64()
+            );
+            // Verify: the repaired schedule must produce bit-identical
+            // results to the fault-free plan.
+            let repaired = pimnet::schedule::repair::repair(&s, &faults)
+                .expect("repair succeeded above");
+            let init = |id: pim_arch::geometry::DpuId| vec![u64::from(id.0) + 1; elems];
+            let mut clean_m = pimnet::exec::ExecMachine::init(&s, init);
+            clean_m.run(&s, pimnet::exec::ReduceOp::Sum);
+            let mut rep_m = pimnet::exec::ExecMachine::init(&repaired.schedule, init);
+            rep_m.run(&repaired.schedule, pimnet::exec::ReduceOp::Sum);
+            println!(
+                "  exec: repaired result bit-identical to fault-free run: {}",
+                clean_m == rep_m
+            );
+            if clean_m != rep_m {
+                return Err("repaired run diverged from the clean run".into());
+            }
+        }
+        Err(e) => {
+            println!("  repair failed: {e}");
+            // Show where the ladder lands instead.
+            let plan = pimnet::resilience::plan_degraded(kind, &g, elems, 4, &injector, sys.system())
+                .map_err(|e| e.to_string())?;
+            println!("  degradation ladder lands on: {}", plan.tier_name());
+            for e in plan.error_trail() {
+                println!("    trail: {e}");
+            }
+        }
     }
     Ok(())
 }
@@ -512,6 +609,42 @@ mod tests {
     fn faults_command_rejects_bad_probabilities() {
         assert!(run(&["faults", "--kind", "ar", "--ber", "1.5"]).is_err());
         assert!(run(&["faults", "--kind", "ar", "--dead", "x"]).is_err());
+    }
+
+    #[test]
+    fn repair_command_reroutes_and_remaps() {
+        run(&[
+            "repair", "--kind", "ar", "--dpus", "64", "--elems", "256",
+            "--perm-faults", "r0c0b2E,r0c3tx",
+        ])
+        .unwrap();
+        // Identity case (no faults) also runs.
+        run(&["repair", "--kind", "a2a", "--dpus", "16", "--elems", "64"]).unwrap();
+    }
+
+    #[test]
+    fn repair_command_reports_the_ladder_on_dead_ranks() {
+        // A dead rank defeats repair; the command must surface the ladder
+        // tier instead of erroring out.
+        run(&[
+            "repair", "--kind", "ar", "--dpus", "256", "--elems", "64",
+            "--perm-faults", "rank1",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn faults_command_accepts_permanent_faults() {
+        run(&[
+            "faults", "--kind", "ar", "--dpus", "64", "--elems", "128",
+            "--perm-faults", "r0c0b1W",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn repair_command_rejects_bad_tokens() {
+        assert!(run(&["repair", "--perm-faults", "bogus"]).is_err());
     }
 
     #[test]

@@ -66,6 +66,19 @@ pub enum PimnetError {
         /// The dead participant.
         dpu: u32,
     },
+    /// A rank's DQ lanes are permanently dead, so every DPU on it is
+    /// unreachable; the plan must exclude the whole rank.
+    DeadRank {
+        /// The dead rank (within its channel).
+        rank: u32,
+    },
+    /// A permanent fabric fault leaves part of the schedule with no
+    /// surviving route — repair cannot preserve the full participant set
+    /// and the plan must degrade further down the ladder.
+    Unroutable {
+        /// What could not be routed around, and why.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PimnetError {
@@ -109,6 +122,12 @@ impl fmt::Display for PimnetError {
             }
             PimnetError::DeadDpu { dpu } => {
                 write!(f, "collective plan includes hard-dead DPU{dpu}")
+            }
+            PimnetError::DeadRank { rank } => {
+                write!(f, "rank {rank}'s DQ lanes are permanently dead")
+            }
+            PimnetError::Unroutable { reason } => {
+                write!(f, "permanent fault leaves no surviving route: {reason}")
             }
         }
     }

@@ -32,6 +32,7 @@ mod allreduce;
 mod alltoall;
 mod broadcast;
 pub mod halving;
+pub mod repair;
 mod ring;
 pub mod validate;
 
@@ -419,6 +420,29 @@ mod tests {
         let parts = Span::new(0, 2).split(4);
         assert_eq!(parts.iter().filter(|p| p.is_empty()).count(), 2);
         assert_eq!(parts.iter().map(|p| p.len).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn split_elems_handles_fewer_elems_than_parts() {
+        // The n < k edge (fewer elements than participants) that repaired
+        // and shrunk schedules hit with tiny payloads: every part exists,
+        // the non-empty ones are contiguous from 0, and nothing panics.
+        for (n, k) in [(0usize, 5usize), (1, 8), (3, 8), (7, 8), (8, 8)] {
+            let parts = split_elems(n, k);
+            assert_eq!(parts.len(), k, "n={n} k={k}");
+            assert_eq!(parts.iter().map(|p| p.len).sum::<usize>(), n);
+            let mut cursor = 0;
+            for p in &parts {
+                assert_eq!(p.start, cursor, "n={n} k={k}: gap before {p}");
+                cursor = p.end();
+            }
+            if n < k {
+                // Earlier parts absorb the remainder one element each; the
+                // tail is empty rather than out of bounds.
+                assert!(parts.iter().take(n).all(|p| p.len == 1));
+                assert!(parts.iter().skip(n).all(|p| p.is_empty()));
+            }
+        }
     }
 
     #[test]

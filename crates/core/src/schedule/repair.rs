@@ -1,0 +1,668 @@
+//! Self-healing static schedules: repair around permanent fabric faults.
+//!
+//! A [`CommSchedule`] is compiled against a healthy fabric. A permanently
+//! dead component — a ring segment, a crossbar port, a whole rank — does
+//! not drop packets at runtime; it invalidates the *plan*. This module
+//! rewrites a built schedule around a [`PermanentFaultSet`] while
+//! preserving PIMnet's two core properties:
+//!
+//! * **No arbitration.** The repaired schedule is still static and
+//!   contention-checked: it must pass [`super::validate::validate`] like
+//!   any other schedule.
+//! * **Bit-identical results.** Repair never touches element spans or
+//!   reduction flags — only resource paths and step boundaries — so
+//!   executing the repaired schedule produces exactly the fault-free
+//!   collective result.
+//!
+//! Three repairs, in increasing blast radius:
+//!
+//! 1. **Ring reroute** — a transfer whose path crosses a dead segment is
+//!    sent the *other way around* the ring (the skip-segment route). The
+//!    longer path costs more hops and more segment occupancy, which the
+//!    timing model prices automatically; if the reverse path is also dead,
+//!    the pair is unreachable and repair fails typed
+//!    ([`PimnetError::Unroutable`]).
+//! 2. **Port remap** — a chip whose crossbar Tx (or Rx) port is dead
+//!    borrows the port of a surviving *buddy* chip in the same rank. The
+//!    transfer then occupies both its own DQ channel and the buddy's port,
+//!    so steps where the buddy is also active must serialize.
+//! 3. **Step serialization** — rerouted/remapped transfers that now
+//!    contend inside a non-multiplexed step are split into sequential
+//!    sub-steps (readers-before-writers, so snapshot semantics are
+//!    preserved) until every step is contention-free again.
+//!
+//! Faults that no rewrite can absorb — a dead rank, a partitioned ring, a
+//! rank with no surviving port — surface as typed errors so
+//! [`crate::resilience::plan_degraded`] can fall down the degradation
+//! ladder (`Full → Repaired → Shrunk → HostFallback`) instead of
+//! panicking. [`unusable_dpus`] is the planner's predictor for that fall:
+//! the DPUs that *cannot* be kept even by repair.
+
+use std::collections::HashSet;
+
+use pim_arch::geometry::{DpuId, PimGeometry};
+use pim_faults::permanent::{PermanentFaultSet, PortId, PortSide, SegmentId};
+
+use crate::error::PimnetError;
+use crate::topology::{ring_path, ChipLoc, Direction, Resource};
+
+use super::{CommSchedule, CommStep, Phase, Transfer};
+
+/// What a successful repair did to the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairReport {
+    /// Dead ring segments the schedule actually routed around.
+    pub rerouted_transfers: usize,
+    /// Total ring hops added by reroutes (the price of going the long way).
+    pub extra_hops: usize,
+    /// Transfers remapped onto a buddy chip's crossbar port.
+    pub remapped_transfers: usize,
+    /// Serialization steps added to restore contention-freedom.
+    pub extra_steps: usize,
+}
+
+impl RepairReport {
+    /// `true` when the schedule needed no rewriting (identity repair).
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        *self == RepairReport::default()
+    }
+}
+
+/// A repaired schedule plus the account of what the repair cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairedSchedule {
+    /// The rewritten, re-validated schedule.
+    pub schedule: CommSchedule,
+    /// What changed.
+    pub report: RepairReport,
+}
+
+/// Is this exact segment resource dead? (Fault sets are per-channel; the
+/// schedule's single channel is implied.)
+fn segment_dead(faults: &PermanentFaultSet, chip: ChipLoc, from_bank: u32, dir: Direction) -> bool {
+    faults.segments.contains(&SegmentId {
+        rank: chip.rank,
+        chip: chip.chip,
+        from_bank,
+        east: dir == Direction::East,
+    })
+}
+
+fn port_dead(faults: &PermanentFaultSet, chip: ChipLoc, side: PortSide) -> bool {
+    faults.ports.contains(&PortId {
+        rank: chip.rank,
+        chip: chip.chip,
+        side,
+    })
+}
+
+/// The surviving chip (same rank) whose `side` port a dead-ported chip
+/// borrows: the next chip index cyclically whose own port is alive.
+fn buddy_port(
+    g: &PimGeometry,
+    faults: &PermanentFaultSet,
+    chip: ChipLoc,
+    side: PortSide,
+) -> Option<ChipLoc> {
+    let chips = g.chips_per_rank;
+    (1..chips)
+        .map(|d| ChipLoc {
+            chip: (chip.chip + d) % chips,
+            ..chip
+        })
+        .find(|&c| !port_dead(faults, c, side))
+}
+
+/// Does any resource of this path name a dead segment?
+fn path_hits_dead_segment(faults: &PermanentFaultSet, resources: &[Resource]) -> bool {
+    resources.iter().any(|r| {
+        matches!(
+            r,
+            Resource::RingSegment { chip, from_bank, dir }
+                if segment_dead(faults, *chip, *from_bank, *dir)
+        )
+    })
+}
+
+/// Rewrites one transfer around the fault set. Spans and reduction flags
+/// are never touched; only `resources` changes.
+fn repair_transfer(
+    schedule: &CommSchedule,
+    faults: &PermanentFaultSet,
+    t: &Transfer,
+    report: &mut RepairReport,
+) -> Result<Transfer, PimnetError> {
+    let g = &schedule.geometry;
+    let mut out = t.clone();
+    if t.is_local() {
+        return Ok(out);
+    }
+
+    // 1. Ring reroute (same-chip transfers: the path is pure segments).
+    let is_ring = t
+        .resources
+        .iter()
+        .all(|r| matches!(r, Resource::RingSegment { .. }));
+    if is_ring {
+        if path_hits_dead_segment(faults, &t.resources) {
+            let dir = match t.resources[0] {
+                Resource::RingSegment { dir, .. } => dir,
+                _ => unreachable!("is_ring checked above"),
+            };
+            let dst = t.dsts[0];
+            let reverse = ring_path(g, t.src, dst, dir.opposite());
+            if path_hits_dead_segment(faults, &reverse) {
+                return Err(PimnetError::Unroutable {
+                    reason: format!(
+                        "ring pair {} -> {dst} is dead in both directions",
+                        t.src
+                    ),
+                });
+            }
+            report.rerouted_transfers += 1;
+            report.extra_hops += reverse.len().saturating_sub(t.resources.len());
+            out.resources = reverse;
+        }
+        return Ok(out);
+    }
+
+    // 2. Crossbar port remap (DQ transfers: inter-chip and inter-rank).
+    let src_chip = ChipLoc::of(g.coord(t.src));
+    let mut borrowed = false;
+    if port_dead(faults, src_chip, PortSide::Tx) {
+        let buddy = buddy_port(g, faults, src_chip, PortSide::Tx).ok_or_else(|| {
+            PimnetError::Unroutable {
+                reason: format!("no surviving Tx port in rank {}", src_chip.rank),
+            }
+        })?;
+        let extra = Resource::ChipTx { chip: buddy };
+        if !out.resources.contains(&extra) {
+            out.resources.push(extra);
+        }
+        borrowed = true;
+    }
+    for &d in &t.dsts {
+        let dst_chip = ChipLoc::of(g.coord(d));
+        if port_dead(faults, dst_chip, PortSide::Rx) {
+            let buddy = buddy_port(g, faults, dst_chip, PortSide::Rx).ok_or_else(|| {
+                PimnetError::Unroutable {
+                    reason: format!("no surviving Rx port in rank {}", dst_chip.rank),
+                }
+            })?;
+            let extra = Resource::ChipRx { chip: buddy };
+            if !out.resources.contains(&extra) {
+                out.resources.push(extra);
+            }
+            borrowed = true;
+        }
+    }
+    if borrowed {
+        report.remapped_transfers += 1;
+    }
+    Ok(out)
+}
+
+/// Resources the validator requires to be exclusive within a step of a
+/// non-multiplexed phase (the bus is broadcast/WAIT-slotted everywhere).
+fn is_exclusive(r: &Resource) -> bool {
+    matches!(
+        r,
+        Resource::RingSegment { .. } | Resource::ChipTx { .. } | Resource::ChipRx { .. }
+    )
+}
+
+fn spans_overlap(a: super::Span, b: super::Span) -> bool {
+    a.start < b.end() && b.start < a.end()
+}
+
+/// Splits one step's transfers into sequential contention-free sub-steps.
+///
+/// Two constraints:
+/// * transfers in one sub-step must not share an exclusive resource;
+/// * a transfer that *writes* a span another transfer *reads* (on the same
+///   node) must not run in an earlier sub-step than the reader — the
+///   original step's snapshot semantics read pre-step data, and keeping
+///   readers at-or-before their writers preserves that exactly.
+fn split_step(transfers: Vec<Transfer>) -> Result<Vec<CommStep>, PimnetError> {
+    let mut remaining = transfers;
+    let mut out = Vec::new();
+    while !remaining.is_empty() {
+        let n = remaining.len();
+        let mut picked = vec![false; n];
+        // Writers unpicked by the hazard pass stay out of *this* sub-step,
+        // freeing their resources for the readers they would have clobbered
+        // (and bounding the loop: each iteration bans or breaks).
+        let mut banned = vec![false; n];
+        let mut used: HashSet<Resource> = HashSet::new();
+        loop {
+            // Greedy fill: first-fit by exclusive-resource compatibility.
+            for (i, t) in remaining.iter().enumerate() {
+                if picked[i]
+                    || banned[i]
+                    || t.resources
+                        .iter()
+                        .any(|r| is_exclusive(r) && used.contains(r))
+                {
+                    continue;
+                }
+                picked[i] = true;
+                used.extend(t.resources.iter().filter(|r| is_exclusive(r)).copied());
+            }
+            // Hazard pass: a picked writer whose reader would be left
+            // behind must wait — the reader needs the pre-write value.
+            let mut any_unpicked = false;
+            for i in 0..n {
+                if !picked[i] {
+                    continue;
+                }
+                let w = &remaining[i];
+                let leaves_reader = remaining.iter().enumerate().any(|(j, u)| {
+                    j != i
+                        && !picked[j]
+                        && w.dsts.contains(&u.src)
+                        && spans_overlap(w.dst_span, u.src_span)
+                });
+                if leaves_reader {
+                    picked[i] = false;
+                    banned[i] = true;
+                    any_unpicked = true;
+                }
+            }
+            if !any_unpicked {
+                break;
+            }
+            used.clear();
+            for (i, t) in remaining.iter().enumerate() {
+                if picked[i] {
+                    used.extend(t.resources.iter().filter(|r| is_exclusive(r)).copied());
+                }
+            }
+        }
+        if !picked.iter().any(|&p| p) {
+            return Err(PimnetError::Unroutable {
+                reason: "repair serialization deadlock: cyclic read/write hazard \
+                         among contending transfers"
+                    .into(),
+            });
+        }
+        let mut kept = Vec::new();
+        let mut rest = Vec::new();
+        for (t, p) in remaining.into_iter().zip(picked) {
+            if p {
+                kept.push(t);
+            } else {
+                rest.push(t);
+            }
+        }
+        out.push(CommStep::new(kept));
+        remaining = rest;
+    }
+    Ok(out)
+}
+
+/// Does a step of a non-multiplexed phase violate exclusivity? (Distinct
+/// flows — `(src, dsts)` pairs, matching the validator — sharing an
+/// exclusive resource.)
+fn step_has_contention(step: &CommStep) -> bool {
+    let mut seen: std::collections::HashMap<Resource, (DpuId, &[DpuId])> =
+        std::collections::HashMap::new();
+    for t in &step.transfers {
+        for r in &t.resources {
+            if !is_exclusive(r) {
+                continue;
+            }
+            match seen.get(r) {
+                Some(&(src, dsts)) if src != t.src || dsts != t.dsts.as_slice() => {
+                    return true;
+                }
+                _ => {
+                    seen.insert(*r, (t.src, &t.dsts));
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Repairs `schedule` around `faults`.
+///
+/// The repaired schedule moves exactly the same element spans with exactly
+/// the same reductions — executing it is bit-identical to the fault-free
+/// plan — but its resource paths avoid every dead component, and it passes
+/// [`super::validate::validate`] (the result is re-checked before being
+/// returned). The [`RepairReport`] accounts for the price: rerouted
+/// transfers, extra ring hops, borrowed ports, serialization steps.
+///
+/// # Errors
+///
+/// * [`PimnetError::DeadRank`] — a participating rank's DQ lanes are dead;
+///   no rewrite keeps its DPUs reachable.
+/// * [`PimnetError::Unroutable`] — a ring pair is dead in both directions,
+///   a rank has no surviving crossbar port, or serialization cannot
+///   restore contention-freedom.
+/// * [`PimnetError::ScheduleInvalid`] — the repaired schedule failed
+///   re-validation (a repair bug surfaced, never silently mistimed).
+pub fn repair(
+    schedule: &CommSchedule,
+    faults: &PermanentFaultSet,
+) -> Result<RepairedSchedule, PimnetError> {
+    if faults.is_empty() {
+        return Ok(RepairedSchedule {
+            schedule: schedule.clone(),
+            report: RepairReport::default(),
+        });
+    }
+    let g = &schedule.geometry;
+    if let Some(&rank) = faults
+        .dead_ranks
+        .iter()
+        .find(|&&r| r < g.ranks_per_channel)
+    {
+        return Err(PimnetError::DeadRank { rank });
+    }
+
+    let mut report = RepairReport::default();
+    let mut phases = Vec::with_capacity(schedule.phases.len());
+    for phase in &schedule.phases {
+        let mut steps = Vec::with_capacity(phase.steps.len());
+        for step in &phase.steps {
+            let repaired: Vec<Transfer> = step
+                .transfers
+                .iter()
+                .map(|t| repair_transfer(schedule, faults, t, &mut report))
+                .collect::<Result<_, _>>()?;
+            let repaired_step = CommStep::new(repaired);
+            if !phase.multiplexed && step_has_contention(&repaired_step) {
+                let sub = split_step(repaired_step.transfers)?;
+                report.extra_steps += sub.len().saturating_sub(1);
+                steps.extend(sub);
+            } else {
+                steps.push(repaired_step);
+            }
+        }
+        phases.push(Phase::new(phase.label, steps, phase.multiplexed));
+    }
+
+    let repaired = CommSchedule {
+        phases,
+        ..schedule.clone()
+    };
+    super::validate::validate(&repaired)?;
+    Ok(RepairedSchedule {
+        schedule: repaired,
+        report,
+    })
+}
+
+/// The DPUs that not even repair can keep in the collective: every DPU of
+/// a dead rank, of a rank with no surviving Tx (or Rx) crossbar port when
+/// the geometry needs DQ traffic, and of a chip whose internal ring is
+/// *partitioned* (some bank pair unreachable in both directions).
+///
+/// [`crate::resilience::plan_degraded`] excludes exactly these before
+/// choosing a ladder tier: when the list is empty the full participant set
+/// survives (Full or Repaired); otherwise the plan shrinks around them.
+/// The analysis is conservative per component, not per schedule — a
+/// partitioned chip is excluded even if a particular collective never
+/// routes the broken pair.
+#[must_use]
+pub fn unusable_dpus(geometry: &PimGeometry, faults: &PermanentFaultSet) -> Vec<u32> {
+    let mut unusable: Vec<u32> = Vec::new();
+    if faults.is_empty() {
+        return unusable;
+    }
+    let needs_dq = geometry.chips_per_rank > 1 || geometry.ranks_per_channel > 1;
+    for id in geometry.dpus() {
+        let c = geometry.coord(id);
+        let chip = ChipLoc::of(c);
+        let dead_rank = faults.dead_ranks.contains(&c.rank);
+        let portless = needs_dq
+            && ((port_dead(faults, chip, PortSide::Tx)
+                && buddy_port(geometry, faults, chip, PortSide::Tx).is_none())
+                || (port_dead(faults, chip, PortSide::Rx)
+                    && buddy_port(geometry, faults, chip, PortSide::Rx).is_none()));
+        if dead_rank || portless || chip_ring_partitioned(geometry, faults, chip) {
+            unusable.push(id.0);
+        }
+    }
+    unusable
+}
+
+/// Is some bank pair of this chip unreachable in both ring directions?
+fn chip_ring_partitioned(g: &PimGeometry, faults: &PermanentFaultSet, chip: ChipLoc) -> bool {
+    let banks = g.banks_per_chip;
+    let has_dead = (0..banks).any(|b| {
+        segment_dead(faults, chip, b, Direction::East)
+            || segment_dead(faults, chip, b, Direction::West)
+    });
+    if !has_dead {
+        return false;
+    }
+    let blocked = |a: u32, b: u32, dir: Direction| {
+        let mut cur = a;
+        while cur != b {
+            if segment_dead(faults, chip, cur, dir) {
+                return true;
+            }
+            cur = dir.next(cur, banks);
+        }
+        false
+    };
+    for a in 0..banks {
+        for b in 0..banks {
+            if a != b && blocked(a, b, Direction::East) && blocked(a, b, Direction::West) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::CollectiveKind;
+    use crate::exec::{ExecMachine, ReduceOp};
+    use crate::timing::TimingModel;
+    use pim_sim::SimTime;
+
+    fn build(kind: CollectiveKind, n: u32, elems: usize) -> CommSchedule {
+        CommSchedule::build(kind, &PimGeometry::paper_scaled(n), elems, 4).unwrap()
+    }
+
+    fn faults(tokens: &str) -> PermanentFaultSet {
+        PermanentFaultSet::parse_tokens(tokens).unwrap()
+    }
+
+    fn exec_sum(s: &CommSchedule, elems: usize) -> ExecMachine<u64> {
+        let mut m = ExecMachine::init(s, |id| vec![u64::from(id.0) + 1; elems]);
+        m.run(s, ReduceOp::Sum);
+        m
+    }
+
+    #[test]
+    fn empty_fault_set_is_the_identity() {
+        let s = build(CollectiveKind::AllReduce, 64, 256);
+        let r = repair(&s, &PermanentFaultSet::none()).unwrap();
+        assert_eq!(r.schedule, s);
+        assert!(r.report.is_identity());
+    }
+
+    #[test]
+    fn dead_segment_reroutes_and_stays_bit_identical() {
+        // Single chip, 8 banks: kill one eastbound segment.
+        let s = build(CollectiveKind::AllReduce, 8, 64);
+        let f = faults("r0c0b2E");
+        let r = repair(&s, &f).unwrap();
+        assert!(r.report.rerouted_transfers > 0);
+        assert!(r.report.extra_hops > 0);
+        // The reversed route collides with the opposite ring direction's
+        // traffic in the (non-multiplexed) bank phase, forcing sub-steps.
+        assert!(r.report.extra_steps > 0);
+        // No repaired transfer touches the dead segment.
+        for phase in &r.schedule.phases {
+            for step in &phase.steps {
+                for t in &step.transfers {
+                    assert!(!path_hits_dead_segment(&f, &t.resources));
+                }
+            }
+        }
+        super::super::validate::validate(&r.schedule).unwrap();
+        assert_eq!(exec_sum(&r.schedule, 64), exec_sum(&s, 64));
+        // The longer route costs time.
+        let m = TimingModel::paper();
+        assert!(
+            m.time_schedule(&r.schedule, SimTime::ZERO).total()
+                >= m.time_schedule(&s, SimTime::ZERO).total()
+        );
+    }
+
+    #[test]
+    fn tiny_payloads_repair_without_empty_span_panics() {
+        // Fewer elements than participants: span splitting yields empty
+        // pieces (dropped by the builders), and repair must survive the
+        // sparse schedules that result — validating and staying
+        // bit-identical, never indexing an empty span.
+        for kind in [
+            CollectiveKind::AllReduce,
+            CollectiveKind::AllGather,
+            CollectiveKind::AllToAll,
+            CollectiveKind::Broadcast,
+        ] {
+            for elems in [1usize, 3] {
+                let s = build(kind, 64, elems);
+                let f = faults("r0c0b1E, r0c2tx");
+                let r = repair(&s, &f)
+                    .unwrap_or_else(|e| panic!("{kind} elems={elems}: {e}"));
+                super::super::validate::validate(&r.schedule)
+                    .unwrap_or_else(|e| panic!("{kind} elems={elems}: {e}"));
+                assert_eq!(
+                    exec_sum(&r.schedule, elems),
+                    exec_sum(&s, elems),
+                    "{kind} elems={elems}: repaired result diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_port_remaps_to_a_buddy_and_serializes() {
+        // 64 DPUs = 8 banks x 8 chips, one rank: kill chip 1's Tx port.
+        let s = build(CollectiveKind::AllReduce, 64, 256);
+        let f = faults("r0c1tx");
+        let r = repair(&s, &f).unwrap();
+        assert!(r.report.remapped_transfers > 0);
+        super::super::validate::validate(&r.schedule).unwrap();
+        assert_eq!(exec_sum(&r.schedule, 256), exec_sum(&s, 256));
+        // Inter-chip phases are multiplexed (WAIT-slot DQ scheduling), so
+        // the borrowed port shows up as doubled occupancy — priced by the
+        // timing model — rather than as extra steps.
+        let m = TimingModel::paper();
+        assert!(
+            m.time_schedule(&r.schedule, SimTime::ZERO).total()
+                > m.time_schedule(&s, SimTime::ZERO).total()
+        );
+    }
+
+    #[test]
+    fn repairs_every_collective_on_a_multi_tier_geometry() {
+        let f = faults("r0c0b1E, r0c1rx");
+        for kind in CollectiveKind::ALL {
+            let s = build(kind, 128, 128);
+            let r = repair(&s, &f).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            super::super::validate::validate(&r.schedule)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(
+                exec_sum(&r.schedule, 128),
+                exec_sum(&s, 128),
+                "{kind}: repaired run diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_rank_is_a_typed_error() {
+        let s = build(CollectiveKind::AllReduce, 256, 64);
+        let err = repair(&s, &faults("rank1")).unwrap_err();
+        assert_eq!(err, PimnetError::DeadRank { rank: 1 });
+    }
+
+    #[test]
+    fn pair_dead_both_ways_is_unroutable() {
+        // 8 banks, one chip. Kill the eastbound segment out of bank 0 and
+        // every westbound segment: bank 0 -> 1 has no surviving route.
+        let mut f = faults("r0c0b0E");
+        for b in 0..8 {
+            f.segments.insert(SegmentId {
+                rank: 0,
+                chip: 0,
+                from_bank: b,
+                east: false,
+            });
+        }
+        let s = build(CollectiveKind::AllReduce, 8, 64);
+        let err = repair(&s, &f).unwrap_err();
+        assert!(matches!(err, PimnetError::Unroutable { .. }));
+        // And the predictor agrees: the chip is partitioned.
+        let g = PimGeometry::paper_scaled(8);
+        assert_eq!(unusable_dpus(&g, &f).len(), 8);
+    }
+
+    #[test]
+    fn unusable_covers_ranks_ports_and_partitions() {
+        let g = PimGeometry::paper_scaled(256); // 8 banks, 8 chips, 4 ranks
+        assert!(unusable_dpus(&g, &PermanentFaultSet::none()).is_empty());
+        // Dead rank: all 64 of its DPUs.
+        assert_eq!(unusable_dpus(&g, &faults("rank2")).len(), 64);
+        // One dead port with 7 surviving buddies: nothing unusable.
+        assert!(unusable_dpus(&g, &faults("r0c1tx")).is_empty());
+        // Every Tx port of rank 0 dead: the whole rank is unusable.
+        let all_tx: String = (0..8).map(|c| format!("r0c{c}tx,")).collect();
+        assert_eq!(unusable_dpus(&g, &faults(&all_tx)).len(), 64);
+        // A single dead segment is repairable, not unusable.
+        assert!(unusable_dpus(&g, &faults("r0c0b3W")).is_empty());
+    }
+
+    #[test]
+    fn repair_is_deterministic() {
+        let s = build(CollectiveKind::AllToAll, 64, 128);
+        let f = faults("r0c0b1E, r0c2tx, r0c5rx");
+        let a = repair(&s, &f).unwrap();
+        let b = repair(&s, &f).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_step_preserves_reader_before_writer() {
+        use super::super::Span;
+        // A writes into node 2's [0..4); B reads node 2's [0..4). Both
+        // fight over one exclusive segment, so they must serialize with B
+        // (the reader) first.
+        let seg = Resource::RingSegment {
+            chip: ChipLoc { channel: 0, rank: 0, chip: 0 },
+            from_bank: 0,
+            dir: Direction::East,
+        };
+        let a = Transfer {
+            src: DpuId(1),
+            dsts: vec![DpuId(2)],
+            src_span: Span::new(4, 4),
+            dst_span: Span::new(0, 4),
+            combine: false,
+            resources: vec![seg],
+        };
+        let b = Transfer {
+            src: DpuId(2),
+            dsts: vec![DpuId(3)],
+            src_span: Span::new(0, 4),
+            dst_span: Span::new(0, 4),
+            combine: false,
+            resources: vec![seg],
+        };
+        let steps = split_step(vec![a.clone(), b.clone()]).unwrap();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].transfers, vec![b]);
+        assert_eq!(steps[1].transfers, vec![a]);
+    }
+}

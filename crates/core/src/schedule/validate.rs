@@ -268,6 +268,110 @@ mod tests {
     }
 
     #[test]
+    fn fabric_self_transfers_are_rejected_but_local_copies_pass() {
+        let g = PimGeometry::paper();
+        // All-to-All keeps each node's own chunk as a resource-less local
+        // copy; those validate and stay out of the fabric transfer count.
+        let s = build(CollectiveKind::AllToAll, &g, 2560);
+        let locals = s
+            .phases
+            .iter()
+            .flat_map(|p| &p.steps)
+            .flat_map(|st| &st.transfers)
+            .filter(|t| t.is_local())
+            .count();
+        assert!(locals > 0, "expected local own-chunk copies");
+        let report = validate(&s).unwrap();
+        assert_eq!(report.transfers, s.transfer_count());
+
+        // A self-send *over the fabric* is structurally invalid: a stop
+        // never loops traffic back onto its own port.
+        let mut bad = s.clone();
+        let t = bad
+            .phases
+            .iter_mut()
+            .flat_map(|p| &mut p.steps)
+            .flat_map(|st| &mut st.transfers)
+            .find(|t| !t.is_local())
+            .expect("non-local transfer");
+        t.dsts = vec![t.src];
+        let err = validate(&bad).unwrap_err();
+        assert!(err.to_string().contains("sends to itself"), "{err}");
+
+        // Conversely, a transfer with no resources must be a self-copy.
+        let mut bad = s;
+        let t = bad
+            .phases
+            .iter_mut()
+            .flat_map(|p| &mut p.steps)
+            .flat_map(|st| &mut st.transfers)
+            .find(|t| !t.is_local())
+            .expect("non-local transfer");
+        t.resources.clear();
+        let err = validate(&bad).unwrap_err();
+        assert!(err.to_string().contains("must be local"), "{err}");
+    }
+
+    #[test]
+    fn multiplexed_phases_tolerate_sharing_exclusive_phases_do_not() {
+        let g = PimGeometry::paper();
+        // All-to-All's chip/rank phases deliberately time-multiplex the DQ
+        // channels and bus; the validator records the sharing degree.
+        let mut s = build(CollectiveKind::AllToAll, &g, 2560);
+        let report = validate(&s).unwrap();
+        assert!(report.max_chip_sharing > 1);
+        // Strip the multiplexed marker: the identical traffic is now a
+        // hard contention error (a bufferless stop cannot serve two flows).
+        for p in &mut s.phases {
+            p.multiplexed = false;
+        }
+        let err = validate(&s).unwrap_err();
+        assert!(err.to_string().contains("flows"), "{err}");
+    }
+
+    #[test]
+    fn injected_ring_sharing_is_rejected_until_marked_multiplexed() {
+        // One chip, 8 banks: the AllReduce bank ring is exclusive. Force a
+        // segment to carry a second flow and watch rule 2 fire; marking the
+        // phase multiplexed downgrades the same traffic to a metric.
+        let g = PimGeometry::paper_scaled(8);
+        let mut s = build(CollectiveKind::AllReduce, &g, 64);
+        let mut found = None;
+        'outer: for (pi, p) in s.phases.iter().enumerate() {
+            if p.multiplexed {
+                continue;
+            }
+            for (si, step) in p.steps.iter().enumerate() {
+                let fabric: Vec<usize> = step
+                    .transfers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !t.is_local())
+                    .map(|(i, _)| i)
+                    .collect();
+                for &ai in &fabric {
+                    for &bi in &fabric {
+                        if step.transfers[ai].src == step.transfers[bi].src {
+                            continue; // same flow would legally share
+                        }
+                        if let Some(&r) = step.transfers[bi].resources.first() {
+                            found = Some((pi, si, ai, r));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        let (pi, si, ai, shared) = found.expect("an exclusive step with two flows");
+        s.phases[pi].steps[si].transfers[ai].resources.push(shared);
+        let err = validate(&s).unwrap_err();
+        assert!(err.to_string().contains("carries 2 flows"), "{err}");
+        s.phases[pi].multiplexed = true;
+        let report = validate(&s).unwrap();
+        assert!(report.max_ring_sharing >= 2);
+    }
+
+    #[test]
     fn corrupted_schedule_is_rejected() {
         let g = PimGeometry::paper();
         let mut s = build(CollectiveKind::AllReduce, &g, 1024);

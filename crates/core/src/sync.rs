@@ -71,6 +71,19 @@ impl SyncModel {
         self.one_way(scope) * 2 + skew
     }
 
+    /// Control-plane cost of a schedule repair that inserted
+    /// `extra_steps` serialization steps.
+    ///
+    /// Every inserted step adds one WAIT-counter boundary the chip
+    /// control interface must sequence — one extra chip-scope one-way
+    /// control propagation per step. Repairs that only reroute or borrow
+    /// ports (no new steps) cost nothing here; their price is carried by
+    /// the data path (longer routes, doubled occupancy).
+    #[must_use]
+    pub fn repair_overhead(&self, extra_steps: usize) -> SimTime {
+        self.one_way(SyncScope::Chip) * extra_steps as u64
+    }
+
     /// The barrier under a fault scenario, guarded by a watchdog.
     ///
     /// Stragglers stretch the effective skew (START fires only after the
@@ -233,6 +246,14 @@ mod tests {
             }
             other => panic!("expected SyncTimeout, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn repair_overhead_scales_with_inserted_steps() {
+        let m = SyncModel::default();
+        assert_eq!(m.repair_overhead(0), SimTime::ZERO);
+        assert_eq!(m.repair_overhead(1), m.one_way(SyncScope::Chip));
+        assert_eq!(m.repair_overhead(4), m.one_way(SyncScope::Chip) * 4);
     }
 
     #[test]

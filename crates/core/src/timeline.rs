@@ -190,6 +190,38 @@ impl Timeline {
         })
     }
 
+    /// Repairs `schedule` around a permanent-fault scenario, then builds
+    /// the repaired schedule's timeline, shifted by the control-plane
+    /// repair overhead ([`SyncModel::repair_overhead`]: one chip-scope
+    /// one-way per serialization step the repair inserted).
+    ///
+    /// With an empty fault set this is exactly [`Timeline::build`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`crate::schedule::repair::repair`] returns when the
+    /// fault set defeats repair ([`PimnetError::DeadRank`],
+    /// [`PimnetError::Unroutable`], [`PimnetError::ScheduleInvalid`]).
+    pub fn build_repaired(
+        schedule: &CommSchedule,
+        timing: &TimingModel,
+        faults: &pim_faults::permanent::PermanentFaultSet,
+    ) -> Result<(Timeline, crate::schedule::repair::RepairReport), PimnetError> {
+        let repaired = crate::schedule::repair::repair(schedule, faults)?;
+        let mut t = Timeline::build(&repaired.schedule, timing);
+        let overhead = SyncModel::from_fabric(&timing.fabric)
+            .repair_overhead(repaired.report.extra_steps);
+        if overhead > SimTime::ZERO {
+            t.sync += overhead;
+            for w in &mut t.windows {
+                w.start += overhead;
+                w.end += overhead;
+            }
+            t.end += overhead;
+        }
+        Ok((t, repaired.report))
+    }
+
     /// Renders a CSV (one row per window) for plotting.
     #[must_use]
     pub fn to_csv(&self) -> String {
@@ -321,6 +353,32 @@ mod tests {
             Timeline::build_with_faults(&s, &TimingModel::paper(), &inj),
             Err(PimnetError::DeadDpu { dpu: 1 })
         );
+    }
+
+    #[test]
+    fn repaired_timeline_prices_the_repair() {
+        use pim_faults::permanent::PermanentFaultSet;
+        let (s, plain) = timeline(CollectiveKind::AllReduce, 8, 1024);
+        let m = TimingModel::paper();
+        // Identity repair reproduces the plain timeline exactly.
+        let (t, report) =
+            Timeline::build_repaired(&s, &m, &PermanentFaultSet::none()).unwrap();
+        assert_eq!(t, plain);
+        assert!(report.is_identity());
+        // A dead segment costs: reroute hops, serialization, and (when
+        // steps were inserted) the control-plane overhead on the barrier.
+        let f = PermanentFaultSet::parse_tokens("r0c0b1E").unwrap();
+        let (t, report) = Timeline::build_repaired(&s, &m, &f).unwrap();
+        assert!(t.end > plain.end);
+        if report.extra_steps > 0 {
+            assert!(t.sync > plain.sync);
+        }
+        for w in &t.windows {
+            assert!(w.start >= t.sync && w.end <= t.end);
+        }
+        // Deterministic.
+        let (u, _) = Timeline::build_repaired(&s, &m, &f).unwrap();
+        assert_eq!(t, u);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 use std::fmt;
 use std::path::Path;
 
+use crate::permanent::{PermanentFaultRates, PermanentFaultSet};
+
 /// Complete description of a fault scenario.
 ///
 /// The default ([`FaultConfig::none`]) injects nothing; every consumer is
@@ -34,6 +36,12 @@ pub struct FaultConfig {
     /// nanoseconds (dead participant), the collective aborts with
     /// `SyncTimeout` instead of hanging.
     pub watchdog_timeout_ns: u64,
+    /// Explicitly named permanent fabric faults (dead ring segments,
+    /// crossbar ports, ranks). Schedule *repair*, not retry, handles these.
+    pub permanent: PermanentFaultSet,
+    /// Seeded permanent-fault rates; sampled components are merged with the
+    /// explicit set per fabric geometry (see `FaultInjector::permanent_faults`).
+    pub perm_rates: PermanentFaultRates,
 }
 
 impl FaultConfig {
@@ -49,6 +57,8 @@ impl FaultConfig {
             max_retries: 3,
             retry_backoff_ns: 100,
             watchdog_timeout_ns: 1_000_000, // 1 ms
+            permanent: PermanentFaultSet::none(),
+            perm_rates: PermanentFaultRates::default(),
         }
     }
 
@@ -66,6 +76,14 @@ impl FaultConfig {
         self.transient_ber > 0.0
             || (self.straggler_prob > 0.0 && self.straggler_max_ns > 0)
             || !self.dead_dpus.is_empty()
+            || self.has_permanent_faults()
+    }
+
+    /// `true` if this scenario names or can sample permanent fabric faults
+    /// (so the planner must consult the repair path).
+    #[must_use]
+    pub fn has_permanent_faults(&self) -> bool {
+        !self.permanent.is_empty() || self.perm_rates.is_active()
     }
 
     /// Parses the `key = value` file format (see [`FaultConfig::parse`]).
@@ -95,6 +113,13 @@ impl FaultConfig {
     /// max_retries = 3
     /// retry_backoff_ns = 100
     /// watchdog_timeout_ns = 1000000
+    /// # permanent fabric faults: explicit components and/or seeded rates
+    /// perm_segments = r0c1b3E, r0c2b0W
+    /// perm_ports = r0c1tx
+    /// perm_ranks = 2
+    /// perm_segment_prob = 0.0
+    /// perm_port_prob = 0.0
+    /// perm_rank_prob = 0.0
     /// ```
     ///
     /// # Errors
@@ -131,6 +156,36 @@ impl FaultConfig {
                 "retry_backoff_ns" => cfg.retry_backoff_ns = value.parse().map_err(|e| bad(&e))?,
                 "watchdog_timeout_ns" => {
                     cfg.watchdog_timeout_ns = value.parse().map_err(|e| bad(&e))?;
+                }
+                "perm_segments" => {
+                    for part in value.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                        cfg.permanent
+                            .segments
+                            .insert(crate::permanent::SegmentId::parse(part).map_err(|e| bad(&e))?);
+                    }
+                }
+                "perm_ports" => {
+                    for part in value.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                        cfg.permanent
+                            .ports
+                            .insert(crate::permanent::PortId::parse(part).map_err(|e| bad(&e))?);
+                    }
+                }
+                "perm_ranks" => {
+                    for part in value.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                        cfg.permanent
+                            .dead_ranks
+                            .insert(part.parse::<u32>().map_err(|e| bad(&e))?);
+                    }
+                }
+                "perm_segment_prob" => {
+                    cfg.perm_rates.segment_prob = parse_prob(value).map_err(|e| bad(&e))?;
+                }
+                "perm_port_prob" => {
+                    cfg.perm_rates.port_prob = parse_prob(value).map_err(|e| bad(&e))?;
+                }
+                "perm_rank_prob" => {
+                    cfg.perm_rates.rank_prob = parse_prob(value).map_err(|e| bad(&e))?;
                 }
                 _ => return Err(format!("line {}: unknown key `{key}`", lineno + 1)),
             }
@@ -205,6 +260,26 @@ mod tests {
         assert!(FaultConfig::parse("mystery_key = 3").is_err());
         assert!(FaultConfig::parse("transient_ber = 1.5").is_err());
         assert!(FaultConfig::parse("dead_dpus = 1, x").is_err());
+    }
+
+    #[test]
+    fn parse_permanent_fault_keys() {
+        let cfg = FaultConfig::parse(
+            "perm_segments = r0c1b3E, r1c0b7W\n\
+             perm_ports = r0c1tx, r0c2rx\n\
+             perm_ranks = 2, 3\n\
+             perm_segment_prob = 0.01\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.permanent.segments.len(), 2);
+        assert_eq!(cfg.permanent.ports.len(), 2);
+        assert_eq!(cfg.permanent.dead_ranks.len(), 2);
+        assert!((cfg.perm_rates.segment_prob - 0.01).abs() < 1e-12);
+        assert!(cfg.has_permanent_faults());
+        assert!(cfg.is_active());
+        assert!(FaultConfig::parse("perm_segments = bogus").is_err());
+        assert!(FaultConfig::parse("perm_ports = r0c1").is_err());
+        assert!(FaultConfig::parse("perm_rank_prob = 2.0").is_err());
     }
 
     #[test]

@@ -58,6 +58,35 @@ impl FaultInjector {
         self.cfg.dead_dpus.binary_search(&dpu).is_ok()
     }
 
+    /// `true` if this scenario names or can sample permanent fabric
+    /// faults, so planners must consult [`permanent_faults`](Self::permanent_faults).
+    #[must_use]
+    pub fn has_permanent_faults(&self) -> bool {
+        self.cfg.has_permanent_faults()
+    }
+
+    /// The permanent-fault scenario for a fabric of `ranks` × `chips` ×
+    /// `banks` (one channel): the config's explicitly named components
+    /// merged with the components sampled from the seed at the configured
+    /// rates. Pure in `(seed, dims)` — call it as often as you like.
+    #[must_use]
+    pub fn permanent_faults(
+        &self,
+        ranks: u32,
+        chips: u32,
+        banks: u32,
+    ) -> crate::permanent::PermanentFaultSet {
+        let mut set = crate::permanent::PermanentFaultSet::sample(
+            self.cfg.seed,
+            ranks,
+            chips,
+            banks,
+            &self.cfg.perm_rates,
+        );
+        set.merge(&self.cfg.permanent);
+        set
+    }
+
     /// Does attempt `attempt` of transfer `(phase, step, transfer)` get
     /// corrupted on the wire (and caught by the CRC)?
     #[must_use]

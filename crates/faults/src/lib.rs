@@ -44,7 +44,9 @@
 pub mod config;
 pub mod crc;
 pub mod inject;
+pub mod permanent;
 
 pub use config::FaultConfig;
 pub use crc::{crc32, Crc32};
 pub use inject::FaultInjector;
+pub use permanent::{PermanentFaultRates, PermanentFaultSet, PortId, PortSide, SegmentId};

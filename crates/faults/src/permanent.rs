@@ -1,0 +1,380 @@
+//! Permanent (hard) fabric faults.
+//!
+//! Transient faults corrupt one transfer attempt; permanent faults kill a
+//! *component* of the fabric for the lifetime of the run:
+//!
+//! * an inter-bank **ring segment** (one direction of one bank-to-bank
+//!   link inside a chip);
+//! * a **crossbar port** on the DIMM buffer chip (the Tx or Rx side of
+//!   one chip's DQ attachment to the crossbar);
+//! * an entire **rank** (its DQ lanes are gone, so every DPU on it is
+//!   unreachable from the rest of the channel).
+//!
+//! Because PIMnet schedules are static, a permanent fault does not drop
+//! packets at runtime — it invalidates the compiled schedule. The core
+//! crate's `schedule::repair` consumes a [`PermanentFaultSet`] and rewrites
+//! the schedule around the dead components; this module only *names* them.
+//!
+//! Components are addressable two ways, both deterministic:
+//!
+//! * **explicitly**, in fault-config files (`perm_segments = r0c1b3E`) or
+//!   parsed from compact tokens ([`PermanentFaultSet::parse_tokens`]);
+//! * **by seed**, sampling each component independently via the same
+//!   coordinate-hash scheme the transient injector uses
+//!   ([`PermanentFaultSet::sample`]), so chaos sweeps can draw reproducible
+//!   hard-fault scenarios from a single integer.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pim_sim::rng::hash_coords;
+
+/// Domain-separation tags for seeded permanent-fault sampling.
+const TAG_PERM_SEG: u64 = 0x7073_6567; // "pseg"
+const TAG_PERM_PORT: u64 = 0x7070_7274; // "pprt"
+const TAG_PERM_RANK: u64 = 0x7072_6E6B; // "prnk"
+
+/// Converts a hash to a uniform probability in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One dead unidirectional inter-bank ring segment: the link leaving
+/// `from_bank` of chip (`rank`, `chip`) eastwards (`east = true`) or
+/// westwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId {
+    /// Rank within the channel.
+    pub rank: u32,
+    /// Chip within the rank.
+    pub chip: u32,
+    /// Bank the segment leaves from.
+    pub from_bank: u32,
+    /// `true` for the eastbound (increasing bank index) segment.
+    pub east: bool,
+}
+
+impl SegmentId {
+    /// Parses the compact token form `r<rank>c<chip>b<bank><E|W>`
+    /// (e.g. `r0c1b3E`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the expected grammar on mismatch.
+    pub fn parse(token: &str) -> Result<Self, String> {
+        let bad = || format!("bad segment '{token}' (expected r<rank>c<chip>b<bank><E|W>)");
+        let rest = token.strip_prefix('r').ok_or_else(bad)?;
+        let (rank, rest) = rest.split_once('c').ok_or_else(bad)?;
+        let (chip, rest) = rest.split_once('b').ok_or_else(bad)?;
+        let east = match rest.chars().last() {
+            Some('E' | 'e') => true,
+            Some('W' | 'w') => false,
+            _ => return Err(bad()),
+        };
+        let bank = &rest[..rest.len() - 1];
+        Ok(SegmentId {
+            rank: rank.parse().map_err(|_| bad())?,
+            chip: chip.parse().map_err(|_| bad())?,
+            from_bank: bank.parse().map_err(|_| bad())?,
+            east,
+        })
+    }
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "r{}c{}b{}{}",
+            self.rank,
+            self.chip,
+            self.from_bank,
+            if self.east { 'E' } else { 'W' }
+        )
+    }
+}
+
+/// Which side of a chip's crossbar attachment is dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PortSide {
+    /// The chip's send channel into the crossbar.
+    Tx,
+    /// The chip's receive channel out of the crossbar.
+    Rx,
+}
+
+impl fmt::Display for PortSide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PortSide::Tx => "tx",
+            PortSide::Rx => "rx",
+        })
+    }
+}
+
+/// One dead crossbar port on a rank's buffer chip: the `side` half of chip
+/// (`rank`, `chip`)'s DQ attachment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId {
+    /// Rank within the channel.
+    pub rank: u32,
+    /// Chip within the rank.
+    pub chip: u32,
+    /// Dead side (send or receive).
+    pub side: PortSide,
+}
+
+impl PortId {
+    /// Parses the compact token form `r<rank>c<chip><tx|rx>`
+    /// (e.g. `r0c1tx`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the expected grammar on mismatch.
+    pub fn parse(token: &str) -> Result<Self, String> {
+        let bad = || format!("bad port '{token}' (expected r<rank>c<chip><tx|rx>)");
+        let rest = token.strip_prefix('r').ok_or_else(bad)?;
+        let (rank, rest) = rest.split_once('c').ok_or_else(bad)?;
+        let (chip, side) = if let Some(c) = rest.strip_suffix("tx") {
+            (c, PortSide::Tx)
+        } else if let Some(c) = rest.strip_suffix("rx") {
+            (c, PortSide::Rx)
+        } else {
+            return Err(bad());
+        };
+        Ok(PortId {
+            rank: rank.parse().map_err(|_| bad())?,
+            chip: chip.parse().map_err(|_| bad())?,
+            side,
+        })
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}c{}{}", self.rank, self.chip, self.side)
+    }
+}
+
+/// Per-component probabilities for seeded permanent-fault sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PermanentFaultRates {
+    /// Probability that each ring segment is dead.
+    pub segment_prob: f64,
+    /// Probability that each crossbar port half is dead.
+    pub port_prob: f64,
+    /// Probability that each rank's DQ lanes are dead.
+    pub rank_prob: f64,
+}
+
+impl PermanentFaultRates {
+    /// `true` if sampling with these rates can ever mark a component dead.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.segment_prob > 0.0 || self.port_prob > 0.0 || self.rank_prob > 0.0
+    }
+}
+
+/// The complete set of permanently dead fabric components of one channel.
+///
+/// Sets are ordered (`BTreeSet`) so iteration — and everything derived from
+/// it: repair decisions, reports, timings — is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PermanentFaultSet {
+    /// Dead inter-bank ring segments.
+    pub segments: BTreeSet<SegmentId>,
+    /// Dead crossbar ports.
+    pub ports: BTreeSet<PortId>,
+    /// Ranks whose DQ lanes are entirely dead.
+    pub dead_ranks: BTreeSet<u32>,
+}
+
+impl PermanentFaultSet {
+    /// The empty (healthy-fabric) set.
+    #[must_use]
+    pub fn none() -> Self {
+        PermanentFaultSet::default()
+    }
+
+    /// `true` when no component is dead.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty() && self.ports.is_empty() && self.dead_ranks.is_empty()
+    }
+
+    /// Number of dead components across all classes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.segments.len() + self.ports.len() + self.dead_ranks.len()
+    }
+
+    /// Parses a comma-separated token list mixing all three component
+    /// classes: segments (`r0c1b3E`), ports (`r0c1tx`), and ranks
+    /// (`rank2`). Empty input yields the empty set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending token.
+    pub fn parse_tokens(text: &str) -> Result<Self, String> {
+        let mut set = PermanentFaultSet::none();
+        for token in text.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            if let Some(rank) = token.strip_prefix("rank") {
+                set.dead_ranks.insert(
+                    rank.parse()
+                        .map_err(|_| format!("bad rank token '{token}' (expected rank<n>)"))?,
+                );
+            } else if token.ends_with(['x', 'X']) {
+                set.ports.insert(PortId::parse(token)?);
+            } else {
+                set.segments.insert(SegmentId::parse(token)?);
+            }
+        }
+        Ok(set)
+    }
+
+    /// Draws a reproducible permanent-fault scenario for a fabric of
+    /// `ranks` × `chips` × `banks` (one channel): every component is
+    /// independently dead with its class probability, decided by a pure
+    /// hash of `(seed, component coordinates)` — the same scheme as the
+    /// transient injector, so identical seeds always produce identical
+    /// scenarios regardless of query order.
+    #[must_use]
+    pub fn sample(seed: u64, ranks: u32, chips: u32, banks: u32, rates: &PermanentFaultRates) -> Self {
+        let mut set = PermanentFaultSet::none();
+        if !rates.is_active() {
+            return set;
+        }
+        for rank in 0..ranks {
+            if unit(hash_coords(seed, &[TAG_PERM_RANK, u64::from(rank)])) < rates.rank_prob {
+                set.dead_ranks.insert(rank);
+            }
+            for chip in 0..chips {
+                for (side_tag, side) in [(0u64, PortSide::Tx), (1u64, PortSide::Rx)] {
+                    let h = hash_coords(
+                        seed,
+                        &[TAG_PERM_PORT, u64::from(rank), u64::from(chip), side_tag],
+                    );
+                    if unit(h) < rates.port_prob {
+                        set.ports.insert(PortId { rank, chip, side });
+                    }
+                }
+                for bank in 0..banks {
+                    for (dir_tag, east) in [(0u64, true), (1u64, false)] {
+                        let h = hash_coords(
+                            seed,
+                            &[
+                                TAG_PERM_SEG,
+                                u64::from(rank),
+                                u64::from(chip),
+                                u64::from(bank),
+                                dir_tag,
+                            ],
+                        );
+                        if unit(h) < rates.segment_prob {
+                            set.segments.insert(SegmentId {
+                                rank,
+                                chip,
+                                from_bank: bank,
+                                east,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    /// Merges another set into this one (union of all classes).
+    pub fn merge(&mut self, other: &PermanentFaultSet) {
+        self.segments.extend(other.segments.iter().copied());
+        self.ports.extend(other.ports.iter().copied());
+        self.dead_ranks.extend(other.dead_ranks.iter().copied());
+    }
+}
+
+impl fmt::Display for PermanentFaultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut tokens: Vec<String> = Vec::with_capacity(self.len());
+        tokens.extend(self.segments.iter().map(ToString::to_string));
+        tokens.extend(self.ports.iter().map(ToString::to_string));
+        tokens.extend(self.dead_ranks.iter().map(|r| format!("rank{r}")));
+        if tokens.is_empty() {
+            f.write_str("(none)")
+        } else {
+            f.write_str(&tokens.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_roundtrip_all_classes() {
+        let set = PermanentFaultSet::parse_tokens("r0c1b3E, r1c2b0W, r0c1tx, r1c0rx, rank2").unwrap();
+        assert_eq!(set.segments.len(), 2);
+        assert_eq!(set.ports.len(), 2);
+        assert_eq!(set.dead_ranks, BTreeSet::from([2]));
+        // Display re-parses to the same set.
+        let again = PermanentFaultSet::parse_tokens(&set.to_string()).unwrap();
+        assert_eq!(again, set);
+    }
+
+    #[test]
+    fn segment_token_grammar() {
+        let s = SegmentId::parse("r2c7b5W").unwrap();
+        assert_eq!((s.rank, s.chip, s.from_bank, s.east), (2, 7, 5, false));
+        assert!(SegmentId::parse("c7b5W").is_err());
+        assert!(SegmentId::parse("r2c7b5").is_err());
+        assert!(SegmentId::parse("r2c7bXE").is_err());
+    }
+
+    #[test]
+    fn port_token_grammar() {
+        let p = PortId::parse("r1c3rx").unwrap();
+        assert_eq!((p.rank, p.chip, p.side), (1, 3, PortSide::Rx));
+        assert!(PortId::parse("r1c3").is_err());
+        assert!(PortId::parse("r1ctx").is_err());
+    }
+
+    #[test]
+    fn empty_and_garbage_tokens() {
+        assert!(PermanentFaultSet::parse_tokens("").unwrap().is_empty());
+        assert!(PermanentFaultSet::parse_tokens(" , ,").unwrap().is_empty());
+        assert!(PermanentFaultSet::parse_tokens("rankX").is_err());
+        assert!(PermanentFaultSet::parse_tokens("garbage").is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_tracks_rates() {
+        let rates = PermanentFaultRates {
+            segment_prob: 0.25,
+            port_prob: 0.25,
+            rank_prob: 0.25,
+        };
+        let a = PermanentFaultSet::sample(9, 4, 8, 8, &rates);
+        let b = PermanentFaultSet::sample(9, 4, 8, 8, &rates);
+        assert_eq!(a, b, "same seed must sample the same scenario");
+        let c = PermanentFaultSet::sample(10, 4, 8, 8, &rates);
+        assert_ne!(a, c, "different seeds should differ at p=0.25");
+        // 4*8*8*2 = 512 segments at p=0.25: expect roughly 128.
+        assert!((64..256).contains(&a.segments.len()), "{}", a.segments.len());
+    }
+
+    #[test]
+    fn zero_rates_sample_nothing() {
+        let set = PermanentFaultSet::sample(1, 4, 8, 8, &PermanentFaultRates::default());
+        assert!(set.is_empty());
+        assert_eq!(set.to_string(), "(none)");
+    }
+
+    #[test]
+    fn merge_unions_all_classes() {
+        let mut a = PermanentFaultSet::parse_tokens("r0c0b0E, rank1").unwrap();
+        let b = PermanentFaultSet::parse_tokens("r0c0b0E, r0c1tx").unwrap();
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+    }
+}

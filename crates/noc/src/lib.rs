@@ -36,4 +36,4 @@ pub use config::NocConfig;
 pub use credit::{simulate_credit, simulate_credit_faulty, simulate_credit_packets};
 pub use packet::inject_retransmissions;
 pub use report::NocReport;
-pub use scheduled::simulate_scheduled;
+pub use scheduled::{simulate_scheduled, simulate_scheduled_repaired};

@@ -64,6 +64,36 @@ pub fn simulate_scheduled(
     }
 }
 
+/// Scheduled playback over a fabric with permanent faults: the schedule is
+/// first rewritten around the fault set (rings rerouted, dead crossbar
+/// ports borrowed, contending steps serialized — see
+/// [`pimnet::schedule::repair`]), then played back like
+/// [`simulate_scheduled`], with the repair's control-plane overhead
+/// ([`SyncModel::repair_overhead`]) added to the barrier.
+///
+/// # Errors
+///
+/// Whatever repair returns when the fault set defeats it
+/// (`PimnetError::DeadRank`, `PimnetError::Unroutable`).
+///
+/// # Panics
+///
+/// Panics if `ready` is shorter than the DPU count.
+pub fn simulate_scheduled_repaired(
+    schedule: &CommSchedule,
+    ready: &[SimTime],
+    cfg: &NocConfig,
+    faults: &pim_faults::permanent::PermanentFaultSet,
+) -> Result<NocReport, pimnet::PimnetError> {
+    let repaired = pimnet::schedule::repair::repair(schedule, faults)?;
+    let mut report = simulate_scheduled(&repaired.schedule, ready, cfg);
+    let overhead =
+        SyncModel::from_fabric(&cfg.fabric()).repair_overhead(repaired.report.extra_steps);
+    report.completion += overhead;
+    report.cycles = cfg.time_to_cycles(report.completion);
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +162,30 @@ mod tests {
         assert!(
             sched.completion < credit.completion,
             "scheduled ({sched}) should beat credit-based ({credit}) on A2A"
+        );
+    }
+
+    #[test]
+    fn repaired_playback_prices_the_detour() {
+        use pim_faults::permanent::PermanentFaultSet;
+        let s = schedule(CollectiveKind::AllReduce, 64, 512);
+        let cfg = NocConfig::paper();
+        let clean = simulate_scheduled(&s, &zeros(64), &cfg);
+        // Identity fault set reproduces the clean report.
+        let same =
+            simulate_scheduled_repaired(&s, &zeros(64), &cfg, &PermanentFaultSet::none())
+                .unwrap();
+        assert_eq!(same, clean);
+        // A dead segment and a dead port both cost completion time.
+        let f = PermanentFaultSet::parse_tokens("r0c0b2E, r0c3tx").unwrap();
+        let broken = simulate_scheduled_repaired(&s, &zeros(64), &cfg, &f).unwrap();
+        assert!(broken.completion > clean.completion);
+        assert_eq!(broken.injected_bytes, clean.injected_bytes);
+        // A dead rank is a typed refusal, not a panic.
+        let s256 = schedule(CollectiveKind::AllReduce, 256, 256);
+        let dead = PermanentFaultSet::parse_tokens("rank2").unwrap();
+        assert!(
+            simulate_scheduled_repaired(&s256, &zeros(256), &cfg, &dead).is_err()
         );
     }
 

@@ -18,8 +18,8 @@ use pim_sim::rng::SimRng;
 use pim_arch::SystemConfig;
 use pimnet::backends::CollectiveBackend;
 use pimnet::collective::CollectiveSpec;
-use pimnet::PimnetError;
 
+use crate::error::WorkloadError;
 use crate::program::{Phase, Program};
 
 /// One timeline entry of an event-driven run.
@@ -57,28 +57,34 @@ struct DesWorld {
 ///
 /// # Errors
 ///
-/// Propagates backend errors (evaluated up front, before simulation).
+/// [`WorkloadError::Backend`] for backend rejections (evaluated up front,
+/// before simulation); [`WorkloadError::LostCompletions`] if a compute
+/// phase's barrier closes with completion events still outstanding.
 pub fn run_program_des(
     program: &Program,
     system: &SystemConfig,
     backend: &dyn CollectiveBackend,
     seed: u64,
-) -> Result<DesReport, PimnetError> {
+) -> Result<DesReport, WorkloadError> {
     let dpus = system.geometry.dpus_per_channel();
     let mut rng = SimRng::seed_from_u64(seed);
 
-    // Pre-compute every collective's duration (they are state-independent).
-    let mut comm_times = Vec::new();
+    // Pre-compute every collective's duration, aligned one-to-one with the
+    // phase list (they are state-independent; compute phases hold ZERO), so
+    // the playback loop below never indexes past the precomputed set.
+    let mut comm_times = Vec::with_capacity(program.phases.len());
     for phase in &program.phases {
-        if let Phase::Collective {
-            kind,
-            bytes_per_dpu,
-            elem_bytes,
-        } = phase
-        {
-            let spec = CollectiveSpec::new(*kind, *bytes_per_dpu).with_elem_bytes(*elem_bytes);
-            comm_times.push(backend.collective(&spec)?.total());
-        }
+        comm_times.push(match phase {
+            Phase::Collective {
+                kind,
+                bytes_per_dpu,
+                elem_bytes,
+            } => {
+                let spec = CollectiveSpec::new(*kind, *bytes_per_dpu).with_elem_bytes(*elem_bytes);
+                backend.collective(&spec)?.total()
+            }
+            Phase::Compute { .. } => SimTime::ZERO,
+        });
     }
 
     let mut engine: Engine<DesWorld> = Engine::new();
@@ -91,8 +97,7 @@ pub fn run_program_des(
     // event per DPU; the phase ends when the last lands. Collectives are
     // single events of the precomputed duration.
     let mut cursor = SimTime::ZERO;
-    let mut comm_idx = 0usize;
-    for (pi, phase) in program.phases.iter().enumerate() {
+    for (pi, (phase, &phase_comm)) in program.phases.iter().zip(&comm_times).enumerate() {
         match phase {
             Phase::Compute { per_dpu, imbalance } => {
                 let mean = system.dpu.compute_time(per_dpu);
@@ -103,11 +108,15 @@ pub fn run_program_des(
                     let t = cursor + SimTime::from_secs_f64(mean.as_secs_f64() * f);
                     last = last.max(t);
                     engine.schedule(t, move |w: &mut DesWorld, _| {
-                        w.outstanding -= 1;
+                        w.outstanding = w.outstanding.saturating_sub(1);
                     });
                 }
                 engine.run(&mut world);
-                assert_eq!(world.outstanding, 0, "lost a completion event");
+                if world.outstanding != 0 {
+                    return Err(WorkloadError::LostCompletions {
+                        missing: world.outstanding,
+                    });
+                }
                 cursor = last;
                 world.timeline.push(TimelineEvent {
                     at: cursor,
@@ -116,9 +125,7 @@ pub fn run_program_des(
                 });
             }
             Phase::Collective { kind, .. } => {
-                let dur = comm_times[comm_idx];
-                comm_idx += 1;
-                let done = cursor + dur;
+                let done = cursor + phase_comm;
                 let label = kind.to_string();
                 engine.schedule(done, move |w: &mut DesWorld, _| {
                     w.timeline.push(TimelineEvent {

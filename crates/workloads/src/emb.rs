@@ -17,6 +17,7 @@ use pim_sim::Bytes;
 use pim_arch::{OpCounts, SystemConfig};
 use pimnet::collective::CollectiveKind;
 
+use crate::error::WorkloadError;
 use crate::program::{Phase, Program, Workload};
 
 /// An embedding table: `entries × dim` values, row-major.
@@ -36,31 +37,46 @@ impl EmbeddingTable {
         EmbeddingTable { dim, values }
     }
 
-    /// Number of rows.
+    /// Number of rows (zero for a degenerate zero-dim table).
     #[must_use]
     pub fn entries(&self) -> usize {
-        self.values.len() / self.dim
+        self.values.len().checked_div(self.dim).unwrap_or(0)
     }
 
     /// One embedding row.
-    #[must_use]
-    pub fn row(&self, idx: usize) -> &[f32] {
-        &self.values[idx * self.dim..(idx + 1) * self.dim]
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::IndexOutOfBounds`] if `idx` names a row past the
+    /// end of the table.
+    pub fn row(&self, idx: usize) -> Result<&[f32], WorkloadError> {
+        if idx >= self.entries() {
+            return Err(WorkloadError::IndexOutOfBounds {
+                what: "embedding table row",
+                index: idx,
+                len: self.entries(),
+            });
+        }
+        Ok(&self.values[idx * self.dim..(idx + 1) * self.dim])
     }
 
     /// Reference pooled lookup: sum of the rows named by each bag of
     /// indices (one bag per batch element).
-    #[must_use]
-    pub fn pooled_lookup(&self, bags: &[Vec<usize>]) -> Vec<Vec<f32>> {
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::IndexOutOfBounds`] if any bag names a row past the
+    /// end of the table.
+    pub fn pooled_lookup(&self, bags: &[Vec<usize>]) -> Result<Vec<Vec<f32>>, WorkloadError> {
         bags.iter()
             .map(|bag| {
                 let mut out = vec![0.0f32; self.dim];
                 for &idx in bag {
-                    for (o, v) in out.iter_mut().zip(self.row(idx)) {
+                    for (o, v) in out.iter_mut().zip(self.row(idx)?) {
                         *o += v;
                     }
                 }
-                out
+                Ok(out)
             })
             .collect()
     }
@@ -69,9 +85,28 @@ impl EmbeddingTable {
     /// bank pools the rows it owns into a *partial* per batch element, and
     /// the partials are summed — the data movement of the ReduceScatter
     /// phase. Must equal [`Self::pooled_lookup`].
-    #[must_use]
-    pub fn sharded_pooled_lookup(&self, bags: &[Vec<usize>], row_parts: usize) -> Vec<Vec<f32>> {
-        let stripe = self.entries().div_ceil(row_parts);
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::ZeroPartitions`] if `row_parts` is zero;
+    /// [`WorkloadError::IndexOutOfBounds`] for out-of-table indices.
+    pub fn sharded_pooled_lookup(
+        &self,
+        bags: &[Vec<usize>],
+        row_parts: usize,
+    ) -> Result<Vec<Vec<f32>>, WorkloadError> {
+        if row_parts == 0 {
+            return Err(WorkloadError::ZeroPartitions {
+                what: "embedding row sharding",
+            });
+        }
+        // Every index must resolve, even ones a shard filter would skip.
+        for bag in bags {
+            for &idx in bag {
+                self.row(idx)?;
+            }
+        }
+        let stripe = self.entries().div_ceil(row_parts).max(1);
         let mut out = vec![vec![0.0f32; self.dim]; bags.len()];
         for shard in 0..row_parts {
             let lo = shard * stripe;
@@ -80,7 +115,7 @@ impl EmbeddingTable {
                 // This shard's partial pooled sum for batch element b...
                 let mut partial = vec![0.0f32; self.dim];
                 for &idx in bag.iter().filter(|&&i| i >= lo && i < hi) {
-                    for (o, v) in partial.iter_mut().zip(self.row(idx)) {
+                    for (o, v) in partial.iter_mut().zip(self.row(idx)?) {
                         *o += v;
                     }
                 }
@@ -90,7 +125,7 @@ impl EmbeddingTable {
                 }
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -250,9 +285,9 @@ mod tests {
         let bags: Vec<Vec<usize>> = (0..32)
             .map(|b| (0..8).map(|i| (b * 131 + i * 977) % 1_000).collect())
             .collect();
-        let direct = table.pooled_lookup(&bags);
+        let direct = table.pooled_lookup(&bags).unwrap();
         for shards in [1usize, 4, 64, 1_000] {
-            let sharded = table.sharded_pooled_lookup(&bags, shards);
+            let sharded = table.sharded_pooled_lookup(&bags, shards).unwrap();
             for (d, s) in direct.iter().zip(&sharded) {
                 for (a, b) in d.iter().zip(s) {
                     assert!((a - b).abs() < 1e-3, "{shards} shards: {a} vs {b}");
@@ -265,7 +300,32 @@ mod tests {
     fn table_accessors() {
         let t = EmbeddingTable::synthetic(10, 4);
         assert_eq!(t.entries(), 10);
-        assert_eq!(t.row(3).len(), 4);
+        assert_eq!(t.row(3).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn out_of_table_lookups_are_typed_errors() {
+        use crate::error::WorkloadError;
+        let t = EmbeddingTable::synthetic(10, 4);
+        assert_eq!(
+            t.row(10),
+            Err(WorkloadError::IndexOutOfBounds {
+                what: "embedding table row",
+                index: 10,
+                len: 10,
+            })
+        );
+        let bad_bags = vec![vec![3usize, 42]];
+        assert!(t.pooled_lookup(&bad_bags).is_err());
+        // Sharded lookup rejects the same bad index even when the owning
+        // shard filter would have skipped it.
+        assert!(t.sharded_pooled_lookup(&bad_bags, 4).is_err());
+        assert!(matches!(
+            t.sharded_pooled_lookup(&[vec![1]], 0),
+            Err(WorkloadError::ZeroPartitions { .. })
+        ));
+        // A zero-dim table has no rows rather than a divide-by-zero.
+        assert_eq!(EmbeddingTable::synthetic(10, 0).entries(), 0);
     }
 
     #[test]

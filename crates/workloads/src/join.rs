@@ -14,6 +14,7 @@ use pim_sim::rng::SimRng;
 use pim_arch::{OpCounts, SystemConfig};
 use pimnet::collective::CollectiveKind;
 
+use crate::error::WorkloadError;
 use crate::program::{Phase, Program, Workload};
 
 /// A relation of `(key, payload)` tuples.
@@ -42,8 +43,18 @@ pub fn join_count(r: &Relation, s: &Relation) -> u64 {
 /// The PIM algorithm \[61\]: hash-partition both relations across `banks`
 /// (the All-to-All), then join every bucket locally. Must equal
 /// [`join_count`].
-#[must_use]
-pub fn partitioned_join_count(r: &Relation, s: &Relation, banks: usize) -> u64 {
+///
+/// # Errors
+///
+/// [`WorkloadError::ZeroPartitions`] if `banks` is zero.
+pub fn partitioned_join_count(
+    r: &Relation,
+    s: &Relation,
+    banks: usize,
+) -> Result<u64, WorkloadError> {
+    if banks == 0 {
+        return Err(WorkloadError::ZeroPartitions { what: "hash join" });
+    }
     let bucket = |k: u64| (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % banks;
     let mut r_parts: Vec<Relation> = vec![Vec::new(); banks];
     let mut s_parts: Vec<Relation> = vec![Vec::new(); banks];
@@ -54,11 +65,11 @@ pub fn partitioned_join_count(r: &Relation, s: &Relation, banks: usize) -> u64 {
         s_parts[bucket(k)].push((k, p));
     }
     // After the A2A, every bank joins its bucket independently.
-    r_parts
+    Ok(r_parts
         .iter()
         .zip(&s_parts)
         .map(|(rp, sp)| join_count(rp, sp))
-        .sum()
+        .sum())
 }
 
 /// An equi-join of two relations.
@@ -160,11 +171,16 @@ mod tests {
         assert!(reference > 0);
         for banks in [1usize, 8, 64, 256] {
             assert_eq!(
-                partitioned_join_count(&r, &s, banks),
+                partitioned_join_count(&r, &s, banks).unwrap(),
                 reference,
                 "{banks} banks"
             );
         }
+        // Zero banks is a typed error, not a divide-by-zero panic.
+        assert!(matches!(
+            partitioned_join_count(&r, &s, 0),
+            Err(crate::error::WorkloadError::ZeroPartitions { .. })
+        ));
     }
 
     #[test]
@@ -172,7 +188,7 @@ mod tests {
         let r: Relation = (0..100).map(|i| (i, i)).collect();
         let s: Relation = (1_000..1_100).map(|i| (i, i)).collect();
         assert_eq!(join_count(&r, &s), 0);
-        assert_eq!(partitioned_join_count(&r, &s, 16), 0);
+        assert_eq!(partitioned_join_count(&r, &s, 16).unwrap(), 0);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod bfs;
 pub mod cc;
 pub mod des;
 pub mod emb;
+pub mod error;
 pub mod gemv;
 pub mod graph;
 pub mod join;
@@ -41,6 +42,7 @@ pub mod ntt;
 pub mod program;
 pub mod spmv;
 
+pub use error::WorkloadError;
 pub use program::{ExecutionReport, Phase, Program, Workload};
 
 use pim_arch::SystemConfig;

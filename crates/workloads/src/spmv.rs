@@ -12,6 +12,7 @@ use pim_sim::rng::SimRng;
 use pim_arch::{OpCounts, SystemConfig};
 use pimnet::collective::CollectiveKind;
 
+use crate::error::WorkloadError;
 use crate::program::{Phase, Program, Workload};
 
 /// A sparse matrix in COO form (the DBCOO partitioning unit of SparseP).
@@ -42,25 +43,55 @@ impl CooMatrix {
 
     /// Dense reference SpMV: `y = A x`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `x.len() != n`.
-    #[must_use]
-    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.n);
+    /// [`WorkloadError::ShapeMismatch`] if `x.len() != n`;
+    /// [`WorkloadError::IndexOutOfBounds`] if an entry's row or column
+    /// lies outside the matrix.
+    pub fn spmv(&self, x: &[f64]) -> Result<Vec<f64>, WorkloadError> {
+        if x.len() != self.n {
+            return Err(WorkloadError::ShapeMismatch {
+                what: "spmv input vector",
+                expected: self.n,
+                got: x.len(),
+            });
+        }
         let mut y = vec![0.0; self.n];
         for &(r, c, v) in &self.entries {
-            y[r as usize] += v * x[c as usize];
+            let (r, c) = (r as usize, c as usize);
+            let oob = r.max(c);
+            if oob >= self.n {
+                return Err(WorkloadError::IndexOutOfBounds {
+                    what: "coo matrix entry",
+                    index: oob,
+                    len: self.n,
+                });
+            }
+            y[r] += v * x[c];
         }
-        y
+        Ok(y)
     }
 
     /// 2D DBCOO partitioning into a `vertical × horizontal` grid of COO
     /// blocks — one block per PIM bank, exactly as the workload maps it.
-    #[must_use]
-    pub fn partition_2d(&self, vertical: usize, horizontal: usize) -> Vec<CooMatrix> {
-        let row_stripe = self.n.div_ceil(vertical);
-        let col_stripe = self.n.div_ceil(horizontal);
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::ZeroPartitions`] if either grid dimension is zero;
+    /// [`WorkloadError::IndexOutOfBounds`] if an entry lies outside the
+    /// matrix (it would not map to any block).
+    pub fn partition_2d(
+        &self,
+        vertical: usize,
+        horizontal: usize,
+    ) -> Result<Vec<CooMatrix>, WorkloadError> {
+        if vertical == 0 || horizontal == 0 {
+            return Err(WorkloadError::ZeroPartitions {
+                what: "2d dbcoo partitioning",
+            });
+        }
+        let row_stripe = self.n.div_ceil(vertical).max(1);
+        let col_stripe = self.n.div_ceil(horizontal).max(1);
         let mut blocks = vec![
             CooMatrix {
                 n: self.n,
@@ -69,27 +100,44 @@ impl CooMatrix {
             vertical * horizontal
         ];
         for &(r, c, v) in &self.entries {
-            let bi = (r as usize / row_stripe) * horizontal + c as usize / col_stripe;
-            blocks[bi].entries.push((r, c, v));
+            let (r, c) = (r as usize, c as usize);
+            let oob = r.max(c);
+            if oob >= self.n {
+                return Err(WorkloadError::IndexOutOfBounds {
+                    what: "coo matrix entry",
+                    index: oob,
+                    len: self.n,
+                });
+            }
+            let bi = (r / row_stripe) * horizontal + c / col_stripe;
+            blocks[bi].entries.push((r as u32, c as u32, v));
         }
-        blocks
+        Ok(blocks)
     }
 
     /// The partitioned SpMV the PIM system runs: every block computes a
     /// partial output, and the per-stripe partials are reduced — the data
     /// movement the ReduceScatter phase performs. Must equal [`Self::spmv`].
-    #[must_use]
-    pub fn partitioned_spmv(&self, x: &[f64], vertical: usize, horizontal: usize) -> Vec<f64> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::partition_2d`] and [`Self::spmv`] errors.
+    pub fn partitioned_spmv(
+        &self,
+        x: &[f64],
+        vertical: usize,
+        horizontal: usize,
+    ) -> Result<Vec<f64>, WorkloadError> {
         let mut y = vec![0.0; self.n];
-        for block in self.partition_2d(vertical, horizontal) {
+        for block in self.partition_2d(vertical, horizontal)? {
             // Each block's partial is produced independently on its bank...
-            let partial = block.spmv(x);
+            let partial = block.spmv(x)?;
             // ...and reduced into the stripe's output (the collective).
             for (i, v) in partial.into_iter().enumerate() {
                 y[i] += v;
             }
         }
-        y
+        Ok(y)
     }
 }
 
@@ -178,9 +226,9 @@ mod tests {
     fn partitioned_spmv_equals_direct() {
         let m = CooMatrix::random(500, 4_000, 42);
         let x: Vec<f64> = (0..500).map(|i| f64::from(i % 17) - 8.0).collect();
-        let direct = m.spmv(&x);
+        let direct = m.spmv(&x).unwrap();
         for (v, h) in [(32usize, 8usize), (4, 4), (1, 1), (500, 1)] {
-            let part = m.partitioned_spmv(&x, v, h);
+            let part = m.partitioned_spmv(&x, v, h).unwrap();
             for (a, b) in direct.iter().zip(&part) {
                 assert!((a - b).abs() < 1e-9, "({v},{h}): {a} vs {b}");
             }
@@ -188,9 +236,47 @@ mod tests {
     }
 
     #[test]
+    fn malformed_inputs_are_typed_errors() {
+        use crate::error::WorkloadError;
+        let m = CooMatrix::random(100, 500, 3);
+        // Wrong input-vector length.
+        assert_eq!(
+            m.spmv(&[0.0; 99]),
+            Err(WorkloadError::ShapeMismatch {
+                what: "spmv input vector",
+                expected: 100,
+                got: 99,
+            })
+        );
+        // Zero-way partitioning.
+        assert!(matches!(
+            m.partition_2d(0, 8),
+            Err(WorkloadError::ZeroPartitions { .. })
+        ));
+        assert!(matches!(
+            m.partitioned_spmv(&[1.0; 100], 4, 0),
+            Err(WorkloadError::ZeroPartitions { .. })
+        ));
+        // An entry outside the matrix surfaces instead of panicking.
+        let bad = CooMatrix {
+            n: 10,
+            entries: vec![(3, 12, 1.0)],
+        };
+        assert_eq!(
+            bad.spmv(&[1.0; 10]),
+            Err(WorkloadError::IndexOutOfBounds {
+                what: "coo matrix entry",
+                index: 12,
+                len: 10,
+            })
+        );
+        assert!(bad.partition_2d(2, 2).is_err());
+    }
+
+    #[test]
     fn partition_preserves_every_entry() {
         let m = CooMatrix::random(200, 1_500, 7);
-        let blocks = m.partition_2d(32, 8);
+        let blocks = m.partition_2d(32, 8).unwrap();
         assert_eq!(blocks.len(), 256);
         let total: usize = blocks.iter().map(|b| b.entries.len()).sum();
         assert_eq!(total, m.entries.len());
