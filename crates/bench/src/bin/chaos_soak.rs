@@ -111,15 +111,27 @@ fn soak_cell(kind: CollectiveKind, dpus: u32, seeds: std::ops::Range<u64>) -> Ce
 }
 
 fn main() {
+    // User-supplied arguments get typed errors, not panics.
     let mut args = std::env::args().skip(1);
-    let per_cell: u64 = args
-        .next()
-        .map(|a| a.parse().expect("seeds-per-cell must be a number"))
-        .unwrap_or(8);
-    let base: u64 = args
-        .next()
-        .map(|a| a.parse().expect("base-seed must be a number"))
-        .unwrap_or(0xC40);
+    let parse_u64 = |arg: Option<String>, name: &str, default: u64| -> Result<u64, String> {
+        match arg {
+            None => Ok(default),
+            Some(a) => a
+                .parse()
+                .map_err(|_| format!("{name} must be a number, got '{a}'")),
+        }
+    };
+    let (per_cell, base) = match (|| -> Result<(u64, u64), String> {
+        let per_cell = parse_u64(args.next(), "seeds-per-cell", 8)?;
+        let base = parse_u64(args.next(), "base-seed", 0xC40)?;
+        Ok((per_cell, base))
+    })() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("chaos_soak: {e}\nusage: chaos_soak [seeds-per-cell] [base-seed]");
+            std::process::exit(2);
+        }
+    };
 
     println!(
         "chaos soak: {} geometries x {} collectives x {per_cell} seeds (base {base:#x})\n",

@@ -1,0 +1,98 @@
+//! Analyzer cost sweep: wall-time of `analysis::run_all` per geometry,
+//! next to the cost of building the schedule it proves.
+//!
+//! The static analyzer is meant to run on every schedule the planner
+//! emits (the resilience ladder re-proves every repaired schedule), so it
+//! has to stay cheap relative to schedule construction. This sweep times
+//! both across the paper's preset geometries and payload sizes and
+//! reports the ratio; the CSV lands in `results/lint_sweep.csv`.
+//!
+//! Usage: `lint_sweep [reps]` (default 5 timing repetitions per cell,
+//! minimum taken).
+
+use std::time::Instant;
+
+use pim_arch::geometry::PimGeometry;
+use pimnet::analysis;
+use pimnet::collective::CollectiveKind;
+use pimnet::schedule::CommSchedule;
+use pimnet_bench::Table;
+
+const GEOMETRIES: [u32; 3] = [8, 64, 256];
+const ELEMS: [usize; 2] = [256, 4096];
+
+fn main() {
+    // User-supplied arguments get typed errors, not panics.
+    let reps: u32 = match std::env::args().nth(1) {
+        None => 5,
+        Some(a) => match a.parse() {
+            Ok(r) if r > 0 => r,
+            _ => {
+                eprintln!("lint_sweep: reps must be a positive number, got '{a}'");
+                eprintln!("usage: lint_sweep [reps]");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let mut t = Table::new(
+        "static analyzer cost vs schedule build (min over reps)",
+        &[
+            "dpus",
+            "collective",
+            "elems",
+            "transfers",
+            "build-us",
+            "analyze-us",
+            "analyze/build",
+            "diags",
+        ],
+    );
+    for &dpus in &GEOMETRIES {
+        let g = PimGeometry::paper_scaled(dpus);
+        for kind in CollectiveKind::ALL {
+            for &elems in &ELEMS {
+                let mut build_us = f64::INFINITY;
+                let mut analyze_us = f64::INFINITY;
+                let mut schedule = None;
+                for _ in 0..reps {
+                    let t0 = Instant::now();
+                    let s = match CommSchedule::build(kind, &g, elems, 4) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("lint_sweep: {kind} x{dpus} e{elems} failed to build: {e}");
+                            std::process::exit(1);
+                        }
+                    };
+                    build_us = build_us.min(t0.elapsed().as_secs_f64() * 1e6);
+                    schedule = Some(s);
+                }
+                let s = schedule.expect("reps >= 1 built at least one schedule");
+                let mut diags = 0usize;
+                for _ in 0..reps {
+                    let t0 = Instant::now();
+                    let report = analysis::run_all(&s);
+                    analyze_us = analyze_us.min(t0.elapsed().as_secs_f64() * 1e6);
+                    diags = report.diagnostics.len();
+                    if report.has_errors() {
+                        eprintln!(
+                            "lint_sweep: {kind} x{dpus} e{elems} unexpectedly dirty:\n{report}"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                t.row([
+                    dpus.to_string(),
+                    kind.to_string(),
+                    elems.to_string(),
+                    s.transfer_count().to_string(),
+                    format!("{build_us:.1}"),
+                    format!("{analyze_us:.1}"),
+                    format!("{:.2}", analyze_us / build_us.max(1e-9)),
+                    diags.to_string(),
+                ]);
+            }
+        }
+    }
+    t.emit("lint_sweep");
+}

@@ -29,8 +29,19 @@ USAGE:
   pimnet-cli repair     --kind <coll> [--dpus <n>] [--elems <n>]
                     [--perm-faults <tok,..>] [--fault-seed <n>]
                     [--fault-config <path>]
+  pimnet-cli lint       [--kind <coll>] [--dpus <n>] [--elems <n>] [--json true]
+                    [--all-presets true] [--perm-faults <tok,..>]
+                    [--fault-seed <n>] [--fault-config <path>]
 
   <coll> = allreduce | reducescatter | allgather | a2a | broadcast | reduce | gather
+
+  lint runs the static analyzer (structural, sync, hazard, dataflow passes)
+  over a schedule without executing it, and exits non-zero on any
+  error-severity diagnostic. With --perm-faults the schedule is first
+  repaired and the *repaired* schedule is re-proven. --json true emits one
+  machine-readable JSON report per line; --all-presets true lints every
+  collective on the paper's 8/64/256-DPU presets plus sampled
+  permanent-fault storms.
 
   Fault configs are key=value files (see pim-faults); --fault-seed overrides
   the file's seed, and --ber/--straggler-prob/--dead override its rates.
@@ -52,6 +63,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "noc" => noc(&flags),
         "faults" => faults(&flags),
         "repair" => repair(&flags),
+        "lint" => lint(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -501,7 +513,7 @@ fn repair(flags: &Flags) -> Result<(), String> {
             // Verify: the repaired schedule must produce bit-identical
             // results to the fault-free plan.
             let repaired = pimnet::schedule::repair::repair(&s, &faults)
-                .expect("repair succeeded above");
+                .map_err(|e| format!("repair succeeded in the timeline but not on re-run: {e}"))?;
             let init = |id: pim_arch::geometry::DpuId| vec![u64::from(id.0) + 1; elems];
             let mut clean_m = pimnet::exec::ExecMachine::init(&s, init);
             clean_m.run(&s, pimnet::exec::ReduceOp::Sum);
@@ -527,6 +539,162 @@ fn repair(flags: &Flags) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Analyzes one schedule without executing it. Under permanent faults the
+/// schedule is repaired first and the *repaired* schedule is proven, so
+/// the rewrite is never trusted. Returns the report plus an optional
+/// context note for the human output.
+fn lint_one(
+    kind: CollectiveKind,
+    g: &pim_arch::geometry::PimGeometry,
+    elems: usize,
+    injector: &pim_faults::FaultInjector,
+) -> Result<(pimnet::analysis::AnalysisReport, Option<String>), String> {
+    let s = CommSchedule::build(kind, g, elems, 4).map_err(|e| e.to_string())?;
+    if !injector.has_permanent_faults() {
+        return Ok((pimnet::analysis::run_all(&s), None));
+    }
+    let faults =
+        injector.permanent_faults(g.ranks_per_channel, g.chips_per_rank, g.banks_per_chip);
+    if faults.is_empty() {
+        return Ok((pimnet::analysis::run_all(&s), None));
+    }
+    let unusable = pimnet::schedule::repair::unusable_dpus(g, &faults);
+    if !unusable.is_empty() {
+        return Err(format!(
+            "{} DPU(s) unreachable under these faults ({unusable:?}); repair cannot \
+             keep every participant, so there is no full-size schedule to lint",
+            unusable.len()
+        ));
+    }
+    let r = pimnet::schedule::repair::repair(&s, &faults)
+        .map_err(|e| format!("repair failed: {e}"))?;
+    let note = format!(
+        "linting repaired schedule ({} rerouted, {} remapped, +{} steps)",
+        r.report.rerouted_transfers, r.report.remapped_transfers, r.report.extra_steps
+    );
+    Ok((pimnet::analysis::run_all(&r.schedule), Some(note)))
+}
+
+fn lint(flags: &Flags) -> Result<(), String> {
+    warn_unknown(
+        flags,
+        &[
+            "kind",
+            "dpus",
+            "elems",
+            "json",
+            "all-presets",
+            "perm-faults",
+            "fault-seed",
+            "fault-config",
+        ],
+    );
+    let json = flags.get_or("json", "false").eq_ignore_ascii_case("true");
+    if flags.get_or("all-presets", "false").eq_ignore_ascii_case("true") {
+        return lint_all_presets(json);
+    }
+    let kind = parse_kind(flags.get_or("kind", "allreduce"))?;
+    let dpus: u32 = flags.num_or("dpus", 64)?;
+    let elems: usize = flags.num_or("elems", 1024)?;
+    let injector = fault_injector(flags)?;
+    let sys = system_for(dpus)?;
+    let (report, note) = lint_one(kind, &sys.system().geometry, elems, &injector)?;
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        if let Some(n) = note {
+            println!("{n}");
+        }
+        println!("{report}");
+    }
+    if report.has_errors() {
+        Err(format!("lint failed: {} error(s)", report.error_count()))
+    } else {
+        Ok(())
+    }
+}
+
+/// Lints every collective on the paper's preset geometries (Tables
+/// II/IV/VI: 8/64/256 DPUs at two payload sizes), then re-proves repaired
+/// schedules under sampled permanent-fault storms. Storm scenarios whose
+/// faults make DPUs unreachable are skipped with a note — there repair
+/// cannot keep every participant and the ladder shrinks instead.
+fn lint_all_presets(json: bool) -> Result<(), String> {
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    let none = pim_faults::FaultInjector::none();
+    for kind in CollectiveKind::ALL {
+        for dpus in [8u32, 64, 256] {
+            for elems in [64usize, 1024] {
+                let sys = system_for(dpus)?;
+                let (report, _) = lint_one(kind, &sys.system().geometry, elems, &none)?;
+                checked += 1;
+                if report.has_errors() {
+                    failures += 1;
+                }
+                if json {
+                    println!("{}", report.to_json());
+                } else if report.is_clean() {
+                    println!("ok   {kind} x{dpus} e{elems}");
+                } else {
+                    println!("FAIL {kind} x{dpus} e{elems}\n{report}");
+                }
+            }
+        }
+    }
+    // Sampled permanent-fault storms: repaired schedules are re-proven.
+    for dpus in [64u32, 256] {
+        for seed in [1u64, 2, 3] {
+            // Keep the expected fault count roughly constant across
+            // geometries, so large systems still sample *repairable*
+            // storms instead of always partitioning a ring.
+            let rate = 2.0 / f64::from(dpus);
+            let cfg = pim_faults::FaultConfig {
+                perm_rates: pim_faults::PermanentFaultRates {
+                    segment_prob: rate,
+                    port_prob: rate,
+                    rank_prob: 0.0,
+                },
+                ..pim_faults::FaultConfig::none()
+            }
+            .with_seed(seed);
+            let injector = pim_faults::FaultInjector::new(cfg);
+            for kind in CollectiveKind::ALL {
+                let sys = system_for(dpus)?;
+                match lint_one(kind, &sys.system().geometry, 256, &injector) {
+                    Ok((report, _)) => {
+                        checked += 1;
+                        if report.has_errors() {
+                            failures += 1;
+                        }
+                        if json {
+                            println!("{}", report.to_json());
+                        } else if report.is_clean() {
+                            println!("ok   {kind} x{dpus} storm seed {seed}");
+                        } else {
+                            println!("FAIL {kind} x{dpus} storm seed {seed}\n{report}");
+                        }
+                    }
+                    Err(e) => {
+                        // Unreachable DPUs: no full-size schedule exists.
+                        if !json {
+                            println!("skip {kind} x{dpus} storm seed {seed}: {e}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        Err(format!("lint failed on {failures} of {checked} preset(s)"))
+    } else {
+        if !json {
+            println!("all {checked} linted preset(s) clean");
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -645,6 +813,33 @@ mod tests {
     #[test]
     fn repair_command_rejects_bad_tokens() {
         assert!(run(&["repair", "--perm-faults", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn lint_command_passes_clean_presets() {
+        run(&["lint", "--kind", "ar", "--dpus", "16", "--elems", "128"]).unwrap();
+        run(&["lint", "--kind", "ag", "--dpus", "8", "--elems", "64", "--json", "true"])
+            .unwrap();
+    }
+
+    #[test]
+    fn lint_command_proves_repaired_schedules() {
+        run(&[
+            "lint", "--kind", "ar", "--dpus", "64", "--elems", "128",
+            "--perm-faults", "r0c0b2E,r0c3tx",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn lint_command_rejects_unreachable_fault_sets() {
+        // A dead rank leaves DPUs no repair can reach: there is no
+        // full-size schedule to lint, and the command must say so.
+        assert!(run(&[
+            "lint", "--kind", "ar", "--dpus", "256", "--elems", "64",
+            "--perm-faults", "rank1",
+        ])
+        .is_err());
     }
 
     #[test]

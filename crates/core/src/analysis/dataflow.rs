@@ -1,0 +1,558 @@
+//! Dataflow/provenance pass (`P1xx`): abstract interpretation of a
+//! schedule over *provenance* instead of payloads.
+//!
+//! Every node's buffer is modeled as a sorted list of disjoint **runs**.
+//! A run records, for a contiguous span, which original contributions it
+//! holds: a contributor set (bitset over DPUs) and the contributor-side
+//! element index of its first element (`elem0`; indices advance one per
+//! element, mirroring the elementwise collectives). Regions outside any
+//! run are *uninitialized* — never written and not an input location, so
+//! they hold the buffer's default fill in the functional executor.
+//!
+//! The interpreter mirrors [`crate::exec::ExecMachine`] exactly: the same
+//! initial placement (offset 0, or piece `i` for AllGather/Gather), the
+//! same snapshot semantics within a step (payloads are read before any
+//! delivery lands), the same delivery order. A `combine` delivery unions
+//! contributor sets and requires element alignment and disjointness — a
+//! misaligned or double-counted reduction can never equal the reference
+//! reduction for `Sum`, so both are errors. After the last step, each
+//! node's declared result spans are checked against the collective's
+//! expected provenance: AllReduce must hold *every* contributor at every
+//! element, AllGather must hold exactly contributor `k` at piece `k`, and
+//! so on per kind.
+
+use std::rc::Rc;
+
+use crate::collective::CollectiveKind;
+use crate::schedule::{CommSchedule, Span};
+
+use super::diagnostics::{Diagnostic, Location};
+
+/// `P101` — a transfer reads a region no prior step initialized.
+pub const UNINIT_READ: &str = "P101";
+/// `P102` — a reduction lands on an uninitialized destination region.
+pub const COMBINE_INTO_UNINIT: &str = "P102";
+/// `P103` — a reduction combines misaligned element indices.
+pub const MISALIGNED_COMBINE: &str = "P103";
+/// `P104` — a reduction double-counts a contributor.
+pub const DOUBLE_COUNTED: &str = "P104";
+/// `P105` — a node's result has the wrong shape (length, or the
+/// ReduceScatter partition is broken).
+pub const RESULT_SHAPE: &str = "P105";
+/// `P106` — a result region is uninitialized or carries the wrong
+/// contributor set.
+pub const RESULT_PROVENANCE: &str = "P106";
+/// `P107` — a result region holds the right contributors but the wrong
+/// elements.
+pub const RESULT_ELEMENTS: &str = "P107";
+
+/// A set of contributing DPUs, as a bitset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct NodeSet {
+    words: Vec<u64>,
+}
+
+impl NodeSet {
+    fn empty(total: u32) -> NodeSet {
+        NodeSet {
+            words: vec![0; (total as usize).div_ceil(64).max(1)],
+        }
+    }
+
+    fn single(total: u32, i: u32) -> NodeSet {
+        let mut s = NodeSet::empty(total);
+        s.words[i as usize / 64] |= 1 << (i % 64);
+        s
+    }
+
+    fn full(total: u32) -> NodeSet {
+        let mut s = NodeSet::empty(total);
+        for i in 0..total {
+            s.words[i as usize / 64] |= 1 << (i % 64);
+        }
+        s
+    }
+
+    fn contains(&self, i: u32) -> bool {
+        self.words
+            .get(i as usize / 64)
+            .is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    fn intersects(&self, other: &NodeSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    fn union(&self, other: &NodeSet) -> NodeSet {
+        NodeSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    fn is_single(&self, i: u32) -> bool {
+        self.count() == 1 && self.contains(i)
+    }
+}
+
+/// A contiguous buffer region of known provenance. The element at buffer
+/// index `b` (with `span.start <= b < span.end()`) holds the reduction of
+/// element `elem0 + (b - span.start)` over every contributor in `contrib`.
+#[derive(Debug, Clone)]
+struct Run {
+    span: Span,
+    elem0: usize,
+    contrib: Rc<NodeSet>,
+}
+
+impl Run {
+    /// Contributor-side element index at buffer index `b`.
+    fn elem_at(&self, b: usize) -> usize {
+        self.elem0 + (b - self.span.start)
+    }
+
+    /// The run clipped to `span` (assumed overlapping).
+    fn clip(&self, span: Span) -> Run {
+        let start = self.span.start.max(span.start);
+        let end = self.span.end().min(span.end());
+        Run {
+            span: Span::new(start, end - start),
+            elem0: self.elem_at(start),
+            contrib: self.contrib.clone(),
+        }
+    }
+}
+
+fn overlaps(a: Span, b: Span) -> bool {
+    a.start < b.end() && b.start < a.end()
+}
+
+/// Data pieces of `runs` inside `span` (clipped) plus the uninitialized
+/// gaps between them.
+fn read(runs: &[Run], span: Span) -> (Vec<Run>, Vec<Span>) {
+    let mut pieces = Vec::new();
+    let mut gaps = Vec::new();
+    let mut cursor = span.start;
+    for r in runs {
+        if !overlaps(r.span, span) {
+            continue;
+        }
+        let c = r.clip(span);
+        if c.span.start > cursor {
+            gaps.push(Span::new(cursor, c.span.start - cursor));
+        }
+        cursor = c.span.end();
+        pieces.push(c);
+    }
+    if cursor < span.end() {
+        gaps.push(Span::new(cursor, span.end() - cursor));
+    }
+    (pieces, gaps)
+}
+
+/// Replaces the `span` portion of `runs` with `pieces` (disjoint,
+/// contained in `span`). Boundary runs are split, preserving `elem0`.
+fn splice(runs: &mut Vec<Run>, span: Span, pieces: Vec<Run>) {
+    let mut kept: Vec<Run> = Vec::with_capacity(runs.len() + pieces.len());
+    for r in runs.drain(..) {
+        if !overlaps(r.span, span) {
+            kept.push(r);
+            continue;
+        }
+        if r.span.start < span.start {
+            kept.push(Run {
+                span: Span::new(r.span.start, span.start - r.span.start),
+                elem0: r.elem0,
+                contrib: r.contrib.clone(),
+            });
+        }
+        if span.end() < r.span.end() {
+            kept.push(Run {
+                span: Span::new(span.end(), r.span.end() - span.end()),
+                elem0: r.elem_at(span.end()),
+                contrib: r.contrib,
+            });
+        }
+    }
+    kept.extend(pieces.into_iter().filter(|p| !p.span.is_empty()));
+    kept.sort_by_key(|r| r.span.start);
+    *runs = kept;
+}
+
+/// One pending delivery of a step (snapshot semantics: all payloads are
+/// read before any delivery is applied, in transfer order, like the
+/// executor).
+struct Delivery {
+    dst: usize,
+    dst_span: Span,
+    /// Payload pieces already shifted into destination coordinates.
+    pieces: Vec<Run>,
+    combine: bool,
+    loc: Location,
+}
+
+/// Runs the dataflow pass, appending findings to `diags`.
+pub(super) fn check(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
+    let g = &schedule.geometry;
+    let total = g.total_dpus();
+    let n = schedule.elems_per_node;
+    if total == 0 {
+        return;
+    }
+
+    // Initial placement, mirroring `ExecMachine::init`.
+    let mut state: Vec<Vec<Run>> = (0..total)
+        .map(|i| {
+            let offset = match schedule.kind {
+                CollectiveKind::AllGather | CollectiveKind::Gather => i as usize * n,
+                _ => 0,
+            };
+            if n == 0 || offset + n > schedule.buffer_len {
+                Vec::new()
+            } else {
+                vec![Run {
+                    span: Span::new(offset, n),
+                    elem0: 0,
+                    contrib: Rc::new(NodeSet::single(total, i)),
+                }]
+            }
+        })
+        .collect();
+
+    for (pi, phase) in schedule.phases.iter().enumerate() {
+        for (si, step) in phase.steps.iter().enumerate() {
+            let mut deliveries: Vec<Delivery> = Vec::new();
+            for (ti, t) in step.transfers.iter().enumerate() {
+                let loc = Location::at(pi, si, ti);
+                // Transfers the structural/sync passes already rejected
+                // cannot be interpreted; skip them rather than panic.
+                if t.src.0 >= total
+                    || t.dsts.iter().any(|d| d.0 >= total)
+                    || t.src_span.len != t.dst_span.len
+                    || t.src_span.end() > schedule.buffer_len
+                    || t.dst_span.end() > schedule.buffer_len
+                {
+                    continue;
+                }
+                let (pieces, gaps) = read(&state[t.src.index()], t.src_span);
+                if let Some(gap) = gaps.first() {
+                    diags.push(Diagnostic::error(
+                        UNINIT_READ,
+                        loc.on(t.src.0),
+                        format!(
+                            "transfer reads uninitialized region {gap} of node {}'s buffer",
+                            t.src
+                        ),
+                    ));
+                }
+                let pieces: Vec<Run> = pieces
+                    .into_iter()
+                    .map(|p| Run {
+                        span: Span::new(
+                            t.dst_span.start + (p.span.start - t.src_span.start),
+                            p.span.len,
+                        ),
+                        elem0: p.elem0,
+                        contrib: p.contrib,
+                    })
+                    .collect();
+                for &dst in &t.dsts {
+                    deliveries.push(Delivery {
+                        dst: dst.index(),
+                        dst_span: t.dst_span,
+                        pieces: pieces.clone(),
+                        combine: t.combine,
+                        loc,
+                    });
+                }
+            }
+            for d in deliveries {
+                if d.combine {
+                    apply_combine(&mut state[d.dst], &d, diags);
+                } else {
+                    splice(&mut state[d.dst], d.dst_span, d.pieces);
+                }
+            }
+        }
+    }
+
+    final_check(schedule, &state, diags);
+}
+
+/// Reduces a delivery's payload pieces into a node's runs, in place.
+fn apply_combine(runs: &mut Vec<Run>, d: &Delivery, diags: &mut Vec<Diagnostic>) {
+    let dpu = d.dst as u32;
+    let (mut warned_uninit, mut warned_align, mut warned_double) = (false, false, false);
+    for p in &d.pieces {
+        let (existing, gaps) = read(runs, p.span);
+        if !gaps.is_empty() && !warned_uninit {
+            warned_uninit = true;
+            diags.push(Diagnostic::error(
+                COMBINE_INTO_UNINIT,
+                d.loc.on(dpu),
+                format!(
+                    "reduction lands on uninitialized region {} of node {dpu}'s buffer",
+                    gaps[0]
+                ),
+            ));
+        }
+        let mut merged: Vec<Run> = Vec::with_capacity(existing.len() + gaps.len());
+        for e in existing {
+            let seg = e.span;
+            let p_elem = p.elem_at(seg.start);
+            if p_elem != e.elem0 && !warned_align {
+                warned_align = true;
+                diags.push(Diagnostic::error(
+                    MISALIGNED_COMBINE,
+                    d.loc.on(dpu),
+                    format!(
+                        "reduction at {seg} of node {dpu} combines element {p_elem} \
+                         into element {}",
+                        e.elem0
+                    ),
+                ));
+            }
+            if p.contrib.intersects(&e.contrib) && !warned_double {
+                warned_double = true;
+                diags.push(Diagnostic::error(
+                    DOUBLE_COUNTED,
+                    d.loc.on(dpu),
+                    format!(
+                        "reduction at {seg} of node {dpu} double-counts \
+                         contributor(s) already folded in"
+                    ),
+                ));
+            }
+            merged.push(Run {
+                span: seg,
+                elem0: e.elem0,
+                contrib: Rc::new(p.contrib.union(&e.contrib)),
+            });
+        }
+        // Reducing into the default fill behaves like an overwrite for
+        // `Sum`; model the gap as freshly written payload (the error
+        // above already recorded the problem).
+        for gap in gaps {
+            merged.push(p.clip(gap));
+        }
+        splice(runs, p.span, merged);
+    }
+}
+
+/// Expected provenance of one concatenated-result element.
+enum Expect {
+    /// Reduced over every participant; element index equals the concat
+    /// position (AllReduce, Reduce at the root).
+    FullAtConcat,
+    /// Reduced over every participant; element index equals the *buffer*
+    /// index (ReduceScatter's in-place owned pieces).
+    FullInPlace,
+    /// Exactly one contributor per block of `block` elements: concat
+    /// block `j` holds contributor `owner(j)`'s elements starting at
+    /// `elem0(j)`.
+    Blocks {
+        block: usize,
+        owner: fn(usize, usize) -> u32,
+        elem0: fn(usize, usize, usize) -> usize,
+    },
+}
+
+/// Checks every node's declared result spans against the collective's
+/// expected provenance.
+fn final_check(schedule: &CommSchedule, state: &[Vec<Run>], diags: &mut Vec<Diagnostic>) {
+    let total = schedule.geometry.total_dpus();
+    let n = schedule.elems_per_node;
+    if schedule.result_spans.len() != total as usize {
+        return; // structural P010 already fired
+    }
+
+    let chunk = if schedule.kind == CollectiveKind::AllToAll {
+        if total == 0 || !n.is_multiple_of(total as usize) {
+            diags.push(Diagnostic::error(
+                RESULT_SHAPE,
+                Location::SCHEDULE,
+                format!("All-to-All buffer ({n} elems/node) is not {total} even chunks"),
+            ));
+            return;
+        }
+        n / total as usize
+    } else {
+        0
+    };
+
+    for i in 0..total {
+        let spans = &schedule.result_spans[i as usize];
+        let got_len: usize = spans.iter().map(|s| s.len).sum();
+        let expected_len = match schedule.kind {
+            CollectiveKind::AllReduce | CollectiveKind::Broadcast | CollectiveKind::AllToAll => n,
+            CollectiveKind::ReduceScatter => got_len, // partition checked globally below
+            CollectiveKind::Reduce => usize::from(i == 0) * n,
+            CollectiveKind::AllGather => total as usize * n,
+            CollectiveKind::Gather => usize::from(i == 0) * total as usize * n,
+        };
+        if got_len != expected_len {
+            diags.push(Diagnostic::error(
+                RESULT_SHAPE,
+                Location::node(i),
+                format!("result holds {got_len} element(s), expected {expected_len}"),
+            ));
+            continue;
+        }
+        let expect = match schedule.kind {
+            CollectiveKind::AllReduce | CollectiveKind::Reduce => Expect::FullAtConcat,
+            CollectiveKind::ReduceScatter => Expect::FullInPlace,
+            CollectiveKind::Broadcast => Expect::Blocks {
+                block: n.max(1),
+                owner: |_j, _i| 0,
+                elem0: |_j, _i, _block| 0,
+            },
+            CollectiveKind::AllGather | CollectiveKind::Gather => Expect::Blocks {
+                block: n.max(1),
+                owner: |j, _i| j as u32,
+                elem0: |_j, _i, _block| 0,
+            },
+            CollectiveKind::AllToAll => Expect::Blocks {
+                block: chunk.max(1),
+                owner: |j, _i| j as u32,
+                elem0: |_j, i, block| i * block,
+            },
+        };
+        check_node(schedule, state, i, &expect, diags);
+    }
+
+    // ReduceScatter's spans must partition the reduced vector exactly
+    // once across all nodes.
+    if schedule.kind == CollectiveKind::ReduceScatter {
+        let mut owned = vec![0u8; n];
+        for spans in &schedule.result_spans {
+            for span in spans {
+                for idx in span.range() {
+                    if idx < n {
+                        owned[idx] = owned[idx].saturating_add(1);
+                    }
+                }
+            }
+        }
+        if let Some(idx) = owned.iter().position(|&c| c != 1) {
+            diags.push(Diagnostic::error(
+                RESULT_SHAPE,
+                Location::SCHEDULE,
+                format!(
+                    "ReduceScatter result pieces do not partition the vector: \
+                     element {idx} is owned {} time(s)",
+                    owned[idx]
+                ),
+            ));
+        }
+    }
+}
+
+/// Verifies one node's result spans against `expect`, walking runs and
+/// expectation blocks piecewise.
+fn check_node(
+    schedule: &CommSchedule,
+    state: &[Vec<Run>],
+    node: u32,
+    expect: &Expect,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let total = schedule.geometry.total_dpus();
+    let full = NodeSet::full(total);
+    let runs = &state[node as usize];
+    let mut k = 0usize; // concatenated result position
+    let (mut flagged_prov, mut flagged_elem) = (false, false);
+    for span in &schedule.result_spans[node as usize] {
+        if span.end() > schedule.buffer_len {
+            k += span.len;
+            continue; // structural P010 already fired
+        }
+        let (pieces, gaps) = read(runs, *span);
+        if let (Some(gap), false) = (gaps.first(), flagged_prov) {
+            flagged_prov = true;
+            diags.push(Diagnostic::error(
+                RESULT_PROVENANCE,
+                Location::node(node),
+                format!("result region {gap} of node {node} is never written"),
+            ));
+        }
+        for piece in pieces {
+            // Split the piece at expectation-block boundaries so both
+            // sides are constant/linear, then compare once per segment.
+            let mut b = piece.span.start;
+            while b < piece.span.end() {
+                let kb = k + (b - span.start);
+                let seg_end = match expect {
+                    Expect::Blocks { block, .. } => {
+                        let block_end_k = (kb / block + 1) * block;
+                        piece.span.end().min(b + (block_end_k - kb))
+                    }
+                    _ => piece.span.end(),
+                };
+                let seg = Span::new(b, seg_end - b);
+                let (want_full, want_owner, want_elem) = match expect {
+                    Expect::FullAtConcat => (true, 0, kb),
+                    Expect::FullInPlace => (true, 0, b),
+                    Expect::Blocks {
+                        block,
+                        owner,
+                        elem0,
+                    } => {
+                        let j = kb / block;
+                        (
+                            false,
+                            owner(j, node as usize),
+                            elem0(j, node as usize, *block) + (kb % block),
+                        )
+                    }
+                };
+                let prov_ok = if want_full {
+                    *piece.contrib == full
+                } else {
+                    piece.contrib.is_single(want_owner)
+                };
+                if !prov_ok && !flagged_prov {
+                    flagged_prov = true;
+                    let want = if want_full {
+                        format!("all {total} contributors")
+                    } else {
+                        format!("contributor {want_owner} alone")
+                    };
+                    diags.push(Diagnostic::error(
+                        RESULT_PROVENANCE,
+                        Location::node(node),
+                        format!(
+                            "result region {seg} of node {node} holds {} of {total} \
+                             contributor(s), expected {want}",
+                            piece.contrib.count()
+                        ),
+                    ));
+                }
+                if piece.elem_at(b) != want_elem && !flagged_elem {
+                    flagged_elem = true;
+                    diags.push(Diagnostic::error(
+                        RESULT_ELEMENTS,
+                        Location::node(node),
+                        format!(
+                            "result region {seg} of node {node} holds element {} \
+                             where element {want_elem} belongs",
+                            piece.elem_at(b)
+                        ),
+                    ));
+                }
+                b = seg_end;
+            }
+        }
+        k += span.len;
+    }
+}

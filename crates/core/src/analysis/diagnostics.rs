@@ -1,0 +1,301 @@
+//! Structured diagnostics for the schedule static analyzer.
+//!
+//! Every finding carries a **stable code** (`P0xx` structural, `P1xx`
+//! dataflow, `P2xx` hazard, `P3xx` sync), a [`Severity`], a [`Location`]
+//! inside the schedule, and a human-readable message. Codes and messages
+//! for hand-built broken schedules are pinned by golden tests
+//! (`tests/analysis_golden.rs`), making them a public contract: tooling
+//! may match on `code` across releases.
+
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// Only [`Severity::Error`] findings make a schedule fail analysis; the
+/// lint pipeline exits non-zero on them. Warnings flag suspicious but
+/// executable constructs; infos are purely informational.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; never fails a lint.
+    Info,
+    /// Suspicious but executable (e.g. a barrier with no work).
+    Warning,
+    /// The schedule is wrong: it races, deadlocks, or computes the wrong
+    /// collective.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name, as emitted in JSON.
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where in a schedule a diagnostic points: phase / step / transfer
+/// indices, optionally narrowed to one DPU's buffer. All components are
+/// optional so schedule-level findings (e.g. a malformed result table)
+/// can still be located.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Location {
+    /// Phase index into `CommSchedule::phases`.
+    pub phase: Option<usize>,
+    /// Step index within the phase.
+    pub step: Option<usize>,
+    /// Transfer index within the step.
+    pub transfer: Option<usize>,
+    /// The DPU whose buffer the finding concerns.
+    pub dpu: Option<u32>,
+}
+
+impl Location {
+    /// A schedule-level location (no specific phase/step/transfer).
+    pub const SCHEDULE: Location = Location {
+        phase: None,
+        step: None,
+        transfer: None,
+        dpu: None,
+    };
+
+    /// Location of one transfer.
+    #[must_use]
+    pub const fn at(phase: usize, step: usize, transfer: usize) -> Location {
+        Location {
+            phase: Some(phase),
+            step: Some(step),
+            transfer: Some(transfer),
+            dpu: None,
+        }
+    }
+
+    /// Location of one step.
+    #[must_use]
+    pub const fn step(phase: usize, step: usize) -> Location {
+        Location {
+            phase: Some(phase),
+            step: Some(step),
+            transfer: None,
+            dpu: None,
+        }
+    }
+
+    /// Location of one phase.
+    #[must_use]
+    pub const fn phase(phase: usize) -> Location {
+        Location {
+            phase: Some(phase),
+            step: None,
+            transfer: None,
+            dpu: None,
+        }
+    }
+
+    /// Location of one DPU's final buffer state.
+    #[must_use]
+    pub const fn node(dpu: u32) -> Location {
+        Location {
+            phase: None,
+            step: None,
+            transfer: None,
+            dpu: Some(dpu),
+        }
+    }
+
+    /// The same location narrowed to one DPU's buffer.
+    #[must_use]
+    pub const fn on(mut self, dpu: u32) -> Location {
+        self.dpu = Some(dpu);
+        self
+    }
+
+    /// True when the finding names a concrete phase/step/transfer or DPU
+    /// (the differential fuzzer asserts every analyzer rejection is
+    /// pinpointed, not just "something is wrong somewhere").
+    #[must_use]
+    pub const fn is_pinpointed(&self) -> bool {
+        self.phase.is_some() || self.dpu.is_some()
+    }
+
+    /// Sort key for deterministic report ordering.
+    #[must_use]
+    pub fn sort_key(&self) -> (usize, usize, usize, u32) {
+        (
+            self.phase.unwrap_or(usize::MAX),
+            self.step.unwrap_or(usize::MAX),
+            self.transfer.unwrap_or(usize::MAX),
+            self.dpu.unwrap_or(u32::MAX),
+        )
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        if let Some(p) = self.phase {
+            write!(f, "phase {p}")?;
+            wrote = true;
+            if let Some(s) = self.step {
+                write!(f, " step {s}")?;
+                if let Some(t) = self.transfer {
+                    write!(f, " transfer {t}")?;
+                }
+            }
+        }
+        if let Some(d) = self.dpu {
+            if wrote {
+                write!(f, " ")?;
+            }
+            write!(f, "dpu {d}")?;
+            wrote = true;
+        }
+        if !wrote {
+            write!(f, "schedule")?;
+        }
+        Ok(())
+    }
+}
+
+/// One analyzer finding: a stable code, a severity, a location, and a
+/// message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"P101"`. The leading digit names the pass:
+    /// `P0xx` structural, `P1xx` dataflow, `P2xx` hazard, `P3xx` sync.
+    pub code: &'static str,
+    /// How bad the finding is.
+    pub severity: Severity,
+    /// Where the finding points.
+    pub location: Location,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error-severity finding.
+    #[must_use]
+    pub fn error(code: &'static str, location: Location, message: String) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            location,
+            message,
+        }
+    }
+
+    /// A warning-severity finding.
+    #[must_use]
+    pub fn warning(code: &'static str, location: Location, message: String) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            location,
+            message,
+        }
+    }
+
+    /// The finding as one machine-readable JSON object (no external
+    /// dependencies; fields: `code`, `severity`, `phase`, `step`,
+    /// `transfer`, `dpu`, `message`; absent location parts are `null`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn opt_usize(v: Option<usize>) -> String {
+            v.map_or_else(|| "null".into(), |x| x.to_string())
+        }
+        fn opt_u32(v: Option<u32>) -> String {
+            v.map_or_else(|| "null".into(), |x| x.to_string())
+        }
+        format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"phase\":{},\"step\":{},\
+             \"transfer\":{},\"dpu\":{},\"message\":\"{}\"}}",
+            self.code,
+            self.severity,
+            opt_usize(self.location.phase),
+            opt_usize(self.location.step),
+            opt_usize(self.location.transfer),
+            opt_u32(self.location.dpu),
+            json_escape(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.location, self.message
+        )
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let d = Diagnostic::error(
+            "P101",
+            Location::at(1, 0, 3).on(7),
+            "reads uninitialized region".into(),
+        );
+        assert_eq!(
+            d.to_string(),
+            "error[P101] phase 1 step 0 transfer 3 dpu 7: reads uninitialized region"
+        );
+        assert_eq!(Location::SCHEDULE.to_string(), "schedule");
+        assert_eq!(Location::node(4).to_string(), "dpu 4");
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let d = Diagnostic::warning("P303", Location::phase(2), "empty \"barrier\"".into());
+        assert_eq!(
+            d.to_json(),
+            "{\"code\":\"P303\",\"severity\":\"warning\",\"phase\":2,\"step\":null,\
+             \"transfer\":null,\"dpu\":null,\"message\":\"empty \\\"barrier\\\"\"}"
+        );
+    }
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn pinpointing() {
+        assert!(Location::at(0, 0, 0).is_pinpointed());
+        assert!(Location::node(3).is_pinpointed());
+        assert!(!Location::SCHEDULE.is_pinpointed());
+    }
+}

@@ -1,0 +1,145 @@
+//! Sync/deadlock pass (`P3xx`): the READY/START barrier tree and
+//! WAIT-multiplexed phases.
+//!
+//! PIMnet sequences steps with a hardware READY/START tree: every
+//! participant reports READY, the root broadcasts START, and the next
+//! step begins. That protocol has two static failure modes this pass
+//! detects without executing anything:
+//!
+//! * **Partitioned tree** (`P301`): a transfer names a DPU outside the
+//!   geometry. The sync tree only spans real participants, so the named
+//!   endpoint can never report READY and the barrier never fires.
+//! * **Cyclic waits** (`P302`): when a step must be serialized on shared
+//!   hardware (the repair layer's reader-before-writer split), transfer
+//!   `a` must run before transfer `b` whenever `b` overwrites a region
+//!   `a` still has to read. A cycle in that must-precede relation admits
+//!   no serial order: every interleaving corrupts some payload, and a
+//!   WAIT-multiplexed engine that refuses to clobber un-read data stalls
+//!   forever.
+//! * **Empty barrier** (`P303`, warning): a phase or step with no
+//!   transfers still costs a full READY/START round trip for nothing.
+
+use crate::schedule::{CommSchedule, Span};
+
+use super::diagnostics::{Diagnostic, Location};
+
+/// `P301` — a transfer references a DPU outside the geometry; the
+/// READY/START sync tree is partitioned.
+pub const PARTITIONED_TREE: &str = "P301";
+/// `P302` — cyclic must-precede constraints within one step.
+pub const CYCLIC_WAIT: &str = "P302";
+/// `P303` — an empty phase or step (a barrier with no work).
+pub const EMPTY_BARRIER: &str = "P303";
+
+fn overlaps(a: Span, b: Span) -> bool {
+    a.start < b.end() && b.start < a.end()
+}
+
+/// Runs the sync pass, appending findings to `diags`.
+pub(super) fn check(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
+    let total = schedule.geometry.total_dpus();
+
+    for (pi, phase) in schedule.phases.iter().enumerate() {
+        if phase.steps.is_empty() {
+            diags.push(Diagnostic::warning(
+                EMPTY_BARRIER,
+                Location::phase(pi),
+                "phase has no steps: a barrier with no work".into(),
+            ));
+        }
+        for (si, step) in phase.steps.iter().enumerate() {
+            if step.transfers.is_empty() {
+                diags.push(Diagnostic::warning(
+                    EMPTY_BARRIER,
+                    Location::step(pi, si),
+                    "step has no transfers: a barrier with no work".into(),
+                ));
+            }
+            for (ti, t) in step.transfers.iter().enumerate() {
+                let loc = Location::at(pi, si, ti);
+                for id in std::iter::once(t.src).chain(t.dsts.iter().copied()) {
+                    if id.0 >= total {
+                        diags.push(Diagnostic::error(
+                            PARTITIONED_TREE,
+                            loc.on(id.0),
+                            format!(
+                                "transfer references {id} outside the geometry's {total} \
+                                 DPUs: the READY/START sync tree is partitioned and the \
+                                 step barrier can never fire"
+                            ),
+                        ));
+                    }
+                }
+            }
+            check_serialization(pi, si, step.transfers.len(), schedule, diags);
+        }
+    }
+}
+
+/// Builds the must-precede relation of one step (transfer `a` before `b`
+/// iff `b` overwrites a region `a` reads on the same node) and reports a
+/// cycle if one exists.
+fn check_serialization(
+    pi: usize,
+    si: usize,
+    count: usize,
+    schedule: &CommSchedule,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let transfers = &schedule.phases[pi].steps[si].transfers;
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); count];
+    for (a, ta) in transfers.iter().enumerate() {
+        for (b, tb) in transfers.iter().enumerate() {
+            if a == b || tb.combine {
+                continue;
+            }
+            // `tb` overwrites `ta`'s read region on ta's source node.
+            if tb.dsts.contains(&ta.src) && overlaps(ta.src_span, tb.dst_span) {
+                edges[a].push(b);
+            }
+        }
+    }
+
+    // Iterative DFS three-coloring: a back edge is a cycle.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color = vec![Color::White; count];
+    for root in 0..count {
+        if color[root] != Color::White {
+            continue;
+        }
+        let mut stack = vec![(root, 0usize)];
+        color[root] = Color::Grey;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if let Some(&w) = edges[v].get(*next) {
+                *next += 1;
+                match color[w] {
+                    Color::White => {
+                        color[w] = Color::Grey;
+                        stack.push((w, 0));
+                    }
+                    Color::Grey => {
+                        diags.push(Diagnostic::error(
+                            CYCLIC_WAIT,
+                            Location::at(pi, si, v),
+                            format!(
+                                "cyclic wait: transfer {v} must precede transfer {w} \
+                                 (it reads what {w} overwrites) but {w} transitively \
+                                 precedes {v}; the step admits no serial order"
+                            ),
+                        ));
+                        return;
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[v] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+}

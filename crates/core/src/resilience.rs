@@ -180,6 +180,34 @@ pub fn plan_degraded(
             // the untouched plan is still the Full tier.
             Ok(r) if r.report.is_identity() => return Ok(DegradedPlan::Full(r.schedule)),
             Ok(r) => {
+                // The Repaired tier promises bit-identical results, so the
+                // rewritten schedule is independently re-proven by the
+                // static analyzer rather than trusted: if any pass finds
+                // an error, the repair is discarded and the collective is
+                // handed to the host with the proof failure on record.
+                let analysis = crate::analysis::run_all(&r.schedule);
+                if analysis.has_errors() {
+                    let first = analysis
+                        .diagnostics
+                        .iter()
+                        .find(|d| d.severity == crate::analysis::Severity::Error)
+                        .map(ToString::to_string)
+                        .unwrap_or_default();
+                    return host_fallback(
+                        kind,
+                        elems_per_node,
+                        elem_bytes,
+                        system,
+                        Vec::new(),
+                        vec![PimnetError::ScheduleInvalid {
+                            reason: format!(
+                                "repaired schedule failed static analysis \
+                                 ({} error(s); first: {first})",
+                                analysis.error_count()
+                            ),
+                        }],
+                    );
+                }
                 return Ok(DegradedPlan::Repaired {
                     schedule: r.schedule,
                     report: r.report,
@@ -434,6 +462,30 @@ mod tests {
         }
         assert_eq!(plan.tier(), 1);
         assert!(plan.error_trail().is_empty());
+    }
+
+    #[test]
+    fn repaired_tier_passes_static_analysis() {
+        // `plan_degraded` gates the Repaired tier on a clean analysis, so
+        // any plan it returns at tier 1 must re-prove clean here.
+        let g = PimGeometry::paper_scaled(64);
+        for tokens in ["r0c0b2E, r0c3tx", "r0c1b0W", "r0c5rx, r0c2b7E"] {
+            let inj = FaultInjector::new(FaultConfig {
+                permanent: pim_faults::PermanentFaultSet::parse_tokens(tokens).unwrap(),
+                ..FaultConfig::none()
+            });
+            for kind in CollectiveKind::ALL {
+                let plan = plan_degraded(kind, &g, 32, 4, &inj, &SystemConfig::paper_scaled(64))
+                    .unwrap();
+                if let DegradedPlan::Repaired { schedule, .. } = &plan {
+                    let report = crate::analysis::run_all(schedule);
+                    assert!(
+                        !report.has_errors(),
+                        "{kind} repaired under '{tokens}' fails analysis:\n{report}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

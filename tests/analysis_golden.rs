@@ -1,0 +1,188 @@
+//! Golden tests for the static analyzer's diagnostics: hand-broken
+//! schedules must produce *stable* codes (and, for the pinned cases,
+//! stable messages). These pins make diagnostic codes a public contract
+//! — tooling may match on `P1xx`/`P3xx` strings across releases, so a
+//! change that breaks one of these tests is a breaking change.
+
+use pim_arch::geometry::{DpuId, PimGeometry};
+use pimnet_suite::net::analysis::{self, codes, Severity};
+use pimnet_suite::net::collective::CollectiveKind;
+use pimnet_suite::net::schedule::{CommSchedule, Span};
+
+fn allgather(dpus: u32, elems: usize) -> CommSchedule {
+    CommSchedule::build(
+        CollectiveKind::AllGather,
+        &PimGeometry::paper_scaled(dpus),
+        elems,
+        4,
+    )
+    .unwrap()
+}
+
+/// Shorthand: analysis errors matching `code`.
+fn errors_with<'a>(
+    report: &'a analysis::AnalysisReport,
+    code: &str,
+) -> Vec<&'a analysis::Diagnostic> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == code && d.severity == Severity::Error)
+        .collect()
+}
+
+#[test]
+fn uninitialized_read_pins_p101() {
+    // 2-DPU AllGather: node 0 contributes [0..4), node 1 [4..8). Widening
+    // the first transfer's spans to the whole buffer makes node 0 read
+    // [4..8) before anything ever wrote it.
+    let mut s = allgather(2, 4);
+    let t = &mut s.phases[0].steps[0].transfers[0];
+    assert_eq!(t.src, DpuId(0), "builder layout changed; re-pin this test");
+    t.src_span = Span::new(0, 8);
+    t.dst_span = Span::new(0, 8);
+    let report = analysis::run_all(&s);
+    let hits = errors_with(&report, codes::UNINIT_READ);
+    assert!(!hits.is_empty(), "no P101 in:\n{report}");
+    // The full rendering is pinned: code, location, and message text.
+    assert_eq!(
+        hits[0].to_string(),
+        "error[P101] phase 0 step 0 transfer 0 dpu 0: transfer reads \
+         uninitialized region [4..8) of node DPU0's buffer"
+    );
+}
+
+#[test]
+fn overlapping_writes_pin_p201() {
+    // Duplicate the first delivery with its landing region shifted one
+    // element: two concurrent overwrites now collide on the destination.
+    let mut s = allgather(2, 4);
+    let step = &mut s.phases[0].steps[0];
+    let mut dup = step.transfers[0].clone();
+    dup.dst_span = Span::new(dup.dst_span.start + 1, dup.dst_span.len);
+    step.transfers.push(dup);
+    let report = analysis::run_all(&s);
+    let hits = errors_with(&report, codes::WRITE_WRITE);
+    assert!(!hits.is_empty(), "no P201 in:\n{report}");
+    assert_eq!(
+        hits[0].to_string(),
+        "error[P201] phase 0 step 0 transfer 2 dpu 1: concurrent writes to \
+         overlapping regions [0..4) and [1..5) of node 1 (also written by \
+         phase 0 step 0 transfer 0)"
+    );
+}
+
+#[test]
+fn dropped_span_is_a_dataflow_error() {
+    // Removing one AllGather hop means some node never receives some
+    // piece: the dataflow pass must see the hole in the final state
+    // without executing anything.
+    let mut s = allgather(8, 64);
+    'outer: for phase in &mut s.phases {
+        for step in &mut phase.steps {
+            if let Some(i) = step.transfers.iter().position(|t| !t.is_local()) {
+                step.transfers.remove(i);
+                break 'outer;
+            }
+        }
+    }
+    let report = analysis::run_all(&s);
+    assert!(report.has_errors(), "dropped span not flagged:\n{report}");
+    // The hole surfaces as missing provenance (a result region that is
+    // never written or lacks its contributor), possibly alongside an
+    // uninitialized read when a later hop forwards the missing piece.
+    assert!(
+        !errors_with(&report, codes::RESULT_PROVENANCE).is_empty()
+            || !errors_with(&report, codes::UNINIT_READ).is_empty(),
+        "expected P101/P106 in:\n{report}"
+    );
+    // Every error names a concrete location.
+    assert!(report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .all(|d| d.location.is_pinpointed()));
+}
+
+#[test]
+fn partitioned_sync_tree_pins_p301() {
+    // A destination outside the geometry can never report READY: the
+    // barrier tree is partitioned and the step never completes.
+    let mut s = allgather(8, 64);
+    s.phases[0].steps[0].transfers[0].dsts[0] = DpuId(13);
+    let report = analysis::run_all(&s);
+    let hits = errors_with(&report, codes::PARTITIONED_TREE);
+    assert!(!hits.is_empty(), "no P301 in:\n{report}");
+    assert_eq!(
+        hits[0].to_string(),
+        "error[P301] phase 0 step 0 transfer 0 dpu 13: transfer references \
+         DPU13 outside the geometry's 8 DPUs: the READY/START sync tree is \
+         partitioned and the step barrier can never fire"
+    );
+}
+
+#[test]
+fn cyclic_wait_is_p302() {
+    // Rewire the 2-node exchange so each transfer overwrites exactly the
+    // region its peer still has to read: no serial order exists.
+    let mut s = allgather(2, 4);
+    let step = &mut s.phases[0].steps[0];
+    assert!(step.transfers.len() >= 2, "builder layout changed");
+    let span = step.transfers[0].src_span;
+    step.transfers[1].src_span = span;
+    step.transfers[1].dst_span = span;
+    let report = analysis::run_all(&s);
+    let hits = errors_with(&report, codes::CYCLIC_WAIT);
+    assert!(!hits.is_empty(), "no P302 in:\n{report}");
+    assert!(hits[0].message.contains("no serial order"));
+    assert!(hits[0].location.is_pinpointed());
+}
+
+#[test]
+fn structural_codes_are_stable() {
+    // One representative per structural rule family, pinned by code.
+    let mut s = allgather(2, 4);
+    s.phases[0].steps[0].transfers[0].dsts.clear();
+    assert!(!errors_with(&analysis::run_all(&s), codes::EMPTY_DSTS).is_empty());
+
+    let mut s = allgather(2, 4);
+    let t = &mut s.phases[0].steps[0].transfers[0];
+    t.dst_span = Span::new(t.dst_span.start, t.dst_span.len + 1);
+    assert!(!errors_with(&analysis::run_all(&s), codes::SPAN_LEN_MISMATCH).is_empty());
+
+    let mut s = allgather(2, 4);
+    let len = s.buffer_len;
+    let t = &mut s.phases[0].steps[0].transfers[0];
+    t.src_span = Span::new(len, 4);
+    t.dst_span = Span::new(len, 4);
+    assert!(!errors_with(&analysis::run_all(&s), codes::SPAN_OUT_OF_BOUNDS).is_empty());
+
+    let mut s = allgather(2, 4);
+    s.phases[0].steps[0].transfers[0].combine = true;
+    assert!(
+        !errors_with(&analysis::run_all(&s), codes::COMBINE_IN_NON_REDUCING).is_empty()
+    );
+
+    let mut s = allgather(2, 4);
+    let src = s.phases[0].steps[0].transfers[0].src;
+    s.phases[0].steps[0].transfers[0].dsts = vec![src];
+    assert!(!errors_with(&analysis::run_all(&s), codes::FABRIC_SELF_SEND).is_empty());
+
+    let mut s = allgather(2, 4);
+    s.result_spans.pop();
+    assert!(
+        !errors_with(&analysis::run_all(&s), codes::MALFORMED_RESULT_TABLE).is_empty()
+    );
+}
+
+#[test]
+fn json_report_round_trips_the_pinned_fields() {
+    let mut s = allgather(8, 64);
+    s.phases[0].steps[0].transfers[0].dsts[0] = DpuId(13);
+    let json = analysis::run_all(&s).to_json();
+    assert!(json.contains("\"clean\":false"));
+    assert!(json.contains("\"code\":\"P301\""));
+    assert!(json.contains("\"severity\":\"error\""));
+    assert!(json.contains("\"phase\":0"));
+    assert!(json.contains("\"dpu\":13"));
+}
