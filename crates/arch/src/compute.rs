@@ -266,9 +266,7 @@ mod tests {
         let upmem = DpuModel::upmem();
         let aim = DpuModel::preset(ComputePreset::Gddr6Aim);
         let macs = OpCounts::new().with_muls(100_000).with_adds(100_000);
-        let ratio = upmem
-            .compute_time(&macs)
-            .ratio(aim.compute_time(&macs));
+        let ratio = upmem.compute_time(&macs).ratio(aim.compute_time(&macs));
         // 65 cycles/MAC on UPMEM vs 2/180 cycles/MAC on AiM >> 180x raw;
         // what matters for Fig 15 is "two to three orders of magnitude".
         assert!(ratio > 180.0, "ratio = {ratio}");
@@ -279,7 +277,10 @@ mod tests {
         let a = OpCounts::new().with_adds(1).with_muls(2).with_loads(3);
         let b = OpCounts::new().with_adds(10).with_stores(5).with_other(7);
         let m = a.merged(b);
-        assert_eq!((m.adds, m.muls, m.loads, m.stores, m.other), (11, 2, 3, 5, 7));
+        assert_eq!(
+            (m.adds, m.muls, m.loads, m.stores, m.other),
+            (11, 2, 3, 5, 7)
+        );
         let r = a.repeated(4);
         assert_eq!((r.adds, r.muls, r.loads), (4, 8, 12));
         assert_eq!(m.arithmetic_ops(), 13);

@@ -6,16 +6,13 @@
 
 use std::fmt;
 
-
 /// Global, linear identifier of a DPU (equivalently: of a PIM bank, since
 /// each bank hosts exactly one DPU).
 ///
 /// IDs enumerate banks in packaging order: all banks of chip 0 of rank 0 of
 /// channel 0 first, then chip 1, and so on. [`PimGeometry::coord`] converts
 /// to a structured coordinate.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct DpuId(pub u32);
 
 impl DpuId {
@@ -36,9 +33,7 @@ impl fmt::Display for DpuId {
 ///
 /// All fields are indices *within the parent level*: `bank` is the bank index
 /// within its chip, `chip` within its rank, `rank` within its channel.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct DpuCoord {
     /// Memory channel index within the system.
     pub channel: u32,
@@ -316,19 +311,25 @@ mod tests {
             }
         );
         assert_eq!(g.coord(DpuId(7)).bank, 7);
-        assert_eq!(g.coord(DpuId(8)), DpuCoord {
-            channel: 0,
-            rank: 0,
-            chip: 1,
-            bank: 0
-        });
+        assert_eq!(
+            g.coord(DpuId(8)),
+            DpuCoord {
+                channel: 0,
+                rank: 0,
+                chip: 1,
+                bank: 0
+            }
+        );
         assert_eq!(g.coord(DpuId(64)).rank, 1);
-        assert_eq!(g.coord(DpuId(255)), DpuCoord {
-            channel: 0,
-            rank: 3,
-            chip: 7,
-            bank: 7
-        });
+        assert_eq!(
+            g.coord(DpuId(255)),
+            DpuCoord {
+                channel: 0,
+                rank: 3,
+                chip: 7,
+                bank: 7
+            }
+        );
     }
 
     #[test]
@@ -346,7 +347,14 @@ mod tests {
         assert_eq!(PimGeometry::paper_scaled(8).total_dpus(), 8);
         assert_eq!(PimGeometry::paper_scaled(8).banks_per_chip, 8);
         let g64 = PimGeometry::paper_scaled(64);
-        assert_eq!((g64.banks_per_chip, g64.chips_per_rank, g64.ranks_per_channel), (8, 8, 1));
+        assert_eq!(
+            (
+                g64.banks_per_chip,
+                g64.chips_per_rank,
+                g64.ranks_per_channel
+            ),
+            (8, 8, 1)
+        );
         let g256 = PimGeometry::paper_scaled(256);
         assert_eq!(g256, PimGeometry::paper());
     }

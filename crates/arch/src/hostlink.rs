@@ -142,7 +142,9 @@ mod tests {
         let h = HostLink::paper().ideal();
         assert_eq!(h.per_call_overhead, SimTime::ZERO);
         assert_eq!(h.per_dpu_overhead, SimTime::ZERO);
-        assert!(h.marshal_time(Bytes::mib(8)) < HostLink::paper().marshal_time(Bytes::mib(8)) / 100);
+        assert!(
+            h.marshal_time(Bytes::mib(8)) < HostLink::paper().marshal_time(Bytes::mib(8)) / 100
+        );
         assert_eq!(h.launch_overhead, SimTime::ZERO);
         // Link bandwidths are physics, not software; they stay.
         assert_eq!(h.pim_to_cpu, HostLink::paper().pim_to_cpu);

@@ -15,9 +15,11 @@ fn timing_models() {
     let base = BaselineHostBackend::new(SystemConfig::paper());
     for kind in [CollectiveKind::AllReduce, CollectiveKind::AllToAll] {
         let spec = CollectiveSpec::new(kind, Bytes::kib(32));
-        bench(&format!("collective-timing/pimnet/{}", kind.abbrev()), 100, || {
-            pim.collective(&spec).unwrap()
-        });
+        bench(
+            &format!("collective-timing/pimnet/{}", kind.abbrev()),
+            100,
+            || pim.collective(&spec).unwrap(),
+        );
         bench(
             &format!("collective-timing/baseline/{}", kind.abbrev()),
             100,
@@ -35,11 +37,15 @@ fn functional_execution() {
     ] {
         let spec = CollectiveSpec::new(kind, Bytes::new(elems as u64 * 4));
         let schedule = pim.schedule(&spec).unwrap();
-        bench(&format!("functional-exec/run/{}", kind.abbrev()), 10, || {
-            let mut m = ExecMachine::init(&schedule, |id: DpuId| vec![u64::from(id.0); elems]);
-            m.run(&schedule, ReduceOp::Sum);
-            m
-        });
+        bench(
+            &format!("functional-exec/run/{}", kind.abbrev()),
+            10,
+            || {
+                let mut m = ExecMachine::init(&schedule, |id: DpuId| vec![u64::from(id.0); elems]);
+                m.run(&schedule, ReduceOp::Sum);
+                m
+            },
+        );
     }
 }
 

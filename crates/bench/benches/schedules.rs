@@ -14,9 +14,11 @@ fn main() {
         CollectiveKind::AllGather,
         CollectiveKind::AllToAll,
     ] {
-        bench(&format!("schedule-build/256dpu/{}", kind.abbrev()), 20, || {
-            CommSchedule::build(kind, &geo, 8192, 4).unwrap()
-        });
+        bench(
+            &format!("schedule-build/256dpu/{}", kind.abbrev()),
+            20,
+            || CommSchedule::build(kind, &geo, 8192, 4).unwrap(),
+        );
     }
     for kind in [CollectiveKind::AllReduce, CollectiveKind::AllToAll] {
         let s = CommSchedule::build(kind, &geo, 8192, 4).unwrap();

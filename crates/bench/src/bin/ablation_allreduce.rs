@@ -41,7 +41,14 @@ fn main() {
 
     let mut t = Table::new(
         "AllReduce design ablations (32 KB/DPU, 256 DPUs)",
-        &["variant", "inter-bank", "inter-chip", "inter-rank", "total", "vs paper"],
+        &[
+            "variant",
+            "inter-bank",
+            "inter-chip",
+            "inter-rank",
+            "total",
+            "vs paper",
+        ],
     );
     let baseline = {
         let s = CommSchedule::build_allreduce_with(&g, 8192, 4, variants[0].1).unwrap();

@@ -9,106 +9,15 @@
 //! stayed bit-identical to the fault-free reference.
 //!
 //! Everything is a pure function of the seed: re-running with the same
-//! arguments reproduces the same table byte-for-byte. CI runs this with
-//! the default arguments as a smoke test.
+//! arguments reproduces the same table byte-for-byte — at any worker
+//! count, since scenarios fan out over `pim_sim::par` with ordered
+//! collection (`PIMNET_THREADS` pins the pool size). CI runs this with
+//! the default arguments as a smoke test, twice, and diffs the CSVs.
 //!
 //! Usage: `chaos_soak [seeds-per-cell] [base-seed]` (defaults: 8, 0xC40).
 
-use pim_arch::geometry::PimGeometry;
-use pim_arch::SystemConfig;
-use pim_faults::{FaultConfig, FaultInjector, PermanentFaultRates};
-use pim_sim::SimTime;
-use pimnet::collective::CollectiveKind;
-use pimnet::exec::{ExecMachine, ReduceOp};
-use pimnet::resilience::{plan_degraded, DegradedPlan};
-use pimnet::schedule::{validate, CommSchedule};
-use pimnet::timing::TimingModel;
-use pimnet_bench::Table;
-
-const ELEMS: usize = 64;
-const KINDS: [CollectiveKind; 4] = [
-    CollectiveKind::AllReduce,
-    CollectiveKind::AllGather,
-    CollectiveKind::AllToAll,
-    CollectiveKind::Broadcast,
-];
-const GEOMETRIES: [u32; 3] = [8, 64, 256];
-
-fn chaos_config(seed: u64) -> FaultConfig {
-    FaultConfig {
-        transient_ber: 0.02,
-        straggler_prob: 0.1,
-        straggler_max_ns: 5_000,
-        max_retries: 8,
-        perm_rates: PermanentFaultRates {
-            segment_prob: 0.02,
-            port_prob: 0.02,
-            rank_prob: 0.03,
-        },
-        ..FaultConfig::none()
-    }
-    .with_seed(seed)
-}
-
-#[derive(Default)]
-struct CellStats {
-    tiers: [u32; 4],
-    unplannable: u32,
-    rerouted: usize,
-    remapped: usize,
-    extra_steps: usize,
-    worst_stretch: f64,
-    verified: u32,
-}
-
-fn soak_cell(kind: CollectiveKind, dpus: u32, seeds: std::ops::Range<u64>) -> CellStats {
-    let g = PimGeometry::paper_scaled(dpus);
-    let sys = SystemConfig::paper_scaled(dpus);
-    let timing = TimingModel::paper();
-    let mut stats = CellStats::default();
-    for seed in seeds {
-        let inj = FaultInjector::new(chaos_config(seed));
-        let plan = match plan_degraded(kind, &g, ELEMS, 4, &inj, &sys) {
-            Ok(p) => p,
-            // Every rank sampled dead: nothing left to plan, which the
-            // planner reports as a typed error rather than a panic.
-            Err(_) => {
-                stats.unplannable += 1;
-                continue;
-            }
-        };
-        stats.tiers[plan.tier() as usize] += 1;
-        let Some(s) = plan.schedule() else {
-            continue; // host fallback: no PIM-side schedule to verify
-        };
-        validate::validate(s).expect("planned schedule failed validation");
-        if let DegradedPlan::Repaired { report, .. } = &plan {
-            stats.rerouted += report.rerouted_transfers;
-            stats.remapped += report.remapped_transfers;
-            stats.extra_steps += report.extra_steps;
-            let clean = CommSchedule::build(kind, &g, ELEMS, 4).unwrap();
-            let stretch = timing.time_schedule(s, SimTime::ZERO).total().as_secs_f64()
-                / timing
-                    .time_schedule(&clean, SimTime::ZERO)
-                    .total()
-                    .as_secs_f64();
-            stats.worst_stretch = stats.worst_stretch.max(stretch);
-        }
-        // Execute under transient faults and check bit-identity against the
-        // same schedule's clean run (for Full/Repaired that clean run is by
-        // construction identical to the fault-free reference plan).
-        let init = |id: pim_arch::geometry::DpuId| vec![u64::from(id.0) + 1; ELEMS];
-        let mut clean_m = ExecMachine::init(s, init);
-        clean_m.run(s, ReduceOp::Sum);
-        let mut faulty_m = ExecMachine::init(s, init);
-        faulty_m
-            .run_with_faults(s, ReduceOp::Sum, &inj)
-            .expect("retry budget exhausted");
-        assert_eq!(clean_m, faulty_m, "faulty run diverged");
-        stats.verified += 1;
-    }
-    stats
-}
+use pim_sim::par;
+use pimnet_bench::sweeps;
 
 fn main() {
     // User-supplied arguments get typed errors, not panics.
@@ -135,42 +44,14 @@ fn main() {
 
     println!(
         "chaos soak: {} geometries x {} collectives x {per_cell} seeds (base {base:#x})\n",
-        GEOMETRIES.len(),
-        KINDS.len()
+        sweeps::CHAOS_GEOMETRIES.len(),
+        sweeps::CHAOS_KINDS.len()
     );
-    let mut t = Table::new(
-        "chaos soak: ladder tiers and repair cost per scenario cell",
-        &[
-            "dpus", "collective", "full", "repaired", "shrunk", "host", "no-plan",
-            "rerouted", "remapped", "+steps", "worst-stretch", "verified",
-        ],
-    );
-    let mut total = 0u32;
-    let mut verified = 0u32;
-    for &dpus in &GEOMETRIES {
-        for kind in KINDS {
-            let s = soak_cell(kind, dpus, base..base + per_cell);
-            total += per_cell as u32;
-            verified += s.verified;
-            t.row([
-                dpus.to_string(),
-                kind.to_string(),
-                s.tiers[0].to_string(),
-                s.tiers[1].to_string(),
-                s.tiers[2].to_string(),
-                s.tiers[3].to_string(),
-                s.unplannable.to_string(),
-                s.rerouted.to_string(),
-                s.remapped.to_string(),
-                s.extra_steps.to_string(),
-                format!("{:.2}x", s.worst_stretch.max(1.0)),
-                s.verified.to_string(),
-            ]);
-        }
-    }
-    t.emit("chaos_soak");
+    let summary = sweeps::chaos_soak(per_cell, base, par::thread_count());
+    summary.table.emit("chaos_soak");
     println!(
-        "\n{total} scenarios; {verified} PIM-side plans executed bit-identically \
-         under transient faults; every planned schedule passed validation."
+        "\n{} scenarios; {} PIM-side plans executed bit-identically \
+         under transient faults; every planned schedule passed validation.",
+        summary.total, summary.verified
     );
 }

@@ -29,7 +29,14 @@ fn main() {
 
     let mut t = Table::new(
         "Server-scale collectives (all 2560 DPUs, per-DPU payload varied)",
-        &["collective", "KB/DPU", "Baseline (us)", "Ideal SW (us)", "PIMnet (us)", "P vs B"],
+        &[
+            "collective",
+            "KB/DPU",
+            "Baseline (us)",
+            "Ideal SW (us)",
+            "PIMnet (us)",
+            "P vs B",
+        ],
     );
     for kind in [CollectiveKind::AllReduce, CollectiveKind::ReduceScatter] {
         for kb in [4u64, 32, 256] {

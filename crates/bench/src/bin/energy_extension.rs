@@ -16,7 +16,11 @@ fn main() {
     let mut t = Table::new(
         "Extension: collective communication energy, PIMnet vs host path (256 DPUs)",
         &[
-            "collective", "KB/DPU", "PIMnet (uJ)", "bank/chip/rank (uJ)", "host path (uJ)",
+            "collective",
+            "KB/DPU",
+            "PIMnet (uJ)",
+            "bank/chip/rank (uJ)",
+            "host path (uJ)",
             "saving",
         ],
     );

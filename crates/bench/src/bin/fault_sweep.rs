@@ -31,14 +31,16 @@ const ELEMS: usize = 2048;
 const SEED: u64 = 0xFA_0175;
 
 fn scenario(ber: f64, straggler_prob: f64) -> FaultInjector {
-    FaultInjector::new(FaultConfig {
-        transient_ber: ber,
-        straggler_prob,
-        straggler_max_ns: 50_000,
-        max_retries: 24,
-        ..FaultConfig::none()
-    }
-    .with_seed(SEED))
+    FaultInjector::new(
+        FaultConfig {
+            transient_ber: ber,
+            straggler_prob,
+            straggler_max_ns: 50_000,
+            max_retries: 24,
+            ..FaultConfig::none()
+        }
+        .with_seed(SEED),
+    )
 }
 
 fn main() {
@@ -95,7 +97,9 @@ fn main() {
     );
     for dead in [0usize, 3, 40, 63] {
         let inj = FaultInjector::new(FaultConfig {
-            dead_dpus: (0..dead as u32).map(|i| i * 64 / dead.max(1) as u32).collect(),
+            dead_dpus: (0..dead as u32)
+                .map(|i| i * 64 / dead.max(1) as u32)
+                .collect(),
             ..FaultConfig::none()
         });
         let plan = plan_degraded(
@@ -109,9 +113,7 @@ fn main() {
         .expect("at least one DPU alive");
         let (tier, participants) = match &plan {
             DegradedPlan::Full(s) => ("full", s.geometry.total_dpus()),
-            DegradedPlan::Repaired { schedule, .. } => {
-                ("repaired", schedule.geometry.total_dpus())
-            }
+            DegradedPlan::Repaired { schedule, .. } => ("repaired", schedule.geometry.total_dpus()),
             DegradedPlan::Shrunk { schedule, .. } => ("shrunk", schedule.geometry.total_dpus()),
             DegradedPlan::HostFallback { .. } => ("host fallback", 0),
         };

@@ -8,7 +8,9 @@
 
 use pim_arch::SystemConfig;
 use pim_sim::Bytes;
-use pimnet::backends::{BaselineHostBackend, CollectiveBackend, PimnetBackend, SoftwareIdealBackend};
+use pimnet::backends::{
+    BaselineHostBackend, CollectiveBackend, PimnetBackend, SoftwareIdealBackend,
+};
 use pimnet::collective::{CollectiveKind, CollectiveSpec};
 use pimnet::FabricConfig;
 use pimnet_bench::Table;
@@ -28,10 +30,19 @@ fn main() {
         for n in [8u32, 16, 32, 64, 128, 256] {
             let sys = SystemConfig::paper_scaled(n);
             let norm = |total: pim_sim::SimTime| {
-                format!("{:.2}", (f64::from(n) / 8.0) * base8.as_secs_f64() / total.as_secs_f64())
+                format!(
+                    "{:.2}",
+                    (f64::from(n) / 8.0) * base8.as_secs_f64() / total.as_secs_f64()
+                )
             };
-            let b = BaselineHostBackend::new(sys).collective(&spec).unwrap().total();
-            let s = SoftwareIdealBackend::new(sys).collective(&spec).unwrap().total();
+            let b = BaselineHostBackend::new(sys)
+                .collective(&spec)
+                .unwrap()
+                .total();
+            let s = SoftwareIdealBackend::new(sys)
+                .collective(&spec)
+                .unwrap()
+                .total();
             let p = PimnetBackend::new(sys, FabricConfig::paper())
                 .collective(&spec)
                 .unwrap()
@@ -44,7 +55,10 @@ fn main() {
     // The headline number: PIMnet vs baseline on collectives at 256 DPUs.
     let spec = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(32));
     let sys = SystemConfig::paper();
-    let b = BaselineHostBackend::new(sys).collective(&spec).unwrap().total();
+    let b = BaselineHostBackend::new(sys)
+        .collective(&spec)
+        .unwrap()
+        .total();
     let p = PimnetBackend::new(sys, FabricConfig::paper())
         .collective(&spec)
         .unwrap()

@@ -15,7 +15,15 @@ fn main() {
     let mut t = Table::new(
         "Fig 10: application execution time (us) and speedup vs baseline",
         &[
-            "workload", "B", "S", "N", "D", "P", "P-speedup", "B-comm%", "P-comm%",
+            "workload",
+            "B",
+            "S",
+            "N",
+            "D",
+            "P",
+            "P-speedup",
+            "B-comm%",
+            "P-comm%",
         ],
     );
 
@@ -26,10 +34,7 @@ fn main() {
         let mut pim = None;
         let mut base_comm = None;
         for b in &backends {
-            let supported = program
-                .collective_kinds()
-                .iter()
-                .all(|&k| b.supports(k));
+            let supported = program.collective_kinds().iter().all(|&k| b.supports(k));
             if !supported {
                 cells.push("n/a".into());
                 continue;

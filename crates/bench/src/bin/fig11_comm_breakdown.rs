@@ -6,9 +6,7 @@
 
 use pim_arch::SystemConfig;
 use pim_workloads::{paper_suite, program::run_program};
-use pimnet::backends::{
-    CollectiveBackend, DimmLinkBackend, NdpBridgeBackend, PimnetBackend,
-};
+use pimnet::backends::{CollectiveBackend, DimmLinkBackend, NdpBridgeBackend, PimnetBackend};
 use pimnet::collective::CollectiveKind;
 use pimnet::FabricConfig;
 use pimnet_bench::{pct, x, Table};
@@ -23,7 +21,13 @@ fn main() {
     let mut t = Table::new(
         "Fig 11: PIMnet communication-time breakdown and speedup vs D (or N for A2A)",
         &[
-            "workload", "inter-bank", "inter-chip", "inter-rank", "sync", "mem", "vs",
+            "workload",
+            "inter-bank",
+            "inter-chip",
+            "inter-rank",
+            "sync",
+            "mem",
+            "vs",
             "comm-speedup",
         ],
     );

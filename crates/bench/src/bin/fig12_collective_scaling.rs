@@ -1,44 +1,15 @@
 //! Fig 12: collective-communication scalability, 8 → 256 DPUs (weak
 //! scaling, 32 KB per DPU), as speedup over the baseline at each size.
 //! Compared systems: S (ideal software), N (NDPBridge, All-to-All only),
-//! D (DIMM-Link), P (PIMnet).
+//! D (DIMM-Link), P (PIMnet). Rows fan out over `pim_sim::par`.
 
-use pim_arch::SystemConfig;
-use pim_sim::Bytes;
-use pimnet::backends::{
-    BaselineHostBackend, CollectiveBackend, DimmLinkBackend, NdpBridgeBackend, PimnetBackend,
-    SoftwareIdealBackend,
-};
-use pimnet::collective::{CollectiveKind, CollectiveSpec};
-use pimnet::FabricConfig;
-use pimnet_bench::Table;
+use pim_sim::par;
+use pimnet::collective::CollectiveKind;
+use pimnet_bench::sweeps;
 
 fn main() {
     for kind in [CollectiveKind::AllReduce, CollectiveKind::AllToAll] {
-        let spec = CollectiveSpec::new(kind, Bytes::kib(32));
-        let mut t = Table::new(
-            &format!("Fig 12: {kind} speedup over baseline (weak scaling, 32 KB/DPU)"),
-            &["DPUs", "S", "N", "D", "P"],
-        );
-        for n in [8u32, 16, 32, 64, 128, 256] {
-            let sys = SystemConfig::paper_scaled(n);
-            let fabric = FabricConfig::paper();
-            let base = BaselineHostBackend::new(sys)
-                .collective(&spec)
-                .unwrap()
-                .total();
-            let cell = |b: &dyn CollectiveBackend| match b.collective(&spec) {
-                Ok(r) => format!("{:.2}", base.ratio(r.total())),
-                Err(_) => "n/a".to_string(),
-            };
-            t.row([
-                n.to_string(),
-                cell(&SoftwareIdealBackend::new(sys)),
-                cell(&NdpBridgeBackend::new(sys)),
-                cell(&DimmLinkBackend::new(sys, fabric)),
-                cell(&PimnetBackend::new(sys, fabric)),
-            ]);
-        }
+        let t = sweeps::fig12_table(kind, par::thread_count());
         t.emit(&format!("fig12_{}", kind.abbrev().to_lowercase()));
     }
 }

@@ -8,55 +8,14 @@
 //! READY/START barrier after the last DPU. Expectation (paper): AllReduce
 //! within ~1 %, All-to-All ~18.7 % *faster* under PIM control because the
 //! dynamic network contends at the inter-chip crossbar.
+//!
+//! Rows fan out over `pim_sim::par`.
 
-use pim_arch::geometry::PimGeometry;
-use pim_noc::{simulate_credit, simulate_scheduled, NocConfig};
-use pim_sim::SimTime;
-use pimnet::collective::CollectiveKind;
-use pimnet::schedule::CommSchedule;
-use pimnet_bench::{us, Table};
-use pim_sim::rng::SimRng;
-
-fn ready_times(n: u32, mean_us: f64, jitter: f64, seed: u64) -> Vec<SimTime> {
-    let mut rng = SimRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| {
-            let f = 1.0 + rng.gen_range(-jitter..=jitter);
-            SimTime::from_secs_f64(mean_us * 1e-6 * f)
-        })
-        .collect()
-}
+use pim_sim::par;
+use pimnet_bench::sweeps;
 
 fn main() {
-    let cfg = NocConfig::paper();
-    let mut t = Table::new(
-        "Fig 13: credit-based vs PIM-controlled completion time (us)",
-        &[
-            "collective", "DPUs", "KB/DPU", "credit", "scheduled", "PIM-control gain",
-        ],
-    );
-
-    for (kind, n, elems) in [
-        (CollectiveKind::AllReduce, 64u32, 2048usize),
-        (CollectiveKind::AllReduce, 64, 8192),
-        (CollectiveKind::AllToAll, 64, 2048),
-        (CollectiveKind::AllToAll, 64, 8192),
-    ] {
-        let g = PimGeometry::paper_scaled(n);
-        let s = CommSchedule::build(kind, &g, elems, 4).expect("schedule");
-        let ready = ready_times(n, 50.0, 0.10, 0x000F_1613);
-        let credit = simulate_credit(&s, &ready, &cfg);
-        let sched = simulate_scheduled(&s, &ready, &cfg);
-        let gain = 1.0 - sched.completion.as_secs_f64() / credit.completion.as_secs_f64();
-        t.row([
-            kind.to_string(),
-            n.to_string(),
-            (elems * 4 / 1024).to_string(),
-            us(credit.completion),
-            us(sched.completion),
-            format!("{:+.1}%", gain * 100.0),
-        ]);
-    }
+    let t = sweeps::fig13_table(par::thread_count());
     t.emit("fig13_flow_control");
     println!(
         "Paper: AllReduce within ~1% of each other; All-to-All 18.7% faster \

@@ -5,62 +5,14 @@
 //! compare against DIMM-Link at the paper's fixed configuration — the
 //! point being that bank-level bandwidth parallelism keeps PIMnet ahead
 //! even with far slower rings.
+//!
+//! Rows fan out over `pim_sim::par`.
 
-use pim_arch::SystemConfig;
-use pim_sim::{Bandwidth, Bytes};
-use pimnet::backends::{CollectiveBackend, DimmLinkBackend, PimnetBackend};
-use pimnet::collective::{CollectiveKind, CollectiveSpec};
-use pimnet::FabricConfig;
-use pimnet_bench::{us, x, Table};
+use pim_sim::par;
+use pimnet_bench::sweeps;
 
 fn main() {
-    let sys = SystemConfig::paper();
-    let spec = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(32));
-    let dimm = DimmLinkBackend::new(sys, FabricConfig::paper())
-        .collective(&spec)
-        .expect("dimm-link")
-        .total();
-
-    let mut a = Table::new(
-        "Fig 14(a): AllReduce vs inter-bank channel bandwidth",
-        &["bank GB/s", "PIMnet (us)", "DIMM-Link (us)", "PIMnet advantage"],
-    );
-    for tenths in [1u32, 2, 3, 5, 7, 10] {
-        let bw = Bandwidth::mbps(f64::from(tenths) * 100.0);
-        let fabric = FabricConfig::paper().with_bank_channel_bw(bw);
-        let p = PimnetBackend::new(sys, fabric)
-            .collective(&spec)
-            .unwrap()
-            .total();
-        a.row([
-            format!("{:.1}", f64::from(tenths) / 10.0),
-            us(p),
-            us(dimm),
-            x(dimm.ratio(p)),
-        ]);
-    }
+    let (a, b) = sweeps::fig14_tables(par::thread_count());
     a.emit("fig14a_bank_bw");
-
-    let mut b = Table::new(
-        "Fig 14(b): AllReduce vs inter-chip/inter-rank bandwidth (inter-bank fixed at 0.7)",
-        &["global scale", "chip GB/s", "rank GB/s", "PIMnet (us)", "PIMnet advantage"],
-    );
-    for quarters in [1u32, 2, 4, 8] {
-        let scale = f64::from(quarters) / 4.0;
-        let fabric = FabricConfig::paper()
-            .with_chip_channel_bw(Bandwidth::mbps(1050.0 * scale))
-            .with_rank_bus_bw(Bandwidth::mbps(16_800.0 * scale));
-        let p = PimnetBackend::new(sys, fabric)
-            .collective(&spec)
-            .unwrap()
-            .total();
-        b.row([
-            format!("{scale:.2}x"),
-            format!("{:.2}", 1.05 * scale),
-            format!("{:.1}", 16.8 * scale),
-            us(p),
-            x(dimm.ratio(p)),
-        ]);
-    }
     b.emit("fig14b_global_bw");
 }

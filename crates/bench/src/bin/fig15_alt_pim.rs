@@ -25,7 +25,13 @@ fn main() {
 
     let mut t = Table::new(
         "Fig 15: PIMnet speedup over baseline with alternative PIM compute",
-        &["workload", "UPMEM DPU", "HBM-PIM", "GDDR6-AiM", "next-gen DPU"],
+        &[
+            "workload",
+            "UPMEM DPU",
+            "HBM-PIM",
+            "GDDR6-AiM",
+            "next-gen DPU",
+        ],
     );
     for w in &workloads {
         let mut cells = vec![w.name().to_string()];
@@ -33,9 +39,12 @@ fn main() {
             let sys = SystemConfig::paper().with_compute(preset);
             let program = w.program(&sys);
             let base = run_program(&program, &sys, &BaselineHostBackend::new(sys)).unwrap();
-            let pim =
-                run_program(&program, &sys, &PimnetBackend::new(sys, FabricConfig::paper()))
-                    .unwrap();
+            let pim = run_program(
+                &program,
+                &sys,
+                &PimnetBackend::new(sys, FabricConfig::paper()),
+            )
+            .unwrap();
             cells.push(x(base.total().ratio(pim.total())));
         }
         t.row(cells);

@@ -65,12 +65,7 @@ fn main() {
     for channels in [1u32, 2, 4, 8] {
         let tb = run_multichannel(&program, &sys, &base, channels);
         let tp = run_multichannel(&program, &sys, &pim, channels);
-        t.row([
-            channels.to_string(),
-            us(tb),
-            us(tp),
-            x(tb.ratio(tp)),
-        ]);
+        t.row([channels.to_string(), us(tb), us(tp), x(tb.ratio(tp))]);
     }
     t.emit("fig16_multichannel");
     println!("Paper: speedup over the baseline grows with the channel count.");

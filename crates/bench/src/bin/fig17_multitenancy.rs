@@ -21,7 +21,10 @@ fn main() {
     let spec = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(32));
 
     // --- Alone: the tenant has the machine to itself. ---
-    let base_alone = BaselineHostBackend::new(sys).collective(&spec).unwrap().total();
+    let base_alone = BaselineHostBackend::new(sys)
+        .collective(&spec)
+        .unwrap()
+        .total();
     let pim_alone = PimnetBackend::new(sys, FabricConfig::paper())
         .collective(&spec)
         .unwrap()
@@ -44,8 +47,7 @@ fn main() {
         .total();
     // PIMnet: rings and crossbars are private; only the inter-rank bus is
     // time-shared between the tenants.
-    let shared_fabric = FabricConfig::paper()
-        .with_rank_bus_bw(Bandwidth::gbps(16.8).split(2));
+    let shared_fabric = FabricConfig::paper().with_rank_bus_bw(Bandwidth::gbps(16.8).split(2));
     let pim_shared = PimnetBackend::new(sys, shared_fabric)
         .collective(&spec)
         .unwrap()

@@ -16,8 +16,12 @@ fn main() {
     let mut t = Table::new(
         "Credit-based network under synthetic traffic (256 DPUs, 8 x 512 B packets/node)",
         &[
-            "pattern", "completion (us)", "p50 latency (us)", "p99 latency (us)",
-            "busiest link", "wait (pkt-cycles)",
+            "pattern",
+            "completion (us)",
+            "p50 latency (us)",
+            "p99 latency (us)",
+            "busiest link",
+            "wait (pkt-cycles)",
         ],
     );
     for pattern in Pattern::ALL {

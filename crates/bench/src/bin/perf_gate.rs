@@ -1,0 +1,205 @@
+//! CI perf-regression gate for the parallel sweeps and the schedule cache.
+//!
+//! Runs a pinned workload matrix — the chaos soak, the lint preset
+//! matrix, and the fig 12/13/14 sweeps — three times:
+//!
+//! 1. **sequential, cold cache** (1 worker) — the reference output;
+//! 2. **parallel, cold cache** (`workers` threads) — must be
+//!    *byte-identical* to the reference, and is the wall time the gate
+//!    tracks;
+//! 3. **parallel, warm cache** — same again without clearing the
+//!    schedule cache, to measure and count cache hits.
+//!
+//! Any byte difference between the runs is a hard failure: determinism
+//! under parallel execution is the contract `pim_sim::par` sells.
+//! Results land in `results/BENCH_perf.json`; when a committed baseline
+//! (`results/perf_baseline.json`) exists, the gate fails on a wall-time
+//! regression beyond the tolerance (default 25 %, override with
+//! `PIMNET_PERF_TOLERANCE=0.40`-style fractions).
+//!
+//! Usage: `perf_gate [workers] [--update-baseline]` (default workers:
+//! `PIMNET_THREADS` or the machine's available parallelism).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pim_sim::par;
+use pimnet::analysis::presets;
+use pimnet::collective::CollectiveKind;
+use pimnet::schedule::cache;
+use pimnet_bench::{results_dir, sweeps};
+
+/// Seeds per chaos-soak cell — small enough to keep the gate fast, large
+/// enough that the parallel fan-out dominates the fixed costs.
+const CHAOS_PER_CELL: u64 = 4;
+const CHAOS_BASE_SEED: u64 = 0xC40;
+
+/// Runs the pinned workload matrix on `workers` threads and returns its
+/// entire output as one string (concatenated CSVs plus the lint matrix
+/// verdict lines). Byte-identical across worker counts by construction.
+fn workload(workers: usize) -> String {
+    let mut out = String::new();
+    let chaos = sweeps::chaos_soak(CHAOS_PER_CELL, CHAOS_BASE_SEED, workers);
+    out.push_str(&chaos.table.to_csv());
+    let verdicts = par::map_ordered_with(workers, presets::cases(), |case| {
+        let verdict = match case.run() {
+            Ok(r) if r.is_clean() => "clean".to_string(),
+            Ok(r) => format!("errors:{}", r.error_count()),
+            Err(_) => "skip".to_string(),
+        };
+        format!("{},{verdict}\n", case.label())
+    });
+    out.extend(verdicts);
+    out.push_str(&sweeps::fig12_table(CollectiveKind::AllReduce, workers).to_csv());
+    out.push_str(&sweeps::fig12_table(CollectiveKind::AllToAll, workers).to_csv());
+    out.push_str(&sweeps::fig13_table(workers).to_csv());
+    let (a, b) = sweeps::fig14_tables(workers);
+    out.push_str(&a.to_csv());
+    out.push_str(&b.to_csv());
+    out
+}
+
+fn timed(workers: usize) -> (String, f64) {
+    let start = Instant::now();
+    let csv = workload(workers);
+    (csv, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Extracts `"key": <number>` from a flat JSON object (the only shape
+/// this tool reads or writes — no external parser needed).
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{key}\""))?;
+    let rest = &json[at..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn main() {
+    let mut workers: Option<usize> = None;
+    let mut update_baseline = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--update-baseline" {
+            update_baseline = true;
+        } else if let Ok(n) = arg.parse::<usize>() {
+            workers = Some(n.max(1));
+        } else {
+            eprintln!("perf_gate: unknown argument '{arg}'");
+            eprintln!("usage: perf_gate [workers] [--update-baseline]");
+            std::process::exit(2);
+        }
+    }
+    let workers = workers.unwrap_or_else(par::thread_count);
+
+    println!("perf gate: pinned workload matrix, 1 vs {workers} worker(s), cold vs warm cache");
+
+    cache::clear();
+    cache::reset_stats();
+    let (seq_csv, seq_ms) = timed(1);
+    println!("  sequential cold : {seq_ms:>9.1} ms");
+
+    cache::clear();
+    cache::reset_stats();
+    let (par_csv, par_ms) = timed(workers);
+    let cold = cache::stats();
+    println!(
+        "  parallel cold   : {par_ms:>9.1} ms  ({} schedules built)",
+        cold.schedules_built
+    );
+
+    cache::reset_stats();
+    let (warm_csv, warm_ms) = timed(workers);
+    let warm = cache::stats();
+    println!(
+        "  parallel warm   : {warm_ms:>9.1} ms  ({} cache hits, {} misses)",
+        warm.hits, warm.misses
+    );
+
+    if par_csv != seq_csv {
+        eprintln!("FAIL: parallel output differs from sequential output");
+        std::process::exit(1);
+    }
+    if warm_csv != seq_csv {
+        eprintln!("FAIL: warm-cache output differs from cold-cache output");
+        std::process::exit(1);
+    }
+    if warm.hits == 0 {
+        eprintln!("FAIL: warm run recorded no schedule-cache hits");
+        std::process::exit(1);
+    }
+    let speedup = seq_ms / par_ms.max(1e-9);
+    let warm_speedup = seq_ms / warm_ms.max(1e-9);
+    println!(
+        "  byte-identical output at every worker count; speedup {speedup:.2}x \
+         (warm {warm_speedup:.2}x)"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"wall_ms\": {par_ms:.1},");
+    let _ = writeln!(json, "  \"wall_ms_sequential\": {seq_ms:.1},");
+    let _ = writeln!(json, "  \"wall_ms_warm\": {warm_ms:.1},");
+    let _ = writeln!(json, "  \"schedules_built\": {},", cold.schedules_built);
+    let _ = writeln!(json, "  \"cache_hits\": {},", warm.hits);
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"warm_speedup\": {warm_speedup:.3},");
+    let _ = writeln!(json, "  \"workers\": {workers}");
+    json.push('}');
+    json.push('\n');
+
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("perf_gate: cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let out_path = dir.join("BENCH_perf.json");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("perf_gate: cannot write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    println!("[json] {}", out_path.display());
+
+    let baseline_path = dir.join("perf_baseline.json");
+    if update_baseline {
+        if let Err(e) = std::fs::write(&baseline_path, &json) {
+            eprintln!("perf_gate: cannot write {}: {e}", baseline_path.display());
+            std::process::exit(1);
+        }
+        println!("[json] {} (baseline updated)", baseline_path.display());
+        return;
+    }
+    let Ok(baseline) = std::fs::read_to_string(&baseline_path) else {
+        println!(
+            "no baseline at {} — run with --update-baseline to record one",
+            baseline_path.display()
+        );
+        return;
+    };
+    let tolerance = std::env::var("PIMNET_PERF_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.25);
+    let Some(base_ms) = json_number(&baseline, "wall_ms") else {
+        eprintln!(
+            "perf_gate: baseline has no wall_ms: {}",
+            baseline_path.display()
+        );
+        std::process::exit(1);
+    };
+    let limit = base_ms * (1.0 + tolerance);
+    if par_ms > limit {
+        eprintln!(
+            "FAIL: wall time {par_ms:.1} ms exceeds baseline {base_ms:.1} ms \
+             by more than {:.0}% (limit {limit:.1} ms)",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "within budget: {par_ms:.1} ms vs baseline {base_ms:.1} ms \
+         (+{:.0}% tolerance)",
+        tolerance * 100.0
+    );
+}

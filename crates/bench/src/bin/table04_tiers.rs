@@ -12,7 +12,15 @@ fn main() {
 
     let mut t = Table::new(
         "Table IV: PIMnet network hierarchy",
-        &["tier", "physical channel", "#ch", "width", "GB/s per ch", "topology", "router"],
+        &[
+            "tier",
+            "physical channel",
+            "#ch",
+            "width",
+            "GB/s per ch",
+            "topology",
+            "router",
+        ],
     );
     t.row([
         "inter-bank",

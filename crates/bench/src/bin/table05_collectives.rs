@@ -24,7 +24,13 @@ fn main() {
     let timing = TimingModel::paper();
     let mut t = Table::new(
         "Table V: collective primitives on PIMnet (from compiled schedules)",
-        &["collective", "tier sequence", "steps", "wire bytes", "time @32KB/DPU"],
+        &[
+            "collective",
+            "tier sequence",
+            "steps",
+            "wire bytes",
+            "time @32KB/DPU",
+        ],
     );
     for kind in CollectiveKind::ALL {
         let s = CommSchedule::build(kind, &g, 8192, 4).expect("schedule");

@@ -15,6 +15,8 @@ use std::path::PathBuf;
 
 use pim_sim::SimTime;
 
+pub mod sweeps;
+
 /// A simple aligned text table that doubles as a CSV writer.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
@@ -40,7 +42,8 @@ impl Table {
         I: IntoIterator<Item = S>,
         S: Display,
     {
-        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.into_iter().map(|c| c.to_string()).collect());
     }
 
     /// Renders the aligned text table.
@@ -77,18 +80,25 @@ impl Table {
         out
     }
 
+    /// The table as CSV (header row plus one line per row).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut csv = String::new();
+        csv.push_str(&self.headers.join(","));
+        csv.push('\n');
+        for row in &self.rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        csv
+    }
+
     /// Prints the table to stdout and writes `results/<name>.csv`.
     pub fn emit(&self, name: &str) {
         println!("{}", self.render());
         let dir = results_dir();
         if fs::create_dir_all(&dir).is_ok() {
-            let mut csv = String::new();
-            csv.push_str(&self.headers.join(","));
-            csv.push('\n');
-            for row in &self.rows {
-                csv.push_str(&row.join(","));
-                csv.push('\n');
-            }
+            let csv = self.to_csv();
             let path = dir.join(format!("{name}.csv"));
             if let Err(e) = fs::write(&path, csv) {
                 eprintln!("warning: could not write {}: {e}", path.display());
@@ -115,7 +125,10 @@ pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
         std::hint::black_box(f());
     }
     let per_iter = start.elapsed().as_secs_f64() / f64::from(iters);
-    println!("{name:<40} {:>12.3} us/iter  ({iters} iters)", per_iter * 1e6);
+    println!(
+        "{name:<40} {:>12.3} us/iter  ({iters} iters)",
+        per_iter * 1e6
+    );
 }
 
 /// Where CSV outputs land (`$PIMNET_RESULTS_DIR` or `./results`).

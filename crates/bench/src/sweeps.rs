@@ -1,0 +1,425 @@
+//! Shared sweep computations behind the figure and soak binaries.
+//!
+//! Each function here produces exactly the [`Table`] its binary prints,
+//! as a pure function of its arguments — the binaries are thin argument
+//! parsers around this module, and the `perf_gate` harness re-runs the
+//! same sweeps at different worker counts to assert the output is
+//! byte-identical however it is scheduled.
+//!
+//! Independent cells (one fault scenario, one figure row) fan out over
+//! [`pim_sim::par`], whose ordered result collection is what keeps the
+//! tables deterministic under parallel execution.
+
+use pim_arch::geometry::PimGeometry;
+use pim_arch::SystemConfig;
+use pim_faults::{FaultConfig, FaultInjector, PermanentFaultRates};
+use pim_sim::{par, Bandwidth, Bytes, SimTime};
+use pimnet::backends::{
+    BaselineHostBackend, CollectiveBackend, DimmLinkBackend, NdpBridgeBackend, PimnetBackend,
+    SoftwareIdealBackend,
+};
+use pimnet::collective::{CollectiveKind, CollectiveSpec};
+use pimnet::exec::{ExecMachine, ReduceOp};
+use pimnet::resilience::{plan_degraded, DegradedPlan};
+use pimnet::schedule::{cache, validate};
+use pimnet::timing::TimingModel;
+use pimnet::FabricConfig;
+
+use crate::{us, x, Table};
+
+/// Elements per node every chaos scenario communicates.
+pub const CHAOS_ELEMS: usize = 64;
+/// Collectives the chaos soak sweeps.
+pub const CHAOS_KINDS: [CollectiveKind; 4] = [
+    CollectiveKind::AllReduce,
+    CollectiveKind::AllGather,
+    CollectiveKind::AllToAll,
+    CollectiveKind::Broadcast,
+];
+/// Geometries the chaos soak sweeps.
+pub const CHAOS_GEOMETRIES: [u32; 3] = [8, 64, 256];
+
+/// The seeded fault storm every chaos scenario samples from.
+#[must_use]
+pub fn chaos_config(seed: u64) -> FaultConfig {
+    FaultConfig {
+        transient_ber: 0.02,
+        straggler_prob: 0.1,
+        straggler_max_ns: 5_000,
+        max_retries: 8,
+        perm_rates: PermanentFaultRates {
+            segment_prob: 0.02,
+            port_prob: 0.02,
+            rank_prob: 0.03,
+        },
+        ..FaultConfig::none()
+    }
+    .with_seed(seed)
+}
+
+/// What one chaos scenario (one seed of one cell) did.
+struct ScenarioOutcome {
+    /// Ladder tier the planner landed on, `None` when nothing was
+    /// plannable (every rank sampled dead).
+    tier: Option<usize>,
+    rerouted: usize,
+    remapped: usize,
+    extra_steps: usize,
+    /// Repaired-over-clean completion-time stretch (0 unless Repaired).
+    stretch: f64,
+    /// The plan executed bit-identically under transient faults.
+    verified: bool,
+}
+
+/// Accumulated outcomes of one geometry × collective cell.
+#[derive(Default)]
+struct CellStats {
+    tiers: [u32; 4],
+    unplannable: u32,
+    rerouted: usize,
+    remapped: usize,
+    extra_steps: usize,
+    worst_stretch: f64,
+    verified: u32,
+}
+
+impl CellStats {
+    fn fold(&mut self, s: &ScenarioOutcome) {
+        match s.tier {
+            Some(t) => self.tiers[t] += 1,
+            None => self.unplannable += 1,
+        }
+        self.rerouted += s.rerouted;
+        self.remapped += s.remapped;
+        self.extra_steps += s.extra_steps;
+        self.worst_stretch = self.worst_stretch.max(s.stretch);
+        self.verified += u32::from(s.verified);
+    }
+}
+
+/// Drives one seeded scenario through the full plan → repair → validate
+/// → execute → verify pipeline. Pure function of its arguments.
+fn soak_scenario(kind: CollectiveKind, dpus: u32, seed: u64) -> ScenarioOutcome {
+    let g = PimGeometry::paper_scaled(dpus);
+    let sys = SystemConfig::paper_scaled(dpus);
+    let timing = TimingModel::paper();
+    let mut out = ScenarioOutcome {
+        tier: None,
+        rerouted: 0,
+        remapped: 0,
+        extra_steps: 0,
+        stretch: 0.0,
+        verified: false,
+    };
+    let inj = FaultInjector::new(chaos_config(seed));
+    let plan = match plan_degraded(kind, &g, CHAOS_ELEMS, 4, &inj, &sys) {
+        Ok(p) => p,
+        // Every rank sampled dead: nothing left to plan, which the
+        // planner reports as a typed error rather than a panic.
+        Err(_) => return out,
+    };
+    out.tier = Some(plan.tier() as usize);
+    let Some(s) = plan.schedule() else {
+        return out; // host fallback: no PIM-side schedule to verify
+    };
+    validate::validate(s).expect("planned schedule failed validation");
+    if let DegradedPlan::Repaired { report, .. } = &plan {
+        out.rerouted = report.rerouted_transfers;
+        out.remapped = report.remapped_transfers;
+        out.extra_steps = report.extra_steps;
+        let clean = cache::build_cached(kind, &g, CHAOS_ELEMS, 4).unwrap();
+        out.stretch = timing.time_schedule(s, SimTime::ZERO).total().as_secs_f64()
+            / timing
+                .time_schedule(&clean, SimTime::ZERO)
+                .total()
+                .as_secs_f64();
+    }
+    // Execute under transient faults and check bit-identity against the
+    // same schedule's clean run (for Full/Repaired that clean run is by
+    // construction identical to the fault-free reference plan).
+    let init = |id: pim_arch::geometry::DpuId| vec![u64::from(id.0) + 1; CHAOS_ELEMS];
+    let mut clean_m = ExecMachine::init(s, init);
+    clean_m.run(s, ReduceOp::Sum);
+    let mut faulty_m = ExecMachine::init(s, init);
+    faulty_m
+        .run_with_faults(s, ReduceOp::Sum, &inj)
+        .expect("retry budget exhausted");
+    assert_eq!(clean_m, faulty_m, "faulty run diverged");
+    out.verified = true;
+    out
+}
+
+/// The chaos-soak table plus its scenario totals.
+pub struct ChaosSummary {
+    /// The table the `chaos_soak` binary prints and emits as CSV.
+    pub table: Table,
+    /// Scenarios swept (cells × seeds per cell).
+    pub total: u32,
+    /// Scenarios whose PIM-side plan executed bit-identically.
+    pub verified: u32,
+}
+
+/// Runs the full chaos-soak sweep (`per_cell` seeds from `base` for
+/// every geometry × collective cell) on `workers` threads.
+///
+/// Scenarios are independent, so they fan out at seed granularity; the
+/// ordered fold below reproduces the sequential table byte-for-byte at
+/// any worker count.
+#[must_use]
+pub fn chaos_soak(per_cell: u64, base: u64, workers: usize) -> ChaosSummary {
+    let mut scenarios = Vec::new();
+    for &dpus in &CHAOS_GEOMETRIES {
+        for kind in CHAOS_KINDS {
+            for seed in base..base + per_cell {
+                scenarios.push((kind, dpus, seed));
+            }
+        }
+    }
+    let outcomes = par::map_ordered_with(workers, scenarios, |(kind, dpus, seed)| {
+        soak_scenario(kind, dpus, seed)
+    });
+
+    let mut t = Table::new(
+        "chaos soak: ladder tiers and repair cost per scenario cell",
+        &[
+            "dpus",
+            "collective",
+            "full",
+            "repaired",
+            "shrunk",
+            "host",
+            "no-plan",
+            "rerouted",
+            "remapped",
+            "+steps",
+            "worst-stretch",
+            "verified",
+        ],
+    );
+    let mut total = 0u32;
+    let mut verified = 0u32;
+    let mut chunks = outcomes.chunks(per_cell.max(1) as usize);
+    for &dpus in &CHAOS_GEOMETRIES {
+        for kind in CHAOS_KINDS {
+            let mut s = CellStats::default();
+            if per_cell > 0 {
+                for outcome in chunks.next().expect("scenario chunk per cell") {
+                    s.fold(outcome);
+                }
+            }
+            total += per_cell as u32;
+            verified += s.verified;
+            t.row([
+                dpus.to_string(),
+                kind.to_string(),
+                s.tiers[0].to_string(),
+                s.tiers[1].to_string(),
+                s.tiers[2].to_string(),
+                s.tiers[3].to_string(),
+                s.unplannable.to_string(),
+                s.rerouted.to_string(),
+                s.remapped.to_string(),
+                s.extra_steps.to_string(),
+                format!("{:.2}x", s.worst_stretch.max(1.0)),
+                s.verified.to_string(),
+            ]);
+        }
+    }
+    ChaosSummary {
+        table: t,
+        total,
+        verified,
+    }
+}
+
+/// Fig 12 weak-scaling row sizes.
+pub const FIG12_SIZES: [u32; 6] = [8, 16, 32, 64, 128, 256];
+
+/// One Fig 12 table: `kind`'s speedup over the host baseline at every
+/// system size, rows computed on `workers` threads.
+#[must_use]
+pub fn fig12_table(kind: CollectiveKind, workers: usize) -> Table {
+    let spec = CollectiveSpec::new(kind, Bytes::kib(32));
+    let rows = par::map_ordered_with(workers, FIG12_SIZES.to_vec(), move |n| {
+        let sys = SystemConfig::paper_scaled(n);
+        let fabric = FabricConfig::paper();
+        let base = BaselineHostBackend::new(sys)
+            .collective(&spec)
+            .unwrap()
+            .total();
+        let cell = |b: &dyn CollectiveBackend| match b.collective(&spec) {
+            Ok(r) => format!("{:.2}", base.ratio(r.total())),
+            Err(_) => "n/a".to_string(),
+        };
+        [
+            n.to_string(),
+            cell(&SoftwareIdealBackend::new(sys)),
+            cell(&NdpBridgeBackend::new(sys)),
+            cell(&DimmLinkBackend::new(sys, fabric)),
+            cell(&PimnetBackend::new(sys, fabric)),
+        ]
+    });
+    let mut t = Table::new(
+        &format!("Fig 12: {kind} speedup over baseline (weak scaling, 32 KB/DPU)"),
+        &["DPUs", "S", "N", "D", "P"],
+    );
+    for row in rows {
+        t.row(row);
+    }
+    t
+}
+
+/// The Fig 13 credit-vs-scheduled table, rows computed on `workers`
+/// threads.
+#[must_use]
+pub fn fig13_table(workers: usize) -> Table {
+    use pim_noc::{simulate_credit, simulate_scheduled, NocConfig};
+    use pim_sim::rng::SimRng;
+
+    fn ready_times(n: u32, mean_us: f64, jitter: f64, seed: u64) -> Vec<SimTime> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let f = 1.0 + rng.gen_range(-jitter..=jitter);
+                SimTime::from_secs_f64(mean_us * 1e-6 * f)
+            })
+            .collect()
+    }
+
+    let configs = vec![
+        (CollectiveKind::AllReduce, 64u32, 2048usize),
+        (CollectiveKind::AllReduce, 64, 8192),
+        (CollectiveKind::AllToAll, 64, 2048),
+        (CollectiveKind::AllToAll, 64, 8192),
+    ];
+    let rows = par::map_ordered_with(workers, configs, |(kind, n, elems)| {
+        let cfg = NocConfig::paper();
+        let g = PimGeometry::paper_scaled(n);
+        let s = cache::build_cached(kind, &g, elems, 4).expect("schedule");
+        let ready = ready_times(n, 50.0, 0.10, 0x000F_1613);
+        let credit = simulate_credit(&s, &ready, &cfg);
+        let sched = simulate_scheduled(&s, &ready, &cfg);
+        let gain = 1.0 - sched.completion.as_secs_f64() / credit.completion.as_secs_f64();
+        [
+            kind.to_string(),
+            n.to_string(),
+            (elems * 4 / 1024).to_string(),
+            us(credit.completion),
+            us(sched.completion),
+            format!("{:+.1}%", gain * 100.0),
+        ]
+    });
+    let mut t = Table::new(
+        "Fig 13: credit-based vs PIM-controlled completion time (us)",
+        &[
+            "collective",
+            "DPUs",
+            "KB/DPU",
+            "credit",
+            "scheduled",
+            "PIM-control gain",
+        ],
+    );
+    for row in rows {
+        t.row(row);
+    }
+    t
+}
+
+/// The two Fig 14 bandwidth-sweep tables, rows computed on `workers`
+/// threads.
+#[must_use]
+pub fn fig14_tables(workers: usize) -> (Table, Table) {
+    let sys = SystemConfig::paper();
+    let spec = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(32));
+    let dimm = DimmLinkBackend::new(sys, FabricConfig::paper())
+        .collective(&spec)
+        .expect("dimm-link")
+        .total();
+
+    let rows_a = par::map_ordered_with(workers, vec![1u32, 2, 3, 5, 7, 10], move |tenths| {
+        let bw = Bandwidth::mbps(f64::from(tenths) * 100.0);
+        let fabric = FabricConfig::paper().with_bank_channel_bw(bw);
+        let p = PimnetBackend::new(sys, fabric)
+            .collective(&spec)
+            .unwrap()
+            .total();
+        [
+            format!("{:.1}", f64::from(tenths) / 10.0),
+            us(p),
+            us(dimm),
+            x(dimm.ratio(p)),
+        ]
+    });
+    let mut a = Table::new(
+        "Fig 14(a): AllReduce vs inter-bank channel bandwidth",
+        &[
+            "bank GB/s",
+            "PIMnet (us)",
+            "DIMM-Link (us)",
+            "PIMnet advantage",
+        ],
+    );
+    for row in rows_a {
+        a.row(row);
+    }
+
+    let rows_b = par::map_ordered_with(workers, vec![1u32, 2, 4, 8], move |quarters| {
+        let scale = f64::from(quarters) / 4.0;
+        let fabric = FabricConfig::paper()
+            .with_chip_channel_bw(Bandwidth::mbps(1050.0 * scale))
+            .with_rank_bus_bw(Bandwidth::mbps(16_800.0 * scale));
+        let p = PimnetBackend::new(sys, fabric)
+            .collective(&spec)
+            .unwrap()
+            .total();
+        [
+            format!("{scale:.2}x"),
+            format!("{:.2}", 1.05 * scale),
+            format!("{:.1}", 16.8 * scale),
+            us(p),
+            x(dimm.ratio(p)),
+        ]
+    });
+    let mut b = Table::new(
+        "Fig 14(b): AllReduce vs inter-chip/inter-rank bandwidth (inter-bank fixed at 0.7)",
+        &[
+            "global scale",
+            "chip GB/s",
+            "rank GB/s",
+            "PIMnet (us)",
+            "PIMnet advantage",
+        ],
+    );
+    for row in rows_b {
+        b.row(row);
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_soak_is_worker_count_invariant() {
+        let seq = chaos_soak(2, 0xC40, 1);
+        let par2 = chaos_soak(2, 0xC40, 2);
+        assert_eq!(seq.table.to_csv(), par2.table.to_csv());
+        assert_eq!(seq.total, par2.total);
+        assert_eq!(seq.verified, par2.verified);
+    }
+
+    #[test]
+    fn fig_tables_are_worker_count_invariant() {
+        assert_eq!(
+            fig12_table(CollectiveKind::AllReduce, 1).to_csv(),
+            fig12_table(CollectiveKind::AllReduce, 3).to_csv()
+        );
+        assert_eq!(fig13_table(1).to_csv(), fig13_table(4).to_csv());
+        let (a1, b1) = fig14_tables(1);
+        let (a2, b2) = fig14_tables(2);
+        assert_eq!(a1.to_csv(), a2.to_csv());
+        assert_eq!(b1.to_csv(), b2.to_csv());
+    }
+}

@@ -9,19 +9,23 @@ pub struct Flags {
 }
 
 impl Flags {
-    /// Parses `--key value` pairs; rejects stray positionals and dangling
-    /// flags.
+    /// Parses `--key value` pairs; rejects stray positionals. A flag
+    /// followed by another flag (or by nothing) is a bare boolean switch:
+    /// `--all-presets` parses as `--all-presets true`.
     pub fn parse(argv: &[String]) -> Result<Flags, String> {
         let mut values = HashMap::new();
-        let mut it = argv.iter();
+        let mut it = argv.iter().peekable();
         while let Some(arg) = it.next() {
             let Some(key) = arg.strip_prefix("--") else {
-                return Err(format!("unexpected argument '{arg}' (flags are --key value)"));
+                return Err(format!(
+                    "unexpected argument '{arg}' (flags are --key value)"
+                ));
             };
-            let Some(value) = it.next() else {
-                return Err(format!("flag --{key} is missing a value"));
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => "true".to_string(),
             };
-            if values.insert(key.to_string(), value.clone()).is_some() {
+            if values.insert(key.to_string(), value).is_some() {
                 return Err(format!("flag --{key} given twice"));
             }
         }
@@ -76,9 +80,20 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         assert!(parse(&["positional"]).is_err());
-        assert!(parse(&["--dangling"]).is_err());
         assert!(parse(&["--a", "1", "--a", "2"]).is_err());
         let f = parse(&["--kb", "x"]).unwrap();
         assert!(f.num_or("kb", 0u64).is_err());
+    }
+
+    #[test]
+    fn bare_flags_are_boolean_switches() {
+        let f = parse(&["--all-presets", "--kind", "allreduce"]).unwrap();
+        assert_eq!(f.get_or("all-presets", "false"), "true");
+        assert_eq!(f.require("kind").unwrap(), "allreduce");
+        let f = parse(&["--kind", "allreduce", "--json"]).unwrap();
+        assert_eq!(f.get_or("json", "false"), "true");
+        // The explicit form still works.
+        let f = parse(&["--all-presets", "true"]).unwrap();
+        assert_eq!(f.get_or("all-presets", "false"), "true");
     }
 }

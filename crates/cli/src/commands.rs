@@ -29,8 +29,8 @@ USAGE:
   pimnet-cli repair     --kind <coll> [--dpus <n>] [--elems <n>]
                     [--perm-faults <tok,..>] [--fault-seed <n>]
                     [--fault-config <path>]
-  pimnet-cli lint       [--kind <coll>] [--dpus <n>] [--elems <n>] [--json true]
-                    [--all-presets true] [--perm-faults <tok,..>]
+  pimnet-cli lint       [--kind <coll>] [--dpus <n>] [--elems <n>] [--json]
+                    [--all-presets] [--perm-faults <tok,..>]
                     [--fault-seed <n>] [--fault-config <path>]
 
   <coll> = allreduce | reducescatter | allgather | a2a | broadcast | reduce | gather
@@ -38,10 +38,10 @@ USAGE:
   lint runs the static analyzer (structural, sync, hazard, dataflow passes)
   over a schedule without executing it, and exits non-zero on any
   error-severity diagnostic. With --perm-faults the schedule is first
-  repaired and the *repaired* schedule is re-proven. --json true emits one
-  machine-readable JSON report per line; --all-presets true lints every
+  repaired and the *repaired* schedule is re-proven. --json emits one
+  machine-readable JSON report per line; --all-presets lints every
   collective on the paper's 8/64/256-DPU presets plus sampled
-  permanent-fault storms.
+  permanent-fault storms, fanned out over PIMNET_THREADS workers.
 
   Fault configs are key=value files (see pim-faults); --fault-seed overrides
   the file's seed, and --ber/--straggler-prob/--dead override its rates.
@@ -103,7 +103,9 @@ fn parse_backends(s: &str) -> Result<Vec<BackendKind>, String> {
 
 fn system_for(dpus: u32) -> Result<PimnetSystem, String> {
     if !(dpus.is_power_of_two() && (1..=256).contains(&dpus)) {
-        return Err(format!("--dpus must be a power of two in 1..=256, got {dpus}"));
+        return Err(format!(
+            "--dpus must be a power of two in 1..=256, got {dpus}"
+        ));
     }
     Ok(PimnetSystem::new(
         SystemConfig::paper_scaled(dpus),
@@ -221,7 +223,11 @@ fn workload(flags: &Flags) -> Result<(), String> {
     );
     for bk in backends {
         let backend = pimnet.backend(bk);
-        if !program.collective_kinds().iter().all(|&k| backend.supports(k)) {
+        if !program
+            .collective_kinds()
+            .iter()
+            .all(|&k| backend.supports(k))
+        {
             println!("  {:<18} unsupported collective", bk.to_string());
             continue;
         }
@@ -261,8 +267,8 @@ fn schedule(flags: &Flags) -> Result<(), String> {
     let dpus: u32 = flags.num_or("dpus", 256)?;
     let elems: usize = flags.num_or("elems", 8192)?;
     let sys = system_for(dpus)?;
-    let s = CommSchedule::build(kind, &sys.system().geometry, elems, 4)
-        .map_err(|e| e.to_string())?;
+    let s =
+        CommSchedule::build(kind, &sys.system().geometry, elems, 4).map_err(|e| e.to_string())?;
     let report = pimnet::schedule::validate::validate(&s).map_err(|e| e.to_string())?;
     println!(
         "{kind} on {dpus} DPUs, {elems} elements/DPU: {} phases, {} steps, \
@@ -277,7 +283,11 @@ fn schedule(flags: &Flags) -> Result<(), String> {
             "  phase {i}: {:<11} {} steps{}",
             phase.label.to_string(),
             phase.steps.len(),
-            if phase.multiplexed { "  (WAIT-multiplexed)" } else { "" }
+            if phase.multiplexed {
+                "  (WAIT-multiplexed)"
+            } else {
+                ""
+            }
         );
     }
     println!(
@@ -297,8 +307,7 @@ fn schedule(flags: &Flags) -> Result<(), String> {
         energy.breakdown_uj(&s)
     );
     if let Ok(path) = flags.require("timeline") {
-        let timeline =
-            pimnet::timeline::Timeline::build(&s, &pimnet::timing::TimingModel::paper());
+        let timeline = pimnet::timeline::Timeline::build(&s, &pimnet::timing::TimingModel::paper());
         std::fs::write(path, timeline.to_csv()).map_err(|e| e.to_string())?;
         println!(
             "timeline: {} transfer windows ending at {} -> {path}",
@@ -312,7 +321,14 @@ fn schedule(flags: &Flags) -> Result<(), String> {
 fn noc(flags: &Flags) -> Result<(), String> {
     warn_unknown(
         flags,
-        &["kind", "dpus", "elems", "jitter-us", "fault-seed", "fault-config"],
+        &[
+            "kind",
+            "dpus",
+            "elems",
+            "jitter-us",
+            "fault-seed",
+            "fault-config",
+        ],
     );
     let kind = parse_kind(flags.get_or("kind", "a2a"))?;
     let dpus: u32 = flags.num_or("dpus", 64)?;
@@ -320,8 +336,8 @@ fn noc(flags: &Flags) -> Result<(), String> {
     let jitter_us: f64 = flags.num_or("jitter-us", 40.0)?;
     let injector = fault_injector(flags)?;
     let sys = system_for(dpus)?;
-    let s = CommSchedule::build(kind, &sys.system().geometry, elems, 4)
-        .map_err(|e| e.to_string())?;
+    let s =
+        CommSchedule::build(kind, &sys.system().geometry, elems, 4).map_err(|e| e.to_string())?;
     let cfg = pim_noc::NocConfig::paper();
     let ready: Vec<SimTime> = (0..u64::from(dpus))
         .map(|i| {
@@ -329,8 +345,8 @@ fn noc(flags: &Flags) -> Result<(), String> {
             SimTime::from_secs_f64(jitter_us * 1e-6 * f)
         })
         .collect();
-    let credit = pim_noc::simulate_credit_faulty(&s, &ready, &cfg, &injector)
-        .map_err(|e| e.to_string())?;
+    let credit =
+        pim_noc::simulate_credit_faulty(&s, &ready, &cfg, &injector).map_err(|e| e.to_string())?;
     let sched = pim_noc::simulate_scheduled(&s, &ready, &cfg);
     println!("{kind} on {dpus} DPUs, {elems} elements/DPU, ±10% jitter around {jitter_us} us:");
     println!("  credit-based : {credit}");
@@ -392,7 +408,10 @@ fn faults(flags: &Flags) -> Result<(), String> {
     }
     let schedule = match &plan {
         pimnet::resilience::DegradedPlan::Full(s) => {
-            println!("  plan: full ({} DPUs participate)", s.geometry.total_dpus());
+            println!(
+                "  plan: full ({} DPUs participate)",
+                s.geometry.total_dpus()
+            );
             s
         }
         pimnet::resilience::DegradedPlan::Repaired { schedule, report } => {
@@ -417,7 +436,9 @@ fn faults(flags: &Flags) -> Result<(), String> {
             schedule
         }
         pimnet::resilience::DegradedPlan::HostFallback {
-            breakdown, excluded, ..
+            breakdown,
+            excluded,
+            ..
         } => {
             println!(
                 "  plan: host fallback ({} DPUs excluded), baseline collective takes {}",
@@ -472,7 +493,14 @@ fn faults(flags: &Flags) -> Result<(), String> {
 fn repair(flags: &Flags) -> Result<(), String> {
     warn_unknown(
         flags,
-        &["kind", "dpus", "elems", "perm-faults", "fault-seed", "fault-config"],
+        &[
+            "kind",
+            "dpus",
+            "elems",
+            "perm-faults",
+            "fault-seed",
+            "fault-config",
+        ],
     );
     let kind = parse_kind(flags.get_or("kind", "allreduce"))?;
     let dpus: u32 = flags.num_or("dpus", 64)?;
@@ -480,8 +508,7 @@ fn repair(flags: &Flags) -> Result<(), String> {
     let injector = fault_injector(flags)?;
     let sys = system_for(dpus)?;
     let g = sys.system().geometry;
-    let faults =
-        injector.permanent_faults(g.ranks_per_channel, g.chips_per_rank, g.banks_per_chip);
+    let faults = injector.permanent_faults(g.ranks_per_channel, g.chips_per_rank, g.banks_per_chip);
     println!("{kind} on {dpus} DPUs, {elems} elements/DPU");
     println!("permanent faults: {faults}");
     let unusable = pimnet::schedule::repair::unusable_dpus(&g, &faults);
@@ -530,8 +557,9 @@ fn repair(flags: &Flags) -> Result<(), String> {
         Err(e) => {
             println!("  repair failed: {e}");
             // Show where the ladder lands instead.
-            let plan = pimnet::resilience::plan_degraded(kind, &g, elems, 4, &injector, sys.system())
-                .map_err(|e| e.to_string())?;
+            let plan =
+                pimnet::resilience::plan_degraded(kind, &g, elems, 4, &injector, sys.system())
+                    .map_err(|e| e.to_string())?;
             println!("  degradation ladder lands on: {}", plan.tier_name());
             for e in plan.error_trail() {
                 println!("    trail: {e}");
@@ -555,8 +583,7 @@ fn lint_one(
     if !injector.has_permanent_faults() {
         return Ok((pimnet::analysis::run_all(&s), None));
     }
-    let faults =
-        injector.permanent_faults(g.ranks_per_channel, g.chips_per_rank, g.banks_per_chip);
+    let faults = injector.permanent_faults(g.ranks_per_channel, g.chips_per_rank, g.banks_per_chip);
     if faults.is_empty() {
         return Ok((pimnet::analysis::run_all(&s), None));
     }
@@ -568,8 +595,8 @@ fn lint_one(
             unusable.len()
         ));
     }
-    let r = pimnet::schedule::repair::repair(&s, &faults)
-        .map_err(|e| format!("repair failed: {e}"))?;
+    let r =
+        pimnet::schedule::repair::repair(&s, &faults).map_err(|e| format!("repair failed: {e}"))?;
     let note = format!(
         "linting repaired schedule ({} rerouted, {} remapped, +{} steps)",
         r.report.rerouted_transfers, r.report.remapped_transfers, r.report.extra_steps
@@ -592,7 +619,10 @@ fn lint(flags: &Flags) -> Result<(), String> {
         ],
     );
     let json = flags.get_or("json", "false").eq_ignore_ascii_case("true");
-    if flags.get_or("all-presets", "false").eq_ignore_ascii_case("true") {
+    if flags
+        .get_or("all-presets", "false")
+        .eq_ignore_ascii_case("true")
+    {
         return lint_all_presets(json);
     }
     let kind = parse_kind(flags.get_or("kind", "allreduce"))?;
@@ -621,15 +651,19 @@ fn lint(flags: &Flags) -> Result<(), String> {
 /// schedules under sampled permanent-fault storms. Storm scenarios whose
 /// faults make DPUs unreachable are skipped with a note — there repair
 /// cannot keep every participant and the ladder shrinks instead.
+///
+/// The matrix itself lives in [`pimnet::analysis::presets`] (shared with
+/// the `perf_gate` harness) and fans out over `pim_sim::par`
+/// (`PIMNET_THREADS` workers); ordered result collection keeps the
+/// output byte-identical to the sequential run.
 fn lint_all_presets(json: bool) -> Result<(), String> {
+    use pimnet::analysis::presets;
+    let results = pim_sim::par::map_ordered(presets::cases(), |case| (case, case.run()));
     let mut failures = 0usize;
     let mut checked = 0usize;
-    let none = pim_faults::FaultInjector::none();
-    for kind in CollectiveKind::ALL {
-        for dpus in [8u32, 64, 256] {
-            for elems in [64usize, 1024] {
-                let sys = system_for(dpus)?;
-                let (report, _) = lint_one(kind, &sys.system().geometry, elems, &none)?;
+    for (case, result) in results {
+        match result {
+            Ok(report) => {
                 checked += 1;
                 if report.has_errors() {
                     failures += 1;
@@ -637,54 +671,19 @@ fn lint_all_presets(json: bool) -> Result<(), String> {
                 if json {
                     println!("{}", report.to_json());
                 } else if report.is_clean() {
-                    println!("ok   {kind} x{dpus} e{elems}");
+                    println!("ok   {}", case.label());
                 } else {
-                    println!("FAIL {kind} x{dpus} e{elems}\n{report}");
+                    println!("FAIL {}\n{report}", case.label());
                 }
             }
-        }
-    }
-    // Sampled permanent-fault storms: repaired schedules are re-proven.
-    for dpus in [64u32, 256] {
-        for seed in [1u64, 2, 3] {
-            // Keep the expected fault count roughly constant across
-            // geometries, so large systems still sample *repairable*
-            // storms instead of always partitioning a ring.
-            let rate = 2.0 / f64::from(dpus);
-            let cfg = pim_faults::FaultConfig {
-                perm_rates: pim_faults::PermanentFaultRates {
-                    segment_prob: rate,
-                    port_prob: rate,
-                    rank_prob: 0.0,
-                },
-                ..pim_faults::FaultConfig::none()
-            }
-            .with_seed(seed);
-            let injector = pim_faults::FaultInjector::new(cfg);
-            for kind in CollectiveKind::ALL {
-                let sys = system_for(dpus)?;
-                match lint_one(kind, &sys.system().geometry, 256, &injector) {
-                    Ok((report, _)) => {
-                        checked += 1;
-                        if report.has_errors() {
-                            failures += 1;
-                        }
-                        if json {
-                            println!("{}", report.to_json());
-                        } else if report.is_clean() {
-                            println!("ok   {kind} x{dpus} storm seed {seed}");
-                        } else {
-                            println!("FAIL {kind} x{dpus} storm seed {seed}\n{report}");
-                        }
-                    }
-                    Err(e) => {
-                        // Unreachable DPUs: no full-size schedule exists.
-                        if !json {
-                            println!("skip {kind} x{dpus} storm seed {seed}: {e}");
-                        }
-                    }
+            // Unreachable DPUs: no full-size schedule exists for this
+            // storm. A clean preset failing to build is a real error.
+            Err(e) if case.storm_seed.is_some() => {
+                if !json {
+                    println!("skip {}: {e}", case.label());
                 }
             }
+            Err(e) => return Err(e),
         }
     }
     if failures > 0 {
@@ -724,8 +723,18 @@ mod tests {
 
     #[test]
     fn collective_command_runs() {
-        run(&["collective", "--kind", "allreduce", "--kb", "4", "--dpus", "64", "--backend", "BP"])
-            .unwrap();
+        run(&[
+            "collective",
+            "--kind",
+            "allreduce",
+            "--kb",
+            "4",
+            "--dpus",
+            "64",
+            "--backend",
+            "BP",
+        ])
+        .unwrap();
     }
 
     #[test]
@@ -740,8 +749,18 @@ mod tests {
 
     #[test]
     fn noc_command_accepts_fault_flags() {
-        run(&["noc", "--kind", "ar", "--dpus", "8", "--elems", "128", "--fault-seed", "7"])
-            .unwrap();
+        run(&[
+            "noc",
+            "--kind",
+            "ar",
+            "--dpus",
+            "8",
+            "--elems",
+            "128",
+            "--fault-seed",
+            "7",
+        ])
+        .unwrap();
     }
 
     #[test]
@@ -782,8 +801,15 @@ mod tests {
     #[test]
     fn repair_command_reroutes_and_remaps() {
         run(&[
-            "repair", "--kind", "ar", "--dpus", "64", "--elems", "256",
-            "--perm-faults", "r0c0b2E,r0c3tx",
+            "repair",
+            "--kind",
+            "ar",
+            "--dpus",
+            "64",
+            "--elems",
+            "256",
+            "--perm-faults",
+            "r0c0b2E,r0c3tx",
         ])
         .unwrap();
         // Identity case (no faults) also runs.
@@ -795,8 +821,15 @@ mod tests {
         // A dead rank defeats repair; the command must surface the ladder
         // tier instead of erroring out.
         run(&[
-            "repair", "--kind", "ar", "--dpus", "256", "--elems", "64",
-            "--perm-faults", "rank1",
+            "repair",
+            "--kind",
+            "ar",
+            "--dpus",
+            "256",
+            "--elems",
+            "64",
+            "--perm-faults",
+            "rank1",
         ])
         .unwrap();
     }
@@ -804,8 +837,15 @@ mod tests {
     #[test]
     fn faults_command_accepts_permanent_faults() {
         run(&[
-            "faults", "--kind", "ar", "--dpus", "64", "--elems", "128",
-            "--perm-faults", "r0c0b1W",
+            "faults",
+            "--kind",
+            "ar",
+            "--dpus",
+            "64",
+            "--elems",
+            "128",
+            "--perm-faults",
+            "r0c0b1W",
         ])
         .unwrap();
     }
@@ -818,15 +858,24 @@ mod tests {
     #[test]
     fn lint_command_passes_clean_presets() {
         run(&["lint", "--kind", "ar", "--dpus", "16", "--elems", "128"]).unwrap();
-        run(&["lint", "--kind", "ag", "--dpus", "8", "--elems", "64", "--json", "true"])
-            .unwrap();
+        run(&[
+            "lint", "--kind", "ag", "--dpus", "8", "--elems", "64", "--json", "true",
+        ])
+        .unwrap();
     }
 
     #[test]
     fn lint_command_proves_repaired_schedules() {
         run(&[
-            "lint", "--kind", "ar", "--dpus", "64", "--elems", "128",
-            "--perm-faults", "r0c0b2E,r0c3tx",
+            "lint",
+            "--kind",
+            "ar",
+            "--dpus",
+            "64",
+            "--elems",
+            "128",
+            "--perm-faults",
+            "r0c0b2E,r0c3tx",
         ])
         .unwrap();
     }
@@ -836,8 +885,15 @@ mod tests {
         // A dead rank leaves DPUs no repair can reach: there is no
         // full-size schedule to lint, and the command must say so.
         assert!(run(&[
-            "lint", "--kind", "ar", "--dpus", "256", "--elems", "64",
-            "--perm-faults", "rank1",
+            "lint",
+            "--kind",
+            "ar",
+            "--dpus",
+            "256",
+            "--elems",
+            "64",
+            "--perm-faults",
+            "rank1",
         ])
         .is_err());
     }

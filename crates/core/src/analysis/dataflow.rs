@@ -80,10 +80,7 @@ impl NodeSet {
     }
 
     fn intersects(&self, other: &NodeSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     fn union(&self, other: &NodeSet) -> NodeSet {
@@ -232,7 +229,7 @@ pub(super) fn check(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
 
     for (pi, phase) in schedule.phases.iter().enumerate() {
         for (si, step) in phase.steps.iter().enumerate() {
-            let mut deliveries: Vec<Delivery> = Vec::new();
+            let mut deliveries: Vec<Delivery> = Vec::with_capacity(step.transfers.len());
             for (ti, t) in step.transfers.iter().enumerate() {
                 let loc = Location::at(pi, si, ti);
                 // Transfers the structural/sync passes already rejected

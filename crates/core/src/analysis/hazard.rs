@@ -67,10 +67,7 @@ pub(super) fn check(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
                 // Write-write: any overlapping pair with an overwrite.
                 'ww: for (i, a) in ws.iter().enumerate() {
                     for b in &ws[i + 1..] {
-                        if overlaps(a.span, b.span)
-                            && !(a.combine && b.combine)
-                            && a.loc != b.loc
-                        {
+                        if overlaps(a.span, b.span) && !(a.combine && b.combine) && a.loc != b.loc {
                             diags.push(Diagnostic::error(
                                 WRITE_WRITE,
                                 b.loc.on(node),

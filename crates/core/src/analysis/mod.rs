@@ -30,6 +30,7 @@ use crate::collective::CollectiveKind;
 use crate::schedule::CommSchedule;
 
 pub mod diagnostics;
+pub mod presets;
 
 mod dataflow;
 mod hazard;
@@ -184,10 +185,7 @@ mod tests {
         for kind in CollectiveKind::ALL {
             for dpus in [2u32, 8, 64] {
                 let report = analyze(kind, dpus, 64);
-                assert!(
-                    report.is_clean(),
-                    "{kind} x{dpus} not clean:\n{report}"
-                );
+                assert!(report.is_clean(), "{kind} x{dpus} not clean:\n{report}");
             }
         }
     }

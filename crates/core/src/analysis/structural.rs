@@ -198,9 +198,11 @@ fn check_transfer(
         .any(|r| matches!(r, Resource::RingSegment { .. }));
 
     if all_same_chip {
-        if !t.resources.iter().all(
-            |r| matches!(r, Resource::RingSegment { chip, .. } if *chip == ChipLoc::of(src)),
-        ) {
+        if !t
+            .resources
+            .iter()
+            .all(|r| matches!(r, Resource::RingSegment { chip, .. } if *chip == ChipLoc::of(src)))
+        {
             diags.push(Diagnostic::error(
                 WRONG_TIER_RESOURCES,
                 loc,

@@ -100,9 +100,7 @@ impl PimnetSystem {
                 self.system,
                 self.fabric,
             )),
-            BackendKind::NdpBridge => {
-                Box::new(crate::backends::NdpBridgeBackend::new(self.system))
-            }
+            BackendKind::NdpBridge => Box::new(crate::backends::NdpBridgeBackend::new(self.system)),
         }
     }
 
@@ -190,10 +188,7 @@ impl PimnetSystem {
             }
         });
         machine.run(&schedule, op);
-        let breakdown = self
-            .pimnet()
-            .timing()
-            .time_schedule(&schedule, spec.skew);
+        let breakdown = self.pimnet().timing().time_schedule(&schedule, spec.skew);
         Ok((machine, breakdown))
     }
 }
@@ -221,7 +216,9 @@ mod tests {
         let t = sys
             .collective(CollectiveKind::AllReduce, Bytes::kib(8))
             .unwrap();
-        let s = sys.schedule(CollectiveKind::AllReduce, Bytes::kib(8)).unwrap();
+        let s = sys
+            .schedule(CollectiveKind::AllReduce, Bytes::kib(8))
+            .unwrap();
         assert_eq!(s.elems_per_node, 2048);
         assert!(t.total() > pim_sim::SimTime::ZERO);
     }

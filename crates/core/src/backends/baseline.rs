@@ -161,7 +161,10 @@ mod tests {
     #[test]
     fn baseline_allreduce_is_milliseconds_at_paper_scale() {
         let b = BaselineHostBackend::new(SystemConfig::paper());
-        let t = b.collective(&spec(CollectiveKind::AllReduce)).unwrap().total();
+        let t = b
+            .collective(&spec(CollectiveKind::AllReduce))
+            .unwrap()
+            .total();
         assert!(t.as_ms() > 2.0, "baseline AR too fast: {t}");
         assert!(t.as_ms() < 20.0, "baseline AR unreasonably slow: {t}");
     }
@@ -175,7 +178,10 @@ mod tests {
         let ti = ideal.collective(&s).unwrap().total();
         assert!(ti < tb);
         // The serialization floor remains: 8 MiB over 4.74 GB/s is ~1.8 ms.
-        assert!(ti.as_ms() > 1.5, "ideal software below the link floor: {ti}");
+        assert!(
+            ti.as_ms() > 1.5,
+            "ideal software below the link floor: {ti}"
+        );
     }
 
     #[test]
@@ -191,8 +197,14 @@ mod tests {
     #[test]
     fn alltoall_costs_both_directions() {
         let b = BaselineHostBackend::new(SystemConfig::paper());
-        let a2a = b.collective(&spec(CollectiveKind::AllToAll)).unwrap().total();
-        let ag = b.collective(&spec(CollectiveKind::AllGather)).unwrap().total();
+        let a2a = b
+            .collective(&spec(CollectiveKind::AllToAll))
+            .unwrap()
+            .total();
+        let ag = b
+            .collective(&spec(CollectiveKind::AllGather))
+            .unwrap()
+            .total();
         // A2A scatters the full volume at 6.68 GB/s; AG broadcasts it at
         // 16.88 GB/s, so A2A must be slower.
         assert!(a2a > ag);

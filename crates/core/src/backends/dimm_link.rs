@@ -110,8 +110,7 @@ impl CollectiveBackend for DimmLinkBackend {
                 // up + reduce pass + per-bank write-back, per rank in parallel.
                 b.inter_chip = self.funnel(rank_data) * 2 + self.funnel(rank_data);
                 // Ring AllReduce of the rank-reduced vector m.
-                b.inter_rank =
-                    self.link.transfer_time(m / ranks * (ranks - 1)) * 2;
+                b.inter_rank = self.link.transfer_time(m / ranks * (ranks - 1)) * 2;
             }
             CollectiveKind::ReduceScatter => {
                 b.inter_chip = self.funnel(rank_data) * 2 + self.funnel(m);
@@ -179,7 +178,9 @@ mod tests {
 
     #[test]
     fn funnel_dominates_the_breakdown() {
-        let b = backend().collective(&spec(CollectiveKind::AllReduce)).unwrap();
+        let b = backend()
+            .collective(&spec(CollectiveKind::AllReduce))
+            .unwrap();
         assert!(b.inter_chip > b.inter_rank);
         assert!(b.mem > SimTime::ZERO, "MRAM staging must be charged");
         assert_eq!(b.host, SimTime::ZERO);
@@ -195,8 +196,7 @@ mod tests {
 
     #[test]
     fn single_rank_has_no_link_traffic() {
-        let system = SystemConfig::paper()
-            .with_geometry(pim_arch::PimGeometry::new(8, 8, 1, 1));
+        let system = SystemConfig::paper().with_geometry(pim_arch::PimGeometry::new(8, 8, 1, 1));
         let b = DimmLinkBackend::new(system, FabricConfig::paper());
         let r = b.collective(&spec(CollectiveKind::AllReduce)).unwrap();
         assert_eq!(r.inter_rank, SimTime::ZERO);

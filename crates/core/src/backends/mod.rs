@@ -31,7 +31,6 @@ pub use pimnet_backend::PimnetBackend;
 
 use std::fmt;
 
-
 use pim_arch::SystemConfig;
 
 use crate::collective::{CollectiveKind, CollectiveSpec};
@@ -122,10 +121,7 @@ pub trait CollectiveBackend {
 
 /// Builds every backend for a system/fabric pair, in Fig 10 order.
 #[must_use]
-pub fn all_backends(
-    system: SystemConfig,
-    fabric: FabricConfig,
-) -> Vec<Box<dyn CollectiveBackend>> {
+pub fn all_backends(system: SystemConfig, fabric: FabricConfig) -> Vec<Box<dyn CollectiveBackend>> {
     vec![
         Box::new(BaselineHostBackend::new(system)),
         Box::new(SoftwareIdealBackend::new(system)),

@@ -102,8 +102,7 @@ mod tests {
         let p = PimnetBackend::paper();
         let spec = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(32));
         let single = p.collective(&spec).unwrap();
-        let multi =
-            multi_channel_collective(&p, &SystemConfig::paper().host, 1, &spec).unwrap();
+        let multi = multi_channel_collective(&p, &SystemConfig::paper().host, 1, &spec).unwrap();
         assert_eq!(single, multi);
     }
 

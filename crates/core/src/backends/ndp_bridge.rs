@@ -96,8 +96,8 @@ impl CollectiveBackend for NdpBridgeBackend {
             }
             CollectiveKind::AllGather => {
                 b.inter_chip = self.funnel(rank_data) + self.funnel(total);
-                b.host = self.system.host.gather_time(cross)
-                    + self.system.host.broadcast_time(total);
+                b.host =
+                    self.system.host.gather_time(cross) + self.system.host.broadcast_time(total);
             }
             CollectiveKind::Broadcast => {
                 b.inter_chip = self.funnel(m) + self.funnel(rank_data);
@@ -105,8 +105,7 @@ impl CollectiveBackend for NdpBridgeBackend {
             }
             CollectiveKind::Gather => {
                 b.inter_chip = self.funnel(rank_data) + self.funnel(total);
-                b.host = self.system.host.gather_time(cross)
-                    + self.system.host.scatter_time(cross);
+                b.host = self.system.host.gather_time(cross) + self.system.host.scatter_time(cross);
             }
             CollectiveKind::AllReduce | CollectiveKind::ReduceScatter | CollectiveKind::Reduce => {
                 // Already rejected by the supports() gate above; keep the
@@ -146,18 +145,23 @@ mod tests {
     fn alltoall_pays_the_host_for_cross_rank_traffic() {
         let b = NdpBridgeBackend::new(SystemConfig::paper());
         let r = b
-            .collective(&CollectiveSpec::new(CollectiveKind::AllToAll, Bytes::kib(32)))
+            .collective(&CollectiveSpec::new(
+                CollectiveKind::AllToAll,
+                Bytes::kib(32),
+            ))
             .unwrap();
         assert!(r.host > r.inter_chip, "host hop should dominate: {r}");
     }
 
     #[test]
     fn single_rank_alltoall_never_touches_the_host() {
-        let system = SystemConfig::paper()
-            .with_geometry(pim_arch::PimGeometry::new(8, 8, 1, 1));
+        let system = SystemConfig::paper().with_geometry(pim_arch::PimGeometry::new(8, 8, 1, 1));
         let b = NdpBridgeBackend::new(system);
         let r = b
-            .collective(&CollectiveSpec::new(CollectiveKind::AllToAll, Bytes::kib(32)))
+            .collective(&CollectiveSpec::new(
+                CollectiveKind::AllToAll,
+                Bytes::kib(32),
+            ))
             .unwrap();
         assert_eq!(r.host, SimTime::ZERO);
     }

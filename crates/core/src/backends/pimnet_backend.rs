@@ -98,7 +98,10 @@ mod tests {
     fn allreduce_breakdown_touches_all_three_tiers() {
         let b = PimnetBackend::paper();
         let r = b
-            .collective(&CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(32)))
+            .collective(&CollectiveSpec::new(
+                CollectiveKind::AllReduce,
+                Bytes::kib(32),
+            ))
             .unwrap();
         assert!(r.inter_bank > SimTime::ZERO);
         assert!(r.inter_chip > SimTime::ZERO);

@@ -124,7 +124,10 @@ impl CollectiveSpec {
     /// `bytes_per_dpu`).
     #[must_use]
     pub fn elems_per_dpu(&self) -> usize {
-        (self.bytes_per_dpu.as_u64().div_ceil(u64::from(self.elem_bytes))) as usize
+        (self
+            .bytes_per_dpu
+            .as_u64()
+            .div_ceil(u64::from(self.elem_bytes))) as usize
     }
 }
 

@@ -81,7 +81,11 @@ impl EnergyModel {
             for step in &phase.steps {
                 for t in &step.transfers {
                     let bytes = t.bytes(schedule.elem_bytes).as_u64() as f64;
-                    let pj: f64 = t.resources.iter().map(|r| bytes * self.resource_cost(r)).sum();
+                    let pj: f64 = t
+                        .resources
+                        .iter()
+                        .map(|r| bytes * self.resource_cost(r))
+                        .sum();
                     match phase.label {
                         PhaseLabel::InterBank | PhaseLabel::Local => bank += pj,
                         PhaseLabel::InterChip => chip += pj,

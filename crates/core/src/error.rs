@@ -108,7 +108,10 @@ impl fmt::Display for PimnetError {
                      CRC on all {attempts} attempts"
                 )
             }
-            PimnetError::SyncTimeout { timeout_ns, missing } => {
+            PimnetError::SyncTimeout {
+                timeout_ns,
+                missing,
+            } => {
                 if missing.is_empty() {
                     write!(f, "READY/START barrier timed out after {timeout_ns} ns")
                 } else {

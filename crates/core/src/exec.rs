@@ -13,11 +13,10 @@
 
 use std::fmt;
 
-
 use pim_arch::geometry::DpuId;
 
 use crate::error::PimnetError;
-use crate::schedule::CommSchedule;
+use crate::schedule::{CommSchedule, CommStep};
 
 /// Reduction operators supported by the PIM banks' collective kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -167,27 +166,17 @@ impl<T: Element> ExecMachine<T> {
     ///
     /// Transfers within a step read a snapshot of the pre-step state, since
     /// they are concurrent in the hardware.
+    ///
+    /// The snapshot is staged through a single arena buffer that is reused
+    /// across every step of the run (the hot-path equivalent of the
+    /// hardware's fixed wire: no per-transfer allocation), so executing a
+    /// schedule costs two allocations total instead of two per transfer.
     pub fn run(&mut self, schedule: &CommSchedule, op: ReduceOp) {
+        let mut staging = Staging::default();
         for phase in &schedule.phases {
             for step in &phase.steps {
-                // Snapshot: collect payloads first, then apply.
-                let mut deliveries: Vec<(DpuId, usize, Vec<T>, bool)> = Vec::new();
-                for t in &step.transfers {
-                    let payload = self.buffers[t.src.index()][t.src_span.range()].to_vec();
-                    for &dst in &t.dsts {
-                        deliveries.push((dst, t.dst_span.start, payload.clone(), t.combine));
-                    }
-                }
-                for (dst, start, payload, combine) in deliveries {
-                    let buf = &mut self.buffers[dst.index()];
-                    if combine {
-                        for (i, v) in payload.into_iter().enumerate() {
-                            buf[start + i] = T::reduce(op, buf[start + i], v);
-                        }
-                    } else {
-                        buf[start..start + payload.len()].copy_from_slice(&payload);
-                    }
-                }
+                staging.snapshot_step(&self.buffers, step);
+                staging.apply(&mut self.buffers, op);
             }
         }
     }
@@ -224,29 +213,22 @@ impl<T: Element> ExecMachine<T> {
             return Err(PimnetError::DeadDpu { dpu: dead.0 });
         }
         let mut stats = FaultStats::default();
+        let mut staging = Staging::default();
         for (pi, phase) in schedule.phases.iter().enumerate() {
             for (si, step) in phase.steps.iter().enumerate() {
-                let mut deliveries: Vec<(DpuId, usize, Vec<T>, bool)> = Vec::new();
+                staging.snapshot_step(&self.buffers, step);
                 for (ti, t) in step.transfers.iter().enumerate() {
-                    let payload = self.buffers[t.src.index()][t.src_span.range()].to_vec();
                     if !t.is_local() {
                         stats.transfers += 1;
-                        self.transmit(&payload, (pi, si, ti), injector, &mut stats)?;
-                    }
-                    for &dst in &t.dsts {
-                        deliveries.push((dst, t.dst_span.start, payload.clone(), t.combine));
-                    }
-                }
-                for (dst, start, payload, combine) in deliveries {
-                    let buf = &mut self.buffers[dst.index()];
-                    if combine {
-                        for (i, v) in payload.into_iter().enumerate() {
-                            buf[start + i] = T::reduce(op, buf[start + i], v);
-                        }
-                    } else {
-                        buf[start..start + payload.len()].copy_from_slice(&payload);
+                        self.transmit(
+                            staging.transfer_payload(ti),
+                            (pi, si, ti),
+                            injector,
+                            &mut stats,
+                        )?;
                     }
                 }
+                staging.apply(&mut self.buffers, op);
             }
         }
         Ok(stats)
@@ -320,6 +302,75 @@ impl<T: Element> ExecMachine<T> {
     #[must_use]
     pub fn nodes(&self) -> usize {
         self.buffers.len()
+    }
+}
+
+/// Reusable staging arena for one step's concurrent transfers.
+///
+/// Within a step every transfer reads the *pre-step* buffer state, so the
+/// payloads have to be snapshotted before any delivery is applied. Staging
+/// them contiguously in one arena — instead of one `Vec` per transfer and
+/// one clone per destination — keeps schedule execution allocation-free
+/// after the first step, which is the difference between microseconds and
+/// milliseconds on the chaos-soak and fuzz hot paths.
+struct Staging<T> {
+    /// Concatenated payload snapshots for the current step.
+    arena: Vec<T>,
+    /// `(arena_offset, len)` per transfer, indexed by transfer position.
+    segments: Vec<(usize, usize)>,
+    /// `(dst, dst_start, arena_offset, len, combine)` per delivery.
+    deliveries: Vec<(DpuId, usize, usize, usize, bool)>,
+}
+
+impl<T> Default for Staging<T> {
+    fn default() -> Self {
+        Staging {
+            arena: Vec::new(),
+            segments: Vec::new(),
+            deliveries: Vec::new(),
+        }
+    }
+}
+
+impl<T: Element> Staging<T> {
+    /// Snapshots every transfer payload of `step` out of `buffers`,
+    /// recording where each destination's delivery should land.
+    fn snapshot_step(&mut self, buffers: &[Vec<T>], step: &CommStep) {
+        self.arena.clear();
+        self.segments.clear();
+        self.deliveries.clear();
+        for t in &step.transfers {
+            let at = self.arena.len();
+            self.arena
+                .extend_from_slice(&buffers[t.src.index()][t.src_span.range()]);
+            let len = self.arena.len() - at;
+            self.segments.push((at, len));
+            for &dst in &t.dsts {
+                self.deliveries
+                    .push((dst, t.dst_span.start, at, len, t.combine));
+            }
+        }
+    }
+
+    /// The staged payload of the step's `ti`-th transfer.
+    fn transfer_payload(&self, ti: usize) -> &[T] {
+        let (at, len) = self.segments[ti];
+        &self.arena[at..at + len]
+    }
+
+    /// Applies every staged delivery to `buffers`, in transfer order.
+    fn apply(&self, buffers: &mut [Vec<T>], op: ReduceOp) {
+        for &(dst, start, at, len, combine) in &self.deliveries {
+            let payload = &self.arena[at..at + len];
+            let buf = &mut buffers[dst.index()];
+            if combine {
+                for (i, &v) in payload.iter().enumerate() {
+                    buf[start + i] = T::reduce(op, buf[start + i], v);
+                }
+            } else {
+                buf[start..start + len].copy_from_slice(payload);
+            }
+        }
     }
 }
 
@@ -416,9 +467,7 @@ mod tests {
             let elems = 24;
             let s = build(CollectiveKind::AllGather, n, elems);
             let m = run_collective(&s, ReduceOp::Sum, |id| input(id, elems)).unwrap();
-            let expected: Vec<u64> = (0..n)
-                .flat_map(|i| input(DpuId(i), elems))
-                .collect();
+            let expected: Vec<u64> = (0..n).flat_map(|i| input(DpuId(i), elems)).collect();
             for id in s.participants() {
                 assert_eq!(m.result(&s, id), expected, "node {id} (n={n})");
             }
@@ -536,7 +585,9 @@ mod tests {
         use pim_faults::FaultInjector;
         let s = build(CollectiveKind::AllReduce, 8, 16);
         let mut m = ExecMachine::init(&s, |id| input(id, 16));
-        let stats = m.run_with_faults(&s, ReduceOp::Sum, &FaultInjector::none()).unwrap();
+        let stats = m
+            .run_with_faults(&s, ReduceOp::Sum, &FaultInjector::none())
+            .unwrap();
         assert_eq!(stats, FaultStats::default());
     }
 

@@ -96,7 +96,8 @@ impl FabricConfig {
     /// Per-bank injection bandwidth on the ring: one channel per direction.
     #[must_use]
     pub fn ring_injection_bw(&self) -> Bandwidth {
-        self.bank_channel_bw.aggregate(u64::from(self.bank_channels) / 2)
+        self.bank_channel_bw
+            .aggregate(u64::from(self.bank_channels) / 2)
     }
 
     /// Inter-bank bisection bandwidth of one chip's ring: two segments cut,

@@ -94,10 +94,7 @@ impl PimRuntime {
     pub fn scatter<T: Element>(&mut self, data: &[T]) -> PimVector<T> {
         let n = self.dpus() as usize;
         let spans = crate::schedule::split_elems(data.len(), n);
-        let shards = spans
-            .iter()
-            .map(|s| data[s.range()].to_vec())
-            .collect();
+        let shards = spans.iter().map(|s| data[s.range()].to_vec()).collect();
         let bytes = Bytes::new(std::mem::size_of_val(data) as u64);
         self.clock += self.system.system().host.scatter_time(bytes);
         PimVector { shards }
@@ -232,7 +229,11 @@ impl<T: Element> PimVector<T> {
         for (i, shard) in self.shards.iter_mut().enumerate() {
             shard.copy_from_slice(&m.buffer(DpuId(i as u32))[..n]);
         }
-        rt.charge_collective(CollectiveKind::AllReduce, Self::per_dpu_bytes(n), elem::<T>())
+        rt.charge_collective(
+            CollectiveKind::AllReduce,
+            Self::per_dpu_bytes(n),
+            elem::<T>(),
+        )
     }
 
     /// In-place ReduceScatter: every shard becomes its fully-reduced,
@@ -241,11 +242,7 @@ impl<T: Element> PimVector<T> {
     /// # Errors
     ///
     /// Shards must have equal lengths; schedule errors propagate.
-    pub fn reduce_scatter(
-        &mut self,
-        rt: &mut PimRuntime,
-        op: ReduceOp,
-    ) -> Result<(), PimnetError> {
+    pub fn reduce_scatter(&mut self, rt: &mut PimRuntime, op: ReduceOp) -> Result<(), PimnetError> {
         let n = self.uniform_len()?;
         let schedule = rt.schedule_for::<T>(CollectiveKind::ReduceScatter, n)?;
         let m = self.run_schedule(&schedule, op);
@@ -272,7 +269,11 @@ impl<T: Element> PimVector<T> {
         for (i, shard) in self.shards.iter_mut().enumerate() {
             *shard = m.result(&schedule, DpuId(i as u32));
         }
-        rt.charge_collective(CollectiveKind::AllGather, Self::per_dpu_bytes(n), elem::<T>())
+        rt.charge_collective(
+            CollectiveKind::AllGather,
+            Self::per_dpu_bytes(n),
+            elem::<T>(),
+        )
     }
 
     /// In-place All-to-All transpose: shard `i`'s chunk `j` moves to shard
@@ -294,7 +295,11 @@ impl<T: Element> PimVector<T> {
         for (i, shard) in self.shards.iter_mut().enumerate() {
             *shard = m.result(&schedule, DpuId(i as u32));
         }
-        rt.charge_collective(CollectiveKind::AllToAll, Self::per_dpu_bytes(n), elem::<T>())
+        rt.charge_collective(
+            CollectiveKind::AllToAll,
+            Self::per_dpu_bytes(n),
+            elem::<T>(),
+        )
     }
 }
 
@@ -305,9 +310,9 @@ fn elem<T>() -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pim_arch::SystemConfig;
     use crate::fabric::FabricConfig;
     use pim_arch::PimGeometry;
+    use pim_arch::SystemConfig;
 
     fn small_rt(backend: BackendKind) -> PimRuntime {
         let sys = PimnetSystem::new(

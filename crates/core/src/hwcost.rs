@@ -13,7 +13,6 @@
 //! * inter-chip/inter-rank switch ≈ **0.013 mm²**, ≈ **17 mW** — negligible
 //!   next to the buffer chip.
 
-
 /// Area/power of one hardware block.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HwCost {

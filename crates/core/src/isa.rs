@@ -18,7 +18,6 @@
 use std::collections::HashMap;
 use std::fmt;
 
-
 use pim_arch::geometry::DpuId;
 
 use crate::error::PimnetError;
@@ -328,10 +327,11 @@ impl<T: Element> IsaMachine<T> {
                         PimInstr::Send { port, span, .. } => {
                             let seq = send_seq.entry(port).or_insert(0);
                             let payload = self.buffers[dpu][span.range()].to_vec();
-                            for &dst in
-                                compiled.plan.route(DpuId(dpu as u32), port, slot, *seq)
-                            {
-                                wires.entry((dst.0, port)).or_default().push(payload.clone());
+                            for &dst in compiled.plan.route(DpuId(dpu as u32), port, slot, *seq) {
+                                wires
+                                    .entry((dst.0, port))
+                                    .or_default()
+                                    .push(payload.clone());
                             }
                             *seq += 1;
                         }
@@ -346,8 +346,7 @@ impl<T: Element> IsaMachine<T> {
             }
             // 2. Apply local copies.
             for (dpu, dst, payload) in local {
-                self.buffers[dpu][dst.start..dst.start + payload.len()]
-                    .copy_from_slice(&payload);
+                self.buffers[dpu][dst.start..dst.start + payload.len()].copy_from_slice(&payload);
             }
             // 3. Deliver receives in program order per DPU.
             for (dpu, prog) in compiled.programs.iter().enumerate() {
@@ -396,11 +395,12 @@ fn take_wire<T>(
     dpu: u32,
     port: Port,
 ) -> Result<Vec<T>, crate::error::PimnetError> {
-    let q = wires.get_mut(&(dpu, port)).filter(|q| !q.is_empty()).ok_or_else(|| {
-        crate::error::PimnetError::ScheduleInvalid {
+    let q = wires
+        .get_mut(&(dpu, port))
+        .filter(|q| !q.is_empty())
+        .ok_or_else(|| crate::error::PimnetError::ScheduleInvalid {
             reason: format!("DPU{dpu}: Recv on {port} with no routed Send"),
-        }
-    })?;
+        })?;
     Ok(q.remove(0))
 }
 

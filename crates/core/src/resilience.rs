@@ -44,7 +44,7 @@ use pim_sim::Bytes;
 use crate::backends::{BaselineHostBackend, CollectiveBackend};
 use crate::collective::{CollectiveKind, CollectiveSpec};
 use crate::error::PimnetError;
-use crate::schedule::{repair, CommSchedule};
+use crate::schedule::{cache, repair, CommSchedule};
 use crate::timing::CommBreakdown;
 
 /// How a collective survived its dead DPUs and permanent fabric faults.
@@ -171,7 +171,13 @@ pub fn plan_degraded(
     dead.sort_unstable();
     dead.dedup();
     if dead.is_empty() {
-        let schedule = CommSchedule::build(kind, geometry, elems_per_node, elem_bytes)?;
+        // Built-and-validated schedules are pure functions of these
+        // parameters, so recall them from the schedule cache: chaos
+        // sweeps re-plan identical (kind, geometry, payload) points once
+        // per seed.
+        let schedule = cache::build_cached(kind, geometry, elems_per_node, elem_bytes)?
+            .as_ref()
+            .clone();
         if permanent.is_empty() {
             return Ok(DegradedPlan::Full(schedule));
         }
@@ -217,7 +223,16 @@ pub fn plan_degraded(
             // repair failed: shrinking would rebuild the same geometry
             // over the same broken fabric, so hand the collective to the
             // host with the repair failure on record.
-            Err(e) => return host_fallback(kind, elems_per_node, elem_bytes, system, Vec::new(), vec![e]),
+            Err(e) => {
+                return host_fallback(
+                    kind,
+                    elems_per_node,
+                    elem_bytes,
+                    system,
+                    Vec::new(),
+                    vec![e],
+                )
+            }
         }
     }
     let mut error_trail: Vec<PimnetError> = config_dead
@@ -244,9 +259,7 @@ pub fn plan_degraded(
             ),
         });
     }
-    let alive: Vec<u32> = (0..n)
-        .filter(|d| dead.binary_search(d).is_err())
-        .collect();
+    let alive: Vec<u32> = (0..n).filter(|d| dead.binary_search(d).is_err()).collect();
     if alive.is_empty() {
         return Err(PimnetError::InvalidGeometry {
             geometry: *geometry,
@@ -259,10 +272,11 @@ pub fn plan_degraded(
     let shrunk_n = prev_power_of_two(alive.len() as u32).min(256);
     if shrunk_n >= 2 {
         let shrunk_geometry = PimGeometry::paper_scaled(shrunk_n);
-        match CommSchedule::build(kind, &shrunk_geometry, elems_per_node, elem_bytes) {
+        match cache::build_cached(kind, &shrunk_geometry, elems_per_node, elem_bytes)
+            .map(|s| s.as_ref().clone())
+        {
             Ok(schedule) => {
-                let logical_to_physical: Vec<u32> =
-                    alive[..shrunk_n as usize].to_vec();
+                let logical_to_physical: Vec<u32> = alive[..shrunk_n as usize].to_vec();
                 let mut excluded = dead;
                 excluded.extend_from_slice(&alive[shrunk_n as usize..]);
                 excluded.sort_unstable();
@@ -372,10 +386,8 @@ mod tests {
                     .iter()
                     .all(|e| matches!(e, PimnetError::DeadDpu { .. })));
                 // The degraded schedule really runs.
-                let m = run_collective(&schedule, ReduceOp::Sum, |id| {
-                    vec![u64::from(id.0); 64]
-                })
-                .unwrap();
+                let m = run_collective(&schedule, ReduceOp::Sum, |id| vec![u64::from(id.0); 64])
+                    .unwrap();
                 assert_eq!(m.nodes(), 8);
             }
             other => panic!("expected Shrunk, got {other:?}"),
@@ -448,14 +460,10 @@ mod tests {
                 crate::schedule::validate::validate(schedule).unwrap();
                 // Bit-identical to the fault-free plan.
                 let clean = CommSchedule::build(CollectiveKind::AllReduce, &g, 64, 4).unwrap();
-                let a = run_collective(schedule, ReduceOp::Sum, |id| {
-                    vec![u64::from(id.0); 64]
-                })
-                .unwrap();
-                let b = run_collective(&clean, ReduceOp::Sum, |id| {
-                    vec![u64::from(id.0); 64]
-                })
-                .unwrap();
+                let a = run_collective(schedule, ReduceOp::Sum, |id| vec![u64::from(id.0); 64])
+                    .unwrap();
+                let b =
+                    run_collective(&clean, ReduceOp::Sum, |id| vec![u64::from(id.0); 64]).unwrap();
                 assert_eq!(a, b);
             }
             other => panic!("expected Repaired, got tier {}", other.tier_name()),
@@ -475,8 +483,8 @@ mod tests {
                 ..FaultConfig::none()
             });
             for kind in CollectiveKind::ALL {
-                let plan = plan_degraded(kind, &g, 32, 4, &inj, &SystemConfig::paper_scaled(64))
-                    .unwrap();
+                let plan =
+                    plan_degraded(kind, &g, 32, 4, &inj, &SystemConfig::paper_scaled(64)).unwrap();
                 if let DegradedPlan::Repaired { schedule, .. } = &plan {
                     let report = crate::analysis::run_all(schedule);
                     assert!(
@@ -568,9 +576,16 @@ mod tests {
         let g = PimGeometry::paper_scaled(64);
         let sys = SystemConfig::paper_scaled(64);
         let tier = |cfg: FaultConfig| {
-            plan_degraded(CollectiveKind::AllReduce, &g, 32, 4, &FaultInjector::new(cfg), &sys)
-                .unwrap()
-                .tier()
+            plan_degraded(
+                CollectiveKind::AllReduce,
+                &g,
+                32,
+                4,
+                &FaultInjector::new(cfg),
+                &sys,
+            )
+            .unwrap()
+            .tier()
         };
         let none = tier(FaultConfig::none());
         let seg = tier(FaultConfig {

@@ -194,9 +194,7 @@ mod tests {
         let plan = AllReduceAddressPlan::compile(&g, elems, times());
         // Within one chip, the 8 banks start at 8 distinct, evenly spaced
         // addresses (Fig 9(a)).
-        let starts: Vec<usize> = (0..8)
-            .map(|b| plan.banks[b].rs_bank.start_addr)
-            .collect();
+        let starts: Vec<usize> = (0..8).map(|b| plan.banks[b].rs_bank.start_addr).collect();
         assert_eq!(starts, vec![0, 1024, 2048, 3072, 4096, 5120, 6144, 7168]);
     }
 

@@ -76,7 +76,13 @@ pub(super) fn build(
     elem_bytes: u32,
     scatter: bool,
 ) -> CommSchedule {
-    build_with(geometry, elems, elem_bytes, scatter, AllReduceOptions::default())
+    build_with(
+        geometry,
+        elems,
+        elem_bytes,
+        scatter,
+        AllReduceOptions::default(),
+    )
 }
 
 pub(super) fn build_with(
@@ -112,10 +118,9 @@ pub(super) fn build_with(
         for chip in 0..chips {
             for (h, dir) in [(0usize, Direction::East), (1usize, Direction::West)] {
                 let nodes = ring_nodes(geometry, rank, chip, dir);
-                let (steps, owners) =
-                    ring_reduce_scatter(&nodes, &bank_chunks[h], |src, dst| {
-                        ring_path(geometry, src, dst, dir)
-                    });
+                let (steps, owners) = ring_reduce_scatter(&nodes, &bank_chunks[h], |src, dst| {
+                    ring_path(geometry, src, dst, dir)
+                });
                 for (s, transfers) in steps.into_iter().enumerate() {
                     bank_rs_steps[s].extend(transfers);
                 }
@@ -257,8 +262,8 @@ pub(super) fn build_with(
                             bank,
                         });
                         for h in 0..2 {
-                            let quarter = owned[src.index()].half[h]
-                                .split(ranks as usize)[src_rank as usize];
+                            let quarter =
+                                owned[src.index()].half[h].split(ranks as usize)[src_rank as usize];
                             let dsts: Vec<DpuId> = (0..ranks)
                                 .filter(|&r| r != src_rank)
                                 .map(|r| {
@@ -459,10 +464,7 @@ mod tests {
     fn single_rank_allreduce_skips_the_bus() {
         let g = PimGeometry::new(8, 8, 1, 1);
         let s = build(&g, 4096, 4, false);
-        assert!(s
-            .phases
-            .iter()
-            .all(|p| p.label != PhaseLabel::InterRank));
+        assert!(s.phases.iter().all(|p| p.label != PhaseLabel::InterRank));
     }
 
     #[test]
@@ -568,10 +570,8 @@ mod tests {
             },
         ] {
             let s = build_with(&g, elems, 4, false, opts);
-            let m = run_collective(&s, ReduceOp::Sum, |id| {
-                vec![u64::from(id.0) + 1; elems]
-            })
-            .unwrap_or_else(|e| panic!("{opts:?}: {e}"));
+            let m = run_collective(&s, ReduceOp::Sum, |id| vec![u64::from(id.0) + 1; elems])
+                .unwrap_or_else(|e| panic!("{opts:?}: {e}"));
             let expected: u64 = (1..=64).sum();
             for id in s.participants() {
                 assert!(

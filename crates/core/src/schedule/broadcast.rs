@@ -99,10 +99,11 @@ pub(super) fn build_broadcast(
         for rank in 0..ranks {
             let nodes: Vec<DpuId> = (0..chips).map(|c| at(geometry, rank, c, 0)).collect();
             let owners: Vec<usize> = (0..chips as usize).collect();
-            for (s, transfers) in
-                ring_all_gather(&nodes, &chunks, &owners, |a, b| chip_ring_path(geometry, a, b))
-                    .into_iter()
-                    .enumerate()
+            for (s, transfers) in ring_all_gather(&nodes, &chunks, &owners, |a, b| {
+                chip_ring_path(geometry, a, b)
+            })
+            .into_iter()
+            .enumerate()
             {
                 steps[s].extend(transfers);
             }
@@ -128,12 +129,7 @@ pub(super) fn build_broadcast(
                         src_span: Span::new(0, elems),
                         dst_span: Span::new(0, elems),
                         combine: false,
-                        resources: ring_path(
-                            geometry,
-                            src,
-                            dst,
-                            shorter_direction(banks, 0, bank),
-                        ),
+                        resources: ring_path(geometry, src, dst, shorter_direction(banks, 0, bank)),
                     });
                 }
             }
@@ -376,10 +372,7 @@ mod tests {
     fn broadcast_result_is_everywhere() {
         let g = PimGeometry::paper_scaled(32);
         let s = build_broadcast(&g, 128, 4);
-        assert!(s
-            .result_spans
-            .iter()
-            .all(|r| r == &vec![Span::new(0, 128)]));
+        assert!(s.result_spans.iter().all(|r| r == &vec![Span::new(0, 128)]));
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! Memoized schedule construction.
+//!
+//! Schedules are pure functions of their build parameters: the same
+//! `(collective kind, geometry, payload split, permanent-fault set)` always
+//! compiles to the same `CommSchedule`. Yet the sweeps that dominate this
+//! workspace's wall-clock — chaos soaks, preset lint matrices, the
+//! figure-scaling curves, `resilience::plan_degraded` under storms —
+//! rebuild identical schedules thousands of times, once per seed or per
+//! backend. This module memoizes the build **and the validation**: a cache
+//! hit hands back a schedule that already passed
+//! [`validate::validate`], shared behind an
+//! [`Arc`].
+//!
+//! # Key derivation
+//!
+//! The cache key is the exact quadruple that determines builder output:
+//!
+//! * the [`CollectiveKind`],
+//! * the full [`PimGeometry`] (all four dimensions, not just the DPU
+//!   count — two geometries with equal products build different rings),
+//! * the payload split `(elems_per_node, elem_bytes)`,
+//! * a **fingerprint of the permanent-fault set** for repaired schedules:
+//!   an FNV-1a hash folded over the set's segments, ports and dead ranks in
+//!   their canonical (`BTreeSet`) order, so the fingerprint is stable
+//!   across runs and platforms. The empty set hashes to the fault-free
+//!   fingerprint, which is the plain builder's key space.
+//!
+//! Entries are never invalidated (build parameters fully determine the
+//! value); [`clear`] exists for benchmarks that want a cold start. The
+//! cache is process-global and thread-safe — the deterministic fan-out in
+//! [`pim_sim::par`] shares it across workers, and because every worker
+//! would build bit-identical schedules anyway, sharing is unobservable in
+//! results.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use pim_arch::geometry::PimGeometry;
+use pim_faults::permanent::PermanentFaultSet;
+
+use crate::collective::CollectiveKind;
+use crate::error::PimnetError;
+
+use super::repair::RepairedSchedule;
+use super::{validate, CommSchedule};
+
+/// Cache key: everything that determines builder (and repair) output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    kind: CollectiveKind,
+    geometry: PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    /// [`fault_fingerprint`] of the permanent-fault set; `EMPTY_FAULTS`
+    /// for plain (unrepaired) schedules.
+    repair: u64,
+    /// Separates plain entries from (identity-)repaired entries whose
+    /// fault fingerprint is the empty-set fingerprint.
+    repaired: bool,
+}
+
+/// One memoized value: a validated plain schedule, or a repaired one.
+#[derive(Debug, Clone)]
+enum Entry {
+    Plain(Arc<CommSchedule>),
+    Repaired(Arc<RepairedSchedule>),
+}
+
+/// A table slot: either a finished entry, or a build in flight. Pending
+/// slots are what make concurrent misses on the same key build **once**:
+/// the first worker claims the slot and builds outside the table lock,
+/// later workers block on the slot's condvar instead of duplicating the
+/// build.
+#[derive(Debug, Clone)]
+enum Slot {
+    Ready(Entry),
+    Pending(Arc<Pending>),
+}
+
+/// Rendezvous for workers waiting on an in-flight build.
+#[derive(Debug)]
+struct Pending {
+    state: Mutex<PendState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+enum PendState {
+    Building,
+    Done(Entry),
+    /// The build errored; waiters retry (and typically reproduce the
+    /// error themselves, since errors are not cached).
+    Failed,
+}
+
+impl Pending {
+    fn new() -> Self {
+        Pending {
+            state: Mutex::new(PendState::Building),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn finish(&self, outcome: Option<Entry>) {
+        let mut state = match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *state = match outcome {
+            Some(e) => PendState::Done(e),
+            None => PendState::Failed,
+        };
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the in-flight build resolves; `None` means it failed
+    /// and the caller should retry from the top.
+    fn wait(&self) -> Option<Entry> {
+        let mut state = match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        loop {
+            match &*state {
+                PendState::Done(e) => return Some(e.clone()),
+                PendState::Failed => return None,
+                PendState::Building => {
+                    state = match self.cv.wait(state) {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Running cache counters (process-global, monotone until
+/// [`reset_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build (and validate) a schedule.
+    pub misses: u64,
+    /// Schedules actually constructed (equals `misses` that succeeded).
+    pub schedules_built: u64,
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static BUILT: AtomicU64 = AtomicU64::new(0);
+
+fn table() -> &'static Mutex<HashMap<Key, Slot>> {
+    static TABLE: OnceLock<Mutex<HashMap<Key, Slot>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock_table() -> std::sync::MutexGuard<'static, HashMap<Key, Slot>> {
+    // A poisoned cache means a builder panicked mid-insert; the map itself
+    // is still a plain HashMap in a consistent state, so keep serving.
+    match table().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Looks `key` up, waiting out any in-flight build; on a cold key, runs
+/// `build` (outside the table lock) and publishes the result.
+///
+/// Exactly one worker builds a given key no matter how many miss on it
+/// concurrently, so `schedules_built` is invariant in the worker count.
+/// Errors are not cached: the pending slot is removed and every waiter
+/// retries (reproducing the cheap, request-specific error itself).
+fn get_or_build(
+    key: Key,
+    build: impl Fn() -> Result<Entry, PimnetError>,
+) -> Result<Entry, PimnetError> {
+    loop {
+        let pending = {
+            let mut map = lock_table();
+            match map.get(&key) {
+                Some(Slot::Ready(e)) => {
+                    HITS.fetch_add(1, Ordering::Relaxed);
+                    return Ok(e.clone());
+                }
+                Some(Slot::Pending(p)) => p.clone(),
+                None => {
+                    let p = Arc::new(Pending::new());
+                    map.insert(key, Slot::Pending(p.clone()));
+                    drop(map);
+                    MISSES.fetch_add(1, Ordering::Relaxed);
+                    match build() {
+                        Ok(entry) => {
+                            BUILT.fetch_add(1, Ordering::Relaxed);
+                            lock_table().insert(key, Slot::Ready(entry.clone()));
+                            p.finish(Some(entry.clone()));
+                            return Ok(entry);
+                        }
+                        Err(e) => {
+                            // Drop our pending slot (unless clear() or a
+                            // retrying waiter already replaced it).
+                            let mut map = lock_table();
+                            if matches!(map.get(&key),
+                                Some(Slot::Pending(q)) if Arc::ptr_eq(q, &p))
+                            {
+                                map.remove(&key);
+                            }
+                            drop(map);
+                            p.finish(None);
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        };
+        // Someone else is building this key: wait for them. A successful
+        // build counts as a hit for us; a failed one sends us back around
+        // the loop to try building it ourselves.
+        if let Some(entry) = pending.wait() {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return Ok(entry);
+        }
+    }
+}
+
+/// Fingerprint of the empty fault set (FNV-1a offset basis).
+const EMPTY_FAULTS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Stable FNV-1a fingerprint of a permanent-fault set, folded over the
+/// set's canonical (`BTreeSet`-ordered) contents. Identical sets — however
+/// they were produced (parsed tokens, seeded sampling, merges) — hash
+/// identically on every platform; the empty set hashes to the fault-free
+/// fingerprint.
+#[must_use]
+pub fn fault_fingerprint(faults: &PermanentFaultSet) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = EMPTY_FAULTS;
+    let mut fold = |tag: u64, vals: [u64; 3]| {
+        for v in std::iter::once(tag).chain(vals) {
+            h = (h ^ v).wrapping_mul(PRIME);
+        }
+    };
+    for s in &faults.segments {
+        fold(
+            1,
+            [
+                u64::from(s.rank) << 32 | u64::from(s.chip),
+                u64::from(s.from_bank),
+                u64::from(s.east),
+            ],
+        );
+    }
+    for p in &faults.ports {
+        fold(
+            2,
+            [
+                u64::from(p.rank) << 32 | u64::from(p.chip),
+                p.side as u64,
+                0,
+            ],
+        );
+    }
+    for &r in &faults.dead_ranks {
+        fold(3, [u64::from(r), 0, 0]);
+    }
+    h
+}
+
+/// Builds (or recalls) the schedule for `kind` on `geometry`, validated.
+///
+/// On a miss this is [`CommSchedule::build`] followed by
+/// [`validate::validate`]; on a hit it is a map lookup and an `Arc` clone.
+/// Build or validation errors are returned and **not** cached (they are
+/// cheap to reproduce and carry request-specific messages).
+///
+/// # Errors
+///
+/// Whatever [`CommSchedule::build`] or [`validate::validate`] return.
+pub fn build_cached(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+) -> Result<Arc<CommSchedule>, PimnetError> {
+    let key = Key {
+        kind,
+        geometry: *geometry,
+        elems_per_node,
+        elem_bytes,
+        repair: EMPTY_FAULTS,
+        repaired: false,
+    };
+    let entry = get_or_build(key, || {
+        let schedule = CommSchedule::build(kind, geometry, elems_per_node, elem_bytes)?;
+        validate::validate(&schedule)?;
+        Ok(Entry::Plain(Arc::new(schedule)))
+    })?;
+    match entry {
+        Entry::Plain(s) => Ok(s),
+        Entry::Repaired(_) => unreachable!("plain key holds a repaired entry"),
+    }
+}
+
+/// Builds (or recalls) the *repaired* schedule for `kind` on `geometry`
+/// under `faults`, keyed by the fault set's [`fault_fingerprint`].
+///
+/// The base schedule comes through [`build_cached`]; the repair itself
+/// (which re-validates its output) runs only on a miss. An empty fault set
+/// degenerates to the identity repair of the cached base schedule.
+///
+/// # Errors
+///
+/// Whatever [`build_cached`] or
+/// [`repair`](super::repair::repair) return.
+pub fn repair_cached(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    faults: &PermanentFaultSet,
+) -> Result<Arc<RepairedSchedule>, PimnetError> {
+    let key = Key {
+        kind,
+        geometry: *geometry,
+        elems_per_node,
+        elem_bytes,
+        repair: fault_fingerprint(faults),
+        repaired: true,
+    };
+    let entry = get_or_build(key, || {
+        let base = build_cached(kind, geometry, elems_per_node, elem_bytes)?;
+        let repaired = super::repair::repair(&base, faults)?;
+        Ok(Entry::Repaired(Arc::new(repaired)))
+    })?;
+    match entry {
+        Entry::Repaired(r) => Ok(r),
+        Entry::Plain(_) => unreachable!("repaired key holds a plain entry"),
+    }
+}
+
+/// Current counters.
+#[must_use]
+pub fn stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        schedules_built: BUILT.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the counters (the cached entries stay).
+pub fn reset_stats() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+    BUILT.store(0, Ordering::Relaxed);
+}
+
+/// Drops every cached schedule (counters stay). Benchmarks use this to
+/// measure cold-cache builds.
+pub fn clear() {
+    lock_table().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: u32) -> PimGeometry {
+        PimGeometry::paper_scaled(n)
+    }
+
+    #[test]
+    fn hit_returns_the_same_validated_schedule() {
+        clear();
+        let a = build_cached(CollectiveKind::AllReduce, &g(16), 96, 4).unwrap();
+        let before = stats();
+        let b = build_cached(CollectiveKind::AllReduce, &g(16), 96, 4).unwrap();
+        let after = stats();
+        assert!(Arc::ptr_eq(&a, &b), "hit must share the entry");
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.schedules_built, before.schedules_built);
+        // Structurally equal to a fresh, uncached build.
+        let fresh = CommSchedule::build(CollectiveKind::AllReduce, &g(16), 96, 4).unwrap();
+        assert_eq!(*a, fresh);
+    }
+
+    #[test]
+    fn distinct_parameters_do_not_collide() {
+        clear();
+        let a = build_cached(CollectiveKind::AllReduce, &g(8), 64, 4).unwrap();
+        let b = build_cached(CollectiveKind::AllGather, &g(8), 64, 4).unwrap();
+        let c = build_cached(CollectiveKind::AllReduce, &g(8), 65, 4).unwrap();
+        let d = build_cached(CollectiveKind::AllReduce, &g(8), 64, 8).unwrap();
+        assert_ne!(*a, *b);
+        assert_ne!(*a, *c);
+        assert_ne!(*a, *d);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        clear();
+        let bad = build_cached(CollectiveKind::AllReduce, &g(8), 64, 0);
+        assert!(bad.is_err());
+        assert!(build_cached(CollectiveKind::AllReduce, &g(8), 64, 4).is_ok());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let empty = PermanentFaultSet::none();
+        assert_eq!(fault_fingerprint(&empty), EMPTY_FAULTS);
+        let a = PermanentFaultSet::parse_tokens("r0c0b1E,r0c1tx").unwrap();
+        let b = PermanentFaultSet::parse_tokens("r0c1tx,r0c0b1E").unwrap();
+        assert_eq!(
+            fault_fingerprint(&a),
+            fault_fingerprint(&b),
+            "token order is canonicalized by the BTreeSets"
+        );
+        let c = PermanentFaultSet::parse_tokens("r0c0b1W").unwrap();
+        assert_ne!(fault_fingerprint(&a), fault_fingerprint(&c));
+        let d = PermanentFaultSet::parse_tokens("rank1").unwrap();
+        assert_ne!(fault_fingerprint(&c), fault_fingerprint(&d));
+    }
+
+    #[test]
+    fn repair_cached_matches_a_fresh_repair() {
+        clear();
+        let faults = PermanentFaultSet::parse_tokens("r0c0b2E").unwrap();
+        let a = repair_cached(CollectiveKind::AllReduce, &g(8), 128, 4, &faults).unwrap();
+        let b = repair_cached(CollectiveKind::AllReduce, &g(8), 128, 4, &faults).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let base = CommSchedule::build(CollectiveKind::AllReduce, &g(8), 128, 4).unwrap();
+        let fresh = super::super::repair::repair(&base, &faults).unwrap();
+        assert_eq!(*a, fresh);
+        // The fault-free fingerprint shares the plain builder's key space
+        // but the entry kinds do not collide.
+        let plain = build_cached(CollectiveKind::AllReduce, &g(8), 128, 4).unwrap();
+        let identity = repair_cached(
+            CollectiveKind::AllReduce,
+            &g(8),
+            128,
+            4,
+            &PermanentFaultSet::none(),
+        );
+        assert!(identity.is_ok());
+        assert_eq!(identity.unwrap().schedule, *plain);
+    }
+}

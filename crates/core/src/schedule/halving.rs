@@ -165,10 +165,8 @@ mod tests {
             let elems = 512usize;
             let s = build_halving_doubling(&g, elems, 4).unwrap();
             validate(&s).unwrap();
-            let m = run_collective(&s, ReduceOp::Sum, |id| {
-                vec![u64::from(id.0) + 1; elems]
-            })
-            .unwrap();
+            let m =
+                run_collective(&s, ReduceOp::Sum, |id| vec![u64::from(id.0) + 1; elems]).unwrap();
             let expected: u64 = (1..=u64::from(n)).sum();
             for id in s.participants() {
                 assert!(

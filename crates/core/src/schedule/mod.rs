@@ -31,6 +31,7 @@ mod allgather;
 mod allreduce;
 mod alltoall;
 mod broadcast;
+pub mod cache;
 pub mod halving;
 pub mod repair;
 mod ring;
@@ -53,9 +54,7 @@ use crate::topology::Resource;
 /// A contiguous range of elements within a node's communication buffer.
 ///
 /// (A `Copy` stand-in for `Range<usize>`, which is not `Copy`.)
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Span {
     /// First element index.
     pub start: usize,
@@ -297,7 +296,12 @@ impl CommSchedule {
         }
         let schedule = match kind {
             CollectiveKind::AllReduce => {
-                allreduce::build(geometry, elems_per_node, elem_bytes, /*scatter=*/ false)
+                allreduce::build(
+                    geometry,
+                    elems_per_node,
+                    elem_bytes,
+                    /*scatter=*/ false,
+                )
             }
             CollectiveKind::ReduceScatter => {
                 allreduce::build(geometry, elems_per_node, elem_bytes, /*scatter=*/ true)
@@ -390,11 +394,7 @@ pub fn split_elems(n: usize, k: usize) -> Vec<Span> {
 /// Resources for one hop of a logical inter-chip ring (an adjacency the
 /// buffer-chip crossbar is configured into): the source chip's DQ send
 /// channel and the destination chip's DQ receive channel.
-pub(crate) fn chip_ring_path(
-    geometry: &PimGeometry,
-    src: DpuId,
-    dst: DpuId,
-) -> Vec<Resource> {
+pub(crate) fn chip_ring_path(geometry: &PimGeometry, src: DpuId, dst: DpuId) -> Vec<Resource> {
     crate::topology::chip_path(geometry, src, dst)
 }
 

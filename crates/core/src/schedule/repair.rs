@@ -154,10 +154,7 @@ fn repair_transfer(
             let reverse = ring_path(g, t.src, dst, dir.opposite());
             if path_hits_dead_segment(faults, &reverse) {
                 return Err(PimnetError::Unroutable {
-                    reason: format!(
-                        "ring pair {} -> {dst} is dead in both directions",
-                        t.src
-                    ),
+                    reason: format!("ring pair {} -> {dst} is dead in both directions", t.src),
                 });
             }
             report.rerouted_transfers += 1;
@@ -354,11 +351,7 @@ pub fn repair(
         });
     }
     let g = &schedule.geometry;
-    if let Some(&rank) = faults
-        .dead_ranks
-        .iter()
-        .find(|&&r| r < g.ranks_per_channel)
-    {
+    if let Some(&rank) = faults.dead_ranks.iter().find(|&&r| r < g.ranks_per_channel) {
         return Err(PimnetError::DeadRank { rank });
     }
 
@@ -533,8 +526,7 @@ mod tests {
             for elems in [1usize, 3] {
                 let s = build(kind, 64, elems);
                 let f = faults("r0c0b1E, r0c2tx");
-                let r = repair(&s, &f)
-                    .unwrap_or_else(|e| panic!("{kind} elems={elems}: {e}"));
+                let r = repair(&s, &f).unwrap_or_else(|e| panic!("{kind} elems={elems}: {e}"));
                 super::super::validate::validate(&r.schedule)
                     .unwrap_or_else(|e| panic!("{kind} elems={elems}: {e}"));
                 assert_eq!(
@@ -571,8 +563,7 @@ mod tests {
         for kind in CollectiveKind::ALL {
             let s = build(kind, 128, 128);
             let r = repair(&s, &f).unwrap_or_else(|e| panic!("{kind}: {e}"));
-            super::super::validate::validate(&r.schedule)
-                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            super::super::validate::validate(&r.schedule).unwrap_or_else(|e| panic!("{kind}: {e}"));
             assert_eq!(
                 exec_sum(&r.schedule, 128),
                 exec_sum(&s, 128),
@@ -640,7 +631,11 @@ mod tests {
         // fight over one exclusive segment, so they must serialize with B
         // (the reader) first.
         let seg = Resource::RingSegment {
-            chip: ChipLoc { channel: 0, rank: 0, chip: 0 },
+            chip: ChipLoc {
+                channel: 0,
+                rank: 0,
+                chip: 0,
+            },
             from_bank: 0,
             dir: Direction::East,
         };

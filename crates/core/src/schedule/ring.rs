@@ -45,7 +45,11 @@ pub fn ring_reduce_scatter(
     mut path: impl FnMut(DpuId, DpuId) -> Vec<Resource>,
 ) -> (Vec<Vec<Transfer>>, Vec<usize>) {
     let k = nodes.len();
-    assert_eq!(k, chunks.len(), "ring_reduce_scatter: nodes/chunks mismatch");
+    assert_eq!(
+        k,
+        chunks.len(),
+        "ring_reduce_scatter: nodes/chunks mismatch"
+    );
     assert!(k > 0, "ring_reduce_scatter: empty ring");
     let mut steps = Vec::with_capacity(k.saturating_sub(1));
     for s in 0..k - 1 {

@@ -18,7 +18,6 @@
 
 use std::collections::HashMap;
 
-
 use crate::error::PimnetError;
 use crate::topology::{ChipLoc, Resource};
 
@@ -136,12 +135,16 @@ fn check_transfer(
 
     if t.is_local() {
         if t.dsts != [t.src] {
-            return Err(invalid(format!("{ctx}: resource-less transfer must be local")));
+            return Err(invalid(format!(
+                "{ctx}: resource-less transfer must be local"
+            )));
         }
         return Ok(());
     }
     if t.dsts.contains(&t.src) {
-        return Err(invalid(format!("{ctx}: node sends to itself over the fabric")));
+        return Err(invalid(format!(
+            "{ctx}: node sends to itself over the fabric"
+        )));
     }
 
     // Path/endpoint consistency per tier.
@@ -149,16 +152,21 @@ fn check_transfer(
     let all_same_chip = t.dsts.iter().all(|&d| g.same_chip(t.src, d));
     let all_same_rank = t.dsts.iter().all(|&d| g.same_rank(t.src, d));
     let crosses_rank = t.dsts.iter().any(|&d| !g.same_rank(t.src, d));
-    let uses_bus = t.resources.iter().any(|r| matches!(r, Resource::RankBus { .. }));
+    let uses_bus = t
+        .resources
+        .iter()
+        .any(|r| matches!(r, Resource::RankBus { .. }));
     let uses_ring = t
         .resources
         .iter()
         .any(|r| matches!(r, Resource::RingSegment { .. }));
 
     if all_same_chip {
-        if !t.resources.iter().all(|r| {
-            matches!(r, Resource::RingSegment { chip, .. } if *chip == ChipLoc::of(src))
-        }) {
+        if !t
+            .resources
+            .iter()
+            .all(|r| matches!(r, Resource::RingSegment { chip, .. } if *chip == ChipLoc::of(src)))
+        {
             return Err(invalid(format!(
                 "{ctx}: same-chip transfer must use only its own ring segments"
             )));

@@ -119,7 +119,10 @@ impl SyncModel {
             }
         }
         if !missing.is_empty() {
-            return Err(PimnetError::SyncTimeout { timeout_ns, missing });
+            return Err(PimnetError::SyncTimeout {
+                timeout_ns,
+                missing,
+            });
         }
         let total = self.barrier(scope, skew + SimTime::from_ns(straggle_ns));
         if total > SimTime::from_ns(timeout_ns) {
@@ -176,7 +179,13 @@ mod tests {
         let m = SyncModel::default();
         let ids = (0..8).map(DpuId);
         let t = m
-            .barrier_with_faults(SyncScope::Chip, SimTime::ZERO, ids, &FaultInjector::none(), 0)
+            .barrier_with_faults(
+                SyncScope::Chip,
+                SimTime::ZERO,
+                ids,
+                &FaultInjector::none(),
+                0,
+            )
             .unwrap();
         assert_eq!(t, m.barrier(SyncScope::Chip, SimTime::ZERO));
     }
@@ -240,7 +249,10 @@ mod tests {
             .barrier_with_faults(SyncScope::Chip, SimTime::ZERO, (0..8).map(DpuId), &inj, 0)
             .unwrap_err();
         match err {
-            PimnetError::SyncTimeout { missing, timeout_ns } => {
+            PimnetError::SyncTimeout {
+                missing,
+                timeout_ns,
+            } => {
                 assert!(missing.is_empty());
                 assert_eq!(timeout_ns, 10);
             }

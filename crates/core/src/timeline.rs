@@ -60,7 +60,7 @@ impl Timeline {
         let sync = SyncModel::from_fabric(&timing.fabric)
             .barrier(timing.scope_of(schedule), SimTime::ZERO);
         let mut cursor = sync;
-        let mut windows = Vec::new();
+        let mut windows = Vec::with_capacity(schedule.transfer_count());
         for (pi, phase) in schedule.phases.iter().enumerate() {
             for (si, step) in phase.steps.iter().enumerate() {
                 let step_time = timing.step_time(schedule, step);
@@ -134,12 +134,10 @@ impl Timeline {
             .map(|id| injector.straggler_delay_ns(id.0, 0))
             .max()
             .unwrap_or(0);
-        let sync = SyncModel::from_fabric(&timing.fabric).barrier(
-            timing.scope_of(schedule),
-            SimTime::from_ns(straggle_ns),
-        );
+        let sync = SyncModel::from_fabric(&timing.fabric)
+            .barrier(timing.scope_of(schedule), SimTime::from_ns(straggle_ns));
         let mut cursor = sync;
-        let mut windows = Vec::new();
+        let mut windows = Vec::with_capacity(schedule.transfer_count());
         for (pi, phase) in schedule.phases.iter().enumerate() {
             for (si, step) in phase.steps.iter().enumerate() {
                 let base = timing.step_time(schedule, step);
@@ -209,8 +207,8 @@ impl Timeline {
     ) -> Result<(Timeline, crate::schedule::repair::RepairReport), PimnetError> {
         let repaired = crate::schedule::repair::repair(schedule, faults)?;
         let mut t = Timeline::build(&repaired.schedule, timing);
-        let overhead = SyncModel::from_fabric(&timing.fabric)
-            .repair_overhead(repaired.report.extra_steps);
+        let overhead =
+            SyncModel::from_fabric(&timing.fabric).repair_overhead(repaired.report.extra_steps);
         if overhead > SimTime::ZERO {
             t.sync += overhead;
             for w in &mut t.windows {
@@ -296,8 +294,7 @@ mod tests {
         use pim_faults::FaultInjector;
         let (s, plain) = timeline(CollectiveKind::AllReduce, 32, 512);
         let faulty =
-            Timeline::build_with_faults(&s, &TimingModel::paper(), &FaultInjector::none())
-                .unwrap();
+            Timeline::build_with_faults(&s, &TimingModel::paper(), &FaultInjector::none()).unwrap();
         assert_eq!(faulty, plain);
     }
 
@@ -361,8 +358,7 @@ mod tests {
         let (s, plain) = timeline(CollectiveKind::AllReduce, 8, 1024);
         let m = TimingModel::paper();
         // Identity repair reproduces the plain timeline exactly.
-        let (t, report) =
-            Timeline::build_repaired(&s, &m, &PermanentFaultSet::none()).unwrap();
+        let (t, report) = Timeline::build_repaired(&s, &m, &PermanentFaultSet::none()).unwrap();
         assert_eq!(t, plain);
         assert!(report.is_identity());
         // A dead segment costs: reroute hops, serialization, and (when

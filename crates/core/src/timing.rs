@@ -191,8 +191,7 @@ impl TimingModel {
     /// DMA-staged from MRAM before sending and back after receiving.
     #[must_use]
     pub fn mem_overhead(&self, schedule: &CommSchedule) -> SimTime {
-        let footprint =
-            Bytes::new(schedule.buffer_len as u64 * u64::from(schedule.elem_bytes));
+        let footprint = Bytes::new(schedule.buffer_len as u64 * u64::from(schedule.elem_bytes));
         let overflow = self.system.memory.wram_overflow(footprint);
         if overflow.is_zero() {
             SimTime::ZERO

@@ -17,9 +17,7 @@ use pim_arch::geometry::{DpuCoord, DpuId, PimGeometry};
 use crate::fabric::FabricConfig;
 
 /// Direction of travel on an inter-bank ring.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Direction {
     /// Towards increasing bank index (wrapping).
     East,
@@ -57,9 +55,7 @@ impl fmt::Display for Direction {
 }
 
 /// Location of a DRAM chip within the system.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChipLoc {
     /// Memory channel index.
     pub channel: u32,
@@ -92,9 +88,7 @@ impl fmt::Display for ChipLoc {
 /// A schedule transfer lists every resource it occupies for its duration
 /// (PIMnet stops are bufferless, so a multi-hop ring transfer holds all its
 /// segments cut-through).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Resource {
     /// The ring segment leaving bank `from_bank` of chip `chip` in
     /// direction `dir` (a 16-bit slice of the bank-group I/O bus).
@@ -167,12 +161,7 @@ impl fmt::Display for Resource {
 ///
 /// Panics if the two DPUs are not on the same chip.
 #[must_use]
-pub fn ring_path(
-    geometry: &PimGeometry,
-    src: DpuId,
-    dst: DpuId,
-    dir: Direction,
-) -> Vec<Resource> {
+pub fn ring_path(geometry: &PimGeometry, src: DpuId, dst: DpuId, dir: Direction) -> Vec<Resource> {
     let (a, b) = (geometry.coord(src), geometry.coord(dst));
     assert!(
         geometry.same_chip(src, dst),
@@ -344,9 +333,7 @@ mod tests {
         let p = ring_path(&g(), DpuId(0), DpuId(1), Direction::East);
         assert_eq!(p.len(), 1);
         match p[0] {
-            Resource::RingSegment {
-                from_bank, dir, ..
-            } => {
+            Resource::RingSegment { from_bank, dir, .. } => {
                 assert_eq!(from_bank, 0);
                 assert_eq!(dir, Direction::East);
             }

@@ -133,11 +133,12 @@ impl FaultConfig {
             if line.is_empty() {
                 continue;
             }
-            let (key, value) = line
-                .split_once('=')
-                .ok_or_else(|| format!("line {}: expected `key = value`, got `{raw}`", lineno + 1))?;
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                format!("line {}: expected `key = value`, got `{raw}`", lineno + 1)
+            })?;
             let (key, value) = (key.trim(), value.trim());
-            let bad = |e: &dyn fmt::Display| format!("line {}: bad value for {key}: {e}", lineno + 1);
+            let bad =
+                |e: &dyn fmt::Display| format!("line {}: bad value for {key}: {e}", lineno + 1);
             match key {
                 "seed" => cfg.seed = value.parse().map_err(|e| bad(&e))?,
                 "transient_ber" => cfg.transient_ber = parse_prob(value).map_err(|e| bad(&e))?,
@@ -222,14 +223,22 @@ mod tests {
     #[test]
     fn any_knob_activates() {
         let base = FaultConfig::none();
-        assert!(FaultConfig { transient_ber: 0.1, ..base.clone() }.is_active());
+        assert!(FaultConfig {
+            transient_ber: 0.1,
+            ..base.clone()
+        }
+        .is_active());
         assert!(FaultConfig {
             straggler_prob: 0.1,
             straggler_max_ns: 10,
             ..base.clone()
         }
         .is_active());
-        assert!(FaultConfig { dead_dpus: vec![3], ..base }.is_active());
+        assert!(FaultConfig {
+            dead_dpus: vec![3],
+            ..base
+        }
+        .is_active());
     }
 
     #[test]
@@ -285,6 +294,9 @@ mod tests {
     #[test]
     fn empty_parses_to_none() {
         assert_eq!(FaultConfig::parse("").unwrap(), FaultConfig::none());
-        assert_eq!(FaultConfig::parse("\n# only comments\n").unwrap(), FaultConfig::none());
+        assert_eq!(
+            FaultConfig::parse("\n# only comments\n").unwrap(),
+            FaultConfig::none()
+        );
     }
 }

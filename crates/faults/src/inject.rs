@@ -179,11 +179,13 @@ mod tests {
     use super::*;
 
     fn lossy(seed: u64, ber: f64) -> FaultInjector {
-        FaultInjector::new(FaultConfig {
-            transient_ber: ber,
-            ..FaultConfig::none()
-        }
-        .with_seed(seed))
+        FaultInjector::new(
+            FaultConfig {
+                transient_ber: ber,
+                ..FaultConfig::none()
+            }
+            .with_seed(seed),
+        )
     }
 
     #[test]
@@ -191,9 +193,7 @@ mod tests {
         let a = lossy(9, 0.3);
         let b = lossy(9, 0.3);
         // Query b in reverse order; answers must match a's.
-        let fwd: Vec<bool> = (0..100)
-            .map(|i| a.transient_corrupts(1, i, 0, 0))
-            .collect();
+        let fwd: Vec<bool> = (0..100).map(|i| a.transient_corrupts(1, i, 0, 0)).collect();
         let rev: Vec<bool> = (0..100)
             .rev()
             .map(|i| b.transient_corrupts(1, i, 0, 0))
@@ -266,12 +266,14 @@ mod tests {
 
     #[test]
     fn straggler_delays_are_bounded_and_deterministic() {
-        let inj = FaultInjector::new(FaultConfig {
-            straggler_prob: 0.5,
-            straggler_max_ns: 100,
-            ..FaultConfig::none()
-        }
-        .with_seed(11));
+        let inj = FaultInjector::new(
+            FaultConfig {
+                straggler_prob: 0.5,
+                straggler_max_ns: 100,
+                ..FaultConfig::none()
+            }
+            .with_seed(11),
+        );
         let mut fired = 0;
         for dpu in 0..1000 {
             let d = inj.straggler_delay_ns(dpu, 0);
@@ -284,7 +286,13 @@ mod tests {
         assert!((300..700).contains(&fired), "p=0.5 fired {fired}/1000");
         // Different epochs re-roll.
         let per_epoch: Vec<u64> = (0..8).map(|e| inj.straggler_delay_ns(7, e)).collect();
-        assert!(per_epoch.iter().collect::<std::collections::BTreeSet<_>>().len() > 1);
+        assert!(
+            per_epoch
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+                > 1
+        );
     }
 
     #[test]

@@ -239,7 +239,13 @@ impl PermanentFaultSet {
     /// transient injector, so identical seeds always produce identical
     /// scenarios regardless of query order.
     #[must_use]
-    pub fn sample(seed: u64, ranks: u32, chips: u32, banks: u32, rates: &PermanentFaultRates) -> Self {
+    pub fn sample(
+        seed: u64,
+        ranks: u32,
+        chips: u32,
+        banks: u32,
+        rates: &PermanentFaultRates,
+    ) -> Self {
         let mut set = PermanentFaultSet::none();
         if !rates.is_active() {
             return set;
@@ -313,7 +319,8 @@ mod tests {
 
     #[test]
     fn token_roundtrip_all_classes() {
-        let set = PermanentFaultSet::parse_tokens("r0c1b3E, r1c2b0W, r0c1tx, r1c0rx, rank2").unwrap();
+        let set =
+            PermanentFaultSet::parse_tokens("r0c1b3E, r1c2b0W, r0c1tx, r1c0rx, rank2").unwrap();
         assert_eq!(set.segments.len(), 2);
         assert_eq!(set.ports.len(), 2);
         assert_eq!(set.dead_ranks, BTreeSet::from([2]));
@@ -360,7 +367,11 @@ mod tests {
         let c = PermanentFaultSet::sample(10, 4, 8, 8, &rates);
         assert_ne!(a, c, "different seeds should differ at p=0.25");
         // 4*8*8*2 = 512 segments at p=0.25: expect roughly 128.
-        assert!((64..256).contains(&a.segments.len()), "{}", a.segments.len());
+        assert!(
+            (64..256).contains(&a.segments.len()),
+            "{}",
+            a.segments.len()
+        );
     }
 
     #[test]

@@ -149,9 +149,7 @@ pub fn simulate_credit_packets(
     let mut prog: Vec<Vec<u64>> = packets.iter().map(|p| vec![0u64; p.path.len()]).collect();
     let mut delivered: Vec<bool> = vec![false; packets.len()];
     let mut enqueued_hop: Vec<usize> = vec![0; packets.len()]; // next hop to enqueue
-    let ready_cycle: Vec<u64> = (0..nodes)
-        .map(|i| cfg.time_to_cycles(ready[i]))
-        .collect();
+    let ready_cycle: Vec<u64> = (0..nodes).map(|i| cfg.time_to_cycles(ready[i])).collect();
 
     let mut links: HashMap<Resource, LinkState> = HashMap::new();
     for p in packets {
@@ -205,7 +203,11 @@ pub fn simulate_credit_packets(
             armed.pop();
             release_cycle_of[pid] = cycle;
             let first = packets[pid].path[0];
-            links.get_mut(&first).expect("known link").queue.push_back(pid);
+            links
+                .get_mut(&first)
+                .expect("known link")
+                .queue
+                .push_back(pid);
             enqueued_hop[pid] = 1;
         }
 
@@ -235,7 +237,11 @@ pub fn simulate_credit_packets(
             let Some(pid) = l.current else { continue };
             let p = &packets[pid];
             let hop = p.path.iter().position(|x| x == r).expect("hop on path");
-            let upstream = if hop == 0 { p.bytes } else { prog[pid][hop - 1] };
+            let upstream = if hop == 0 {
+                p.bytes
+            } else {
+                prog[pid][hop - 1]
+            };
             let avail = upstream - prog[pid][hop];
             let space = if hop + 1 < p.path.len() {
                 cfg.buffer_bytes - (prog[pid][hop] - prog[pid][hop + 1])
@@ -354,8 +360,16 @@ mod tests {
     #[test]
     fn completion_scales_with_message_size() {
         let cfg = NocConfig::paper();
-        let small = simulate_credit(&schedule(CollectiveKind::AllReduce, 8, 256), &zeros(8), &cfg);
-        let large = simulate_credit(&schedule(CollectiveKind::AllReduce, 8, 2048), &zeros(8), &cfg);
+        let small = simulate_credit(
+            &schedule(CollectiveKind::AllReduce, 8, 256),
+            &zeros(8),
+            &cfg,
+        );
+        let large = simulate_credit(
+            &schedule(CollectiveKind::AllReduce, 8, 2048),
+            &zeros(8),
+            &cfg,
+        );
         let ratio = large.cycles as f64 / small.cycles as f64;
         assert!(
             (4.0..12.0).contains(&ratio),
@@ -389,8 +403,16 @@ mod tests {
         // traffic produces head-of-line stalls; AR's neighbor traffic does
         // not (much).
         let cfg = NocConfig::paper();
-        let ar = simulate_credit(&schedule(CollectiveKind::AllReduce, 64, 1024), &zeros(64), &cfg);
-        let a2a = simulate_credit(&schedule(CollectiveKind::AllToAll, 64, 1024), &zeros(64), &cfg);
+        let ar = simulate_credit(
+            &schedule(CollectiveKind::AllReduce, 64, 1024),
+            &zeros(64),
+            &cfg,
+        );
+        let a2a = simulate_credit(
+            &schedule(CollectiveKind::AllToAll, 64, 1024),
+            &zeros(64),
+            &cfg,
+        );
         assert!(
             a2a.stall_cycles > ar.stall_cycles,
             "A2A stalls ({}) should exceed AR stalls ({})",
@@ -435,8 +457,14 @@ mod tests {
         let a = simulate_credit_faulty(&s, &zeros(8), &cfg, &inj).unwrap();
         let b = simulate_credit_faulty(&s, &zeros(8), &cfg, &inj).unwrap();
         assert_eq!(a, b, "same seed must simulate identically");
-        assert!(a.injected_bytes > clean.injected_bytes, "retries add wire bytes");
-        assert!(a.completion >= clean.completion, "retries cannot speed things up");
+        assert!(
+            a.injected_bytes > clean.injected_bytes,
+            "retries add wire bytes"
+        );
+        assert!(
+            a.completion >= clean.completion,
+            "retries cannot speed things up"
+        );
     }
 
     #[test]

@@ -184,20 +184,15 @@ mod tests {
         let packets = packets_from_schedule(&s);
         let rank_packets = packets
             .iter()
-            .filter(|p| {
-                p.path
-                    .iter()
-                    .any(|r| matches!(r, Resource::RankBus { .. }))
-            })
+            .filter(|p| p.path.iter().any(|r| matches!(r, Resource::RankBus { .. })))
             .count();
         // 256 banks x 2 halves x 3 destinations.
         assert_eq!(rank_packets, 256 * 2 * 3);
         // Each bus packet's path is a clean 3-hop chain (tx, bus, rx).
-        for p in packets.iter().filter(|p| {
-            p.path
-                .iter()
-                .any(|r| matches!(r, Resource::RankBus { .. }))
-        }) {
+        for p in packets
+            .iter()
+            .filter(|p| p.path.iter().any(|r| matches!(r, Resource::RankBus { .. })))
+        {
             assert_eq!(p.path.len(), 3);
         }
     }

@@ -173,8 +173,7 @@ mod tests {
         let clean = simulate_scheduled(&s, &zeros(64), &cfg);
         // Identity fault set reproduces the clean report.
         let same =
-            simulate_scheduled_repaired(&s, &zeros(64), &cfg, &PermanentFaultSet::none())
-                .unwrap();
+            simulate_scheduled_repaired(&s, &zeros(64), &cfg, &PermanentFaultSet::none()).unwrap();
         assert_eq!(same, clean);
         // A dead segment and a dead port both cost completion time.
         let f = PermanentFaultSet::parse_tokens("r0c0b2E, r0c3tx").unwrap();
@@ -184,9 +183,7 @@ mod tests {
         // A dead rank is a typed refusal, not a panic.
         let s256 = schedule(CollectiveKind::AllReduce, 256, 256);
         let dead = PermanentFaultSet::parse_tokens("rank2").unwrap();
-        assert!(
-            simulate_scheduled_repaired(&s256, &zeros(256), &cfg, &dead).is_err()
-        );
+        assert!(simulate_scheduled_repaired(&s256, &zeros(256), &cfg, &dead).is_err());
     }
 
     #[test]

@@ -36,13 +36,7 @@ impl Pattern {
         Pattern::Neighbor,
     ];
 
-    fn destination(
-        self,
-        src: u32,
-        total: u32,
-        geometry: &PimGeometry,
-        rng: &mut SimRng,
-    ) -> u32 {
+    fn destination(self, src: u32, total: u32, geometry: &PimGeometry, rng: &mut SimRng) -> u32 {
         match self {
             Pattern::UniformRandom => {
                 let mut d = rng.gen_range(0..total - 1);
@@ -107,7 +101,12 @@ pub fn synthetic_packets(
             let (s, d) = (DpuId(src), DpuId(dst));
             let path = if geometry.same_chip(s, d) {
                 let (a, b) = (geometry.coord(s).bank, geometry.coord(d).bank);
-                ring_path(geometry, s, d, shorter_direction(geometry.banks_per_chip, a, b))
+                ring_path(
+                    geometry,
+                    s,
+                    d,
+                    shorter_direction(geometry.banks_per_chip, a, b),
+                )
             } else if geometry.same_rank(s, d) {
                 chip_path(geometry, s, d)
             } else {

@@ -7,6 +7,8 @@
 //! * a picosecond-resolution simulated clock ([`SimTime`]),
 //! * a deterministic discrete-event engine ([`engine::Engine`]) with
 //!   strictly-ordered event dispatch,
+//! * a deterministic fan-out helper ([`par`]) that runs independent work
+//!   items on a scoped thread pool and returns results in input order,
 //! * small statistics helpers ([`stats`]).
 //!
 //! Everything above (the architecture model, PIMnet itself, the NoC
@@ -28,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod par;
 pub mod rng;
 pub mod stats;
 mod time;

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-
 use crate::SimTime;
 
 /// Online accumulator for a stream of `f64` samples (count, mean, min, max).
@@ -108,7 +107,10 @@ impl fmt::Display for Accumulator {
             write!(
                 f,
                 "n={} mean={:.4} min={:.4} max={:.4}",
-                self.count, self.mean(), self.min, self.max
+                self.count,
+                self.mean(),
+                self.min,
+                self.max
             )
         }
     }

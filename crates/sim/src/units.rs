@@ -4,7 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-
 use crate::SimTime;
 
 /// A data size in bytes.
@@ -23,9 +22,7 @@ use crate::SimTime;
 /// assert!(msg < wram);
 /// assert_eq!((msg * 2).as_u64(), wram.as_u64());
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Bytes(u64);
 
 impl Bytes {
@@ -201,9 +198,7 @@ impl fmt::Display for Bytes {
 /// let t = ch.transfer_time(Bytes::kib(4));
 /// assert!((t.as_us() - 5.851).abs() < 0.01);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Bandwidth(u64);
 
 impl Bandwidth {
@@ -334,9 +329,7 @@ impl fmt::Display for Bandwidth {
 /// let t = f.cycles_to_time(Cycles::new(350_000_000));
 /// assert_eq!(t.as_secs_f64(), 1.0);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Frequency(u64);
 
 impl Frequency {
@@ -405,9 +398,7 @@ impl fmt::Display for Frequency {
 }
 
 /// A count of clock cycles (frequency-agnostic).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cycles(u64);
 
 impl Cycles {

@@ -82,7 +82,11 @@ fn simtime_addition_is_commutative_and_associative() {
         let a = rng.gen_range(0u64..1 << 50);
         let b = rng.gen_range(0u64..1 << 50);
         let c = rng.gen_range(0u64..1 << 50);
-        let (x, y, z) = (SimTime::from_ps(a), SimTime::from_ps(b), SimTime::from_ps(c));
+        let (x, y, z) = (
+            SimTime::from_ps(a),
+            SimTime::from_ps(b),
+            SimTime::from_ps(c),
+        );
         assert_eq!(x + y, y + x);
         assert_eq!((x + y) + z, x + (y + z));
     }
@@ -119,12 +123,15 @@ fn engine_event_order_is_total_under_interleaving() {
     use pim_sim::Engine;
     let mut engine: Engine<Vec<(u64, u32)>> = Engine::new();
     for i in 0..8u32 {
-        engine.schedule(SimTime::from_ns(10), move |log: &mut Vec<(u64, u32)>, eng| {
-            log.push((10, i));
-            eng.schedule_in(SimTime::from_ns(u64::from(8 - i)), move |log, _| {
-                log.push((10 + u64::from(8 - i), i));
-            });
-        });
+        engine.schedule(
+            SimTime::from_ns(10),
+            move |log: &mut Vec<(u64, u32)>, eng| {
+                log.push((10, i));
+                eng.schedule_in(SimTime::from_ns(u64::from(8 - i)), move |log, _| {
+                    log.push((10 + u64::from(8 - i), i));
+                });
+            },
+        );
     }
     let mut log = Vec::new();
     engine.run(&mut log);

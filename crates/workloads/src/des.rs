@@ -12,8 +12,8 @@
 //! per-phase timeline and lets tests check that the analytic model is a
 //! faithful summary of the event-driven execution.
 
-use pim_sim::{Engine, SimTime};
 use pim_sim::rng::SimRng;
+use pim_sim::{Engine, SimTime};
 
 use pim_arch::SystemConfig;
 use pimnet::backends::CollectiveBackend;

@@ -230,10 +230,7 @@ mod tests {
         assert!(levels.len() <= 12, "diameter too large: {}", levels.len());
         // Distances are consistent with levels.
         for (d, l) in levels.iter().enumerate() {
-            assert_eq!(
-                dist.iter().filter(|&&x| x == d as u32).count(),
-                l.frontier
-            );
+            assert_eq!(dist.iter().filter(|&&x| x == d as u32).count(), l.frontier);
         }
     }
 

@@ -8,8 +8,8 @@
 
 use std::collections::HashMap;
 
-use pim_sim::Bytes;
 use pim_sim::rng::SimRng;
+use pim_sim::Bytes;
 
 use pim_arch::{OpCounts, SystemConfig};
 use pimnet::collective::CollectiveKind;
@@ -37,7 +37,9 @@ pub fn join_count(r: &Relation, s: &Relation) -> u64 {
     for &(k, _) in r {
         *table.entry(k).or_insert(0) += 1;
     }
-    s.iter().map(|&(k, _)| table.get(&k).copied().unwrap_or(0)).sum()
+    s.iter()
+        .map(|&(k, _)| table.get(&k).copied().unwrap_or(0))
+        .sum()
 }
 
 /// The PIM algorithm \[61\]: hash-partition both relations across `banks`

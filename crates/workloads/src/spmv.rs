@@ -6,8 +6,8 @@
 //! hold partial output vectors that a ReduceScatter merges — the paper
 //! reports 2.43× from doing that merge over PIMnet instead of the host.
 
-use pim_sim::Bytes;
 use pim_sim::rng::SimRng;
+use pim_sim::Bytes;
 
 use pim_arch::{OpCounts, SystemConfig};
 use pimnet::collective::CollectiveKind;

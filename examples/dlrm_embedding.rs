@@ -21,8 +21,12 @@ fn main() {
     println!("embedding lookup on 256 DPUs (speedup of PIMnet over the baseline):");
     for profile in [Emb::synth(), Emb::rm1(), Emb::rm2(), Emb::rm3()] {
         let program = profile.program(&sys);
-        let base = run_program(&program, &sys, pimnet.backend(BackendKind::Baseline).as_ref())
-            .expect("baseline");
+        let base = run_program(
+            &program,
+            &sys,
+            pimnet.backend(BackendKind::Baseline).as_ref(),
+        )
+        .expect("baseline");
         let pim = run_program(&program, &sys, pimnet.backend(BackendKind::Pimnet).as_ref())
             .expect("pimnet");
         println!(

@@ -5,12 +5,12 @@
 //! cargo run --release --example flow_control
 //! ```
 
+use pim_sim::rng::SimRng;
 use pim_sim::SimTime;
 use pimnet_suite::arch::PimGeometry;
 use pimnet_suite::net::collective::CollectiveKind;
 use pimnet_suite::net::schedule::CommSchedule;
 use pimnet_suite::noc::{simulate_credit, simulate_scheduled, NocConfig};
-use pim_sim::rng::SimRng;
 
 fn main() {
     let cfg = NocConfig::paper();
@@ -31,7 +31,10 @@ fn main() {
         println!("  credit-based flow control : {credit}");
         println!("  PIM-controlled scheduling : {sched}");
         let gain = 1.0 - sched.completion.as_secs_f64() / credit.completion.as_secs_f64();
-        println!("  PIM control changes completion by {:+.1}%\n", gain * 100.0);
+        println!(
+            "  PIM control changes completion by {:+.1}%\n",
+            gain * 100.0
+        );
     }
     println!(
         "Neighbour-only AllReduce barely notices flow control; All-to-All's \

@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let expected: Vec<i64> = (0..dim as i64)
         .map(|r| (0..dim as i64).map(|c| (r + c) % 7 - 3).sum())
         .collect();
-    assert_eq!(y_pim, expected, "tensor-parallel result must match the oracle");
+    assert_eq!(
+        y_pim, expected,
+        "tensor-parallel result must match the oracle"
+    );
 
     println!("1024x1024 tensor-parallel layer over 256 DPUs: results verified");
     println!("  over PIMnet       : {t_pim}");

@@ -18,7 +18,10 @@ fn main() {
     let tenant = SystemConfig::paper().with_geometry(PimGeometry::new(8, 8, 2, 1));
     let spec = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(32));
 
-    let base_alone = BaselineHostBackend::new(tenant).collective(&spec).unwrap().total();
+    let base_alone = BaselineHostBackend::new(tenant)
+        .collective(&spec)
+        .unwrap()
+        .total();
     let pim_alone = PimnetBackend::new(tenant, FabricConfig::paper())
         .collective(&spec)
         .unwrap()

@@ -11,8 +11,8 @@
 //! ```
 
 use pimnet_suite::arch::SystemConfig;
-use pimnet_suite::net::backends::BackendKind;
 use pimnet_suite::net::api::PimnetSystem;
+use pimnet_suite::net::backends::BackendKind;
 use pimnet_suite::workloads::ntt::{self, NttWorkload};
 use pimnet_suite::workloads::program::run_program;
 use pimnet_suite::workloads::Workload;
@@ -39,7 +39,11 @@ fn main() {
     let pimnet = PimnetSystem::paper();
     for kind in BackendKind::ALL {
         let backend = pimnet.backend(kind);
-        if !program.collective_kinds().iter().all(|&k| backend.supports(k)) {
+        if !program
+            .collective_kinds()
+            .iter()
+            .all(|&k| backend.supports(k))
+        {
             continue;
         }
         let r = run_program(&program, &sys, backend.as_ref()).expect("run");

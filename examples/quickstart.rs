@@ -23,12 +23,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (machine, time) = sys.execute(CollectiveKind::AllReduce, ReduceOp::Sum, |id| {
         vec![u64::from(id.0) + 1; elems]
     })?;
-    println!("functional AllReduce of {elems} x u64 took {} of simulated time", time.total());
+    println!(
+        "functional AllReduce of {elems} x u64 took {} of simulated time",
+        time.total()
+    );
 
     // Functional check: sum of 1..=256 everywhere.
     let expected: u64 = (1..=256).sum();
-    assert!(machine
-        .buffer(DpuId(200))[..elems]
+    assert!(machine.buffer(DpuId(200))[..elems]
         .iter()
         .all(|&x| x == expected));
     println!("AllReduce result verified on all 256 DPUs (each element = {expected})");

@@ -159,9 +159,7 @@ fn structural_codes_are_stable() {
 
     let mut s = allgather(2, 4);
     s.phases[0].steps[0].transfers[0].combine = true;
-    assert!(
-        !errors_with(&analysis::run_all(&s), codes::COMBINE_IN_NON_REDUCING).is_empty()
-    );
+    assert!(!errors_with(&analysis::run_all(&s), codes::COMBINE_IN_NON_REDUCING).is_empty());
 
     let mut s = allgather(2, 4);
     let src = s.phases[0].steps[0].transfers[0].src;
@@ -170,9 +168,7 @@ fn structural_codes_are_stable() {
 
     let mut s = allgather(2, 4);
     s.result_spans.pop();
-    assert!(
-        !errors_with(&analysis::run_all(&s), codes::MALFORMED_RESULT_TABLE).is_empty()
-    );
+    assert!(!errors_with(&analysis::run_all(&s), codes::MALFORMED_RESULT_TABLE).is_empty());
 }
 
 #[test]

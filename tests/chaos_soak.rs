@@ -75,7 +75,10 @@ fn soak_one(kind: CollectiveKind, dpus: u32, seed: u64) -> Option<DegradedPlan> 
         }
         Err(e) => panic!("{kind} on {dpus} DPUs, seed {seed}: unexpected {e}"),
     };
-    let ctx = format!("{kind} on {dpus} DPUs, seed {seed}, tier {}", plan.tier_name());
+    let ctx = format!(
+        "{kind} on {dpus} DPUs, seed {seed}, tier {}",
+        plan.tier_name()
+    );
 
     if let Some(s) = plan.schedule() {
         validate(s).unwrap_or_else(|e| panic!("{ctx}: invalid schedule: {e}"));
@@ -95,7 +98,10 @@ fn soak_one(kind: CollectiveKind, dpus: u32, seed: u64) -> Option<DegradedPlan> 
             assert_eq!(faulty, reference, "{ctx}: transient run diverged");
             // A repaired plan is never cheaper than the full one.
             if let DegradedPlan::Repaired { report, .. } = &plan {
-                assert!(!report.is_identity(), "{ctx}: identity repair should be Full");
+                assert!(
+                    !report.is_identity(),
+                    "{ctx}: identity repair should be Full"
+                );
                 let timing = TimingModel::paper();
                 let clean = CommSchedule::build(kind, &g, ELEMS, 4).unwrap();
                 assert!(
@@ -191,11 +197,11 @@ fn ladder_is_monotone_in_fault_severity() {
             .tier()
     };
     let ladder = [
-        tier("", vec![]),                       // healthy
-        tier("r0c1b3E", vec![]),                // repairable segment
-        tier("r0c1b3E, r1c2rx", vec![]),        // + repairable port
-        tier("rank3", vec![]),                  // dead rank: shrink
-        tier("rank3", (0..191).collect()),      // near-total death: host
+        tier("", vec![]),                  // healthy
+        tier("r0c1b3E", vec![]),           // repairable segment
+        tier("r0c1b3E, r1c2rx", vec![]),   // + repairable port
+        tier("rank3", vec![]),             // dead rank: shrink
+        tier("rank3", (0..191).collect()), // near-total death: host
     ];
     assert_eq!(ladder[0], 0);
     assert!(

@@ -3,17 +3,19 @@
 //! including property tests over arbitrary geometries and payloads.
 
 use pim_arch::geometry::{DpuId, PimGeometry};
+use pim_sim::SimRng;
 use pimnet_suite::net::collective::CollectiveKind;
 use pimnet_suite::net::exec::{run_collective, ReduceOp};
 use pimnet_suite::net::schedule::{validate, CommSchedule};
-use pim_sim::SimRng;
 
 fn input(id: DpuId, elems: usize, salt: u64) -> Vec<u64> {
     (0..elems)
-        .map(|e| (u64::from(id.0) + 1)
-            .wrapping_mul(0x9E37_79B9)
-            .wrapping_add(e as u64)
-            .wrapping_add(salt))
+        .map(|e| {
+            (u64::from(id.0) + 1)
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(e as u64)
+                .wrapping_add(salt)
+        })
         .collect()
 }
 
@@ -133,7 +135,11 @@ fn reduce_ops_agree_with_fold() {
         let n = 1u32 << n_exp;
         let g = PimGeometry::paper_scaled(n);
         let s = CommSchedule::build(CollectiveKind::AllReduce, &g, elems, 4).unwrap();
-        let op = if op_is_max { ReduceOp::Max } else { ReduceOp::Min };
+        let op = if op_is_max {
+            ReduceOp::Max
+        } else {
+            ReduceOp::Min
+        };
         let m = run_collective(&s, op, |id| input(id, elems, 1)).unwrap();
         let expected: Vec<u64> = (0..elems)
             .map(|e| {

@@ -53,7 +53,9 @@ fn noisy(seed: u64) -> FaultInjector {
 }
 
 fn input(id: DpuId, elems: usize) -> Vec<u64> {
-    (0..elems).map(|e| u64::from(id.0) * 1_000 + e as u64).collect()
+    (0..elems)
+        .map(|e| u64::from(id.0) * 1_000 + e as u64)
+        .collect()
 }
 
 #[test]
@@ -67,7 +69,10 @@ fn faulty_execution_is_bit_identical_to_fault_free_execution() {
             let stats = faulty
                 .run_with_faults(&s, ReduceOp::Sum, &noisy(seed))
                 .expect("retry budget is ample");
-            assert!(stats.corrupted > 0, "{kind} seed {seed}: BER 0.15 must corrupt");
+            assert!(
+                stats.corrupted > 0,
+                "{kind} seed {seed}: BER 0.15 must corrupt"
+            );
             assert_eq!(clean, faulty, "{kind} seed {seed}: buffers diverged");
         }
     }
@@ -115,12 +120,18 @@ fn disabled_faults_are_byte_identical_to_the_fault_free_path() {
         let mut gated = ExecMachine::init(&s, |id| input(id, 64));
         let stats = gated.run_with_faults(&s, ReduceOp::Sum, &off).unwrap();
         assert_eq!(clean, gated, "{kind}: disabled faults changed the result");
-        assert_eq!(stats.crc_checks, 0, "{kind}: inactive injector did CRC work");
+        assert_eq!(
+            stats.crc_checks, 0,
+            "{kind}: inactive injector did CRC work"
+        );
 
         let timing = TimingModel::paper();
         let t_clean = Timeline::build(&s, &timing);
         let t_gated = Timeline::build_with_faults(&s, &timing, &off).unwrap();
-        assert_eq!(t_clean, t_gated, "{kind}: disabled faults changed the timeline");
+        assert_eq!(
+            t_clean, t_gated,
+            "{kind}: disabled faults changed the timeline"
+        );
 
         let ready = vec![SimTime::ZERO; 16];
         let cfg = NocConfig::paper();

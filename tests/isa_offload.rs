@@ -82,9 +82,7 @@ fn switch_plan_routes_every_dq_send() {
         for i in &p.instrs {
             if let PimInstr::Send { slot, port, .. } = i {
                 let seq = seq_by_slot.entry((*slot, *port)).or_insert(0);
-                let dsts = compiled
-                    .plan
-                    .route(DpuId(dpu as u32), *port, *slot, *seq);
+                let dsts = compiled.plan.route(DpuId(dpu as u32), *port, *slot, *seq);
                 *seq += 1;
                 assert!(
                     !dsts.is_empty(),

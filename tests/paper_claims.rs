@@ -22,7 +22,10 @@ fn ar32() -> CollectiveSpec {
 #[test]
 fn abstract_claim_85x_on_collectives() {
     let sys = SystemConfig::paper();
-    let b = BaselineHostBackend::new(sys).collective(&ar32()).unwrap().total();
+    let b = BaselineHostBackend::new(sys)
+        .collective(&ar32())
+        .unwrap()
+        .total();
     let p = PimnetBackend::paper().collective(&ar32()).unwrap().total();
     let speedup = b.ratio(p);
     assert!(
@@ -102,25 +105,17 @@ fn fig13_flow_control_direction() {
         })
         .collect();
 
-    let ar = pimnet_suite::net::schedule::CommSchedule::build(
-        CollectiveKind::AllReduce,
-        &g,
-        4096,
-        4,
-    )
-    .unwrap();
+    let ar =
+        pimnet_suite::net::schedule::CommSchedule::build(CollectiveKind::AllReduce, &g, 4096, 4)
+            .unwrap();
     let ar_ratio = simulate_credit(&ar, &ready, &cfg)
         .completion
         .ratio(simulate_scheduled(&ar, &ready, &cfg).completion);
     assert!((0.85..1.15).contains(&ar_ratio), "AR ratio {ar_ratio:.3}");
 
-    let a2a = pimnet_suite::net::schedule::CommSchedule::build(
-        CollectiveKind::AllToAll,
-        &g,
-        8192,
-        4,
-    )
-    .unwrap();
+    let a2a =
+        pimnet_suite::net::schedule::CommSchedule::build(CollectiveKind::AllToAll, &g, 8192, 4)
+            .unwrap();
     let credit = simulate_credit(&a2a, &ready, &cfg).completion;
     let sched = simulate_scheduled(&a2a, &ready, &cfg).completion;
     let gain = 1.0 - sched.as_secs_f64() / credit.as_secs_f64();
@@ -142,7 +137,10 @@ fn fig14_bandwidth_parallelism_keeps_pimnet_ahead() {
         .total();
     for mbps in [100.0f64, 400.0, 700.0, 1000.0] {
         let fabric = FabricConfig::paper().with_bank_channel_bw(Bandwidth::mbps(mbps));
-        let p = PimnetBackend::new(sys, fabric).collective(&ar32()).unwrap().total();
+        let p = PimnetBackend::new(sys, fabric)
+            .collective(&ar32())
+            .unwrap()
+            .total();
         assert!(
             p < d,
             "PIMnet @ {mbps} MB/s ({p}) should still beat DIMM-Link ({d})"
@@ -157,14 +155,19 @@ fn fig15_compute_scaling_amplifies_pimnet() {
         let sys = SystemConfig::paper().with_compute(preset);
         let prog = Mlp::new(1024).program(&sys);
         let b = run_program(&prog, &sys, &BaselineHostBackend::new(sys)).unwrap();
-        let p = run_program(&prog, &sys, &PimnetBackend::new(sys, FabricConfig::paper()))
-            .unwrap();
+        let p = run_program(&prog, &sys, &PimnetBackend::new(sys, FabricConfig::paper())).unwrap();
         b.total().ratio(p.total())
     };
     let upmem = speedup(ComputePreset::UpmemDpu);
     let aim = speedup(ComputePreset::Gddr6Aim);
-    assert!(upmem < 5.0, "UPMEM MLP speedup {upmem:.1}x should be modest");
-    assert!(aim > upmem * 10.0, "AiM should multiply the benefit: {aim:.1}x");
+    assert!(
+        upmem < 5.0,
+        "UPMEM MLP speedup {upmem:.1}x should be modest"
+    );
+    assert!(
+        aim > upmem * 10.0,
+        "AiM should multiply the benefit: {aim:.1}x"
+    );
 }
 
 /// §VI-B hardware overhead: 0.09% area, 1.6% power, >60x vs a ring router,

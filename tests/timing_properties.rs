@@ -77,7 +77,10 @@ fn ideal_software_never_loses_to_the_baseline() {
             .collective(&spec)
             .unwrap()
             .total();
-        assert!(s <= b, "{kind} {kb}KB n=2^{n_exp}: ideal {s} > baseline {b}");
+        assert!(
+            s <= b,
+            "{kind} {kb}KB n=2^{n_exp}: ideal {s} > baseline {b}"
+        );
     }
 }
 

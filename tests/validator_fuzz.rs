@@ -84,13 +84,8 @@ fn wrong_tier_resources_are_caught() {
 fn stripped_dq_endpoint_is_caught() {
     // Find a cross-rank transfer (needs a multi-rank geometry) and drop
     // its source Tx channel.
-    let mut s = CommSchedule::build(
-        CollectiveKind::AllReduce,
-        &PimGeometry::paper(),
-        256,
-        4,
-    )
-    .unwrap();
+    let mut s =
+        CommSchedule::build(CollectiveKind::AllReduce, &PimGeometry::paper(), 256, 4).unwrap();
     let mut hit = false;
     for phase in &mut s.phases {
         for step in &mut phase.steps {
@@ -162,7 +157,10 @@ fn flipping_combine_off_breaks_the_reduction() {
     let wrong = s
         .participants()
         .any(|id| m.result(&s, id).iter().any(|&x| x != expected));
-    assert!(wrong, "overwriting instead of reducing must corrupt the sum");
+    assert!(
+        wrong,
+        "overwriting instead of reducing must corrupt the sum"
+    );
 }
 
 /// The collective's reference semantics, computed directly from the
@@ -241,11 +239,8 @@ fn differential_fuzz_analyzer_accept_implies_exec_matches_reference() {
             }
             .with_seed(0x57A2 ^ round);
             let injector = pimnet_suite::faults::FaultInjector::new(cfg);
-            let faults = injector.permanent_faults(
-                g.ranks_per_channel,
-                g.chips_per_rank,
-                g.banks_per_chip,
-            );
+            let faults =
+                injector.permanent_faults(g.ranks_per_channel, g.chips_per_rank, g.banks_per_chip);
             if !faults.is_empty() && repair::unusable_dpus(&g, &faults).is_empty() {
                 if let Ok(r) = repair::repair(&s, &faults) {
                     s = r.schedule;
@@ -291,13 +286,22 @@ fn differential_fuzz_analyzer_accept_implies_exec_matches_reference() {
 /// commutative combine re-merges one step later; or dropping a delivery
 /// that was redundant to begin with), and for exactly those the accepted
 /// schedule must still be bit-identical to the reference.
-#[test]
-fn seeded_mutations_are_flagged_without_the_executor() {
-    let mut caught = 0usize;
-    let mut harmless = 0usize;
-    let mut unsound: Vec<String> = Vec::new();
-    const TOTAL: u64 = 1000;
-    for seed in 0..TOTAL {
+/// What one fuzz seed resolved to (see
+/// [`seeded_mutations_are_flagged_without_the_executor`]).
+enum FuzzOutcome {
+    /// The analyzer rejected the mutant with a pinpointed error.
+    Caught,
+    /// The analyzer accepted it and the executor proved it harmless.
+    Harmless,
+    /// The analyzer accepted a semantics-breaking mutant (a bug).
+    Unsound(String),
+}
+
+/// Mutates one seeded schedule and adjudicates the analyzer's verdict.
+/// Pure function of the seed, so the 1000-seed sweep fans out over
+/// `pim_sim::par` without changing any outcome.
+fn fuzz_one_mutation(seed: u64) -> FuzzOutcome {
+    {
         let mut rng = SimRng::seed_from_u64(0xBEEF_0000 ^ seed);
         let dpus = [8u32, 16][rng.below(2) as usize];
         let kind = CollectiveKind::ALL[rng.below(7) as usize];
@@ -363,7 +367,6 @@ fn seeded_mutations_are_flagged_without_the_executor() {
 
         let report = analysis::run_all(&s);
         if report.has_errors() {
-            caught += 1;
             assert!(
                 report.diagnostics.iter().any(|d| {
                     d.severity == analysis::Severity::Error && d.location.is_pinpointed()
@@ -371,7 +374,7 @@ fn seeded_mutations_are_flagged_without_the_executor() {
                 "seed {seed} ({kind} x{dpus} op {op}): rejected but no \
                  pinpointed error diagnostic:\n{report}"
             );
-            continue;
+            return FuzzOutcome::Caught;
         }
         // Analyzer accepted the mutant: it must be semantics-preserving.
         let f = |j: u32, e: usize| u64::from(j) * 100_003 + e as u64 * 7 + 1;
@@ -379,18 +382,42 @@ fn seeded_mutations_are_flagged_without_the_executor() {
             (0..s.elems_per_node).map(|e| f(id.0, e)).collect()
         })
         .unwrap_or_else(|e| {
-            panic!("seed {seed} ({kind} x{dpus} op {op}): analyzer accepted a \
-                    schedule the validator rejects: {e}")
+            panic!(
+                "seed {seed} ({kind} x{dpus} op {op}): analyzer accepted a \
+                    schedule the validator rejects: {e}"
+            )
         });
         let preserved = s
             .participants()
             .all(|id| m.result(&s, id) == reference_result(&s, id, f));
         if preserved {
-            harmless += 1;
-        } else if unsound.len() < 8 {
-            unsound.push(format!("seed {seed}: {kind} x{dpus} op {op}"));
+            FuzzOutcome::Harmless
+        } else {
+            FuzzOutcome::Unsound(format!("seed {seed}: {kind} x{dpus} op {op}"))
         }
     }
+}
+
+#[test]
+fn seeded_mutations_are_flagged_without_the_executor() {
+    const TOTAL: u64 = 1000;
+    let outcomes = pimnet_suite::sim::par::map_ordered((0..TOTAL).collect(), fuzz_one_mutation);
+    let caught = outcomes
+        .iter()
+        .filter(|o| matches!(o, FuzzOutcome::Caught))
+        .count();
+    let harmless = outcomes
+        .iter()
+        .filter(|o| matches!(o, FuzzOutcome::Harmless))
+        .count();
+    let unsound: Vec<&String> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            FuzzOutcome::Unsound(msg) => Some(msg),
+            _ => None,
+        })
+        .take(8)
+        .collect();
     // Soundness: the analyzer never accepts a mutation that changes bits.
     assert!(
         unsound.is_empty(),

@@ -15,7 +15,11 @@ fn every_workload_runs_on_every_supporting_backend() {
         for (name, report) in results {
             match report {
                 Some(r) => {
-                    assert!(r.total() > pim_sim::SimTime::ZERO, "{name} on {}", backend.name());
+                    assert!(
+                        r.total() > pim_sim::SimTime::ZERO,
+                        "{name} on {}",
+                        backend.name()
+                    );
                     assert!(r.phases > 0);
                 }
                 None => {
@@ -31,8 +35,14 @@ fn every_workload_runs_on_every_supporting_backend() {
 fn pimnet_never_loses_to_the_baseline() {
     let sys = SystemConfig::paper();
     let backends = all_backends(sys, FabricConfig::paper());
-    let base = backends.iter().find(|b| b.kind() == BackendKind::Baseline).unwrap();
-    let pim = backends.iter().find(|b| b.kind() == BackendKind::Pimnet).unwrap();
+    let base = backends
+        .iter()
+        .find(|b| b.kind() == BackendKind::Baseline)
+        .unwrap();
+    let pim = backends
+        .iter()
+        .find(|b| b.kind() == BackendKind::Pimnet)
+        .unwrap();
     for w in paper_suite() {
         let program = w.program(&sys);
         let tb = run_program(&program, &sys, base.as_ref()).unwrap().total();
@@ -62,12 +72,19 @@ fn compute_time_is_identical_across_backends() {
 fn communication_fractions_are_sane() {
     let sys = SystemConfig::paper();
     let backends = all_backends(sys, FabricConfig::paper());
-    let pim = backends.iter().find(|b| b.kind() == BackendKind::Pimnet).unwrap();
+    let pim = backends
+        .iter()
+        .find(|b| b.kind() == BackendKind::Pimnet)
+        .unwrap();
     for w in paper_suite() {
         let r = run_program(&w.program(&sys), &sys, pim.as_ref()).unwrap();
         let f = r.comm_fraction();
         assert!((0.0..=1.0).contains(&f), "{}: {f}", w.name());
         // PIMnet never leaves a workload >90% communication-bound.
-        assert!(f < 0.9, "{} still comm-bound under PIMnet: {f:.2}", w.name());
+        assert!(
+            f < 0.9,
+            "{} still comm-bound under PIMnet: {f:.2}",
+            w.name()
+        );
     }
 }
