@@ -3,60 +3,10 @@
 //! communication speedup of PIMnet over DIMM-Link (or NDPBridge for the
 //! All-to-All workloads, which DIMM-Link's reduction-centric buffer chip
 //! and NDPBridge both can serve).
-
-use pim_arch::SystemConfig;
-use pim_workloads::{paper_suite, program::run_program};
-use pimnet::backends::{CollectiveBackend, DimmLinkBackend, NdpBridgeBackend, PimnetBackend};
-use pimnet::collective::CollectiveKind;
-use pimnet::FabricConfig;
-use pimnet_bench::{pct, x, Table};
+//!
+//! The breakdown columns come from the `pim_sim::MetricsReport` filled by
+//! the probed program runner (see `pimnet_bench::sweeps::fig11_table`).
 
 fn main() {
-    let sys = SystemConfig::paper();
-    let fabric = FabricConfig::paper();
-    let pim = PimnetBackend::new(sys, fabric);
-    let dimm = DimmLinkBackend::new(sys, fabric);
-    let ndp = NdpBridgeBackend::new(sys);
-
-    let mut t = Table::new(
-        "Fig 11: PIMnet communication-time breakdown and speedup vs D (or N for A2A)",
-        &[
-            "workload",
-            "inter-bank",
-            "inter-chip",
-            "inter-rank",
-            "sync",
-            "mem",
-            "vs",
-            "comm-speedup",
-        ],
-    );
-
-    for w in paper_suite() {
-        let program = w.program(&sys);
-        let p = run_program(&program, &sys, &pim).expect("pimnet run");
-        let total = p.comm.total();
-        let frac = |part: pim_sim::SimTime| pct(part.ratio(total));
-
-        // Reference system: DIMM-Link, except for A2A workloads where the
-        // paper normalizes to NDPBridge.
-        let uses_a2a = program
-            .collective_kinds()
-            .contains(&CollectiveKind::AllToAll);
-        let (ref_name, reference): (&str, &dyn CollectiveBackend) =
-            if uses_a2a { ("N", &ndp) } else { ("D", &dimm) };
-        let r = run_program(&program, &sys, reference).expect("reference run");
-
-        t.row([
-            w.name().to_string(),
-            frac(p.comm.inter_bank),
-            frac(p.comm.inter_chip),
-            frac(p.comm.inter_rank),
-            frac(p.comm.sync),
-            frac(p.comm.mem),
-            ref_name.to_string(),
-            x(r.comm.total().ratio(p.comm.total())),
-        ]);
-    }
-    t.emit("fig11_comm_breakdown");
+    pimnet_bench::sweeps::fig11_table().emit("fig11_comm_breakdown");
 }

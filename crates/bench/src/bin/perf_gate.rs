@@ -12,6 +12,10 @@
 //!
 //! Any byte difference between the runs is a hard failure: determinism
 //! under parallel execution is the contract `pim_sim::par` sells.
+//! The gate also measures the disabled-sink overhead of the
+//! observability layer (plain vs `_probed`-with-disabled-probe pipeline,
+//! interleaved min-of-k) and fails when it exceeds 1 % (override with
+//! `PIMNET_TRACE_TOLERANCE`, floored at 0.01).
 //! Results land in `results/BENCH_perf.json`; when a committed baseline
 //! (`results/perf_baseline.json`) exists, the gate fails on a wall-time
 //! regression beyond the tolerance (default 25 %, override with
@@ -33,6 +37,66 @@ use pimnet_bench::{results_dir, sweeps};
 /// enough that the parallel fan-out dominates the fixed costs.
 const CHAOS_PER_CELL: u64 = 4;
 const CHAOS_BASE_SEED: u64 = 0xC40;
+
+/// Measures the disabled-sink overhead of the observability layer: the
+/// timeline-build + functional-execution pipeline run through the plain
+/// entry points vs the `_probed` twins holding the disabled probe.
+///
+/// The probed functions short-circuit to their plain bodies when the
+/// probe is inactive, so the true cost is one branch per entry — this
+/// check pins that the "zero-cost when disabled" guarantee stays true as
+/// instrumentation accretes. Interleaved min-of-k sampling filters
+/// scheduler noise; negative deltas clamp to zero (the minimum of either
+/// variant can land on a quiet slice of the machine).
+fn trace_overhead() -> f64 {
+    use pim_arch::geometry::PimGeometry;
+    use pim_sim::Probe;
+    use pimnet::exec::{ExecMachine, ReduceOp};
+    use pimnet::timeline::Timeline;
+    use pimnet::timing::TimingModel;
+
+    const ELEMS: usize = 1024;
+    let g = PimGeometry::paper_scaled(64);
+    let s = cache::build_cached(CollectiveKind::AllReduce, &g, ELEMS, 4)
+        .expect("schedule")
+        .as_ref()
+        .clone();
+    let timing = TimingModel::paper();
+    let off = Probe::disabled();
+
+    let plain = || {
+        let t = Timeline::build(&s, &timing);
+        let mut m = ExecMachine::init(&s, |id| vec![u64::from(id.0) + 1; ELEMS]);
+        m.run(&s, ReduceOp::Sum);
+        std::hint::black_box((t.end, m));
+    };
+    let probed = || {
+        let t = Timeline::build_probed(&s, &timing, off);
+        let mut m = ExecMachine::init(&s, |id| vec![u64::from(id.0) + 1; ELEMS]);
+        m.run_probed(&s, ReduceOp::Sum, off);
+        std::hint::black_box((t.end, m));
+    };
+
+    plain();
+    probed();
+    const BATCH: u32 = 3;
+    const SAMPLES: u32 = 7;
+    let mut best_plain = f64::INFINITY;
+    let mut best_probed = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..BATCH {
+            plain();
+        }
+        best_plain = best_plain.min(t0.elapsed().as_secs_f64());
+        let t1 = Instant::now();
+        for _ in 0..BATCH {
+            probed();
+        }
+        best_probed = best_probed.min(t1.elapsed().as_secs_f64());
+    }
+    ((best_probed - best_plain) / best_plain).max(0.0)
+}
 
 /// Runs the pinned workload matrix on `workers` threads and returns its
 /// entire output as one string (concatenated CSVs plus the lint matrix
@@ -137,6 +201,28 @@ fn main() {
          (warm {warm_speedup:.2}x)"
     );
 
+    let overhead = trace_overhead();
+    let trace_tolerance = std::env::var("PIMNET_TRACE_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.01)
+        .max(0.01);
+    println!(
+        "  disabled-sink overhead: {:.2}% (limit {:.0}%)",
+        overhead * 100.0,
+        trace_tolerance * 100.0
+    );
+    if overhead > trace_tolerance {
+        eprintln!(
+            "FAIL: disabled observability sink costs {:.2}% over the plain \
+             path (limit {:.0}%; raise with PIMNET_TRACE_TOLERANCE on noisy \
+             machines)",
+            overhead * 100.0,
+            trace_tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"wall_ms\": {par_ms:.1},");
     let _ = writeln!(json, "  \"wall_ms_sequential\": {seq_ms:.1},");
@@ -145,6 +231,7 @@ fn main() {
     let _ = writeln!(json, "  \"cache_hits\": {},", warm.hits);
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
     let _ = writeln!(json, "  \"warm_speedup\": {warm_speedup:.3},");
+    let _ = writeln!(json, "  \"trace_overhead_frac\": {overhead:.4},");
     let _ = writeln!(json, "  \"workers\": {workers}");
     json.push('}');
     json.push('\n');

@@ -13,7 +13,8 @@
 use pim_arch::geometry::PimGeometry;
 use pim_arch::SystemConfig;
 use pim_faults::{FaultConfig, FaultInjector, PermanentFaultRates};
-use pim_sim::{par, Bandwidth, Bytes, SimTime};
+use pim_sim::{par, Bandwidth, Bytes, Probe, SimTime};
+use pim_workloads::{run_program, run_program_probed, Workload};
 use pimnet::backends::{
     BaselineHostBackend, CollectiveBackend, DimmLinkBackend, NdpBridgeBackend, PimnetBackend,
     SoftwareIdealBackend,
@@ -25,7 +26,7 @@ use pimnet::schedule::{cache, validate};
 use pimnet::timing::TimingModel;
 use pimnet::FabricConfig;
 
-use crate::{us, x, Table};
+use crate::{pct, us, x, Table};
 
 /// Elements per node every chaos scenario communicates.
 pub const CHAOS_ELEMS: usize = 64;
@@ -269,11 +270,91 @@ pub fn fig12_table(kind: CollectiveKind, workers: usize) -> Table {
     t
 }
 
+/// One Fig 11 row set over an explicit workload list: the PIMnet
+/// communication-time breakdown plus the speedup over the reference
+/// backend (DIMM-Link, or NDPBridge for All-to-All workloads).
+///
+/// The breakdown columns are sourced from the [`pim_sim::MetricsReport`]
+/// that [`run_program_probed`] fills — per-tier communication time plus
+/// the sync/mem buckets — rather than from hand-rolled accumulation over
+/// [`pimnet::timing::CommBreakdown`] fields; the metrics sink counts in
+/// exact integer picoseconds, so the output is byte-identical to the
+/// pre-metrics formula (`tests` below pin this).
+#[must_use]
+pub fn fig11_table_for(suite: &[Box<dyn Workload>]) -> Table {
+    let sys = SystemConfig::paper();
+    let fabric = FabricConfig::paper();
+    let pim = PimnetBackend::new(sys, fabric);
+    let dimm = DimmLinkBackend::new(sys, fabric);
+    let ndp = NdpBridgeBackend::new(sys);
+
+    let mut t = Table::new(
+        "Fig 11: PIMnet communication-time breakdown and speedup vs D (or N for A2A)",
+        &[
+            "workload",
+            "inter-bank",
+            "inter-chip",
+            "inter-rank",
+            "sync",
+            "mem",
+            "vs",
+            "comm-speedup",
+        ],
+    );
+    for w in suite {
+        let program = w.program(&sys);
+        let probe = Probe::metrics_only();
+        run_program_probed(&program, &sys, &pim, &probe).expect("pimnet run");
+        let r = probe.metrics.snapshot();
+        let comm_total = SimTime::from_ps(
+            r.comm_time_ps_by_tier.iter().sum::<u64>()
+                + r.sync_time_ps
+                + r.mem_time_ps
+                + r.host_time_ps,
+        );
+        let frac = |ps: u64| pct(SimTime::from_ps(ps).ratio(comm_total));
+
+        // Reference system: DIMM-Link, except for A2A workloads where the
+        // paper normalizes to NDPBridge.
+        let uses_a2a = program
+            .collective_kinds()
+            .contains(&CollectiveKind::AllToAll);
+        let (ref_name, reference): (&str, &dyn CollectiveBackend) =
+            if uses_a2a { ("N", &ndp) } else { ("D", &dimm) };
+        let reference = run_program(&program, &sys, reference).expect("reference run");
+
+        t.row([
+            w.name().to_string(),
+            frac(r.comm_time_ps_by_tier[1]),
+            frac(r.comm_time_ps_by_tier[2]),
+            frac(r.comm_time_ps_by_tier[3]),
+            frac(r.sync_time_ps),
+            frac(r.mem_time_ps),
+            ref_name.to_string(),
+            x(reference.comm.total().ratio(comm_total)),
+        ]);
+    }
+    t
+}
+
+/// The full-suite Fig 11 table (what the `fig11_comm_breakdown` binary
+/// prints).
+#[must_use]
+pub fn fig11_table() -> Table {
+    fig11_table_for(&pim_workloads::paper_suite())
+}
+
 /// The Fig 13 credit-vs-scheduled table, rows computed on `workers`
 /// threads.
+///
+/// Completion columns are sourced from the `wall_ps` watermark of each
+/// simulation's [`pim_sim::MetricsReport`] — both NoC simulators record
+/// their completion time there in exact picoseconds, so the table is
+/// byte-identical to reading `NocReport::completion` directly (`tests`
+/// below pin this).
 #[must_use]
 pub fn fig13_table(workers: usize) -> Table {
-    use pim_noc::{simulate_credit, simulate_scheduled, NocConfig};
+    use pim_noc::{simulate_credit_probed, simulate_scheduled_probed, NocConfig};
     use pim_sim::rng::SimRng;
 
     fn ready_times(n: u32, mean_us: f64, jitter: f64, seed: u64) -> Vec<SimTime> {
@@ -297,15 +378,19 @@ pub fn fig13_table(workers: usize) -> Table {
         let g = PimGeometry::paper_scaled(n);
         let s = cache::build_cached(kind, &g, elems, 4).expect("schedule");
         let ready = ready_times(n, 50.0, 0.10, 0x000F_1613);
-        let credit = simulate_credit(&s, &ready, &cfg);
-        let sched = simulate_scheduled(&s, &ready, &cfg);
-        let gain = 1.0 - sched.completion.as_secs_f64() / credit.completion.as_secs_f64();
+        let credit_probe = Probe::metrics_only();
+        let _ = simulate_credit_probed(&s, &ready, &cfg, &credit_probe);
+        let sched_probe = Probe::metrics_only();
+        let _ = simulate_scheduled_probed(&s, &ready, &cfg, &sched_probe);
+        let credit = SimTime::from_ps(credit_probe.metrics.snapshot().wall_ps);
+        let sched = SimTime::from_ps(sched_probe.metrics.snapshot().wall_ps);
+        let gain = 1.0 - sched.as_secs_f64() / credit.as_secs_f64();
         [
             kind.to_string(),
             n.to_string(),
             (elems * 4 / 1024).to_string(),
-            us(credit.completion),
-            us(sched.completion),
+            us(credit),
+            us(sched),
             format!("{:+.1}%", gain * 100.0),
         ]
     });
@@ -408,6 +493,118 @@ mod tests {
         assert_eq!(seq.table.to_csv(), par2.table.to_csv());
         assert_eq!(seq.total, par2.total);
         assert_eq!(seq.verified, par2.verified);
+    }
+
+    #[test]
+    fn fig11_metrics_columns_match_the_hand_rolled_formula() {
+        // The pre-metrics fig11 computed every column straight off the
+        // ExecutionReport's CommBreakdown; the refactored table sources
+        // them from the MetricsReport. Pin byte-equivalence of the two on
+        // a cheap sub-suite (the full suite's graph workloads are
+        // needlessly slow for a formula-equivalence check).
+        let suite: Vec<Box<dyn Workload>> = vec![
+            Box::new(pim_workloads::mlp::Mlp::new(1024)),
+            Box::new(pim_workloads::gemv::Gemv::new(1024, 64)),
+            Box::new(pim_workloads::join::HashJoin::paper()),
+        ];
+        let refactored = fig11_table_for(&suite).to_csv();
+
+        let sys = SystemConfig::paper();
+        let fabric = FabricConfig::paper();
+        let pim = PimnetBackend::new(sys, fabric);
+        let dimm = DimmLinkBackend::new(sys, fabric);
+        let ndp = NdpBridgeBackend::new(sys);
+        let mut t = Table::new(
+            "Fig 11: PIMnet communication-time breakdown and speedup vs D (or N for A2A)",
+            &[
+                "workload",
+                "inter-bank",
+                "inter-chip",
+                "inter-rank",
+                "sync",
+                "mem",
+                "vs",
+                "comm-speedup",
+            ],
+        );
+        for w in &suite {
+            let program = w.program(&sys);
+            let p = run_program(&program, &sys, &pim).unwrap();
+            let total = p.comm.total();
+            let frac = |part: SimTime| pct(part.ratio(total));
+            let uses_a2a = program
+                .collective_kinds()
+                .contains(&CollectiveKind::AllToAll);
+            let (ref_name, reference): (&str, &dyn CollectiveBackend) =
+                if uses_a2a { ("N", &ndp) } else { ("D", &dimm) };
+            let r = run_program(&program, &sys, reference).unwrap();
+            t.row([
+                w.name().to_string(),
+                frac(p.comm.inter_bank),
+                frac(p.comm.inter_chip),
+                frac(p.comm.inter_rank),
+                frac(p.comm.sync),
+                frac(p.comm.mem),
+                ref_name.to_string(),
+                x(r.comm.total().ratio(p.comm.total())),
+            ]);
+        }
+        assert_eq!(refactored, t.to_csv(), "fig11 refactor changed the CSV");
+    }
+
+    #[test]
+    fn fig13_metrics_columns_match_the_plain_simulators() {
+        // Same pin for fig13: wall_ps-sourced completion columns must
+        // reproduce the NocReport-sourced table byte-for-byte.
+        use pim_noc::{simulate_credit, simulate_scheduled, NocConfig};
+        use pim_sim::rng::SimRng;
+
+        let refactored = fig13_table(1).to_csv();
+
+        fn ready_times(n: u32, mean_us: f64, jitter: f64, seed: u64) -> Vec<SimTime> {
+            let mut rng = SimRng::seed_from_u64(seed);
+            (0..n)
+                .map(|_| {
+                    let f = 1.0 + rng.gen_range(-jitter..=jitter);
+                    SimTime::from_secs_f64(mean_us * 1e-6 * f)
+                })
+                .collect()
+        }
+        let configs = vec![
+            (CollectiveKind::AllReduce, 64u32, 2048usize),
+            (CollectiveKind::AllReduce, 64, 8192),
+            (CollectiveKind::AllToAll, 64, 2048),
+            (CollectiveKind::AllToAll, 64, 8192),
+        ];
+        let mut t = Table::new(
+            "Fig 13: credit-based vs PIM-controlled completion time (us)",
+            &[
+                "collective",
+                "DPUs",
+                "KB/DPU",
+                "credit",
+                "scheduled",
+                "PIM-control gain",
+            ],
+        );
+        for (kind, n, elems) in configs {
+            let cfg = NocConfig::paper();
+            let g = PimGeometry::paper_scaled(n);
+            let s = cache::build_cached(kind, &g, elems, 4).unwrap();
+            let ready = ready_times(n, 50.0, 0.10, 0x000F_1613);
+            let credit = simulate_credit(&s, &ready, &cfg);
+            let sched = simulate_scheduled(&s, &ready, &cfg);
+            let gain = 1.0 - sched.completion.as_secs_f64() / credit.completion.as_secs_f64();
+            t.row([
+                kind.to_string(),
+                n.to_string(),
+                (elems * 4 / 1024).to_string(),
+                us(credit.completion),
+                us(sched.completion),
+                format!("{:+.1}%", gain * 100.0),
+            ]);
+        }
+        assert_eq!(refactored, t.to_csv(), "fig13 refactor changed the CSV");
     }
 
     #[test]

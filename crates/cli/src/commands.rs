@@ -32,8 +32,24 @@ USAGE:
   pimnet-cli lint       [--kind <coll>] [--dpus <n>] [--elems <n>] [--json]
                     [--all-presets] [--perm-faults <tok,..>]
                     [--fault-seed <n>] [--fault-config <path>]
+  pimnet-cli trace      [--kind <coll>[,<coll>..]|all] [--dpus <n>] [--elems <n>]
+                    [--out <trace.json>] [--csv <trace.csv>]
+                    [--fault-seed <n>] [--fault-config <path>] [--ber <f>]
+                    [--straggler-prob <f>] [--perm-faults <tok,..>]
 
   <coll> = allreduce | reducescatter | allgather | a2a | broadcast | reduce | gather
+
+  trace runs each collective through the schedule cache, the timing engine,
+  and the functional executor with the structured-event tracer attached,
+  then exports one Chrome trace_event JSON (load it at chrome://tracing or
+  https://ui.perfetto.dev) with one process per collective and one track
+  per subsystem. Without --out the JSON goes to stdout (summaries go to
+  stderr). Traces are deterministic: same seed + geometry => byte-identical
+  output at any PIMNET_THREADS.
+
+  schedule/noc/faults/repair also accept --metrics: run the same
+  computation with the metrics sink attached and print the aggregated
+  report (per-tier bytes, link-busy time, barrier waits, retries, ...).
 
   lint runs the static analyzer (structural, sync, hazard, dataflow passes)
   over a schedule without executing it, and exits non-zero on any
@@ -64,6 +80,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "faults" => faults(&flags),
         "repair" => repair(&flags),
         "lint" => lint(&flags),
+        "trace" => trace(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -83,6 +100,21 @@ fn parse_kind(s: &str) -> Result<CollectiveKind, String> {
         "gather" | "ga" => CollectiveKind::Gather,
         other => return Err(format!("unknown collective '{other}'")),
     })
+}
+
+/// Parses `--kind` for the `trace` command: one collective, a comma list,
+/// or `all` (the five golden-traced kinds).
+fn parse_kinds(s: &str) -> Result<Vec<CollectiveKind>, String> {
+    if s.eq_ignore_ascii_case("all") {
+        return Ok(vec![
+            CollectiveKind::AllReduce,
+            CollectiveKind::ReduceScatter,
+            CollectiveKind::AllGather,
+            CollectiveKind::Broadcast,
+            CollectiveKind::AllToAll,
+        ]);
+    }
+    s.split(',').map(|k| parse_kind(k.trim())).collect()
 }
 
 fn parse_backends(s: &str) -> Result<Vec<BackendKind>, String> {
@@ -261,8 +293,25 @@ fn suite() -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the bare `--metrics` switch shared by several commands into the
+/// matching probe: a metrics-only sink when given, a no-op sink otherwise
+/// (so the un-flagged path keeps its zero-overhead guarantee).
+fn metrics_probe(flags: &Flags) -> pim_sim::Probe {
+    if flags
+        .get_or("metrics", "false")
+        .eq_ignore_ascii_case("true")
+    {
+        pim_sim::Probe::metrics_only()
+    } else {
+        pim_sim::Probe {
+            trace: pim_sim::Tracer::disabled(),
+            metrics: pim_sim::Metrics::disabled(),
+        }
+    }
+}
+
 fn schedule(flags: &Flags) -> Result<(), String> {
-    warn_unknown(flags, &["kind", "dpus", "elems", "timeline"]);
+    warn_unknown(flags, &["kind", "dpus", "elems", "timeline", "metrics"]);
     let kind = parse_kind(flags.require("kind")?)?;
     let dpus: u32 = flags.num_or("dpus", 256)?;
     let elems: usize = flags.num_or("elems", 8192)?;
@@ -315,6 +364,15 @@ fn schedule(flags: &Flags) -> Result<(), String> {
             timeline.end
         );
     }
+    let probe = metrics_probe(flags);
+    if probe.is_active() {
+        let _ = pimnet::timeline::Timeline::build_probed(
+            &s,
+            &pimnet::timing::TimingModel::paper(),
+            &probe,
+        );
+        println!("{}", probe.metrics.snapshot().render());
+    }
     Ok(())
 }
 
@@ -328,6 +386,7 @@ fn noc(flags: &Flags) -> Result<(), String> {
             "jitter-us",
             "fault-seed",
             "fault-config",
+            "metrics",
         ],
     );
     let kind = parse_kind(flags.get_or("kind", "a2a"))?;
@@ -345,8 +404,9 @@ fn noc(flags: &Flags) -> Result<(), String> {
             SimTime::from_secs_f64(jitter_us * 1e-6 * f)
         })
         .collect();
-    let credit =
-        pim_noc::simulate_credit_faulty(&s, &ready, &cfg, &injector).map_err(|e| e.to_string())?;
+    let probe = metrics_probe(flags);
+    let credit = pim_noc::simulate_credit_faulty_probed(&s, &ready, &cfg, &injector, &probe)
+        .map_err(|e| e.to_string())?;
     let sched = pim_noc::simulate_scheduled(&s, &ready, &cfg);
     println!("{kind} on {dpus} DPUs, {elems} elements/DPU, ±10% jitter around {jitter_us} us:");
     println!("  credit-based : {credit}");
@@ -359,6 +419,9 @@ fn noc(flags: &Flags) -> Result<(), String> {
     println!("  PIM-control  : {sched}");
     let gain = 1.0 - sched.completion.as_secs_f64() / credit.completion.as_secs_f64();
     println!("  PIM control changes completion by {:+.1}%", gain * 100.0);
+    if probe.is_active() {
+        println!("{}", probe.metrics.snapshot().render());
+    }
     Ok(())
 }
 
@@ -375,12 +438,14 @@ fn faults(flags: &Flags) -> Result<(), String> {
             "straggler-prob",
             "dead",
             "perm-faults",
+            "metrics",
         ],
     );
     let kind = parse_kind(flags.get_or("kind", "allreduce"))?;
     let dpus: u32 = flags.num_or("dpus", 64)?;
     let elems: usize = flags.num_or("elems", 1024)?;
     let injector = fault_injector(flags)?;
+    let probe = metrics_probe(flags);
     let sys = system_for(dpus)?;
     let cfg = injector.config();
     println!(
@@ -394,13 +459,14 @@ fn faults(flags: &Flags) -> Result<(), String> {
     );
 
     // 1. Degrade the plan around hard-dead DPUs.
-    let plan = pimnet::resilience::plan_degraded(
+    let plan = pimnet::resilience::plan_degraded_probed(
         kind,
         &sys.system().geometry,
         elems,
         4,
         &injector,
         sys.system(),
+        &probe,
     )
     .map_err(|e| e.to_string())?;
     for e in plan.error_trail() {
@@ -445,6 +511,9 @@ fn faults(flags: &Flags) -> Result<(), String> {
                 excluded.len(),
                 breakdown.total()
             );
+            if probe.is_active() {
+                println!("{}", probe.metrics.snapshot().render());
+            }
             return Ok(());
         }
     };
@@ -458,8 +527,9 @@ fn faults(flags: &Flags) -> Result<(), String> {
     });
     let timing = pimnet::timing::TimingModel::paper();
     let clean = pimnet::timeline::Timeline::build(schedule, &timing);
-    let faulty = pimnet::timeline::Timeline::build_with_faults(schedule, &timing, &injector)
-        .map_err(|e| e.to_string())?;
+    let faulty =
+        pimnet::timeline::Timeline::build_with_faults_probed(schedule, &timing, &injector, &probe)
+            .map_err(|e| e.to_string())?;
     let stretch = faulty.end.as_secs_f64() / clean.end.as_secs_f64();
     println!(
         "  timing: fault-free {} -> under faults {}  ({:.2}x)",
@@ -473,7 +543,7 @@ fn faults(flags: &Flags) -> Result<(), String> {
     clean_m.run(schedule, pimnet::exec::ReduceOp::Sum);
     let mut faulty_m = pimnet::exec::ExecMachine::init(schedule, init);
     let stats = faulty_m
-        .run_with_faults(schedule, pimnet::exec::ReduceOp::Sum, &injector)
+        .run_with_faults_probed(schedule, pimnet::exec::ReduceOp::Sum, &injector, &probe)
         .map_err(|e| e.to_string())?;
     println!(
         "  exec: {} transfers, {} CRC checks, {} corrupted, {} retries; \
@@ -486,6 +556,9 @@ fn faults(flags: &Flags) -> Result<(), String> {
     );
     if clean_m != faulty_m {
         return Err("faulty run diverged from the clean run".into());
+    }
+    if probe.is_active() {
+        println!("{}", probe.metrics.snapshot().render());
     }
     Ok(())
 }
@@ -500,12 +573,14 @@ fn repair(flags: &Flags) -> Result<(), String> {
             "perm-faults",
             "fault-seed",
             "fault-config",
+            "metrics",
         ],
     );
     let kind = parse_kind(flags.get_or("kind", "allreduce"))?;
     let dpus: u32 = flags.num_or("dpus", 64)?;
     let elems: usize = flags.num_or("elems", 1024)?;
     let injector = fault_injector(flags)?;
+    let probe = metrics_probe(flags);
     let sys = system_for(dpus)?;
     let g = sys.system().geometry;
     let faults = injector.permanent_faults(g.ranks_per_channel, g.chips_per_rank, g.banks_per_chip);
@@ -520,7 +595,7 @@ fn repair(flags: &Flags) -> Result<(), String> {
     }
     let s = CommSchedule::build(kind, &g, elems, 4).map_err(|e| e.to_string())?;
     let timing = pimnet::timing::TimingModel::paper();
-    match pimnet::timeline::Timeline::build_repaired(&s, &timing, &faults) {
+    match pimnet::timeline::Timeline::build_repaired_probed(&s, &timing, &faults, &probe) {
         Ok((timeline, report)) => {
             println!(
                 "  repair: {} rerouted (+{} hops), {} remapped to buddy ports, \
@@ -565,6 +640,9 @@ fn repair(flags: &Flags) -> Result<(), String> {
                 println!("    trail: {e}");
             }
         }
+    }
+    if probe.is_active() {
+        println!("{}", probe.metrics.snapshot().render());
     }
     Ok(())
 }
@@ -694,6 +772,107 @@ fn lint_all_presets(json: bool) -> Result<(), String> {
         }
         Ok(())
     }
+}
+
+/// Runs one collective end-to-end (schedule cache, timing engine,
+/// functional executor — plus fault handling when the injector is active)
+/// with an enabled probe, and returns the drained trace and metrics.
+fn trace_one(
+    kind: CollectiveKind,
+    geometry: &pim_arch::geometry::PimGeometry,
+    elems: usize,
+    injector: &pim_faults::FaultInjector,
+) -> Result<(pim_sim::Trace, pim_sim::MetricsReport), String> {
+    let probe = pim_sim::Probe::enabled();
+    let timing = pimnet::timing::TimingModel::paper();
+    let s = pimnet::schedule::cache::build_cached_probed(kind, geometry, elems, 4, &probe)
+        .map_err(|e| e.to_string())?;
+    let init = |id: pim_arch::geometry::DpuId| vec![u64::from(id.0) + 1; elems];
+    let mut machine = pimnet::exec::ExecMachine::init(&s, init);
+    if injector.is_active() {
+        pimnet::timeline::Timeline::build_with_faults_probed(&s, &timing, injector, &probe)
+            .map_err(|e| e.to_string())?;
+        machine
+            .run_with_faults_probed(&s, pimnet::exec::ReduceOp::Sum, injector, &probe)
+            .map_err(|e| e.to_string())?;
+    } else {
+        let _ = pimnet::timeline::Timeline::build_probed(&s, &timing, &probe);
+        machine.run_probed(&s, pimnet::exec::ReduceOp::Sum, &probe);
+    }
+    Ok((probe.trace.drain(), probe.metrics.snapshot()))
+}
+
+fn trace(flags: &Flags) -> Result<(), String> {
+    warn_unknown(
+        flags,
+        &[
+            "kind",
+            "dpus",
+            "elems",
+            "out",
+            "csv",
+            "fault-seed",
+            "fault-config",
+            "ber",
+            "straggler-prob",
+            "dead",
+            "perm-faults",
+        ],
+    );
+    let kinds = parse_kinds(flags.get_or("kind", "all"))?;
+    let dpus: u32 = flags.num_or("dpus", 8)?;
+    let elems: usize = flags.num_or("elems", 64)?;
+    let injector = fault_injector(flags)?;
+    let sys = system_for(dpus)?;
+    let g = sys.system().geometry;
+    // Fan the kinds out over the deterministic pool; ordered collection
+    // keeps the export byte-identical at any PIMNET_THREADS (CI diffs it).
+    let results =
+        pim_sim::par::map_ordered(kinds, |kind| (kind, trace_one(kind, &g, elems, &injector)));
+    let mut parts: Vec<(String, pim_sim::Trace)> = Vec::new();
+    let mut merged = pim_sim::MetricsReport::new();
+    for (kind, result) in results {
+        let (trace, report) = result?;
+        merged.merge(&report);
+        parts.push((format!("{kind}").to_ascii_lowercase(), trace));
+    }
+    let refs: Vec<(&str, &pim_sim::Trace)> = parts.iter().map(|(n, t)| (n.as_str(), t)).collect();
+    let json = pim_sim::trace::chrome_json(&refs);
+    // Without --out, stdout carries the JSON and the summary moves to
+    // stderr so the output stays pipeable.
+    let to_file = flags.require("out").is_ok();
+    let say = |line: String| {
+        if to_file {
+            println!("{line}");
+        } else {
+            eprintln!("{line}");
+        }
+    };
+    for (name, t) in &parts {
+        say(format!(
+            "  {name:<14} {:>5} events ({} dropped), fingerprint {:#018x}",
+            t.events.len(),
+            t.dropped,
+            t.fingerprint()
+        ));
+    }
+    say(format!("metrics:\n{}", merged.render()));
+    if let Ok(path) = flags.require("csv") {
+        let mut csv = String::new();
+        for (name, t) in &parts {
+            csv.push_str(&format!("# part {name}\n"));
+            csv.push_str(&t.to_csv());
+        }
+        std::fs::write(path, csv).map_err(|e| e.to_string())?;
+        say(format!("csv -> {path}"));
+    }
+    if let Ok(path) = flags.require("out") {
+        std::fs::write(path, &json).map_err(|e| e.to_string())?;
+        println!("chrome trace ({} part(s)) -> {path}", parts.len());
+    } else {
+        print!("{json}");
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -896,6 +1075,88 @@ mod tests {
             "rank1",
         ])
         .is_err());
+    }
+
+    #[test]
+    fn trace_command_writes_chrome_json_and_csv() {
+        let dir = std::env::temp_dir().join("pimnet-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("t.json");
+        let csv = dir.join("t.csv");
+        run(&[
+            "trace",
+            "--kind",
+            "allreduce,a2a",
+            "--dpus",
+            "8",
+            "--elems",
+            "64",
+            "--out",
+            json.to_str().unwrap(),
+            "--csv",
+            csv.to_str().unwrap(),
+        ])
+        .unwrap();
+        let j = std::fs::read_to_string(&json).unwrap();
+        assert!(j.starts_with("{\"traceEvents\":["));
+        assert!(j.contains("\"allreduce\"") && j.contains("\"all-to-all\""));
+        let c = std::fs::read_to_string(&csv).unwrap();
+        assert!(c.contains("# part allreduce"));
+        assert!(c.contains("barrier"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_command_rejects_bad_kinds() {
+        assert!(run(&["trace", "--kind", "allreduce,nope"]).is_err());
+    }
+
+    #[test]
+    fn metrics_flag_is_accepted_by_instrumented_commands() {
+        run(&[
+            "faults",
+            "--kind",
+            "ar",
+            "--dpus",
+            "16",
+            "--elems",
+            "64",
+            "--metrics",
+        ])
+        .unwrap();
+        run(&[
+            "repair",
+            "--kind",
+            "ar",
+            "--dpus",
+            "16",
+            "--elems",
+            "64",
+            "--metrics",
+        ])
+        .unwrap();
+        run(&[
+            "schedule",
+            "--kind",
+            "ar",
+            "--dpus",
+            "16",
+            "--elems",
+            "64",
+            "--metrics",
+        ])
+        .unwrap();
+        run(&[
+            "noc",
+            "--kind",
+            "ar",
+            "--dpus",
+            "8",
+            "--elems",
+            "128",
+            "--metrics",
+        ])
+        .unwrap();
     }
 
     #[test]

@@ -14,6 +14,8 @@
 use std::fmt;
 
 use pim_arch::geometry::DpuId;
+use pim_sim::trace::codes;
+use pim_sim::{Probe, SimTime};
 
 use crate::error::PimnetError;
 use crate::schedule::{CommSchedule, CommStep};
@@ -181,6 +183,31 @@ impl<T: Element> ExecMachine<T> {
         }
     }
 
+    /// [`ExecMachine::run`] plus observation: per-step `exec-step`
+    /// instants, per-transfer `exec-transfer` instants, staging-arena
+    /// reuse counters, and the per-tier injected/delivered byte
+    /// conservation pair. The buffers end bit-identical to `run`.
+    ///
+    /// The executor has no simulated clock, so event timestamps are the
+    /// step's **logical ordinal** across the whole schedule — a
+    /// deterministic total order.
+    pub fn run_probed(&mut self, schedule: &CommSchedule, op: ReduceOp, probe: &Probe) {
+        if !probe.is_active() {
+            return self.run(schedule, op);
+        }
+        let mut staging = Staging::default();
+        let mut logical = 0u64;
+        for (pi, phase) in schedule.phases.iter().enumerate() {
+            for (si, step) in phase.steps.iter().enumerate() {
+                let cap_before = staging.arena.capacity();
+                staging.snapshot_step(&self.buffers, step);
+                staging.apply(&mut self.buffers, op);
+                staging.record_step(schedule, (pi, si), cap_before, logical, probe);
+                logical += 1;
+            }
+        }
+    }
+
     /// Runs the schedule under a fault scenario: every non-local transfer
     /// is serialized to its wire image, CRC-checked at the receiver, and
     /// re-sent (up to the configured retry budget) whenever the injector
@@ -225,6 +252,8 @@ impl<T: Element> ExecMachine<T> {
                             (pi, si, ti),
                             injector,
                             &mut stats,
+                            Probe::disabled(),
+                            0,
                         )?;
                     }
                 }
@@ -234,14 +263,74 @@ impl<T: Element> ExecMachine<T> {
         Ok(stats)
     }
 
+    /// [`ExecMachine::run_with_faults`] plus observation: everything
+    /// [`ExecMachine::run_probed`] records, plus one `exec-retry` instant
+    /// per re-send and the run's CRC/corruption/retry counters. Nothing
+    /// is recorded on the error path beyond the events already emitted.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`ExecMachine::run_with_faults`].
+    pub fn run_with_faults_probed(
+        &mut self,
+        schedule: &CommSchedule,
+        op: ReduceOp,
+        injector: &pim_faults::FaultInjector,
+        probe: &Probe,
+    ) -> Result<FaultStats, PimnetError> {
+        if !probe.is_active() {
+            return self.run_with_faults(schedule, op, injector);
+        }
+        if !injector.is_active() {
+            self.run_probed(schedule, op, probe);
+            return Ok(FaultStats::default());
+        }
+        if let Some(dead) = schedule.participants().find(|id| injector.is_dead(id.0)) {
+            return Err(PimnetError::DeadDpu { dpu: dead.0 });
+        }
+        let mut stats = FaultStats::default();
+        let mut staging = Staging::default();
+        let mut logical = 0u64;
+        for (pi, phase) in schedule.phases.iter().enumerate() {
+            for (si, step) in phase.steps.iter().enumerate() {
+                let cap_before = staging.arena.capacity();
+                staging.snapshot_step(&self.buffers, step);
+                for (ti, t) in step.transfers.iter().enumerate() {
+                    if !t.is_local() {
+                        stats.transfers += 1;
+                        self.transmit(
+                            staging.transfer_payload(ti),
+                            (pi, si, ti),
+                            injector,
+                            &mut stats,
+                            probe,
+                            logical,
+                        )?;
+                    }
+                }
+                staging.apply(&mut self.buffers, op);
+                staging.record_step(schedule, (pi, si), cap_before, logical, probe);
+                logical += 1;
+            }
+        }
+        probe
+            .metrics
+            .fault_counts(stats.crc_checks, stats.corrupted, stats.retries);
+        Ok(stats)
+    }
+
     /// Models one transfer crossing the wire: serialize, corrupt per the
     /// injector, CRC-check, retry. Returns once an attempt arrives clean.
+    /// Re-sends are recorded into `probe` as `exec-retry` instants at the
+    /// step's `logical` ordinal (a no-op on the disabled probe).
     fn transmit(
         &self,
         payload: &[T],
         (pi, si, ti): (usize, usize, usize),
         injector: &pim_faults::FaultInjector,
         stats: &mut FaultStats,
+        probe: &Probe,
+        logical: u64,
     ) -> Result<(), PimnetError> {
         let wire: Vec<u8> = payload
             .iter()
@@ -276,6 +365,11 @@ impl<T: Element> ExecMachine<T> {
             }
             attempt += 1;
             stats.retries += 1;
+            probe.trace.instant(
+                SimTime::from_ps(logical),
+                codes::EXEC_RETRY,
+                [pi as u64, si as u64, ti as u64, u64::from(attempt)],
+            );
         }
     }
 
@@ -356,6 +450,62 @@ impl<T: Element> Staging<T> {
     fn transfer_payload(&self, ti: usize) -> &[T] {
         let (at, len) = self.segments[ti];
         &self.arena[at..at + len]
+    }
+
+    /// Records one executed step into `probe`: per-transfer
+    /// `exec-transfer` instants, the `exec-step` instant, arena-reuse
+    /// accounting, and the injected/delivered conservation pair —
+    /// *injected* computed from the schedule's spans (what must cross the
+    /// wire to every destination), *delivered* observed from the staged
+    /// deliveries this pass actually queued. The two totals agreeing per
+    /// tier is the executor conservation law `tests/metrics_invariants.rs`
+    /// checks.
+    fn record_step(
+        &self,
+        schedule: &CommSchedule,
+        (pi, si): (usize, usize),
+        cap_before: usize,
+        logical: u64,
+        probe: &Probe,
+    ) {
+        if !probe.is_active() {
+            return;
+        }
+        let phase = &schedule.phases[pi];
+        let step = &phase.steps[si];
+        let tier = phase.label.tier_index();
+        let eb = u64::from(schedule.elem_bytes);
+        let ts = SimTime::from_ps(logical);
+        let mut injected = 0u64;
+        for t in &step.transfers {
+            let bytes = t.src_span.len as u64 * eb;
+            injected += bytes * t.dsts.len() as u64;
+            probe.trace.instant(
+                ts,
+                codes::EXEC_TRANSFER,
+                [u64::from(t.src.0), t.dsts.len() as u64, bytes, tier as u64],
+            );
+        }
+        let delivered = self
+            .deliveries
+            .iter()
+            .map(|&(_, _, _, len, _)| len as u64)
+            .sum::<u64>()
+            * eb;
+        let grew = self.arena.capacity() > cap_before;
+        if grew {
+            probe.trace.instant(
+                ts,
+                codes::ARENA_GROW,
+                [logical, self.arena.capacity() as u64, 0, 0],
+            );
+        }
+        probe.metrics.exec_step(tier, injected, delivered, grew);
+        probe.trace.instant(
+            ts,
+            codes::EXEC_STEP,
+            [pi as u64, si as u64, step.transfers.len() as u64, delivered],
+        );
     }
 
     /// Applies every staged delivery to `buffers`, in transfer order.

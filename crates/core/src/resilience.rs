@@ -39,7 +39,8 @@ use pim_arch::geometry::PimGeometry;
 use pim_arch::SystemConfig;
 use pim_faults::permanent::PermanentFaultSet;
 use pim_faults::FaultInjector;
-use pim_sim::Bytes;
+use pim_sim::trace::codes;
+use pim_sim::{Bytes, Probe, SimTime};
 
 use crate::backends::{BaselineHostBackend, CollectiveBackend};
 use crate::collective::{CollectiveKind, CollectiveSpec};
@@ -291,6 +292,42 @@ pub fn plan_degraded(
         }
     }
     host_fallback(kind, elems_per_node, elem_bytes, system, dead, error_trail)
+}
+
+/// [`plan_degraded`] with observability: on success the surviving ladder
+/// rung lands in `probe` as a `plan-tier` trace event and as
+/// [`pim_sim::MetricsReport::degraded_tier`]. With a disabled probe this
+/// is exactly [`plan_degraded`].
+///
+/// # Errors
+///
+/// Same as [`plan_degraded`] (nothing is recorded on the error path).
+pub fn plan_degraded_probed(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    injector: &FaultInjector,
+    system: &SystemConfig,
+    probe: &Probe,
+) -> Result<DegradedPlan, PimnetError> {
+    let plan = plan_degraded(kind, geometry, elems_per_node, elem_bytes, injector, system)?;
+    if probe.is_active() {
+        let tier = plan.tier();
+        let excluded = match &plan {
+            DegradedPlan::Full(_) | DegradedPlan::Repaired { .. } => 0,
+            DegradedPlan::Shrunk { excluded, .. } | DegradedPlan::HostFallback { excluded, .. } => {
+                excluded.len() as u64
+            }
+        };
+        probe.trace.instant(
+            SimTime::ZERO,
+            codes::PLAN_TIER,
+            [u64::from(tier), excluded, 0, 0],
+        );
+        probe.metrics.degraded_tier(tier);
+    }
+    Ok(plan)
 }
 
 /// Bottom rung of the ladder: the CPU gathers from / scatters to the alive

@@ -38,6 +38,8 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use pim_arch::geometry::PimGeometry;
 use pim_faults::permanent::PermanentFaultSet;
+use pim_sim::trace::codes;
+use pim_sim::{Probe, SimTime};
 
 use crate::collective::CollectiveKind;
 use crate::error::PimnetError;
@@ -175,6 +177,7 @@ fn lock_table() -> std::sync::MutexGuard<'static, HashMap<Key, Slot>> {
 /// retries (reproducing the cheap, request-specific error itself).
 fn get_or_build(
     key: Key,
+    probe: &Probe,
     build: impl Fn() -> Result<Entry, PimnetError>,
 ) -> Result<Entry, PimnetError> {
     loop {
@@ -183,6 +186,7 @@ fn get_or_build(
             match map.get(&key) {
                 Some(Slot::Ready(e)) => {
                     HITS.fetch_add(1, Ordering::Relaxed);
+                    record_cache_event(codes::CACHE_HIT, &key, probe);
                     return Ok(e.clone());
                 }
                 Some(Slot::Pending(p)) => p.clone(),
@@ -191,6 +195,7 @@ fn get_or_build(
                     map.insert(key, Slot::Pending(p.clone()));
                     drop(map);
                     MISSES.fetch_add(1, Ordering::Relaxed);
+                    record_cache_event(codes::CACHE_MISS, &key, probe);
                     match build() {
                         Ok(entry) => {
                             BUILT.fetch_add(1, Ordering::Relaxed);
@@ -218,10 +223,37 @@ fn get_or_build(
         // Someone else is building this key: wait for them. A successful
         // build counts as a hit for us; a failed one sends us back around
         // the loop to try building it ourselves.
+        record_cache_event(codes::CACHE_DEDUP_WAIT, &key, probe);
         if let Some(entry) = pending.wait() {
             HITS.fetch_add(1, Ordering::Relaxed);
+            record_cache_event(codes::CACHE_HIT, &key, probe);
             return Ok(entry);
         }
+    }
+}
+
+/// Emits one cache event (hit/miss/dedup-wait) and bumps the matching
+/// metrics counter. Cache events have no simulated time, so they carry
+/// timestamp zero; golden-trace tests filter the cache group out, since
+/// hit/miss patterns legitimately differ between cold and warm runs.
+fn record_cache_event(code: u16, key: &Key, probe: &Probe) {
+    if !probe.is_active() {
+        return;
+    }
+    probe.trace.instant(
+        SimTime::ZERO,
+        code,
+        [
+            key.kind as u64,
+            u64::from(key.geometry.total_dpus()),
+            key.elems_per_node as u64,
+            u64::from(key.elem_bytes),
+        ],
+    );
+    match code {
+        codes::CACHE_HIT => probe.metrics.cache_hit(),
+        codes::CACHE_MISS => probe.metrics.cache_miss(),
+        _ => probe.metrics.cache_dedup_wait(),
     }
 }
 
@@ -284,6 +316,29 @@ pub fn build_cached(
     elems_per_node: usize,
     elem_bytes: u32,
 ) -> Result<Arc<CommSchedule>, PimnetError> {
+    build_cached_probed(
+        kind,
+        geometry,
+        elems_per_node,
+        elem_bytes,
+        Probe::disabled(),
+    )
+}
+
+/// [`build_cached`] with hit/miss/dedup-wait observability: each lookup
+/// outcome lands in `probe` as a `cache-*` trace event and a metrics
+/// counter. With a disabled probe this is exactly [`build_cached`].
+///
+/// # Errors
+///
+/// Whatever [`CommSchedule::build`] or [`validate::validate`] return.
+pub fn build_cached_probed(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    probe: &Probe,
+) -> Result<Arc<CommSchedule>, PimnetError> {
     let key = Key {
         kind,
         geometry: *geometry,
@@ -292,7 +347,7 @@ pub fn build_cached(
         repair: EMPTY_FAULTS,
         repaired: false,
     };
-    let entry = get_or_build(key, || {
+    let entry = get_or_build(key, probe, || {
         let schedule = CommSchedule::build(kind, geometry, elems_per_node, elem_bytes)?;
         validate::validate(&schedule)?;
         Ok(Entry::Plain(Arc::new(schedule)))
@@ -321,6 +376,32 @@ pub fn repair_cached(
     elem_bytes: u32,
     faults: &PermanentFaultSet,
 ) -> Result<Arc<RepairedSchedule>, PimnetError> {
+    repair_cached_probed(
+        kind,
+        geometry,
+        elems_per_node,
+        elem_bytes,
+        faults,
+        Probe::disabled(),
+    )
+}
+
+/// [`repair_cached`] with hit/miss/dedup-wait observability, including the
+/// inner base-schedule lookup. With a disabled probe this is exactly
+/// [`repair_cached`].
+///
+/// # Errors
+///
+/// Whatever [`build_cached`] or
+/// [`repair`](super::repair::repair) return.
+pub fn repair_cached_probed(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    faults: &PermanentFaultSet,
+    probe: &Probe,
+) -> Result<Arc<RepairedSchedule>, PimnetError> {
     let key = Key {
         kind,
         geometry: *geometry,
@@ -329,8 +410,8 @@ pub fn repair_cached(
         repair: fault_fingerprint(faults),
         repaired: true,
     };
-    let entry = get_or_build(key, || {
-        let base = build_cached(kind, geometry, elems_per_node, elem_bytes)?;
+    let entry = get_or_build(key, probe, || {
+        let base = build_cached_probed(kind, geometry, elems_per_node, elem_bytes, probe)?;
         let repaired = super::repair::repair(&base, faults)?;
         Ok(Entry::Repaired(Arc::new(repaired)))
     })?;

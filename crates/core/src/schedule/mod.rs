@@ -201,6 +201,20 @@ pub enum PhaseLabel {
     InterRank,
 }
 
+impl PhaseLabel {
+    /// Stable tier index for per-tier metrics arrays
+    /// (`pim_sim::metrics::TIERS` slots, matching `metrics::tier_name`).
+    #[must_use]
+    pub const fn tier_index(self) -> usize {
+        match self {
+            PhaseLabel::Local => 0,
+            PhaseLabel::InterBank => 1,
+            PhaseLabel::InterChip => 2,
+            PhaseLabel::InterRank => 3,
+        }
+    }
+}
+
 impl fmt::Display for PhaseLabel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

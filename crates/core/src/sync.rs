@@ -15,7 +15,8 @@
 
 use pim_arch::geometry::DpuId;
 use pim_faults::FaultInjector;
-use pim_sim::SimTime;
+use pim_sim::trace::codes;
+use pim_sim::{Probe, SimTime};
 
 use crate::error::PimnetError;
 use crate::fabric::FabricConfig;
@@ -32,6 +33,18 @@ pub enum SyncScope {
     /// Participants span ranks of one channel (READY reaches the inter-rank
     /// switch — the worst case).
     Channel,
+}
+
+impl SyncScope {
+    /// Stable integer used as the `barrier` trace-event argument.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        match self {
+            SyncScope::Chip => 0,
+            SyncScope::Rank => 1,
+            SyncScope::Channel => 2,
+        }
+    }
 }
 
 /// Timing model of the READY/START barrier.
@@ -69,6 +82,31 @@ impl SyncModel {
     #[must_use]
     pub fn barrier(&self, scope: SyncScope, skew: SimTime) -> SimTime {
         self.one_way(scope) * 2 + skew
+    }
+
+    /// [`SyncModel::barrier`] plus observation: emits one `barrier` span
+    /// and adds its cost to the metrics.
+    #[must_use]
+    pub fn barrier_probed(&self, scope: SyncScope, skew: SimTime, probe: &Probe) -> SimTime {
+        let cost = self.barrier(scope, skew);
+        self.record_barrier(scope, cost, skew, probe);
+        cost
+    }
+
+    /// Records an already-computed barrier of `cost` (used by the probed
+    /// timeline builders, which learn the barrier cost from the built
+    /// timeline): a `barrier` span starting at simulated time zero.
+    pub fn record_barrier(&self, scope: SyncScope, cost: SimTime, skew: SimTime, probe: &Probe) {
+        if !probe.is_active() {
+            return;
+        }
+        probe.trace.span(
+            SimTime::ZERO,
+            cost,
+            codes::BARRIER,
+            [scope.as_u64(), skew.as_ps(), 0, 0],
+        );
+        probe.metrics.barrier(cost.as_ps());
     }
 
     /// Control-plane cost of a schedule repair that inserted
@@ -131,6 +169,45 @@ impl SyncModel {
                 missing: Vec::new(),
             });
         }
+        Ok(total)
+    }
+
+    /// [`SyncModel::barrier_with_faults`] plus observation: on success,
+    /// emits one `straggler` instant per delayed participant (in
+    /// participant order) and the `barrier` span.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`SyncModel::barrier_with_faults`]; nothing is
+    /// recorded on the error path.
+    pub fn barrier_with_faults_probed(
+        &self,
+        scope: SyncScope,
+        skew: SimTime,
+        participants: impl Iterator<Item = DpuId>,
+        injector: &FaultInjector,
+        epoch: u64,
+        probe: &Probe,
+    ) -> Result<SimTime, PimnetError> {
+        if !probe.is_active() {
+            return self.barrier_with_faults(scope, skew, participants, injector, epoch);
+        }
+        let ids: Vec<DpuId> = participants.collect();
+        let total = self.barrier_with_faults(scope, skew, ids.iter().copied(), injector, epoch)?;
+        if injector.is_active() {
+            for id in &ids {
+                let delay_ns = injector.straggler_delay_ns(id.0, epoch);
+                if delay_ns > 0 {
+                    probe.trace.instant(
+                        SimTime::ZERO,
+                        codes::STRAGGLER,
+                        [u64::from(id.0), delay_ns, 0, 0],
+                    );
+                    probe.metrics.straggler(delay_ns);
+                }
+            }
+        }
+        self.record_barrier(scope, total, skew, probe);
         Ok(total)
     }
 }

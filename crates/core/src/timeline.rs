@@ -8,8 +8,11 @@
 //! debugging builders, and as the host-side artifact a real deployment
 //! would ship next to the instruction streams.
 
+use std::collections::HashMap;
+
 use pim_faults::FaultInjector;
-use pim_sim::SimTime;
+use pim_sim::trace::codes;
+use pim_sim::{Probe, SimTime};
 
 use pim_arch::geometry::DpuId;
 
@@ -17,6 +20,7 @@ use crate::error::PimnetError;
 use crate::schedule::{CommSchedule, PhaseLabel};
 use crate::sync::SyncModel;
 use crate::timing::TimingModel;
+use crate::topology::Resource;
 
 /// One transfer's window in the timeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -218,6 +222,199 @@ impl Timeline {
             t.end += overhead;
         }
         Ok((t, repaired.report))
+    }
+
+    /// [`Timeline::build`] plus observation: emits the `barrier` span,
+    /// one `transfer` span per window, per-tier wire-byte and link-busy
+    /// counters, and the completion watermark. The timeline itself is
+    /// bit-identical to the un-probed build.
+    #[must_use]
+    pub fn build_probed(schedule: &CommSchedule, timing: &TimingModel, probe: &Probe) -> Timeline {
+        let t = Timeline::build(schedule, timing);
+        if probe.is_active() {
+            t.record(schedule, timing, SimTime::ZERO, probe);
+        }
+        t
+    }
+
+    /// [`Timeline::build_with_faults`] plus observation: everything
+    /// [`Timeline::build_probed`] records, plus one `straggler` instant
+    /// per delayed participant and one `retry` instant per serialized
+    /// re-send (at the stretched window's start). Nothing is recorded on
+    /// the error path.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Timeline::build_with_faults`].
+    pub fn build_with_faults_probed(
+        schedule: &CommSchedule,
+        timing: &TimingModel,
+        injector: &FaultInjector,
+        probe: &Probe,
+    ) -> Result<Timeline, PimnetError> {
+        if !probe.is_active() {
+            return Timeline::build_with_faults(schedule, timing, injector);
+        }
+        let t = Timeline::build_with_faults(schedule, timing, injector)?;
+        let skew_ns = if injector.is_active() {
+            schedule
+                .participants()
+                .map(|id| injector.straggler_delay_ns(id.0, 0))
+                .max()
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        t.record(schedule, timing, SimTime::from_ns(skew_ns), probe);
+        if injector.is_active() {
+            t.record_fault_events(schedule, injector, probe);
+        }
+        Ok(t)
+    }
+
+    /// [`Timeline::build_repaired`] plus observation: everything
+    /// [`Timeline::build_probed`] records (over the *repaired* schedule),
+    /// plus one `repair-overhead` instant when the repair inserted steps.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Timeline::build_repaired`].
+    pub fn build_repaired_probed(
+        schedule: &CommSchedule,
+        timing: &TimingModel,
+        faults: &pim_faults::permanent::PermanentFaultSet,
+        probe: &Probe,
+    ) -> Result<(Timeline, crate::schedule::repair::RepairReport), PimnetError> {
+        if !probe.is_active() {
+            return Timeline::build_repaired(schedule, timing, faults);
+        }
+        // Mirror of `build_repaired`, keeping the repaired schedule in
+        // scope so the recording pass can attribute link-busy time to it.
+        let repaired = crate::schedule::repair::repair(schedule, faults)?;
+        let mut t = Timeline::build(&repaired.schedule, timing);
+        let overhead =
+            SyncModel::from_fabric(&timing.fabric).repair_overhead(repaired.report.extra_steps);
+        if overhead > SimTime::ZERO {
+            t.sync += overhead;
+            for w in &mut t.windows {
+                w.start += overhead;
+                w.end += overhead;
+            }
+            t.end += overhead;
+        }
+        if overhead > SimTime::ZERO || !repaired.report.is_identity() {
+            probe.trace.instant(
+                SimTime::ZERO,
+                codes::REPAIR_OVERHEAD,
+                [repaired.report.extra_steps as u64, overhead.as_ps(), 0, 0],
+            );
+        }
+        t.record(&repaired.schedule, timing, SimTime::ZERO, probe);
+        Ok((t, repaired.report))
+    }
+
+    /// Records this built timeline into `probe`: barrier, transfer
+    /// windows, per-tier byte/busy counters, completion watermark.
+    fn record(&self, schedule: &CommSchedule, timing: &TimingModel, skew: SimTime, probe: &Probe) {
+        SyncModel::from_fabric(&timing.fabric).record_barrier(
+            timing.scope_of(schedule),
+            self.sync,
+            skew,
+            probe,
+        );
+        for w in &self.windows {
+            let tier = w.label.tier_index();
+            probe.trace.span(
+                w.start,
+                w.end.saturating_sub(w.start),
+                codes::TRANSFER,
+                [
+                    u64::from(w.src.0),
+                    w.dsts.len() as u64,
+                    w.bytes,
+                    tier as u64,
+                ],
+            );
+            probe.metrics.wire_transfer(tier, w.bytes);
+        }
+        if probe.metrics.is_enabled() {
+            // Fault-free serialization occupancy per link. Each step lasts
+            // at least its busiest link's occupancy, so every per-link sum
+            // is ≤ end-to-end wall time (`tests/metrics_invariants.rs`).
+            let mut busy: HashMap<Resource, u64> = HashMap::new();
+            for phase in &schedule.phases {
+                for step in &phase.steps {
+                    for t in &step.transfers {
+                        if t.is_local() {
+                            continue;
+                        }
+                        let bytes = t.bytes(schedule.elem_bytes);
+                        for r in &t.resources {
+                            *busy.entry(*r).or_insert(0) +=
+                                r.bandwidth(&timing.fabric).transfer_time(bytes).as_ps();
+                        }
+                    }
+                }
+            }
+            let mut by_tier = [0u64; pim_sim::metrics::TIERS];
+            let mut max_busy = 0u64;
+            for (r, ps) in &busy {
+                by_tier[r.tier_index()] += ps;
+                max_busy = max_busy.max(*ps);
+            }
+            for (tier, ps) in by_tier.iter().enumerate() {
+                if *ps > 0 {
+                    probe.metrics.link_busy(tier, *ps);
+                }
+            }
+            probe.metrics.max_link_busy(max_busy);
+        }
+        probe.metrics.wall(self.end.as_ps());
+    }
+
+    /// Emits `straggler` and `retry` instants for an already-built faulty
+    /// timeline by re-querying the injector's pure decision functions.
+    fn record_fault_events(
+        &self,
+        schedule: &CommSchedule,
+        injector: &FaultInjector,
+        probe: &Probe,
+    ) {
+        for id in schedule.participants() {
+            let delay_ns = injector.straggler_delay_ns(id.0, 0);
+            if delay_ns > 0 {
+                probe.trace.instant(
+                    SimTime::ZERO,
+                    codes::STRAGGLER,
+                    [u64::from(id.0), delay_ns, 0, 0],
+                );
+                probe.metrics.straggler(delay_ns);
+            }
+        }
+        let mut wi = 0usize;
+        for (pi, phase) in schedule.phases.iter().enumerate() {
+            for (si, step) in phase.steps.iter().enumerate() {
+                for (ti, t) in step.transfers.iter().enumerate() {
+                    if t.is_local() {
+                        continue;
+                    }
+                    let start = self.windows[wi].start;
+                    wi += 1;
+                    // The build succeeded, so every transfer has a finite
+                    // attempt count.
+                    let corrupted = injector
+                        .attempts_before_success(pi as u64, si as u64, ti as u64)
+                        .unwrap_or(0);
+                    for attempt in 1..=u64::from(corrupted) {
+                        probe.trace.instant(
+                            start,
+                            codes::RETRY,
+                            [pi as u64, si as u64, ti as u64, attempt],
+                        );
+                    }
+                }
+            }
+        }
     }
 
     /// Renders a CSV (one row per window) for plotting.

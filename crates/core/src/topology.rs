@@ -136,6 +136,18 @@ impl Resource {
     pub fn requires_exclusive_step(&self) -> bool {
         matches!(self, Resource::RingSegment { .. })
     }
+
+    /// Stable fabric-tier index of this resource for per-tier metrics
+    /// arrays (matching `PhaseLabel::tier_index`): ring segments are
+    /// inter-bank, DQ channels inter-chip, the rank bus inter-rank.
+    #[must_use]
+    pub const fn tier_index(&self) -> usize {
+        match self {
+            Resource::RingSegment { .. } => 1,
+            Resource::ChipTx { .. } | Resource::ChipRx { .. } => 2,
+            Resource::RankBus { .. } => 3,
+        }
+    }
 }
 
 impl fmt::Display for Resource {

@@ -16,7 +16,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use pim_sim::SimTime;
+use pim_sim::trace::codes;
+use pim_sim::{Probe, SimTime};
 
 use pimnet::schedule::CommSchedule;
 use pimnet::topology::Resource;
@@ -44,6 +45,24 @@ struct LinkState {
 /// exceeds `cfg.max_cycles` (deadlock guard).
 #[must_use]
 pub fn simulate_credit(schedule: &CommSchedule, ready: &[SimTime], cfg: &NocConfig) -> NocReport {
+    simulate_credit_probed(schedule, ready, cfg, Probe::disabled())
+}
+
+/// [`simulate_credit`] with observability: every packet delivery lands in
+/// `probe` as a `noc-deliver` instant (at its simulated delivery time),
+/// and the report's byte/stall/busy totals land in the metrics sink. With
+/// a disabled probe this is exactly [`simulate_credit`].
+///
+/// # Panics
+///
+/// Same as [`simulate_credit`].
+#[must_use]
+pub fn simulate_credit_probed(
+    schedule: &CommSchedule,
+    ready: &[SimTime],
+    cfg: &NocConfig,
+    probe: &Probe,
+) -> NocReport {
     let packets = packets_from_schedule(schedule);
     let nodes = schedule.geometry.total_dpus() as usize;
     assert!(
@@ -51,7 +70,7 @@ pub fn simulate_credit(schedule: &CommSchedule, ready: &[SimTime], cfg: &NocConf
         "ready times: got {}, need {nodes}",
         ready.len()
     );
-    simulate_credit_packets(&packets, ready, cfg)
+    simulate_credit_packets_probed(&packets, ready, cfg, probe)
 }
 
 /// Runs the credit-based simulation of `schedule`'s traffic under a fault
@@ -108,6 +127,78 @@ pub fn simulate_credit_faulty(
     Ok(simulate_credit_packets(&packets, &stretched, cfg))
 }
 
+/// [`simulate_credit_faulty`] with observability: stragglers and CRC
+/// retransmissions land in `probe` as `straggler` / `noc-retransmit`
+/// instants (and metrics counters) on top of everything
+/// [`simulate_credit_probed`] records. With a disabled probe this is
+/// exactly [`simulate_credit_faulty`].
+///
+/// # Errors
+///
+/// Same as [`simulate_credit_faulty`] (nothing is recorded on the error
+/// path).
+///
+/// # Panics
+///
+/// Same as [`simulate_credit_faulty`].
+pub fn simulate_credit_faulty_probed(
+    schedule: &CommSchedule,
+    ready: &[SimTime],
+    cfg: &NocConfig,
+    injector: &pim_faults::FaultInjector,
+    probe: &Probe,
+) -> Result<NocReport, pimnet::PimnetError> {
+    if !probe.is_active() {
+        return simulate_credit_faulty(schedule, ready, cfg, injector);
+    }
+    if !injector.is_active() {
+        return Ok(simulate_credit_probed(schedule, ready, cfg, probe));
+    }
+    let nodes = schedule.geometry.total_dpus() as usize;
+    assert!(
+        ready.len() >= nodes,
+        "ready times: got {}, need {nodes}",
+        ready.len()
+    );
+    if let Some(dead) = schedule.participants().find(|id| injector.is_dead(id.0)) {
+        return Err(pimnet::PimnetError::DeadDpu { dpu: dead.0 });
+    }
+    let mut stretched: Vec<SimTime> = Vec::with_capacity(ready.len());
+    for (i, &t) in ready.iter().enumerate() {
+        let delay_ns = injector.straggler_delay_ns(i as u32, 0);
+        if delay_ns > 0 && i < nodes {
+            probe
+                .trace
+                .instant(SimTime::ZERO, codes::STRAGGLER, [i as u64, delay_ns, 0, 0]);
+            probe.metrics.straggler(delay_ns);
+        }
+        stretched.push(t + SimTime::from_ns(delay_ns));
+    }
+    let base = packets_from_schedule(schedule);
+    let packets = crate::packet::inject_retransmissions(&base, injector)?;
+    probe
+        .metrics
+        .retransmissions((packets.len() - base.len()) as u64);
+    // Retry attempts re-derived per *base* packet (the expansion already
+    // proved each has a clean final attempt), so event order is the stable
+    // base-packet order rather than the expanded interleaving.
+    for p in &base {
+        let corrupted = injector
+            .attempts_before_success(p.stage.0 as u64, p.stage.1 as u64, p.id as u64)
+            .unwrap_or(0);
+        for attempt in 1..=u64::from(corrupted) {
+            probe.trace.instant(
+                SimTime::ZERO,
+                codes::NOC_RETRANSMIT,
+                [u64::from(p.src.0), u64::from(p.dst.0), p.bytes, attempt],
+            );
+        }
+    }
+    Ok(simulate_credit_packets_probed(
+        &packets, &stretched, cfg, probe,
+    ))
+}
+
 /// Runs the credit-based simulation on an explicit packet list (used both
 /// by [`simulate_credit`] and by the synthetic traffic patterns of
 /// [`crate::traffic`]).
@@ -121,6 +212,26 @@ pub fn simulate_credit_packets(
     packets: &[crate::packet::Packet],
     ready: &[SimTime],
     cfg: &NocConfig,
+) -> NocReport {
+    simulate_credit_packets_probed(packets, ready, cfg, Probe::disabled())
+}
+
+/// [`simulate_credit_packets`] with observability (the probed core the
+/// plain entry points delegate to). With an active probe, each delivery
+/// becomes a `noc-deliver` instant at its simulated delivery time (in
+/// packet-id order, so traces are independent of the cycle interleaving),
+/// and per-tier link-busy time, stall cycles, and byte conservation
+/// land in the metrics sink.
+///
+/// # Panics
+///
+/// Same as [`simulate_credit_packets`].
+#[must_use]
+pub fn simulate_credit_packets_probed(
+    packets: &[crate::packet::Packet],
+    ready: &[SimTime],
+    cfg: &NocConfig,
+    probe: &Probe,
 ) -> NocReport {
     let nodes = ready.len();
     if packets.is_empty() {
@@ -184,6 +295,7 @@ pub fn simulate_credit_packets(
     let mut last_delivery_cycle = 0u64;
     let mut stalled_links: Vec<Resource> = Vec::new();
     let mut release_cycle_of: Vec<u64> = vec![0; packets.len()];
+    let mut delivery_cycle: Vec<u64> = vec![0; packets.len()];
     let mut latencies: Vec<u64> = Vec::with_capacity(packets.len());
     let mut busy: HashMap<Resource, u64> = HashMap::new();
 
@@ -293,6 +405,7 @@ pub fn simulate_credit_packets(
                 delivered[pid] = true;
                 remaining -= 1;
                 last_delivery_cycle = cycle + 1;
+                delivery_cycle[pid] = cycle + 1;
                 latencies.push(cycle + 1 - release_cycle_of[pid]);
                 for &d in &dependents[pid] {
                     deps_left[d] -= 1;
@@ -319,6 +432,47 @@ pub fn simulate_credit_packets(
         .values()
         .map(|&b| b as f64 / last_delivery_cycle.max(1) as f64)
         .fold(0.0f64, f64::max);
+    if probe.is_active() {
+        for p in packets {
+            probe.trace.instant(
+                cfg.cycles_to_time(delivery_cycle[p.id]),
+                codes::NOC_DELIVER,
+                [
+                    u64::from(p.src.0),
+                    u64::from(p.dst.0),
+                    p.bytes,
+                    ((p.stage.0 as u64) << 16) | p.stage.1 as u64,
+                ],
+            );
+        }
+        let mut busy_ps_by_tier = [0u64; pim_sim::metrics::TIERS];
+        let mut max_busy_ps = 0u64;
+        for r in &link_order {
+            let Some(&b) = busy.get(r) else { continue };
+            let ps = cfg.cycles_to_time(b).as_ps();
+            busy_ps_by_tier[r.tier_index()] += ps;
+            max_busy_ps = max_busy_ps.max(ps);
+        }
+        for (tier, &ps) in busy_ps_by_tier.iter().enumerate() {
+            if ps > 0 {
+                probe.metrics.link_busy(tier, ps);
+            }
+        }
+        probe.metrics.max_link_busy(max_busy_ps);
+        probe
+            .metrics
+            .wall(cfg.cycles_to_time(last_delivery_cycle).as_ps());
+        // Every packet is fully delivered by loop exit, so delivered bytes
+        // are the packet total; injected bytes were counted at hop 0. The
+        // two must agree (`tests/metrics_invariants.rs`).
+        let delivered_bytes: u64 = packets.iter().map(|p| p.bytes).sum();
+        probe.metrics.noc(
+            injected_bytes,
+            delivered_bytes,
+            stall_cycles,
+            packets.len() as u64,
+        );
+    }
     NocReport {
         completion: cfg.cycles_to_time(last_delivery_cycle),
         cycles: last_delivery_cycle,

@@ -8,7 +8,8 @@
 //! deterministic step times over exactly the same link bandwidths the
 //! credit simulation uses ([`NocConfig::fabric`]).
 
-use pim_sim::SimTime;
+use pim_sim::trace::codes;
+use pim_sim::{Probe, SimTime};
 
 use pim_arch::SystemConfig;
 use pimnet::schedule::CommSchedule;
@@ -64,6 +65,43 @@ pub fn simulate_scheduled(
     }
 }
 
+/// [`simulate_scheduled`] with observability: the READY/START barrier
+/// lands in `probe` as a `barrier` span, and completion / injected bytes /
+/// packet count land in the metrics sink (scheduled playback has no
+/// per-packet delivery times — per-transfer wire accounting belongs to
+/// [`pimnet::timeline::Timeline::build_probed`]). With a disabled probe
+/// this is exactly [`simulate_scheduled`].
+///
+/// # Panics
+///
+/// Same as [`simulate_scheduled`].
+#[must_use]
+pub fn simulate_scheduled_probed(
+    schedule: &CommSchedule,
+    ready: &[SimTime],
+    cfg: &NocConfig,
+    probe: &Probe,
+) -> NocReport {
+    let report = simulate_scheduled(schedule, ready, cfg);
+    if probe.is_active() {
+        let fabric = cfg.fabric();
+        let timing = TimingModel::new(fabric, SystemConfig::paper());
+        let _ = SyncModel::from_fabric(&fabric).barrier_probed(
+            timing.scope_of(schedule),
+            SimTime::ZERO,
+            probe,
+        );
+        probe.metrics.wall(report.completion.as_ps());
+        probe.metrics.noc(
+            report.injected_bytes,
+            report.injected_bytes,
+            0,
+            report.packets as u64,
+        );
+    }
+    report
+}
+
 /// Scheduled playback over a fabric with permanent faults: the schedule is
 /// first rewritten around the fault set (rings rerouted, dead crossbar
 /// ports borrowed, contending steps serialized — see
@@ -91,6 +129,46 @@ pub fn simulate_scheduled_repaired(
         SyncModel::from_fabric(&cfg.fabric()).repair_overhead(repaired.report.extra_steps);
     report.completion += overhead;
     report.cycles = cfg.time_to_cycles(report.completion);
+    Ok(report)
+}
+
+/// [`simulate_scheduled_repaired`] with observability: the repair's
+/// control-plane cost lands in `probe` as a `repair-overhead` instant on
+/// top of everything [`simulate_scheduled_probed`] records. With a
+/// disabled probe this is exactly [`simulate_scheduled_repaired`].
+///
+/// # Errors
+///
+/// Same as [`simulate_scheduled_repaired`] (nothing is recorded on the
+/// error path).
+///
+/// # Panics
+///
+/// Same as [`simulate_scheduled_repaired`].
+pub fn simulate_scheduled_repaired_probed(
+    schedule: &CommSchedule,
+    ready: &[SimTime],
+    cfg: &NocConfig,
+    faults: &pim_faults::permanent::PermanentFaultSet,
+    probe: &Probe,
+) -> Result<NocReport, pimnet::PimnetError> {
+    if !probe.is_active() {
+        return simulate_scheduled_repaired(schedule, ready, cfg, faults);
+    }
+    let repaired = pimnet::schedule::repair::repair(schedule, faults)?;
+    let mut report = simulate_scheduled_probed(&repaired.schedule, ready, cfg, probe);
+    let overhead =
+        SyncModel::from_fabric(&cfg.fabric()).repair_overhead(repaired.report.extra_steps);
+    if overhead > SimTime::ZERO || !repaired.report.is_identity() {
+        probe.trace.instant(
+            SimTime::ZERO,
+            codes::REPAIR_OVERHEAD,
+            [repaired.report.extra_steps as u64, overhead.as_ps(), 0, 0],
+        );
+    }
+    report.completion += overhead;
+    report.cycles = cfg.time_to_cycles(report.completion);
+    probe.metrics.wall(report.completion.as_ps());
     Ok(report)
 }
 

@@ -9,6 +9,9 @@
 //!   strictly-ordered event dispatch,
 //! * a deterministic fan-out helper ([`par`]) that runs independent work
 //!   items on a scoped thread pool and returns results in input order,
+//! * a deterministic observability layer: structured event tracing
+//!   ([`trace`]), typed counters ([`metrics`]), and the [`Probe`] handle
+//!   bundling both for instrumented (`*_probed`) code paths,
 //! * small statistics helpers ([`stats`]).
 //!
 //! Everything above (the architecture model, PIMnet itself, the NoC
@@ -30,13 +33,19 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod metrics;
 pub mod par;
+pub mod probe;
 pub mod rng;
 pub mod stats;
 mod time;
+pub mod trace;
 mod units;
 
 pub use engine::Engine;
+pub use metrics::{Metrics, MetricsReport};
+pub use probe::Probe;
 pub use rng::SimRng;
 pub use time::SimTime;
+pub use trace::{Trace, TraceEvent, Tracer};
 pub use units::{Bandwidth, Bytes, Cycles, Frequency};

@@ -43,7 +43,7 @@ pub mod program;
 pub mod spmv;
 
 pub use error::WorkloadError;
-pub use program::{ExecutionReport, Phase, Program, Workload};
+pub use program::{run_program, run_program_probed, ExecutionReport, Phase, Program, Workload};
 
 use pim_arch::SystemConfig;
 

@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use pim_sim::{Bytes, SimTime};
+use pim_sim::{Bytes, Probe, SimTime};
 
 use pim_arch::{OpCounts, SystemConfig};
 use pimnet::backends::CollectiveBackend;
@@ -162,6 +162,25 @@ pub fn run_program(
     system: &SystemConfig,
     backend: &dyn CollectiveBackend,
 ) -> Result<ExecutionReport, PimnetError> {
+    run_program_probed(program, system, backend, Probe::disabled())
+}
+
+/// [`run_program`] with observability: each collective phase's
+/// [`CommBreakdown`] lands in `probe`'s metrics sink — per-tier
+/// communication time plus the sync / memory-staging / host buckets — so
+/// figure generators can source their columns from one
+/// [`pim_sim::MetricsReport`] instead of hand-rolled accumulators. With a
+/// disabled probe this is exactly [`run_program`].
+///
+/// # Errors
+///
+/// Same as [`run_program`].
+pub fn run_program_probed(
+    program: &Program,
+    system: &SystemConfig,
+    backend: &dyn CollectiveBackend,
+    probe: &Probe,
+) -> Result<ExecutionReport, PimnetError> {
     let mut report = ExecutionReport::default();
     let mut pending_skew = SimTime::ZERO;
     for phase in &program.phases {
@@ -186,10 +205,24 @@ pub fn run_program(
                 let spec = CollectiveSpec::new(*kind, *bytes_per_dpu)
                     .with_elem_bytes(*elem_bytes)
                     .with_skew(pending_skew);
-                report.comm = report.comm + backend.collective(&spec)?;
+                let comm = backend.collective(&spec)?;
+                if probe.is_active() {
+                    probe.metrics.comm_time(1, comm.inter_bank.as_ps());
+                    probe.metrics.comm_time(2, comm.inter_chip.as_ps());
+                    probe.metrics.comm_time(3, comm.inter_rank.as_ps());
+                    probe.metrics.program_time(
+                        comm.sync.as_ps(),
+                        comm.mem.as_ps(),
+                        comm.host.as_ps(),
+                    );
+                }
+                report.comm = report.comm + comm;
                 pending_skew = SimTime::ZERO;
             }
         }
+    }
+    if probe.is_active() {
+        probe.metrics.wall(report.total().as_ps());
     }
     Ok(report)
 }

@@ -18,13 +18,14 @@ use pimnet_suite::arch::SystemConfig;
 use pimnet_suite::faults::{FaultConfig, FaultInjector};
 use pimnet_suite::net::collective::CollectiveKind;
 use pimnet_suite::net::exec::{ExecMachine, ReduceOp};
-use pimnet_suite::net::resilience::{plan_degraded, DegradedPlan};
+use pimnet_suite::net::resilience::{plan_degraded, plan_degraded_probed, DegradedPlan};
 use pimnet_suite::net::schedule::CommSchedule;
 use pimnet_suite::net::timeline::Timeline;
 use pimnet_suite::net::timing::TimingModel;
 use pimnet_suite::net::PimnetError;
 use pimnet_suite::noc::{simulate_credit, simulate_credit_faulty, NocConfig};
-use pimnet_suite::sim::SimTime;
+use pimnet_suite::sim::trace::codes;
+use pimnet_suite::sim::{Probe, SimTime};
 
 const KINDS: [CollectiveKind; 4] = [
     CollectiveKind::AllReduce,
@@ -226,5 +227,135 @@ fn degraded_plans_still_compute_the_right_answer() {
     let expected: u64 = logical_to_physical.iter().map(|&p| u64::from(p)).sum();
     for id in schedule.participants() {
         assert!(m.buffer(id)[..48].iter().all(|&v| v == expected));
+    }
+}
+
+#[test]
+fn trace_events_appear_exactly_as_often_as_faults_were_injected() {
+    // The trace is not a log of what the code *did* but a re-derivation of
+    // what the injector *decided* — so every retry/straggler count in it
+    // must match the injector's pure decision functions exactly.
+    let s = schedule(CollectiveKind::AllReduce, 16, 96);
+    let inj = noisy(42);
+
+    // Executor: one `exec-retry` instant per re-send, counters mirrored
+    // into the metrics report.
+    let probe = Probe::enabled();
+    let mut m = ExecMachine::init(&s, |id| input(id, 96));
+    let stats = m
+        .run_with_faults_probed(&s, ReduceOp::Sum, &inj, &probe)
+        .expect("retry budget is ample");
+    assert!(stats.retries > 0, "BER 0.15 must force retries");
+    let trace = probe.trace.drain();
+    assert_eq!(trace.count(codes::EXEC_RETRY) as u64, stats.retries);
+    let r = probe.metrics.snapshot();
+    assert_eq!(r.retries, stats.retries);
+    assert_eq!(r.crc_checks, stats.crc_checks);
+    assert_eq!(r.corrupted, stats.corrupted);
+
+    // Timeline: one `retry` instant per serialized re-send, one
+    // `straggler` instant per delayed participant — both re-derivable
+    // from the injector.
+    let probe = Probe::enabled();
+    let _t = Timeline::build_with_faults_probed(&s, &TimingModel::paper(), &inj, &probe)
+        .expect("build succeeds");
+    let expected_stragglers = s
+        .participants()
+        .filter(|id| inj.straggler_delay_ns(id.0, 0) > 0)
+        .count();
+    let mut expected_retries = 0u64;
+    for (pi, phase) in s.phases.iter().enumerate() {
+        for (si, step) in phase.steps.iter().enumerate() {
+            for (ti, t) in step.transfers.iter().enumerate() {
+                if !t.is_local() {
+                    expected_retries += u64::from(
+                        inj.attempts_before_success(pi as u64, si as u64, ti as u64)
+                            .expect("budget ample"),
+                    );
+                }
+            }
+        }
+    }
+    assert!(expected_stragglers > 0, "straggler_prob 0.3 over 16 DPUs");
+    assert!(expected_retries > 0, "BER 0.15 must corrupt");
+    let trace = probe.trace.drain();
+    assert_eq!(trace.count(codes::STRAGGLER), expected_stragglers);
+    assert_eq!(trace.count(codes::RETRY) as u64, expected_retries);
+    let r = probe.metrics.snapshot();
+    assert_eq!(r.stragglers, expected_stragglers as u64);
+}
+
+#[test]
+fn degraded_runs_tag_their_ladder_tier_in_the_metrics_report() {
+    use pimnet_suite::faults::PermanentFaultSet;
+
+    // (injector, DPUs, expected rung, expected name) — one scenario per
+    // rung of the degradation ladder.
+    let scenarios: [(FaultInjector, u32, u8, &str); 4] = [
+        (FaultInjector::none(), 16, 0, "full"),
+        (
+            FaultInjector::new(FaultConfig {
+                permanent: PermanentFaultSet::parse_tokens("r0c0b2E, r0c3tx").unwrap(),
+                ..FaultConfig::none()
+            }),
+            64,
+            1,
+            "repaired",
+        ),
+        (
+            FaultInjector::new(FaultConfig {
+                dead_dpus: vec![0, 5, 9],
+                ..FaultConfig::none()
+            }),
+            16,
+            2,
+            "shrunk",
+        ),
+        (
+            FaultInjector::new(FaultConfig {
+                dead_dpus: (1..8).collect(),
+                ..FaultConfig::none()
+            }),
+            8,
+            3,
+            "host-fallback",
+        ),
+    ];
+    for (inj, n, rung, name) in scenarios {
+        let probe = Probe::enabled();
+        let plan = plan_degraded_probed(
+            CollectiveKind::AllReduce,
+            &PimGeometry::paper_scaled(n),
+            48,
+            4,
+            &inj,
+            &SystemConfig::paper_scaled(n),
+            &probe,
+        )
+        .unwrap();
+        assert_eq!(plan.tier(), rung, "{name}: unexpected plan tier");
+        let r = probe.metrics.snapshot();
+        assert_eq!(
+            r.degraded_tier,
+            Some(rung),
+            "{name}: metrics missed the rung"
+        );
+        assert_eq!(r.degraded_tier_name(), Some(name));
+        let trace = probe.trace.drain();
+        assert_eq!(
+            trace.count(codes::PLAN_TIER),
+            1,
+            "{name}: exactly one plan-tier event per plan"
+        );
+        let ev = trace
+            .events
+            .iter()
+            .find(|e| e.code == codes::PLAN_TIER)
+            .unwrap();
+        assert_eq!(
+            ev.args[0],
+            u64::from(rung),
+            "{name}: event carries the rung"
+        );
     }
 }

@@ -1,0 +1,168 @@
+//! Pinned golden traces for every collective path.
+//!
+//! The observability contract (`pim_sim::trace`): a probed run is a pure
+//! function of the simulated inputs, so the structured-event trace of one
+//! small preset per collective kind can be pinned **byte-for-byte**:
+//!
+//! 1. the trace CSV equals the committed golden file under
+//!    `tests/golden_traces/` (regenerate with `PIMNET_UPDATE_GOLDEN=1`);
+//! 2. the trace is byte-identical whether the per-kind captures fan out
+//!    over 1, 2 or 8 workers;
+//! 3. the trace is byte-identical between a cold-cache and a warm-cache
+//!    run — only the `cache` event group (hit/miss bookkeeping, which
+//!    legitimately differs between the two) is excluded from comparison.
+
+use std::fs;
+use std::path::PathBuf;
+
+use pimnet_suite::arch::geometry::{DpuId, PimGeometry};
+use pimnet_suite::net::collective::CollectiveKind;
+use pimnet_suite::net::exec::{ExecMachine, ReduceOp};
+use pimnet_suite::net::schedule::cache;
+use pimnet_suite::net::timeline::Timeline;
+use pimnet_suite::net::timing::TimingModel;
+use pimnet_suite::sim::trace::{codes, group};
+use pimnet_suite::sim::{par, MetricsReport, Probe, Trace};
+
+/// The small preset each golden trace captures: one collective over 8
+/// DPUs, 64 elements per node, 4-byte elements.
+const DPUS: u32 = 8;
+const ELEMS: usize = 64;
+
+/// Every collective path with its golden-file stem.
+const KINDS: [(CollectiveKind, &str); 5] = [
+    (CollectiveKind::AllReduce, "allreduce"),
+    (CollectiveKind::ReduceScatter, "reducescatter"),
+    (CollectiveKind::AllGather, "allgather"),
+    (CollectiveKind::Broadcast, "broadcast"),
+    (CollectiveKind::AllToAll, "alltoall"),
+];
+
+/// Drives the full observed pipeline for one kind — cached schedule
+/// build, probed timing construction, probed functional execution — and
+/// returns the trace plus the metrics snapshot. Mirrors what the CLI's
+/// `pimnet trace` subcommand records per collective.
+fn capture(kind: CollectiveKind, elems: usize) -> (Trace, MetricsReport) {
+    let probe = Probe::enabled();
+    let g = PimGeometry::paper_scaled(DPUS);
+    let s = cache::build_cached_probed(kind, &g, elems, 4, &probe).expect("schedule build");
+    let _timeline = Timeline::build_probed(&s, &TimingModel::paper(), &probe);
+    let mut m = ExecMachine::init(&s, |id: DpuId| vec![u64::from(id.0) + 1; elems]);
+    m.run_probed(&s, ReduceOp::Sum, &probe);
+    (probe.trace.drain(), probe.metrics.snapshot())
+}
+
+/// The comparable CSV of one kind's capture: cache hit/miss events are
+/// filtered out (they differ between cold and warm runs by design; the
+/// trace module documents this as the one non-pinned group).
+fn golden_csv(kind: CollectiveKind) -> String {
+    let (trace, _) = capture(kind, ELEMS);
+    assert_eq!(
+        trace.dropped, 0,
+        "{kind}: golden preset overflowed the ring"
+    );
+    trace.without_group(group::CACHE).to_csv()
+}
+
+fn golden_path(stem: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden_traces")
+        .join(format!("{stem}.csv"))
+}
+
+#[test]
+fn traces_match_the_committed_goldens() {
+    let update = std::env::var_os("PIMNET_UPDATE_GOLDEN").is_some();
+    for (kind, stem) in KINDS {
+        let csv = golden_csv(kind);
+        let path = golden_path(stem);
+        if update {
+            fs::create_dir_all(path.parent().unwrap()).unwrap();
+            fs::write(&path, &csv).unwrap();
+            continue;
+        }
+        let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: {e}\nrun `PIMNET_UPDATE_GOLDEN=1 cargo test --test trace_golden` \
+                 to (re)generate the golden traces",
+                path.display()
+            )
+        });
+        assert_eq!(
+            csv,
+            golden,
+            "{kind}: trace diverged from {} — if the change is intended, \
+             regenerate with PIMNET_UPDATE_GOLDEN=1",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn traces_are_byte_identical_across_worker_counts() {
+    let run = |workers: usize| -> Vec<String> {
+        par::map_ordered_with(workers, KINDS.to_vec(), |(kind, _)| golden_csv(kind))
+    };
+    let reference = run(1);
+    for workers in [2usize, 8] {
+        assert_eq!(
+            run(workers),
+            reference,
+            "traces diverged between 1 and {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn traces_are_byte_identical_between_cold_and_warm_cache_runs() {
+    // A payload size no other test in this binary uses, so the first
+    // capture is the one that populates the process-global schedule cache
+    // and the second is guaranteed to hit it.
+    const WARM_ELEMS: usize = 80;
+    for (kind, _) in KINDS {
+        let (cold_trace, cold_metrics) = capture(kind, WARM_ELEMS);
+        let (warm_trace, warm_metrics) = capture(kind, WARM_ELEMS);
+        assert_eq!(
+            cold_trace.without_group(group::CACHE).to_csv(),
+            warm_trace.without_group(group::CACHE).to_csv(),
+            "{kind}: cache warmth leaked into the trace"
+        );
+        assert!(
+            warm_trace.count(codes::CACHE_HIT) >= 1,
+            "{kind}: warm run recorded no cache hit"
+        );
+        assert_eq!(
+            warm_metrics.cache_misses, 0,
+            "{kind}: warm run rebuilt a cached schedule"
+        );
+        assert!(
+            cold_metrics.cache_hits + cold_metrics.cache_misses >= 1,
+            "{kind}: cold run recorded no cache traffic"
+        );
+    }
+}
+
+#[test]
+fn golden_traces_cover_every_probed_subsystem() {
+    for (kind, _) in KINDS {
+        let (trace, metrics) = capture(kind, ELEMS);
+        assert!(trace.count(codes::BARRIER) >= 1, "{kind}: no barrier event");
+        assert!(
+            trace.count(codes::TRANSFER) >= 1,
+            "{kind}: no timeline transfer span"
+        );
+        assert!(
+            trace.count(codes::EXEC_STEP) >= 1,
+            "{kind}: no executor step event"
+        );
+        assert!(metrics.exec_steps >= 1, "{kind}: no executor metrics");
+        // Fingerprints are stable per kind (same capture, same digest) so
+        // the CLI can print them for quick same-seed comparisons.
+        let (again, _) = capture(kind, ELEMS);
+        assert_eq!(
+            trace.without_group(group::CACHE).fingerprint(),
+            again.without_group(group::CACHE).fingerprint(),
+            "{kind}: fingerprint unstable across identical captures"
+        );
+    }
+}
