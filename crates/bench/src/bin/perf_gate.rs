@@ -14,7 +14,9 @@
 //! under parallel execution is the contract `pim_sim::par` sells.
 //! The gate also measures the disabled-sink overhead of the
 //! observability layer (plain vs `_probed`-with-disabled-probe pipeline,
-//! interleaved min-of-k) and fails when it exceeds 1 % (override with
+//! interleaved min-of-k) and the fault-free overhead of the runtime
+//! recovery manager (plain executor vs `run_recovered` with an inactive
+//! injector), failing when either exceeds 1 % (override with
 //! `PIMNET_TRACE_TOLERANCE`, floored at 0.01).
 //! Results land in `results/BENCH_perf.json`; when a committed baseline
 //! (`results/perf_baseline.json`) exists, the gate fails on a wall-time
@@ -38,6 +40,45 @@ use pimnet_bench::{results_dir, sweeps};
 const CHAOS_PER_CELL: u64 = 4;
 const CHAOS_BASE_SEED: u64 = 0xC40;
 
+/// Interleaved min-of-k comparison of `plain` vs `variant`, sampled in
+/// rounds until the measured overhead drops to `budget` or the rounds
+/// run out.
+///
+/// The overhead gates are one-sided: they only need evidence that the
+/// variant *can* run as fast as the plain path, so once the running
+/// minima meet the budget there is nothing left to prove and sampling
+/// stops. Noise can only delay that verdict — a preempted iteration
+/// inflates itself, never the floor — while a real regression stays
+/// over budget no matter how long the sampler runs. Rounds are spaced
+/// by a short sleep so a single noisy scheduling burst cannot cover
+/// every sample; negative deltas clamp to zero (the minimum of either
+/// variant can land on a quiet slice of the machine).
+fn measured_overhead(budget: f64, mut plain: impl FnMut(), mut variant: impl FnMut()) -> f64 {
+    const ROUND: u32 = 20;
+    const MAX_ROUNDS: u32 = 15;
+    let mut best_plain = f64::INFINITY;
+    let mut best_variant = f64::INFINITY;
+    let mut overhead = f64::INFINITY;
+    for round in 0..MAX_ROUNDS {
+        if round > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        for _ in 0..ROUND {
+            let t0 = Instant::now();
+            plain();
+            best_plain = best_plain.min(t0.elapsed().as_secs_f64());
+            let t1 = Instant::now();
+            variant();
+            best_variant = best_variant.min(t1.elapsed().as_secs_f64());
+        }
+        overhead = ((best_variant - best_plain) / best_plain).max(0.0);
+        if overhead <= budget {
+            break;
+        }
+    }
+    overhead
+}
+
 /// Measures the disabled-sink overhead of the observability layer: the
 /// timeline-build + functional-execution pipeline run through the plain
 /// entry points vs the `_probed` twins holding the disabled probe.
@@ -45,10 +86,8 @@ const CHAOS_BASE_SEED: u64 = 0xC40;
 /// The probed functions short-circuit to their plain bodies when the
 /// probe is inactive, so the true cost is one branch per entry — this
 /// check pins that the "zero-cost when disabled" guarantee stays true as
-/// instrumentation accretes. Interleaved min-of-k sampling filters
-/// scheduler noise; negative deltas clamp to zero (the minimum of either
-/// variant can land on a quiet slice of the machine).
-fn trace_overhead() -> f64 {
+/// instrumentation accretes.
+fn trace_overhead(budget: f64) -> f64 {
     use pim_arch::geometry::PimGeometry;
     use pim_sim::Probe;
     use pimnet::exec::{ExecMachine, ReduceOp};
@@ -79,23 +118,62 @@ fn trace_overhead() -> f64 {
 
     plain();
     probed();
-    const BATCH: u32 = 3;
-    const SAMPLES: u32 = 7;
-    let mut best_plain = f64::INFINITY;
-    let mut best_probed = f64::INFINITY;
-    for _ in 0..SAMPLES {
-        let t0 = Instant::now();
-        for _ in 0..BATCH {
-            plain();
-        }
-        best_plain = best_plain.min(t0.elapsed().as_secs_f64());
-        let t1 = Instant::now();
-        for _ in 0..BATCH {
-            probed();
-        }
-        best_probed = best_probed.min(t1.elapsed().as_secs_f64());
-    }
-    ((best_probed - best_plain) / best_plain).max(0.0)
+    measured_overhead(budget, plain, probed)
+}
+
+/// Measures the fault-free cost of routing execution through the runtime
+/// recovery manager: the plain cached-plan + executor pipeline vs
+/// `run_recovered` holding an inactive injector.
+///
+/// The manager's fast path is one `is_active()` branch plus a planning
+/// call the schedule cache absorbs, so recovery must stay free until
+/// faults actually arrive — this check pins that guarantee as the
+/// manager accretes machinery. Same interleaved min-of-k discipline as
+/// [`trace_overhead`].
+fn recovery_overhead(budget: f64) -> f64 {
+    use pim_arch::geometry::{DpuId, PimGeometry};
+    use pim_faults::FaultInjector;
+    use pimnet::exec::{ExecMachine, ReduceOp};
+    use pimnet::recovery::{run_recovered, RecoveryConfig, RecoveryRequest};
+    use pimnet::timing::TimingModel;
+
+    const ELEMS: usize = 1024;
+    let g = PimGeometry::paper_scaled(64);
+    let sys = pim_arch::SystemConfig::paper_scaled(64);
+    let timing = TimingModel::paper();
+    let injector = FaultInjector::none();
+    let s = cache::build_cached(CollectiveKind::AllReduce, &g, ELEMS, 8)
+        .expect("schedule")
+        .as_ref()
+        .clone();
+    let init = |id: DpuId| vec![u64::from(id.0) + 1; ELEMS];
+
+    let plain = || {
+        let mut m = ExecMachine::init(&s, init);
+        m.run(&s, ReduceOp::Sum);
+        std::hint::black_box(m);
+    };
+    let recovered = || {
+        let req = RecoveryRequest {
+            kind: CollectiveKind::AllReduce,
+            geometry: &g,
+            elems_per_node: ELEMS,
+            elem_bytes: 8,
+            op: ReduceOp::Sum,
+            injector: &injector,
+            system: &sys,
+            timing: &timing,
+            config: RecoveryConfig::default(),
+        };
+        let out = run_recovered::<u64>(&req, init).expect("fault-free recovery");
+        std::hint::black_box(out);
+    };
+
+    // Warmup also warms the schedule cache, so both variants plan for
+    // free inside the timed region.
+    plain();
+    recovered();
+    measured_overhead(budget, plain, recovered)
 }
 
 /// Runs the pinned workload matrix on `workers` threads and returns its
@@ -201,12 +279,12 @@ fn main() {
          (warm {warm_speedup:.2}x)"
     );
 
-    let overhead = trace_overhead();
     let trace_tolerance = std::env::var("PIMNET_TRACE_TOLERANCE")
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
         .unwrap_or(0.01)
         .max(0.01);
+    let overhead = trace_overhead(trace_tolerance);
     println!(
         "  disabled-sink overhead: {:.2}% (limit {:.0}%)",
         overhead * 100.0,
@@ -223,6 +301,23 @@ fn main() {
         std::process::exit(1);
     }
 
+    let recov_overhead = recovery_overhead(trace_tolerance);
+    println!(
+        "  fault-free recovery overhead: {:.2}% (limit {:.0}%)",
+        recov_overhead * 100.0,
+        trace_tolerance * 100.0
+    );
+    if recov_overhead > trace_tolerance {
+        eprintln!(
+            "FAIL: the recovery manager's fault-free fast path costs {:.2}% \
+             over the plain executor (limit {:.0}%; raise with \
+             PIMNET_TRACE_TOLERANCE on noisy machines)",
+            recov_overhead * 100.0,
+            trace_tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"wall_ms\": {par_ms:.1},");
     let _ = writeln!(json, "  \"wall_ms_sequential\": {seq_ms:.1},");
@@ -232,6 +327,7 @@ fn main() {
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
     let _ = writeln!(json, "  \"warm_speedup\": {warm_speedup:.3},");
     let _ = writeln!(json, "  \"trace_overhead_frac\": {overhead:.4},");
+    let _ = writeln!(json, "  \"recovery_overhead_frac\": {recov_overhead:.4},");
     let _ = writeln!(json, "  \"workers\": {workers}");
     json.push('}');
     json.push('\n');

@@ -10,9 +10,9 @@
 //! [`pim_sim::par`], whose ordered result collection is what keeps the
 //! tables deterministic under parallel execution.
 
-use pim_arch::geometry::PimGeometry;
+use pim_arch::geometry::{DpuId, PimGeometry};
 use pim_arch::SystemConfig;
-use pim_faults::{FaultConfig, FaultInjector, PermanentFaultRates};
+use pim_faults::{FaultConfig, FaultInjector, FaultTimeline, PermanentFaultRates, TimelineRates};
 use pim_sim::{par, Bandwidth, Bytes, Probe, SimTime};
 use pim_workloads::{run_program, run_program_probed, Workload};
 use pimnet::backends::{
@@ -21,6 +21,7 @@ use pimnet::backends::{
 };
 use pimnet::collective::{CollectiveKind, CollectiveSpec};
 use pimnet::exec::{ExecMachine, ReduceOp};
+use pimnet::recovery::{run_recovered, RecoveryConfig, RecoveryRequest, RecoveryStats};
 use pimnet::resilience::{plan_degraded, DegradedPlan};
 use pimnet::schedule::{cache, validate};
 use pimnet::timing::TimingModel;
@@ -230,6 +231,249 @@ pub fn chaos_soak(per_cell: u64, base: u64, workers: usize) -> ChaosSummary {
         table: t,
         total,
         verified,
+    }
+}
+
+/// Elements per node every recovery scenario communicates (small: each
+/// scenario single-steps the executor on the recovery clock).
+pub const RECOVERY_ELEMS: usize = 32;
+/// Geometries the recovery soak sweeps (smaller than the chaos matrix —
+/// recovery runs the functional executor step-by-step, not just the
+/// planner).
+pub const RECOVERY_GEOMETRIES: [u32; 2] = [8, 16];
+/// Simulated horizon every scenario's storm is sampled over.
+pub const RECOVERY_HORIZON_PS: u64 = 50_000_000;
+
+/// Per-component storm probabilities each recovery scenario samples its
+/// time-varying [`FaultTimeline`] from: mid-run permanent arrivals, link
+/// flaps and BER bursts, on top of [`recovery_config`]'s background
+/// transients. Rank deaths are kept rarer so the matrix exercises the
+/// upper ladder tiers, not just host fallback.
+#[must_use]
+pub fn recovery_rates() -> TimelineRates {
+    TimelineRates {
+        segment_arrival_prob: 0.06,
+        port_arrival_prob: 0.04,
+        rank_arrival_prob: 0.02,
+        flap_prob: 0.10,
+        burst_prob: 0.12,
+        burst_ber: 0.8,
+    }
+}
+
+/// The background (non-timeline) fault configuration of a recovery
+/// scenario: mild always-on corruption and stragglers, a real retry
+/// budget for the backoff ladder to spend.
+#[must_use]
+pub fn recovery_config(seed: u64) -> FaultConfig {
+    FaultConfig {
+        transient_ber: 0.002,
+        straggler_prob: 0.05,
+        straggler_max_ns: 500,
+        max_retries: 8,
+        ..FaultConfig::none()
+    }
+    .with_seed(seed)
+}
+
+/// What one recovery scenario (one seed of one cell) did.
+struct RecoveryOutcome {
+    /// Ladder tier the run ended on; `None` when the storm left nothing
+    /// plannable at all (a typed error, counted separately).
+    tier: Option<u8>,
+    stats: RecoveryStats,
+    /// The tier <= 1 result was checked bit-identical to the fault-free
+    /// run of the same cell.
+    verified: bool,
+    /// The end state honored the soundness contract (tier <= 1 implies
+    /// bit-identity, machines exactly where the tier promises one, host
+    /// fallback carries a typed trail).
+    sound: bool,
+}
+
+/// Accumulated recovery outcomes of one geometry × collective cell.
+#[derive(Default)]
+struct RecoveryCellStats {
+    tiers: [u32; 4],
+    unplannable: u32,
+    retries: u64,
+    replans: u64,
+    quarantines: u64,
+    arrivals: u64,
+    verified: u32,
+    unsound: u32,
+}
+
+impl RecoveryCellStats {
+    fn fold(&mut self, s: &RecoveryOutcome) {
+        match s.tier {
+            Some(t) => self.tiers[usize::from(t.min(3))] += 1,
+            None => self.unplannable += 1,
+        }
+        self.retries += s.stats.step_retries;
+        self.replans += s.stats.replans;
+        self.quarantines += s.stats.quarantines;
+        self.arrivals += s.stats.arrivals_applied;
+        self.verified += u32::from(s.verified);
+        self.unsound += u32::from(!s.sound);
+    }
+}
+
+/// Drives one seeded time-varying scenario through the runtime recovery
+/// manager and verdicts its end state. Pure function of its arguments.
+fn recovery_scenario(kind: CollectiveKind, dpus: u32, seed: u64) -> RecoveryOutcome {
+    let g = PimGeometry::paper_scaled(dpus);
+    let sys = SystemConfig::paper_scaled(dpus);
+    let timing = TimingModel::paper();
+    let mut cfg = recovery_config(seed);
+    cfg.timeline = FaultTimeline::sample(
+        seed,
+        g.ranks_per_channel,
+        g.chips_per_rank,
+        g.banks_per_chip,
+        RECOVERY_HORIZON_PS,
+        &recovery_rates(),
+    );
+    let injector = FaultInjector::new(cfg);
+    let req = RecoveryRequest {
+        kind,
+        geometry: &g,
+        elems_per_node: RECOVERY_ELEMS,
+        elem_bytes: 8,
+        op: ReduceOp::Sum,
+        injector: &injector,
+        system: &sys,
+        timing: &timing,
+        config: RecoveryConfig::default(),
+    };
+    let init = |id: DpuId| vec![u64::from(id.0) + 1; RECOVERY_ELEMS];
+    let out = match run_recovered::<u64>(&req, init) {
+        Ok(out) => out,
+        // The storm left nothing plannable (e.g. every rank sampled
+        // dead): a typed end state of its own, not a ladder tier.
+        Err(_) => {
+            return RecoveryOutcome {
+                tier: None,
+                stats: RecoveryStats::default(),
+                verified: false,
+                sound: true,
+            }
+        }
+    };
+    let (verified, sound) = match (out.plan_tier, out.machine.as_ref()) {
+        (0 | 1, Some(m)) => {
+            // Full/Repaired keep the fault-free buffer layout, so the
+            // recovered result must be bit-identical to the clean run.
+            let s = cache::build_cached(kind, &g, RECOVERY_ELEMS, 8).expect("reference schedule");
+            let mut clean = ExecMachine::init(&s, init);
+            clean.run(&s, ReduceOp::Sum);
+            let ok = s
+                .participants()
+                .all(|id| m.result(&s, id) == clean.result(&s, id));
+            (ok, ok)
+        }
+        (2, Some(_)) => (false, true),
+        (3, None) => (false, !out.error_trail.is_empty()),
+        // Anything else breaks the machine-iff-tier-promises-one rule.
+        _ => (false, false),
+    };
+    RecoveryOutcome {
+        tier: Some(out.plan_tier),
+        stats: out.stats,
+        verified,
+        sound,
+    }
+}
+
+/// The recovery-soak table plus its scenario totals.
+pub struct RecoverySummary {
+    /// The table the `recovery_soak` binary prints and emits as CSV.
+    pub table: Table,
+    /// Scenarios swept (cells × seeds per cell).
+    pub total: u32,
+    /// Scenarios whose tier <= 1 result was checked bit-identical.
+    pub verified: u32,
+    /// Scenarios that violated the soundness contract (must stay 0).
+    pub unsound: u32,
+}
+
+/// Runs the full recovery soak (`per_cell` seeds from `base` for every
+/// geometry × collective cell) on `workers` threads: every scenario
+/// executes step-by-step under a sampled time-varying storm, with
+/// checkpointed resume, health quarantine and ladder replans.
+///
+/// Scenarios are independent, so they fan out at seed granularity; the
+/// ordered fold below reproduces the sequential table byte-for-byte at
+/// any worker count.
+#[must_use]
+pub fn recovery_soak(per_cell: u64, base: u64, workers: usize) -> RecoverySummary {
+    let mut scenarios = Vec::new();
+    for &dpus in &RECOVERY_GEOMETRIES {
+        for kind in CHAOS_KINDS {
+            for seed in base..base + per_cell {
+                scenarios.push((kind, dpus, seed));
+            }
+        }
+    }
+    let outcomes = par::map_ordered_with(workers, scenarios, |(kind, dpus, seed)| {
+        recovery_scenario(kind, dpus, seed)
+    });
+
+    let mut t = Table::new(
+        "recovery soak: runtime arrivals, quarantines and replans per scenario cell",
+        &[
+            "dpus",
+            "collective",
+            "full",
+            "repaired",
+            "shrunk",
+            "host",
+            "no-plan",
+            "retries",
+            "replans",
+            "quarantines",
+            "arrivals",
+            "verified",
+            "unsound",
+        ],
+    );
+    let mut total = 0u32;
+    let mut verified = 0u32;
+    let mut unsound = 0u32;
+    let mut chunks = outcomes.chunks(per_cell.max(1) as usize);
+    for &dpus in &RECOVERY_GEOMETRIES {
+        for kind in CHAOS_KINDS {
+            let mut s = RecoveryCellStats::default();
+            if per_cell > 0 {
+                for outcome in chunks.next().expect("scenario chunk per cell") {
+                    s.fold(outcome);
+                }
+            }
+            total += per_cell as u32;
+            verified += s.verified;
+            unsound += s.unsound;
+            t.row([
+                dpus.to_string(),
+                kind.to_string(),
+                s.tiers[0].to_string(),
+                s.tiers[1].to_string(),
+                s.tiers[2].to_string(),
+                s.tiers[3].to_string(),
+                s.unplannable.to_string(),
+                s.retries.to_string(),
+                s.replans.to_string(),
+                s.quarantines.to_string(),
+                s.arrivals.to_string(),
+                s.verified.to_string(),
+                s.unsound.to_string(),
+            ]);
+        }
+    }
+    RecoverySummary {
+        table: t,
+        total,
+        verified,
+        unsound,
     }
 }
 

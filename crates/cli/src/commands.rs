@@ -36,6 +36,13 @@ USAGE:
                     [--out <trace.json>] [--csv <trace.csv>]
                     [--fault-seed <n>] [--fault-config <path>] [--ber <f>]
                     [--straggler-prob <f>] [--perm-faults <tok,..>]
+  pimnet-cli soak       [--kind <coll>] [--dpus <n>] [--elems <n>] [--seeds <n>]
+                    [--timeline-rate <f>] [--horizon-ps <n>] [--csv <soak.csv>]
+                    [--fault-seed <n>] [--fault-config <path>] [--ber <f>]
+                    [--straggler-prob <f>] [--dead <i,j,..>] [--perm-faults <tok,..>]
+                    [--arrivals <tok@t=Nps,..>] [--flaps <seg@t=Nps+Dps,..>]
+                    [--bursts <ber=p@t=Nps+Dps,..>] [--watchdog-ps <n>]
+                    [--retry-budget <n>] [--backoff-base-ps <n>]
 
   <coll> = allreduce | reducescatter | allgather | a2a | broadcast | reduce | gather
 
@@ -63,7 +70,26 @@ USAGE:
   the file's seed, and --ber/--straggler-prob/--dead override its rates.
   --perm-faults names permanent fabric faults inline: ring segments as
   r<rank>c<chip>b<bank><E|W>, crossbar ports as r<rank>c<chip><tx|rx>, and
-  whole ranks as rank<N> (e.g. --perm-faults r0c1b3E,r0c2tx,rank1).";
+  whole ranks as rank<N> (e.g. --perm-faults r0c1b3E,r0c2tx,rank1).
+
+  Time-varying scenarios use the same component tokens stamped with a
+  simulated arrival time: --arrivals r0c1b3E@t=500000ps lands a permanent
+  fault mid-run, --flaps r0c1b3E@t=0ps+2000000ps downs a ring segment for
+  a window, and --bursts ber=0.9@t=0ps+1000000ps elevates the transient
+  BER for a window. --watchdog-ps / --retry-budget / --backoff-base-ps
+  override the recovery budgets (barrier watchdog, per-step retry count,
+  exponential backoff base).
+
+  soak drives the runtime recovery manager (checkpointed resume, health
+  quarantine, ladder replans) over a seed matrix: seeds --fault-seed ..
+  +--seeds, each executed step-by-step under its fault timeline and then
+  verified — tier <= 1 results must be bit-identical to the fault-free
+  reference, and every run must end in a valid ladder tier with a typed
+  error trail (no panics, no silent wrong answers). --timeline-rate
+  additionally samples a per-seed storm of arrivals/flaps/bursts over
+  --horizon-ps. --csv writes one row per seed (the CI chaos artifact).
+  Seeds fan out over PIMNET_THREADS workers; the output (and the CSV) is
+  byte-identical at any worker count.";
 
 /// Dispatches a parsed command line.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -81,6 +107,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "repair" => repair(&flags),
         "lint" => lint(&flags),
         "trace" => trace(&flags),
+        "soak" => soak(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -192,6 +219,37 @@ fn fault_injector(flags: &Flags) -> Result<pim_faults::FaultInjector, String> {
         let set = pim_faults::PermanentFaultSet::parse_tokens(tokens)
             .map_err(|e| format!("flag --perm-faults: {e}"))?;
         cfg.permanent.merge(&set);
+    }
+    if let Ok(text) = flags.require("arrivals") {
+        cfg.timeline.arrivals = pim_faults::FaultTimeline::parse_arrivals(text)
+            .map_err(|e| format!("flag --arrivals: {e}"))?;
+    }
+    if let Ok(text) = flags.require("flaps") {
+        cfg.timeline.flaps = pim_faults::FaultTimeline::parse_flaps(text)
+            .map_err(|e| format!("flag --flaps: {e}"))?;
+    }
+    if let Ok(text) = flags.require("bursts") {
+        cfg.timeline.bursts = pim_faults::FaultTimeline::parse_bursts(text)
+            .map_err(|e| format!("flag --bursts: {e}"))?;
+    }
+    cfg.timeline.normalize();
+    if let Ok(v) = flags.require("watchdog-ps") {
+        cfg.watchdog_ps = Some(
+            v.parse()
+                .map_err(|_| format!("flag --watchdog-ps: '{v}' is not a picosecond count"))?,
+        );
+    }
+    if let Ok(v) = flags.require("retry-budget") {
+        cfg.retry_budget = Some(
+            v.parse()
+                .map_err(|_| format!("flag --retry-budget: '{v}' is not a retry count"))?,
+        );
+    }
+    if let Ok(v) = flags.require("backoff-base-ps") {
+        cfg.backoff_base_ps = Some(
+            v.parse()
+                .map_err(|_| format!("flag --backoff-base-ps: '{v}' is not a picosecond count"))?,
+        );
     }
     Ok(pim_faults::FaultInjector::new(cfg))
 }
@@ -438,6 +496,9 @@ fn faults(flags: &Flags) -> Result<(), String> {
             "straggler-prob",
             "dead",
             "perm-faults",
+            "watchdog-ps",
+            "retry-budget",
+            "backoff-base-ps",
             "metrics",
         ],
     );
@@ -875,6 +936,291 @@ fn trace(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Per-DPU input every soak run (and its fault-free reference) starts
+/// from — distinct per node and per element so divergence cannot cancel.
+fn soak_input(id: pim_arch::geometry::DpuId, elems: usize) -> Vec<u64> {
+    (0..elems)
+        .map(|e| (u64::from(id.0) + 1) * 1_000 + e as u64)
+        .collect()
+}
+
+/// Everything one soak seed needs, shared immutably across the worker
+/// pool so a seed's outcome is a pure function of `(ctx, seed)`.
+struct SoakCtx<'a> {
+    kind: CollectiveKind,
+    geometry: &'a pim_arch::geometry::PimGeometry,
+    system: &'a SystemConfig,
+    timing: &'a pimnet::timing::TimingModel,
+    elems: usize,
+    base: &'a pim_faults::FaultConfig,
+    /// Per-component storm probability (0 disables sampling).
+    rate: f64,
+    horizon_ps: u64,
+    /// Fault-free schedule + result that tier <= 1 runs must reproduce.
+    reference: &'a (CommSchedule, pimnet::exec::ExecMachine<u64>),
+}
+
+/// What one soak seed did — the summary, the CSV artifact and the
+/// soundness verdict all read these same numbers.
+struct SoakRow {
+    seed: u64,
+    /// Ladder tier the recovery ended on; `None` when the scenario was
+    /// unplannable outright (a typed error, counted separately).
+    tier: Option<u8>,
+    stats: pimnet::recovery::RecoveryStats,
+    end_ps: u64,
+    /// Result checked bit-identical to the fault-free reference (only
+    /// ever claimed at tier <= 1; deeper tiers change the participant set).
+    verified: bool,
+    /// First soundness violation observed; any `Some` fails the command.
+    unsound: Option<String>,
+    /// Typed error trail, rendered.
+    errors: Vec<String>,
+}
+
+/// Runs one seed of the recovery soak and verdicts its end state.
+fn soak_seed(ctx: &SoakCtx<'_>, seed: u64) -> SoakRow {
+    let mut cfg = ctx.base.clone();
+    cfg.seed = seed;
+    if ctx.rate > 0.0 {
+        let rates = pim_faults::TimelineRates {
+            segment_arrival_prob: ctx.rate,
+            port_arrival_prob: ctx.rate,
+            // Rank deaths take out whole swaths; keep them rarer so the
+            // matrix exercises the upper tiers too, not just fallback.
+            rank_arrival_prob: ctx.rate / 4.0,
+            flap_prob: ctx.rate,
+            burst_prob: ctx.rate,
+            burst_ber: 0.8,
+        };
+        let g = ctx.geometry;
+        let storm = pim_faults::FaultTimeline::sample(
+            seed,
+            g.ranks_per_channel,
+            g.chips_per_rank,
+            g.banks_per_chip,
+            ctx.horizon_ps,
+            &rates,
+        );
+        cfg.timeline.arrivals.extend(storm.arrivals);
+        cfg.timeline.flaps.extend(storm.flaps);
+        cfg.timeline.bursts.extend(storm.bursts);
+        cfg.timeline.normalize();
+    }
+    let injector = pim_faults::FaultInjector::new(cfg);
+    let req = pimnet::recovery::RecoveryRequest {
+        kind: ctx.kind,
+        geometry: ctx.geometry,
+        elems_per_node: ctx.elems,
+        elem_bytes: 8,
+        op: pimnet::exec::ReduceOp::Sum,
+        injector: &injector,
+        system: ctx.system,
+        timing: ctx.timing,
+        config: pimnet::recovery::RecoveryConfig::default(),
+    };
+    let elems = ctx.elems;
+    let out = match pimnet::recovery::run_recovered::<u64>(&req, |id| soak_input(id, elems)) {
+        Ok(out) => out,
+        // Unplannable outright (e.g. every rank already dead): a typed
+        // end state of its own, not a ladder tier.
+        Err(e) => {
+            return SoakRow {
+                seed,
+                tier: None,
+                stats: pimnet::recovery::RecoveryStats::default(),
+                end_ps: 0,
+                verified: false,
+                unsound: None,
+                errors: vec![e.to_string()],
+            }
+        }
+    };
+    let (ref_s, ref_m) = ctx.reference;
+    let mut verified = false;
+    let mut unsound = None;
+    match (out.plan_tier, out.machine.as_ref()) {
+        (0 | 1, Some(m)) => {
+            if ref_s
+                .participants()
+                .all(|id| m.result(ref_s, id) == ref_m.result(ref_s, id))
+            {
+                verified = true;
+            } else {
+                unsound = Some("tier <= 1 result diverged from the fault-free reference".into());
+            }
+        }
+        (0 | 1, None) => unsound = Some("tier <= 1 ended without a result".into()),
+        (2, Some(_)) => {}
+        (2, None) => unsound = Some("shrunk plan ended without a result".into()),
+        (_, Some(_)) => unsound = Some("host fallback still returned a PIM-side result".into()),
+        (_, None) => {
+            if out.error_trail.is_empty() {
+                unsound = Some("host fallback carried no typed error trail".into());
+            }
+        }
+    }
+    SoakRow {
+        seed,
+        tier: Some(out.plan_tier),
+        stats: out.stats,
+        end_ps: out.end_ps,
+        verified,
+        unsound,
+        errors: out.error_trail.iter().map(ToString::to_string).collect(),
+    }
+}
+
+fn soak(flags: &Flags) -> Result<(), String> {
+    warn_unknown(
+        flags,
+        &[
+            "kind",
+            "dpus",
+            "elems",
+            "seeds",
+            "timeline-rate",
+            "horizon-ps",
+            "csv",
+            "fault-seed",
+            "fault-config",
+            "ber",
+            "straggler-prob",
+            "dead",
+            "perm-faults",
+            "arrivals",
+            "flaps",
+            "bursts",
+            "watchdog-ps",
+            "retry-budget",
+            "backoff-base-ps",
+        ],
+    );
+    let kind = parse_kind(flags.get_or("kind", "allreduce"))?;
+    let dpus: u32 = flags.num_or("dpus", 16)?;
+    let elems: usize = flags.num_or("elems", 64)?;
+    let seeds: u64 = flags.num_or("seeds", 32)?;
+    if seeds == 0 {
+        return Err("flag --seeds: need at least one seed".into());
+    }
+    let rate: f64 = flags.num_or("timeline-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!(
+            "flag --timeline-rate: '{rate}' is not a probability"
+        ));
+    }
+    let horizon_ps: u64 = flags.num_or("horizon-ps", 50_000_000)?;
+    let base = fault_injector(flags)?.config().clone();
+    let sys = system_for(dpus)?;
+    let g = sys.system().geometry;
+    let timing = pimnet::timing::TimingModel::paper();
+    let ref_s = CommSchedule::build(kind, &g, elems, 8).map_err(|e| e.to_string())?;
+    let ref_m = pimnet::exec::run_collective(&ref_s, pimnet::exec::ReduceOp::Sum, |id| {
+        soak_input(id, elems)
+    })
+    .map_err(|e| e.to_string())?;
+    let reference = (ref_s, ref_m);
+    let ctx = SoakCtx {
+        kind,
+        geometry: &g,
+        system: sys.system(),
+        timing: &timing,
+        elems,
+        base: &base,
+        rate,
+        horizon_ps,
+        reference: &reference,
+    };
+    let seed_list: Vec<u64> = (0..seeds).map(|i| base.seed.wrapping_add(i)).collect();
+    // Fan the seeds out; ordered collection keeps the summary and the
+    // CSV byte-identical at any PIMNET_THREADS (CI diffs 1 vs 4 workers).
+    let rows = pim_sim::par::map_ordered(seed_list, |seed| soak_seed(&ctx, seed));
+
+    let mut tiers = [0u64; 4];
+    let mut unplannable = 0u64;
+    let mut eligible = 0u64;
+    let mut verified = 0u64;
+    let mut totals = pimnet::recovery::RecoveryStats::default();
+    let mut worst_end = 0u64;
+    let mut violations: Vec<String> = Vec::new();
+    for r in &rows {
+        match r.tier {
+            Some(t) => tiers[usize::from(t.min(3))] += 1,
+            None => unplannable += 1,
+        }
+        if matches!(r.tier, Some(0 | 1)) {
+            eligible += 1;
+        }
+        verified += u64::from(r.verified);
+        totals.steps_executed += r.stats.steps_executed;
+        totals.step_retries += r.stats.step_retries;
+        totals.backoff_ps += r.stats.backoff_ps;
+        totals.replans += r.stats.replans;
+        totals.quarantines += r.stats.quarantines;
+        totals.arrivals_applied += r.stats.arrivals_applied;
+        totals.checkpoints += r.stats.checkpoints;
+        worst_end = worst_end.max(r.end_ps);
+        if let Some(why) = &r.unsound {
+            violations.push(format!("seed {}: {why}", r.seed));
+        }
+    }
+    println!(
+        "recovery soak: {kind} on {dpus} DPUs, {elems} elements/DPU, {seeds} seed(s) from {}",
+        base.seed
+    );
+    println!(
+        "  tiers: full {}  repaired {}  shrunk {}  host-fallback {}  unplannable {}",
+        tiers[0], tiers[1], tiers[2], tiers[3], unplannable
+    );
+    println!("  verified bit-identical at tier <= 1: {verified}/{eligible}");
+    println!(
+        "  totals: {} steps, {} retries ({} ps backing off), {} replans, \
+         {} quarantines, {} arrivals applied, {} checkpoints",
+        totals.steps_executed,
+        totals.step_retries,
+        totals.backoff_ps,
+        totals.replans,
+        totals.quarantines,
+        totals.arrivals_applied,
+        totals.checkpoints
+    );
+    println!("  worst recovered clock: {:.1} us", worst_end as f64 / 1e6);
+    if let Ok(path) = flags.require("csv") {
+        let mut csv = String::from(
+            "seed,tier,steps,retries,backoff_ps,replans,quarantines,arrivals,\
+             checkpoints,end_ps,verified,errors\n",
+        );
+        for r in &rows {
+            let tier = r.tier.map_or_else(|| "-".to_string(), |t| t.to_string());
+            csv.push_str(&format!(
+                "{},{tier},{},{},{},{},{},{},{},{},{},{}\n",
+                r.seed,
+                r.stats.steps_executed,
+                r.stats.step_retries,
+                r.stats.backoff_ps,
+                r.stats.replans,
+                r.stats.quarantines,
+                r.stats.arrivals_applied,
+                r.stats.checkpoints,
+                r.end_ps,
+                r.verified,
+                r.errors.join("; ").replace(',', ";")
+            ));
+        }
+        std::fs::write(path, csv).map_err(|e| e.to_string())?;
+        println!("csv -> {path}");
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "soak found {} unsound run(s): {}",
+            violations.len(),
+            violations.join("; ")
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1157,6 +1503,70 @@ mod tests {
             "--metrics",
         ])
         .unwrap();
+    }
+
+    #[test]
+    fn soak_command_runs_a_clean_matrix() {
+        run(&[
+            "soak", "--kind", "ar", "--dpus", "8", "--elems", "16", "--seeds", "2",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn soak_command_recovers_a_declared_timeline_and_writes_csv() {
+        let dir = std::env::temp_dir().join("pimnet-cli-soak-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("soak.csv");
+        run(&[
+            "soak",
+            "--kind",
+            "ar",
+            "--dpus",
+            "8",
+            "--elems",
+            "16",
+            "--seeds",
+            "2",
+            "--bursts",
+            "ber=1.0@t=0ps+1000000ps",
+            "--backoff-base-ps",
+            "600000",
+            "--csv",
+            csv.to_str().unwrap(),
+        ])
+        .unwrap();
+        let c = std::fs::read_to_string(&csv).unwrap();
+        assert!(c.starts_with("seed,tier,"));
+        assert_eq!(c.lines().count(), 3, "one header + one row per seed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn soak_command_samples_seeded_storms() {
+        run(&[
+            "soak",
+            "--dpus",
+            "8",
+            "--elems",
+            "16",
+            "--seeds",
+            "3",
+            "--timeline-rate",
+            "0.3",
+            "--horizon-ps",
+            "50000000",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn soak_command_rejects_bad_inputs() {
+        assert!(run(&["soak", "--timeline-rate", "1.5"]).is_err());
+        assert!(run(&["soak", "--seeds", "0"]).is_err());
+        assert!(run(&["soak", "--bursts", "nonsense"]).is_err());
+        assert!(run(&["soak", "--arrivals", "r0c0b0E"]).is_err());
+        assert!(run(&["soak", "--flaps", "r0c0b0E@t=1ps"]).is_err());
     }
 
     #[test]

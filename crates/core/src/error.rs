@@ -79,6 +79,16 @@ pub enum PimnetError {
         /// What could not be routed around, and why.
         reason: String,
     },
+    /// A cycle-level simulation hit its deadlock guard: traffic stopped
+    /// making progress before every packet was delivered (e.g. a fault
+    /// scenario wedged the flow control). Surfaced as a typed error on
+    /// fault paths instead of a panic, so chaos harnesses can count it.
+    SimulationStalled {
+        /// Cycle count at which the guard fired.
+        cycles: u64,
+        /// Packets still undelivered.
+        remaining: usize,
+    },
 }
 
 impl fmt::Display for PimnetError {
@@ -131,6 +141,13 @@ impl fmt::Display for PimnetError {
             }
             PimnetError::Unroutable { reason } => {
                 write!(f, "permanent fault leaves no surviving route: {reason}")
+            }
+            PimnetError::SimulationStalled { cycles, remaining } => {
+                write!(
+                    f,
+                    "simulation stalled after {cycles} cycles with {remaining} \
+                     packet(s) undelivered"
+                )
             }
         }
     }

@@ -18,7 +18,7 @@ use pim_sim::trace::codes;
 use pim_sim::{Probe, SimTime};
 
 use crate::error::PimnetError;
-use crate::schedule::{CommSchedule, CommStep};
+use crate::schedule::{CommSchedule, CommStep, Transfer};
 
 /// Reduction operators supported by the PIM banks' collective kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -317,6 +317,56 @@ impl<T: Element> ExecMachine<T> {
             .metrics
             .fault_counts(stats.crc_checks, stats.corrupted, stats.retries);
         Ok(stats)
+    }
+
+    /// Executes exactly one schedule step `(pi, si)`, consulting
+    /// `transmit` for every non-local transfer before anything is
+    /// delivered.
+    ///
+    /// `transmit(ti, transfer, staged_payload)` models the wire: it sees
+    /// the transfer's position in the step, its routing metadata (for
+    /// failure attribution against named fabric resources) and the staged
+    /// pre-step payload, and returns `Err` to declare the transfer failed.
+    /// Because every transmit verdict is collected **before**
+    /// the staged deliveries apply, a failing step leaves the buffers
+    /// bit-identical
+    /// to the last completed step — the machine itself is the checkpoint,
+    /// and the recovery manager re-drives the same step after backoff
+    /// without restoring anything.
+    ///
+    /// Local transfers never cross the wire and are not offered to
+    /// `transmit`, matching [`run_with_faults`](Self::run_with_faults).
+    ///
+    /// # Errors
+    ///
+    /// * [`PimnetError::ScheduleInvalid`] if `(pi, si)` is out of range;
+    /// * whatever `transmit` returns, propagated before any delivery.
+    pub fn run_step_with<F>(
+        &mut self,
+        schedule: &CommSchedule,
+        (pi, si): (usize, usize),
+        op: ReduceOp,
+        mut transmit: F,
+    ) -> Result<(), PimnetError>
+    where
+        F: FnMut(usize, &Transfer, &[T]) -> Result<(), PimnetError>,
+    {
+        let step = schedule
+            .phases
+            .get(pi)
+            .and_then(|p| p.steps.get(si))
+            .ok_or_else(|| PimnetError::ScheduleInvalid {
+                reason: format!("step ({pi}, {si}) out of range"),
+            })?;
+        let mut staging = Staging::default();
+        staging.snapshot_step(&self.buffers, step);
+        for (ti, t) in step.transfers.iter().enumerate() {
+            if !t.is_local() {
+                transmit(ti, t, staging.transfer_payload(ti))?;
+            }
+        }
+        staging.apply(&mut self.buffers, op);
+        Ok(())
     }
 
     /// Models one transfer crossing the wire: serialize, corrupt per the
@@ -754,6 +804,69 @@ mod tests {
         match m.run_with_faults(&s, ReduceOp::Sum, &inj) {
             Err(PimnetError::TransferFailed { attempts, .. }) => assert_eq!(attempts, 3),
             other => panic!("expected TransferFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_driven_run_matches_run_and_fails_before_apply() {
+        let elems = 48;
+        let s = build(CollectiveKind::AllReduce, 16, elems);
+        let mut whole = ExecMachine::init(&s, |id| input(id, elems));
+        whole.run(&s, ReduceOp::Sum);
+        // Driving the same schedule one step at a time with an
+        // always-clean wire is bit-identical to run().
+        let mut stepped = ExecMachine::init(&s, |id| input(id, elems));
+        for (pi, phase) in s.phases.iter().enumerate() {
+            for si in 0..phase.steps.len() {
+                stepped
+                    .run_step_with(&s, (pi, si), ReduceOp::Sum, |_, _, _| Ok(()))
+                    .unwrap();
+            }
+        }
+        assert_eq!(stepped, whole);
+        // A failing transmit leaves the buffers at the last completed
+        // step: re-driving the failed step afterwards still converges.
+        let mut recovering = ExecMachine::init(&s, |id| input(id, elems));
+        for (pi, phase) in s.phases.iter().enumerate() {
+            for si in 0..phase.steps.len() {
+                let before = recovering.clone();
+                let err = recovering.run_step_with(&s, (pi, si), ReduceOp::Sum, |_, _, _| {
+                    Err(PimnetError::TransferFailed {
+                        phase: pi,
+                        step: si,
+                        transfer: 0,
+                        attempts: 1,
+                    })
+                });
+                if err.is_err() {
+                    assert_eq!(recovering, before, "failed step must not deliver");
+                }
+                recovering
+                    .run_step_with(&s, (pi, si), ReduceOp::Sum, |_, _, _| Ok(()))
+                    .unwrap();
+            }
+        }
+        assert_eq!(recovering, whole);
+        // Out-of-range coordinates are a typed error.
+        assert!(matches!(
+            stepped.run_step_with(&s, (999, 0), ReduceOp::Sum, |_, _, _| Ok(())),
+            Err(PimnetError::ScheduleInvalid { .. })
+        ));
+        // Local transfers are never offered to the wire closure.
+        let mut m = ExecMachine::init(&s, |id| input(id, elems));
+        for (pi, phase) in s.phases.iter().enumerate() {
+            for (si, step) in phase.steps.iter().enumerate() {
+                let wire_count = std::cell::Cell::new(0usize);
+                m.run_step_with(&s, (pi, si), ReduceOp::Sum, |_, t, payload| {
+                    assert!(!t.is_local());
+                    assert_eq!(payload.len(), t.src_span.len);
+                    wire_count.set(wire_count.get() + 1);
+                    Ok(())
+                })
+                .unwrap();
+                let expected = step.transfers.iter().filter(|t| !t.is_local()).count();
+                assert_eq!(wire_count.get(), expected);
+            }
         }
     }
 

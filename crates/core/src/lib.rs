@@ -63,6 +63,7 @@ pub mod fabric;
 pub mod framework;
 pub mod hwcost;
 pub mod isa;
+pub mod recovery;
 pub mod resilience;
 pub mod roofline;
 pub mod schedule;

@@ -153,6 +153,35 @@ pub fn plan_degraded(
     injector: &FaultInjector,
     system: &SystemConfig,
 ) -> Result<DegradedPlan, PimnetError> {
+    plan_degraded_at_epoch(
+        kind,
+        geometry,
+        elems_per_node,
+        elem_bytes,
+        injector,
+        system,
+        0,
+    )
+}
+
+/// [`plan_degraded`] under a degradation/health `epoch`: schedule-cache
+/// lookups are keyed by the epoch, so a replan after mid-run quarantine or
+/// fault arrival (epoch > 0) never recalls an entry the pre-fault plan
+/// cached. Static planning is epoch 0, which is exactly
+/// [`plan_degraded`]'s key space.
+///
+/// # Errors
+///
+/// Same as [`plan_degraded`].
+pub fn plan_degraded_at_epoch(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    injector: &FaultInjector,
+    system: &SystemConfig,
+    epoch: u64,
+) -> Result<DegradedPlan, PimnetError> {
     let n = geometry.total_dpus();
     let permanent = if injector.has_permanent_faults() {
         injector.permanent_faults(
@@ -176,9 +205,16 @@ pub fn plan_degraded(
         // parameters, so recall them from the schedule cache: chaos
         // sweeps re-plan identical (kind, geometry, payload) points once
         // per seed.
-        let schedule = cache::build_cached(kind, geometry, elems_per_node, elem_bytes)?
-            .as_ref()
-            .clone();
+        let schedule = cache::build_cached_at_epoch(
+            kind,
+            geometry,
+            elems_per_node,
+            elem_bytes,
+            epoch,
+            Probe::disabled(),
+        )?
+        .as_ref()
+        .clone();
         if permanent.is_empty() {
             return Ok(DegradedPlan::Full(schedule));
         }
@@ -273,8 +309,15 @@ pub fn plan_degraded(
     let shrunk_n = prev_power_of_two(alive.len() as u32).min(256);
     if shrunk_n >= 2 {
         let shrunk_geometry = PimGeometry::paper_scaled(shrunk_n);
-        match cache::build_cached(kind, &shrunk_geometry, elems_per_node, elem_bytes)
-            .map(|s| s.as_ref().clone())
+        match cache::build_cached_at_epoch(
+            kind,
+            &shrunk_geometry,
+            elems_per_node,
+            elem_bytes,
+            epoch,
+            Probe::disabled(),
+        )
+        .map(|s| s.as_ref().clone())
         {
             Ok(schedule) => {
                 let logical_to_physical: Vec<u32> = alive[..shrunk_n as usize].to_vec();

@@ -60,6 +60,12 @@ struct Key {
     /// Separates plain entries from (identity-)repaired entries whose
     /// fault fingerprint is the empty-set fingerprint.
     repaired: bool,
+    /// Degradation/health epoch: bumped by the recovery manager whenever
+    /// mid-run quarantine or fault arrival changes the live scenario, so a
+    /// post-quarantine replan can never be answered from a pre-fault
+    /// entry whose fault fingerprint happens to coincide. Static planning
+    /// uses epoch 0.
+    epoch: u64,
 }
 
 /// One memoized value: a validated plain schedule, or a repaired one.
@@ -339,6 +345,25 @@ pub fn build_cached_probed(
     elem_bytes: u32,
     probe: &Probe,
 ) -> Result<Arc<CommSchedule>, PimnetError> {
+    build_cached_at_epoch(kind, geometry, elems_per_node, elem_bytes, 0, probe)
+}
+
+/// [`build_cached_probed`] under a degradation/health `epoch`: entries
+/// built at different epochs never collide, even for identical geometry
+/// and fault fingerprints. Epoch 0 is the static-planning key space, so
+/// `build_cached_at_epoch(.., 0, ..)` ≡ `build_cached_probed(..)`.
+///
+/// # Errors
+///
+/// Whatever [`CommSchedule::build`] or [`validate::validate`] return.
+pub fn build_cached_at_epoch(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    epoch: u64,
+    probe: &Probe,
+) -> Result<Arc<CommSchedule>, PimnetError> {
     let key = Key {
         kind,
         geometry: *geometry,
@@ -346,6 +371,7 @@ pub fn build_cached_probed(
         elem_bytes,
         repair: EMPTY_FAULTS,
         repaired: false,
+        epoch,
     };
     let entry = get_or_build(key, probe, || {
         let schedule = CommSchedule::build(kind, geometry, elems_per_node, elem_bytes)?;
@@ -402,6 +428,27 @@ pub fn repair_cached_probed(
     faults: &PermanentFaultSet,
     probe: &Probe,
 ) -> Result<Arc<RepairedSchedule>, PimnetError> {
+    repair_cached_at_epoch(kind, geometry, elems_per_node, elem_bytes, faults, 0, probe)
+}
+
+/// [`repair_cached_probed`] under a degradation/health `epoch` (see
+/// [`build_cached_at_epoch`]): a quarantined-link replan at epoch `e > 0`
+/// misses every entry the pre-fault plan cached at epoch 0, even when the
+/// fault fingerprints coincide.
+///
+/// # Errors
+///
+/// Whatever [`build_cached`] or
+/// [`repair`](super::repair::repair) return.
+pub fn repair_cached_at_epoch(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    faults: &PermanentFaultSet,
+    epoch: u64,
+    probe: &Probe,
+) -> Result<Arc<RepairedSchedule>, PimnetError> {
     let key = Key {
         kind,
         geometry: *geometry,
@@ -409,9 +456,10 @@ pub fn repair_cached_probed(
         elem_bytes,
         repair: fault_fingerprint(faults),
         repaired: true,
+        epoch,
     };
     let entry = get_or_build(key, probe, || {
-        let base = build_cached_probed(kind, geometry, elems_per_node, elem_bytes, probe)?;
+        let base = build_cached_at_epoch(kind, geometry, elems_per_node, elem_bytes, epoch, probe)?;
         let repaired = super::repair::repair(&base, faults)?;
         Ok(Entry::Repaired(Arc::new(repaired)))
     })?;
@@ -526,5 +574,42 @@ mod tests {
         );
         assert!(identity.is_ok());
         assert_eq!(identity.unwrap().schedule, *plain);
+    }
+
+    #[test]
+    fn health_epoch_separates_replan_entries() {
+        // Regression: a replan after mid-run quarantine used to share the
+        // pre-fault key whenever the fault fingerprints coincided. With
+        // the epoch in the key, a quarantined-link replan (epoch > 0) must
+        // never be answered from the pre-fault (epoch 0) entry.
+        clear();
+        let faults = PermanentFaultSet::parse_tokens("r0c0b2E").unwrap();
+        let p = Probe::disabled();
+        let pre = repair_cached_at_epoch(CollectiveKind::AllReduce, &g(8), 128, 4, &faults, 0, p)
+            .unwrap();
+        let built_before = stats().schedules_built;
+        let post = repair_cached_at_epoch(CollectiveKind::AllReduce, &g(8), 128, 4, &faults, 1, p)
+            .unwrap();
+        assert!(
+            !Arc::ptr_eq(&pre, &post),
+            "epoch 1 replan must not return the cached epoch-0 entry"
+        );
+        assert!(
+            stats().schedules_built > built_before,
+            "the epoch-1 entry is a fresh build, not a hit"
+        );
+        // Same epoch still hits.
+        let again = repair_cached_at_epoch(CollectiveKind::AllReduce, &g(8), 128, 4, &faults, 1, p)
+            .unwrap();
+        assert!(Arc::ptr_eq(&post, &again));
+        // Plain builds are epoch-separated too, and epoch 0 is the legacy
+        // key space.
+        let plain0 = build_cached(CollectiveKind::AllReduce, &g(8), 512, 4).unwrap();
+        let plain0b =
+            build_cached_at_epoch(CollectiveKind::AllReduce, &g(8), 512, 4, 0, p).unwrap();
+        assert!(Arc::ptr_eq(&plain0, &plain0b));
+        let plain1 = build_cached_at_epoch(CollectiveKind::AllReduce, &g(8), 512, 4, 1, p).unwrap();
+        assert!(!Arc::ptr_eq(&plain0, &plain1));
+        assert_eq!(*plain0, *plain1, "same parameters build equal schedules");
     }
 }

@@ -146,7 +146,7 @@ impl SyncModel {
         if !injector.is_active() {
             return Ok(self.barrier(scope, skew));
         }
-        let timeout_ns = injector.config().watchdog_timeout_ns;
+        let timeout_ns = injector.config().effective_watchdog_ns();
         let mut missing = Vec::new();
         let mut straggle_ns = 0u64;
         for id in participants {
@@ -333,6 +333,35 @@ mod tests {
                 assert!(missing.is_empty());
                 assert_eq!(timeout_ns, 10);
             }
+            other => panic!("expected SyncTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_ps_override_tightens_the_watchdog() {
+        use pim_faults::{FaultConfig, FaultInjector};
+        let m = SyncModel::default();
+        let base = FaultConfig {
+            straggler_prob: 1.0,
+            straggler_max_ns: 1_000,
+            ..FaultConfig::none()
+        }
+        .with_seed(4);
+        // Default (1 ms) watchdog: the straggler-stretched barrier closes.
+        let inj = FaultInjector::new(base.clone());
+        assert!(m
+            .barrier_with_faults(SyncScope::Chip, SimTime::ZERO, (0..8).map(DpuId), &inj, 0)
+            .is_ok());
+        // A 10 ns watchdog expressed in picoseconds trips it.
+        let inj = FaultInjector::new(FaultConfig {
+            watchdog_ps: Some(10_000),
+            ..base
+        });
+        match m
+            .barrier_with_faults(SyncScope::Chip, SimTime::ZERO, (0..8).map(DpuId), &inj, 0)
+            .unwrap_err()
+        {
+            PimnetError::SyncTimeout { timeout_ns, .. } => assert_eq!(timeout_ns, 10),
             other => panic!("expected SyncTimeout, got {other:?}"),
         }
     }

@@ -5,6 +5,7 @@ use std::fmt;
 use std::path::Path;
 
 use crate::permanent::{PermanentFaultRates, PermanentFaultSet};
+use crate::timeline::FaultTimeline;
 
 /// Complete description of a fault scenario.
 ///
@@ -42,6 +43,22 @@ pub struct FaultConfig {
     /// Seeded permanent-fault rates; sampled components are merged with the
     /// explicit set per fabric geometry (see `FaultInjector::permanent_faults`).
     pub perm_rates: PermanentFaultRates,
+    /// Time-stamped fault events (permanent-fault arrivals, link flaps,
+    /// transient bursts). The *recovery manager*, not the planner, absorbs
+    /// these: arrivals invalidate schedules mid-run, flaps fail transfers
+    /// during their window, bursts elevate the effective BER.
+    pub timeline: FaultTimeline,
+    /// READY/START watchdog in integer picoseconds; overrides
+    /// `watchdog_timeout_ns` when set (see
+    /// [`effective_watchdog_ns`](Self::effective_watchdog_ns)).
+    pub watchdog_ps: Option<u64>,
+    /// Retry budget override for the recovery path; falls back to
+    /// `max_retries` when unset.
+    pub retry_budget: Option<u32>,
+    /// Backoff base in integer picoseconds; overrides `retry_backoff_ns`
+    /// when set (see
+    /// [`effective_backoff_base_ps`](Self::effective_backoff_base_ps)).
+    pub backoff_base_ps: Option<u64>,
 }
 
 impl FaultConfig {
@@ -59,7 +76,43 @@ impl FaultConfig {
             watchdog_timeout_ns: 1_000_000, // 1 ms
             permanent: PermanentFaultSet::none(),
             perm_rates: PermanentFaultRates::default(),
+            timeline: FaultTimeline::none(),
+            watchdog_ps: None,
+            retry_budget: None,
+            backoff_base_ps: None,
         }
+    }
+
+    /// The effective watchdog timeout in nanoseconds: the picosecond
+    /// override when set (rounded down, floor 1 ns), else the legacy
+    /// nanosecond knob. Defaults match pre-override behavior exactly.
+    #[must_use]
+    pub fn effective_watchdog_ns(&self) -> u64 {
+        self.watchdog_ps
+            .map(|ps| (ps / 1000).max(1))
+            .unwrap_or(self.watchdog_timeout_ns)
+    }
+
+    /// The effective watchdog timeout in picoseconds.
+    #[must_use]
+    pub fn effective_watchdog_ps(&self) -> u64 {
+        self.watchdog_ps
+            .unwrap_or_else(|| self.watchdog_timeout_ns.saturating_mul(1000))
+    }
+
+    /// The effective per-transfer retry budget (override, else
+    /// `max_retries`).
+    #[must_use]
+    pub fn effective_retry_budget(&self) -> u32 {
+        self.retry_budget.unwrap_or(self.max_retries)
+    }
+
+    /// The effective backoff base in picoseconds (override, else
+    /// `retry_backoff_ns` scaled).
+    #[must_use]
+    pub fn effective_backoff_base_ps(&self) -> u64 {
+        self.backoff_base_ps
+            .unwrap_or_else(|| self.retry_backoff_ns.saturating_mul(1000))
     }
 
     /// Returns the same config with a different master seed.
@@ -77,6 +130,7 @@ impl FaultConfig {
             || (self.straggler_prob > 0.0 && self.straggler_max_ns > 0)
             || !self.dead_dpus.is_empty()
             || self.has_permanent_faults()
+            || !self.timeline.is_empty()
     }
 
     /// `true` if this scenario names or can sample permanent fabric faults
@@ -120,6 +174,13 @@ impl FaultConfig {
     /// perm_segment_prob = 0.0
     /// perm_port_prob = 0.0
     /// perm_rank_prob = 0.0
+    /// # time-varying faults (recovery manager) + recovery budget overrides
+    /// arrivals = r0c1b3E@t=5000ps, rank2@t=12000ps
+    /// flaps = r0c1b0W@t=2000ps+1500ps
+    /// bursts = ber=0.4@t=1000ps+500ps
+    /// watchdog_ps = 2000000000
+    /// retry_budget = 8
+    /// backoff_base_ps = 100000
     /// ```
     ///
     /// # Errors
@@ -187,6 +248,22 @@ impl FaultConfig {
                 }
                 "perm_rank_prob" => {
                     cfg.perm_rates.rank_prob = parse_prob(value).map_err(|e| bad(&e))?;
+                }
+                "arrivals" => {
+                    cfg.timeline.arrivals =
+                        FaultTimeline::parse_arrivals(value).map_err(|e| bad(&e))?;
+                }
+                "flaps" => {
+                    cfg.timeline.flaps = FaultTimeline::parse_flaps(value).map_err(|e| bad(&e))?;
+                }
+                "bursts" => {
+                    cfg.timeline.bursts =
+                        FaultTimeline::parse_bursts(value).map_err(|e| bad(&e))?;
+                }
+                "watchdog_ps" => cfg.watchdog_ps = Some(value.parse().map_err(|e| bad(&e))?),
+                "retry_budget" => cfg.retry_budget = Some(value.parse().map_err(|e| bad(&e))?),
+                "backoff_base_ps" => {
+                    cfg.backoff_base_ps = Some(value.parse().map_err(|e| bad(&e))?);
                 }
                 _ => return Err(format!("line {}: unknown key `{key}`", lineno + 1)),
             }
@@ -289,6 +366,44 @@ mod tests {
         assert!(FaultConfig::parse("perm_segments = bogus").is_err());
         assert!(FaultConfig::parse("perm_ports = r0c1").is_err());
         assert!(FaultConfig::parse("perm_rank_prob = 2.0").is_err());
+    }
+
+    #[test]
+    fn parse_timeline_and_budget_keys() {
+        let cfg = FaultConfig::parse(
+            "arrivals = r0c1b3E@t=5000ps, rank2@t=12000ps\n\
+             flaps = r0c1b0W@t=2000ps+1500ps\n\
+             bursts = ber=0.4@t=1000ps+500ps\n\
+             watchdog_ps = 2000000\n\
+             retry_budget = 8\n\
+             backoff_base_ps = 100000\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.timeline.arrivals.len(), 2);
+        assert_eq!(cfg.timeline.flaps.len(), 1);
+        assert_eq!(cfg.timeline.bursts.len(), 1);
+        assert!(cfg.is_active(), "a timeline alone activates the scenario");
+        assert_eq!(cfg.effective_watchdog_ps(), 2_000_000);
+        assert_eq!(cfg.effective_watchdog_ns(), 2_000);
+        assert_eq!(cfg.effective_retry_budget(), 8);
+        assert_eq!(cfg.effective_backoff_base_ps(), 100_000);
+        assert!(FaultConfig::parse("arrivals = r0c1b3E").is_err());
+        assert!(FaultConfig::parse("bursts = 0.4@t=0ps+1ps").is_err());
+    }
+
+    #[test]
+    fn effective_budgets_default_to_legacy_knobs() {
+        let cfg = FaultConfig::none();
+        assert_eq!(cfg.effective_watchdog_ns(), cfg.watchdog_timeout_ns);
+        assert_eq!(cfg.effective_watchdog_ps(), cfg.watchdog_timeout_ns * 1000);
+        assert_eq!(cfg.effective_retry_budget(), cfg.max_retries);
+        assert_eq!(cfg.effective_backoff_base_ps(), cfg.retry_backoff_ns * 1000);
+        // Sub-nanosecond watchdog override clamps to 1 ns rather than 0.
+        let cfg = FaultConfig {
+            watchdog_ps: Some(500),
+            ..FaultConfig::none()
+        };
+        assert_eq!(cfg.effective_watchdog_ns(), 1);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::config::FaultConfig;
 const TAG_TRANSIENT: u64 = 0x7472_616E; // "tran"
 const TAG_STRAGGLER: u64 = 0x7374_7261; // "stra"
 const TAG_FLIP: u64 = 0x666C_6970; // "flip"
+const TAG_TIMED: u64 = 0x746D_6564; // "tmed"
 
 /// Converts a hash to a uniform probability in `[0, 1)`.
 fn unit(h: u64) -> f64 {
@@ -151,6 +152,70 @@ impl FaultInjector {
         // Reuse the decision hash's high bits for the magnitude so one
         // lookup decides both; +1 keeps the delay nonzero.
         1 + hash_coords(h, &[1]) % self.cfg.straggler_max_ns
+    }
+
+    /// The time-varying fault timeline (empty when the scenario is
+    /// static).
+    #[must_use]
+    pub fn timeline(&self) -> &crate::timeline::FaultTimeline {
+        &self.cfg.timeline
+    }
+
+    /// Does attempt `attempt` of transfer `(phase, step, transfer)` get
+    /// corrupted at simulated instant `t_ps`, during recovery round
+    /// `round`? The effective BER is the static `transient_ber` or the
+    /// timeline's burst BER at `t_ps`, whichever is higher; the round
+    /// coordinate makes step-level retries re-roll instead of replaying
+    /// the identical corruption.
+    #[must_use]
+    pub fn corrupts_at(
+        &self,
+        t_ps: u64,
+        phase: u64,
+        step: u64,
+        transfer: u64,
+        attempt: u32,
+        round: u32,
+    ) -> bool {
+        let ber = match self.cfg.timeline.burst_ber(t_ps) {
+            Some(b) => b.max(self.cfg.transient_ber),
+            None => self.cfg.transient_ber,
+        };
+        if ber <= 0.0 {
+            return false;
+        }
+        let h = hash_coords(
+            self.cfg.seed,
+            &[
+                TAG_TIMED,
+                phase,
+                step,
+                transfer,
+                u64::from(attempt),
+                u64::from(round),
+            ],
+        );
+        unit(h) < ber
+    }
+
+    /// Is `segment` flapped down (temporarily unusable) at `t_ps`?
+    #[must_use]
+    pub fn flap_down(&self, segment: crate::permanent::SegmentId, t_ps: u64) -> bool {
+        self.cfg.timeline.flap_down(segment, t_ps)
+    }
+
+    /// Exponential backoff before recovery round `round` (1-based), in
+    /// integer picoseconds: `effective_backoff_base_ps() << (round - 1)`,
+    /// saturating.
+    #[must_use]
+    pub fn backoff_ps(&self, round: u32) -> u64 {
+        if round == 0 {
+            return 0;
+        }
+        self.cfg
+            .effective_backoff_base_ps()
+            .checked_shl(round - 1)
+            .unwrap_or(u64::MAX)
     }
 
     /// Exponential backoff before re-send `attempt` (1-based), in
@@ -307,6 +372,60 @@ mod tests {
         assert_eq!(inj.backoff_ns(3), 400);
         assert_eq!(inj.total_backoff_ns(3), 700);
         assert_eq!(inj.backoff_ns(200), u64::MAX);
+    }
+
+    #[test]
+    fn timed_corruption_tracks_burst_windows() {
+        use crate::timeline::{FaultTimeline, TransientBurst};
+        let inj = FaultInjector::new(
+            FaultConfig {
+                timeline: FaultTimeline {
+                    bursts: vec![TransientBurst {
+                        from_ps: 1_000,
+                        until_ps: 2_000,
+                        ber: 1.0,
+                    }],
+                    ..FaultTimeline::none()
+                },
+                ..FaultConfig::none()
+            }
+            .with_seed(21),
+        );
+        assert!(inj.is_active(), "burst-only scenario is active");
+        // Outside the window the base BER (0) applies.
+        assert!((0..50).all(|t| !inj.corrupts_at(999, 0, t, 0, 0, 0)));
+        assert!((0..50).all(|t| !inj.corrupts_at(2_000, 0, t, 0, 0, 0)));
+        // Inside the window BER 1.0 corrupts every attempt.
+        assert!((0..50).all(|t| inj.corrupts_at(1_500, 0, t, 0, 0, 0)));
+        // Round coordinate re-rolls: a moderate BER must not replay the
+        // same pattern across rounds.
+        let inj = lossy(17, 0.5);
+        let r0: Vec<bool> = (0..100)
+            .map(|t| inj.corrupts_at(0, 0, t, 0, 0, 0))
+            .collect();
+        let r1: Vec<bool> = (0..100)
+            .map(|t| inj.corrupts_at(0, 0, t, 0, 0, 1))
+            .collect();
+        assert_ne!(r0, r1);
+    }
+
+    #[test]
+    fn backoff_ps_uses_the_effective_base() {
+        let inj = FaultInjector::new(FaultConfig {
+            retry_backoff_ns: 100,
+            ..FaultConfig::none()
+        });
+        assert_eq!(inj.backoff_ps(0), 0);
+        assert_eq!(inj.backoff_ps(1), 100_000, "derived from the ns knob");
+        assert_eq!(inj.backoff_ps(2), 200_000);
+        assert_eq!(inj.backoff_ps(200), u64::MAX);
+        let inj = FaultInjector::new(FaultConfig {
+            retry_backoff_ns: 100,
+            backoff_base_ps: Some(7),
+            ..FaultConfig::none()
+        });
+        assert_eq!(inj.backoff_ps(1), 7, "ps override wins");
+        assert_eq!(inj.backoff_ps(3), 28);
     }
 
     #[test]

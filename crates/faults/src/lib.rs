@@ -45,8 +45,13 @@ pub mod config;
 pub mod crc;
 pub mod inject;
 pub mod permanent;
+pub mod timeline;
 
 pub use config::FaultConfig;
 pub use crc::{crc32, Crc32};
 pub use inject::FaultInjector;
 pub use permanent::{PermanentFaultRates, PermanentFaultSet, PortId, PortSide, SegmentId};
+pub use timeline::{
+    Arrival, ArrivalKind, FaultTimeline, HealthConfig, HealthTracker, LinkFlap, LinkHealth,
+    TimelineRates, TransientBurst,
+};

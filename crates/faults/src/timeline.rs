@@ -1,0 +1,808 @@
+//! Time-varying faults: a seeded [`FaultTimeline`] whose events are
+//! stamped with simulated time instead of being pre-applied.
+//!
+//! The static fault model ([`crate::permanent`]) freezes the scenario
+//! before planning: every dead component is known up front, `repair` and
+//! `plan_degraded` absorb it, and the run proceeds on a fabric that never
+//! changes. Real deployments are not that polite — a ring segment dies
+//! *during* step 7, a link flaps for a few microseconds and comes back, a
+//! voltage droop elevates the bit-error rate for a window. This module
+//! names those events:
+//!
+//! * **arrivals** — a permanent fault (segment, port, or rank) that comes
+//!   into existence at a stamped picosecond and stays dead forever after;
+//! * **link flaps** — a ring segment that is down over a half-open window
+//!   `[from_ps, until_ps)` and healthy outside it;
+//! * **transient bursts** — a window during which the effective bit-error
+//!   rate is elevated to the burst's BER.
+//!
+//! The token grammar extends the permanent-fault tokens with an
+//! `@t=<ps>ps` suffix (arrivals), a `@t=<ps>ps+<ps>ps` window suffix
+//! (flaps), and `ber=<p>@t=<ps>ps+<ps>ps` (bursts). Timelines can also be
+//! *sampled* from a seed ([`FaultTimeline::sample`]) with the same
+//! coordinate-hash scheme as every other fault decision, so chaos soaks
+//! draw reproducible time-varying storms from one integer.
+//!
+//! The module also owns the link **health score** ([`HealthTracker`]): a
+//! per-segment Healthy → Probation → Quarantined hysteresis that promotes
+//! a segment to a permanent fault after `fail_threshold` failures, and
+//! bumps a monotone **epoch** counter the schedule cache keys on so a
+//! post-quarantine replan can never collide with a pre-fault entry.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pim_sim::rng::hash_coords;
+
+use crate::permanent::{PermanentFaultSet, PortId, SegmentId};
+
+/// Domain-separation tags for seeded timeline sampling.
+const TAG_ARRIVAL: u64 = 0x7461_7272; // "tarr"
+const TAG_FLAP: u64 = 0x7466_6C70; // "tflp"
+const TAG_BURST: u64 = 0x7462_7374; // "tbst"
+
+/// Converts a hash to a uniform probability in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// What a stamped permanent-fault arrival kills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ArrivalKind {
+    /// A unidirectional inter-bank ring segment dies.
+    Segment(SegmentId),
+    /// A crossbar port half dies.
+    Port(PortId),
+    /// A whole rank's DQ lanes die.
+    Rank(u32),
+}
+
+impl fmt::Display for ArrivalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrivalKind::Segment(s) => write!(f, "{s}"),
+            ArrivalKind::Port(p) => write!(f, "{p}"),
+            ArrivalKind::Rank(r) => write!(f, "rank{r}"),
+        }
+    }
+}
+
+/// One permanent fault arriving at a stamped picosecond.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Arrival {
+    /// Simulated arrival time in integer picoseconds; the component is
+    /// dead at every `t >= at_ps`.
+    pub at_ps: u64,
+    /// The dying component.
+    pub what: ArrivalKind,
+}
+
+impl fmt::Display for Arrival {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@t={}ps", self.what, self.at_ps)
+    }
+}
+
+/// A ring segment that is down over `[from_ps, until_ps)` and healthy
+/// outside the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LinkFlap {
+    /// The flapping segment.
+    pub segment: SegmentId,
+    /// Window start (inclusive), picoseconds.
+    pub from_ps: u64,
+    /// Window end (exclusive), picoseconds.
+    pub until_ps: u64,
+}
+
+impl LinkFlap {
+    /// Is the segment down at `t_ps`?
+    #[must_use]
+    pub fn is_down(&self, t_ps: u64) -> bool {
+        (self.from_ps..self.until_ps).contains(&t_ps)
+    }
+}
+
+impl fmt::Display for LinkFlap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@t={}ps+{}ps",
+            self.segment,
+            self.from_ps,
+            self.until_ps.saturating_sub(self.from_ps)
+        )
+    }
+}
+
+/// A window of elevated transient bit-error rate.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct TransientBurst {
+    /// Window start (inclusive), picoseconds.
+    pub from_ps: u64,
+    /// Window end (exclusive), picoseconds.
+    pub until_ps: u64,
+    /// Effective BER inside the window (replaces the base rate when
+    /// higher).
+    pub ber: f64,
+}
+
+impl TransientBurst {
+    /// Is the burst active at `t_ps`?
+    #[must_use]
+    pub fn is_active(&self, t_ps: u64) -> bool {
+        (self.from_ps..self.until_ps).contains(&t_ps)
+    }
+}
+
+impl fmt::Display for TransientBurst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ber={}@t={}ps+{}ps",
+            self.ber,
+            self.from_ps,
+            self.until_ps.saturating_sub(self.from_ps)
+        )
+    }
+}
+
+/// Sampling rates for seeded timeline generation (see
+/// [`FaultTimeline::sample`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimelineRates {
+    /// Probability that each ring segment dies within the horizon.
+    pub segment_arrival_prob: f64,
+    /// Probability that each crossbar port half dies within the horizon.
+    pub port_arrival_prob: f64,
+    /// Probability that each rank dies within the horizon.
+    pub rank_arrival_prob: f64,
+    /// Probability that each ring segment flaps once within the horizon.
+    pub flap_prob: f64,
+    /// Probability that a channel-wide transient burst opens.
+    pub burst_prob: f64,
+    /// Effective BER inside a sampled burst window.
+    pub burst_ber: f64,
+}
+
+impl TimelineRates {
+    /// `true` if sampling with these rates can ever produce an event.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.segment_arrival_prob > 0.0
+            || self.port_arrival_prob > 0.0
+            || self.rank_arrival_prob > 0.0
+            || self.flap_prob > 0.0
+            || (self.burst_prob > 0.0 && self.burst_ber > 0.0)
+    }
+}
+
+/// A deterministic sequence of time-stamped fault events.
+///
+/// Events are kept sorted in their canonical (`Ord`) order, so iteration
+/// — and everything derived from it: replans, health updates, traces —
+/// is independent of construction order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultTimeline {
+    /// Permanent-fault arrivals, sorted by `(at_ps, component)`.
+    pub arrivals: Vec<Arrival>,
+    /// Link-flap windows, sorted.
+    pub flaps: Vec<LinkFlap>,
+    /// Transient-BER bursts, sorted by window.
+    pub bursts: Vec<TransientBurst>,
+}
+
+impl FaultTimeline {
+    /// The empty timeline (nothing ever changes mid-run).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultTimeline::default()
+    }
+
+    /// `true` when no event is stamped.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty() && self.flaps.is_empty() && self.bursts.is_empty()
+    }
+
+    /// Total stamped events across all classes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arrivals.len() + self.flaps.len() + self.bursts.len()
+    }
+
+    /// Restores the canonical sort order after direct mutation.
+    pub fn normalize(&mut self) {
+        self.arrivals.sort_unstable();
+        self.arrivals.dedup();
+        self.flaps.sort_unstable();
+        self.flaps.dedup();
+        self.bursts
+            .sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    }
+
+    /// Every permanent fault that has arrived at or before `t_ps`,
+    /// folded into one set.
+    #[must_use]
+    pub fn arrived_by(&self, t_ps: u64) -> PermanentFaultSet {
+        let mut set = PermanentFaultSet::none();
+        for a in self.arrivals.iter().filter(|a| a.at_ps <= t_ps) {
+            match a.what {
+                ArrivalKind::Segment(s) => {
+                    set.segments.insert(s);
+                }
+                ArrivalKind::Port(p) => {
+                    set.ports.insert(p);
+                }
+                ArrivalKind::Rank(r) => {
+                    set.dead_ranks.insert(r);
+                }
+            }
+        }
+        set
+    }
+
+    /// Arrivals stamped in the half-open window `(after_ps, upto_ps]` —
+    /// what a step-boundary check at `upto_ps` newly observes when the
+    /// previous check ran at `after_ps`.
+    #[must_use]
+    pub fn arrivals_between(&self, after_ps: u64, upto_ps: u64) -> Vec<Arrival> {
+        self.arrivals
+            .iter()
+            .copied()
+            .filter(|a| a.at_ps > after_ps && a.at_ps <= upto_ps)
+            .collect()
+    }
+
+    /// Is `segment` flapped down at `t_ps`?
+    #[must_use]
+    pub fn flap_down(&self, segment: SegmentId, t_ps: u64) -> bool {
+        self.flaps
+            .iter()
+            .any(|f| f.segment == segment && f.is_down(t_ps))
+    }
+
+    /// The elevated BER active at `t_ps`, if any burst window covers it
+    /// (the max over overlapping windows).
+    #[must_use]
+    pub fn burst_ber(&self, t_ps: u64) -> Option<f64> {
+        self.bursts
+            .iter()
+            .filter(|b| b.is_active(t_ps))
+            .map(|b| b.ber)
+            .fold(None, |acc, b| Some(acc.map_or(b, |a: f64| a.max(b))))
+    }
+
+    /// The last stamped instant on the timeline (the end of the latest
+    /// window, or the latest arrival), 0 when empty. Soak harnesses use
+    /// it to size their simulated horizon.
+    #[must_use]
+    pub fn end_ps(&self) -> u64 {
+        let a = self.arrivals.iter().map(|a| a.at_ps).max().unwrap_or(0);
+        let f = self.flaps.iter().map(|f| f.until_ps).max().unwrap_or(0);
+        let b = self.bursts.iter().map(|b| b.until_ps).max().unwrap_or(0);
+        a.max(f).max(b)
+    }
+
+    /// Parses a comma-separated arrival token list:
+    /// `r0c1b3E@t=5000ps, r0c2tx@t=800ps, rank2@t=12000ps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending token.
+    pub fn parse_arrivals(text: &str) -> Result<Vec<Arrival>, String> {
+        let mut out = Vec::new();
+        for token in text.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (component, at) = token
+                .split_once("@t=")
+                .ok_or_else(|| format!("bad arrival '{token}' (expected <component>@t=<ps>ps)"))?;
+            let at_ps = parse_ps(at).map_err(|e| format!("bad arrival '{token}': {e}"))?;
+            let what = parse_component(component.trim())?;
+            out.push(Arrival { at_ps, what });
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Parses a comma-separated flap token list:
+    /// `r0c1b3E@t=5000ps+3000ps` (segment down from 5000 ps for 3000 ps).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending token.
+    pub fn parse_flaps(text: &str) -> Result<Vec<LinkFlap>, String> {
+        let mut out = Vec::new();
+        for token in text.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let bad = || format!("bad flap '{token}' (expected <segment>@t=<ps>ps+<ps>ps)");
+            let (seg, window) = token.split_once("@t=").ok_or_else(bad)?;
+            let (from, dur) = window.split_once('+').ok_or_else(bad)?;
+            let from_ps = parse_ps(from).map_err(|e| format!("bad flap '{token}': {e}"))?;
+            let dur_ps = parse_ps(dur).map_err(|e| format!("bad flap '{token}': {e}"))?;
+            out.push(LinkFlap {
+                segment: SegmentId::parse(seg.trim())?,
+                from_ps,
+                until_ps: from_ps.saturating_add(dur_ps),
+            });
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Parses a comma-separated burst token list:
+    /// `ber=0.5@t=1000ps+500ps` (BER 0.5 over `[1000, 1500)` ps).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending token.
+    pub fn parse_bursts(text: &str) -> Result<Vec<TransientBurst>, String> {
+        let mut out = Vec::new();
+        for token in text.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let bad = || format!("bad burst '{token}' (expected ber=<p>@t=<ps>ps+<ps>ps)");
+            let rest = token.strip_prefix("ber=").ok_or_else(bad)?;
+            let (ber, window) = rest.split_once("@t=").ok_or_else(bad)?;
+            let ber: f64 = ber
+                .parse()
+                .ok()
+                .filter(|p| (0.0..=1.0).contains(p))
+                .ok_or_else(|| format!("bad burst '{token}': BER not in [0, 1]"))?;
+            let (from, dur) = window.split_once('+').ok_or_else(bad)?;
+            let from_ps = parse_ps(from).map_err(|e| format!("bad burst '{token}': {e}"))?;
+            let dur_ps = parse_ps(dur).map_err(|e| format!("bad burst '{token}': {e}"))?;
+            out.push(TransientBurst {
+                from_ps,
+                until_ps: from_ps.saturating_add(dur_ps),
+                ber,
+            });
+        }
+        out.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(out)
+    }
+
+    /// Draws a reproducible time-varying storm for a fabric of `ranks` ×
+    /// `chips` × `banks` over a simulated horizon of `horizon_ps`
+    /// picoseconds: every component independently dies / flaps with its
+    /// class probability at a uniformly drawn instant, decided by a pure
+    /// hash of `(seed, component coordinates)` — identical seeds always
+    /// produce identical storms regardless of query order.
+    #[must_use]
+    pub fn sample(
+        seed: u64,
+        ranks: u32,
+        chips: u32,
+        banks: u32,
+        horizon_ps: u64,
+        rates: &TimelineRates,
+    ) -> Self {
+        let mut tl = FaultTimeline::none();
+        if !rates.is_active() || horizon_ps == 0 {
+            return tl;
+        }
+        let at = |h: u64| 1 + hash_coords(h, &[1]) % horizon_ps.max(1);
+        for rank in 0..ranks {
+            let h = hash_coords(seed, &[TAG_ARRIVAL, 3, u64::from(rank)]);
+            if unit(h) < rates.rank_arrival_prob {
+                tl.arrivals.push(Arrival {
+                    at_ps: at(h),
+                    what: ArrivalKind::Rank(rank),
+                });
+            }
+            for chip in 0..chips {
+                for (side_tag, side) in [
+                    (0u64, crate::permanent::PortSide::Tx),
+                    (1u64, crate::permanent::PortSide::Rx),
+                ] {
+                    let h = hash_coords(
+                        seed,
+                        &[TAG_ARRIVAL, 2, u64::from(rank), u64::from(chip), side_tag],
+                    );
+                    if unit(h) < rates.port_arrival_prob {
+                        tl.arrivals.push(Arrival {
+                            at_ps: at(h),
+                            what: ArrivalKind::Port(PortId { rank, chip, side }),
+                        });
+                    }
+                }
+                for bank in 0..banks {
+                    for (dir_tag, east) in [(0u64, true), (1u64, false)] {
+                        let seg = SegmentId {
+                            rank,
+                            chip,
+                            from_bank: bank,
+                            east,
+                        };
+                        let coords = [u64::from(rank), u64::from(chip), u64::from(bank), dir_tag];
+                        let h = hash_coords(
+                            seed,
+                            &[TAG_ARRIVAL, 1, coords[0], coords[1], coords[2], coords[3]],
+                        );
+                        if unit(h) < rates.segment_arrival_prob {
+                            tl.arrivals.push(Arrival {
+                                at_ps: at(h),
+                                what: ArrivalKind::Segment(seg),
+                            });
+                        }
+                        let h = hash_coords(
+                            seed,
+                            &[TAG_FLAP, coords[0], coords[1], coords[2], coords[3]],
+                        );
+                        if unit(h) < rates.flap_prob {
+                            let from_ps = at(h);
+                            // Flap length: 1/16 of the horizon, so backoff
+                            // (which doubles) escapes it within a few rounds.
+                            tl.flaps.push(LinkFlap {
+                                segment: seg,
+                                from_ps,
+                                until_ps: from_ps.saturating_add(horizon_ps / 16 + 1),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let h = hash_coords(seed, &[TAG_BURST]);
+        if unit(h) < rates.burst_prob && rates.burst_ber > 0.0 {
+            let from_ps = at(h);
+            tl.bursts.push(TransientBurst {
+                from_ps,
+                until_ps: from_ps.saturating_add(horizon_ps / 8 + 1),
+                ber: rates.burst_ber,
+            });
+        }
+        tl.normalize();
+        tl
+    }
+}
+
+impl fmt::Display for FaultTimeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut tokens: Vec<String> = Vec::with_capacity(self.len());
+        tokens.extend(self.arrivals.iter().map(ToString::to_string));
+        tokens.extend(self.flaps.iter().map(ToString::to_string));
+        tokens.extend(self.bursts.iter().map(ToString::to_string));
+        if tokens.is_empty() {
+            f.write_str("(none)")
+        } else {
+            f.write_str(&tokens.join(","))
+        }
+    }
+}
+
+/// Parses `<u64>` with an optional `ps` suffix.
+fn parse_ps(s: &str) -> Result<u64, String> {
+    let digits = s.trim().trim_end_matches("ps").trim();
+    digits
+        .parse()
+        .map_err(|_| format!("'{s}' is not an integer picosecond count"))
+}
+
+/// Parses one permanent-fault component token (segment / port / rank).
+fn parse_component(token: &str) -> Result<ArrivalKind, String> {
+    if let Some(rank) = token.strip_prefix("rank") {
+        return Ok(ArrivalKind::Rank(rank.parse().map_err(|_| {
+            format!("bad rank token '{token}' (expected rank<n>)")
+        })?));
+    }
+    if token.ends_with(['x', 'X']) {
+        return Ok(ArrivalKind::Port(PortId::parse(token)?));
+    }
+    Ok(ArrivalKind::Segment(SegmentId::parse(token)?))
+}
+
+/// A link's place in the quarantine hysteresis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LinkHealth {
+    /// No recent failures.
+    Healthy,
+    /// Failed recently; accumulating evidence either way.
+    Probation,
+    /// Promoted to a permanent fault; excluded from every future plan.
+    Quarantined,
+}
+
+/// Per-segment failure/success bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct HealthScore {
+    fails: u32,
+    probation_successes: u32,
+    quarantined: bool,
+}
+
+/// Quarantine/probation hysteresis knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive-window failure count that promotes a segment to a
+    /// permanent fault (K).
+    pub fail_threshold: u32,
+    /// Clean transfers a probationary segment must carry before its
+    /// failure count resets to zero.
+    pub probation_successes: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            fail_threshold: 3,
+            probation_successes: 2,
+        }
+    }
+}
+
+/// Deterministic link-health scoring with quarantine/probation
+/// hysteresis.
+///
+/// Every state transition is a pure function of the recorded
+/// failure/success sequence (no clocks, no randomness), and the map is a
+/// `BTreeMap` so iteration order is canonical. Quarantining a segment
+/// bumps the monotone [`HealthTracker::epoch`] counter — the schedule
+/// cache folds it into its key, so replans after a quarantine can never
+/// be answered from a pre-fault entry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HealthTracker {
+    config: HealthConfig,
+    scores: BTreeMap<SegmentId, HealthScore>,
+    epoch: u64,
+}
+
+impl HealthTracker {
+    /// A tracker with the given hysteresis knobs, all segments healthy.
+    #[must_use]
+    pub fn new(config: HealthConfig) -> Self {
+        HealthTracker {
+            config,
+            scores: BTreeMap::new(),
+            epoch: 0,
+        }
+    }
+
+    /// The current health epoch: bumped once per quarantine promotion.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A segment's current state.
+    #[must_use]
+    pub fn state(&self, segment: SegmentId) -> LinkHealth {
+        match self.scores.get(&segment) {
+            None => LinkHealth::Healthy,
+            Some(s) if s.quarantined => LinkHealth::Quarantined,
+            Some(s) if s.fails > 0 => LinkHealth::Probation,
+            Some(_) => LinkHealth::Healthy,
+        }
+    }
+
+    /// Records one failed transfer over `segment`. Returns `true` when
+    /// this failure promotes the segment to quarantine (at which point
+    /// the epoch has already been bumped).
+    pub fn record_failure(&mut self, segment: SegmentId) -> bool {
+        let s = self.scores.entry(segment).or_default();
+        if s.quarantined {
+            return false;
+        }
+        s.fails += 1;
+        s.probation_successes = 0;
+        if s.fails >= self.config.fail_threshold {
+            s.quarantined = true;
+            self.epoch += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Records one clean transfer over `segment`; enough consecutive
+    /// successes graduate a probationary segment back to healthy.
+    pub fn record_success(&mut self, segment: SegmentId) {
+        if let Some(s) = self.scores.get_mut(&segment) {
+            if s.quarantined || s.fails == 0 {
+                return;
+            }
+            s.probation_successes += 1;
+            if s.probation_successes >= self.config.probation_successes {
+                s.fails = 0;
+                s.probation_successes = 0;
+            }
+        }
+    }
+
+    /// Every quarantined segment, in canonical order.
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<SegmentId> {
+        self.scores
+            .iter()
+            .filter(|(_, s)| s.quarantined)
+            .map(|(&seg, _)| seg)
+            .collect()
+    }
+
+    /// The quarantined segments as a permanent-fault set (what replans
+    /// merge into their scenario).
+    #[must_use]
+    pub fn as_fault_set(&self) -> PermanentFaultSet {
+        let mut set = PermanentFaultSet::none();
+        set.segments.extend(self.quarantined());
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(bank: u32) -> SegmentId {
+        SegmentId {
+            rank: 0,
+            chip: 1,
+            from_bank: bank,
+            east: true,
+        }
+    }
+
+    #[test]
+    fn arrival_tokens_roundtrip() {
+        let arr =
+            FaultTimeline::parse_arrivals("r0c1b3E@t=5000ps, rank2@t=12000ps, r0c1tx@t=800ps")
+                .unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].at_ps, 800);
+        assert!(matches!(arr[0].what, ArrivalKind::Port(_)));
+        assert!(matches!(arr[2].what, ArrivalKind::Rank(2)));
+        let tl = FaultTimeline {
+            arrivals: arr.clone(),
+            ..FaultTimeline::none()
+        };
+        let again = FaultTimeline::parse_arrivals(&tl.to_string()).unwrap();
+        assert_eq!(again, arr);
+    }
+
+    #[test]
+    fn arrival_tokens_reject_garbage() {
+        assert!(FaultTimeline::parse_arrivals("r0c1b3E").is_err());
+        assert!(FaultTimeline::parse_arrivals("r0c1b3E@t=xps").is_err());
+        assert!(FaultTimeline::parse_arrivals("bogus@t=5ps").is_err());
+        assert!(FaultTimeline::parse_arrivals("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn flap_and_burst_tokens_roundtrip() {
+        let flaps = FaultTimeline::parse_flaps("r0c1b3E@t=5000ps+3000ps").unwrap();
+        assert_eq!(flaps[0].from_ps, 5000);
+        assert_eq!(flaps[0].until_ps, 8000);
+        assert!(flaps[0].is_down(5000));
+        assert!(flaps[0].is_down(7999));
+        assert!(!flaps[0].is_down(8000));
+        let bursts = FaultTimeline::parse_bursts("ber=0.5@t=1000ps+500ps").unwrap();
+        assert!((bursts[0].ber - 0.5).abs() < 1e-12);
+        assert!(bursts[0].is_active(1499) && !bursts[0].is_active(1500));
+        assert!(FaultTimeline::parse_bursts("ber=1.5@t=0ps+1ps").is_err());
+        assert!(FaultTimeline::parse_flaps("r0c1b3E@t=5ps").is_err());
+        let tl = FaultTimeline {
+            flaps: flaps.clone(),
+            bursts: bursts.clone(),
+            ..FaultTimeline::none()
+        };
+        let s = tl.to_string();
+        assert_eq!(
+            FaultTimeline::parse_flaps(s.split(',').next().unwrap()).unwrap(),
+            flaps
+        );
+    }
+
+    #[test]
+    fn arrived_by_accumulates_monotonically() {
+        let tl = FaultTimeline {
+            arrivals: FaultTimeline::parse_arrivals(
+                "r0c1b3E@t=100ps, r0c2tx@t=200ps, rank1@t=300ps",
+            )
+            .unwrap(),
+            ..FaultTimeline::none()
+        };
+        assert!(tl.arrived_by(99).is_empty());
+        assert_eq!(tl.arrived_by(100).len(), 1);
+        assert_eq!(tl.arrived_by(250).len(), 2);
+        assert_eq!(tl.arrived_by(u64::MAX).len(), 3);
+        let fresh = tl.arrivals_between(100, 300);
+        assert_eq!(fresh.len(), 2, "window (100, 300] sees port and rank");
+        assert_eq!(tl.end_ps(), 300);
+    }
+
+    #[test]
+    fn burst_ber_takes_the_max_overlap() {
+        let tl = FaultTimeline {
+            bursts: vec![
+                TransientBurst {
+                    from_ps: 0,
+                    until_ps: 100,
+                    ber: 0.2,
+                },
+                TransientBurst {
+                    from_ps: 50,
+                    until_ps: 150,
+                    ber: 0.6,
+                },
+            ],
+            ..FaultTimeline::none()
+        };
+        assert_eq!(tl.burst_ber(10), Some(0.2));
+        assert_eq!(tl.burst_ber(75), Some(0.6));
+        assert_eq!(tl.burst_ber(120), Some(0.6));
+        assert_eq!(tl.burst_ber(150), None);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let rates = TimelineRates {
+            segment_arrival_prob: 0.1,
+            port_arrival_prob: 0.1,
+            rank_arrival_prob: 0.1,
+            flap_prob: 0.1,
+            burst_prob: 1.0,
+            burst_ber: 0.5,
+        };
+        let a = FaultTimeline::sample(7, 2, 4, 4, 1_000_000, &rates);
+        let b = FaultTimeline::sample(7, 2, 4, 4, 1_000_000, &rates);
+        assert_eq!(a, b, "same seed must sample the same storm");
+        assert_ne!(a, FaultTimeline::sample(8, 2, 4, 4, 1_000_000, &rates));
+        assert!(!a.is_empty());
+        assert!(a.end_ps() <= 1_000_000 + 1_000_000 / 8 + 1);
+        for w in a.arrivals.windows(2) {
+            assert!(w[0] <= w[1], "arrivals sorted");
+        }
+        assert!(
+            FaultTimeline::sample(7, 2, 4, 4, 0, &rates).is_empty(),
+            "zero horizon samples nothing"
+        );
+        assert!(FaultTimeline::sample(7, 2, 4, 4, 1_000, &TimelineRates::default()).is_empty());
+    }
+
+    #[test]
+    fn health_hysteresis_promotes_after_k_failures() {
+        let mut h = HealthTracker::new(HealthConfig {
+            fail_threshold: 3,
+            probation_successes: 2,
+        });
+        assert_eq!(h.state(seg(0)), LinkHealth::Healthy);
+        assert!(!h.record_failure(seg(0)));
+        assert_eq!(h.state(seg(0)), LinkHealth::Probation);
+        assert!(!h.record_failure(seg(0)));
+        assert_eq!(h.epoch(), 0);
+        assert!(h.record_failure(seg(0)), "third failure quarantines");
+        assert_eq!(h.state(seg(0)), LinkHealth::Quarantined);
+        assert_eq!(h.epoch(), 1);
+        assert_eq!(h.quarantined(), vec![seg(0)]);
+        assert_eq!(h.as_fault_set().segments.len(), 1);
+        // Further failures on a quarantined segment are no-ops.
+        assert!(!h.record_failure(seg(0)));
+        assert_eq!(h.epoch(), 1);
+    }
+
+    #[test]
+    fn probation_successes_reset_the_failure_count() {
+        let mut h = HealthTracker::new(HealthConfig::default());
+        h.record_failure(seg(1));
+        h.record_failure(seg(1));
+        assert_eq!(h.state(seg(1)), LinkHealth::Probation);
+        h.record_success(seg(1));
+        h.record_success(seg(1));
+        assert_eq!(h.state(seg(1)), LinkHealth::Healthy, "graduated");
+        // The count reset: three fresh failures are needed again.
+        assert!(!h.record_failure(seg(1)));
+        assert!(!h.record_failure(seg(1)));
+        assert!(h.record_failure(seg(1)));
+        // A lone success between failures does not graduate.
+        let mut h = HealthTracker::new(HealthConfig::default());
+        h.record_failure(seg(2));
+        h.record_success(seg(2));
+        assert_eq!(h.state(seg(2)), LinkHealth::Probation);
+    }
+
+    #[test]
+    fn success_on_healthy_or_unknown_segment_is_inert() {
+        let mut h = HealthTracker::new(HealthConfig::default());
+        h.record_success(seg(3));
+        assert_eq!(h.state(seg(3)), LinkHealth::Healthy);
+        assert!(h.quarantined().is_empty());
+        assert_eq!(h.epoch(), 0);
+    }
+}

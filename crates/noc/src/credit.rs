@@ -14,13 +14,14 @@
 //! widths this is exactly flit-level behaviour with 1-byte flits, at much
 //! lower simulation cost.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use pim_sim::trace::codes;
 use pim_sim::{Probe, SimTime};
 
 use pimnet::schedule::CommSchedule;
 use pimnet::topology::Resource;
+use pimnet::PimnetError;
 
 use crate::config::NocConfig;
 use crate::packet::packets_from_schedule;
@@ -93,12 +94,14 @@ pub fn simulate_credit_probed(
 ///
 /// * [`pimnet::PimnetError::DeadDpu`] if a participant is hard-dead;
 /// * [`pimnet::PimnetError::TransferFailed`] if a packet exhausts its
-///   retry budget.
+///   retry budget;
+/// * [`pimnet::PimnetError::SimulationStalled`] if the scenario wedges
+///   the flow control past the `cfg.max_cycles` deadlock guard (typed,
+///   not a panic: chaos harnesses count it).
 ///
 /// # Panics
 ///
-/// Panics if `ready` is shorter than the DPU count, or if the simulation
-/// exceeds `cfg.max_cycles` (deadlock guard).
+/// Panics if `ready` is shorter than the DPU count.
 pub fn simulate_credit_faulty(
     schedule: &CommSchedule,
     ready: &[SimTime],
@@ -124,7 +127,7 @@ pub fn simulate_credit_faulty(
         .collect();
     let packets =
         crate::packet::inject_retransmissions(&packets_from_schedule(schedule), injector)?;
-    Ok(simulate_credit_packets(&packets, &stretched, cfg))
+    try_simulate_credit_packets_probed(&packets, &stretched, cfg, Probe::disabled())
 }
 
 /// [`simulate_credit_faulty`] with observability: stragglers and CRC
@@ -135,8 +138,8 @@ pub fn simulate_credit_faulty(
 ///
 /// # Errors
 ///
-/// Same as [`simulate_credit_faulty`] (nothing is recorded on the error
-/// path).
+/// Same as [`simulate_credit_faulty`] (nothing from the failed simulation
+/// is recorded on the error path).
 ///
 /// # Panics
 ///
@@ -194,9 +197,7 @@ pub fn simulate_credit_faulty_probed(
             );
         }
     }
-    Ok(simulate_credit_packets_probed(
-        &packets, &stretched, cfg, probe,
-    ))
+    try_simulate_credit_packets_probed(&packets, &stretched, cfg, probe)
 }
 
 /// Runs the credit-based simulation on an explicit packet list (used both
@@ -233,9 +234,51 @@ pub fn simulate_credit_packets_probed(
     cfg: &NocConfig,
     probe: &Probe,
 ) -> NocReport {
+    match try_simulate_credit_packets_probed(packets, ready, cfg, probe) {
+        Ok(report) => report,
+        Err(e) => panic!("credit simulation failed on a fault-free packet list: {e}"),
+    }
+}
+
+/// The mutable per-link flow-control state keyed by the resource the link
+/// occupies, looked up fallibly: a packet routed over a link that was
+/// never registered is a malformed packet list, reported as
+/// [`PimnetError::Unroutable`] instead of a panic.
+fn link_mut<'a>(
+    links: &'a mut BTreeMap<Resource, LinkState>,
+    r: &Resource,
+) -> Result<&'a mut LinkState, PimnetError> {
+    links.get_mut(r).ok_or_else(|| PimnetError::Unroutable {
+        reason: format!("packet routed over unregistered link {r:?}"),
+    })
+}
+
+/// The fallible core of the credit simulation: exactly
+/// [`simulate_credit_packets_probed`], but every run-time failure mode —
+/// a malformed packet list, the `cfg.max_cycles` deadlock guard firing —
+/// comes back as a typed [`PimnetError`] instead of a panic. The fault
+/// paths ([`simulate_credit_faulty`], [`simulate_credit_faulty_probed`])
+/// route through this so chaos scenarios end in typed error trails.
+///
+/// # Errors
+///
+/// * [`PimnetError::Unroutable`] if a packet references a link or hop
+///   that is not part of its own registered path (malformed input);
+/// * [`PimnetError::SimulationStalled`] if traffic stops making progress
+///   before every packet is delivered (`cfg.max_cycles` guard).
+///
+/// # Panics
+///
+/// Panics if a packet's source index exceeds `ready.len()`.
+pub fn try_simulate_credit_packets_probed(
+    packets: &[crate::packet::Packet],
+    ready: &[SimTime],
+    cfg: &NocConfig,
+    probe: &Probe,
+) -> Result<NocReport, PimnetError> {
     let nodes = ready.len();
     if packets.is_empty() {
-        return NocReport {
+        return Ok(NocReport {
             completion: ready.iter().copied().max().unwrap_or(SimTime::ZERO),
             cycles: 0,
             packets: 0,
@@ -244,7 +287,7 @@ pub fn simulate_credit_packets_probed(
             p50_latency: SimTime::ZERO,
             p99_latency: SimTime::ZERO,
             max_link_utilization: 0.0,
-        };
+        });
     }
 
     // Reverse dependency lists and remaining-dep counters.
@@ -262,7 +305,9 @@ pub fn simulate_credit_packets_probed(
     let mut enqueued_hop: Vec<usize> = vec![0; packets.len()]; // next hop to enqueue
     let ready_cycle: Vec<u64> = (0..nodes).map(|i| cfg.time_to_cycles(ready[i])).collect();
 
-    let mut links: HashMap<Resource, LinkState> = HashMap::new();
+    // A BTreeMap so every iteration below walks links in sorted resource
+    // order — determinism without a separate ordering vector.
+    let mut links: BTreeMap<Resource, LinkState> = BTreeMap::new();
     for p in packets {
         for r in &p.path {
             links.entry(*r).or_insert(LinkState {
@@ -272,9 +317,6 @@ pub fn simulate_credit_packets_probed(
             });
         }
     }
-    // Deterministic iteration order over links.
-    let mut link_order: Vec<Resource> = links.keys().copied().collect();
-    link_order.sort_unstable();
 
     // A packet is *armed* once its dependencies are delivered; it then
     // releases at its source's ready cycle (min-heap keyed by that cycle,
@@ -300,11 +342,12 @@ pub fn simulate_credit_packets_probed(
     let mut busy: HashMap<Resource, u64> = HashMap::new();
 
     while remaining > 0 {
-        assert!(
-            cycle < cfg.max_cycles,
-            "credit simulation exceeded {} cycles ({remaining} packets left)",
-            cfg.max_cycles
-        );
+        if cycle >= cfg.max_cycles {
+            return Err(PimnetError::SimulationStalled {
+                cycles: cycle,
+                remaining,
+            });
+        }
 
         // 1. Release armed packets whose ready cycle has arrived; the heap
         // order (cycle, id) keeps queue insertion deterministic.
@@ -315,11 +358,7 @@ pub fn simulate_credit_packets_probed(
             armed.pop();
             release_cycle_of[pid] = cycle;
             let first = packets[pid].path[0];
-            links
-                .get_mut(&first)
-                .expect("known link")
-                .queue
-                .push_back(pid);
+            link_mut(&mut links, &first)?.queue.push_back(pid);
             enqueued_hop[pid] = 1;
         }
 
@@ -327,8 +366,7 @@ pub fn simulate_credit_packets_probed(
         // are the visible cost of dynamic flow control (contention wait).
         // A wormhole that has been dead for `preempt_after` cycles yields
         // (virtual-channel escape; prevents multi-hop ring deadlock).
-        for r in &link_order {
-            let l = links.get_mut(r).expect("known link");
+        for l in links.values_mut() {
             if let Some(cur) = l.current {
                 if l.stalled >= cfg.preempt_after && !l.queue.is_empty() {
                     l.queue.push_back(cur);
@@ -344,11 +382,16 @@ pub fn simulate_credit_packets_probed(
 
         // 3. Move bytes using a snapshot of progress.
         let mut moved: Vec<(usize, usize, u64)> = Vec::new(); // (packet, hop, delta)
-        for r in &link_order {
-            let l = &links[r];
+        for (r, l) in &links {
             let Some(pid) = l.current else { continue };
             let p = &packets[pid];
-            let hop = p.path.iter().position(|x| x == r).expect("hop on path");
+            let hop =
+                p.path
+                    .iter()
+                    .position(|x| x == r)
+                    .ok_or_else(|| PimnetError::Unroutable {
+                        reason: format!("packet {pid} holds link {r:?} off its own path"),
+                    })?;
             let upstream = if hop == 0 {
                 p.bytes
             } else {
@@ -369,11 +412,11 @@ pub fn simulate_credit_packets_probed(
             }
         }
         for r in stalled_links.drain(..) {
-            links.get_mut(&r).expect("known link").stalled += 1;
+            link_mut(&mut links, &r)?.stalled += 1;
         }
         for (pid, hop, _) in &moved {
             let r = packets[*pid].path[*hop];
-            links.get_mut(&r).expect("known link").stalled = 0;
+            link_mut(&mut links, &r)?.stalled = 0;
             *busy.entry(r).or_insert(0) += 1;
         }
 
@@ -386,16 +429,12 @@ pub fn simulate_credit_packets_probed(
             let p = &packets[pid];
             // First bytes reached the buffer before hop+1: join its queue.
             if hop + 1 < p.path.len() && enqueued_hop[pid] == hop + 1 {
-                links
-                    .get_mut(&p.path[hop + 1])
-                    .expect("known link")
-                    .queue
-                    .push_back(pid);
+                link_mut(&mut links, &p.path[hop + 1])?.queue.push_back(pid);
                 enqueued_hop[pid] = hop + 2;
             }
             // Tail passed this hop: free the link.
             if prog[pid][hop] == p.bytes {
-                let l = links.get_mut(&p.path[hop]).expect("known link");
+                let l = link_mut(&mut links, &p.path[hop])?;
                 if l.current == Some(pid) {
                     l.current = None;
                 }
@@ -447,7 +486,7 @@ pub fn simulate_credit_packets_probed(
         }
         let mut busy_ps_by_tier = [0u64; pim_sim::metrics::TIERS];
         let mut max_busy_ps = 0u64;
-        for r in &link_order {
+        for r in links.keys() {
             let Some(&b) = busy.get(r) else { continue };
             let ps = cfg.cycles_to_time(b).as_ps();
             busy_ps_by_tier[r.tier_index()] += ps;
@@ -473,7 +512,7 @@ pub fn simulate_credit_packets_probed(
             packets.len() as u64,
         );
     }
-    NocReport {
+    Ok(NocReport {
         completion: cfg.cycles_to_time(last_delivery_cycle),
         cycles: last_delivery_cycle,
         packets: packets.len(),
@@ -482,7 +521,7 @@ pub fn simulate_credit_packets_probed(
         p50_latency: pct(0.5),
         p99_latency: pct(0.99),
         max_link_utilization,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -618,6 +657,34 @@ mod tests {
         assert!(
             a.completion >= clean.completion,
             "retries cannot speed things up"
+        );
+    }
+
+    #[test]
+    fn an_undeliverable_scenario_stalls_typed_instead_of_panicking() {
+        use pim_faults::{FaultConfig, FaultInjector};
+        let s = schedule(CollectiveKind::AllReduce, 8, 512);
+        // A deadlock guard far too tight for the traffic: the fault path
+        // must report SimulationStalled, not assert.
+        let cfg = NocConfig {
+            max_cycles: 4,
+            ..NocConfig::paper()
+        };
+        let inj = FaultInjector::new(
+            FaultConfig {
+                straggler_prob: 1.0,
+                straggler_max_ns: 10,
+                ..FaultConfig::none()
+            }
+            .with_seed(3),
+        );
+        let err = simulate_credit_faulty(&s, &zeros(8), &cfg, &inj).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                pimnet::PimnetError::SimulationStalled { cycles: 4, remaining } if remaining > 0
+            ),
+            "expected SimulationStalled, got {err:?}"
         );
     }
 

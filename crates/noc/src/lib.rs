@@ -36,6 +36,7 @@ pub use config::NocConfig;
 pub use credit::{
     simulate_credit, simulate_credit_faulty, simulate_credit_faulty_probed,
     simulate_credit_packets, simulate_credit_packets_probed, simulate_credit_probed,
+    try_simulate_credit_packets_probed,
 };
 pub use packet::inject_retransmissions;
 pub use report::NocReport;

@@ -177,6 +177,22 @@ pub struct MetricsReport {
     pub degraded_tier: Option<u8>,
     /// Distribution of per-transfer wire bytes.
     pub transfer_bytes: Histogram,
+
+    /// Schedule steps the recovery manager completed.
+    pub recovery_steps: u64,
+    /// Step-level recovery retries (backoff rounds).
+    pub recovery_retries: u64,
+    /// Total backoff the recovery manager waited (ps).
+    pub recovery_backoff_ps: u64,
+    /// Replans triggered by mid-run fault arrivals or quarantines.
+    pub recovery_replans: u64,
+    /// Segments promoted to permanent faults by the health tracker.
+    pub recovery_quarantines: u64,
+    /// Timed permanent-fault arrivals the manager absorbed.
+    pub recovery_arrivals: u64,
+    /// Step-boundary checkpoints (completed steps whose buffers became
+    /// the resume point).
+    pub recovery_checkpoints: u64,
 }
 
 impl MetricsReport {
@@ -217,6 +233,13 @@ impl MetricsReport {
             noc_packets: 0,
             degraded_tier: None,
             transfer_bytes: Histogram::new(),
+            recovery_steps: 0,
+            recovery_retries: 0,
+            recovery_backoff_ps: 0,
+            recovery_replans: 0,
+            recovery_quarantines: 0,
+            recovery_arrivals: 0,
+            recovery_checkpoints: 0,
         }
     }
 
@@ -278,6 +301,13 @@ impl MetricsReport {
         for i in 0..self.transfer_bytes.buckets.len() {
             self.transfer_bytes.buckets[i] += other.transfer_bytes.buckets[i];
         }
+        self.recovery_steps += other.recovery_steps;
+        self.recovery_retries += other.recovery_retries;
+        self.recovery_backoff_ps += other.recovery_backoff_ps;
+        self.recovery_replans += other.recovery_replans;
+        self.recovery_quarantines += other.recovery_quarantines;
+        self.recovery_arrivals += other.recovery_arrivals;
+        self.recovery_checkpoints += other.recovery_checkpoints;
     }
 
     /// Deterministic `key,value` CSV of every counter (per-tier counters
@@ -352,6 +382,13 @@ impl MetricsReport {
             "degraded_tier",
             self.degraded_tier.map_or(u64::MAX, u64::from),
         );
+        kv("recovery_steps", self.recovery_steps);
+        kv("recovery_retries", self.recovery_retries);
+        kv("recovery_backoff_ps", self.recovery_backoff_ps);
+        kv("recovery_replans", self.recovery_replans);
+        kv("recovery_quarantines", self.recovery_quarantines);
+        kv("recovery_arrivals", self.recovery_arrivals);
+        kv("recovery_checkpoints", self.recovery_checkpoints);
         for (i, count) in self.transfer_bytes.buckets.iter().enumerate() {
             kv(
                 &format!("transfer_bytes_ge_{}", Histogram::bucket_floor(i)),
@@ -570,6 +607,37 @@ impl Metrics {
             r.degraded_tier = Some(r.degraded_tier.map_or(tier, |t| t.max(tier)));
         });
     }
+
+    /// One recovery-manager step completion (also a checkpoint).
+    pub fn recovery_step(&self) {
+        self.with(|r| {
+            r.recovery_steps += 1;
+            r.recovery_checkpoints += 1;
+        });
+    }
+
+    /// One step-level recovery retry that waited `backoff_ps`.
+    pub fn recovery_retry(&self, backoff_ps: u64) {
+        self.with(|r| {
+            r.recovery_retries += 1;
+            r.recovery_backoff_ps += backoff_ps;
+        });
+    }
+
+    /// One mid-run replan.
+    pub fn recovery_replan(&self) {
+        self.with(|r| r.recovery_replans += 1);
+    }
+
+    /// One health-tracker quarantine promotion.
+    pub fn recovery_quarantine(&self) {
+        self.with(|r| r.recovery_quarantines += 1);
+    }
+
+    /// `n` timed permanent-fault arrivals absorbed at a step boundary.
+    pub fn recovery_arrivals(&self, n: u64) {
+        self.with(|r| r.recovery_arrivals += n);
+    }
 }
 
 #[cfg(test)]
@@ -666,6 +734,33 @@ mod tests {
         assert!(pretty.contains("degraded_tier_name"));
         assert!(pretty.contains("repaired"));
         assert!(!pretty.contains("noc_packets"), "zero rows are hidden");
+    }
+
+    #[test]
+    fn recovery_counters_accumulate_and_merge() {
+        let m = Metrics::enabled();
+        m.recovery_step();
+        m.recovery_step();
+        m.recovery_retry(100);
+        m.recovery_retry(200);
+        m.recovery_replan();
+        m.recovery_quarantine();
+        m.recovery_arrivals(3);
+        let r = m.snapshot();
+        assert_eq!(r.recovery_steps, 2);
+        assert_eq!(r.recovery_checkpoints, 2);
+        assert_eq!(r.recovery_retries, 2);
+        assert_eq!(r.recovery_backoff_ps, 300);
+        assert_eq!(r.recovery_replans, 1);
+        assert_eq!(r.recovery_quarantines, 1);
+        assert_eq!(r.recovery_arrivals, 3);
+        let mut merged = r;
+        merged.merge(&r);
+        assert_eq!(merged.recovery_steps, 4);
+        assert_eq!(merged.recovery_backoff_ps, 600);
+        let csv = r.to_csv();
+        assert!(csv.contains("recovery_steps,2"));
+        assert!(csv.contains("recovery_backoff_ps,300"));
     }
 
     #[test]

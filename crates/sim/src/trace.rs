@@ -84,6 +84,31 @@ pub mod codes {
     /// The degradation ladder picked a tier.
     /// Args: `[tier (0=full,1=repaired,2=shrunk,3=host), excluded_dpus, 0, 0]`.
     pub const PLAN_TIER: u16 = 0x0701;
+
+    /// The recovery manager completed one schedule step.
+    /// Args: `[phase, step, transfers, t_ps]`.
+    pub const RECOV_STEP: u16 = 0x0801;
+    /// A failed step is being retried after backoff.
+    /// Args: `[phase, step, round, backoff_ps]`.
+    pub const RECOV_RETRY: u16 = 0x0802;
+    /// Buffers checkpointed at a completed step boundary.
+    /// Args: `[phase, step, step_ordinal, t_ps]`.
+    pub const RECOV_CHECKPOINT: u16 = 0x0803;
+    /// An arrival invalidated the schedule and the manager replanned.
+    /// Args: `[tier, epoch, resumed (1=spliced, 0=restarted), step_ordinal]`.
+    pub const RECOV_REPLAN: u16 = 0x0804;
+    /// The health tracker quarantined a flaky segment.
+    /// Args: `[rank, chip, from_bank<<1|east, epoch]`.
+    pub const RECOV_QUARANTINE: u16 = 0x0805;
+    /// A timed permanent fault arrived mid-run.
+    /// Args: `[class (1=segment,2=port,3=rank), at_ps, step_ordinal, 0]`.
+    pub const FAULT_ARRIVAL: u16 = 0x0806;
+    /// After a replan, execution resumed from the checkpoint (suffix
+    /// splice, no restart). Args: `[step_ordinal, epoch, 0, 0]`.
+    pub const RECOV_RESUME: u16 = 0x0807;
+    /// The recovery run finished.
+    /// Args: `[tier, steps, retries, replans]`.
+    pub const RECOV_DONE: u16 = 0x0808;
 }
 
 /// Subsystem groups (the high byte of an event code).
@@ -102,6 +127,8 @@ pub mod group {
     pub const PAR: u8 = 0x06;
     /// Degradation ladder (`pimnet::resilience`).
     pub const PLAN: u8 = 0x07;
+    /// Runtime recovery manager (`pimnet::recovery`).
+    pub const RECOVERY: u8 = 0x08;
 }
 
 /// The subsystem group of a code (its high byte).
@@ -132,6 +159,14 @@ pub const fn code_name(code: u16) -> &'static str {
         codes::PAR_TASK => "par-task",
         codes::PAR_BATCH => "par-batch",
         codes::PLAN_TIER => "plan-tier",
+        codes::RECOV_STEP => "recov-step",
+        codes::RECOV_RETRY => "recov-retry",
+        codes::RECOV_CHECKPOINT => "recov-checkpoint",
+        codes::RECOV_REPLAN => "recov-replan",
+        codes::RECOV_QUARANTINE => "recov-quarantine",
+        codes::FAULT_ARRIVAL => "fault-arrival",
+        codes::RECOV_RESUME => "recov-resume",
+        codes::RECOV_DONE => "recov-done",
         _ => "unknown",
     }
 }
@@ -538,10 +573,19 @@ mod tests {
             codes::PAR_TASK,
             codes::PAR_BATCH,
             codes::PLAN_TIER,
+            codes::RECOV_STEP,
+            codes::RECOV_RETRY,
+            codes::RECOV_CHECKPOINT,
+            codes::RECOV_REPLAN,
+            codes::RECOV_QUARANTINE,
+            codes::FAULT_ARRIVAL,
+            codes::RECOV_RESUME,
+            codes::RECOV_DONE,
         ] {
             assert_ne!(code_name(code), "unknown", "{code:#06x} unnamed");
         }
         assert_eq!(code_name(0xFFFF), "unknown");
         assert_eq!(code_group(codes::CACHE_HIT), group::CACHE);
+        assert_eq!(code_group(codes::RECOV_STEP), group::RECOVERY);
     }
 }

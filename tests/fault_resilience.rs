@@ -15,7 +15,7 @@
 
 use pimnet_suite::arch::geometry::{DpuId, PimGeometry};
 use pimnet_suite::arch::SystemConfig;
-use pimnet_suite::faults::{FaultConfig, FaultInjector};
+use pimnet_suite::faults::{FaultConfig, FaultInjector, PermanentFaultSet};
 use pimnet_suite::net::collective::CollectiveKind;
 use pimnet_suite::net::exec::{ExecMachine, ReduceOp};
 use pimnet_suite::net::resilience::{plan_degraded, plan_degraded_probed, DegradedPlan};
@@ -357,5 +357,60 @@ fn degraded_runs_tag_their_ladder_tier_in_the_metrics_report() {
             u64::from(rung),
             "{name}: event carries the rung"
         );
+    }
+}
+
+#[test]
+fn combined_fault_classes_degrade_soundly_and_the_ladder_is_monotone() {
+    // One storm naming all three permanent fault classes at once — a
+    // ring segment, a crossbar port and a whole dead rank — in a single
+    // PermanentFaultSet. The ladder must land at least as deep as the
+    // deepest single-class tier (adding faults never un-degrades a
+    // plan), and whatever schedule survives must still sum correctly.
+    let g = PimGeometry::paper_scaled(256);
+    let sys = SystemConfig::paper_scaled(256);
+    let elems = 32;
+    let tier_of = |tokens: &str| -> u8 {
+        let inj = FaultInjector::new(FaultConfig {
+            permanent: PermanentFaultSet::parse_tokens(tokens).unwrap(),
+            ..FaultConfig::none()
+        });
+        plan_degraded(CollectiveKind::AllReduce, &g, elems, 4, &inj, &sys)
+            .unwrap()
+            .tier()
+    };
+    let seg = tier_of("r0c0b2E");
+    let port = tier_of("r0c3tx");
+    let rank = tier_of("rank1");
+    let worst = seg.max(port).max(rank);
+    assert!(rank >= 2, "a dead rank must at least shrink the plan");
+
+    let combined = PermanentFaultSet::parse_tokens("r0c0b2E,r0c3tx,rank1").unwrap();
+    assert_eq!(combined.segments.len(), 1);
+    assert_eq!(combined.ports.len(), 1);
+    assert_eq!(combined.dead_ranks.len(), 1);
+    let inj = FaultInjector::new(FaultConfig {
+        permanent: combined,
+        ..FaultConfig::none()
+    });
+    let plan = plan_degraded(CollectiveKind::AllReduce, &g, elems, 4, &inj, &sys).unwrap();
+    assert!(
+        plan.tier() >= worst,
+        "combined faults landed at tier {} but one class alone reached {worst}",
+        plan.tier()
+    );
+    // Lost participants always come with a typed trail.
+    if plan.tier() >= 2 {
+        assert!(!plan.error_trail().is_empty());
+    }
+    // Whatever schedule survives must still compute the right answer:
+    // an all-ones AllReduce sums to the surviving participant count.
+    if let Some(s) = plan.schedule() {
+        let mut m = ExecMachine::init(s, |_| vec![1u64; elems]);
+        m.run(s, ReduceOp::Sum);
+        let k = u64::from(s.geometry.total_dpus());
+        for id in s.participants() {
+            assert!(m.buffer(id)[..elems].iter().all(|&v| v == k));
+        }
     }
 }
