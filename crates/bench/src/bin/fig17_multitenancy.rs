@@ -6,70 +6,19 @@
 //! inter-chip tiers are physically private to each tenant's ranks — only
 //! the inter-rank bus is shared — so tenants barely slow each other down:
 //! bandwidth isolation, the property the paper highlights.
+//!
+//! Every cell is sourced through `pimnet::serve`, the multi-tenant
+//! serving engine: the PIM rows are its analytic fast path (which prices
+//! service exactly like `PimnetBackend::collective`), the host-based
+//! rows pin the overload ladder at the host-fallback tier (exactly
+//! `BaselineHostBackend`). The committed CSV is byte-identical to the
+//! figure's original direct-backend sourcing, and a pin test in
+//! `sweeps` keeps it that way.
 
-use pim_arch::{HostLink, PimGeometry, SystemConfig};
-use pim_sim::{Bandwidth, Bytes};
-use pimnet::backends::{BaselineHostBackend, CollectiveBackend, PimnetBackend};
-use pimnet::collective::{CollectiveKind, CollectiveSpec};
-use pimnet::FabricConfig;
-use pimnet_bench::{us, Table};
+use pimnet_bench::sweeps;
 
 fn main() {
-    // Each tenant: 2 ranks x 8 chips x 8 banks = 128 DPUs.
-    let tenant_geo = PimGeometry::new(8, 8, 2, 1);
-    let sys = SystemConfig::paper().with_geometry(tenant_geo);
-    let spec = CollectiveSpec::new(CollectiveKind::AllReduce, Bytes::kib(32));
-
-    // --- Alone: the tenant has the machine to itself. ---
-    let base_alone = BaselineHostBackend::new(sys)
-        .collective(&spec)
-        .unwrap()
-        .total();
-    let pim_alone = PimnetBackend::new(sys, FabricConfig::paper())
-        .collective(&spec)
-        .unwrap()
-        .total();
-
-    // --- Shared: the co-tenant runs the same collective concurrently. ---
-    // Baseline: the host link and the host CPU are time-shared (half
-    // bandwidth each).
-    let halved_host = HostLink {
-        pim_to_cpu: sys.host.pim_to_cpu.split(2),
-        cpu_to_pim: sys.host.cpu_to_pim.split(2),
-        cpu_broadcast: sys.host.cpu_broadcast.split(2),
-        host_reduce_bw: sys.host.host_reduce_bw.split(2),
-        marshal_bw: sys.host.marshal_bw.split(2),
-        ..sys.host
-    };
-    let base_shared = BaselineHostBackend::new(sys.with_host(halved_host))
-        .collective(&spec)
-        .unwrap()
-        .total();
-    // PIMnet: rings and crossbars are private; only the inter-rank bus is
-    // time-shared between the tenants.
-    let shared_fabric = FabricConfig::paper().with_rank_bus_bw(Bandwidth::gbps(16.8).split(2));
-    let pim_shared = PimnetBackend::new(sys, shared_fabric)
-        .collective(&spec)
-        .unwrap()
-        .total();
-
-    let mut t = Table::new(
-        "Fig 17: per-tenant AllReduce (128-DPU tenant, 32 KB/DPU)",
-        &["system", "alone (us)", "co-tenant (us)", "slowdown"],
-    );
-    t.row([
-        "host-based".to_string(),
-        us(base_alone),
-        us(base_shared),
-        format!("{:.2}x", base_shared.ratio(base_alone)),
-    ]);
-    t.row([
-        "PIMnet".to_string(),
-        us(pim_alone),
-        us(pim_shared),
-        format!("{:.2}x", pim_shared.ratio(pim_alone)),
-    ]);
-    t.emit("fig17_multitenancy");
+    sweeps::fig17_table().emit("fig17_multitenancy");
     println!(
         "PIMnet isolates tenant bandwidth: its slowdown under co-tenancy is \
          near 1x, while host-based communication degrades towards 2x."

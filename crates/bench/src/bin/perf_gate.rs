@@ -1,7 +1,10 @@
 //! CI perf-regression gate for the parallel sweeps and the schedule cache.
 //!
 //! Runs a pinned workload matrix — the chaos soak, the lint preset
-//! matrix, and the fig 12/13/14 sweeps — three times:
+//! matrix, the fig 12/13/14 sweeps, and the multi-tenant serving soak
+//! (whose request logs join the byte-identity check and whose clean
+//! p50/p99 latency and collectives/sec land in the JSON as
+//! `serve_*` keys, gated against the baseline) — three times:
 //!
 //! 1. **sequential, cold cache** (1 worker) — the reference output;
 //! 2. **parallel, cold cache** (`workers` threads) — must be
@@ -176,10 +179,17 @@ fn recovery_overhead(budget: f64) -> f64 {
     measured_overhead(budget, plain, recovered)
 }
 
+/// Tenants and seeds-per-mode of the pinned serving workload.
+const SERVE_TENANTS: usize = 3;
+const SERVE_PER_MODE: u64 = 1;
+const SERVE_BASE_SEED: u64 = 0xD1;
+
 /// Runs the pinned workload matrix on `workers` threads and returns its
-/// entire output as one string (concatenated CSVs plus the lint matrix
-/// verdict lines). Byte-identical across worker counts by construction.
-fn workload(workers: usize) -> String {
+/// entire output as one string (concatenated CSVs, the lint matrix
+/// verdict lines, and the serving soak's table plus request logs) —
+/// byte-identical across worker counts by construction — together with
+/// the serving summary whose latency metrics the gate reports.
+fn workload(workers: usize) -> (String, sweeps::ServeSummary) {
     let mut out = String::new();
     let chaos = sweeps::chaos_soak(CHAOS_PER_CELL, CHAOS_BASE_SEED, workers);
     out.push_str(&chaos.table.to_csv());
@@ -198,13 +208,16 @@ fn workload(workers: usize) -> String {
     let (a, b) = sweeps::fig14_tables(workers);
     out.push_str(&a.to_csv());
     out.push_str(&b.to_csv());
-    out
+    let serve = sweeps::serve_soak(SERVE_TENANTS, SERVE_PER_MODE, SERVE_BASE_SEED, workers);
+    out.push_str(&serve.table.to_csv());
+    out.push_str(&serve.log);
+    (out, serve)
 }
 
-fn timed(workers: usize) -> (String, f64) {
+fn timed(workers: usize) -> (String, sweeps::ServeSummary, f64) {
     let start = Instant::now();
-    let csv = workload(workers);
-    (csv, start.elapsed().as_secs_f64() * 1e3)
+    let (csv, serve) = workload(workers);
+    (csv, serve, start.elapsed().as_secs_f64() * 1e3)
 }
 
 /// Extracts `"key": <number>` from a flat JSON object (the only shape
@@ -240,12 +253,12 @@ fn main() {
 
     cache::clear();
     cache::reset_stats();
-    let (seq_csv, seq_ms) = timed(1);
+    let (seq_csv, _, seq_ms) = timed(1);
     println!("  sequential cold : {seq_ms:>9.1} ms");
 
     cache::clear();
     cache::reset_stats();
-    let (par_csv, par_ms) = timed(workers);
+    let (par_csv, serve, par_ms) = timed(workers);
     let cold = cache::stats();
     println!(
         "  parallel cold   : {par_ms:>9.1} ms  ({} schedules built)",
@@ -253,7 +266,7 @@ fn main() {
     );
 
     cache::reset_stats();
-    let (warm_csv, warm_ms) = timed(workers);
+    let (warm_csv, _, warm_ms) = timed(workers);
     let warm = cache::stats();
     println!(
         "  parallel warm   : {warm_ms:>9.1} ms  ({} cache hits, {} misses)",
@@ -318,6 +331,20 @@ fn main() {
         std::process::exit(1);
     }
 
+    if serve.unsound > 0 {
+        eprintln!(
+            "FAIL: the pinned serving workload violated its soundness \
+             contract in {} cell(s)",
+            serve.unsound
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "  serving ({} requests): p50 {:.3} us  p99 {:.3} us  \
+         {:.1} collectives/s",
+        serve.total, serve.p50_us, serve.p99_us, serve.collectives_per_sec
+    );
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"wall_ms\": {par_ms:.1},");
     let _ = writeln!(json, "  \"wall_ms_sequential\": {seq_ms:.1},");
@@ -328,6 +355,14 @@ fn main() {
     let _ = writeln!(json, "  \"warm_speedup\": {warm_speedup:.3},");
     let _ = writeln!(json, "  \"trace_overhead_frac\": {overhead:.4},");
     let _ = writeln!(json, "  \"recovery_overhead_frac\": {recov_overhead:.4},");
+    let _ = writeln!(json, "  \"serve_requests\": {},", serve.total);
+    let _ = writeln!(json, "  \"serve_p50_us\": {:.3},", serve.p50_us);
+    let _ = writeln!(json, "  \"serve_p99_us\": {:.3},", serve.p99_us);
+    let _ = writeln!(
+        json,
+        "  \"serve_collectives_per_sec\": {:.1},",
+        serve.collectives_per_sec
+    );
     let _ = writeln!(json, "  \"workers\": {workers}");
     json.push('}');
     json.push('\n');
@@ -379,6 +414,35 @@ fn main() {
             tolerance * 100.0
         );
         std::process::exit(1);
+    }
+    // The serving metrics are *simulated* time — deterministic, so any
+    // drift is a model change, not machine noise. The wall-clock
+    // tolerance still applies so an intentional re-pin stays a
+    // one-line --update-baseline, but the gate catches silent tail
+    // regressions in the serving engine itself.
+    if let Some(base_p99) = json_number(&baseline, "serve_p99_us") {
+        let p99_limit = base_p99 * (1.0 + tolerance);
+        if serve.p99_us > p99_limit {
+            eprintln!(
+                "FAIL: serving p99 {:.3} us exceeds baseline {base_p99:.3} us \
+                 by more than {:.0}% (limit {p99_limit:.3} us)",
+                serve.p99_us,
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(base_cps) = json_number(&baseline, "serve_collectives_per_sec") {
+        let cps_floor = base_cps * (1.0 - tolerance);
+        if serve.collectives_per_sec < cps_floor {
+            eprintln!(
+                "FAIL: serving throughput {:.1} collectives/s fell below \
+                 baseline {base_cps:.1} by more than {:.0}% (floor {cps_floor:.1})",
+                serve.collectives_per_sec,
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
     }
     println!(
         "within budget: {par_ms:.1} ms vs baseline {base_ms:.1} ms \

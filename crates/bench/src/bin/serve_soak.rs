@@ -1,0 +1,99 @@
+//! Multi-tenant serving soak: DLRM tenants through `pimnet::serve`.
+//!
+//! Sweeps seed × mode (clean, fault-storm) cells of the serving engine:
+//! each cell samples per-tenant arrival streams for a mix of the
+//! paper's RM1/RM2/RM3 embedding stand-ins (fig 10), admits them
+//! through bounded token-bucket queues under the priority policy, and
+//! services them as chunked collectives on fig 17's per-tenant shard —
+//! degrading monotonically through the overload ladder and, in storm
+//! mode, routing faulted dispatches through the runtime recovery
+//! manager with health-tracked tenant quarantine. Every cell is
+//! re-verdicted from the outside: one typed outcome per request, a
+//! ladder that only climbs, quarantine epochs that never regress. Any
+//! violation fails the binary.
+//!
+//! Everything is a pure function of the seed: the table *and* the
+//! concatenated request logs are byte-identical at any worker count
+//! (`PIMNET_THREADS` pins the pool). CI runs this twice (1 vs 4
+//! workers) and diffs both artifacts; the latency CSV
+//! (`serve_soak_latency.csv`) carries the clean-mode p50/p99 and
+//! throughput the perf gate also tracks.
+//!
+//! Usage: `serve_soak [tenants] [seeds-per-mode] [base-seed]`
+//! (defaults: 3, 4, 0xD1).
+
+use pim_sim::par;
+use pimnet_bench::{results_dir, sweeps};
+
+fn main() {
+    // User-supplied arguments get typed errors, not panics.
+    let mut args = std::env::args().skip(1);
+    let parse_u64 = |arg: Option<String>, name: &str, default: u64| -> Result<u64, String> {
+        match arg {
+            None => Ok(default),
+            Some(a) => a
+                .parse()
+                .map_err(|_| format!("{name} must be a number, got '{a}'")),
+        }
+    };
+    let (tenants, per_mode, base) = match (|| -> Result<(u64, u64, u64), String> {
+        let tenants = parse_u64(args.next(), "tenants", 3)?;
+        let per_mode = parse_u64(args.next(), "seeds-per-mode", 4)?;
+        let base = parse_u64(args.next(), "base-seed", 0xD1)?;
+        Ok((tenants, per_mode, base))
+    })() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("serve_soak: {e}\nusage: serve_soak [tenants] [seeds-per-mode] [base-seed]");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "serving soak: {tenants} DLRM tenants x {per_mode} seeds x 2 modes \
+         (clean, storm; base {base:#x})\n"
+    );
+    let summary = sweeps::serve_soak(tenants as usize, per_mode, base, par::thread_count());
+    summary.table.emit("serve_soak");
+
+    // The request logs are the byte-identity artifact CI diffs across
+    // worker counts; the latency CSV is the perf-gate-tracked headline.
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let log_path = dir.join("serve_soak_log.csv");
+    match std::fs::write(&log_path, &summary.log) {
+        Ok(()) => println!("\n[log] {}", log_path.display()),
+        Err(e) => eprintln!("serve_soak: cannot write {}: {e}", log_path.display()),
+    }
+    let lat = format!(
+        "metric,value\nserve_p50_us,{:.3}\nserve_p99_us,{:.3}\nserve_collectives_per_sec,{:.1}\n",
+        summary.p50_us, summary.p99_us, summary.collectives_per_sec
+    );
+    let lat_path = dir.join("serve_soak_latency.csv");
+    match std::fs::write(&lat_path, lat) {
+        Ok(()) => println!("[csv] {}", lat_path.display()),
+        Err(e) => eprintln!("serve_soak: cannot write {}: {e}", lat_path.display()),
+    }
+
+    println!(
+        "\n{} requests: {} served, {} host-fallback, {} shed, {} quarantined; \
+         clean p50 {:.3} us, p99 {:.3} us, {:.1} collectives/s; \
+         {} soundness violation(s).",
+        summary.total,
+        summary.served,
+        summary.host_fallback,
+        summary.shed,
+        summary.quarantined,
+        summary.p50_us,
+        summary.p99_us,
+        summary.collectives_per_sec,
+        summary.unsound
+    );
+    if summary.unsound > 0 {
+        eprintln!(
+            "FAIL: {} cell(s) violated the serving contract",
+            summary.unsound
+        );
+        std::process::exit(1);
+    }
+}

@@ -726,6 +726,383 @@ pub fn fig14_tables(workers: usize) -> (Table, Table) {
     (a, b)
 }
 
+// ---------------------------------------------------------------------------
+// Fig 17: multi-tenancy through the serving engine
+// ---------------------------------------------------------------------------
+
+/// One tenant's 32 KiB-per-DPU AllReduce through `pimnet::serve`,
+/// returning the service duration of its first completed request.
+///
+/// The serving engine prices the analytic path exactly like
+/// `PimnetBackend::collective` (cached schedule + timing at zero skew)
+/// and the forced-fallback path exactly like `BaselineHostBackend`, so
+/// fig 17's numbers re-sourced through the engine are bit-identical to
+/// the direct backend calls the figure originally made.
+fn fig17_tenant_latency(
+    fabric: FabricConfig,
+    host: Option<pim_arch::HostLink>,
+    force_host: bool,
+) -> SimTime {
+    let mut cfg = pimnet::serve::ServeConfig::uniform(1, 0x17);
+    cfg.fabric = fabric;
+    cfg.host = host;
+    if force_host {
+        // A zero fallback threshold pins the overload ladder at the
+        // host tier from the first dispatch: this *is* the host-based
+        // system of the figure.
+        cfg.overload = pimnet::serve::OverloadThresholds {
+            shrink_at: 0,
+            shed_at: 0,
+            fallback_at: 0,
+        };
+    }
+    cfg.chunk_elems = 8192; // one chunk: the whole collective
+    let t = &mut cfg.tenants[0];
+    t.elems_per_node = 8192; // 32 KiB per DPU at 4 B/element
+    t.channels = 1;
+    t.token_every_ps = 0; // unmetered
+    t.deadline_ps = 1_000_000_000_000; // the figure times service, not SLOs
+    t.mean_gap_ps = 400_000_000;
+    let report = pimnet::serve::serve(&cfg).expect("fig17 serve config is valid");
+    let first = report
+        .log
+        .iter()
+        .find_map(|r| match r.outcome {
+            pimnet::serve::RequestOutcome::Served {
+                start_ps, end_ps, ..
+            }
+            | pimnet::serve::RequestOutcome::HostFallback { start_ps, end_ps } => {
+                Some(end_ps - start_ps)
+            }
+            _ => None,
+        })
+        .expect("at least one request completes");
+    SimTime::from_ps(first)
+}
+
+/// Fig 17: per-tenant AllReduce latency, alone vs co-tenant, host-based
+/// vs PIMnet — every cell served by the multi-tenant engine.
+#[must_use]
+pub fn fig17_table() -> Table {
+    // Each tenant: 2 ranks x 8 chips x 8 banks = 128 DPUs (the default
+    // serve tenant shard). Alone, the tenant has the paper's machine to
+    // itself; co-tenancy time-shares the host path (half bandwidth) and
+    // the inter-rank bus, while PIMnet's ring and crossbar tiers stay
+    // physically private to each tenant's ranks.
+    let sys = pim_arch::SystemConfig::paper();
+    let halved_host = pim_arch::HostLink {
+        pim_to_cpu: sys.host.pim_to_cpu.split(2),
+        cpu_to_pim: sys.host.cpu_to_pim.split(2),
+        cpu_broadcast: sys.host.cpu_broadcast.split(2),
+        host_reduce_bw: sys.host.host_reduce_bw.split(2),
+        marshal_bw: sys.host.marshal_bw.split(2),
+        ..sys.host
+    };
+    let base_alone = fig17_tenant_latency(FabricConfig::paper(), None, true);
+    let base_shared = fig17_tenant_latency(FabricConfig::paper(), Some(halved_host), true);
+    let pim_alone = fig17_tenant_latency(FabricConfig::paper(), None, false);
+    let shared_fabric = FabricConfig::paper().with_rank_bus_bw(Bandwidth::gbps(16.8).split(2));
+    let pim_shared = fig17_tenant_latency(shared_fabric, None, false);
+
+    let mut t = Table::new(
+        "Fig 17: per-tenant AllReduce (128-DPU tenant, 32 KB/DPU)",
+        &["system", "alone (us)", "co-tenant (us)", "slowdown"],
+    );
+    t.row([
+        "host-based".to_string(),
+        us(base_alone),
+        us(base_shared),
+        format!("{:.2}x", base_shared.ratio(base_alone)),
+    ]);
+    t.row([
+        "PIMnet".to_string(),
+        us(pim_alone),
+        us(pim_shared),
+        format!("{:.2}x", pim_shared.ratio(pim_alone)),
+    ]);
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant serving soak
+// ---------------------------------------------------------------------------
+
+/// Simulated horizon of one serving cell: arrivals are sampled on
+/// 1 ms; queued work drains past it.
+pub const SERVE_HORIZON_PS: u64 = 1_000_000_000;
+
+/// DLRM-flavored tenants for the serving sweeps: each tenant issues the
+/// embedding-exchange collective of one of the paper's RM stand-ins
+/// (fig 10), cycled across the tenant list. Elements per node are one
+/// step's pooled-partial exchange (`dim x tables`); heavier models
+/// request less often and carry higher priority — they are the
+/// latency-critical recommenders the co-tenancy experiment protects.
+#[must_use]
+pub fn serve_tenants_dlrm(n: usize) -> Vec<pimnet::serve::TenantConfig> {
+    use pim_workloads::emb::Emb;
+    let flavors = [Emb::rm1(), Emb::rm2(), Emb::rm3()];
+    (0..n)
+        .map(|i| {
+            let f = &flavors[i % flavors.len()];
+            let mut t =
+                pimnet::serve::TenantConfig::new(&format!("{}-{i}", f.name().to_lowercase()));
+            t.elems_per_node = (f.dim * f.tables) as usize;
+            t.priority = 1 + (i % flavors.len()) as u8;
+            t.mean_gap_ps = 50_000_000 * (1 + (i % flavors.len()) as u64);
+            t
+        })
+        .collect()
+}
+
+/// The serving config of one soak cell — DLRM tenants under the
+/// priority policy; `storm` additionally samples a seeded fault
+/// timeline over the horizon, routing faulted dispatches through the
+/// runtime recovery manager.
+#[must_use]
+pub fn serve_soak_config(tenants: usize, seed: u64, storm: bool) -> pimnet::serve::ServeConfig {
+    let mut cfg = pimnet::serve::ServeConfig::uniform(tenants, seed);
+    cfg.tenants = serve_tenants_dlrm(tenants);
+    cfg.policy = pimnet::serve::QueuePolicy::Priority;
+    cfg.horizon_ps = SERVE_HORIZON_PS;
+    if storm {
+        let g = &cfg.tenants[0].geometry;
+        let timeline = FaultTimeline::sample(
+            seed,
+            g.ranks_per_channel,
+            g.chips_per_rank,
+            g.banks_per_chip,
+            SERVE_HORIZON_PS,
+            &recovery_rates(),
+        );
+        cfg.faults = FaultConfig {
+            timeline,
+            max_retries: 8,
+            ..FaultConfig::none()
+        }
+        .with_seed(seed);
+    }
+    cfg
+}
+
+/// What one serving cell (one seed, clean or storm) did.
+struct ServeCell {
+    seed: u64,
+    storm: bool,
+    requests: usize,
+    served: usize,
+    host_fallback: usize,
+    shed: usize,
+    quarantined: usize,
+    peak: u8,
+    end_ps: u64,
+    /// Latencies of the served requests, for cross-cell percentiles.
+    latencies_ps: Vec<u64>,
+    /// The rendered request log — the byte-identity artifact.
+    log: String,
+    /// First soundness violation; any `Some` fails the soak.
+    unsound: Option<String>,
+}
+
+/// Runs one serving cell and re-verifies the soundness contract from
+/// the outside (exactly-one-outcome arity, monotone ladder, monotone
+/// quarantine epochs).
+fn serve_cell(tenants: usize, seed: u64, storm: bool) -> ServeCell {
+    let cfg = serve_soak_config(tenants, seed, storm);
+    let report = match pimnet::serve::serve(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            return ServeCell {
+                seed,
+                storm,
+                requests: 0,
+                served: 0,
+                host_fallback: 0,
+                shed: 0,
+                quarantined: 0,
+                peak: 0,
+                end_ps: 0,
+                latencies_ps: Vec::new(),
+                log: String::new(),
+                unsound: Some(format!("serve returned a config error: {e}")),
+            }
+        }
+    };
+    let mut unsound = None;
+    let arrivals = pimnet::serve::sample_arrivals(&cfg);
+    if report.log.len() != arrivals.len() {
+        unsound = Some(format!(
+            "{} log entries for {} arrivals",
+            report.log.len(),
+            arrivals.len()
+        ));
+    }
+    let mut level = 0u8;
+    for s in &report.ladder {
+        if s.level < level && unsound.is_none() {
+            unsound = Some(format!("ladder dropped to {} at {} ps", s.level, s.at_ps));
+        }
+        level = level.max(s.level);
+    }
+    let mut epochs = vec![0u64; cfg.tenants.len()];
+    for q in &report.quarantines {
+        let e = &mut epochs[q.tenant as usize];
+        if q.epoch < *e && unsound.is_none() {
+            unsound = Some(format!(
+                "tenant {} epoch regressed to {}",
+                q.tenant, q.epoch
+            ));
+        }
+        *e = q.epoch;
+    }
+    ServeCell {
+        seed,
+        storm,
+        requests: report.log.len(),
+        served: report.count("served"),
+        host_fallback: report.count("host-fallback"),
+        shed: report.count("shed"),
+        quarantined: report.count("quarantined"),
+        peak: report.peak_level(),
+        end_ps: report.end_ps,
+        latencies_ps: report.latencies_ps(),
+        log: report.render_log(&cfg),
+        unsound,
+    }
+}
+
+/// Aggregates of a serving soak — the table, the concatenated request
+/// logs (byte-identical at any worker count), and the pinned serving
+/// metrics the perf gate tracks.
+pub struct ServeSummary {
+    /// One row per cell.
+    pub table: Table,
+    /// Every cell's request log, concatenated in cell order.
+    pub log: String,
+    /// Requests across every cell.
+    pub total: u64,
+    /// Outcome totals across every cell.
+    pub served: u64,
+    /// Host-fallback outcomes across every cell.
+    pub host_fallback: u64,
+    /// Shed outcomes across every cell.
+    pub shed: u64,
+    /// Quarantine-shed outcomes across every cell.
+    pub quarantined: u64,
+    /// Median served latency across the clean cells, microseconds.
+    pub p50_us: f64,
+    /// Tail served latency across the clean cells, microseconds.
+    pub p99_us: f64,
+    /// Served collectives per simulated second across the clean cells.
+    pub collectives_per_sec: f64,
+    /// Soundness violations (any nonzero fails the caller).
+    pub unsound: u64,
+}
+
+/// Nearest-rank percentile of a sorted slice, in microseconds.
+fn percentile_us(sorted_ps: &[u64], p: f64) -> f64 {
+    if sorted_ps.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0 * sorted_ps.len() as f64).ceil() as usize).clamp(1, sorted_ps.len());
+    sorted_ps[rank - 1] as f64 / 1e6
+}
+
+/// The serving soak: `per_mode` clean seeds plus `per_mode` storm seeds
+/// over `tenants` DLRM tenants, fanned out over `workers` threads with
+/// ordered collection — the table and the concatenated logs are
+/// byte-identical at any worker count.
+#[must_use]
+pub fn serve_soak(tenants: usize, per_mode: u64, base: u64, workers: usize) -> ServeSummary {
+    let cells: Vec<(u64, bool)> = (0..per_mode)
+        .map(|i| (base + i, false))
+        .chain((0..per_mode).map(|i| (base + i, true)))
+        .collect();
+    let rows = par::map_ordered_with(workers, cells, |(seed, storm)| {
+        serve_cell(tenants, seed, storm)
+    });
+
+    let mut table = Table::new(
+        &format!("serving soak: {tenants} DLRM tenants, {per_mode} seed(s) per mode"),
+        &[
+            "seed",
+            "mode",
+            "requests",
+            "served",
+            "host-fb",
+            "shed",
+            "quarantined",
+            "p50 (us)",
+            "p99 (us)",
+            "coll/s",
+            "peak",
+            "end (us)",
+            "verdict",
+        ],
+    );
+    let mut summary = ServeSummary {
+        table: Table::new("", &[]),
+        log: String::new(),
+        total: 0,
+        served: 0,
+        host_fallback: 0,
+        shed: 0,
+        quarantined: 0,
+        p50_us: 0.0,
+        p99_us: 0.0,
+        collectives_per_sec: 0.0,
+        unsound: 0,
+    };
+    let mut clean_lat: Vec<u64> = Vec::new();
+    let mut clean_served = 0u64;
+    let mut clean_end_ps = 0u64;
+    for c in &rows {
+        let mut lat = c.latencies_ps.clone();
+        lat.sort_unstable();
+        table.row([
+            c.seed.to_string(),
+            if c.storm { "storm" } else { "clean" }.to_string(),
+            c.requests.to_string(),
+            c.served.to_string(),
+            c.host_fallback.to_string(),
+            c.shed.to_string(),
+            c.quarantined.to_string(),
+            format!("{:.3}", percentile_us(&lat, 50.0)),
+            format!("{:.3}", percentile_us(&lat, 99.0)),
+            format!(
+                "{:.1}",
+                if c.end_ps == 0 {
+                    0.0
+                } else {
+                    c.served as f64 / (c.end_ps as f64 / 1e12)
+                }
+            ),
+            c.peak.to_string(),
+            format!("{:.1}", c.end_ps as f64 / 1e6),
+            c.unsound.clone().unwrap_or_else(|| "ok".to_string()),
+        ]);
+        summary.log.push_str(&c.log);
+        summary.total += c.requests as u64;
+        summary.served += c.served as u64;
+        summary.host_fallback += c.host_fallback as u64;
+        summary.shed += c.shed as u64;
+        summary.quarantined += c.quarantined as u64;
+        summary.unsound += u64::from(c.unsound.is_some());
+        if !c.storm {
+            clean_lat.extend_from_slice(&c.latencies_ps);
+            clean_served += c.served as u64;
+            clean_end_ps += c.end_ps;
+        }
+    }
+    clean_lat.sort_unstable();
+    summary.p50_us = percentile_us(&clean_lat, 50.0);
+    summary.p99_us = percentile_us(&clean_lat, 99.0);
+    if clean_end_ps > 0 {
+        summary.collectives_per_sec = clean_served as f64 / (clean_end_ps as f64 / 1e12);
+    }
+    summary.table = table;
+    summary
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -849,6 +1226,31 @@ mod tests {
             ]);
         }
         assert_eq!(refactored, t.to_csv(), "fig13 refactor changed the CSV");
+    }
+
+    #[test]
+    fn fig17_csv_is_pinned_to_the_committed_artifact() {
+        // Fig 17 is now sourced through the serving engine; this pin
+        // proves the re-sourcing is byte-identical to the committed
+        // artifact of the original direct-backend figure.
+        let committed = include_str!("../../../results/fig17_multitenancy.csv");
+        assert_eq!(
+            fig17_table().to_csv(),
+            committed,
+            "fig17 through pimnet::serve diverged from the committed CSV"
+        );
+    }
+
+    #[test]
+    fn serve_soak_is_worker_count_invariant_and_sound() {
+        let a = serve_soak(3, 1, 0xD1, 1);
+        let b = serve_soak(3, 1, 0xD1, 2);
+        assert_eq!(a.table.to_csv(), b.table.to_csv());
+        assert_eq!(a.log, b.log, "request logs must not depend on workers");
+        assert_eq!(a.unsound, 0, "soundness contract violated");
+        assert!(a.total > 0 && a.served > 0);
+        assert!(a.p50_us > 0.0 && a.p99_us >= a.p50_us);
+        assert!(a.collectives_per_sec > 0.0);
     }
 
     #[test]

@@ -43,6 +43,13 @@ USAGE:
                     [--arrivals <tok@t=Nps,..>] [--flaps <seg@t=Nps+Dps,..>]
                     [--bursts <ber=p@t=Nps+Dps,..>] [--watchdog-ps <n>]
                     [--retry-budget <n>] [--backoff-base-ps <n>]
+  pimnet-cli serve      [--tenants <n>] [--seed <n>] [--horizon-us <n>]
+                    [--policy fifo|lifo|priority] [--queue-cap <n>]
+                    [--elems <n>] [--chunk-elems <n>] [--mean-gap-us <n>]
+                    [--deadline-us <n>] [--priority-spread]
+                    [--timeline-rate <f>] [--log <serve_log.csv>] [--metrics]
+                    [fault flags as for soak]
+  pimnet-cli replay     --log <serve_log.csv> [serving knobs as for serve]
 
   <coll> = allreduce | reducescatter | allgather | a2a | broadcast | reduce | gather
 
@@ -89,7 +96,26 @@ USAGE:
   additionally samples a per-seed storm of arrivals/flaps/bursts over
   --horizon-ps. --csv writes one row per seed (the CI chaos artifact).
   Seeds fan out over PIMNET_THREADS workers; the output (and the CSV) is
-  byte-identical at any worker count.";
+  byte-identical at any worker count.
+
+  serve runs the deterministic multi-tenant serving engine: seeded
+  per-tenant arrival streams, bounded queues with token-bucket admission,
+  deadline-aware scheduling (--policy), chunked collectives interleaved
+  across per-tenant channels, a monotone overload ladder (full service ->
+  shrunk chunking -> shed low-priority -> per-tenant host fallback), and
+  health-tracked tenant quarantine with probation hysteresis. Every
+  request ends in exactly one typed outcome (served / host-fallback /
+  shed / quarantined); the command re-verifies that plus ladder and
+  quarantine monotonicity and exits non-zero on any violation.
+  --priority-spread staggers tenant priorities 1..3 so the priority
+  policy and the low-priority shed rung have something to act on.
+  --timeline-rate samples a fault storm over the horizon (as in soak);
+  faulted dispatches run through the runtime recovery manager.
+  --log writes the request log as CSV — the byte-identity artifact.
+
+  replay re-runs serve under the same knobs and byte-compares the fresh
+  request log against --log, exiting non-zero on the first divergence:
+  a pinned log file is a replayable contract for the whole engine.";
 
 /// Dispatches a parsed command line.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -108,6 +134,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "lint" => lint(&flags),
         "trace" => trace(&flags),
         "soak" => soak(&flags),
+        "serve" => serve(&flags),
+        "replay" => replay(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -1221,6 +1249,232 @@ fn soak(flags: &Flags) -> Result<(), String> {
     }
 }
 
+/// Flags shared by `serve` and `replay` (fault flags ride along so a
+/// storm scenario replays from the same command line).
+const SERVE_FLAGS: &[&str] = &[
+    "tenants",
+    "seed",
+    "horizon-us",
+    "policy",
+    "queue-cap",
+    "elems",
+    "chunk-elems",
+    "mean-gap-us",
+    "deadline-us",
+    "priority-spread",
+    "timeline-rate",
+    "log",
+    "metrics",
+    "fault-seed",
+    "fault-config",
+    "ber",
+    "straggler-prob",
+    "dead",
+    "perm-faults",
+    "arrivals",
+    "flaps",
+    "bursts",
+    "watchdog-ps",
+    "retry-budget",
+    "backoff-base-ps",
+];
+
+/// Builds a `ServeConfig` from the shared serve/replay flag set, so the
+/// two commands cannot drift apart: a replay is the same construction.
+fn serve_config(flags: &Flags) -> Result<pimnet::serve::ServeConfig, String> {
+    let tenants: usize = flags.num_or("tenants", 4)?;
+    let seed: u64 = flags.num_or("seed", 1)?;
+    let mut cfg = pimnet::serve::ServeConfig::uniform(tenants, seed);
+    cfg.horizon_ps = flags
+        .num_or("horizon-us", 2_000u64)?
+        .saturating_mul(1_000_000);
+    cfg.policy = pimnet::serve::QueuePolicy::parse(flags.get_or("policy", "fifo"))?;
+    cfg.chunk_elems = flags.num_or("chunk-elems", cfg.chunk_elems)?;
+    let queue_cap: usize = flags.num_or("queue-cap", 8)?;
+    let elems: usize = flags.num_or("elems", 256)?;
+    let mean_gap_ps = flags
+        .num_or("mean-gap-us", 100u64)?
+        .saturating_mul(1_000_000);
+    let deadline_ps = flags
+        .num_or("deadline-us", 2_000u64)?
+        .saturating_mul(1_000_000);
+    let spread = flags
+        .get_or("priority-spread", "false")
+        .eq_ignore_ascii_case("true");
+    for (i, t) in cfg.tenants.iter_mut().enumerate() {
+        t.queue_capacity = queue_cap;
+        t.elems_per_node = elems;
+        t.mean_gap_ps = mean_gap_ps;
+        t.deadline_ps = deadline_ps;
+        if spread {
+            t.priority = 1 + (i % 3) as u8;
+        }
+    }
+    cfg.faults = fault_injector(flags)?.config().clone();
+    let rate: f64 = flags.num_or("timeline-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!(
+            "flag --timeline-rate: '{rate}' is not a probability"
+        ));
+    }
+    // An empty tenant list is serve's own typed config error; don't
+    // index into it for the storm geometry here.
+    if rate > 0.0 && !cfg.tenants.is_empty() {
+        let rates = pim_faults::TimelineRates {
+            segment_arrival_prob: rate,
+            port_arrival_prob: rate,
+            rank_arrival_prob: rate / 4.0,
+            flap_prob: rate,
+            burst_prob: rate,
+            burst_ber: 0.8,
+        };
+        let g = &cfg.tenants[0].geometry;
+        let storm = pim_faults::FaultTimeline::sample(
+            seed,
+            g.ranks_per_channel,
+            g.chips_per_rank,
+            g.banks_per_chip,
+            cfg.horizon_ps,
+            &rates,
+        );
+        cfg.faults.timeline.arrivals.extend(storm.arrivals);
+        cfg.faults.timeline.flaps.extend(storm.flaps);
+        cfg.faults.timeline.bursts.extend(storm.bursts);
+        cfg.faults.timeline.normalize();
+    }
+    Ok(cfg)
+}
+
+/// Re-verifies the serving soundness contract on a finished report.
+/// The engine guarantees these by construction; the CLI re-proves them
+/// from the outside so a regression fails the command, not just a test.
+fn serve_violations(
+    cfg: &pimnet::serve::ServeConfig,
+    report: &pimnet::serve::ServeReport,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let arrivals = pimnet::serve::sample_arrivals(cfg);
+    if report.log.len() != arrivals.len() {
+        violations.push(format!(
+            "request log has {} entries for {} sampled arrivals",
+            report.log.len(),
+            arrivals.len()
+        ));
+    }
+    for (i, r) in report.log.iter().enumerate() {
+        if r.request.id != i as u64 {
+            violations.push(format!("log entry {i} carries request id {}", r.request.id));
+            break;
+        }
+    }
+    let mut level = 0u8;
+    for s in &report.ladder {
+        if s.level < level {
+            violations.push(format!(
+                "overload ladder dropped from {level} to {} at {} ps",
+                s.level, s.at_ps
+            ));
+        }
+        level = level.max(s.level);
+    }
+    let mut epochs = vec![0u64; cfg.tenants.len()];
+    for q in &report.quarantines {
+        let e = &mut epochs[q.tenant as usize];
+        if q.epoch < *e {
+            violations.push(format!(
+                "tenant {} quarantine epoch regressed from {} to {}",
+                q.tenant, *e, q.epoch
+            ));
+        }
+        *e = q.epoch;
+    }
+    violations
+}
+
+fn serve(flags: &Flags) -> Result<(), String> {
+    warn_unknown(flags, SERVE_FLAGS);
+    let cfg = serve_config(flags)?;
+    let probe = metrics_probe(flags);
+    let report = pimnet::serve::serve_probed(&cfg, &probe).map_err(|e| e.to_string())?;
+    println!(
+        "serving: {} tenant(s), policy {}, seed {}, horizon {:.0} us",
+        cfg.tenants.len(),
+        cfg.policy.name(),
+        cfg.seed,
+        cfg.horizon_ps as f64 / 1e6
+    );
+    println!(
+        "  requests {}: served {}  host-fallback {}  shed {}  quarantined {}",
+        report.log.len(),
+        report.count("served"),
+        report.count("host-fallback"),
+        report.count("shed"),
+        report.count("quarantined")
+    );
+    println!(
+        "  latency: p50 {:.1} us  p99 {:.1} us  throughput {:.1} collectives/s",
+        report.percentile_ps(50.0) as f64 / 1e6,
+        report.percentile_ps(99.0) as f64 / 1e6,
+        report.collectives_per_sec()
+    );
+    println!(
+        "  overload ladder peak: level {} ({} step(s)); quarantine events: {}",
+        report.peak_level(),
+        report.ladder.len(),
+        report.quarantines.len()
+    );
+    println!("  end clock: {:.1} us", report.end_ps as f64 / 1e6);
+    if probe.is_active() {
+        println!("{}", probe.metrics.snapshot().render());
+    }
+    if let Ok(path) = flags.require("log") {
+        std::fs::write(path, report.render_log(&cfg)).map_err(|e| e.to_string())?;
+        println!("request log -> {path}");
+    }
+    let violations = serve_violations(&cfg, &report);
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "serve found {} soundness violation(s): {}",
+            violations.len(),
+            violations.join("; ")
+        ))
+    }
+}
+
+fn replay(flags: &Flags) -> Result<(), String> {
+    warn_unknown(flags, SERVE_FLAGS);
+    let path = flags.require("log")?;
+    let pinned = std::fs::read_to_string(path)
+        .map_err(|e| format!("flag --log: cannot read '{path}': {e}"))?;
+    let cfg = serve_config(flags)?;
+    let report = pimnet::serve::serve(&cfg).map_err(|e| e.to_string())?;
+    let fresh = report.render_log(&cfg);
+    if fresh == pinned {
+        println!(
+            "replay verified: {} request(s), {} bytes match {path}",
+            report.log.len(),
+            fresh.len()
+        );
+        return Ok(());
+    }
+    let diverged = fresh
+        .lines()
+        .zip(pinned.lines())
+        .position(|(a, b)| a != b)
+        .map_or_else(
+            || fresh.lines().count().min(pinned.lines().count()) + 1,
+            |i| i + 1,
+        );
+    Err(format!(
+        "replay diverged from {path} at line {diverged}: the pinned log is \
+         {} byte(s), the fresh run produced {}",
+        pinned.len(),
+        fresh.len()
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1567,6 +1821,89 @@ mod tests {
         assert!(run(&["soak", "--bursts", "nonsense"]).is_err());
         assert!(run(&["soak", "--arrivals", "r0c0b0E"]).is_err());
         assert!(run(&["soak", "--flaps", "r0c0b0E@t=1ps"]).is_err());
+    }
+
+    #[test]
+    fn serve_command_runs_and_writes_the_log() {
+        let dir = std::env::temp_dir().join("pimnet-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("serve_log.csv");
+        run(&[
+            "serve",
+            "--tenants",
+            "2",
+            "--elems",
+            "64",
+            "--horizon-us",
+            "500",
+            "--log",
+            log.to_str().unwrap(),
+        ])
+        .unwrap();
+        let c = std::fs::read_to_string(&log).unwrap();
+        assert!(c.starts_with("id,tenant,seq,"));
+        assert!(c.lines().count() > 1, "some requests must have arrived");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_command_verifies_and_catches_divergence() {
+        let dir = std::env::temp_dir().join("pimnet-cli-replay-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("serve_log.csv");
+        let knobs = [
+            "--tenants",
+            "2",
+            "--elems",
+            "64",
+            "--horizon-us",
+            "500",
+            "--log",
+            log.to_str().unwrap(),
+        ];
+        let mut serve_args = vec!["serve"];
+        serve_args.extend_from_slice(&knobs);
+        run(&serve_args).unwrap();
+
+        let mut replay_args = vec!["replay"];
+        replay_args.extend_from_slice(&knobs);
+        run(&replay_args).unwrap();
+
+        // A different seed must not byte-match the pinned log.
+        let mut skewed = replay_args.clone();
+        skewed.extend_from_slice(&["--seed", "99"]);
+        assert!(run(&skewed).is_err());
+
+        // Neither may a tampered log file.
+        let pinned = std::fs::read_to_string(&log).unwrap();
+        std::fs::write(&log, pinned.replace("served", "swerved")).unwrap();
+        assert!(run(&replay_args).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_command_composes_with_fault_storms() {
+        run(&[
+            "serve",
+            "--tenants",
+            "2",
+            "--elems",
+            "64",
+            "--horizon-us",
+            "400",
+            "--timeline-rate",
+            "0.4",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn serve_command_rejects_bad_inputs() {
+        assert!(run(&["serve", "--policy", "random"]).is_err());
+        assert!(run(&["serve", "--tenants", "0"]).is_err());
+        assert!(run(&["serve", "--timeline-rate", "2.0"]).is_err());
+        assert!(run(&["replay"]).is_err()); // --log is required
+        assert!(run(&["replay", "--log", "/nonexistent/serve_log.csv"]).is_err());
     }
 
     #[test]

@@ -89,6 +89,28 @@ pub enum PimnetError {
         /// Packets still undelivered.
         remaining: usize,
     },
+    /// The serving engine refused to enqueue a request: the tenant's
+    /// bounded queue was full, its token bucket was empty, or the
+    /// overload ladder / quarantine policy is shedding its class.
+    /// Backpressure is explicit — requests are rejected with this typed
+    /// error rather than queued forever.
+    AdmissionRejected {
+        /// The tenant whose request was turned away.
+        tenant: u32,
+        /// Why admission control said no.
+        reason: String,
+    },
+    /// A queued request's deadline passed before (or while) it could be
+    /// dispatched; the serving engine sheds it rather than serving a
+    /// result nobody is waiting for.
+    DeadlineExceeded {
+        /// The tenant whose request slipped its deadline.
+        tenant: u32,
+        /// The absolute deadline, integer picoseconds on the serve clock.
+        deadline_ps: u64,
+        /// The serve-clock time at which the slip was detected.
+        now_ps: u64,
+    },
 }
 
 impl fmt::Display for PimnetError {
@@ -149,6 +171,20 @@ impl fmt::Display for PimnetError {
                      packet(s) undelivered"
                 )
             }
+            PimnetError::AdmissionRejected { tenant, reason } => {
+                write!(f, "tenant {tenant} request rejected at admission: {reason}")
+            }
+            PimnetError::DeadlineExceeded {
+                tenant,
+                deadline_ps,
+                now_ps,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant} request shed: deadline {deadline_ps} ps \
+                     passed at {now_ps} ps"
+                )
+            }
         }
     }
 }
@@ -174,6 +210,25 @@ mod tests {
             reason: "zero element size".into(),
         };
         assert!(e.to_string().contains("zero element size"));
+
+        let e = PimnetError::AdmissionRejected {
+            tenant: 3,
+            reason: "queue full (cap 8)".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "tenant 3 request rejected at admission: queue full (cap 8)"
+        );
+
+        let e = PimnetError::DeadlineExceeded {
+            tenant: 1,
+            deadline_ps: 5_000,
+            now_ps: 7_500,
+        };
+        assert_eq!(
+            e.to_string(),
+            "tenant 1 request shed: deadline 5000 ps passed at 7500 ps"
+        );
     }
 
     #[test]

@@ -153,17 +153,22 @@ pub struct PimVector<T> {
 impl<T: Element> PimVector<T> {
     /// Builds a vector directly from per-DPU shards.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the shard count differs from the runtime's DPU count.
-    #[must_use]
-    pub fn from_shards(rt: &PimRuntime, shards: Vec<Vec<T>>) -> Self {
-        assert_eq!(
-            shards.len(),
-            rt.dpus() as usize,
-            "one shard per DPU required"
-        );
-        PimVector { shards }
+    /// The shard count must match the runtime's DPU count exactly — a
+    /// mismatch is a typed [`PimnetError::InvalidMessage`], not a panic,
+    /// so callers assembling shards from external input can recover.
+    pub fn from_shards(rt: &PimRuntime, shards: Vec<Vec<T>>) -> Result<Self, PimnetError> {
+        if shards.len() != rt.dpus() as usize {
+            return Err(PimnetError::InvalidMessage {
+                reason: format!(
+                    "one shard per DPU required: got {} shards for {} DPUs",
+                    shards.len(),
+                    rt.dpus()
+                ),
+            });
+        }
+        Ok(PimVector { shards })
     }
 
     /// One DPU's shard.
@@ -197,7 +202,14 @@ impl<T: Element> PimVector<T> {
     }
 
     fn uniform_len(&self) -> Result<usize, PimnetError> {
-        let n = self.shards[0].len();
+        let n = match self.shards.first() {
+            Some(s) => s.len(),
+            None => {
+                return Err(PimnetError::InvalidMessage {
+                    reason: "collective on a vector with no shards".into(),
+                })
+            }
+        };
         if self.shards.iter().any(|s| s.len() != n) {
             return Err(PimnetError::InvalidMessage {
                 reason: "collective requires equal shard lengths".into(),
@@ -374,7 +386,7 @@ mod tests {
         let shards: Vec<Vec<u64>> = (0..16u64)
             .map(|i| (0..16).map(|j| i * 100 + j).collect())
             .collect();
-        let mut v = PimVector::from_shards(&rt, shards);
+        let mut v = PimVector::from_shards(&rt, shards).unwrap();
         v.all_to_all(&mut rt).unwrap();
         for j in 0..16u64 {
             let expect: Vec<u64> = (0..16).map(|i| i * 100 + j).collect();
@@ -399,10 +411,21 @@ mod tests {
         let rt = small_rt(BackendKind::Pimnet);
         let mut shards = vec![vec![0u64; 8]; 16];
         shards[3].push(1);
-        let mut v = PimVector::from_shards(&rt, shards);
+        let mut v = PimVector::from_shards(&rt, shards).unwrap();
         let mut rt = small_rt(BackendKind::Pimnet);
         assert!(matches!(
             v.all_reduce(&mut rt, ReduceOp::Sum),
+            Err(PimnetError::InvalidMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_shard_count_is_a_typed_error() {
+        let rt = small_rt(BackendKind::Pimnet);
+        // 15 shards for a 16-DPU runtime: typed rejection, no panic.
+        let shards = vec![vec![0u64; 8]; 15];
+        assert!(matches!(
+            PimVector::from_shards(&rt, shards),
             Err(PimnetError::InvalidMessage { .. })
         ));
     }

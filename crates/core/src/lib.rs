@@ -67,6 +67,7 @@ pub mod recovery;
 pub mod resilience;
 pub mod roofline;
 pub mod schedule;
+pub mod serve;
 pub mod sync;
 pub mod timeline;
 pub mod timing;

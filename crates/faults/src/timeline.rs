@@ -284,6 +284,50 @@ impl FaultTimeline {
         a.max(f).max(b)
     }
 
+    /// The timeline as seen from a clock that starts at `origin_ps`:
+    /// every stamp moves `origin_ps` earlier. Arrivals already in the
+    /// past clamp to 0 (they are in effect immediately); flap/burst
+    /// windows that ended at or before the origin are dropped, and
+    /// windows straddling it are clipped to start at 0. A serving engine
+    /// uses this to hand a mid-stream request a recovery clock that
+    /// starts at the request's own dispatch time while still seeing the
+    /// storm exactly as stamped on the wall clock.
+    #[must_use]
+    pub fn shifted(&self, origin_ps: u64) -> FaultTimeline {
+        let mut out = FaultTimeline {
+            arrivals: self
+                .arrivals
+                .iter()
+                .map(|a| Arrival {
+                    at_ps: a.at_ps.saturating_sub(origin_ps),
+                    what: a.what,
+                })
+                .collect(),
+            flaps: self
+                .flaps
+                .iter()
+                .filter(|f| f.until_ps > origin_ps)
+                .map(|f| LinkFlap {
+                    segment: f.segment,
+                    from_ps: f.from_ps.saturating_sub(origin_ps),
+                    until_ps: f.until_ps - origin_ps,
+                })
+                .collect(),
+            bursts: self
+                .bursts
+                .iter()
+                .filter(|b| b.until_ps > origin_ps)
+                .map(|b| TransientBurst {
+                    from_ps: b.from_ps.saturating_sub(origin_ps),
+                    until_ps: b.until_ps - origin_ps,
+                    ber: b.ber,
+                })
+                .collect(),
+        };
+        out.normalize();
+        out
+    }
+
     /// Parses a comma-separated arrival token list:
     /// `r0c1b3E@t=5000ps, r0c2tx@t=800ps, rank2@t=12000ps`.
     ///
@@ -654,6 +698,52 @@ mod tests {
         };
         let again = FaultTimeline::parse_arrivals(&tl.to_string()).unwrap();
         assert_eq!(again, arr);
+    }
+
+    #[test]
+    fn shifted_rebases_the_clock_and_clips_windows() {
+        let tl = FaultTimeline {
+            arrivals: vec![
+                Arrival {
+                    at_ps: 500,
+                    what: ArrivalKind::Rank(1),
+                },
+                Arrival {
+                    at_ps: 3_000,
+                    what: ArrivalKind::Segment(seg(2)),
+                },
+            ],
+            flaps: vec![
+                LinkFlap {
+                    segment: seg(0),
+                    from_ps: 100,
+                    until_ps: 900,
+                },
+                LinkFlap {
+                    segment: seg(1),
+                    from_ps: 800,
+                    until_ps: 2_200,
+                },
+            ],
+            bursts: vec![TransientBurst {
+                from_ps: 1_500,
+                until_ps: 2_500,
+                ber: 0.25,
+            }],
+        };
+        let s = tl.shifted(1_000);
+        // Past arrival clamps to 0, future one rebases.
+        assert_eq!(s.arrivals[0].at_ps, 0);
+        assert_eq!(s.arrivals[1].at_ps, 2_000);
+        // The flap that ended before the origin is gone; the straddling
+        // one is clipped to start at the new time zero.
+        assert_eq!(s.flaps.len(), 1);
+        assert_eq!((s.flaps[0].from_ps, s.flaps[0].until_ps), (0, 1_200));
+        assert_eq!((s.bursts[0].from_ps, s.bursts[0].until_ps), (500, 1_500));
+        // Shifting by zero is the identity (modulo normalization).
+        let mut id = tl.clone();
+        id.normalize();
+        assert_eq!(tl.shifted(0), id);
     }
 
     #[test]

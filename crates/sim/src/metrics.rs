@@ -193,6 +193,25 @@ pub struct MetricsReport {
     /// Step-boundary checkpoints (completed steps whose buffers became
     /// the resume point).
     pub recovery_checkpoints: u64,
+    /// Requests that reached the serving engine's admission stage.
+    pub serve_requests: u64,
+    /// Requests admitted into a tenant queue.
+    pub serve_admitted: u64,
+    /// Requests shed with a typed rejection (any reason).
+    pub serve_shed: u64,
+    /// Of the shed requests, those shed for a slipped deadline.
+    pub serve_deadline_shed: u64,
+    /// Of the shed requests, those shed because their tenant was
+    /// quarantined.
+    pub serve_quarantine_shed: u64,
+    /// Requests served end-to-end (any ladder tier).
+    pub serve_completed: u64,
+    /// Of the served requests, those that ended on the host-fallback rung.
+    pub serve_host_fallback: u64,
+    /// Chunks dispatched across tenant channels.
+    pub serve_chunks: u64,
+    /// Highest overload-ladder level the engine reached (watermark).
+    pub serve_ladder_peak: u64,
 }
 
 impl MetricsReport {
@@ -240,6 +259,15 @@ impl MetricsReport {
             recovery_quarantines: 0,
             recovery_arrivals: 0,
             recovery_checkpoints: 0,
+            serve_requests: 0,
+            serve_admitted: 0,
+            serve_shed: 0,
+            serve_deadline_shed: 0,
+            serve_quarantine_shed: 0,
+            serve_completed: 0,
+            serve_host_fallback: 0,
+            serve_chunks: 0,
+            serve_ladder_peak: 0,
         }
     }
 
@@ -308,6 +336,15 @@ impl MetricsReport {
         self.recovery_quarantines += other.recovery_quarantines;
         self.recovery_arrivals += other.recovery_arrivals;
         self.recovery_checkpoints += other.recovery_checkpoints;
+        self.serve_requests += other.serve_requests;
+        self.serve_admitted += other.serve_admitted;
+        self.serve_shed += other.serve_shed;
+        self.serve_deadline_shed += other.serve_deadline_shed;
+        self.serve_quarantine_shed += other.serve_quarantine_shed;
+        self.serve_completed += other.serve_completed;
+        self.serve_host_fallback += other.serve_host_fallback;
+        self.serve_chunks += other.serve_chunks;
+        self.serve_ladder_peak = self.serve_ladder_peak.max(other.serve_ladder_peak);
     }
 
     /// Deterministic `key,value` CSV of every counter (per-tier counters
@@ -389,6 +426,15 @@ impl MetricsReport {
         kv("recovery_quarantines", self.recovery_quarantines);
         kv("recovery_arrivals", self.recovery_arrivals);
         kv("recovery_checkpoints", self.recovery_checkpoints);
+        kv("serve_requests", self.serve_requests);
+        kv("serve_admitted", self.serve_admitted);
+        kv("serve_shed", self.serve_shed);
+        kv("serve_deadline_shed", self.serve_deadline_shed);
+        kv("serve_quarantine_shed", self.serve_quarantine_shed);
+        kv("serve_completed", self.serve_completed);
+        kv("serve_host_fallback", self.serve_host_fallback);
+        kv("serve_chunks", self.serve_chunks);
+        kv("serve_ladder_peak", self.serve_ladder_peak);
         for (i, count) in self.transfer_bytes.buckets.iter().enumerate() {
             kv(
                 &format!("transfer_bytes_ge_{}", Histogram::bucket_floor(i)),
@@ -637,6 +683,46 @@ impl Metrics {
     /// `n` timed permanent-fault arrivals absorbed at a step boundary.
     pub fn recovery_arrivals(&self, n: u64) {
         self.with(|r| r.recovery_arrivals += n);
+    }
+
+    /// One request reaching the serving engine's admission stage.
+    pub fn serve_request(&self) {
+        self.with(|r| r.serve_requests += 1);
+    }
+
+    /// One request admitted into its tenant queue.
+    pub fn serve_admit(&self) {
+        self.with(|r| r.serve_admitted += 1);
+    }
+
+    /// One request shed; flags mark the deadline / quarantine classes.
+    pub fn serve_shed(&self, deadline: bool, quarantine: bool) {
+        self.with(|r| {
+            r.serve_shed += 1;
+            if deadline {
+                r.serve_deadline_shed += 1;
+            }
+            if quarantine {
+                r.serve_quarantine_shed += 1;
+            }
+        });
+    }
+
+    /// One request served end-to-end over `chunks` dispatched chunks;
+    /// `host_fallback` marks tier-3 service.
+    pub fn serve_complete(&self, chunks: u64, host_fallback: bool) {
+        self.with(|r| {
+            r.serve_completed += 1;
+            r.serve_chunks += chunks;
+            if host_fallback {
+                r.serve_host_fallback += 1;
+            }
+        });
+    }
+
+    /// Folds an overload-ladder level into the peak watermark.
+    pub fn serve_ladder(&self, level: u64) {
+        self.with(|r| r.serve_ladder_peak = r.serve_ladder_peak.max(level));
     }
 }
 

@@ -109,6 +109,30 @@ pub mod codes {
     /// The recovery run finished.
     /// Args: `[tier, steps, retries, replans]`.
     pub const RECOV_DONE: u16 = 0x0808;
+
+    /// A request entered the serving engine's admission stage.
+    /// Args: `[tenant, request, arrive_ps, elems]`.
+    pub const SERVE_ARRIVE: u16 = 0x0901;
+    /// Admission control accepted a request into its tenant queue.
+    /// Args: `[tenant, request, queue_depth, tokens_left]`.
+    pub const SERVE_ADMIT: u16 = 0x0902;
+    /// A request was shed with a typed rejection.
+    /// Args: `[tenant, request, reason (1=queue-full,2=no-tokens,
+    /// 3=deadline,4=low-priority,5=quarantined), t_ps]`.
+    pub const SERVE_SHED: u16 = 0x0903;
+    /// A dequeued request started service on its tenant's channels.
+    /// Args: `[tenant, request, chunks, t_ps]`.
+    pub const SERVE_START: u16 = 0x0904;
+    /// A request finished service.
+    /// Args: `[tenant, request, tier, latency_ps]`.
+    pub const SERVE_DONE: u16 = 0x0905;
+    /// A tenant crossed a quarantine boundary.
+    /// Args: `[tenant, entered (1=quarantined, 0=restored), failures,
+    /// t_ps]`.
+    pub const SERVE_QUARANTINE: u16 = 0x0906;
+    /// The engine-wide overload ladder ratcheted up a level.
+    /// Args: `[level, backlog, t_ps, 0]`.
+    pub const SERVE_LADDER: u16 = 0x0907;
 }
 
 /// Subsystem groups (the high byte of an event code).
@@ -129,6 +153,8 @@ pub mod group {
     pub const PLAN: u8 = 0x07;
     /// Runtime recovery manager (`pimnet::recovery`).
     pub const RECOVERY: u8 = 0x08;
+    /// Multi-tenant serving engine (`pimnet::serve`).
+    pub const SERVE: u8 = 0x09;
 }
 
 /// The subsystem group of a code (its high byte).
@@ -167,6 +193,13 @@ pub const fn code_name(code: u16) -> &'static str {
         codes::FAULT_ARRIVAL => "fault-arrival",
         codes::RECOV_RESUME => "recov-resume",
         codes::RECOV_DONE => "recov-done",
+        codes::SERVE_ARRIVE => "serve-arrive",
+        codes::SERVE_ADMIT => "serve-admit",
+        codes::SERVE_SHED => "serve-shed",
+        codes::SERVE_START => "serve-start",
+        codes::SERVE_DONE => "serve-done",
+        codes::SERVE_QUARANTINE => "serve-quarantine",
+        codes::SERVE_LADDER => "serve-ladder",
         _ => "unknown",
     }
 }
@@ -581,11 +614,19 @@ mod tests {
             codes::FAULT_ARRIVAL,
             codes::RECOV_RESUME,
             codes::RECOV_DONE,
+            codes::SERVE_ARRIVE,
+            codes::SERVE_ADMIT,
+            codes::SERVE_SHED,
+            codes::SERVE_START,
+            codes::SERVE_DONE,
+            codes::SERVE_QUARANTINE,
+            codes::SERVE_LADDER,
         ] {
             assert_ne!(code_name(code), "unknown", "{code:#06x} unnamed");
         }
         assert_eq!(code_name(0xFFFF), "unknown");
         assert_eq!(code_group(codes::CACHE_HIT), group::CACHE);
         assert_eq!(code_group(codes::RECOV_STEP), group::RECOVERY);
+        assert_eq!(code_group(codes::SERVE_ADMIT), group::SERVE);
     }
 }

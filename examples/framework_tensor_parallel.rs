@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .collect()
             })
             .collect();
-        let mut y = PimVector::from_shards(&rt, shards);
+        let mut y = PimVector::from_shards(&rt, shards)?;
 
         // Charge the MAC work of producing the partials (64-cycle multiply).
         y.map(

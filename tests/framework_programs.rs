@@ -30,7 +30,7 @@ fn distributed_histogram() {
         .map(|b| shards.iter().map(|s| s[b]).sum())
         .collect();
 
-    let mut v = PimVector::from_shards(&rt, shards);
+    let mut v = PimVector::from_shards(&rt, shards).unwrap();
     v.map(&mut rt, OpCounts::new().with_adds(3).with_loads(2), |_| {});
     v.all_reduce(&mut rt, ReduceOp::Sum).unwrap();
 
@@ -60,7 +60,7 @@ fn distributed_transpose() {
                 .collect()
         })
         .collect();
-    let mut m = PimVector::from_shards(&rt, shards);
+    let mut m = PimVector::from_shards(&rt, shards).unwrap();
     m.all_to_all(&mut rt).unwrap();
     // After the transpose, shard j's chunk i is what shard i sent for j.
     for j in 0..n as u32 {
@@ -105,7 +105,10 @@ fn rs_then_ag_equals_ar() {
         let shards: Vec<Vec<u64>> = (0..256u64)
             .map(|d| (0..512).map(|e| d * 7 + e % 13).collect())
             .collect();
-        (PimVector::from_shards(&rt, shards), PimRuntime::paper())
+        (
+            PimVector::from_shards(&rt, shards).unwrap(),
+            PimRuntime::paper(),
+        )
     };
     let (mut a, mut rt_a) = make();
     a.all_reduce(&mut rt_a, ReduceOp::Sum).unwrap();
