@@ -1,5 +1,6 @@
 //! Analyzer cost sweep: wall-time of `analysis::run_all` per geometry,
-//! next to the cost of building the schedule it proves.
+//! next to the cost of building the schedule it proves — plus the cost of
+//! an *incremental* single-step re-lint via `analysis::reverify_delta`.
 //!
 //! The static analyzer is meant to run on every schedule the planner
 //! emits (the resilience ladder re-proves every repaired schedule), so it
@@ -7,9 +8,19 @@
 //! both across the paper's preset geometries and payload sizes and
 //! reports the ratio; the CSV lands in `results/lint_sweep.csv`.
 //!
+//! The incremental column mutates one step of each schedule the way a
+//! repair does — it rewrites one transfer's resource path, leaving the
+//! payload spans alone — re-verifies it by delta against the
+//! already-proven base summary, and checks the delta report is
+//! byte-identical to a batch re-run over the mutated schedule before
+//! reporting the speedup. Because the payload is untouched, the dataflow
+//! state reconverges right after the dirtied step and the delta cost is
+//! one step, not the suffix.
+//!
 //! Usage: `lint_sweep [reps]` (default 5 timing repetitions per cell,
 //! minimum taken).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use pim_arch::geometry::PimGeometry;
@@ -20,6 +31,34 @@ use pimnet_bench::Table;
 
 const GEOMETRIES: [u32; 3] = [8, 64, 256];
 const ELEMS: [usize; 2] = [256, 4096];
+
+/// Rewrites one transfer's resource path in the middle step — the shape
+/// of edit a repair makes (route changes, payload spans untouched).
+/// Duplicating an existing resource changes the step's content without
+/// tripping any structural rule, so the schedule stays clean and the
+/// dataflow state reconverges immediately after the dirtied step.
+fn mutate_middle_step(s: &CommSchedule) -> Option<CommSchedule> {
+    let sites: Vec<(usize, usize, usize)> = s
+        .phases
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, p)| {
+            p.steps.iter().enumerate().flat_map(move |(si, st)| {
+                st.transfers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !t.resources.is_empty())
+                    .map(move |(ti, _)| (pi, si, ti))
+            })
+        })
+        .collect();
+    let &(pi, si, ti) = sites.get(sites.len() / 2)?;
+    let mut m = s.clone();
+    let t = &mut m.phases[pi].steps[si].transfers[ti];
+    let r = *t.resources.last().expect("site has resources");
+    t.resources.push(r);
+    Some(m)
+}
 
 fn main() {
     // User-supplied arguments get typed errors, not panics.
@@ -46,6 +85,9 @@ fn main() {
             "analyze-us",
             "analyze/build",
             "diags",
+            "delta-us",
+            "delta-relint",
+            "batch/delta",
         ],
     );
     for &dpus in &GEOMETRIES {
@@ -81,6 +123,41 @@ fn main() {
                         std::process::exit(1);
                     }
                 }
+
+                // Incremental single-step re-lint vs batch on the mutated
+                // schedule (amortized case: the base is already proven).
+                let base = analysis::verify_full(&s);
+                let mutated = Arc::new(
+                    mutate_middle_step(&s).expect("preset schedules have routed transfers"),
+                );
+                let mut mutated_batch_us = f64::INFINITY;
+                let mut mutated_report = None;
+                for _ in 0..reps {
+                    let t0 = Instant::now();
+                    let report = analysis::run_all(&mutated);
+                    mutated_batch_us = mutated_batch_us.min(t0.elapsed().as_secs_f64() * 1e6);
+                    mutated_report = Some(report);
+                }
+                let mut delta_us = f64::INFINITY;
+                let mut relinted = 0usize;
+                let mut delta_report = None;
+                for _ in 0..reps {
+                    let t0 = Instant::now();
+                    let (summary, stats) = analysis::reverify_delta(&base, mutated.clone());
+                    delta_us = delta_us.min(t0.elapsed().as_secs_f64() * 1e6);
+                    relinted = stats.relinted;
+                    delta_report = Some(summary.report.clone());
+                }
+                let batch = mutated_report.expect("reps >= 1").to_string();
+                let delta = delta_report.expect("reps >= 1").to_string();
+                if batch != delta {
+                    eprintln!(
+                        "lint_sweep: {kind} x{dpus} e{elems} delta report diverged from batch\n\
+                         --- batch ---\n{batch}\n--- delta ---\n{delta}"
+                    );
+                    std::process::exit(1);
+                }
+
                 t.row([
                     dpus.to_string(),
                     kind.to_string(),
@@ -90,6 +167,9 @@ fn main() {
                     format!("{analyze_us:.1}"),
                     format!("{:.2}", analyze_us / build_us.max(1e-9)),
                     diags.to_string(),
+                    format!("{delta_us:.1}"),
+                    relinted.to_string(),
+                    format!("{:.2}", mutated_batch_us / delta_us.max(1e-9)),
                 ]);
             }
         }

@@ -20,7 +20,10 @@
 //! interleaved min-of-k) and the fault-free overhead of the runtime
 //! recovery manager (plain executor vs `run_recovered` with an inactive
 //! injector), failing when either exceeds 1 % (override with
-//! `PIMNET_TRACE_TOLERANCE`, floored at 0.01).
+//! `PIMNET_TRACE_TOLERANCE`, floored at 0.01), and the incremental
+//! re-lint speedup on a pinned single-step edit (delta re-verify vs
+//! batch analyzer, byte-identical reports required), failing below 5x
+//! (override with `PIMNET_DELTA_SPEEDUP_FLOOR`).
 //! Results land in `results/BENCH_perf.json`; when a committed baseline
 //! (`results/perf_baseline.json`) exists, the gate fails on a wall-time
 //! regression beyond the tolerance (default 25 %, override with
@@ -179,6 +182,76 @@ fn recovery_overhead(budget: f64) -> f64 {
     measured_overhead(budget, plain, recovered)
 }
 
+/// Measures the incremental re-lint speedup on a pinned cell: one
+/// repair-shaped edit (a rewritten resource path, payload spans
+/// untouched) to the 256-DPU AllReduce schedule, re-proven by
+/// `analysis::reverify_delta` against the already-verified base vs a
+/// batch `analysis::run_all` over the whole mutated schedule. Min over
+/// `reps` for both sides; the delta report must be byte-identical to the
+/// batch report or the gate fails outright.
+fn delta_lint_speedup(reps: u32) -> (f64, usize) {
+    use std::sync::Arc;
+
+    use pim_arch::geometry::PimGeometry;
+    use pimnet::analysis;
+    use pimnet::schedule::CommSchedule;
+
+    const DPUS: u32 = 256;
+    const ELEMS: usize = 256;
+    let g = PimGeometry::paper_scaled(DPUS);
+    let s = CommSchedule::build(CollectiveKind::AllReduce, &g, ELEMS, 4).expect("schedule");
+    let base = analysis::verify_full(&s);
+
+    // The same edit shape `lint_sweep` times: dirty exactly one step by
+    // duplicating a resource on its middle routed transfer.
+    let sites: Vec<(usize, usize, usize)> = s
+        .phases
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, p)| {
+            p.steps.iter().enumerate().flat_map(move |(si, st)| {
+                st.transfers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !t.resources.is_empty())
+                    .map(move |(ti, _)| (pi, si, ti))
+            })
+        })
+        .collect();
+    let (pi, si, ti) = sites[sites.len() / 2];
+    let mut m = s.clone();
+    let t = &mut m.phases[pi].steps[si].transfers[ti];
+    t.resources
+        .push(*t.resources.last().expect("routed transfer"));
+    let mutated = Arc::new(m);
+
+    let mut batch_s = f64::INFINITY;
+    let mut batch_report = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let report = analysis::run_all(&mutated);
+        batch_s = batch_s.min(t0.elapsed().as_secs_f64());
+        batch_report = Some(report);
+    }
+    let mut delta_s = f64::INFINITY;
+    let mut relinted = 0usize;
+    let mut delta_report = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (summary, stats) = analysis::reverify_delta(&base, mutated.clone());
+        delta_s = delta_s.min(t0.elapsed().as_secs_f64());
+        relinted = stats.relinted;
+        delta_report = Some(summary.report.clone());
+    }
+    let batch = batch_report.expect("reps >= 1");
+    let delta = delta_report.expect("reps >= 1");
+    if batch.to_string() != delta.to_string() || batch.to_json() != delta.to_json() {
+        eprintln!("FAIL: incremental re-lint report diverged from the batch analyzer");
+        std::process::exit(1);
+    }
+    (batch_s / delta_s.max(1e-12), relinted)
+}
+
 /// Tenants and seeds-per-mode of the pinned serving workload.
 const SERVE_TENANTS: usize = 3;
 const SERVE_PER_MODE: u64 = 1;
@@ -331,6 +404,24 @@ fn main() {
         std::process::exit(1);
     }
 
+    let delta_floor = std::env::var("PIMNET_DELTA_SPEEDUP_FLOOR")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(5.0);
+    let (delta_speedup, delta_relinted) = delta_lint_speedup(5);
+    println!(
+        "  incremental re-lint: {delta_speedup:.1}x batch ({delta_relinted} of the \
+         schedule's steps re-linted; floor {delta_floor:.0}x)"
+    );
+    if delta_speedup < delta_floor {
+        eprintln!(
+            "FAIL: incremental single-step re-lint is only {delta_speedup:.1}x \
+             faster than the batch analyzer (floor {delta_floor:.0}x; override \
+             with PIMNET_DELTA_SPEEDUP_FLOOR on noisy machines)"
+        );
+        std::process::exit(1);
+    }
+
     if serve.unsound > 0 {
         eprintln!(
             "FAIL: the pinned serving workload violated its soundness \
@@ -355,6 +446,7 @@ fn main() {
     let _ = writeln!(json, "  \"warm_speedup\": {warm_speedup:.3},");
     let _ = writeln!(json, "  \"trace_overhead_frac\": {overhead:.4},");
     let _ = writeln!(json, "  \"recovery_overhead_frac\": {recov_overhead:.4},");
+    let _ = writeln!(json, "  \"delta_lint_speedup\": {delta_speedup:.2},");
     let _ = writeln!(json, "  \"serve_requests\": {},", serve.total);
     let _ = writeln!(json, "  \"serve_p50_us\": {:.3},", serve.p50_us);
     let _ = writeln!(json, "  \"serve_p99_us\": {:.3},", serve.p99_us);

@@ -30,7 +30,7 @@ USAGE:
                     [--perm-faults <tok,..>] [--fault-seed <n>]
                     [--fault-config <path>]
   pimnet-cli lint       [--kind <coll>] [--dpus <n>] [--elems <n>] [--json]
-                    [--all-presets] [--perm-faults <tok,..>]
+                    [--all-presets] [--incremental] [--perm-faults <tok,..>]
                     [--fault-seed <n>] [--fault-config <path>]
   pimnet-cli trace      [--kind <coll>[,<coll>..]|all] [--dpus <n>] [--elems <n>]
                     [--out <trace.json>] [--csv <trace.csv>]
@@ -68,10 +68,14 @@ USAGE:
   lint runs the static analyzer (structural, sync, hazard, dataflow passes)
   over a schedule without executing it, and exits non-zero on any
   error-severity diagnostic. With --perm-faults the schedule is first
-  repaired and the *repaired* schedule is re-proven. --json emits one
-  machine-readable JSON report per line; --all-presets lints every
-  collective on the paper's 8/64/256-DPU presets plus sampled
-  permanent-fault storms, fanned out over PIMNET_THREADS workers.
+  repaired and the *repaired* schedule is re-proven. --incremental routes
+  the same proof through the streaming verifier: the base schedule is
+  folded step-by-step, and a repaired schedule is re-proven by delta
+  (only the steps the repair dirtied re-lint); the report is byte-identical
+  to the batch analyzer. --json emits one machine-readable JSON report per
+  line; --all-presets lints every collective on the paper's 8/64/256-DPU
+  presets plus sampled permanent-fault storms, fanned out over
+  PIMNET_THREADS workers.
 
   Fault configs are key=value files (see pim-faults); --fault-seed overrides
   the file's seed, and --ber/--straggler-prob/--dead override its rates.
@@ -745,14 +749,24 @@ fn lint_one(
     g: &pim_arch::geometry::PimGeometry,
     elems: usize,
     injector: &pim_faults::FaultInjector,
+    incremental: bool,
 ) -> Result<(pimnet::analysis::AnalysisReport, Option<String>), String> {
     let s = CommSchedule::build(kind, g, elems, 4).map_err(|e| e.to_string())?;
+    let batch = |s: &CommSchedule| -> pimnet::analysis::AnalysisReport {
+        if incremental {
+            // The streaming verifier's report is byte-identical to
+            // `run_all` — the differential suite pins this.
+            pimnet::analysis::verify_full(s).report
+        } else {
+            pimnet::analysis::run_all(s)
+        }
+    };
     if !injector.has_permanent_faults() {
-        return Ok((pimnet::analysis::run_all(&s), None));
+        return Ok((batch(&s), None));
     }
     let faults = injector.permanent_faults(g.ranks_per_channel, g.chips_per_rank, g.banks_per_chip);
     if faults.is_empty() {
-        return Ok((pimnet::analysis::run_all(&s), None));
+        return Ok((batch(&s), None));
     }
     let unusable = pimnet::schedule::repair::unusable_dpus(g, &faults);
     if !unusable.is_empty() {
@@ -764,11 +778,29 @@ fn lint_one(
     }
     let r =
         pimnet::schedule::repair::repair(&s, &faults).map_err(|e| format!("repair failed: {e}"))?;
-    let note = format!(
+    let repair_note = format!(
         "linting repaired schedule ({} rerouted, {} remapped, +{} steps)",
         r.report.rerouted_transfers, r.report.remapped_transfers, r.report.extra_steps
     );
-    Ok((pimnet::analysis::run_all(&r.schedule), Some(note)))
+    if incremental {
+        // Prove the base once, then re-prove the repair by delta: only
+        // the dirtied steps and their state-dependent suffix re-lint.
+        let base = pimnet::analysis::verify_full(&s);
+        let (summary, delta) = pimnet::analysis::reverify_repair(&base, &r);
+        let note = format!(
+            "{repair_note}\nincremental: {} of {} step(s) reused, {} re-linted{}",
+            delta.reused(),
+            delta.steps_total,
+            delta.relinted,
+            if delta.reused_final {
+                ", result check reused"
+            } else {
+                ""
+            }
+        );
+        return Ok((summary.report.clone(), Some(note)));
+    }
+    Ok((pimnet::analysis::run_all(&r.schedule), Some(repair_note)))
 }
 
 fn lint(flags: &Flags) -> Result<(), String> {
@@ -780,12 +812,16 @@ fn lint(flags: &Flags) -> Result<(), String> {
             "elems",
             "json",
             "all-presets",
+            "incremental",
             "perm-faults",
             "fault-seed",
             "fault-config",
         ],
     );
     let json = flags.get_or("json", "false").eq_ignore_ascii_case("true");
+    let incremental = flags
+        .get_or("incremental", "false")
+        .eq_ignore_ascii_case("true");
     if flags
         .get_or("all-presets", "false")
         .eq_ignore_ascii_case("true")
@@ -797,7 +833,7 @@ fn lint(flags: &Flags) -> Result<(), String> {
     let elems: usize = flags.num_or("elems", 1024)?;
     let injector = fault_injector(flags)?;
     let sys = system_for(dpus)?;
-    let (report, note) = lint_one(kind, &sys.system().geometry, elems, &injector)?;
+    let (report, note) = lint_one(kind, &sys.system().geometry, elems, &injector, incremental)?;
     if json {
         println!("{}", report.to_json());
     } else {
@@ -1639,6 +1675,38 @@ mod tests {
         run(&["lint", "--kind", "ar", "--dpus", "16", "--elems", "128"]).unwrap();
         run(&[
             "lint", "--kind", "ag", "--dpus", "8", "--elems", "64", "--json", "true",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn lint_command_incremental_matches_batch() {
+        // The streaming verifier must accept exactly what the batch
+        // analyzer accepts, on both clean and repaired schedules.
+        run(&[
+            "lint",
+            "--kind",
+            "ar",
+            "--dpus",
+            "16",
+            "--elems",
+            "128",
+            "--incremental",
+            "true",
+        ])
+        .unwrap();
+        run(&[
+            "lint",
+            "--kind",
+            "rs",
+            "--dpus",
+            "64",
+            "--elems",
+            "64",
+            "--incremental",
+            "true",
+            "--perm-faults",
+            "r0c0b2E",
         ])
         .unwrap();
     }

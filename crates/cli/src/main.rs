@@ -12,6 +12,8 @@
 //!                       [--ber 0.01] [--straggler-prob 0.2] [--dead 3,17]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 mod args;

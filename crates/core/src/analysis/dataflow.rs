@@ -20,11 +20,19 @@
 //! expected provenance: AllReduce must hold *every* contributor at every
 //! element, AllGather must hold exactly contributor `k` at piece `k`, and
 //! so on per kind.
+//!
+//! The interpreter state is exposed to the incremental verifier
+//! ([`super::incremental`]) as [`DataflowState`]: a copy-on-write vector
+//! of per-node run lists (each behind an [`Arc`]) folded one step at a
+//! time by [`DataflowState::feed_step`]. A checkpoint (plain `clone`) is
+//! O(nodes) pointer copies, and comparing two states short-circuits on
+//! pointer equality per node — which is what makes the delta re-lint's
+//! convergence test cheap after a repair that only touched a few steps.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::collective::CollectiveKind;
-use crate::schedule::{CommSchedule, Span};
+use crate::schedule::{CommSchedule, CommStep, Span};
 
 use super::diagnostics::{Diagnostic, Location};
 
@@ -106,11 +114,11 @@ impl NodeSet {
 /// A contiguous buffer region of known provenance. The element at buffer
 /// index `b` (with `span.start <= b < span.end()`) holds the reduction of
 /// element `elem0 + (b - span.start)` over every contributor in `contrib`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Run {
     span: Span,
     elem0: usize,
-    contrib: Rc<NodeSet>,
+    contrib: Arc<NodeSet>,
 }
 
 impl Run {
@@ -199,91 +207,149 @@ struct Delivery {
     loc: Location,
 }
 
-/// Runs the dataflow pass, appending findings to `diags`.
-pub(super) fn check(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
-    let g = &schedule.geometry;
-    let total = g.total_dpus();
-    let n = schedule.elems_per_node;
-    if total == 0 {
-        return;
+/// The abstract interpreter's per-node provenance state, folded one step
+/// at a time.
+///
+/// Cloning is a checkpoint: O(nodes) `Arc` bumps, with run storage shared
+/// copy-on-write between the checkpoint and the live state. Equality
+/// compares per-node run lists, short-circuiting on shared pointers, so
+/// two states that diverged in only a few nodes compare in time
+/// proportional to the divergence.
+#[derive(Debug, Clone)]
+pub(super) struct DataflowState {
+    state: Vec<Arc<Vec<Run>>>,
+}
+
+impl PartialEq for DataflowState {
+    fn eq(&self, other: &Self) -> bool {
+        self.state.len() == other.state.len()
+            && self
+                .state
+                .iter()
+                .zip(&other.state)
+                .all(|(a, b)| Arc::ptr_eq(a, b) || a == b)
+    }
+}
+
+impl DataflowState {
+    /// Initial placement, mirroring `ExecMachine::init`.
+    pub(super) fn new(schedule: &CommSchedule) -> DataflowState {
+        let total = schedule.geometry.total_dpus();
+        let n = schedule.elems_per_node;
+        let state = (0..total)
+            .map(|i| {
+                let offset = match schedule.kind {
+                    CollectiveKind::AllGather | CollectiveKind::Gather => i as usize * n,
+                    _ => 0,
+                };
+                Arc::new(if n == 0 || offset + n > schedule.buffer_len {
+                    Vec::new()
+                } else {
+                    vec![Run {
+                        span: Span::new(offset, n),
+                        elem0: 0,
+                        contrib: Arc::new(NodeSet::single(total, i)),
+                    }]
+                })
+            })
+            .collect();
+        DataflowState { state }
     }
 
-    // Initial placement, mirroring `ExecMachine::init`.
-    let mut state: Vec<Vec<Run>> = (0..total)
-        .map(|i| {
-            let offset = match schedule.kind {
-                CollectiveKind::AllGather | CollectiveKind::Gather => i as usize * n,
-                _ => 0,
-            };
-            if n == 0 || offset + n > schedule.buffer_len {
-                Vec::new()
+    /// Interprets one step at `(pi, si)` — snapshot reads, then deliveries
+    /// in transfer order — appending any provenance findings to `diags`.
+    pub(super) fn feed_step(
+        &mut self,
+        schedule: &CommSchedule,
+        pi: usize,
+        si: usize,
+        step: &CommStep,
+        diags: &mut Vec<Diagnostic>,
+    ) {
+        let total = schedule.geometry.total_dpus();
+        if total == 0 {
+            return;
+        }
+        let mut deliveries: Vec<Delivery> = Vec::with_capacity(step.transfers.len());
+        for (ti, t) in step.transfers.iter().enumerate() {
+            let loc = Location::at(pi, si, ti);
+            // Transfers the structural/sync passes already rejected
+            // cannot be interpreted; skip them rather than panic.
+            if t.src.0 >= total
+                || t.dsts.iter().any(|d| d.0 >= total)
+                || t.src_span.len != t.dst_span.len
+                || t.src_span.end() > schedule.buffer_len
+                || t.dst_span.end() > schedule.buffer_len
+            {
+                continue;
+            }
+            let (pieces, gaps) = read(&self.state[t.src.index()], t.src_span);
+            if let Some(gap) = gaps.first() {
+                diags.push(Diagnostic::error(
+                    UNINIT_READ,
+                    loc.on(t.src.0),
+                    format!(
+                        "transfer reads uninitialized region {gap} of node {}'s buffer",
+                        t.src
+                    ),
+                ));
+            }
+            let pieces: Vec<Run> = pieces
+                .into_iter()
+                .map(|p| Run {
+                    span: Span::new(
+                        t.dst_span.start + (p.span.start - t.src_span.start),
+                        p.span.len,
+                    ),
+                    elem0: p.elem0,
+                    contrib: p.contrib,
+                })
+                .collect();
+            for &dst in &t.dsts {
+                deliveries.push(Delivery {
+                    dst: dst.index(),
+                    dst_span: t.dst_span,
+                    pieces: pieces.clone(),
+                    combine: t.combine,
+                    loc,
+                });
+            }
+        }
+        for d in deliveries {
+            let runs = Arc::make_mut(&mut self.state[d.dst]);
+            if d.combine {
+                apply_combine(runs, &d, diags);
             } else {
-                vec![Run {
-                    span: Span::new(offset, n),
-                    elem0: 0,
-                    contrib: Rc::new(NodeSet::single(total, i)),
-                }]
-            }
-        })
-        .collect();
-
-    for (pi, phase) in schedule.phases.iter().enumerate() {
-        for (si, step) in phase.steps.iter().enumerate() {
-            let mut deliveries: Vec<Delivery> = Vec::with_capacity(step.transfers.len());
-            for (ti, t) in step.transfers.iter().enumerate() {
-                let loc = Location::at(pi, si, ti);
-                // Transfers the structural/sync passes already rejected
-                // cannot be interpreted; skip them rather than panic.
-                if t.src.0 >= total
-                    || t.dsts.iter().any(|d| d.0 >= total)
-                    || t.src_span.len != t.dst_span.len
-                    || t.src_span.end() > schedule.buffer_len
-                    || t.dst_span.end() > schedule.buffer_len
-                {
-                    continue;
-                }
-                let (pieces, gaps) = read(&state[t.src.index()], t.src_span);
-                if let Some(gap) = gaps.first() {
-                    diags.push(Diagnostic::error(
-                        UNINIT_READ,
-                        loc.on(t.src.0),
-                        format!(
-                            "transfer reads uninitialized region {gap} of node {}'s buffer",
-                            t.src
-                        ),
-                    ));
-                }
-                let pieces: Vec<Run> = pieces
-                    .into_iter()
-                    .map(|p| Run {
-                        span: Span::new(
-                            t.dst_span.start + (p.span.start - t.src_span.start),
-                            p.span.len,
-                        ),
-                        elem0: p.elem0,
-                        contrib: p.contrib,
-                    })
-                    .collect();
-                for &dst in &t.dsts {
-                    deliveries.push(Delivery {
-                        dst: dst.index(),
-                        dst_span: t.dst_span,
-                        pieces: pieces.clone(),
-                        combine: t.combine,
-                        loc,
-                    });
-                }
-            }
-            for d in deliveries {
-                if d.combine {
-                    apply_combine(&mut state[d.dst], &d, diags);
-                } else {
-                    splice(&mut state[d.dst], d.dst_span, d.pieces);
-                }
+                splice(runs, d.dst_span, d.pieces);
             }
         }
     }
 
+    /// The state as a JSON object summarizing each node's run list.
+    pub(super) fn to_json(&self) -> String {
+        let nodes: Vec<String> = self
+            .state
+            .iter()
+            .map(|runs| {
+                let covered: usize = runs.iter().map(|r| r.span.len).sum();
+                format!("{{\"runs\":{},\"elems\":{covered}}}", runs.len())
+            })
+            .collect();
+        format!("{{\"nodes\":[{}]}}", nodes.join(","))
+    }
+}
+
+/// Runs the dataflow pass, appending findings to `diags`.
+pub(super) fn check(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
+    if schedule.geometry.total_dpus() == 0 {
+        return;
+    }
+    let mut state = DataflowState::new(schedule);
+    for (pi, phase) in schedule.phases.iter().enumerate() {
+        for (si, step) in phase.steps.iter().enumerate() {
+            state.feed_step(schedule, pi, si, step, diags);
+        }
+    }
     final_check(schedule, &state, diags);
 }
 
@@ -334,7 +400,7 @@ fn apply_combine(runs: &mut Vec<Run>, d: &Delivery, diags: &mut Vec<Diagnostic>)
             merged.push(Run {
                 span: seg,
                 elem0: e.elem0,
-                contrib: Rc::new(p.contrib.union(&e.contrib)),
+                contrib: Arc::new(p.contrib.union(&e.contrib)),
             });
         }
         // Reducing into the default fill behaves like an overwrite for
@@ -367,8 +433,15 @@ enum Expect {
 
 /// Checks every node's declared result spans against the collective's
 /// expected provenance.
-fn final_check(schedule: &CommSchedule, state: &[Vec<Run>], diags: &mut Vec<Diagnostic>) {
+pub(super) fn final_check(
+    schedule: &CommSchedule,
+    state: &DataflowState,
+    diags: &mut Vec<Diagnostic>,
+) {
     let total = schedule.geometry.total_dpus();
+    if total == 0 {
+        return;
+    }
     let n = schedule.elems_per_node;
     if schedule.result_spans.len() != total as usize {
         return; // structural P010 already fired
@@ -459,14 +532,14 @@ fn final_check(schedule: &CommSchedule, state: &[Vec<Run>], diags: &mut Vec<Diag
 /// expectation blocks piecewise.
 fn check_node(
     schedule: &CommSchedule,
-    state: &[Vec<Run>],
+    state: &DataflowState,
     node: u32,
     expect: &Expect,
     diags: &mut Vec<Diagnostic>,
 ) {
     let total = schedule.geometry.total_dpus();
     let full = NodeSet::full(total);
-    let runs = &state[node as usize];
+    let runs = &state.state[node as usize];
     let mut k = 0usize; // concatenated result position
     let (mut flagged_prov, mut flagged_elem) = (false, false);
     for span in &schedule.result_spans[node as usize] {

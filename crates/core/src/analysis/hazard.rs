@@ -20,9 +20,9 @@
 //! This generalizes `schedule::repair`'s reader-before-writer rule from a
 //! scheduling heuristic into a checked property.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use crate::schedule::{CommSchedule, Span};
+use crate::schedule::{CommSchedule, CommStep, Span};
 
 use super::diagnostics::{Diagnostic, Location};
 
@@ -46,58 +46,65 @@ fn overlaps(a: Span, b: Span) -> bool {
 pub(super) fn check(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
     for (pi, phase) in schedule.phases.iter().enumerate() {
         for (si, step) in phase.steps.iter().enumerate() {
-            let mut writes: HashMap<u32, Vec<Access>> = HashMap::new();
-            let mut reads: HashMap<u32, Vec<Access>> = HashMap::new();
-            for (ti, t) in step.transfers.iter().enumerate() {
-                let loc = Location::at(pi, si, ti);
-                reads.entry(t.src.0).or_default().push(Access {
-                    span: t.src_span,
-                    combine: false,
-                    loc,
-                });
-                for &d in &t.dsts {
-                    writes.entry(d.0).or_default().push(Access {
-                        span: t.dst_span,
-                        combine: t.combine,
-                        loc,
-                    });
+            check_step(pi, si, step, diags);
+        }
+    }
+}
+
+/// Hazard checks for one step at `(pi, si)`; step-local by construction,
+/// so the incremental verifier calls it verbatim. BTreeMap keeps the
+/// per-node emission order independent of hash state.
+pub(super) fn check_step(pi: usize, si: usize, step: &CommStep, diags: &mut Vec<Diagnostic>) {
+    let mut writes: BTreeMap<u32, Vec<Access>> = BTreeMap::new();
+    let mut reads: BTreeMap<u32, Vec<Access>> = BTreeMap::new();
+    for (ti, t) in step.transfers.iter().enumerate() {
+        let loc = Location::at(pi, si, ti);
+        reads.entry(t.src.0).or_default().push(Access {
+            span: t.src_span,
+            combine: false,
+            loc,
+        });
+        for &d in &t.dsts {
+            writes.entry(d.0).or_default().push(Access {
+                span: t.dst_span,
+                combine: t.combine,
+                loc,
+            });
+        }
+    }
+    for (&node, ws) in &writes {
+        // Write-write: any overlapping pair with an overwrite.
+        'ww: for (i, a) in ws.iter().enumerate() {
+            for b in &ws[i + 1..] {
+                if overlaps(a.span, b.span) && !(a.combine && b.combine) && a.loc != b.loc {
+                    diags.push(Diagnostic::error(
+                        WRITE_WRITE,
+                        b.loc.on(node),
+                        format!(
+                            "concurrent writes to overlapping regions {} and {} \
+                             of node {node} (also written by {})",
+                            a.span, b.span, a.loc
+                        ),
+                    ));
+                    break 'ww;
                 }
             }
-            for (&node, ws) in &writes {
-                // Write-write: any overlapping pair with an overwrite.
-                'ww: for (i, a) in ws.iter().enumerate() {
-                    for b in &ws[i + 1..] {
-                        if overlaps(a.span, b.span) && !(a.combine && b.combine) && a.loc != b.loc {
-                            diags.push(Diagnostic::error(
-                                WRITE_WRITE,
-                                b.loc.on(node),
-                                format!(
-                                    "concurrent writes to overlapping regions {} and {} \
-                                     of node {node} (also written by {})",
-                                    a.span, b.span, a.loc
-                                ),
-                            ));
-                            break 'ww;
-                        }
-                    }
-                }
-                // Read-after-write: a concurrent overwrite under a reader.
-                if let Some(rs) = reads.get(&node) {
-                    'raw: for r in rs {
-                        for w in ws {
-                            if !w.combine && overlaps(r.span, w.span) && r.loc != w.loc {
-                                diags.push(Diagnostic::error(
-                                    READ_AFTER_WRITE,
-                                    r.loc.on(node),
-                                    format!(
-                                        "transfer reads {} of node {node} while {} \
-                                         concurrently overwrites {}",
-                                        r.span, w.loc, w.span
-                                    ),
-                                ));
-                                break 'raw;
-                            }
-                        }
+        }
+        // Read-after-write: a concurrent overwrite under a reader.
+        if let Some(rs) = reads.get(&node) {
+            'raw: for r in rs {
+                for w in ws {
+                    if !w.combine && overlaps(r.span, w.span) && r.loc != w.loc {
+                        diags.push(Diagnostic::error(
+                            READ_AFTER_WRITE,
+                            r.loc.on(node),
+                            format!(
+                                "transfer reads {} of node {node} while {} \
+                                 concurrently overwrites {}",
+                                r.span, w.loc, w.span
+                            ),
+                        ));
+                        break 'raw;
                     }
                 }
             }

@@ -30,6 +30,7 @@ use crate::collective::CollectiveKind;
 use crate::schedule::CommSchedule;
 
 pub mod diagnostics;
+pub mod incremental;
 pub mod presets;
 
 mod dataflow;
@@ -38,6 +39,10 @@ mod structural;
 mod sync;
 
 pub use diagnostics::{Diagnostic, Location, Severity};
+pub use incremental::{
+    reverify_delta, reverify_repair, verify_full, verify_full_arc, AnalysisSummary, DeltaStats,
+    PassState, ScheduleVerifier, StepVerdict,
+};
 
 /// Result of running every analysis pass over one schedule.
 ///

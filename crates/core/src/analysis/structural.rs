@@ -9,9 +9,9 @@
 //! reductions only appear in reducing collectives, and bufferless
 //! resources never carry two flows in a non-multiplexed step.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
-use crate::schedule::{CommSchedule, Transfer};
+use crate::schedule::{CommSchedule, CommStep, Transfer};
 use crate::topology::{ChipLoc, Resource};
 
 use super::diagnostics::{Diagnostic, Location};
@@ -41,8 +41,18 @@ pub const MALFORMED_RESULT_TABLE: &str = "P010";
 
 /// Runs the structural pass, appending findings to `diags`.
 pub(super) fn check(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
-    let g = &schedule.geometry;
-    let total = g.total_dpus();
+    check_prologue(schedule, diags);
+    for (pi, phase) in schedule.phases.iter().enumerate() {
+        for (si, step) in phase.steps.iter().enumerate() {
+            check_step(schedule, pi, si, step, phase.multiplexed, diags);
+        }
+    }
+}
+
+/// Schedule-level structural checks (the result-span table), independent
+/// of any step.
+pub(super) fn check_prologue(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
+    let total = schedule.geometry.total_dpus();
 
     if schedule.result_spans.len() != total as usize {
         diags.push(Diagnostic::error(
@@ -68,50 +78,56 @@ pub(super) fn check(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
             }
         }
     }
+}
 
-    for (pi, phase) in schedule.phases.iter().enumerate() {
-        for (si, step) in phase.steps.iter().enumerate() {
-            // A "flow" is a distinct (source, destination-set) pair, as in
-            // the validator: back-to-back transfers of one pair share a
-            // single scheduled slot on the wire.
-            let mut usage: HashMap<Resource, HashSet<(u32, Vec<u32>)>> = HashMap::new();
-            for (ti, t) in step.transfers.iter().enumerate() {
-                check_transfer(schedule, t, Location::at(pi, si, ti), diags);
-                if t.is_local() {
-                    continue;
-                }
-                let flow = (t.src.0, t.dsts.iter().map(|d| d.0).collect::<Vec<_>>());
-                for r in &t.resources {
-                    usage.entry(*r).or_default().insert(flow.clone());
-                }
+/// Structural checks for one step at `(pi, si)`; step-local by
+/// construction, so the incremental verifier calls it verbatim.
+pub(super) fn check_step(
+    schedule: &CommSchedule,
+    pi: usize,
+    si: usize,
+    step: &CommStep,
+    multiplexed: bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // A "flow" is a distinct (source, destination-set) pair, as in
+    // the validator: back-to-back transfers of one pair share a
+    // single scheduled slot on the wire. BTreeMap keeps the emission
+    // order independent of hash state.
+    let mut usage: BTreeMap<Resource, HashSet<(u32, Vec<u32>)>> = BTreeMap::new();
+    for (ti, t) in step.transfers.iter().enumerate() {
+        check_transfer(schedule, t, Location::at(pi, si, ti), diags);
+        if t.is_local() {
+            continue;
+        }
+        let flow = (t.src.0, t.dsts.iter().map(|d| d.0).collect::<Vec<_>>());
+        for r in &t.resources {
+            usage.entry(*r).or_default().insert(flow.clone());
+        }
+    }
+    if !multiplexed {
+        for (r, flows) in &usage {
+            if flows.len() > 1 && r.requires_exclusive_step() {
+                diags.push(Diagnostic::error(
+                    EXCLUSIVE_SHARING,
+                    Location::step(pi, si),
+                    format!(
+                        "bufferless resource {r} carries {} flows in a \
+                         non-multiplexed step",
+                        flows.len()
+                    ),
+                ));
             }
-            if !phase.multiplexed {
-                for (r, flows) in &usage {
-                    if flows.len() > 1 && r.requires_exclusive_step() {
-                        diags.push(Diagnostic::error(
-                            EXCLUSIVE_SHARING,
-                            Location::step(pi, si),
-                            format!(
-                                "bufferless resource {r} carries {} flows in a \
-                                 non-multiplexed step",
-                                flows.len()
-                            ),
-                        ));
-                    }
-                    if flows.len() > 1
-                        && matches!(r, Resource::ChipTx { .. } | Resource::ChipRx { .. })
-                    {
-                        diags.push(Diagnostic::error(
-                            EXCLUSIVE_SHARING,
-                            Location::step(pi, si),
-                            format!(
-                                "chip channel {r} carries {} flows in a \
-                                 non-multiplexed step",
-                                flows.len()
-                            ),
-                        ));
-                    }
-                }
+            if flows.len() > 1 && matches!(r, Resource::ChipTx { .. } | Resource::ChipRx { .. }) {
+                diags.push(Diagnostic::error(
+                    EXCLUSIVE_SHARING,
+                    Location::step(pi, si),
+                    format!(
+                        "chip channel {r} carries {} flows in a \
+                         non-multiplexed step",
+                        flows.len()
+                    ),
+                ));
             }
         }
     }

@@ -19,7 +19,7 @@
 //! * **Empty barrier** (`P303`, warning): a phase or step with no
 //!   transfers still costs a full READY/START round trip for nothing.
 
-use crate::schedule::{CommSchedule, Span};
+use crate::schedule::{CommSchedule, CommStep, Span};
 
 use super::diagnostics::{Diagnostic, Location};
 
@@ -37,8 +37,6 @@ fn overlaps(a: Span, b: Span) -> bool {
 
 /// Runs the sync pass, appending findings to `diags`.
 pub(super) fn check(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
-    let total = schedule.geometry.total_dpus();
-
     for (pi, phase) in schedule.phases.iter().enumerate() {
         if phase.steps.is_empty() {
             diags.push(Diagnostic::warning(
@@ -48,45 +46,54 @@ pub(super) fn check(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
             ));
         }
         for (si, step) in phase.steps.iter().enumerate() {
-            if step.transfers.is_empty() {
-                diags.push(Diagnostic::warning(
-                    EMPTY_BARRIER,
-                    Location::step(pi, si),
-                    "step has no transfers: a barrier with no work".into(),
-                ));
-            }
-            for (ti, t) in step.transfers.iter().enumerate() {
-                let loc = Location::at(pi, si, ti);
-                for id in std::iter::once(t.src).chain(t.dsts.iter().copied()) {
-                    if id.0 >= total {
-                        diags.push(Diagnostic::error(
-                            PARTITIONED_TREE,
-                            loc.on(id.0),
-                            format!(
-                                "transfer references {id} outside the geometry's {total} \
-                                 DPUs: the READY/START sync tree is partitioned and the \
-                                 step barrier can never fire"
-                            ),
-                        ));
-                    }
-                }
-            }
-            check_serialization(pi, si, step.transfers.len(), schedule, diags);
+            check_step(schedule, pi, si, step, diags);
         }
     }
+}
+
+/// Sync checks for one step at `(pi, si)`; step-local by construction, so
+/// the incremental verifier calls it verbatim. (The phase-level empty
+/// warning lives with the phase boundary, not here.)
+pub(super) fn check_step(
+    schedule: &CommSchedule,
+    pi: usize,
+    si: usize,
+    step: &CommStep,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let total = schedule.geometry.total_dpus();
+    if step.transfers.is_empty() {
+        diags.push(Diagnostic::warning(
+            EMPTY_BARRIER,
+            Location::step(pi, si),
+            "step has no transfers: a barrier with no work".into(),
+        ));
+    }
+    for (ti, t) in step.transfers.iter().enumerate() {
+        let loc = Location::at(pi, si, ti);
+        for id in std::iter::once(t.src).chain(t.dsts.iter().copied()) {
+            if id.0 >= total {
+                diags.push(Diagnostic::error(
+                    PARTITIONED_TREE,
+                    loc.on(id.0),
+                    format!(
+                        "transfer references {id} outside the geometry's {total} \
+                         DPUs: the READY/START sync tree is partitioned and the \
+                         step barrier can never fire"
+                    ),
+                ));
+            }
+        }
+    }
+    check_serialization(pi, si, step, diags);
 }
 
 /// Builds the must-precede relation of one step (transfer `a` before `b`
 /// iff `b` overwrites a region `a` reads on the same node) and reports a
 /// cycle if one exists.
-fn check_serialization(
-    pi: usize,
-    si: usize,
-    count: usize,
-    schedule: &CommSchedule,
-    diags: &mut Vec<Diagnostic>,
-) {
-    let transfers = &schedule.phases[pi].steps[si].transfers;
+fn check_serialization(pi: usize, si: usize, step: &CommStep, diags: &mut Vec<Diagnostic>) {
+    let transfers = &step.transfers;
+    let count = transfers.len();
     let mut edges: Vec<Vec<usize>> = vec![Vec::new(); count];
     for (a, ta) in transfers.iter().enumerate() {
         for (b, tb) in transfers.iter().enumerate() {

@@ -45,7 +45,7 @@ use pim_sim::{Probe, SimTime};
 use crate::collective::CollectiveKind;
 use crate::error::PimnetError;
 use crate::exec::{Element, ExecMachine, ReduceOp};
-use crate::resilience::{plan_degraded_at_epoch, DegradedPlan};
+use crate::resilience::{plan_degraded_probed_at_epoch, DegradedPlan};
 use crate::schedule::{CommSchedule, CommStep};
 use crate::sync::SyncModel;
 use crate::timing::TimingModel;
@@ -435,7 +435,7 @@ pub fn run_recovered_probed<T: Element>(
 
     loop {
         let inj = injector_with(base_cfg, &extra, &health);
-        let plan = plan_degraded_at_epoch(
+        let plan = plan_degraded_probed_at_epoch(
             req.kind,
             req.geometry,
             req.elems_per_node,
@@ -443,6 +443,7 @@ pub fn run_recovered_probed<T: Element>(
             &inj,
             req.system,
             epoch,
+            probe,
         )?;
         let tier = plan.tier();
         if probe.is_active() {

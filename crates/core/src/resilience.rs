@@ -182,6 +182,38 @@ pub fn plan_degraded_at_epoch(
     system: &SystemConfig,
     epoch: u64,
 ) -> Result<DegradedPlan, PimnetError> {
+    plan_degraded_probed_at_epoch(
+        kind,
+        geometry,
+        elems_per_node,
+        elem_bytes,
+        injector,
+        system,
+        epoch,
+        Probe::disabled(),
+    )
+}
+
+/// [`plan_degraded_at_epoch`] with analysis observability: the repaired
+/// tier's independent re-proof runs through the analysis-summary cache's
+/// delta re-lint, and each proof lands in `probe` as a `lint-*` trace
+/// event (with warmth-independent arguments). With a disabled probe this
+/// is exactly [`plan_degraded_at_epoch`].
+///
+/// # Errors
+///
+/// Same as [`plan_degraded`].
+#[allow(clippy::too_many_arguments)]
+pub fn plan_degraded_probed_at_epoch(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    injector: &FaultInjector,
+    system: &SystemConfig,
+    epoch: u64,
+    probe: &Probe,
+) -> Result<DegradedPlan, PimnetError> {
     let n = geometry.total_dpus();
     let permanent = if injector.has_permanent_faults() {
         injector.permanent_faults(
@@ -218,17 +250,37 @@ pub fn plan_degraded_at_epoch(
         if permanent.is_empty() {
             return Ok(DegradedPlan::Full(schedule));
         }
-        match repair::repair(&schedule, &permanent) {
+        match cache::repair_cached_at_epoch(
+            kind,
+            geometry,
+            elems_per_node,
+            elem_bytes,
+            &permanent,
+            epoch,
+            Probe::disabled(),
+        ) {
             // Faults that this schedule never routes over need no repair:
             // the untouched plan is still the Full tier.
-            Ok(r) if r.report.is_identity() => return Ok(DegradedPlan::Full(r.schedule)),
+            Ok(r) if r.report.is_identity() => return Ok(DegradedPlan::Full(r.schedule.clone())),
             Ok(r) => {
                 // The Repaired tier promises bit-identical results, so the
                 // rewritten schedule is independently re-proven by the
                 // static analyzer rather than trusted: if any pass finds
                 // an error, the repair is discarded and the collective is
                 // handed to the host with the proof failure on record.
-                let analysis = crate::analysis::run_all(&r.schedule);
+                // The proof is a delta re-lint against the cached base
+                // summary (byte-identical to a batch `run_all`), so a
+                // replan re-proves only what the repair touched.
+                let (summary, _delta) = cache::analyze_repaired_cached_at_epoch(
+                    kind,
+                    geometry,
+                    elems_per_node,
+                    elem_bytes,
+                    &permanent,
+                    epoch,
+                    probe,
+                )?;
+                let analysis = &summary.report;
                 if analysis.has_errors() {
                     let first = analysis
                         .diagnostics
@@ -252,7 +304,7 @@ pub fn plan_degraded_at_epoch(
                     );
                 }
                 return Ok(DegradedPlan::Repaired {
-                    schedule: r.schedule,
+                    schedule: r.schedule.clone(),
                     report: r.report,
                 });
             }
@@ -354,7 +406,16 @@ pub fn plan_degraded_probed(
     system: &SystemConfig,
     probe: &Probe,
 ) -> Result<DegradedPlan, PimnetError> {
-    let plan = plan_degraded(kind, geometry, elems_per_node, elem_bytes, injector, system)?;
+    let plan = plan_degraded_probed_at_epoch(
+        kind,
+        geometry,
+        elems_per_node,
+        elem_bytes,
+        injector,
+        system,
+        0,
+        probe,
+    )?;
     if probe.is_active() {
         let tier = plan.tier();
         let excluded = match &plan {

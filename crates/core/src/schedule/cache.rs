@@ -41,6 +41,7 @@ use pim_faults::permanent::PermanentFaultSet;
 use pim_sim::trace::codes;
 use pim_sim::{Probe, SimTime};
 
+use crate::analysis::{self, AnalysisSummary, DeltaStats};
 use crate::collective::CollectiveKind;
 use crate::error::PimnetError;
 
@@ -469,6 +470,224 @@ pub fn repair_cached_at_epoch(
     }
 }
 
+// ---------------------------------------------------------------------
+// Analysis-summary cache: pass summaries memoized alongside the
+// schedules they prove, so a warm hit skips re-proving entirely and a
+// repaired variant re-proves only its delta against the cached base.
+// ---------------------------------------------------------------------
+
+/// One memoized verification: the summary, plus (for repaired entries)
+/// the delta-work stats of the original proof. The stats are cached so
+/// the `lint-delta` trace event carries identical arguments on hits and
+/// misses — traces must not depend on cache warmth.
+#[derive(Debug)]
+struct LintEntry {
+    summary: Arc<AnalysisSummary>,
+    delta: Option<DeltaStats>,
+}
+
+static LINT_HITS: AtomicU64 = AtomicU64::new(0);
+static LINT_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn lint_table() -> &'static Mutex<HashMap<Key, Arc<LintEntry>>> {
+    static TABLE: OnceLock<Mutex<HashMap<Key, Arc<LintEntry>>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock_lint_table() -> std::sync::MutexGuard<'static, HashMap<Key, Arc<LintEntry>>> {
+    match lint_table().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Looks a summary up; on a miss, verifies outside the lock. Two workers
+/// racing the same cold key may both verify, but the first insert wins
+/// and both produce byte-identical summaries, so the race is unobservable
+/// in results.
+fn lint_get_or_build(
+    key: Key,
+    build: impl FnOnce() -> Result<LintEntry, PimnetError>,
+) -> Result<Arc<LintEntry>, PimnetError> {
+    if let Some(e) = lock_lint_table().get(&key).cloned() {
+        LINT_HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(e);
+    }
+    LINT_MISSES.fetch_add(1, Ordering::Relaxed);
+    let built = Arc::new(build()?);
+    Ok(lock_lint_table().entry(key).or_insert(built).clone())
+}
+
+/// Emits one `lint-*` trace event. Exactly one event per analyze call,
+/// with arguments derived from the (warmth-independent) summary — never
+/// from hit/miss state — so run-after-run traces stay byte-identical.
+fn record_lint_event(code: u16, kind: CollectiveKind, dpus: u32, a2: u64, a3: u64, probe: &Probe) {
+    if !probe.is_active() {
+        return;
+    }
+    probe
+        .trace
+        .instant(SimTime::ZERO, code, [kind as u64, u64::from(dpus), a2, a3]);
+}
+
+/// The cached plain-schedule summary, without emitting any event (shared
+/// by the public analyze entry points, which each emit exactly one).
+fn plain_summary_at_epoch(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    epoch: u64,
+) -> Result<Arc<AnalysisSummary>, PimnetError> {
+    let key = Key {
+        kind,
+        geometry: *geometry,
+        elems_per_node,
+        elem_bytes,
+        repair: EMPTY_FAULTS,
+        repaired: false,
+        epoch,
+    };
+    let entry = lint_get_or_build(key, || {
+        let schedule = build_cached_at_epoch(
+            kind,
+            geometry,
+            elems_per_node,
+            elem_bytes,
+            epoch,
+            Probe::disabled(),
+        )?;
+        Ok(LintEntry {
+            summary: Arc::new(analysis::verify_full_arc(schedule)),
+            delta: None,
+        })
+    })?;
+    Ok(entry.summary.clone())
+}
+
+/// Verifies (or recalls the verification of) the plain schedule for
+/// `kind` on `geometry`: a full four-pass [`AnalysisSummary`] whose
+/// report is byte-identical to [`crate::analysis::run_all`] on the built
+/// schedule. Warm hits skip re-proving entirely. Emits one `lint-full`
+/// trace event per call (hit or miss alike).
+///
+/// # Errors
+///
+/// Whatever [`build_cached`] returns. Analysis itself never errors — a
+/// broken schedule yields a summary whose report has errors.
+pub fn analyze_cached(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    probe: &Probe,
+) -> Result<Arc<AnalysisSummary>, PimnetError> {
+    analyze_cached_at_epoch(kind, geometry, elems_per_node, elem_bytes, 0, probe)
+}
+
+/// [`analyze_cached`] under a degradation/health `epoch` (see
+/// [`build_cached_at_epoch`]).
+///
+/// # Errors
+///
+/// Whatever [`build_cached`] returns.
+pub fn analyze_cached_at_epoch(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    epoch: u64,
+    probe: &Probe,
+) -> Result<Arc<AnalysisSummary>, PimnetError> {
+    let summary = plain_summary_at_epoch(kind, geometry, elems_per_node, elem_bytes, epoch)?;
+    record_lint_event(
+        codes::LINT_FULL,
+        kind,
+        geometry.total_dpus(),
+        summary.steps() as u64,
+        summary.report.error_count() as u64,
+        probe,
+    );
+    Ok(summary)
+}
+
+/// Verifies (or recalls the verification of) the *repaired* schedule for
+/// `kind` under `faults`, by delta re-lint against the cached base
+/// summary: only the steps the repair dirtied (and their
+/// state-dependent suffix) are re-proven. The returned report is
+/// byte-identical to a from-scratch [`crate::analysis::run_all`] of the
+/// repaired schedule. Emits one `lint-delta` trace event per call, whose
+/// arguments come from the cached [`DeltaStats`] — identical on hits and
+/// misses.
+///
+/// # Errors
+///
+/// Whatever [`build_cached`] or [`repair`](super::repair::repair) return.
+pub fn analyze_repaired_cached_at_epoch(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    faults: &PermanentFaultSet,
+    epoch: u64,
+    probe: &Probe,
+) -> Result<(Arc<AnalysisSummary>, DeltaStats), PimnetError> {
+    let key = Key {
+        kind,
+        geometry: *geometry,
+        elems_per_node,
+        elem_bytes,
+        repair: fault_fingerprint(faults),
+        repaired: true,
+        epoch,
+    };
+    let entry = lint_get_or_build(key, || {
+        let base = plain_summary_at_epoch(kind, geometry, elems_per_node, elem_bytes, epoch)?;
+        let repaired = repair_cached_at_epoch(
+            kind,
+            geometry,
+            elems_per_node,
+            elem_bytes,
+            faults,
+            epoch,
+            Probe::disabled(),
+        )?;
+        let (summary, delta) = analysis::reverify_repair(&base, &repaired);
+        Ok(LintEntry {
+            summary: Arc::new(summary),
+            delta: Some(delta),
+        })
+    })?;
+    let delta = entry.delta.unwrap_or_default();
+    record_lint_event(
+        codes::LINT_DELTA,
+        kind,
+        geometry.total_dpus(),
+        delta.reused() as u64,
+        delta.relinted as u64,
+        probe,
+    );
+    Ok((entry.summary.clone(), delta))
+}
+
+/// Running analysis-cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LintCacheStats {
+    /// Analyze calls answered from the cache.
+    pub hits: u64,
+    /// Analyze calls that had to (re-)prove a schedule.
+    pub misses: u64,
+}
+
+/// Current analysis-cache counters.
+#[must_use]
+pub fn lint_stats() -> LintCacheStats {
+    LintCacheStats {
+        hits: LINT_HITS.load(Ordering::Relaxed),
+        misses: LINT_MISSES.load(Ordering::Relaxed),
+    }
+}
+
 /// Current counters.
 #[must_use]
 pub fn stats() -> CacheStats {
@@ -484,12 +703,15 @@ pub fn reset_stats() {
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
     BUILT.store(0, Ordering::Relaxed);
+    LINT_HITS.store(0, Ordering::Relaxed);
+    LINT_MISSES.store(0, Ordering::Relaxed);
 }
 
-/// Drops every cached schedule (counters stay). Benchmarks use this to
-/// measure cold-cache builds.
+/// Drops every cached schedule and analysis summary (counters stay).
+/// Benchmarks use this to measure cold-cache builds.
 pub fn clear() {
     lock_table().clear();
+    lock_lint_table().clear();
 }
 
 #[cfg(test)]

@@ -767,6 +767,18 @@ impl Engine<'_> {
                 [u64::from(self.level), backlog as u64, now_ps, 0],
             );
             self.probe.metrics.serve_ladder(u64::from(self.level));
+            if self.level == 1 {
+                // Entering degraded chunking: pre-prove each tenant's
+                // halved-chunk schedule now, so the first degraded
+                // dispatch hits a warm analysis summary instead of
+                // paying a full proof on the hot path. Build errors are
+                // left for dispatch to surface with request context.
+                let chunk = (self.cfg.chunk_elems / 2).max(1);
+                for t in &self.cfg.tenants {
+                    let _ =
+                        cache::analyze_cached(t.kind, &t.geometry, chunk, t.elem_bytes, self.probe);
+                }
+            }
         }
     }
 
@@ -963,6 +975,19 @@ impl Engine<'_> {
         let nchunks = (full_chunks + usize::from(tail > 0)).max(1);
         let mut chan_busy = vec![now_ps; t.channels.max(1) as usize];
         let price = |elems: usize| -> Result<u64, PimnetError> {
+            // Prove the chunk schedule before pricing it (warm hits in
+            // the analysis-summary cache skip re-proving): the serving
+            // hot path never dispatches an unverified schedule.
+            let summary =
+                cache::analyze_cached(t.kind, &t.geometry, elems, t.elem_bytes, self.probe)?;
+            if summary.report.has_errors() {
+                return Err(PimnetError::ScheduleInvalid {
+                    reason: format!(
+                        "chunk schedule failed static analysis ({} error(s))",
+                        summary.report.error_count()
+                    ),
+                });
+            }
             let s =
                 cache::build_cached_probed(t.kind, &t.geometry, elems, t.elem_bytes, self.probe)?;
             Ok(state

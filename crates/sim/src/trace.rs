@@ -133,6 +133,16 @@ pub mod codes {
     /// The engine-wide overload ladder ratcheted up a level.
     /// Args: `[level, backlog, t_ps, 0]`.
     pub const SERVE_LADDER: u16 = 0x0907;
+
+    /// A schedule was verified from scratch (batch or streaming).
+    /// Args: `[kind, dpus, steps, error_count]`. Emitted once per
+    /// analyze call regardless of cache warmth, so traces stay
+    /// run-to-run identical.
+    pub const LINT_FULL: u16 = 0x0A01;
+    /// A schedule variant was re-verified with the delta re-lint.
+    /// Args: `[kind, dpus, steps_reused, steps_relinted]`. Emitted once
+    /// per analyze call regardless of cache warmth.
+    pub const LINT_DELTA: u16 = 0x0A02;
 }
 
 /// Subsystem groups (the high byte of an event code).
@@ -155,6 +165,8 @@ pub mod group {
     pub const RECOVERY: u8 = 0x08;
     /// Multi-tenant serving engine (`pimnet::serve`).
     pub const SERVE: u8 = 0x09;
+    /// Static schedule analysis (`pimnet::analysis`).
+    pub const LINT: u8 = 0x0A;
 }
 
 /// The subsystem group of a code (its high byte).
@@ -200,6 +212,8 @@ pub const fn code_name(code: u16) -> &'static str {
         codes::SERVE_DONE => "serve-done",
         codes::SERVE_QUARANTINE => "serve-quarantine",
         codes::SERVE_LADDER => "serve-ladder",
+        codes::LINT_FULL => "lint-full",
+        codes::LINT_DELTA => "lint-delta",
         _ => "unknown",
     }
 }
@@ -621,6 +635,8 @@ mod tests {
             codes::SERVE_DONE,
             codes::SERVE_QUARANTINE,
             codes::SERVE_LADDER,
+            codes::LINT_FULL,
+            codes::LINT_DELTA,
         ] {
             assert_ne!(code_name(code), "unknown", "{code:#06x} unnamed");
         }
@@ -628,5 +644,6 @@ mod tests {
         assert_eq!(code_group(codes::CACHE_HIT), group::CACHE);
         assert_eq!(code_group(codes::RECOV_STEP), group::RECOVERY);
         assert_eq!(code_group(codes::SERVE_ADMIT), group::SERVE);
+        assert_eq!(code_group(codes::LINT_FULL), group::LINT);
     }
 }

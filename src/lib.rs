@@ -5,6 +5,8 @@
 //! a single dependency. Library users should depend on the individual crates
 //! ([`pimnet`], [`pim_arch`], [`pim_workloads`], ...) directly.
 
+#![forbid(unsafe_code)]
+
 pub use pim_arch as arch;
 pub use pim_faults as faults;
 pub use pim_noc as noc;

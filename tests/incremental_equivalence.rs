@@ -1,0 +1,242 @@
+//! Differential equivalence harness for the incremental verifier: the
+//! streaming fold ([`analysis::verify_full`]) and the delta re-lint
+//! ([`analysis::reverify_delta`] / [`analysis::reverify_repair`]) must
+//! produce reports **byte-identical** to the batch analyzer
+//! ([`analysis::run_all`]) — same codes, same rendered messages, same
+//! order — over the full fuzzer corpus (the validator fuzzer's 1000
+//! seeded single mutations), the builder matrix, and repaired storm
+//! schedules, at 1, 2, and 8 workers.
+//!
+//! Byte-identity is the soundness statement: a mutant the batch analyzer
+//! rejects that the delta path accepts would be an unsound accept, and
+//! any divergence at all fails the `assert_eq!` on the rendered report.
+
+use std::sync::Arc;
+
+use pim_arch::geometry::{DpuId, PimGeometry};
+use pimnet_suite::net::analysis;
+use pimnet_suite::net::collective::CollectiveKind;
+use pimnet_suite::net::schedule::{repair, CommSchedule, Span};
+use pimnet_suite::sim::{par, SimRng};
+
+/// Renders a report both ways the repo compares them: the exact human
+/// rendering and the exact JSON. Any difference in either is a failure.
+fn fingerprint(report: &analysis::AnalysisReport) -> String {
+    format!("{report}\n{}", report.to_json())
+}
+
+/// Asserts the three drivers agree on `schedule`, given the verified
+/// summary of `base` to delta from, and returns the batch fingerprint.
+fn check_one(label: &str, base: &analysis::AnalysisSummary, schedule: &CommSchedule) -> String {
+    let batch = analysis::run_all(schedule);
+    let batch_fp = fingerprint(&batch);
+
+    let streamed = analysis::verify_full(schedule);
+    assert_eq!(
+        batch_fp,
+        fingerprint(&streamed.report),
+        "{label}: streaming verifier diverged from batch"
+    );
+
+    let (delta, stats) = analysis::reverify_delta(base, Arc::new(schedule.clone()));
+    assert_eq!(
+        batch_fp,
+        fingerprint(&delta.report),
+        "{label}: delta re-lint diverged from batch \
+         (reused {} of {} steps, {} re-linted)",
+        stats.reused(),
+        stats.steps_total,
+        stats.relinted
+    );
+    batch_fp
+}
+
+/// One corpus case: the validator fuzzer's mutation recipe (same seeds,
+/// same geometry/kind/site/op draws), adjudicated for byte-identity
+/// instead of executor agreement. Pure function of the seed, so the
+/// fan-out is worker-count independent.
+fn mutation_case(seed: u64) -> String {
+    let mut rng = SimRng::seed_from_u64(0xBEEF_0000 ^ seed);
+    let dpus = [8u32, 16][rng.below(2) as usize];
+    let kind = CollectiveKind::ALL[rng.below(7) as usize];
+    let g = PimGeometry::paper_scaled(dpus);
+    let mut s = CommSchedule::build(kind, &g, 64, 4).unwrap();
+    let total = g.total_dpus();
+
+    // The base schedule is verified once; every mutant deltas from it.
+    let base = analysis::verify_full(&s);
+    assert_eq!(
+        fingerprint(&analysis::run_all(&s)),
+        fingerprint(&base.report),
+        "seed {seed}: streaming verifier diverged on the unmutated base"
+    );
+
+    let sites: Vec<(usize, usize, usize)> = s
+        .phases
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, p)| {
+            p.steps.iter().enumerate().flat_map(move |(si, st)| {
+                st.transfers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !t.is_local())
+                    .map(move |(ti, _)| (pi, si, ti))
+            })
+        })
+        .collect();
+    let (pi, si, ti) = sites[rng.below(sites.len() as u64) as usize];
+    let op = rng.below(6);
+    let step = &mut s.phases[pi].steps[si];
+    match op {
+        0 => {
+            step.transfers.remove(ti);
+        }
+        1 => {
+            let t = &mut step.transfers[ti];
+            t.dsts[0] = DpuId((t.dsts[0].0 + 1) % total);
+        }
+        2 => {
+            let t = &mut step.transfers[ti];
+            t.dst_span = Span::new(t.dst_span.start + 1, t.dst_span.len);
+        }
+        3 => {
+            let t = &mut step.transfers[ti];
+            t.src = DpuId((t.src.0 + 1) % total);
+        }
+        4 => {
+            let t = &mut step.transfers[ti];
+            if t.src_span.len > 1 {
+                t.src_span = Span::new(t.src_span.start, t.src_span.len - 1);
+                t.dst_span = Span::new(t.dst_span.start, t.dst_span.len - 1);
+            } else {
+                step.transfers.remove(ti);
+            }
+        }
+        _ => {
+            let t = &mut step.transfers[ti];
+            t.combine = !t.combine;
+        }
+    }
+
+    let label = format!("seed {seed} ({kind} x{dpus} op {op})");
+    format!("{label}\n{}", check_one(&label, &base, &s))
+}
+
+/// The full 1000-seed mutation corpus, checked for three-way
+/// byte-identity at 1, 2, and 8 workers: each case already asserts
+/// incremental == batch internally, and the concatenated fingerprints
+/// must not depend on the worker count either.
+#[test]
+fn mutation_corpus_is_byte_identical_at_every_worker_count() {
+    const TOTAL: u64 = 1000;
+    let reference = par::map_ordered_with(1, (0..TOTAL).collect(), mutation_case).join("\n");
+    for workers in [2usize, 8] {
+        let got = par::map_ordered_with(workers, (0..TOTAL).collect(), mutation_case).join("\n");
+        assert_eq!(
+            reference, got,
+            "corpus fingerprints diverged between 1 and {workers} workers"
+        );
+    }
+}
+
+/// Builder matrix: every collective on small/medium geometries and both
+/// an aligned and a deliberately awkward payload size.
+#[test]
+fn builder_matrix_streaming_matches_batch() {
+    for kind in CollectiveKind::ALL {
+        for dpus in [2u32, 8, 64] {
+            for elems in [64usize, 193] {
+                let g = PimGeometry::paper_scaled(dpus);
+                let s = CommSchedule::build(kind, &g, elems, 4).unwrap();
+                let base = analysis::verify_full(&s);
+                let label = format!("{kind} x{dpus} e{elems}");
+                // Delta of a schedule against its own summary must also
+                // reproduce the batch report while reusing every step.
+                let (delta, stats) = analysis::reverify_delta(&base, Arc::new(s.clone()));
+                assert_eq!(
+                    fingerprint(&analysis::run_all(&s)),
+                    fingerprint(&delta.report),
+                    "{label}: identity delta diverged"
+                );
+                assert_eq!(stats.relinted, 0, "{label}: identity delta re-linted");
+                assert_eq!(fingerprint(&base.report), fingerprint(&delta.report));
+            }
+        }
+    }
+}
+
+/// Storm corpus: repaired schedules re-proven by `reverify_repair`
+/// against the fault-free base summary must match a batch run over the
+/// repaired schedule, byte for byte.
+#[test]
+fn repaired_storm_schedules_delta_matches_batch() {
+    let mut storms = 0usize;
+    for round in 0..24u64 {
+        let mut rng = SimRng::seed_from_u64(0x57A2 ^ round);
+        let dpus = [8u32, 16, 64][rng.below(3) as usize];
+        let kind = CollectiveKind::ALL[rng.below(7) as usize];
+        let g = PimGeometry::paper_scaled(dpus);
+        let s = CommSchedule::build(kind, &g, 64, 4).unwrap();
+        let cfg = pimnet_suite::faults::FaultConfig {
+            perm_rates: pimnet_suite::faults::PermanentFaultRates {
+                segment_prob: 0.04,
+                port_prob: 0.04,
+                rank_prob: 0.0,
+            },
+            ..pimnet_suite::faults::FaultConfig::none()
+        }
+        .with_seed(0x57A2 ^ round);
+        let injector = pimnet_suite::faults::FaultInjector::new(cfg);
+        let faults =
+            injector.permanent_faults(g.ranks_per_channel, g.chips_per_rank, g.banks_per_chip);
+        if faults.is_empty() || !repair::unusable_dpus(&g, &faults).is_empty() {
+            continue;
+        }
+        let Ok(r) = repair::repair(&s, &faults) else {
+            continue;
+        };
+        storms += 1;
+        let base = analysis::verify_full(&s);
+        let batch = analysis::run_all(&r.schedule);
+        let (delta, stats) = analysis::reverify_repair(&base, &r);
+        assert_eq!(
+            fingerprint(&batch),
+            fingerprint(&delta.report),
+            "round {round} ({kind} x{dpus}): repaired delta diverged from batch \
+             ({} re-linted of {})",
+            stats.relinted,
+            stats.steps_total
+        );
+    }
+    assert!(storms >= 8, "storm corpus too thin: only {storms} repairs");
+}
+
+/// A mutation in the *suffix* region must not be masked by cached suffix
+/// adoption: the delta path has to notice the content change, re-lint
+/// it, and report exactly what batch reports.
+#[test]
+fn suffix_mutations_are_never_masked() {
+    let g = PimGeometry::paper_scaled(16);
+    let s = CommSchedule::build(CollectiveKind::AllReduce, &g, 64, 4).unwrap();
+    let base = analysis::verify_full(&s);
+    // Mutate the last non-local transfer in the schedule.
+    let mut m = s.clone();
+    let mut site = None;
+    for (pi, p) in m.phases.iter().enumerate() {
+        for (si, st) in p.steps.iter().enumerate() {
+            for (ti, t) in st.transfers.iter().enumerate() {
+                if !t.is_local() {
+                    site = Some((pi, si, ti));
+                }
+            }
+        }
+    }
+    let (pi, si, ti) = site.expect("a non-local transfer");
+    let t = &mut m.phases[pi].steps[si].transfers[ti];
+    t.dst_span = Span::new(t.dst_span.start + 1, t.dst_span.len);
+    let batch = analysis::run_all(&m);
+    let (delta, stats) = analysis::reverify_delta(&base, Arc::new(m));
+    assert_eq!(fingerprint(&batch), fingerprint(&delta.report));
+    assert!(stats.relinted >= 1, "suffix mutation re-linted nothing");
+}
