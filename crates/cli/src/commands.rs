@@ -19,7 +19,7 @@ USAGE:
   pimnet-cli workload   --name <BFS|CC|MLP|GEMV|EMB_Synth|EMB_RM1..3|NTT|SpMV|Join>
                     [--backend B|S|N|D|P|all]
   pimnet-cli suite
-  pimnet-cli schedule   --kind <coll> [--dpus <n>] [--elems <n>]
+  pimnet-cli schedule   --kind <coll> [--dpus <n>] [--elems <n>] [--boost]
   pimnet-cli noc        --kind <coll> [--dpus <n>] [--elems <n>] [--jitter-us <f>]
                     [--fault-seed <n>] [--fault-config <path>]
   pimnet-cli faults     --kind <coll> [--dpus <n>] [--elems <n>]
@@ -64,6 +64,10 @@ USAGE:
   schedule/noc/faults/repair also accept --metrics: run the same
   computation with the metrics sink attached and print the aggregated
   report (per-tier bytes, link-busy time, barrier waits, retries, ...).
+  schedule --boost additionally thins the schedule to the representative
+  slice used by boost mode and prints the kept/total transfer counts and
+  the analytically reconstructed end-to-end time (exact on the builder's
+  symmetric collectives).
 
   lint runs the static analyzer (structural, sync, hazard, dataflow passes)
   over a schedule without executing it, and exits non-zero on any
@@ -401,7 +405,10 @@ fn metrics_probe(flags: &Flags) -> pim_sim::Probe {
 }
 
 fn schedule(flags: &Flags) -> Result<(), String> {
-    warn_unknown(flags, &["kind", "dpus", "elems", "timeline", "metrics"]);
+    warn_unknown(
+        flags,
+        &["kind", "dpus", "elems", "timeline", "metrics", "boost"],
+    );
     let kind = parse_kind(flags.require("kind")?)?;
     let dpus: u32 = flags.num_or("dpus", 256)?;
     let elems: usize = flags.num_or("elems", 8192)?;
@@ -445,6 +452,19 @@ fn schedule(flags: &Flags) -> Result<(), String> {
         energy.schedule_energy_uj(&s),
         energy.breakdown_uj(&s)
     );
+    if flags.get_or("boost", "false").eq_ignore_ascii_case("true") {
+        let timing = pimnet::timing::TimingModel::paper();
+        let plan = pimnet::schedule::boost::plan(&s);
+        let boosted = plan.breakdown(&timing, pim_sim::SimTime::ZERO);
+        println!(
+            "boost: {} of {} transfers kept ({:.1}x reduction), \
+             reconstructed total {}",
+            plan.kept_transfers,
+            plan.total_transfers,
+            plan.reduction(),
+            boosted.total()
+        );
+    }
     if let Ok(path) = flags.require("timeline") {
         let timeline = pimnet::timeline::Timeline::build(&s, &pimnet::timing::TimingModel::paper());
         std::fs::write(path, timeline.to_csv()).map_err(|e| e.to_string())?;

@@ -32,7 +32,7 @@
 use std::sync::Arc;
 
 use crate::collective::CollectiveKind;
-use crate::schedule::{CommSchedule, CommStep, Span};
+use crate::schedule::{ScheduleHeader, ScheduleView, Span, StepRef};
 
 use super::diagnostics::{Diagnostic, Location};
 
@@ -233,16 +233,16 @@ impl PartialEq for DataflowState {
 
 impl DataflowState {
     /// Initial placement, mirroring `ExecMachine::init`.
-    pub(super) fn new(schedule: &CommSchedule) -> DataflowState {
-        let total = schedule.geometry.total_dpus();
-        let n = schedule.elems_per_node;
+    pub(super) fn new(hdr: &ScheduleHeader<'_>) -> DataflowState {
+        let total = hdr.geometry.total_dpus();
+        let n = hdr.elems_per_node;
         let state = (0..total)
             .map(|i| {
-                let offset = match schedule.kind {
+                let offset = match hdr.kind {
                     CollectiveKind::AllGather | CollectiveKind::Gather => i as usize * n,
                     _ => 0,
                 };
-                Arc::new(if n == 0 || offset + n > schedule.buffer_len {
+                Arc::new(if n == 0 || offset + n > hdr.buffer_len {
                     Vec::new()
                 } else {
                     vec![Run {
@@ -260,26 +260,26 @@ impl DataflowState {
     /// in transfer order — appending any provenance findings to `diags`.
     pub(super) fn feed_step(
         &mut self,
-        schedule: &CommSchedule,
+        hdr: &ScheduleHeader<'_>,
         pi: usize,
         si: usize,
-        step: &CommStep,
+        step: StepRef<'_>,
         diags: &mut Vec<Diagnostic>,
     ) {
-        let total = schedule.geometry.total_dpus();
+        let total = hdr.geometry.total_dpus();
         if total == 0 {
             return;
         }
-        let mut deliveries: Vec<Delivery> = Vec::with_capacity(step.transfers.len());
-        for (ti, t) in step.transfers.iter().enumerate() {
+        let mut deliveries: Vec<Delivery> = Vec::with_capacity(step.len());
+        for (ti, t) in step.transfers().enumerate() {
             let loc = Location::at(pi, si, ti);
             // Transfers the structural/sync passes already rejected
             // cannot be interpreted; skip them rather than panic.
             if t.src.0 >= total
                 || t.dsts.iter().any(|d| d.0 >= total)
                 || t.src_span.len != t.dst_span.len
-                || t.src_span.end() > schedule.buffer_len
-                || t.dst_span.end() > schedule.buffer_len
+                || t.src_span.end() > hdr.buffer_len
+                || t.dst_span.end() > hdr.buffer_len
             {
                 continue;
             }
@@ -305,7 +305,7 @@ impl DataflowState {
                     contrib: p.contrib,
                 })
                 .collect();
-            for &dst in &t.dsts {
+            for &dst in t.dsts {
                 deliveries.push(Delivery {
                     dst: dst.index(),
                     dst_span: t.dst_span,
@@ -340,17 +340,18 @@ impl DataflowState {
 }
 
 /// Runs the dataflow pass, appending findings to `diags`.
-pub(super) fn check(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
-    if schedule.geometry.total_dpus() == 0 {
+pub(super) fn check<S: ScheduleView>(schedule: &S, diags: &mut Vec<Diagnostic>) {
+    let hdr = schedule.header();
+    if hdr.geometry.total_dpus() == 0 {
         return;
     }
-    let mut state = DataflowState::new(schedule);
-    for (pi, phase) in schedule.phases.iter().enumerate() {
-        for (si, step) in phase.steps.iter().enumerate() {
-            state.feed_step(schedule, pi, si, step, diags);
+    let mut state = DataflowState::new(&hdr);
+    for pi in 0..schedule.phase_count() {
+        for si in 0..schedule.steps_in(pi) {
+            state.feed_step(&hdr, pi, si, schedule.step(pi, si), diags);
         }
     }
-    final_check(schedule, &state, diags);
+    final_check(&hdr, &state, diags);
 }
 
 /// Reduces a delivery's payload pieces into a node's runs, in place.
@@ -434,20 +435,20 @@ enum Expect {
 /// Checks every node's declared result spans against the collective's
 /// expected provenance.
 pub(super) fn final_check(
-    schedule: &CommSchedule,
+    hdr: &ScheduleHeader<'_>,
     state: &DataflowState,
     diags: &mut Vec<Diagnostic>,
 ) {
-    let total = schedule.geometry.total_dpus();
+    let total = hdr.geometry.total_dpus();
     if total == 0 {
         return;
     }
-    let n = schedule.elems_per_node;
-    if schedule.result_spans.len() != total as usize {
+    let n = hdr.elems_per_node;
+    if hdr.result_spans.len() != total as usize {
         return; // structural P010 already fired
     }
 
-    let chunk = if schedule.kind == CollectiveKind::AllToAll {
+    let chunk = if hdr.kind == CollectiveKind::AllToAll {
         if total == 0 || !n.is_multiple_of(total as usize) {
             diags.push(Diagnostic::error(
                 RESULT_SHAPE,
@@ -462,9 +463,9 @@ pub(super) fn final_check(
     };
 
     for i in 0..total {
-        let spans = &schedule.result_spans[i as usize];
+        let spans = &hdr.result_spans[i as usize];
         let got_len: usize = spans.iter().map(|s| s.len).sum();
-        let expected_len = match schedule.kind {
+        let expected_len = match hdr.kind {
             CollectiveKind::AllReduce | CollectiveKind::Broadcast | CollectiveKind::AllToAll => n,
             CollectiveKind::ReduceScatter => got_len, // partition checked globally below
             CollectiveKind::Reduce => usize::from(i == 0) * n,
@@ -479,7 +480,7 @@ pub(super) fn final_check(
             ));
             continue;
         }
-        let expect = match schedule.kind {
+        let expect = match hdr.kind {
             CollectiveKind::AllReduce | CollectiveKind::Reduce => Expect::FullAtConcat,
             CollectiveKind::ReduceScatter => Expect::FullInPlace,
             CollectiveKind::Broadcast => Expect::Blocks {
@@ -498,14 +499,14 @@ pub(super) fn final_check(
                 elem0: |_j, i, block| i * block,
             },
         };
-        check_node(schedule, state, i, &expect, diags);
+        check_node(hdr, state, i, &expect, diags);
     }
 
     // ReduceScatter's spans must partition the reduced vector exactly
     // once across all nodes.
-    if schedule.kind == CollectiveKind::ReduceScatter {
+    if hdr.kind == CollectiveKind::ReduceScatter {
         let mut owned = vec![0u8; n];
-        for spans in &schedule.result_spans {
+        for spans in hdr.result_spans {
             for span in spans {
                 for idx in span.range() {
                     if idx < n {
@@ -531,19 +532,19 @@ pub(super) fn final_check(
 /// Verifies one node's result spans against `expect`, walking runs and
 /// expectation blocks piecewise.
 fn check_node(
-    schedule: &CommSchedule,
+    hdr: &ScheduleHeader<'_>,
     state: &DataflowState,
     node: u32,
     expect: &Expect,
     diags: &mut Vec<Diagnostic>,
 ) {
-    let total = schedule.geometry.total_dpus();
+    let total = hdr.geometry.total_dpus();
     let full = NodeSet::full(total);
     let runs = &state.state[node as usize];
     let mut k = 0usize; // concatenated result position
     let (mut flagged_prov, mut flagged_elem) = (false, false);
-    for span in &schedule.result_spans[node as usize] {
-        if span.end() > schedule.buffer_len {
+    for span in &hdr.result_spans[node as usize] {
+        if span.end() > hdr.buffer_len {
             k += span.len;
             continue; // structural P010 already fired
         }

@@ -22,7 +22,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::schedule::{CommSchedule, CommStep, Span};
+use crate::schedule::{ScheduleView, Span, StepRef};
 
 use super::diagnostics::{Diagnostic, Location};
 
@@ -43,10 +43,10 @@ fn overlaps(a: Span, b: Span) -> bool {
 }
 
 /// Runs the hazard pass, appending findings to `diags`.
-pub(super) fn check(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
-    for (pi, phase) in schedule.phases.iter().enumerate() {
-        for (si, step) in phase.steps.iter().enumerate() {
-            check_step(pi, si, step, diags);
+pub(super) fn check<S: ScheduleView>(schedule: &S, diags: &mut Vec<Diagnostic>) {
+    for pi in 0..schedule.phase_count() {
+        for si in 0..schedule.steps_in(pi) {
+            check_step(pi, si, schedule.step(pi, si), diags);
         }
     }
 }
@@ -54,17 +54,17 @@ pub(super) fn check(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
 /// Hazard checks for one step at `(pi, si)`; step-local by construction,
 /// so the incremental verifier calls it verbatim. BTreeMap keeps the
 /// per-node emission order independent of hash state.
-pub(super) fn check_step(pi: usize, si: usize, step: &CommStep, diags: &mut Vec<Diagnostic>) {
+pub(super) fn check_step(pi: usize, si: usize, step: StepRef<'_>, diags: &mut Vec<Diagnostic>) {
     let mut writes: BTreeMap<u32, Vec<Access>> = BTreeMap::new();
     let mut reads: BTreeMap<u32, Vec<Access>> = BTreeMap::new();
-    for (ti, t) in step.transfers.iter().enumerate() {
+    for (ti, t) in step.transfers().enumerate() {
         let loc = Location::at(pi, si, ti);
         reads.entry(t.src.0).or_default().push(Access {
             span: t.src_span,
             combine: false,
             loc,
         });
-        for &d in &t.dsts {
+        for &d in t.dsts {
             writes.entry(d.0).or_default().push(Access {
                 span: t.dst_span,
                 combine: t.combine,

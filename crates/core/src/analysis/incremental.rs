@@ -40,7 +40,7 @@
 use std::sync::Arc;
 
 use crate::schedule::repair::RepairedSchedule;
-use crate::schedule::{CommSchedule, CommStep};
+use crate::schedule::{CommSchedule, CommStep, ScheduleView, StepRef};
 
 use super::dataflow::{self, DataflowState};
 use super::diagnostics::{Diagnostic, Location, Severity};
@@ -213,12 +213,13 @@ fn phase_warnings(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
 /// returns the step's record.
 fn lint_step(schedule: &CommSchedule, pos: FlatPos, live: &mut DataflowState) -> StepRecord {
     let (pi, si, multiplexed) = pos;
-    let step = step_at(schedule, pos);
+    let step = StepRef::Nested(step_at(schedule, pos));
+    let hdr = schedule.header();
     let mut diags = Vec::new();
-    structural::check_step(schedule, pi, si, step, multiplexed, &mut diags);
-    sync::check_step(schedule, pi, si, step, &mut diags);
+    structural::check_step(&hdr, pi, si, step, multiplexed, &mut diags);
+    sync::check_step(&hdr, pi, si, step, &mut diags);
     hazard::check_step(pi, si, step, &mut diags);
-    live.feed_step(schedule, pi, si, step, &mut diags);
+    live.feed_step(&hdr, pi, si, step, &mut diags);
     StepRecord {
         phase: pi,
         step: si,
@@ -273,9 +274,9 @@ impl ScheduleVerifier {
     #[must_use]
     pub fn new(schedule: Arc<CommSchedule>) -> ScheduleVerifier {
         let mut prologue = Vec::new();
-        structural::check_prologue(&schedule, &mut prologue);
+        structural::check_prologue(&schedule.header(), &mut prologue);
         let flat = flatten(&schedule);
-        let live = DataflowState::new(&schedule);
+        let live = DataflowState::new(&schedule.header());
         ScheduleVerifier {
             schedule,
             flat,
@@ -320,7 +321,7 @@ impl ScheduleVerifier {
     pub fn finalize(mut self) -> AnalysisSummary {
         while self.feed_step().is_some() {}
         let mut final_diags = Vec::new();
-        dataflow::final_check(&self.schedule, &self.live, &mut final_diags);
+        dataflow::final_check(&self.schedule.header(), &self.live, &mut final_diags);
         let report = assemble_report(&self.schedule, &self.prologue, &self.records, &final_diags);
         AnalysisSummary {
             schedule: self.schedule,
@@ -418,7 +419,7 @@ pub fn reverify_delta(
 
     let mut records: Vec<StepRecord> = base.records[..k].to_vec();
     let mut live = if k == 0 {
-        DataflowState::new(&new_schedule)
+        DataflowState::new(&new_schedule.header())
     } else {
         base.records[k - 1].post.dataflow.clone()
     };
@@ -448,7 +449,7 @@ pub fn reverify_delta(
         };
         let converged = match old_pre {
             Some(pre) => live == *pre,
-            None => live == DataflowState::new(&new_schedule),
+            None => live == DataflowState::new(&new_schedule.header()),
         };
         if converged {
             break;
@@ -492,7 +493,7 @@ pub fn reverify_delta(
         base.final_diags.clone()
     } else {
         let mut diags = Vec::new();
-        dataflow::final_check(&new_schedule, &final_state.dataflow, &mut diags);
+        dataflow::final_check(&new_schedule.header(), &final_state.dataflow, &mut diags);
         diags
     };
 

@@ -1,4 +1,4 @@
-//! Static analysis of [`CommSchedule`]s: prove a schedule correct
+//! Static analysis of [`CommSchedule`](crate::schedule::CommSchedule)s: prove a schedule correct
 //! without executing a single payload.
 //!
 //! PIMnet's premise is that collective traffic is fully static — no
@@ -27,7 +27,7 @@
 use std::fmt;
 
 use crate::collective::CollectiveKind;
-use crate::schedule::CommSchedule;
+use crate::schedule::ScheduleView;
 
 pub mod diagnostics;
 pub mod incremental;
@@ -130,14 +130,17 @@ impl fmt::Display for AnalysisReport {
     }
 }
 
-/// Runs every analysis pass over `schedule` and collects the findings.
+/// Runs every analysis pass over `schedule` (in either layout — nested
+/// [`crate::schedule::CommSchedule`] or flat
+/// [`crate::schedule::FlatSchedule`]) and collects the findings.
 ///
 /// Passes run in order — structural, sync, hazard, dataflow — and each
 /// tolerates the malformed constructs earlier passes flag (out-of-range
 /// DPUs, out-of-bounds spans), so one broken transfer yields its own
-/// pinpointed diagnostics rather than a panic or a cascade.
+/// pinpointed diagnostics rather than a panic or a cascade. Both layouts
+/// drive one generic code path, so their reports are byte-identical.
 #[must_use]
-pub fn run_all(schedule: &CommSchedule) -> AnalysisReport {
+pub fn run_all<S: ScheduleView>(schedule: &S) -> AnalysisReport {
     let mut diagnostics = Vec::new();
     structural::check(schedule, &mut diagnostics);
     sync::check(schedule, &mut diagnostics);
@@ -149,10 +152,11 @@ pub fn run_all(schedule: &CommSchedule) -> AnalysisReport {
             .cmp(&b.location.sort_key())
             .then_with(|| a.code.cmp(b.code))
     });
+    let hdr = schedule.header();
     AnalysisReport {
-        kind: schedule.kind,
-        dpus: schedule.geometry.total_dpus(),
-        elems_per_node: schedule.elems_per_node,
+        kind: hdr.kind,
+        dpus: hdr.geometry.total_dpus(),
+        elems_per_node: hdr.elems_per_node,
         diagnostics,
     }
 }
@@ -177,6 +181,7 @@ pub mod codes {
 mod tests {
     use super::*;
     use crate::collective::CollectiveKind;
+    use crate::schedule::CommSchedule;
     use pim_arch::PimGeometry;
 
     fn analyze(kind: CollectiveKind, dpus: u32, elems: usize) -> AnalysisReport {

@@ -11,7 +11,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 
-use crate::schedule::{CommSchedule, CommStep, Transfer};
+use crate::schedule::{ScheduleHeader, ScheduleView, StepRef, TransferRef};
 use crate::topology::{ChipLoc, Resource};
 
 use super::diagnostics::{Diagnostic, Location};
@@ -40,39 +40,41 @@ pub const EXCLUSIVE_SHARING: &str = "P009";
 pub const MALFORMED_RESULT_TABLE: &str = "P010";
 
 /// Runs the structural pass, appending findings to `diags`.
-pub(super) fn check(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
-    check_prologue(schedule, diags);
-    for (pi, phase) in schedule.phases.iter().enumerate() {
-        for (si, step) in phase.steps.iter().enumerate() {
-            check_step(schedule, pi, si, step, phase.multiplexed, diags);
+pub(super) fn check<S: ScheduleView>(schedule: &S, diags: &mut Vec<Diagnostic>) {
+    let hdr = schedule.header();
+    check_prologue(&hdr, diags);
+    for pi in 0..schedule.phase_count() {
+        let multiplexed = schedule.phase_multiplexed(pi);
+        for si in 0..schedule.steps_in(pi) {
+            check_step(&hdr, pi, si, schedule.step(pi, si), multiplexed, diags);
         }
     }
 }
 
 /// Schedule-level structural checks (the result-span table), independent
 /// of any step.
-pub(super) fn check_prologue(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
-    let total = schedule.geometry.total_dpus();
+pub(super) fn check_prologue(hdr: &ScheduleHeader<'_>, diags: &mut Vec<Diagnostic>) {
+    let total = hdr.geometry.total_dpus();
 
-    if schedule.result_spans.len() != total as usize {
+    if hdr.result_spans.len() != total as usize {
         diags.push(Diagnostic::error(
             MALFORMED_RESULT_TABLE,
             Location::SCHEDULE,
             format!(
                 "result table describes {} node(s) but the geometry has {total}",
-                schedule.result_spans.len()
+                hdr.result_spans.len()
             ),
         ));
     }
-    for (i, spans) in schedule.result_spans.iter().enumerate() {
+    for (i, spans) in hdr.result_spans.iter().enumerate() {
         for span in spans {
-            if span.end() > schedule.buffer_len {
+            if span.end() > hdr.buffer_len {
                 diags.push(Diagnostic::error(
                     MALFORMED_RESULT_TABLE,
                     Location::node(i as u32),
                     format!(
                         "result span {span} beyond buffer ({} elems)",
-                        schedule.buffer_len
+                        hdr.buffer_len
                     ),
                 ));
             }
@@ -83,10 +85,10 @@ pub(super) fn check_prologue(schedule: &CommSchedule, diags: &mut Vec<Diagnostic
 /// Structural checks for one step at `(pi, si)`; step-local by
 /// construction, so the incremental verifier calls it verbatim.
 pub(super) fn check_step(
-    schedule: &CommSchedule,
+    hdr: &ScheduleHeader<'_>,
     pi: usize,
     si: usize,
-    step: &CommStep,
+    step: StepRef<'_>,
     multiplexed: bool,
     diags: &mut Vec<Diagnostic>,
 ) {
@@ -95,13 +97,13 @@ pub(super) fn check_step(
     // single scheduled slot on the wire. BTreeMap keeps the emission
     // order independent of hash state.
     let mut usage: BTreeMap<Resource, HashSet<(u32, Vec<u32>)>> = BTreeMap::new();
-    for (ti, t) in step.transfers.iter().enumerate() {
-        check_transfer(schedule, t, Location::at(pi, si, ti), diags);
+    for (ti, t) in step.transfers().enumerate() {
+        check_transfer(hdr, t, Location::at(pi, si, ti), diags);
         if t.is_local() {
             continue;
         }
         let flow = (t.src.0, t.dsts.iter().map(|d| d.0).collect::<Vec<_>>());
-        for r in &t.resources {
+        for r in t.resources {
             usage.entry(*r).or_default().insert(flow.clone());
         }
     }
@@ -134,12 +136,12 @@ pub(super) fn check_step(
 }
 
 fn check_transfer(
-    schedule: &CommSchedule,
-    t: &Transfer,
+    hdr: &ScheduleHeader<'_>,
+    t: TransferRef<'_>,
     loc: Location,
     diags: &mut Vec<Diagnostic>,
 ) {
-    let g = &schedule.geometry;
+    let g = hdr.geometry;
     let total = g.total_dpus();
 
     if t.dsts.is_empty() {
@@ -159,21 +161,21 @@ fn check_transfer(
             ),
         ));
     }
-    if t.src_span.end() > schedule.buffer_len || t.dst_span.end() > schedule.buffer_len {
+    if t.src_span.end() > hdr.buffer_len || t.dst_span.end() > hdr.buffer_len {
         diags.push(Diagnostic::error(
             SPAN_OUT_OF_BOUNDS,
             loc,
             format!(
                 "span beyond buffer ({} elems): src {} dst {}",
-                schedule.buffer_len, t.src_span, t.dst_span
+                hdr.buffer_len, t.src_span, t.dst_span
             ),
         ));
     }
-    if t.combine && !schedule.kind.reduces() {
+    if t.combine && !hdr.kind.reduces() {
         diags.push(Diagnostic::error(
             COMBINE_IN_NON_REDUCING,
             loc,
-            format!("reduction in non-reducing collective {}", schedule.kind),
+            format!("reduction in non-reducing collective {}", hdr.kind),
         ));
     }
 
@@ -233,7 +235,7 @@ fn check_transfer(
                 "same-rank transfer must use only DQ channels".into(),
             ));
         }
-        expect_dq_endpoints(schedule, t, loc, diags);
+        expect_dq_endpoints(hdr, t, loc, diags);
     } else {
         if !crosses_rank || !uses_bus {
             diags.push(Diagnostic::error(
@@ -242,17 +244,17 @@ fn check_transfer(
                 "cross-rank transfer must traverse the rank bus".into(),
             ));
         }
-        expect_dq_endpoints(schedule, t, loc, diags);
+        expect_dq_endpoints(hdr, t, loc, diags);
     }
 }
 
 fn expect_dq_endpoints(
-    schedule: &CommSchedule,
-    t: &Transfer,
+    hdr: &ScheduleHeader<'_>,
+    t: TransferRef<'_>,
     loc: Location,
     diags: &mut Vec<Diagnostic>,
 ) {
-    let g = &schedule.geometry;
+    let g = hdr.geometry;
     let src_chip = ChipLoc::of(g.coord(t.src));
     let has_tx = t
         .resources
@@ -265,7 +267,7 @@ fn expect_dq_endpoints(
             "missing source chip Tx channel in path".into(),
         ));
     }
-    for &d in &t.dsts {
+    for &d in t.dsts {
         let dst_chip = ChipLoc::of(g.coord(d));
         let has_rx = t
             .resources

@@ -19,7 +19,7 @@
 //! * **Empty barrier** (`P303`, warning): a phase or step with no
 //!   transfers still costs a full READY/START round trip for nothing.
 
-use crate::schedule::{CommSchedule, CommStep, Span};
+use crate::schedule::{ScheduleHeader, ScheduleView, Span, StepRef};
 
 use super::diagnostics::{Diagnostic, Location};
 
@@ -36,17 +36,18 @@ fn overlaps(a: Span, b: Span) -> bool {
 }
 
 /// Runs the sync pass, appending findings to `diags`.
-pub(super) fn check(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
-    for (pi, phase) in schedule.phases.iter().enumerate() {
-        if phase.steps.is_empty() {
+pub(super) fn check<S: ScheduleView>(schedule: &S, diags: &mut Vec<Diagnostic>) {
+    let hdr = schedule.header();
+    for pi in 0..schedule.phase_count() {
+        if schedule.steps_in(pi) == 0 {
             diags.push(Diagnostic::warning(
                 EMPTY_BARRIER,
                 Location::phase(pi),
                 "phase has no steps: a barrier with no work".into(),
             ));
         }
-        for (si, step) in phase.steps.iter().enumerate() {
-            check_step(schedule, pi, si, step, diags);
+        for si in 0..schedule.steps_in(pi) {
+            check_step(&hdr, pi, si, schedule.step(pi, si), diags);
         }
     }
 }
@@ -55,21 +56,21 @@ pub(super) fn check(schedule: &CommSchedule, diags: &mut Vec<Diagnostic>) {
 /// the incremental verifier calls it verbatim. (The phase-level empty
 /// warning lives with the phase boundary, not here.)
 pub(super) fn check_step(
-    schedule: &CommSchedule,
+    hdr: &ScheduleHeader<'_>,
     pi: usize,
     si: usize,
-    step: &CommStep,
+    step: StepRef<'_>,
     diags: &mut Vec<Diagnostic>,
 ) {
-    let total = schedule.geometry.total_dpus();
-    if step.transfers.is_empty() {
+    let total = hdr.geometry.total_dpus();
+    if step.is_empty() {
         diags.push(Diagnostic::warning(
             EMPTY_BARRIER,
             Location::step(pi, si),
             "step has no transfers: a barrier with no work".into(),
         ));
     }
-    for (ti, t) in step.transfers.iter().enumerate() {
+    for (ti, t) in step.transfers().enumerate() {
         let loc = Location::at(pi, si, ti);
         for id in std::iter::once(t.src).chain(t.dsts.iter().copied()) {
             if id.0 >= total {
@@ -91,12 +92,11 @@ pub(super) fn check_step(
 /// Builds the must-precede relation of one step (transfer `a` before `b`
 /// iff `b` overwrites a region `a` reads on the same node) and reports a
 /// cycle if one exists.
-fn check_serialization(pi: usize, si: usize, step: &CommStep, diags: &mut Vec<Diagnostic>) {
-    let transfers = &step.transfers;
-    let count = transfers.len();
+fn check_serialization(pi: usize, si: usize, step: StepRef<'_>, diags: &mut Vec<Diagnostic>) {
+    let count = step.len();
     let mut edges: Vec<Vec<usize>> = vec![Vec::new(); count];
-    for (a, ta) in transfers.iter().enumerate() {
-        for (b, tb) in transfers.iter().enumerate() {
+    for (a, ta) in step.transfers().enumerate() {
+        for (b, tb) in step.transfers().enumerate() {
             if a == b || tb.combine {
                 continue;
             }

@@ -18,7 +18,7 @@ use pim_sim::trace::codes;
 use pim_sim::{Probe, SimTime};
 
 use crate::error::PimnetError;
-use crate::schedule::{CommSchedule, CommStep, Transfer};
+use crate::schedule::{CommSchedule, ScheduleView, StepRef, Transfer};
 
 /// Reduction operators supported by the PIM banks' collective kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -144,16 +144,18 @@ impl<T: Element> ExecMachine<T> {
     /// the schedule's expected input location: offset 0 for the in-place
     /// collectives and All-to-All, piece `i` for AllGather/Gather.
     #[must_use]
-    pub fn init(schedule: &CommSchedule, mut init: impl FnMut(DpuId) -> Vec<T>) -> Self {
+    pub fn init<S: ScheduleView>(schedule: &S, mut init: impl FnMut(DpuId) -> Vec<T>) -> Self {
         use crate::collective::CollectiveKind as K;
-        let n = schedule.elems_per_node;
-        let buffers = schedule
-            .participants()
+        let hdr = schedule.header();
+        let n = hdr.elems_per_node;
+        let buffers = hdr
+            .geometry
+            .dpus()
             .map(|id| {
-                let mut buf = vec![T::default(); schedule.buffer_len];
+                let mut buf = vec![T::default(); hdr.buffer_len];
                 let mut contrib = init(id);
                 contrib.resize(n, T::default());
-                let offset = match schedule.kind {
+                let offset = match hdr.kind {
                     K::AllGather | K::Gather => id.index() * n,
                     _ => 0,
                 };
@@ -173,11 +175,11 @@ impl<T: Element> ExecMachine<T> {
     /// across every step of the run (the hot-path equivalent of the
     /// hardware's fixed wire: no per-transfer allocation), so executing a
     /// schedule costs two allocations total instead of two per transfer.
-    pub fn run(&mut self, schedule: &CommSchedule, op: ReduceOp) {
+    pub fn run<S: ScheduleView>(&mut self, schedule: &S, op: ReduceOp) {
         let mut staging = Staging::default();
-        for phase in &schedule.phases {
-            for step in &phase.steps {
-                staging.snapshot_step(&self.buffers, step);
+        for p in 0..schedule.phase_count() {
+            for s in 0..schedule.steps_in(p) {
+                staging.snapshot_step(&self.buffers, schedule.step(p, s));
                 staging.apply(&mut self.buffers, op);
             }
         }
@@ -200,7 +202,7 @@ impl<T: Element> ExecMachine<T> {
         for (pi, phase) in schedule.phases.iter().enumerate() {
             for (si, step) in phase.steps.iter().enumerate() {
                 let cap_before = staging.arena.capacity();
-                staging.snapshot_step(&self.buffers, step);
+                staging.snapshot_step(&self.buffers, StepRef::Nested(step));
                 staging.apply(&mut self.buffers, op);
                 staging.record_step(schedule, (pi, si), cap_before, logical, probe);
                 logical += 1;
@@ -243,7 +245,7 @@ impl<T: Element> ExecMachine<T> {
         let mut staging = Staging::default();
         for (pi, phase) in schedule.phases.iter().enumerate() {
             for (si, step) in phase.steps.iter().enumerate() {
-                staging.snapshot_step(&self.buffers, step);
+                staging.snapshot_step(&self.buffers, StepRef::Nested(step));
                 for (ti, t) in step.transfers.iter().enumerate() {
                     if !t.is_local() {
                         stats.transfers += 1;
@@ -294,7 +296,7 @@ impl<T: Element> ExecMachine<T> {
         for (pi, phase) in schedule.phases.iter().enumerate() {
             for (si, step) in phase.steps.iter().enumerate() {
                 let cap_before = staging.arena.capacity();
-                staging.snapshot_step(&self.buffers, step);
+                staging.snapshot_step(&self.buffers, StepRef::Nested(step));
                 for (ti, t) in step.transfers.iter().enumerate() {
                     if !t.is_local() {
                         stats.transfers += 1;
@@ -359,7 +361,7 @@ impl<T: Element> ExecMachine<T> {
                 reason: format!("step ({pi}, {si}) out of range"),
             })?;
         let mut staging = Staging::default();
-        staging.snapshot_step(&self.buffers, step);
+        staging.snapshot_step(&self.buffers, StepRef::Nested(step));
         for (ti, t) in step.transfers.iter().enumerate() {
             if !t.is_local() {
                 transmit(ti, t, staging.transfer_payload(ti))?;
@@ -479,17 +481,17 @@ impl<T> Default for Staging<T> {
 impl<T: Element> Staging<T> {
     /// Snapshots every transfer payload of `step` out of `buffers`,
     /// recording where each destination's delivery should land.
-    fn snapshot_step(&mut self, buffers: &[Vec<T>], step: &CommStep) {
+    fn snapshot_step(&mut self, buffers: &[Vec<T>], step: StepRef<'_>) {
         self.arena.clear();
         self.segments.clear();
         self.deliveries.clear();
-        for t in &step.transfers {
+        for t in step.transfers() {
             let at = self.arena.len();
             self.arena
                 .extend_from_slice(&buffers[t.src.index()][t.src_span.range()]);
             let len = self.arena.len() - at;
             self.segments.push((at, len));
-            for &dst in &t.dsts {
+            for &dst in t.dsts {
                 self.deliveries
                     .push((dst, t.dst_span.start, at, len, t.combine));
             }

@@ -45,6 +45,7 @@ use crate::analysis::{self, AnalysisSummary, DeltaStats};
 use crate::collective::CollectiveKind;
 use crate::error::PimnetError;
 
+use super::boost::{self, BoostPlan};
 use super::repair::RepairedSchedule;
 use super::{validate, CommSchedule};
 
@@ -67,13 +68,19 @@ struct Key {
     /// entry whose fault fingerprint happens to coincide. Static planning
     /// uses epoch 0.
     epoch: u64,
+    /// Separates boost plans ([`BoostPlan`]) from the full schedules they
+    /// were thinned from: a boosted lookup must never be answered with a
+    /// plain entry (or vice versa) for otherwise identical parameters.
+    boost: bool,
 }
 
-/// One memoized value: a validated plain schedule, or a repaired one.
+/// One memoized value: a validated plain schedule, a repaired one, or a
+/// boost plan thinned from a validated plain schedule.
 #[derive(Debug, Clone)]
 enum Entry {
     Plain(Arc<CommSchedule>),
     Repaired(Arc<RepairedSchedule>),
+    Boost(Arc<BoostPlan>),
 }
 
 /// A table slot: either a finished entry, or a build in flight. Pending
@@ -373,6 +380,7 @@ pub fn build_cached_at_epoch(
         repair: EMPTY_FAULTS,
         repaired: false,
         epoch,
+        boost: false,
     };
     let entry = get_or_build(key, probe, || {
         let schedule = CommSchedule::build(kind, geometry, elems_per_node, elem_bytes)?;
@@ -381,7 +389,68 @@ pub fn build_cached_at_epoch(
     })?;
     match entry {
         Entry::Plain(s) => Ok(s),
-        Entry::Repaired(_) => unreachable!("plain key holds a repaired entry"),
+        _ => unreachable!("plain key holds a non-plain entry"),
+    }
+}
+
+/// Builds (or recalls) the [`BoostPlan`] for `kind` on `geometry`: the
+/// representative-slice thinning of the validated full schedule, with
+/// per-step class facts for analytic timing reconstruction.
+///
+/// The full schedule comes through [`build_cached`] (so a warm plain
+/// entry makes a cold boost lookup cheap); the thinning itself runs only
+/// on a miss. The cache key carries a `boost` discriminator, so boosted
+/// and plain entries for identical parameters never collide.
+///
+/// # Errors
+///
+/// Whatever [`build_cached`] returns — planning itself is infallible.
+pub fn boost_cached(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+) -> Result<Arc<BoostPlan>, PimnetError> {
+    boost_cached_probed(
+        kind,
+        geometry,
+        elems_per_node,
+        elem_bytes,
+        Probe::disabled(),
+    )
+}
+
+/// [`boost_cached`] with hit/miss/dedup-wait observability (see
+/// [`build_cached_probed`]). With a disabled probe this is exactly
+/// [`boost_cached`].
+///
+/// # Errors
+///
+/// Whatever [`build_cached`] returns.
+pub fn boost_cached_probed(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    probe: &Probe,
+) -> Result<Arc<BoostPlan>, PimnetError> {
+    let key = Key {
+        kind,
+        geometry: *geometry,
+        elems_per_node,
+        elem_bytes,
+        repair: EMPTY_FAULTS,
+        repaired: false,
+        epoch: 0,
+        boost: true,
+    };
+    let entry = get_or_build(key, probe, || {
+        let base = build_cached_probed(kind, geometry, elems_per_node, elem_bytes, probe)?;
+        Ok(Entry::Boost(Arc::new(boost::plan(&base))))
+    })?;
+    match entry {
+        Entry::Boost(p) => Ok(p),
+        _ => unreachable!("boost key holds a non-boost entry"),
     }
 }
 
@@ -458,6 +527,7 @@ pub fn repair_cached_at_epoch(
         repair: fault_fingerprint(faults),
         repaired: true,
         epoch,
+        boost: false,
     };
     let entry = get_or_build(key, probe, || {
         let base = build_cached_at_epoch(kind, geometry, elems_per_node, elem_bytes, epoch, probe)?;
@@ -466,7 +536,7 @@ pub fn repair_cached_at_epoch(
     })?;
     match entry {
         Entry::Repaired(r) => Ok(r),
-        Entry::Plain(_) => unreachable!("repaired key holds a plain entry"),
+        _ => unreachable!("repaired key holds a non-repaired entry"),
     }
 }
 
@@ -547,6 +617,7 @@ fn plain_summary_at_epoch(
         repair: EMPTY_FAULTS,
         repaired: false,
         epoch,
+        boost: false,
     };
     let entry = lint_get_or_build(key, || {
         let schedule = build_cached_at_epoch(
@@ -640,6 +711,7 @@ pub fn analyze_repaired_cached_at_epoch(
         repair: fault_fingerprint(faults),
         repaired: true,
         epoch,
+        boost: false,
     };
     let entry = lint_get_or_build(key, || {
         let base = plain_summary_at_epoch(kind, geometry, elems_per_node, elem_bytes, epoch)?;
@@ -796,6 +868,29 @@ mod tests {
         );
         assert!(identity.is_ok());
         assert_eq!(identity.unwrap().schedule, *plain);
+    }
+
+    #[test]
+    fn boost_entries_do_not_collide_with_plain() {
+        clear();
+        let plain = build_cached(CollectiveKind::AllReduce, &g(64), 97, 4).unwrap();
+        let built_before = stats().schedules_built;
+        let boosted = boost_cached(CollectiveKind::AllReduce, &g(64), 97, 4).unwrap();
+        assert_eq!(
+            stats().schedules_built,
+            built_before + 1,
+            "the miss constructs only the boost entry; the full schedule is a hit"
+        );
+        assert_eq!(
+            boosted.total_transfers,
+            plain.transfer_count(),
+            "the plan was thinned from the same schedule"
+        );
+        // Warm boost lookups share the entry; the plan matches a fresh
+        // thinning of the cached schedule.
+        let again = boost_cached(CollectiveKind::AllReduce, &g(64), 97, 4).unwrap();
+        assert!(Arc::ptr_eq(&boosted, &again));
+        assert_eq!(*boosted, boost::plan(&plain));
     }
 
     #[test]

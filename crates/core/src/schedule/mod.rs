@@ -30,16 +30,20 @@ mod address;
 mod allgather;
 mod allreduce;
 mod alltoall;
+pub mod boost;
 mod broadcast;
 pub mod cache;
 pub mod halving;
 pub mod repair;
 mod ring;
+pub mod soa;
 pub mod validate;
 
 pub use address::{AllReduceAddressPlan, BankAddressInfo, PhaseAddr, TierTimes};
 pub use allreduce::AllReduceOptions;
+pub use boost::{BoostPlan, StepFacts};
 pub use ring::{ring_all_gather, ring_reduce_scatter};
+pub use soa::{FlatSchedule, ScheduleHeader, ScheduleView, StepRef, TransferRef};
 
 use std::fmt;
 

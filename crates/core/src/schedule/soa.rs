@@ -1,0 +1,649 @@
+//! Flat structure-of-arrays schedule representation and the view layer
+//! that lets every consumer run on either layout.
+//!
+//! The nested [`CommSchedule`] — `Vec<Phase>` of `Vec<CommStep>` of
+//! `Vec<Transfer>`, each transfer owning two more heap `Vec`s — is the
+//! builders' natural shape, but it is a poor *execution* shape: a paper
+//! geometry AllReduce allocates tens of thousands of small vectors, and
+//! walking them chases pointers all over the heap. [`FlatSchedule`] is
+//! the same schedule rearranged into contiguous arrays: phases, steps and
+//! transfers become index *ranges* over flat columns, and every
+//! destination list and resource path lives in one shared arena each.
+//! Converting is lossless ([`FlatSchedule::from_schedule`] /
+//! [`FlatSchedule::to_schedule`] round-trip exactly) and iteration order
+//! is identical by construction, which is what makes the two layouts
+//! bit-equivalent to every consumer.
+//!
+//! Consumers do not choose a layout: they are written against the view
+//! types here —
+//!
+//! * [`ScheduleHeader`]: the borrowed schedule-level metadata (kind,
+//!   geometry, element width, buffer length, result table);
+//! * [`StepRef`] / [`TransferRef`]: one step / one transfer from either
+//!   layout, with the transfer's destination and resource lists exposed
+//!   as slices;
+//! * [`ScheduleView`]: the trait [`CommSchedule`] and [`FlatSchedule`]
+//!   both implement, giving `exec`, `timeline`, `sync` and the four
+//!   `analysis` passes a single generic code path.
+//!
+//! `scripts/determinism_lint.sh` covers this module: the arena layout
+//! uses only `Vec`s and index arithmetic — no hash-ordered collections,
+//! no clocks — so flattening cannot perturb any deterministic output.
+
+use pim_sim::Bytes;
+
+use pim_arch::geometry::{DpuId, PimGeometry};
+
+use crate::collective::CollectiveKind;
+use crate::topology::Resource;
+
+use super::{CommSchedule, CommStep, Phase, PhaseLabel, Span, Transfer};
+
+/// Borrowed schedule-level metadata, identical for both layouts.
+///
+/// Everything a pass needs *besides* the phase/step/transfer structure:
+/// the header is what [`crate::analysis::incremental`] pins equal before
+/// aligning steps, and what the dataflow interpreter seeds its state
+/// from.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleHeader<'a> {
+    /// The collective the schedule implements.
+    pub kind: CollectiveKind,
+    /// The geometry it was compiled for.
+    pub geometry: &'a PimGeometry,
+    /// Elements contributed per node.
+    pub elems_per_node: usize,
+    /// Element width in bytes.
+    pub elem_bytes: u32,
+    /// Per-node communication buffer length in elements.
+    pub buffer_len: usize,
+    /// Where each node's result lives after execution.
+    pub result_spans: &'a [Vec<Span>],
+}
+
+/// One transfer viewed from either layout: owned scalars plus borrowed
+/// destination/resource slices (no clone, no allocation).
+#[derive(Debug, Clone, Copy)]
+pub struct TransferRef<'a> {
+    /// Sending DPU.
+    pub src: DpuId,
+    /// Receiving DPU(s).
+    pub dsts: &'a [DpuId],
+    /// Element range read at the source.
+    pub src_span: Span,
+    /// Element range written at every destination.
+    pub dst_span: Span,
+    /// Whether the destination reduces rather than overwrites.
+    pub combine: bool,
+    /// Fabric resources held for the transfer's duration.
+    pub resources: &'a [Resource],
+}
+
+impl<'a> TransferRef<'a> {
+    /// Wire bytes moved (mirrors [`Transfer::bytes`]).
+    #[must_use]
+    pub fn bytes(&self, elem_bytes: u32) -> Bytes {
+        Bytes::new(self.src_span.len as u64 * u64::from(elem_bytes))
+    }
+
+    /// True for purely local movements (mirrors [`Transfer::is_local`]).
+    #[must_use]
+    pub fn is_local(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    /// The transfer as an owned nested-layout [`Transfer`].
+    #[must_use]
+    pub fn to_transfer(&self) -> Transfer {
+        Transfer {
+            src: self.src,
+            dsts: self.dsts.to_vec(),
+            src_span: self.src_span,
+            dst_span: self.dst_span,
+            combine: self.combine,
+            resources: self.resources.to_vec(),
+        }
+    }
+}
+
+impl<'a> From<&'a Transfer> for TransferRef<'a> {
+    fn from(t: &'a Transfer) -> TransferRef<'a> {
+        TransferRef {
+            src: t.src,
+            dsts: &t.dsts,
+            src_span: t.src_span,
+            dst_span: t.dst_span,
+            combine: t.combine,
+            resources: &t.resources,
+        }
+    }
+}
+
+/// One step viewed from either layout.
+#[derive(Debug, Clone, Copy)]
+pub enum StepRef<'a> {
+    /// A step of a nested [`CommSchedule`].
+    Nested(&'a CommStep),
+    /// A step of a [`FlatSchedule`], by flat step index.
+    Flat {
+        /// The flat schedule the step belongs to.
+        soa: &'a FlatSchedule,
+        /// Flat step index (across all phases).
+        step: usize,
+    },
+}
+
+impl<'a> StepRef<'a> {
+    /// Number of transfers in the step.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            StepRef::Nested(s) => s.transfers.len(),
+            StepRef::Flat { soa, step } => {
+                let (lo, hi) = soa.step_transfer_ranges[*step];
+                (hi - lo) as usize
+            }
+        }
+    }
+
+    /// True when the step has no transfers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The step's `ti`-th transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ti` is out of range.
+    #[must_use]
+    pub fn transfer(&self, ti: usize) -> TransferRef<'a> {
+        match self {
+            StepRef::Nested(s) => TransferRef::from(&s.transfers[ti]),
+            StepRef::Flat { soa, step } => {
+                let (lo, hi) = soa.step_transfer_ranges[*step];
+                let i = lo as usize + ti;
+                assert!(i < hi as usize, "transfer {ti} out of range");
+                soa.transfer(i)
+            }
+        }
+    }
+
+    /// Iterates the step's transfers in schedule order.
+    #[must_use]
+    pub fn transfers(&self) -> TransferIter<'a> {
+        match self {
+            StepRef::Nested(s) => TransferIter {
+                inner: IterInner::Nested(s.transfers.iter()),
+            },
+            StepRef::Flat { soa, step } => {
+                let (lo, hi) = soa.step_transfer_ranges[*step];
+                TransferIter {
+                    inner: IterInner::Flat {
+                        soa,
+                        next: lo,
+                        end: hi,
+                    },
+                }
+            }
+        }
+    }
+}
+
+enum IterInner<'a> {
+    Nested(std::slice::Iter<'a, Transfer>),
+    Flat {
+        soa: &'a FlatSchedule,
+        next: u32,
+        end: u32,
+    },
+}
+
+/// Iterator over a [`StepRef`]'s transfers.
+pub struct TransferIter<'a> {
+    inner: IterInner<'a>,
+}
+
+impl<'a> Iterator for TransferIter<'a> {
+    type Item = TransferRef<'a>;
+
+    fn next(&mut self) -> Option<TransferRef<'a>> {
+        match &mut self.inner {
+            IterInner::Nested(it) => it.next().map(TransferRef::from),
+            IterInner::Flat { soa, next, end } => {
+                if next < end {
+                    let i = *next as usize;
+                    *next += 1;
+                    Some(soa.transfer(i))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match &self.inner {
+            IterInner::Nested(it) => it.len(),
+            IterInner::Flat { next, end, .. } => (*end - *next) as usize,
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TransferIter<'_> {}
+
+/// Uniform read access to a schedule in either layout.
+///
+/// Implemented by [`CommSchedule`] (nested) and [`FlatSchedule`] (SoA);
+/// the executor, the timeline builder, the sync model and the analysis
+/// passes are generic over it, so both layouts run the *same* code and
+/// produce bit-identical results.
+pub trait ScheduleView {
+    /// The schedule-level metadata.
+    fn header(&self) -> ScheduleHeader<'_>;
+    /// Number of phases.
+    fn phase_count(&self) -> usize;
+    /// Tier label of phase `p`.
+    fn phase_label(&self, p: usize) -> PhaseLabel;
+    /// Whether phase `p` time-multiplexes shared resources within steps.
+    fn phase_multiplexed(&self, p: usize) -> bool;
+    /// Number of steps in phase `p`.
+    fn steps_in(&self, p: usize) -> usize;
+    /// The step at `(p, s)`.
+    fn step(&self, p: usize, s: usize) -> StepRef<'_>;
+
+    /// Number of non-local transfers across all steps.
+    fn view_transfer_count(&self) -> usize {
+        let mut count = 0;
+        for p in 0..self.phase_count() {
+            for s in 0..self.steps_in(p) {
+                count += self
+                    .step(p, s)
+                    .transfers()
+                    .filter(|t| !t.is_local())
+                    .count();
+            }
+        }
+        count
+    }
+}
+
+impl<S: ScheduleView + ?Sized> ScheduleView for &S {
+    fn header(&self) -> ScheduleHeader<'_> {
+        (**self).header()
+    }
+    fn phase_count(&self) -> usize {
+        (**self).phase_count()
+    }
+    fn phase_label(&self, p: usize) -> PhaseLabel {
+        (**self).phase_label(p)
+    }
+    fn phase_multiplexed(&self, p: usize) -> bool {
+        (**self).phase_multiplexed(p)
+    }
+    fn steps_in(&self, p: usize) -> usize {
+        (**self).steps_in(p)
+    }
+    fn step(&self, p: usize, s: usize) -> StepRef<'_> {
+        (**self).step(p, s)
+    }
+}
+
+impl<S: ScheduleView + ?Sized> ScheduleView for std::sync::Arc<S> {
+    fn header(&self) -> ScheduleHeader<'_> {
+        (**self).header()
+    }
+    fn phase_count(&self) -> usize {
+        (**self).phase_count()
+    }
+    fn phase_label(&self, p: usize) -> PhaseLabel {
+        (**self).phase_label(p)
+    }
+    fn phase_multiplexed(&self, p: usize) -> bool {
+        (**self).phase_multiplexed(p)
+    }
+    fn steps_in(&self, p: usize) -> usize {
+        (**self).steps_in(p)
+    }
+    fn step(&self, p: usize, s: usize) -> StepRef<'_> {
+        (**self).step(p, s)
+    }
+}
+
+impl ScheduleView for CommSchedule {
+    fn header(&self) -> ScheduleHeader<'_> {
+        ScheduleHeader {
+            kind: self.kind,
+            geometry: &self.geometry,
+            elems_per_node: self.elems_per_node,
+            elem_bytes: self.elem_bytes,
+            buffer_len: self.buffer_len,
+            result_spans: &self.result_spans,
+        }
+    }
+
+    fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    fn phase_label(&self, p: usize) -> PhaseLabel {
+        self.phases[p].label
+    }
+
+    fn phase_multiplexed(&self, p: usize) -> bool {
+        self.phases[p].multiplexed
+    }
+
+    fn steps_in(&self, p: usize) -> usize {
+        self.phases[p].steps.len()
+    }
+
+    fn step(&self, p: usize, s: usize) -> StepRef<'_> {
+        StepRef::Nested(&self.phases[p].steps[s])
+    }
+}
+
+/// Arena-backed structure-of-arrays layout of one [`CommSchedule`].
+///
+/// Phases, steps and transfers are contiguous index ranges over flat
+/// columns; destination lists and resource paths are ranges into two
+/// shared arenas. Iterating a `FlatSchedule` visits exactly the same
+/// transfers in exactly the same order as the nested schedule it came
+/// from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatSchedule {
+    kind: CollectiveKind,
+    geometry: PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    buffer_len: usize,
+    result_spans: Vec<Vec<Span>>,
+    /// Per-phase tier label.
+    phase_labels: Vec<PhaseLabel>,
+    /// Per-phase multiplexing flag.
+    phase_multiplexed: Vec<bool>,
+    /// Per-phase `[start, end)` range of flat step indices.
+    phase_step_ranges: Vec<(u32, u32)>,
+    /// Per-step `[start, end)` range of flat transfer indices.
+    step_transfer_ranges: Vec<(u32, u32)>,
+    /// Transfer columns, indexed by flat transfer index.
+    t_src: Vec<DpuId>,
+    t_src_span: Vec<Span>,
+    t_dst_span: Vec<Span>,
+    t_combine: Vec<bool>,
+    /// Per-transfer `[start, end)` range into `dst_arena`.
+    t_dst_range: Vec<(u32, u32)>,
+    /// Per-transfer `[start, end)` range into `res_arena`.
+    t_res_range: Vec<(u32, u32)>,
+    /// Shared destination arena.
+    dst_arena: Vec<DpuId>,
+    /// Shared resource-path arena.
+    res_arena: Vec<Resource>,
+}
+
+impl FlatSchedule {
+    /// Flattens a nested schedule. Lossless: [`FlatSchedule::to_schedule`]
+    /// reconstructs an equal [`CommSchedule`].
+    #[must_use]
+    pub fn from_schedule(schedule: &CommSchedule) -> FlatSchedule {
+        let step_total: usize = schedule.phases.iter().map(|p| p.steps.len()).sum();
+        let transfer_total: usize = schedule
+            .phases
+            .iter()
+            .flat_map(|p| &p.steps)
+            .map(|s| s.transfers.len())
+            .sum();
+        let mut flat = FlatSchedule {
+            kind: schedule.kind,
+            geometry: schedule.geometry,
+            elems_per_node: schedule.elems_per_node,
+            elem_bytes: schedule.elem_bytes,
+            buffer_len: schedule.buffer_len,
+            result_spans: schedule.result_spans.clone(),
+            phase_labels: Vec::with_capacity(schedule.phases.len()),
+            phase_multiplexed: Vec::with_capacity(schedule.phases.len()),
+            phase_step_ranges: Vec::with_capacity(schedule.phases.len()),
+            step_transfer_ranges: Vec::with_capacity(step_total),
+            t_src: Vec::with_capacity(transfer_total),
+            t_src_span: Vec::with_capacity(transfer_total),
+            t_dst_span: Vec::with_capacity(transfer_total),
+            t_combine: Vec::with_capacity(transfer_total),
+            t_dst_range: Vec::with_capacity(transfer_total),
+            t_res_range: Vec::with_capacity(transfer_total),
+            dst_arena: Vec::new(),
+            res_arena: Vec::new(),
+        };
+        for phase in &schedule.phases {
+            let step_lo = flat.step_transfer_ranges.len() as u32;
+            for step in &phase.steps {
+                let t_lo = flat.t_src.len() as u32;
+                for t in &step.transfers {
+                    let d_lo = flat.dst_arena.len() as u32;
+                    flat.dst_arena.extend_from_slice(&t.dsts);
+                    let r_lo = flat.res_arena.len() as u32;
+                    flat.res_arena.extend_from_slice(&t.resources);
+                    flat.t_src.push(t.src);
+                    flat.t_src_span.push(t.src_span);
+                    flat.t_dst_span.push(t.dst_span);
+                    flat.t_combine.push(t.combine);
+                    flat.t_dst_range.push((d_lo, flat.dst_arena.len() as u32));
+                    flat.t_res_range.push((r_lo, flat.res_arena.len() as u32));
+                }
+                flat.step_transfer_ranges
+                    .push((t_lo, flat.t_src.len() as u32));
+            }
+            flat.phase_labels.push(phase.label);
+            flat.phase_multiplexed.push(phase.multiplexed);
+            flat.phase_step_ranges
+                .push((step_lo, flat.step_transfer_ranges.len() as u32));
+        }
+        flat
+    }
+
+    /// Reconstructs the nested layout. Exact inverse of
+    /// [`FlatSchedule::from_schedule`].
+    #[must_use]
+    pub fn to_schedule(&self) -> CommSchedule {
+        let phases = (0..self.phase_labels.len())
+            .map(|p| {
+                let (s_lo, s_hi) = self.phase_step_ranges[p];
+                let steps = (s_lo as usize..s_hi as usize)
+                    .map(|s| {
+                        let (t_lo, t_hi) = self.step_transfer_ranges[s];
+                        CommStep {
+                            transfers: (t_lo as usize..t_hi as usize)
+                                .map(|t| self.transfer(t).to_transfer())
+                                .collect(),
+                        }
+                    })
+                    .collect();
+                Phase {
+                    label: self.phase_labels[p],
+                    steps,
+                    multiplexed: self.phase_multiplexed[p],
+                }
+            })
+            .collect();
+        CommSchedule {
+            kind: self.kind,
+            geometry: self.geometry,
+            elems_per_node: self.elems_per_node,
+            elem_bytes: self.elem_bytes,
+            buffer_len: self.buffer_len,
+            result_spans: self.result_spans.clone(),
+            phases,
+        }
+    }
+
+    /// The transfer at flat index `i`.
+    #[must_use]
+    pub fn transfer(&self, i: usize) -> TransferRef<'_> {
+        let (d_lo, d_hi) = self.t_dst_range[i];
+        let (r_lo, r_hi) = self.t_res_range[i];
+        TransferRef {
+            src: self.t_src[i],
+            dsts: &self.dst_arena[d_lo as usize..d_hi as usize],
+            src_span: self.t_src_span[i],
+            dst_span: self.t_dst_span[i],
+            combine: self.t_combine[i],
+            resources: &self.res_arena[r_lo as usize..r_hi as usize],
+        }
+    }
+
+    /// Total transfers (local included), across all steps.
+    #[must_use]
+    pub fn transfers_total(&self) -> usize {
+        self.t_src.len()
+    }
+
+    /// Number of steps across all phases (mirrors
+    /// [`CommSchedule::step_count`]).
+    #[must_use]
+    pub fn step_count(&self) -> usize {
+        self.step_transfer_ranges.len()
+    }
+
+    /// Total bytes serialized onto fabric resources (mirrors
+    /// [`CommSchedule::total_wire_bytes`]).
+    #[must_use]
+    pub fn total_wire_bytes(&self) -> Bytes {
+        (0..self.transfers_total())
+            .map(|i| self.transfer(i))
+            .filter(|t| !t.is_local())
+            .map(|t| t.bytes(self.elem_bytes))
+            .sum()
+    }
+}
+
+impl ScheduleView for FlatSchedule {
+    fn header(&self) -> ScheduleHeader<'_> {
+        ScheduleHeader {
+            kind: self.kind,
+            geometry: &self.geometry,
+            elems_per_node: self.elems_per_node,
+            elem_bytes: self.elem_bytes,
+            buffer_len: self.buffer_len,
+            result_spans: &self.result_spans,
+        }
+    }
+
+    fn phase_count(&self) -> usize {
+        self.phase_labels.len()
+    }
+
+    fn phase_label(&self, p: usize) -> PhaseLabel {
+        self.phase_labels[p]
+    }
+
+    fn phase_multiplexed(&self, p: usize) -> bool {
+        self.phase_multiplexed[p]
+    }
+
+    fn steps_in(&self, p: usize) -> usize {
+        let (lo, hi) = self.phase_step_ranges[p];
+        (hi - lo) as usize
+    }
+
+    fn step(&self, p: usize, s: usize) -> StepRef<'_> {
+        let (lo, hi) = self.phase_step_ranges[p];
+        let step = lo as usize + s;
+        assert!(step < hi as usize, "step ({p}, {s}) out of range");
+        StepRef::Flat { soa: self, step }
+    }
+}
+
+impl CommSchedule {
+    /// This schedule in the flat SoA layout (see [`FlatSchedule`]).
+    #[must_use]
+    pub fn to_flat(&self) -> FlatSchedule {
+        FlatSchedule::from_schedule(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::CollectiveKind;
+
+    fn build(kind: CollectiveKind, dpus: u32, elems: usize) -> CommSchedule {
+        CommSchedule::build(kind, &PimGeometry::paper_scaled(dpus), elems, 4).expect("builds")
+    }
+
+    #[test]
+    fn roundtrip_is_lossless_for_every_collective() {
+        for kind in CollectiveKind::ALL {
+            for dpus in [2u32, 8, 64] {
+                let nested = build(kind, dpus, 96);
+                let flat = nested.to_flat();
+                assert_eq!(flat.to_schedule(), nested, "{kind} x{dpus} roundtrip");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_iteration_matches_nested_order_exactly() {
+        let nested = build(CollectiveKind::AllReduce, 64, 128);
+        let flat = nested.to_flat();
+        assert_eq!(flat.phase_count(), nested.phase_count());
+        let mut flat_idx = 0usize;
+        for (pi, phase) in nested.phases.iter().enumerate() {
+            assert_eq!(flat.phase_label(pi), phase.label);
+            assert_eq!(flat.phase_multiplexed(pi), phase.multiplexed);
+            assert_eq!(flat.steps_in(pi), phase.steps.len());
+            for (si, step) in phase.steps.iter().enumerate() {
+                let sref = ScheduleView::step(&flat, pi, si);
+                assert_eq!(sref.len(), step.transfers.len());
+                for (t, tref) in step.transfers.iter().zip(sref.transfers()) {
+                    assert_eq!(tref.src, t.src);
+                    assert_eq!(tref.dsts, &t.dsts[..]);
+                    assert_eq!(tref.src_span, t.src_span);
+                    assert_eq!(tref.dst_span, t.dst_span);
+                    assert_eq!(tref.combine, t.combine);
+                    assert_eq!(tref.resources, &t.resources[..]);
+                    assert_eq!(tref.is_local(), t.is_local());
+                    assert_eq!(tref.bytes(4), t.bytes(4));
+                    flat_idx += 1;
+                }
+            }
+        }
+        assert_eq!(flat.transfers_total(), flat_idx);
+    }
+
+    #[test]
+    fn flat_aggregates_match_nested() {
+        for kind in [
+            CollectiveKind::AllReduce,
+            CollectiveKind::AllToAll,
+            CollectiveKind::Broadcast,
+        ] {
+            let nested = build(kind, 64, 96);
+            let flat = nested.to_flat();
+            assert_eq!(flat.total_wire_bytes(), nested.total_wire_bytes());
+            assert_eq!(flat.step_count(), nested.step_count());
+            assert_eq!(flat.view_transfer_count(), nested.transfer_count());
+            assert_eq!(nested.view_transfer_count(), nested.transfer_count());
+        }
+    }
+
+    #[test]
+    fn headers_agree_across_layouts() {
+        let nested = build(CollectiveKind::ReduceScatter, 8, 40);
+        let flat = nested.to_flat();
+        let (a, b) = (nested.header(), flat.header());
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.geometry, b.geometry);
+        assert_eq!(a.elems_per_node, b.elems_per_node);
+        assert_eq!(a.elem_bytes, b.elem_bytes);
+        assert_eq!(a.buffer_len, b.buffer_len);
+        assert_eq!(a.result_spans, b.result_spans);
+    }
+
+    #[test]
+    fn phase_count_counts_phases() {
+        let nested = build(CollectiveKind::AllReduce, 8, 64);
+        // Single chip at 8 DPUs: bank RS + bank AG.
+        assert_eq!(nested.phase_count(), nested.phases.len());
+    }
+}

@@ -13,13 +13,14 @@
 //! start`, whereas a dynamically flow-controlled network would let early
 //! DPUs inject immediately (the trade-off quantified in Fig 13).
 
-use pim_arch::geometry::DpuId;
+use pim_arch::geometry::{DpuId, PimGeometry};
 use pim_faults::FaultInjector;
 use pim_sim::trace::codes;
 use pim_sim::{Probe, SimTime};
 
 use crate::error::PimnetError;
 use crate::fabric::FabricConfig;
+use crate::schedule::ScheduleView;
 
 /// How far a collective's participants extend across the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -43,6 +44,19 @@ impl SyncScope {
             SyncScope::Chip => 0,
             SyncScope::Rank => 1,
             SyncScope::Channel => 2,
+        }
+    }
+
+    /// The scope a geometry's collectives synchronize over: how far up the
+    /// hierarchy READY must aggregate before START can fire.
+    #[must_use]
+    pub fn of_geometry(g: &PimGeometry) -> SyncScope {
+        if g.ranks_per_channel > 1 {
+            SyncScope::Channel
+        } else if g.chips_per_rank > 1 {
+            SyncScope::Rank
+        } else {
+            SyncScope::Chip
         }
     }
 }
@@ -82,6 +96,13 @@ impl SyncModel {
     #[must_use]
     pub fn barrier(&self, scope: SyncScope, skew: SimTime) -> SimTime {
         self.one_way(scope) * 2 + skew
+    }
+
+    /// [`SyncModel::barrier`] for a schedule in either layout, deriving
+    /// the scope from the schedule's geometry.
+    #[must_use]
+    pub fn barrier_for<S: ScheduleView>(&self, schedule: &S, skew: SimTime) -> SimTime {
+        self.barrier(SyncScope::of_geometry(schedule.header().geometry), skew)
     }
 
     /// [`SyncModel::barrier`] plus observation: emits one `barrier` span

@@ -17,7 +17,7 @@ use pim_sim::{Probe, SimTime};
 use pim_arch::geometry::DpuId;
 
 use crate::error::PimnetError;
-use crate::schedule::{CommSchedule, PhaseLabel};
+use crate::schedule::{CommSchedule, PhaseLabel, ScheduleView};
 use crate::sync::SyncModel;
 use crate::timing::TimingModel;
 use crate::topology::Resource;
@@ -58,21 +58,23 @@ pub struct Timeline {
 }
 
 impl Timeline {
-    /// Builds the timeline of `schedule` under `timing`.
+    /// Builds the timeline of `schedule` (in either layout) under `timing`.
     #[must_use]
-    pub fn build(schedule: &CommSchedule, timing: &TimingModel) -> Timeline {
-        let sync = SyncModel::from_fabric(&timing.fabric)
-            .barrier(timing.scope_of(schedule), SimTime::ZERO);
+    pub fn build<S: ScheduleView>(schedule: &S, timing: &TimingModel) -> Timeline {
+        let hdr = schedule.header();
+        let sync = SyncModel::from_fabric(&timing.fabric).barrier_for(schedule, SimTime::ZERO);
         let mut cursor = sync;
-        let mut windows = Vec::with_capacity(schedule.transfer_count());
-        for (pi, phase) in schedule.phases.iter().enumerate() {
-            for (si, step) in phase.steps.iter().enumerate() {
-                let step_time = timing.step_time(schedule, step);
-                for t in &step.transfers {
+        let mut windows = Vec::with_capacity(schedule.view_transfer_count());
+        for pi in 0..schedule.phase_count() {
+            let label = schedule.phase_label(pi);
+            for si in 0..schedule.steps_in(pi) {
+                let step = schedule.step(pi, si);
+                let step_time = timing.step_time_of(hdr.elem_bytes, step);
+                for t in step.transfers() {
                     if t.is_local() {
                         continue;
                     }
-                    let bytes = t.bytes(schedule.elem_bytes);
+                    let bytes = t.bytes(hdr.elem_bytes);
                     // Stand-alone serialization through the slowest hop.
                     let dur = t
                         .resources
@@ -82,10 +84,10 @@ impl Timeline {
                         .unwrap_or(SimTime::ZERO);
                     windows.push(TransferWindow {
                         phase: pi,
-                        label: phase.label,
+                        label,
                         step: si,
                         src: t.src,
-                        dsts: t.dsts.clone(),
+                        dsts: t.dsts.to_vec(),
                         bytes: bytes.as_u64(),
                         start: cursor,
                         end: (cursor + dur).min(cursor + step_time),

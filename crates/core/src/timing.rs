@@ -23,8 +23,12 @@ use pim_sim::{Bytes, SimTime};
 
 use pim_arch::SystemConfig;
 
+use pim_arch::geometry::PimGeometry;
+
 use crate::fabric::FabricConfig;
-use crate::schedule::{CommSchedule, CommStep, Phase, PhaseLabel, TierTimes};
+use crate::schedule::{
+    CommSchedule, CommStep, Phase, PhaseLabel, ScheduleView, StepRef, TierTimes,
+};
 use crate::sync::{SyncModel, SyncScope};
 use crate::topology::Resource;
 
@@ -145,15 +149,21 @@ impl TimingModel {
     /// hop propagation.
     #[must_use]
     pub fn step_time(&self, schedule: &CommSchedule, step: &CommStep) -> SimTime {
+        self.step_time_of(schedule.elem_bytes, StepRef::Nested(step))
+    }
+
+    /// [`TimingModel::step_time`] for a step in either schedule layout.
+    #[must_use]
+    pub fn step_time_of(&self, elem_bytes: u32, step: StepRef<'_>) -> SimTime {
         let mut occupancy: HashMap<Resource, SimTime> = HashMap::new();
         let mut max_hops = 0usize;
-        for t in &step.transfers {
+        for t in step.transfers() {
             if t.is_local() {
                 continue;
             }
-            let bytes = t.bytes(schedule.elem_bytes);
+            let bytes = t.bytes(elem_bytes);
             max_hops = max_hops.max(t.resources.len());
-            for r in &t.resources {
+            for r in t.resources {
                 let ser = r.bandwidth(&self.fabric).transfer_time(bytes);
                 *occupancy.entry(*r).or_insert(SimTime::ZERO) += ser;
             }
@@ -172,18 +182,22 @@ impl TimingModel {
             .sum()
     }
 
-    /// Times a whole schedule, including the READY/START barrier (with
-    /// `skew` between the earliest and latest participant) and WRAM-overflow
-    /// staging.
+    /// Times a whole schedule in either layout, including the READY/START
+    /// barrier (with `skew` between the earliest and latest participant)
+    /// and WRAM-overflow staging.
     #[must_use]
-    pub fn time_schedule(&self, schedule: &CommSchedule, skew: SimTime) -> CommBreakdown {
+    pub fn time_schedule<S: ScheduleView>(&self, schedule: &S, skew: SimTime) -> CommBreakdown {
+        let hdr = schedule.header();
         let mut breakdown = CommBreakdown::zero();
         let sync = SyncModel::from_fabric(&self.fabric);
-        breakdown.sync = sync.barrier(self.scope_of(schedule), skew);
-        for phase in &schedule.phases {
-            breakdown.add_phase(phase.label, self.phase_time(schedule, phase));
+        breakdown.sync = sync.barrier(Self::scope_of_geometry(hdr.geometry), skew);
+        for p in 0..schedule.phase_count() {
+            let t: SimTime = (0..schedule.steps_in(p))
+                .map(|s| self.step_time_of(hdr.elem_bytes, schedule.step(p, s)))
+                .sum();
+            breakdown.add_phase(schedule.phase_label(p), t);
         }
-        breakdown.mem = self.mem_overhead(schedule);
+        breakdown.mem = self.mem_overhead_of(hdr.buffer_len, hdr.elem_bytes);
         breakdown
     }
 
@@ -191,7 +205,13 @@ impl TimingModel {
     /// DMA-staged from MRAM before sending and back after receiving.
     #[must_use]
     pub fn mem_overhead(&self, schedule: &CommSchedule) -> SimTime {
-        let footprint = Bytes::new(schedule.buffer_len as u64 * u64::from(schedule.elem_bytes));
+        self.mem_overhead_of(schedule.buffer_len, schedule.elem_bytes)
+    }
+
+    /// [`TimingModel::mem_overhead`] from the buffer footprint alone.
+    #[must_use]
+    pub fn mem_overhead_of(&self, buffer_len: usize, elem_bytes: u32) -> SimTime {
+        let footprint = Bytes::new(buffer_len as u64 * u64::from(elem_bytes));
         let overflow = self.system.memory.wram_overflow(footprint);
         if overflow.is_zero() {
             SimTime::ZERO
@@ -203,14 +223,13 @@ impl TimingModel {
     /// The synchronization scope a schedule needs.
     #[must_use]
     pub fn scope_of(&self, schedule: &CommSchedule) -> SyncScope {
-        let g = &schedule.geometry;
-        if g.ranks_per_channel > 1 {
-            SyncScope::Channel
-        } else if g.chips_per_rank > 1 {
-            SyncScope::Rank
-        } else {
-            SyncScope::Chip
-        }
+        Self::scope_of_geometry(&schedule.geometry)
+    }
+
+    /// The synchronization scope a geometry's collectives need.
+    #[must_use]
+    pub fn scope_of_geometry(g: &PimGeometry) -> SyncScope {
+        SyncScope::of_geometry(g)
     }
 
     /// Per-tier durations in Algorithm 1 form, for an AllReduce schedule

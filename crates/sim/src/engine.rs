@@ -8,6 +8,14 @@
 //! simulation state; events receive `&mut W` plus `&mut Engine<W>` so they
 //! can schedule follow-up events.
 //!
+//! Internally the pending set is a *calendar queue* (R. Brown, CACM 1988): a
+//! ring of time buckets of fixed width, dequeued by sweeping the ring from
+//! the current position. Enqueue and dequeue are O(1) amortized versus the
+//! O(log n) of the [`std::collections::BinaryHeap`] it replaced, and the
+//! ordering contract is unchanged — strictly ascending `(time, seq)` — which
+//! the seeded property test below pins against a reference heap, timestamp
+//! ties included.
+//!
 //! # Example
 //!
 //! ```
@@ -25,9 +33,6 @@
 //! assert_eq!(engine.now(), SimTime::from_ns(15));
 //! ```
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use crate::SimTime;
 
 type Action<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
@@ -38,24 +43,150 @@ struct Scheduled<W> {
     action: Action<W>,
 }
 
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl<W> Scheduled<W> {
+    /// The dequeue priority: ascending `(time, seq)`, so same-instant
+    /// events keep their scheduling (FIFO) order.
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
 
-impl<W> Eq for Scheduled<W> {}
-
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// Calendar queue over [`Scheduled`] events.
+///
+/// Buckets cover contiguous windows of `width_ps` picoseconds and wrap
+/// around the ring, so bucket `i` holds every pending event whose
+/// `time / width_ps ≡ i (mod buckets)`. Each bucket is kept sorted by
+/// *descending* `(time, seq)` so the bucket minimum pops from the tail in
+/// O(1). Dequeue sweeps the ring starting at the window of the last
+/// dequeued instant; because the engine forbids scheduling into the past,
+/// the first event found inside its bucket's current window is the global
+/// minimum. A sweep that covers a whole "year" (every bucket) without a
+/// hit falls back to a direct scan of all bucket tails.
+///
+/// All state transitions are pure functions of the push/pop sequence —
+/// no clocks, no hashing — so the queue is deterministic by construction.
+struct CalendarQueue<W> {
+    buckets: Vec<Vec<Scheduled<W>>>,
+    /// Width of one bucket window in picoseconds (≥ 1).
+    width_ps: u64,
+    /// Total pending events across all buckets.
+    len: usize,
+    /// Instant of the most recent dequeue; the next sweep starts in its
+    /// window. Never decreases (causality).
+    last_ps: u64,
 }
 
-impl<W> Ord for Scheduled<W> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse so earliest (time, seq) pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+/// Initial (and minimum) bucket count; always a power of two.
+const MIN_BUCKETS: usize = 16;
+/// Initial bucket width, in picoseconds.
+const INITIAL_WIDTH_PS: u64 = 1024;
+
+impl<W> CalendarQueue<W> {
+    fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            width_ps: INITIAL_WIDTH_PS,
+            len: 0,
+            last_ps: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn bucket_of(&self, time_ps: u64) -> usize {
+        ((time_ps / self.width_ps) % self.buckets.len() as u64) as usize
+    }
+
+    fn push(&mut self, ev: Scheduled<W>) {
+        let b = self.bucket_of(ev.time.as_ps());
+        let bucket = &mut self.buckets[b];
+        // Descending order: find the first entry that sorts below `ev`
+        // and insert in front of it; the tail stays the bucket minimum.
+        let key = ev.key();
+        let pos = bucket.partition_point(|e| e.key() > key);
+        bucket.insert(pos, ev);
+        self.len += 1;
+        if self.len > 2 * self.buckets.len() {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<W>> {
+        let (bucket, _) = self.find_min()?;
+        let ev = self.buckets[bucket]
+            .pop()
+            .expect("found bucket is nonempty");
+        self.len -= 1;
+        self.last_ps = ev.time.as_ps();
+        if self.buckets.len() > MIN_BUCKETS && self.len < self.buckets.len() / 4 {
+            self.resize((self.buckets.len() / 2).max(MIN_BUCKETS));
+        }
+        Some(ev)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        let (bucket, time) = self.find_min()?;
+        debug_assert!(!self.buckets[bucket].is_empty());
+        Some(time)
+    }
+
+    /// Locates the globally minimum event: the bucket index holding it (at
+    /// the bucket tail) and its time. Sweeps one year from the window of
+    /// `last_ps`, then falls back to a direct scan over every bucket tail.
+    fn find_min(&self) -> Option<(usize, SimTime)> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        let first_window = self.last_ps / self.width_ps;
+        for window in first_window..first_window + n as u64 {
+            let b = (window % n as u64) as usize;
+            if let Some(ev) = self.buckets[b].last() {
+                let window_end = (window + 1).saturating_mul(self.width_ps);
+                if ev.time.as_ps() < window_end {
+                    return Some((b, ev.time));
+                }
+            }
+        }
+        // Sparse queue: nothing within a year of the cursor. Direct scan.
+        let mut best: Option<(usize, (SimTime, u64))> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            if let Some(ev) = bucket.last() {
+                if best.is_none_or(|(_, k)| ev.key() < k) {
+                    best = Some((b, ev.key()));
+                }
+            }
+        }
+        best.map(|(b, (t, _))| (b, t))
+    }
+
+    /// Rebuilds the ring with `new_len` buckets and a width derived from
+    /// the current event population (mean spacing across the pending time
+    /// range, clamped to ≥ 1 ps). Both inputs are functions of the queue
+    /// contents alone, keeping the layout deterministic.
+    fn resize(&mut self, new_len: usize) {
+        let mut events: Vec<Scheduled<W>> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            events.append(bucket);
+        }
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for ev in &events {
+            let t = ev.time.as_ps();
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        self.width_ps = if events.len() >= 2 && hi > lo {
+            ((hi - lo) / events.len() as u64).max(1)
+        } else {
+            INITIAL_WIDTH_PS
+        };
+        self.buckets = (0..new_len).map(|_| Vec::new()).collect();
+        self.len = 0;
+        for ev in events {
+            self.push(ev);
+        }
     }
 }
 
@@ -66,7 +197,7 @@ pub struct Engine<W> {
     now: SimTime,
     seq: u64,
     executed: u64,
-    queue: BinaryHeap<Scheduled<W>>,
+    queue: CalendarQueue<W>,
 }
 
 impl<W> Default for Engine<W> {
@@ -83,7 +214,7 @@ impl<W> Engine<W> {
             now: SimTime::ZERO,
             seq: 0,
             executed: 0,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
         }
     }
 
@@ -159,8 +290,8 @@ impl<W> Engine<W> {
     /// `deadline`; events exactly at the deadline are dispatched. Returns the
     /// final simulated time.
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> SimTime {
-        while let Some(head) = self.queue.peek() {
-            if head.time > deadline {
+        while let Some(head) = self.queue.peek_time() {
+            if head > deadline {
                 break;
             }
             self.step(world);
@@ -182,6 +313,9 @@ impl<W> std::fmt::Debug for Engine<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SimRng;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
 
     #[test]
     fn events_fire_in_time_order() {
@@ -257,5 +391,90 @@ mod tests {
     fn debug_is_nonempty() {
         let engine: Engine<()> = Engine::new();
         assert!(format!("{engine:?}").contains("Engine"));
+    }
+
+    /// Seeded property test: across randomized interleavings of pushes and
+    /// pops — with deliberate timestamp ties and time scales spanning six
+    /// orders of magnitude — the calendar queue dequeues *exactly* the
+    /// `(time, seq)` sequence the `BinaryHeap` it replaced would produce.
+    #[test]
+    fn calendar_queue_matches_reference_heap_order() {
+        for seed in 0..12u64 {
+            let mut rng = SimRng::seed_from_u64(0x00c9_a15e ^ (seed * 0x9e37_79b9));
+            let mut cal: CalendarQueue<()> = CalendarQueue::new();
+            // The reference is the exact ordering contract of the old
+            // BinaryHeap scheduler: a min-heap over (time, seq).
+            let mut reference: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut now_ps = 0u64;
+            // Vary the event-time scale per seed so resizes exercise both
+            // dense (many ties per bucket) and sparse (year-overflow
+            // direct-scan) layouts.
+            let scale = [1u64, 7, 1000, 250_000, 40_000_000][seed as usize % 5];
+            for _ in 0..400 {
+                if rng.gen_bool(0.55) {
+                    // A burst of pushes; ~1 in 3 reuses an exact prior
+                    // timestamp to force ties.
+                    for _ in 0..rng.gen_range(1..8u32) {
+                        let t = if rng.gen_bool(0.33) {
+                            now_ps
+                        } else {
+                            now_ps + rng.below(64) * scale
+                        };
+                        let time = SimTime::from_ps(t);
+                        cal.push(Scheduled {
+                            time,
+                            seq,
+                            action: Box::new(|_, _| {}),
+                        });
+                        reference.push(Reverse((time, seq)));
+                        seq += 1;
+                    }
+                } else {
+                    let got = cal.pop().map(|ev| ev.key());
+                    let want = reference.pop().map(|Reverse(k)| k);
+                    assert_eq!(got, want, "seed {seed}: divergent dequeue");
+                    if let Some((t, _)) = got {
+                        now_ps = t.as_ps();
+                    }
+                }
+            }
+            // Drain both completely: every remaining event must match too.
+            loop {
+                let got = cal.pop().map(|ev| ev.key());
+                let want = reference.pop().map(|Reverse(k)| k);
+                assert_eq!(got, want, "seed {seed}: divergent drain");
+                if got.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(cal.len(), 0);
+        }
+    }
+
+    /// Resize paths (grow past 2x buckets, shrink on drain) preserve both
+    /// content and order under a large monotone-then-random load.
+    #[test]
+    fn calendar_queue_resize_preserves_order() {
+        let mut rng = SimRng::seed_from_u64(0xca1e_0da2);
+        let mut cal: CalendarQueue<()> = CalendarQueue::new();
+        let mut keys: Vec<(SimTime, u64)> = Vec::new();
+        for seq in 0..5000u64 {
+            let time = SimTime::from_ps(rng.below(1 << 20));
+            keys.push((time, seq));
+            cal.push(Scheduled {
+                time,
+                seq,
+                action: Box::new(|_, _| {}),
+            });
+        }
+        assert!(cal.buckets.len() > MIN_BUCKETS, "growth path not exercised");
+        keys.sort();
+        let mut drained = Vec::new();
+        while let Some(ev) = cal.pop() {
+            drained.push(ev.key());
+        }
+        assert_eq!(drained, keys);
+        assert_eq!(cal.buckets.len(), MIN_BUCKETS, "shrink path not exercised");
     }
 }

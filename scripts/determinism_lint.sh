@@ -58,6 +58,12 @@ allowlist=(
     # P009 flow sets: HashSet used for dedup + len(); the emission loop
     # iterates the enclosing BTreeMap, never the set.
     "crates/core/src/analysis/structural.rs"
+    # Per-link busy tallies: the map is iterated, but only into
+    # commutative integer sums (per-tier totals and a max), so iteration
+    # order cannot reach the output. The boost planner's per-class facts
+    # use BTreeMap instead because its busiest-resource *selection* is
+    # order-visible on ties.
+    "crates/core/src/timeline.rs"
 )
 
 hot_paths=(
@@ -66,6 +72,12 @@ hot_paths=(
     crates/core/src/serve.rs
     crates/core/src/recovery.rs
     crates/core/src/resilience.rs
+    # The flat SoA layout (schedule/soa.rs) and the boost planner
+    # (schedule/boost.rs) are covered by the schedule directory above;
+    # the calendar-queue event core must stay hash-free too — bucket
+    # drain order is FIFO-within-priority by contract.
+    crates/sim/src/engine.rs
+    crates/core/src/timeline.rs
 )
 
 hash_files=$(grep -rl --include='*.rs' -E 'HashMap|HashSet' "${hot_paths[@]}" 2>/dev/null | sort)

@@ -1,0 +1,182 @@
+//! Bit-identity pins for the flat SoA schedule layout
+//! ([`schedule::FlatSchedule`]): every consumer that accepts either
+//! layout must produce **byte-identical** output on both — same timeline
+//! windows, same executed buffers, same analysis reports (rendered text
+//! and JSON), same timing breakdowns.
+//!
+//! This is the soundness statement of the SoA rework: flattening is a
+//! memory-layout change, not a semantic change, and any divergence at
+//! all fails an `assert_eq!` here. The corpus covers the clean builder
+//! matrix (every collective × several geometries × awkward element
+//! counts) *and* seeded broken mutants, so the analysis passes are
+//! pinned on dirty diagnostics too, mirroring the incremental verifier's
+//! equivalence harness.
+
+use pim_arch::geometry::{DpuId, PimGeometry};
+use pimnet_suite::net::analysis;
+use pimnet_suite::net::collective::CollectiveKind;
+use pimnet_suite::net::exec::{run_collective, ExecMachine, ReduceOp};
+use pimnet_suite::net::schedule::{CommSchedule, FlatSchedule, ScheduleView, Span};
+use pimnet_suite::net::timeline::Timeline;
+use pimnet_suite::net::timing::TimingModel;
+use pimnet_suite::sim::{SimRng, SimTime};
+
+fn build(kind: CollectiveKind, dpus: u32, elems: usize) -> CommSchedule {
+    CommSchedule::build(kind, &PimGeometry::paper_scaled(dpus), elems, 4).expect("builds")
+}
+
+/// The clean corpus: every collective at three scales with an element
+/// count that divides evenly nowhere interesting.
+fn corpus() -> Vec<(String, CommSchedule)> {
+    let mut out = Vec::new();
+    for kind in CollectiveKind::ALL {
+        for dpus in [8u32, 64, 256] {
+            for elems in [64usize, 130] {
+                out.push((format!("{kind} x{dpus} e{elems}"), build(kind, dpus, elems)));
+            }
+        }
+    }
+    out
+}
+
+fn report_fingerprint(report: &analysis::AnalysisReport) -> String {
+    format!("{report}\n{}", report.to_json())
+}
+
+#[test]
+fn flatten_roundtrips_losslessly_over_the_corpus() {
+    for (label, nested) in corpus() {
+        let flat = FlatSchedule::from_schedule(&nested);
+        assert_eq!(flat.to_schedule(), nested, "{label}: roundtrip diverged");
+    }
+}
+
+#[test]
+fn timelines_are_bit_identical_across_layouts() {
+    let timing = TimingModel::paper();
+    for (label, nested) in corpus() {
+        let flat = nested.to_flat();
+        let a = Timeline::build(&nested, &timing);
+        let b = Timeline::build(&flat, &timing);
+        assert_eq!(a, b, "{label}: timeline diverged");
+        assert_eq!(a.to_csv(), b.to_csv(), "{label}: timeline CSV diverged");
+    }
+}
+
+#[test]
+fn timing_breakdowns_are_bit_identical_across_layouts() {
+    let timing = TimingModel::paper();
+    for (label, nested) in corpus() {
+        let flat = nested.to_flat();
+        for skew in [SimTime::ZERO, SimTime::from_us(7)] {
+            assert_eq!(
+                timing.time_schedule(&nested, skew),
+                timing.time_schedule(&flat, skew),
+                "{label}: breakdown diverged at skew {skew}"
+            );
+        }
+    }
+}
+
+#[test]
+fn execution_is_bit_identical_across_layouts() {
+    for (label, nested) in corpus() {
+        let flat = nested.to_flat();
+        let input = |id: DpuId| -> Vec<u64> {
+            (0..nested.elems_per_node)
+                .map(|e| (u64::from(id.0) + 1) * 1_000 + e as u64)
+                .collect()
+        };
+        for op in [ReduceOp::Sum, ReduceOp::Max] {
+            let a = run_collective(&nested, op, input).expect("nested run");
+            let mut b = ExecMachine::init(&flat, input);
+            b.run(&flat, op);
+            assert_eq!(a, b, "{label}/{op}: buffers diverged");
+        }
+    }
+}
+
+#[test]
+fn analysis_reports_are_byte_identical_across_layouts() {
+    // The dataflow pass's per-element provenance is costly at 256 DPUs;
+    // cap analysis at 64 like the rest of the analysis suites. Layout
+    // identity at 256 is still pinned by the timeline/exec/timing tests.
+    for (label, nested) in corpus() {
+        if nested.geometry.total_dpus() > 64 {
+            continue;
+        }
+        let flat = nested.to_flat();
+        let a = analysis::run_all(&nested);
+        assert!(a.is_clean(), "{label}: corpus schedule not clean:\n{a}");
+        let b = analysis::run_all(&flat);
+        assert_eq!(
+            report_fingerprint(&a),
+            report_fingerprint(&b),
+            "{label}: analysis report diverged"
+        );
+    }
+}
+
+/// Seeded single mutations (the validator fuzzer's recipe shape): the
+/// flat layout must reproduce the *diagnostics* byte-for-byte too, not
+/// just the clean path.
+#[test]
+fn broken_schedules_lint_byte_identically_across_layouts() {
+    for seed in 0..200u64 {
+        let mut rng = SimRng::seed_from_u64(0x50a0_0000 ^ seed);
+        let dpus = [8u32, 16][rng.below(2) as usize];
+        let kind = CollectiveKind::ALL[rng.below(7) as usize];
+        let mut s = build(kind, dpus, 64);
+        let total = s.geometry.total_dpus();
+
+        // Pick a step and corrupt one transfer in one of several ways.
+        let sites: Vec<(usize, usize, usize)> =
+            s.phases
+                .iter()
+                .enumerate()
+                .flat_map(|(pi, p)| {
+                    p.steps.iter().enumerate().flat_map(move |(si, st)| {
+                        (0..st.transfers.len()).map(move |ti| (pi, si, ti))
+                    })
+                })
+                .collect();
+        if sites.is_empty() {
+            continue;
+        }
+        let (pi, si, ti) = sites[rng.below(sites.len() as u64) as usize];
+        let t = &mut s.phases[pi].steps[si].transfers[ti];
+        match rng.below(5) {
+            0 => t.dsts.clear(),
+            1 => t.src_span = Span::new(t.src_span.start, t.src_span.len + 7),
+            2 => t.dst_span = Span::new(usize::MAX / 4, t.dst_span.len),
+            3 => t.src = DpuId(total + 3),
+            _ => t.combine = !t.combine,
+        }
+
+        let nested_report = analysis::run_all(&s);
+        let flat_report = analysis::run_all(&s.to_flat());
+        assert_eq!(
+            report_fingerprint(&nested_report),
+            report_fingerprint(&flat_report),
+            "seed {seed}: mutant lint diverged between layouts"
+        );
+    }
+}
+
+#[test]
+fn view_aggregates_agree_across_layouts() {
+    for (label, nested) in corpus() {
+        let flat = nested.to_flat();
+        assert_eq!(
+            flat.total_wire_bytes(),
+            nested.total_wire_bytes(),
+            "{label}: wire bytes"
+        );
+        assert_eq!(flat.step_count(), nested.step_count(), "{label}: steps");
+        assert_eq!(
+            flat.view_transfer_count(),
+            nested.transfer_count(),
+            "{label}: transfer count"
+        );
+    }
+}
