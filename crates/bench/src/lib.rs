@@ -46,6 +46,12 @@ impl Table {
             .push(cells.into_iter().map(|c| c.to_string()).collect());
     }
 
+    /// The formatted data rows (header excluded).
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders the aligned text table.
     #[must_use]
     pub fn render(&self) -> String {

@@ -514,6 +514,84 @@ pub fn fig12_table(kind: CollectiveKind, workers: usize) -> Table {
     t
 }
 
+/// Collectives the `fig12_best` paper-vs-tuned table sweeps.
+pub const FIG12_BEST_KINDS: [CollectiveKind; 5] = [
+    CollectiveKind::AllReduce,
+    CollectiveKind::ReduceScatter,
+    CollectiveKind::AllGather,
+    CollectiveKind::Broadcast,
+    CollectiveKind::AllToAll,
+];
+/// System sizes the `fig12_best` table sweeps.
+pub const FIG12_BEST_DPUS: [u32; 3] = [8, 64, 256];
+/// Payloads (elements per node) the `fig12_best` table sweeps.
+pub const FIG12_BEST_ELEMS: [usize; 2] = [64, 1024];
+
+/// The pinned `(kind, dpus, elems)` cell list of [`fig12_best`], in row
+/// order. AllGather is capped at 64 DPUs: its `N·n`-element buffers make
+/// the dataflow proof pass — which the autotuner runs on *every*
+/// candidate — orders of magnitude more expensive at 256 DPUs than any
+/// other cell, for no extra coverage of the composition space.
+#[must_use]
+pub fn fig12_best_cells() -> Vec<(CollectiveKind, u32, usize)> {
+    let mut cells = Vec::new();
+    for kind in FIG12_BEST_KINDS {
+        for dpus in FIG12_BEST_DPUS {
+            if kind == CollectiveKind::AllGather && dpus > 64 {
+                continue;
+            }
+            for elems in FIG12_BEST_ELEMS {
+                cells.push((kind, dpus, elems));
+            }
+        }
+    }
+    cells
+}
+
+/// The paper-vs-tuned "best of" Fig 12 variant: every cell autotunes one
+/// `(collective, geometry, payload)` request and reports the paper's
+/// Table V time next to the tuned winner's. Cells fan out over `workers`
+/// threads; the tuner itself is deterministic and the schedule cache
+/// dedups concurrent sweeps, so the table is byte-identical at any
+/// worker count and any cache warmth.
+#[must_use]
+pub fn fig12_best(workers: usize) -> Table {
+    let rows = par::map_ordered_with(workers, fig12_best_cells(), |(kind, dpus, elems)| {
+        let geometry = PimGeometry::paper_scaled(dpus);
+        let choice = pimnet::schedule::autotune::tune(kind, &geometry, elems, 4)
+            .expect("every pinned cell tunes");
+        [
+            kind.to_string(),
+            dpus.to_string(),
+            elems.to_string(),
+            us(choice.paper_time),
+            us(choice.tuned_time),
+            x(choice.speedup()),
+            choice.spec(),
+            choice.candidates.to_string(),
+            choice.rejected.to_string(),
+        ]
+    });
+    let mut t = Table::new(
+        "Fig 12 best-of: paper Table V schedules vs autotuned hierarchical compositions",
+        &[
+            "kind",
+            "dpus",
+            "elems",
+            "paper_us",
+            "tuned_us",
+            "speedup",
+            "winner",
+            "candidates",
+            "rejected",
+        ],
+    );
+    for row in rows {
+        t.row(row);
+    }
+    t
+}
+
 /// One Fig 11 row set over an explicit workload list: the PIMnet
 /// communication-time breakdown plus the speedup over the reference
 /// backend (DIMM-Link, or NDPBridge for All-to-All workloads).

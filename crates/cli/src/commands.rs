@@ -20,6 +20,7 @@ USAGE:
                     [--backend B|S|N|D|P|all]
   pimnet-cli suite
   pimnet-cli schedule   --kind <coll> [--dpus <n>] [--elems <n>] [--boost]
+                    [--algo <bank_chip_rank>] [--autotune]
   pimnet-cli noc        --kind <coll> [--dpus <n>] [--elems <n>] [--jitter-us <f>]
                     [--fault-seed <n>] [--fault-config <path>]
   pimnet-cli faults     --kind <coll> [--dpus <n>] [--elems <n>]
@@ -68,6 +69,14 @@ USAGE:
   slice used by boost mode and prints the kept/total transfer counts and
   the analytically reconstructed end-to-end time (exact on the builder's
   symmetric collectives).
+
+  schedule --algo compiles a hierarchical composed schedule instead of the
+  paper's Table V one: the spec names one per-tier algorithm per dimension,
+  bank_chip_rank, each of ring|direct|dbtree|rabenseifner (e.g.
+  --algo ring_direct_dbtree). schedule --autotune sweeps the composition
+  candidates for the requested (kind, geometry, payload), re-proves each
+  with the analysis passes, prices survivors via the boost path, and uses
+  the winner (the paper schedule keeps ties).
 
   lint runs the static analyzer (structural, sync, hazard, dataflow passes)
   over a schedule without executing it, and exits non-zero on any
@@ -407,14 +416,46 @@ fn metrics_probe(flags: &Flags) -> pim_sim::Probe {
 fn schedule(flags: &Flags) -> Result<(), String> {
     warn_unknown(
         flags,
-        &["kind", "dpus", "elems", "timeline", "metrics", "boost"],
+        &[
+            "kind", "dpus", "elems", "timeline", "metrics", "boost", "algo", "autotune",
+        ],
     );
     let kind = parse_kind(flags.require("kind")?)?;
     let dpus: u32 = flags.num_or("dpus", 256)?;
     let elems: usize = flags.num_or("elems", 8192)?;
     let sys = system_for(dpus)?;
-    let s =
-        CommSchedule::build(kind, &sys.system().geometry, elems, 4).map_err(|e| e.to_string())?;
+    let geometry = sys.system().geometry;
+    let autotune = flags
+        .get_or("autotune", "false")
+        .eq_ignore_ascii_case("true");
+    let algo_spec = flags.require("algo").ok();
+    if autotune && algo_spec.is_some() {
+        return Err("--algo and --autotune are mutually exclusive".to_string());
+    }
+    let s = if autotune {
+        let choice = pimnet::schedule::autotune::tune(kind, &geometry, elems, 4)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "autotune: {} candidates swept, {} rejected; winner {} \
+             (paper {}, tuned {}, speedup {:.2}x)",
+            choice.candidates,
+            choice.rejected,
+            choice.spec(),
+            choice.paper_time,
+            choice.tuned_time,
+            choice.speedup()
+        );
+        (*choice.schedule).clone()
+    } else if let Some(spec) = algo_spec {
+        let comp = pimnet::schedule::Composition::parse(spec)?;
+        let built =
+            pimnet::schedule::cache::build_composed_cached(kind, &geometry, elems, 4, comp, 1)
+                .map_err(|e| e.to_string())?;
+        println!("algo: composed schedule {comp} (bank_chip_rank)");
+        (*built).clone()
+    } else {
+        CommSchedule::build(kind, &geometry, elems, 4).map_err(|e| e.to_string())?
+    };
     let report = pimnet::schedule::validate::validate(&s).map_err(|e| e.to_string())?;
     println!(
         "{kind} on {dpus} DPUs, {elems} elements/DPU: {} phases, {} steps, \

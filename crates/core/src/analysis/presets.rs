@@ -20,7 +20,7 @@ use pim_faults::{FaultConfig, FaultInjector, PermanentFaultRates};
 use pim_sim::Probe;
 
 use crate::collective::CollectiveKind;
-use crate::schedule::{cache, repair};
+use crate::schedule::{cache, repair, Composition};
 
 use super::AnalysisReport;
 
@@ -34,6 +34,16 @@ pub const STORM_DPUS: [u32; 2] = [64, 256];
 pub const STORM_SEEDS: [u64; 3] = [1, 2, 3];
 /// Elements per node used by every storm case.
 pub const STORM_ELEMS: usize = 256;
+/// Hierarchical compositions of the composed clean presets (applied per
+/// collective where [`Composition::applies_to`] admits them, on the
+/// 64-DPU geometry at the small payload).
+pub const COMPOSED_SPECS: [&str; 3] = [
+    "direct_direct_direct",
+    "ring_direct_ring",
+    "rabenseifner_ring_direct",
+];
+/// Geometry of the composed clean presets.
+pub const COMPOSED_DPUS: u32 = 64;
 
 /// One case of the preset matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +57,10 @@ pub struct PresetCase {
     /// `Some(seed)` for a sampled permanent-fault storm, `None` for a
     /// clean preset.
     pub storm_seed: Option<u64>,
+    /// `Some(composition)` to lint the hierarchical composed schedule
+    /// instead of the paper's Table V builder. Never combined with a
+    /// storm (repair only targets paper schedules).
+    pub algo: Option<Composition>,
 }
 
 impl PresetCase {
@@ -54,9 +68,12 @@ impl PresetCase {
     /// or `AllReduce x64 storm seed 1`.
     #[must_use]
     pub fn label(&self) -> String {
-        match self.storm_seed {
-            None => format!("{} x{} e{}", self.kind, self.dpus, self.elems),
-            Some(seed) => format!("{} x{} storm seed {seed}", self.kind, self.dpus),
+        match (self.storm_seed, self.algo) {
+            (None, None) => format!("{} x{} e{}", self.kind, self.dpus, self.elems),
+            (None, Some(comp)) => {
+                format!("{} x{} e{} algo {comp}", self.kind, self.dpus, self.elems)
+            }
+            (Some(seed), _) => format!("{} x{} storm seed {seed}", self.kind, self.dpus),
         }
     }
 
@@ -77,8 +94,14 @@ impl PresetCase {
             // identical geometries across presets — and across repeated
             // `lint --all-presets` fan-outs in one invocation — are
             // proven once and recalled, not re-proven.
-            let summary = cache::analyze_cached(self.kind, &g, self.elems, 4, probe)
-                .map_err(|e| e.to_string())?;
+            let summary = match self.algo {
+                Some(comp) => {
+                    cache::analyze_composed_cached(self.kind, &g, self.elems, 4, comp, 1, probe)
+                        .map_err(|e| e.to_string())?
+                }
+                None => cache::analyze_cached(self.kind, &g, self.elems, 4, probe)
+                    .map_err(|e| e.to_string())?,
+            };
             return Ok(summary.report.clone());
         };
         // Keep the expected fault count roughly constant across
@@ -122,7 +145,9 @@ impl PresetCase {
 }
 
 /// The full preset matrix, in the order the CLI reports it: every clean
-/// preset (kind-major), then every storm (geometry-major, seed, kind).
+/// preset (kind-major), then every composed clean preset (kind-major,
+/// [`COMPOSED_SPECS`] order, applicable compositions only), then every
+/// storm (geometry-major, seed, kind).
 #[must_use]
 pub fn cases() -> Vec<PresetCase> {
     let mut out = Vec::new();
@@ -134,8 +159,24 @@ pub fn cases() -> Vec<PresetCase> {
                     dpus,
                     elems,
                     storm_seed: None,
+                    algo: None,
                 });
             }
+        }
+    }
+    for kind in CollectiveKind::ALL {
+        for spec in COMPOSED_SPECS {
+            let comp = Composition::parse(spec).expect("pinned spec parses");
+            if !comp.applies_to(kind) {
+                continue;
+            }
+            out.push(PresetCase {
+                kind,
+                dpus: COMPOSED_DPUS,
+                elems: CLEAN_ELEMS[0],
+                storm_seed: None,
+                algo: Some(comp),
+            });
         }
     }
     for dpus in STORM_DPUS {
@@ -146,6 +187,7 @@ pub fn cases() -> Vec<PresetCase> {
                     dpus,
                     elems: STORM_ELEMS,
                     storm_seed: Some(seed),
+                    algo: None,
                 });
             }
         }
@@ -160,10 +202,21 @@ mod tests {
     #[test]
     fn matrix_has_the_documented_shape() {
         let all = cases();
-        let clean = all.iter().filter(|c| c.storm_seed.is_none()).count();
-        let storms = all.len() - clean;
+        let clean = all
+            .iter()
+            .filter(|c| c.storm_seed.is_none() && c.algo.is_none())
+            .count();
+        let composed = all.iter().filter(|c| c.algo.is_some()).count();
+        let storms = all.len() - clean - composed;
         assert_eq!(clean, 7 * 3 * 2);
+        // AllReduce 3 + ReduceScatter 3 + AllGather 3 + Broadcast 2
+        // (Rabenseifner banks cannot broadcast) + AllToAll 1 (all-direct
+        // only); the rooted converge collectives have no composed form.
+        assert_eq!(composed, 12);
         assert_eq!(storms, 2 * 3 * 7);
+        assert!(all
+            .iter()
+            .all(|c| !(c.storm_seed.is_some() && c.algo.is_some())));
     }
 
     #[test]
@@ -173,10 +226,25 @@ mod tests {
             dpus: 8,
             elems: 64,
             storm_seed: None,
+            algo: None,
         };
         let report = case.run().unwrap();
         assert!(report.is_clean(), "{}", report.summary());
         assert_eq!(case.label(), "AllReduce x8 e64");
+    }
+
+    #[test]
+    fn composed_presets_lint_clean() {
+        let case = PresetCase {
+            kind: CollectiveKind::AllReduce,
+            dpus: COMPOSED_DPUS,
+            elems: 64,
+            storm_seed: None,
+            algo: Some(Composition::parse("ring_direct_ring").unwrap()),
+        };
+        let report = case.run().unwrap();
+        assert!(report.is_clean(), "{}", report.summary());
+        assert_eq!(case.label(), "AllReduce x64 e64 algo ring_direct_ring");
     }
 
     #[test]
@@ -187,6 +255,7 @@ mod tests {
                 dpus: 64,
                 elems: STORM_ELEMS,
                 storm_seed: Some(1),
+                algo: None,
             };
             match case.run() {
                 Ok(report) => assert!(!report.has_errors(), "{}", report.summary()),

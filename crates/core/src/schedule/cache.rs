@@ -45,6 +45,8 @@ use crate::analysis::{self, AnalysisSummary, DeltaStats};
 use crate::collective::CollectiveKind;
 use crate::error::PimnetError;
 
+use super::algos::{self, Composition};
+use super::autotune::TunedChoice;
 use super::boost::{self, BoostPlan};
 use super::repair::RepairedSchedule;
 use super::{validate, CommSchedule};
@@ -72,15 +74,41 @@ struct Key {
     /// were thinned from: a boosted lookup must never be answered with a
     /// plain entry (or vice versa) for otherwise identical parameters.
     boost: bool,
+    /// Which builder produced the entry: [`PAPER_ALGO`] for the paper's
+    /// Table V builder ([`CommSchedule::build`]), [`composed_algo_code`]
+    /// for a per-tier [`Composition`] (chunk split folded in), and
+    /// [`TUNED_ALGO`] for the autotuner's memoized winner. Composed and
+    /// paper entries for identical parameters must never collide.
+    algo: u32,
 }
 
-/// One memoized value: a validated plain schedule, a repaired one, or a
-/// boost plan thinned from a validated plain schedule.
+/// [`Key::algo`] code of the paper's fixed Table V builder.
+const PAPER_ALGO: u32 = 0;
+
+/// [`Key::algo`] sentinel for memoized autotuner winners
+/// ([`Entry::Tuned`]): the tuned entry is keyed by the *request*
+/// (kind, geometry, payload), not by whichever composition won.
+const TUNED_ALGO: u32 = u32::MAX;
+
+/// Folds a per-tier [`Composition`] and chunk split into a stable
+/// [`Key::algo`] code, disjoint from [`PAPER_ALGO`] and [`TUNED_ALGO`]:
+/// bits 0..=7 carry `1 + bank + 4·chip + 16·rank` (1..=64), bits 8..=15
+/// carry `chunks - 1`.
+fn composed_algo_code(comp: Composition, chunks: usize) -> u32 {
+    debug_assert!((1..=256).contains(&chunks), "chunk split out of range");
+    let c = 1 + comp.bank.code() + 4 * comp.chip.code() + 16 * comp.rank.code();
+    c + (((chunks - 1) as u32) << 8)
+}
+
+/// One memoized value: a validated plain schedule, a repaired one, a
+/// boost plan thinned from a validated plain schedule, or an autotuner
+/// winner.
 #[derive(Debug, Clone)]
 enum Entry {
     Plain(Arc<CommSchedule>),
     Repaired(Arc<RepairedSchedule>),
     Boost(Arc<BoostPlan>),
+    Tuned(Arc<TunedChoice>),
 }
 
 /// A table slot: either a finished entry, or a build in flight. Pending
@@ -381,6 +409,7 @@ pub fn build_cached_at_epoch(
         repaired: false,
         epoch,
         boost: false,
+        algo: PAPER_ALGO,
     };
     let entry = get_or_build(key, probe, || {
         let schedule = CommSchedule::build(kind, geometry, elems_per_node, elem_bytes)?;
@@ -443,6 +472,7 @@ pub fn boost_cached_probed(
         repaired: false,
         epoch: 0,
         boost: true,
+        algo: PAPER_ALGO,
     };
     let entry = get_or_build(key, probe, || {
         let base = build_cached_probed(kind, geometry, elems_per_node, elem_bytes, probe)?;
@@ -528,6 +558,7 @@ pub fn repair_cached_at_epoch(
         repaired: true,
         epoch,
         boost: false,
+        algo: PAPER_ALGO,
     };
     let entry = get_or_build(key, probe, || {
         let base = build_cached_at_epoch(kind, geometry, elems_per_node, elem_bytes, epoch, probe)?;
@@ -537,6 +568,114 @@ pub fn repair_cached_at_epoch(
     match entry {
         Entry::Repaired(r) => Ok(r),
         _ => unreachable!("repaired key holds a non-repaired entry"),
+    }
+}
+
+/// Builds (or recalls) the *composed* schedule for `kind` on `geometry`
+/// under a per-tier algorithm [`Composition`] and `chunks` payload
+/// split, validated. Composed entries live in their own cache-key
+/// `algo` space, so they never collide with the paper builder's
+/// entries for identical parameters.
+///
+/// # Errors
+///
+/// Whatever [`algos::build_composed_chunked`] or
+/// [`validate::validate`] return.
+pub fn build_composed_cached(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    comp: Composition,
+    chunks: usize,
+) -> Result<Arc<CommSchedule>, PimnetError> {
+    build_composed_cached_probed(
+        kind,
+        geometry,
+        elems_per_node,
+        elem_bytes,
+        comp,
+        chunks,
+        Probe::disabled(),
+    )
+}
+
+/// [`build_composed_cached`] with hit/miss/dedup-wait observability (see
+/// [`build_cached_probed`]).
+///
+/// # Errors
+///
+/// Whatever [`algos::build_composed_chunked`] or
+/// [`validate::validate`] return.
+pub fn build_composed_cached_probed(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    comp: Composition,
+    chunks: usize,
+    probe: &Probe,
+) -> Result<Arc<CommSchedule>, PimnetError> {
+    let key = Key {
+        kind,
+        geometry: *geometry,
+        elems_per_node,
+        elem_bytes,
+        repair: EMPTY_FAULTS,
+        repaired: false,
+        epoch: 0,
+        boost: false,
+        algo: composed_algo_code(comp, chunks),
+    };
+    let entry = get_or_build(key, probe, || {
+        let schedule = algos::build_composed_chunked(
+            kind,
+            geometry,
+            elems_per_node,
+            elem_bytes,
+            comp,
+            chunks,
+        )?;
+        validate::validate(&schedule)?;
+        Ok(Entry::Plain(Arc::new(schedule)))
+    })?;
+    match entry {
+        Entry::Plain(s) => Ok(s),
+        _ => unreachable!("composed key holds a non-plain entry"),
+    }
+}
+
+/// Recalls (or runs `tune` to produce) the autotuner's memoized winner
+/// for one `(kind, geometry, payload)` request. The entry is keyed by
+/// the request under the [`TUNED_ALGO`] sentinel — *not* by the winning
+/// composition — so concurrent tuners dedup to a single sweep.
+///
+/// # Errors
+///
+/// Whatever `tune` returns.
+pub(crate) fn tuned_cached_with(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    probe: &Probe,
+    tune: impl Fn() -> Result<TunedChoice, PimnetError>,
+) -> Result<Arc<TunedChoice>, PimnetError> {
+    let key = Key {
+        kind,
+        geometry: *geometry,
+        elems_per_node,
+        elem_bytes,
+        repair: EMPTY_FAULTS,
+        repaired: false,
+        epoch: 0,
+        boost: false,
+        algo: TUNED_ALGO,
+    };
+    let entry = get_or_build(key, probe, || Ok(Entry::Tuned(Arc::new(tune()?))))?;
+    match entry {
+        Entry::Tuned(t) => Ok(t),
+        _ => unreachable!("tuned key holds a non-tuned entry"),
     }
 }
 
@@ -618,6 +757,7 @@ fn plain_summary_at_epoch(
         repaired: false,
         epoch,
         boost: false,
+        algo: PAPER_ALGO,
     };
     let entry = lint_get_or_build(key, || {
         let schedule = build_cached_at_epoch(
@@ -682,6 +822,57 @@ pub fn analyze_cached_at_epoch(
     Ok(summary)
 }
 
+/// Verifies (or recalls the verification of) a *composed* schedule
+/// (per-tier [`Composition`] + chunk split): a full four-pass
+/// [`AnalysisSummary`] whose report is byte-identical to
+/// [`crate::analysis::run_all`] on the built schedule. This is the
+/// autotuner's proof path: every candidate it prices first passes
+/// through here, and warm hits make re-tuning (or re-admitting) cheap.
+/// Emits one `lint-full` trace event per call.
+///
+/// # Errors
+///
+/// Whatever [`build_composed_cached`] returns.
+pub fn analyze_composed_cached(
+    kind: CollectiveKind,
+    geometry: &PimGeometry,
+    elems_per_node: usize,
+    elem_bytes: u32,
+    comp: Composition,
+    chunks: usize,
+    probe: &Probe,
+) -> Result<Arc<AnalysisSummary>, PimnetError> {
+    let key = Key {
+        kind,
+        geometry: *geometry,
+        elems_per_node,
+        elem_bytes,
+        repair: EMPTY_FAULTS,
+        repaired: false,
+        epoch: 0,
+        boost: false,
+        algo: composed_algo_code(comp, chunks),
+    };
+    let entry = lint_get_or_build(key, || {
+        let schedule =
+            build_composed_cached(kind, geometry, elems_per_node, elem_bytes, comp, chunks)?;
+        Ok(LintEntry {
+            summary: Arc::new(analysis::verify_full_arc(schedule)),
+            delta: None,
+        })
+    })?;
+    let summary = entry.summary.clone();
+    record_lint_event(
+        codes::LINT_FULL,
+        kind,
+        geometry.total_dpus(),
+        summary.steps() as u64,
+        summary.report.error_count() as u64,
+        probe,
+    );
+    Ok(summary)
+}
+
 /// Verifies (or recalls the verification of) the *repaired* schedule for
 /// `kind` under `faults`, by delta re-lint against the cached base
 /// summary: only the steps the repair dirtied (and their
@@ -712,6 +903,7 @@ pub fn analyze_repaired_cached_at_epoch(
         repaired: true,
         epoch,
         boost: false,
+        algo: PAPER_ALGO,
     };
     let entry = lint_get_or_build(key, || {
         let base = plain_summary_at_epoch(kind, geometry, elems_per_node, elem_bytes, epoch)?;

@@ -27,9 +27,11 @@
 //! end-to-end.
 
 mod address;
+pub mod algos;
 mod allgather;
 mod allreduce;
 mod alltoall;
+pub mod autotune;
 pub mod boost;
 mod broadcast;
 pub mod cache;
@@ -40,6 +42,7 @@ pub mod soa;
 pub mod validate;
 
 pub use address::{AllReduceAddressPlan, BankAddressInfo, PhaseAddr, TierTimes};
+pub use algos::{build_composed, build_composed_chunked, Composition, TierAlgo};
 pub use allreduce::AllReduceOptions;
 pub use boost::{BoostPlan, StepFacts};
 pub use ring::{ring_all_gather, ring_reduce_scatter};
@@ -115,6 +118,37 @@ impl Span {
             out.push(Span::new(start, len));
             start += len;
         }
+        out
+    }
+
+    /// Splits the span into `k` pieces by *recursive halving* (`k` must
+    /// be a power of two): the span is cut with [`Span::split`]`(2)`,
+    /// then each half recursively, left before right.
+    ///
+    /// For lengths that are not a multiple of `k` this is **not** the
+    /// same partition as [`Span::split`]: flat splitting gives all the
+    /// remainder to the earliest pieces, while recursive halving pushes
+    /// remainders down level by level (e.g. `len = 11, k = 8` flat-splits
+    /// as `2,2,2,1,1,1,1,1` but halves as `2,1,2,1,2,1,1,1`). Halving /
+    /// doubling exchanges (Rabenseifner) carve the payload recursively,
+    /// so their builders must use this partition — mixing it with a
+    /// flat chunk table silently corrupts ownership.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a power of two.
+    #[must_use]
+    pub fn split_pow2(self, k: usize) -> Vec<Span> {
+        assert!(
+            k.is_power_of_two(),
+            "Span::split_pow2: {k} pieces is not a power of two"
+        );
+        if k == 1 {
+            return vec![self];
+        }
+        let halves = self.split(2);
+        let mut out = halves[0].split_pow2(k / 2);
+        out.extend(halves[1].split_pow2(k / 2));
         out
     }
 }
@@ -461,6 +495,38 @@ mod tests {
                 assert!(parts.iter().skip(n).all(|p| p.is_empty()));
             }
         }
+    }
+
+    #[test]
+    fn split_pow2_covers_exactly_and_diverges_from_flat_split() {
+        // The latent Rabenseifner trap: for non-power-of-two lengths the
+        // flat and recursive partitions are different covers. Both must
+        // tile the span; only the shapes differ.
+        let s = Span::new(0, 11);
+        let flat: Vec<usize> = s.split(8).iter().map(|p| p.len).collect();
+        let rec: Vec<usize> = s.split_pow2(8).iter().map(|p| p.len).collect();
+        assert_eq!(flat, vec![2, 2, 2, 1, 1, 1, 1, 1]);
+        assert_eq!(rec, vec![2, 1, 2, 1, 2, 1, 1, 1]);
+        for n in [0usize, 1, 3, 7, 11, 64, 193, 1030] {
+            for k in [1usize, 2, 4, 8, 16] {
+                let parts = Span::new(5, n).split_pow2(k);
+                assert_eq!(parts.len(), k, "n={n} k={k}");
+                let mut cursor = 5;
+                for p in &parts {
+                    assert_eq!(p.start, cursor, "n={n} k={k}");
+                    cursor = p.end();
+                }
+                assert_eq!(cursor, 5 + n, "n={n} k={k}");
+            }
+        }
+        // Power-of-two-multiple lengths agree with the flat split.
+        assert_eq!(Span::new(0, 64).split_pow2(8), Span::new(0, 64).split(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn split_pow2_rejects_non_power_of_two_k() {
+        let _ = Span::new(0, 8).split_pow2(3);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Golden pin of the autotuner sweep: `results/fig12_best.csv` is a
+//! pure function of the pinned cell matrix, so regenerating it — at any
+//! worker count, from a cold or a warm schedule cache — must reproduce
+//! the committed bytes exactly. A diff here means the tuner stopped
+//! being deterministic (or the matrix changed without re-committing the
+//! CSV: rerun `cargo run --release -p pimnet-bench --bin autotune_sweep`).
+
+use pim_arch::geometry::PimGeometry;
+use pimnet_bench::sweeps;
+use pimnet_suite::net::schedule::{autotune, cache};
+
+/// The committed sweep output, pinned at compile time.
+const GOLDEN: &str = include_str!("../results/fig12_best.csv");
+
+#[test]
+fn fig12_best_reproduces_the_committed_csv_at_any_worker_count() {
+    for workers in [1usize, 2, 8] {
+        let csv = sweeps::fig12_best(workers).to_csv();
+        assert_eq!(
+            csv, GOLDEN,
+            "fig12_best diverged from results/fig12_best.csv at {workers} worker(s)"
+        );
+    }
+}
+
+#[test]
+fn fig12_best_is_cache_warmth_independent() {
+    cache::clear();
+    let cold = sweeps::fig12_best(4).to_csv();
+    let warm = sweeps::fig12_best(4).to_csv();
+    assert_eq!(cold, GOLDEN, "cold-cache sweep diverged");
+    assert_eq!(warm, GOLDEN, "warm-cache sweep diverged");
+}
+
+#[test]
+fn golden_rows_never_price_worse_than_paper_and_one_cell_tunes() {
+    let mut tuned_cells = 0usize;
+    let mut rows = 0usize;
+    for line in GOLDEN.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        assert_eq!(cells.len(), 9, "malformed golden row: {line}");
+        let paper_us: f64 = cells[3].parse().unwrap();
+        let tuned_us: f64 = cells[4].parse().unwrap();
+        assert!(
+            tuned_us <= paper_us,
+            "winner prices worse than the paper incumbent: {line}"
+        );
+        assert_eq!(cells[8], "0", "a candidate failed analysis: {line}");
+        if cells[6] != "paper" {
+            tuned_cells += 1;
+            assert!(
+                tuned_us < paper_us,
+                "a non-incumbent winner must strictly improve: {line}"
+            );
+        }
+        rows += 1;
+    }
+    assert_eq!(rows, sweeps::fig12_best_cells().len());
+    assert!(
+        tuned_cells > 0,
+        "the matrix must contain at least one cell where tuning beats the paper"
+    );
+}
+
+#[test]
+fn tuner_is_deterministic_per_request() {
+    let g = PimGeometry::paper_scaled(64);
+    let kind = pimnet_suite::net::collective::CollectiveKind::AllReduce;
+    let a = autotune::tune(kind, &g, 64, 4).unwrap();
+    cache::clear();
+    let b = autotune::tune(kind, &g, 64, 4).unwrap();
+    assert_eq!(a.winner, b.winner);
+    assert_eq!(a.tuned_time, b.tuned_time);
+    assert_eq!(a.paper_time, b.paper_time);
+    assert_eq!(a.candidates, b.candidates);
+    assert_eq!(a.rejected, b.rejected);
+}

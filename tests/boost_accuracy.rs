@@ -11,7 +11,7 @@
 
 use pim_arch::geometry::PimGeometry;
 use pimnet_suite::net::collective::CollectiveKind;
-use pimnet_suite::net::schedule::{boost, cache, CommSchedule};
+use pimnet_suite::net::schedule::{boost, build_composed, cache, CommSchedule, Composition};
 use pimnet_suite::net::timeline::Timeline;
 use pimnet_suite::net::timing::TimingModel;
 use pimnet_suite::sim::SimTime;
@@ -90,6 +90,43 @@ fn uneven_payloads_stay_within_ceiling_slack() {
                 assert!(
                     rel <= 1e-3,
                     "{kind} x{dpus} e{elems}: relative error {rel:+.6} exceeds 0.1%"
+                );
+            }
+        }
+    }
+}
+
+/// Hierarchical composed schedules (one per collective with a composed
+/// form) are priced by the same boost path the autotuner uses to rank
+/// candidates, so the accuracy contract must hold for them too: the
+/// reconstruction never underestimates, and overestimates by less than
+/// 0.1% on divisible and ragged payloads alike.
+#[test]
+fn composed_schedules_stay_within_ceiling_slack() {
+    let timing = TimingModel::paper();
+    for (kind, spec) in [
+        (CollectiveKind::AllReduce, "ring_direct_ring"),
+        (CollectiveKind::ReduceScatter, "rabenseifner_ring_direct"),
+        (CollectiveKind::AllGather, "direct_ring_ring"),
+        (CollectiveKind::Broadcast, "dbtree_ring_ring"),
+        (CollectiveKind::AllToAll, "direct_direct_direct"),
+    ] {
+        let comp = Composition::parse(spec).expect("pinned spec parses");
+        for dpus in [8u32, 64, 256] {
+            let g = PimGeometry::paper_scaled(dpus);
+            for elems in [130usize, 1024] {
+                let s = build_composed(kind, &g, elems, 4, comp).expect("composed builds");
+                let plan = boost::plan(&s);
+                let full = timing.time_schedule(&s, SimTime::ZERO).total().as_ps();
+                let fast = plan.breakdown(&timing, SimTime::ZERO).total().as_ps();
+                assert!(
+                    fast >= full,
+                    "{kind} x{dpus} e{elems} {spec}: boost underestimated ({fast} < {full} ps)"
+                );
+                let rel = (fast - full) as f64 / full as f64;
+                assert!(
+                    rel <= 1e-3,
+                    "{kind} x{dpus} e{elems} {spec}: relative error {rel:+.6} exceeds 0.1%"
                 );
             }
         }

@@ -6,7 +6,8 @@ use pim_arch::geometry::{DpuId, PimGeometry};
 use pim_sim::SimRng;
 use pimnet_suite::net::collective::CollectiveKind;
 use pimnet_suite::net::exec::{run_collective, ReduceOp};
-use pimnet_suite::net::schedule::{validate, CommSchedule};
+use pimnet_suite::net::schedule::halving::build_halving_doubling;
+use pimnet_suite::net::schedule::{build_composed, validate, CommSchedule, Composition};
 
 fn input(id: DpuId, elems: usize, salt: u64) -> Vec<u64> {
     (0..elems)
@@ -119,6 +120,89 @@ fn reduce_scatter_partition_property() {
             for i in sp.range() {
                 assert!(!seen[i], "element {} owned twice", i);
                 seen[i] = true;
+            }
+        }
+    }
+}
+
+/// Recursive halving must carve non-power-of-two payloads with the
+/// *recursive* partition ([`pimnet_suite::net::schedule::Span::split_pow2`]),
+/// never the flat `split_elems` chunk table — for `len = 11, k = 8` the
+/// two disagree (`2,2,2,1,…` vs `2,1,2,1,…`), and an implementation that
+/// mixes them silently corrupts ownership. These payloads are chosen so
+/// every halving level splits unevenly somewhere; correctness must come
+/// from the partition itself, not from builder special-cases.
+#[test]
+fn halving_doubling_handles_non_power_of_two_payloads() {
+    for n in [8u32, 64, 256] {
+        let g = PimGeometry::paper_scaled(n);
+        for elems in [1usize, 3, 7, 11, 67, 193, 1030] {
+            let s = build_halving_doubling(&g, elems, 4).unwrap();
+            validate::validate(&s).unwrap();
+            let m = run_collective(&s, ReduceOp::Sum, |id| input(id, elems, 11)).unwrap();
+            let expected: Vec<u64> = (0..elems)
+                .map(|e| {
+                    (0..n)
+                        .map(|i| input(DpuId(i), elems, 11)[e])
+                        .fold(0u64, u64::wrapping_add)
+                })
+                .collect();
+            for id in s.participants() {
+                assert_eq!(m.result(&s, id), expected, "n={n} elems={elems} {id}");
+            }
+        }
+    }
+}
+
+/// The same non-power-of-two payloads through the composed Rabenseifner
+/// tiers: the halving reduce-scatter and doubling all-gather re-derive
+/// per-position ownership from the recursive partition, so ragged
+/// payloads must survive reduction *and* the scatter boundary contract
+/// (ReduceScatter pieces tile the vector exactly).
+#[test]
+fn composed_rabenseifner_handles_non_power_of_two_payloads() {
+    let comp = Composition::parse("rabenseifner_rabenseifner_ring").unwrap();
+    for n in [8u32, 64, 256] {
+        let g = PimGeometry::paper_scaled(n);
+        for elems in [1usize, 3, 7, 11, 67, 193] {
+            for kind in [CollectiveKind::AllReduce, CollectiveKind::ReduceScatter] {
+                let s = build_composed(kind, &g, elems, 4, comp).unwrap();
+                validate::validate(&s).unwrap();
+                let m = run_collective(&s, ReduceOp::Sum, |id| input(id, elems, 13)).unwrap();
+                let reduced: Vec<u64> = (0..elems)
+                    .map(|e| {
+                        (0..n)
+                            .map(|i| input(DpuId(i), elems, 13)[e])
+                            .fold(0u64, u64::wrapping_add)
+                    })
+                    .collect();
+                match kind {
+                    CollectiveKind::AllReduce => {
+                        for id in s.participants() {
+                            assert_eq!(m.result(&s, id), reduced, "n={n} e={elems} {id}");
+                        }
+                    }
+                    _ => {
+                        let mut seen = vec![false; elems];
+                        for id in s.participants() {
+                            for sp in &s.result_spans[id.index()] {
+                                for i in sp.range() {
+                                    assert!(!seen[i], "element {i} owned twice");
+                                    seen[i] = true;
+                                    assert_eq!(
+                                        m.buffer(id)[i],
+                                        reduced[i],
+                                        "n={n} e={elems} {id} element {i}"
+                                    );
+                                }
+                            }
+                        }
+                        assert!(
+                            seen.iter().all(|&b| b),
+                            "n={n} e={elems}: uncovered element"
+                        );
+                    }
+                }
             }
         }
     }

@@ -16,7 +16,9 @@ use pim_arch::geometry::{DpuId, PimGeometry};
 use pimnet_suite::net::analysis;
 use pimnet_suite::net::collective::CollectiveKind;
 use pimnet_suite::net::exec::{run_collective, ExecMachine, ReduceOp};
-use pimnet_suite::net::schedule::{CommSchedule, FlatSchedule, ScheduleView, Span};
+use pimnet_suite::net::schedule::{
+    build_composed, CommSchedule, Composition, FlatSchedule, ScheduleView, Span,
+};
 use pimnet_suite::net::timeline::Timeline;
 use pimnet_suite::net::timing::TimingModel;
 use pimnet_suite::sim::{SimRng, SimTime};
@@ -26,7 +28,9 @@ fn build(kind: CollectiveKind, dpus: u32, elems: usize) -> CommSchedule {
 }
 
 /// The clean corpus: every collective at three scales with an element
-/// count that divides evenly nowhere interesting.
+/// count that divides evenly nowhere interesting, plus one hierarchical
+/// composed schedule per collective that has a composed form — the
+/// algorithm library's outputs ride the same SoA pins as the paper's.
 fn corpus() -> Vec<(String, CommSchedule)> {
     let mut out = Vec::new();
     for kind in CollectiveKind::ALL {
@@ -35,6 +39,20 @@ fn corpus() -> Vec<(String, CommSchedule)> {
                 out.push((format!("{kind} x{dpus} e{elems}"), build(kind, dpus, elems)));
             }
         }
+    }
+    for (kind, spec) in [
+        (CollectiveKind::AllReduce, "ring_direct_ring"),
+        (CollectiveKind::ReduceScatter, "rabenseifner_ring_direct"),
+        (CollectiveKind::AllGather, "direct_ring_ring"),
+        (CollectiveKind::Broadcast, "dbtree_ring_ring"),
+        (CollectiveKind::AllToAll, "direct_direct_direct"),
+    ] {
+        let comp = Composition::parse(spec).expect("pinned spec parses");
+        let g = PimGeometry::paper_scaled(64);
+        out.push((
+            format!("{kind} x64 e130 algo {spec}"),
+            build_composed(kind, &g, 130, 4, comp).expect("composed builds"),
+        ));
     }
     out
 }
